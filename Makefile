@@ -1,0 +1,43 @@
+GO ?= go
+
+.PHONY: all build vet test test-race test-short bench experiments examples fuzz cover
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -o EXPERIMENTS.md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/warehouse
+	$(GO) run ./examples/access-control
+	$(GO) run ./examples/bookshelf
+	$(GO) run ./examples/localization
+	$(GO) run ./examples/commissioning
+
+fuzz:
+	$(GO) test -fuzz=FuzzParseURI -fuzztime=30s ./internal/epc
+	$(GO) test -fuzz=FuzzDecodeSchemes -fuzztime=30s ./internal/epc
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/gen2
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1

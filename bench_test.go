@@ -1,0 +1,192 @@
+package rfidtrack_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper, each executing the corresponding experiment end to end and
+// reporting the headline reliability numbers as custom metrics — so
+// `go test -bench=.` regenerates every row the paper reports. Full-trial
+// tables are printed by `go run ./cmd/experiments`; the benchmarks run the
+// same code with reduced trial counts per iteration.
+//
+// Microbenchmarks of the hot paths (link resolution, inventory rounds,
+// EPC codecs) follow the experiment benchmarks.
+
+import (
+	"testing"
+
+	"rfidtrack"
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/experiments"
+	"rfidtrack/internal/gen2"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/tagsim"
+	"rfidtrack/internal/world"
+	"rfidtrack/internal/xrand"
+)
+
+// benchTrials keeps per-iteration experiment cost moderate; the harness
+// seeds by iteration so -benchtime accumulates fresh trials.
+const benchTrials = 4
+
+// runExperiment executes one registered experiment per iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Options{Seed: uint64(i + 1), Trials: benchTrials})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 || len(res.Tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkFig2ReadRange regenerates Figure 2: tags read out of a 20-tag
+// grid at 1–9 m.
+func BenchmarkFig2ReadRange(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig4InterTagOrientation regenerates Figure 4 (with the Figure 3
+// orientations): 5 spacings × 6 orientations.
+func BenchmarkFig4InterTagOrientation(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkTable1ObjectLocations regenerates Table 1: tag-location
+// reliability on the twelve router boxes.
+func BenchmarkTable1ObjectLocations(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2HumanLocations regenerates Table 2: badge locations on
+// one and two walking subjects.
+func BenchmarkTable2HumanLocations(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3Fig5ObjectRedundancy regenerates Table 3: object
+// tracking with redundant antennas and tags, measured vs. calculated.
+func BenchmarkTable3Fig5ObjectRedundancy(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig5ObjectRedundancyBars regenerates the Figure 5 bar series.
+func BenchmarkFig5ObjectRedundancyBars(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkTable4HumanRedundancy1Ant regenerates Table 4: redundant
+// badges, one antenna.
+func BenchmarkTable4HumanRedundancy1Ant(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5HumanRedundancy2Ant regenerates Table 5: redundant
+// badges, two antennas.
+func BenchmarkTable5HumanRedundancy2Ant(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkFig6OneSubject regenerates the Figure 6 bar series.
+func BenchmarkFig6OneSubject(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7TwoSubjects regenerates the Figure 7 bar series.
+func BenchmarkFig7TwoSubjects(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkReaderRedundancy regenerates the Section 4 negative result:
+// two readers without dense-reader mode collapse; dense mode recovers.
+func BenchmarkReaderRedundancy(b *testing.B) { runExperiment(b, "readers") }
+
+// BenchmarkAblationShadowSplit and friends run the design-choice
+// ablations DESIGN.md calls out.
+func BenchmarkAblationsAll(b *testing.B) { runExperiment(b, "ablations") }
+
+// BenchmarkExtensions runs the paper's future work: active tags,
+// dual-dipole designs, population estimation, LANDMARC localization and
+// the placement planner.
+func BenchmarkExtensions(b *testing.B) { runExperiment(b, "extensions") }
+
+// BenchmarkThroughput regenerates the stationary-population read-speed
+// benchmark (the paper's reference [12] and its 0.02 s/tag budget).
+func BenchmarkThroughput(b *testing.B) { runExperiment(b, "throughput") }
+
+// BenchmarkPortalPass measures one complete simulated pass of the
+// twelve-box cart (the unit of every experiment above): link resolution
+// for every (tag, antenna, round), protocol rounds, event collection.
+func BenchmarkPortalPass(b *testing.B) {
+	portal, err := rfidtrack.NewObjectTrackingScenario(rfidtrack.ObjectConfig{
+		TagLocations: []rfidtrack.BoxLocation{"front", "side-closer"},
+		Antennas:     2,
+		Seed:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := portal.RunPass(i)
+		reads += len(res.Events)
+	}
+	b.ReportMetric(float64(reads)/float64(b.N), "reads/pass")
+}
+
+// BenchmarkResolveLink measures one full link-budget resolution (both
+// propagation paths, occlusion scan, coupling scan, random fields).
+func BenchmarkResolveLink(b *testing.B) {
+	w := world.New(rf.DefaultCalibration(), 1)
+	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	box := w.AddBox("box", geom.CrossingPass(1, 1, 2.5, 1),
+		geom.V(0.45, 0.4, 0.2), rf.Cardboard, rf.Metal, geom.V(0.38, 0.33, 0.15))
+	code, err := epc.GID96{Manager: 1, Class: 1, Serial: 1}.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag := w.AttachTag(box, "tag", code, world.Mount{
+		Offset: geom.V(0, -0.21, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.ResolveLink(tag, ant, world.LinkContext{Time: 2.5, Pass: i & 1023, Round: i & 7})
+	}
+}
+
+// BenchmarkInventoryRound measures a 20-tag Gen-2 inventory round with the
+// adaptive Q algorithm (protocol only, no radio).
+func BenchmarkInventoryRound(b *testing.B) {
+	parent := xrand.New(1)
+	tags := make([]*tagsim.Tag, 20)
+	parts := make([]gen2.Participant, len(tags))
+	for i := range tags {
+		code, err := epc.GID96{Manager: 1, Class: 2, Serial: uint64(i)}.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tags[i] = tagsim.New(code, parent.Split(string(rune('a'+i))))
+	}
+	cfg := gen2.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, tag := range tags {
+			tag.Reset()
+			tag.SetPower(true, 0)
+			parts[j] = gen2.Participant{Tag: tag, ForwardOK: true, ReverseOK: true}
+		}
+		res := gen2.RunRound(cfg, parts, 0)
+		if len(res.Reads) != len(tags) {
+			b.Fatalf("round read %d/%d", len(res.Reads), len(tags))
+		}
+	}
+}
+
+// BenchmarkEPCEncodeDecode measures the SGTIN-96 codec round trip.
+func BenchmarkEPCEncodeDecode(b *testing.B) {
+	s := epc.SGTIN96{Filter: 3, CompanyDigits: 7, Company: 614141, ItemRef: 812345, Serial: 6789}
+	for i := 0; i < b.N; i++ {
+		c, err := s.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := epc.DecodeSGTIN96(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCRC16 measures the bit-serial Gen-2 CRC-16 over an EPC reply.
+func BenchmarkCRC16(b *testing.B) {
+	frame := epc.NewBits(0x3074, 16)
+	frame.Append(0xDEADBEEF, 32)
+	frame.Append(0xCAFEBABE, 32)
+	frame.Append(0x12345678, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = epc.CRC16(frame)
+	}
+}

@@ -1,0 +1,160 @@
+// Command rfmap renders an ASCII heat map of the forward-link margin
+// across a horizontal plane of the portal's read zone — the quickest way
+// to see where a portal can and cannot power a tag, and what an obstacle
+// does to the zone.
+//
+// Usage:
+//
+//	rfmap [-antennas 1|2] [-height 1.0] [-span 8] [-depth 6] [-blocker] [-explain x,y]
+//
+// Each cell shows the margin (dB above chip sensitivity) of a well-
+// oriented test tag at that position: '#' strong, '+' comfortable,
+// '.' marginal, ' ' dead. With -explain, prints the itemized link budget
+// at one position instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+func main() {
+	antennas := flag.Int("antennas", 1, "portal antennas (1 or 2, facing)")
+	height := flag.Float64("height", 1.0, "probe plane height, meters")
+	span := flag.Float64("span", 8, "x extent (meters, centered on the portal)")
+	depth := flag.Float64("depth", 6, "y extent (meters, in front of antenna 1)")
+	blocker := flag.Bool("blocker", false, "park a metal-loaded box at (0, 1) to shadow the zone")
+	explain := flag.String("explain", "", "print the itemized link budget at \"x,y\" instead of the map")
+	flag.Parse()
+
+	cal := rf.DefaultCalibration()
+	w := world.New(cal, 1)
+	w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, *height), geom.UnitY, geom.UnitZ))
+	if *antennas >= 2 {
+		w.AddAntenna("a2", geom.NewPose(geom.V(0, *depth, *height), geom.UnitY.Scale(-1), geom.UnitZ))
+	}
+	if *blocker {
+		w.AddBox("blocker",
+			geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, *height), geom.UnitX, geom.UnitZ)},
+			geom.V(0.6, 0.6, 0.6), rf.Cardboard, rf.Metal, geom.V(0.5, 0.5, 0.5))
+	}
+	// The probe: a mount the heat map drags around.
+	probeBox := w.AddBox("probe-mount",
+		geom.StaticPath{Pose: geom.NewPose(geom.V(0, 0, *height), geom.UnitX, geom.UnitZ)},
+		geom.Vec3{}, rf.Cardboard, rf.Air, geom.Vec3{})
+	code, err := epc.GID96{Manager: 1, Class: 1, Serial: 1}.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe := w.AttachTag(probeBox, "probe", code, world.Mount{
+		Normal: geom.V(0, -1, 0),
+		Axis:   geom.UnitZ,
+		Axis2:  geom.UnitX, // orientation-insensitive probe
+		Gap:    0.1,
+	})
+
+	// margin computes the mean forward margin (dB over sensitivity) at a
+	// position, best over antennas, with randomness suppressed by
+	// averaging passes.
+	margin := func(x, y float64) float64 {
+		probeBox.Path = geom.StaticPath{Pose: geom.NewPose(geom.V(x, y, *height), geom.UnitX, geom.UnitZ)}
+		best := -1e9
+		for _, ant := range w.Antennas() {
+			var sum float64
+			const passes = 8
+			for p := 0; p < passes; p++ {
+				l := w.ResolveLink(probe, ant, world.LinkContext{Pass: p})
+				sum += float64(l.TagPower - cal.ChipSensitivityDBm)
+			}
+			if m := sum / 8; m > best {
+				best = m
+			}
+		}
+		return best
+	}
+
+	if *explain != "" {
+		x, y, err := parseXY(*explain)
+		if err != nil {
+			log.Fatalf("rfmap: %v", err)
+		}
+		probeBox.Path = geom.StaticPath{Pose: geom.NewPose(geom.V(x, y, *height), geom.UnitX, geom.UnitZ)}
+		l := w.ResolveLink(probe, w.Antennas()[0], world.LinkContext{Pass: 0, Explain: true})
+		fmt.Printf("link budget at (%.2f, %.2f, %.2f) toward a1:\n%s\n", x, y, *height, l.Forward)
+		fmt.Printf("margin over sensitivity: %.1f dB\n", float64(l.TagPower-cal.ChipSensitivityDBm))
+		return
+	}
+
+	fmt.Printf("forward-link margin at z=%.1f m  ('#' >10 dB, '+' >3, '.' >0, ' ' dead; A = antenna)\n\n", *height)
+	fmt.Print(renderMap(w, margin, *span, *depth, 64, 24))
+}
+
+// renderMap draws the margin field as rows of glyphs, top (max y) first.
+func renderMap(w *world.World, margin func(x, y float64) float64, span, depth float64, cols, rows int) string {
+	var out strings.Builder
+	for r := 0; r < rows; r++ {
+		y := depth * (1 - float64(r)/float64(rows-1))
+		var sb strings.Builder
+		for c := 0; c < cols; c++ {
+			x := span * (float64(c)/float64(cols-1) - 0.5)
+			if isAntenna(w, x, y) {
+				sb.WriteByte('A')
+				continue
+			}
+			switch m := margin(x, y); {
+			case m > 10:
+				sb.WriteByte('#')
+			case m > 3:
+				sb.WriteByte('+')
+			case m > 0:
+				sb.WriteByte('.')
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		fmt.Fprintf(&out, "y=%4.1f |%s|\n", y, sb.String())
+	}
+	fmt.Fprintf(&out, "        %s\n", xAxis(span, cols))
+	return out.String()
+}
+
+func isAntenna(w *world.World, x, y float64) bool {
+	for _, a := range w.Antennas() {
+		if a.Pose.Pos.Dist(geom.V(x, y, a.Pose.Pos.Z)) < 0.15 {
+			return true
+		}
+	}
+	return false
+}
+
+func parseXY(s string) (x, y float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want \"x,y\", got %q", s)
+	}
+	if x, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+		return 0, 0, err
+	}
+	if y, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}
+
+func xAxis(span float64, cols int) string {
+	left := fmt.Sprintf("x=%.1f", -span/2)
+	right := fmt.Sprintf("%.1f", span/2)
+	pad := cols - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	return left + strings.Repeat(" ", pad) + right
+}

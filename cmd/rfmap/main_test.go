@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+func TestParseXY(t *testing.T) {
+	x, y, err := parseXY("1.5, -2")
+	if err != nil || x != 1.5 || y != -2 {
+		t.Errorf("parseXY = %v, %v, %v", x, y, err)
+	}
+	for _, bad := range []string{"", "1", "1,2,3", "a,2", "1,b"} {
+		if _, _, err := parseXY(bad); err == nil {
+			t.Errorf("parseXY(%q) accepted", bad)
+		}
+	}
+}
+
+func TestXAxis(t *testing.T) {
+	s := xAxis(8, 64)
+	if !strings.HasPrefix(s, "x=-4.0") || !strings.HasSuffix(s, "4.0") {
+		t.Errorf("axis = %q", s)
+	}
+	// Degenerate width must not panic or go negative.
+	if s := xAxis(8, 2); s == "" {
+		t.Error("empty axis")
+	}
+}
+
+func TestRenderMap(t *testing.T) {
+	w := world.New(rf.DefaultCalibration(), 1)
+	w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	// A synthetic margin field: strong near the antenna, dead far away.
+	margin := func(x, y float64) float64 { return 15 - 6*(x*x+y*y) }
+	out := renderMap(w, margin, 4, 3, 16, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // 8 rows + axis
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "A") {
+		t.Errorf("map missing strong cells or antenna marker:\n%s", out)
+	}
+	// The far corners are dead (blank).
+	if !strings.Contains(lines[0], " ") {
+		t.Errorf("top row has no dead cells:\n%s", out)
+	}
+}

@@ -1,0 +1,71 @@
+// Command rfsim runs the paper-reproduction experiments.
+//
+// Usage:
+//
+//	rfsim [-seed N] [-trials N] [-list] <experiment>...
+//	rfsim all
+//
+// Each experiment prints the same rows the corresponding table or figure
+// of the paper reports, with the paper's published values alongside.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rfidtrack/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("rfsim", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	seed := fs.Uint64("seed", 1, "random seed (equal seeds reproduce results exactly)")
+	trials := fs.Int("trials", 0, "override per-experiment trial counts (0 = paper defaults)")
+	list := fs.Bool("list", false, "list available experiments and exit")
+	csv := fs.Bool("csv", false, "emit result tables as CSV (for plotting)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: rfsim [flags] <experiment>...|all\n\nexperiments: %s\n\nflags:\n",
+			strings.Join(experiments.IDs(), " "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return 0
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fs.Usage()
+		return 2
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	opt := experiments.Options{Seed: *seed, Trials: *trials}
+	for _, id := range ids {
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(errOut, "rfsim: %v\n", err)
+			return 1
+		}
+		if *csv {
+			for _, tab := range res.Tables {
+				fmt.Fprintf(out, "# %s: %s\n%s\n", res.ID, tab.Title, tab.CSV())
+			}
+		} else {
+			fmt.Fprintln(out, res)
+		}
+	}
+	return 0
+}

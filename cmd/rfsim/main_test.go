@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"fig2", "table1", "readers", "extensions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-trials", "2", "-seed", "3", "table1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Table 1", "front", "paper"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-trials", "2", "fig2", "table2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "== fig2") || !strings.Contains(out.String(), "== table2") {
+		t.Error("multiple experiments not all run")
+	}
+}
+
+func TestRunUsageOnNoArgs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Errorf("usage not printed: %s", errOut.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"bogus"}, &out, &errOut); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Errorf("stderr = %s", errOut.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-trials", "2", "-csv", "table1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	s := out.String()
+	if !strings.Contains(s, "tag location,measured,paper") {
+		t.Errorf("CSV header missing:\n%s", s)
+	}
+	if strings.Contains(s, "---") {
+		t.Error("CSV output contains table separators")
+	}
+}

@@ -1,0 +1,69 @@
+// Command trackd is the back-end daemon: it polls one or more readerd
+// instances over the HTTP/XML reader interface, runs the cleaning pipeline
+// (smoothing + deduplication), and serves the tracking state as JSON.
+//
+// Usage:
+//
+//	trackd [-addr :7090] [-readers http://host:7080,http://host2:7080] [-poll 1s] [-window 2.0]
+//
+// Endpoints:
+//
+//	GET /api/tags               every tracked tag with its last location
+//	GET /api/history?epc=HEX    a tag's sighting history
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/readerapi"
+	"rfidtrack/internal/tracksvc"
+)
+
+func main() {
+	addr := flag.String("addr", ":7090", "listen address")
+	readers := flag.String("readers", "http://127.0.0.1:7080", "comma-separated readerd base URLs")
+	poll := flag.Duration("poll", time.Second, "reader poll interval")
+	window := flag.Float64("window", 2.0, "smoothing window in (simulation) seconds; 0 = adaptive")
+	flag.Parse()
+
+	var smoother backend.Smoother
+	if *window > 0 {
+		smoother = backend.NewWindowSmoother(*window)
+	} else {
+		smoother = backend.NewAdaptiveSmoother()
+	}
+	svc := tracksvc.New(backend.NewPipeline(smoother))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var bases []string
+	for _, base := range strings.Split(*readers, ",") {
+		if base = strings.TrimSpace(base); base != "" {
+			bases = append(bases, base)
+			go svc.PollLoop(ctx, readerapi.NewClient(base, nil), *poll)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("trackd: serving on %s, polling %v", *addr, bases)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("trackd: %v", err)
+	}
+}

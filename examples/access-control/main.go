@@ -1,0 +1,92 @@
+// Access control: the paper's human-tracking application. Badge-carrying
+// people walk through a doorway portal; the back-end opens the door for
+// known badges and raises an alarm for strangers. We compare a single
+// badge against the paper's recommendation (front + back badges and a
+// second antenna) and drive the door/alarm rules from the event stream.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfidtrack"
+)
+
+func main() {
+	const trials = 25
+
+	type config struct {
+		label    string
+		tags     []rfidtrack.HumanLocation
+		antennas int
+	}
+	configs := []config{
+		{"1 badge (front), 1 antenna", []rfidtrack.HumanLocation{"front"}, 1},
+		{"1 badge (front), 2 antennas", []rfidtrack.HumanLocation{"front"}, 2},
+		{"2 badges (front+back), 1 antenna", []rfidtrack.HumanLocation{"front", "back"}, 1},
+		{"2 badges (front+back), 2 antennas", []rfidtrack.HumanLocation{"front", "back"}, 2},
+	}
+	fmt.Println("doorway identification reliability (two people abreast):")
+	var best *rfidtrack.Portal
+	for i, c := range configs {
+		portal, err := rfidtrack.NewHumanTrackingScenario(rfidtrack.HumanConfig{
+			Subjects:     2,
+			TagLocations: c.tags,
+			Antennas:     c.antennas,
+			Seed:         uint64(300 + i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := portal.Measure(trials, 0)
+		fmt.Printf("  %-36s %5.1f%%\n", c.label, 100*rel.MeanCarrierReliability(nil))
+		best = portal
+	}
+
+	// Drive the door logic from the best configuration's reads.
+	authorized := map[rfidtrack.EPC]string{}
+	for _, tag := range best.World.Tags() {
+		authorized[tag.Code] = tag.Carrier().Name()
+	}
+	// A stranger's badge that is NOT in the authorized set.
+	strangerCode, err := rfidtrack.ParseEPCURI("urn:epc:id:gid:95100000.999.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pipeline := rfidtrack.NewPipeline(rfidtrack.NewWindowSmoother(1))
+	var doorOpens, alarms int
+	pipeline.AddRule(rfidtrack.Rule{
+		Name:  "open door",
+		Match: func(s rfidtrack.Sighting) bool { _, ok := authorized[s.EPC]; return ok },
+		Action: func(s rfidtrack.Sighting) {
+			doorOpens++
+			fmt.Printf("  door opened for %s (badge %s)\n", authorized[s.EPC], s.EPC.URI())
+		},
+	})
+	pipeline.AddRule(rfidtrack.Rule{
+		Name:  "alarm",
+		Match: func(s rfidtrack.Sighting) bool { _, ok := authorized[s.EPC]; return !ok },
+		Action: func(s rfidtrack.Sighting) {
+			alarms++
+			fmt.Printf("  ALARM: unknown badge %s at the door\n", s.EPC.URI())
+		},
+	})
+
+	fmt.Println("\none pass through the door:")
+	pass := best.RunPass(trials + 1)
+	for _, e := range pass.Events {
+		pipeline.Ingest(rfidtrack.BackendEvent{
+			EPC: e.EPC, Location: e.Reader, Antenna: e.Antenna, Time: e.Time,
+		})
+	}
+	// Simulate the stranger tailgating: inject their badge read directly.
+	pipeline.Ingest(rfidtrack.BackendEvent{
+		EPC: strangerCode, Location: "r1", Antenna: "a1", Time: 99,
+	})
+	pipeline.Flush(1e9)
+
+	fmt.Printf("\nsummary: %d door events, %d alarms\n", doorOpens, alarms)
+	fmt.Println("(per the paper: two badges and a second antenna push doorway")
+	fmt.Println(" identification to ~100%, viable even for passive tags)")
+}

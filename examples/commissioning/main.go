@@ -1,0 +1,107 @@
+// Commissioning: provisioning a batch of blank tags at a commissioning
+// station — the step before any of the paper's tracking scenarios can
+// run. Each tag is singulated, its EPC bank rewritten with the real
+// identity, passwords installed, the EPC bank locked, and one
+// deliberately defective tag is killed. Exercises the Gen-2 access layer
+// (Req_RN / Access / Write / Lock / Kill).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/tagsim"
+	"rfidtrack/internal/xrand"
+)
+
+func main() {
+	rng := xrand.New(2026)
+
+	// A tray of eight factory-blank tags (all-zero EPCs).
+	tags := make([]*tagsim.Tag, 8)
+	for i := range tags {
+		tags[i] = tagsim.New(epc.Code{}, rng.Split(fmt.Sprintf("blank/%d", i)))
+		tags[i].SetPower(true, 0)
+	}
+
+	const accessPwd, killPwd = 0x5EC0DE5, 0xDEADC0DE
+
+	fmt.Println("commissioning station: 8 blank tags on the tray")
+	for i, tag := range tags {
+		// Singulate this tag alone (the station reads one tag at a time in
+		// a shielded tunnel).
+		rn, ok := tag.Query(tagsim.S0, tagsim.FlagA, 0, float64(i))
+		if !ok {
+			log.Fatalf("tag %d did not answer the query", i)
+		}
+		if _, ok := tag.ACK(rn.RN16); !ok {
+			log.Fatalf("tag %d rejected ACK", i)
+		}
+		handle, err := tag.ReqRN(rn.RN16)
+		if err != nil {
+			log.Fatalf("tag %d: %v", i, err)
+		}
+		// Blank tags have a zero access password: we are already Secured.
+
+		// 1. Install the real identity.
+		identity, err := epc.SGTIN96{
+			Filter: 1, CompanyDigits: 7, Company: 614141,
+			ItemRef: 700100, Serial: uint64(5000 + i),
+		}.Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tag.WriteEPC(handle, identity); err != nil {
+			log.Fatalf("tag %d: writing EPC: %v", i, err)
+		}
+
+		// 2. Install passwords (kill + access, one 8-byte reserved write).
+		pw := []byte{
+			killPwd >> 24, killPwd >> 16 & 0xFF, killPwd >> 8 & 0xFF, killPwd & 0xFF,
+			accessPwd >> 24, accessPwd >> 16 & 0xFF, accessPwd >> 8 & 0xFF, accessPwd & 0xFF,
+		}
+		if err := tag.Write(handle, tagsim.BankReserved, 0, pw); err != nil {
+			log.Fatalf("tag %d: writing passwords: %v", i, err)
+		}
+
+		// 3. Lock the EPC bank so the identity can only change through an
+		// authenticated session.
+		if err := tag.Lock(handle, tagsim.BankEPC, tagsim.Locked); err != nil {
+			log.Fatalf("tag %d: locking: %v", i, err)
+		}
+		fmt.Printf("  tag %d -> %s (EPC locked)\n", i, tag.EPC().URI())
+	}
+
+	// Quality control: tag 3 failed its RF test; kill it so it can never
+	// pollute a portal's reads.
+	defective := tags[3]
+	defective.Reset()
+	defective.SetPower(true, 100)
+	rn, _ := defective.Query(tagsim.S0, tagsim.FlagA, 0, 100)
+	defective.ACK(rn.RN16)
+	handle, err := defective.ReqRN(rn.RN16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The access password is installed now: authenticate first.
+	if err := defective.Access(handle, accessPwd); err != nil {
+		log.Fatal(err)
+	}
+	if err := defective.KillWithPassword(handle, killPwd); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQC: tag 3 failed RF test — killed (%v)\n", defective.Killed())
+
+	// Verify the tray: killed tags are silent, live tags answer with their
+	// commissioned identities.
+	live := 0
+	for _, tag := range tags {
+		tag.Reset()
+		tag.SetPower(true, 200)
+		if _, ok := tag.Query(tagsim.S0, tagsim.FlagA, 0, 200); ok {
+			live++
+		}
+	}
+	fmt.Printf("final tray check: %d of 8 tags answer (1 killed)\n", live)
+}

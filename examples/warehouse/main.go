@@ -1,0 +1,87 @@
+// Warehouse: the paper's motivating supply-chain scenario. A cart of
+// twelve router boxes passes a dock-door portal; we compare single-tag
+// case labeling against the paper's tag-level redundancy, then feed the
+// winning configuration's reads through the tracking back-end with an
+// accompany-constraint cleaner for the stragglers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rfidtrack"
+)
+
+func main() {
+	const trials = 20
+
+	fmt.Println("single tag per case (by label location):")
+	singles := map[rfidtrack.BoxLocation]float64{}
+	for i, loc := range []rfidtrack.BoxLocation{"front", "side-closer", "side-farther", "top"} {
+		portal, err := rfidtrack.NewObjectTrackingScenario(rfidtrack.ObjectConfig{
+			TagLocations: []rfidtrack.BoxLocation{loc},
+			Seed:         100 + uint64(i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := portal.Measure(trials, 0)
+		singles[loc] = rel.MeanCarrierReliability(nil)
+		fmt.Printf("  %-14s %5.1f%%\n", loc, 100*singles[loc])
+	}
+
+	// The paper's fix: two tags per case on different faces.
+	portal, err := rfidtrack.NewObjectTrackingScenario(rfidtrack.ObjectConfig{
+		TagLocations: []rfidtrack.BoxLocation{"front", "side-closer"},
+		Seed:         200,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := portal.Measure(trials, 0)
+	redundant := rel.MeanCarrierReliability(nil)
+	expected := rfidtrack.CombinedReliability(singles["front"], singles["side-closer"])
+	fmt.Printf("\ntwo tags per case (front + side): %.1f%% measured, %.1f%% by the R_C model\n",
+		100*redundant, 100*expected)
+
+	// Stream one pass's raw reads through the back-end pipeline.
+	pipeline := rfidtrack.NewPipeline(rfidtrack.NewWindowSmoother(2))
+	var sightings []rfidtrack.Sighting
+	pipeline.AddRule(rfidtrack.Rule{
+		Name:   "arrival log",
+		Action: func(s rfidtrack.Sighting) { sightings = append(sightings, s) },
+	})
+	pass := portal.RunPass(trials + 1)
+	for _, e := range pass.Events {
+		pipeline.Ingest(rfidtrack.BackendEvent{
+			EPC: e.EPC, Location: e.Reader, Antenna: e.Antenna, Time: e.Time,
+		})
+	}
+	pipeline.Flush(1e9)
+	fmt.Printf("\nback-end: %d raw reads smoothed into %d case-arrival sightings\n",
+		len(pass.Events), len(sightings))
+
+	// Accompany-constraint cleaning: the twelve cases travel as one pallet;
+	// if ≥70%% of the group passed the dock, infer any stragglers.
+	group := rfidtrack.GroupConstraint{Quorum: 0.7, Window: 10}
+	for _, tag := range portal.World.Tags() {
+		if strings.HasSuffix(tag.Name, "/front") {
+			group.Members = append(group.Members, tag.Code)
+		}
+	}
+	cleaned := group.Clean(sightings)
+	inferred := 0
+	for _, s := range cleaned {
+		if s.Inferred {
+			inferred++
+		}
+	}
+	fmt.Printf("accompany constraint: %d sightings after cleaning (%d inferred for missed cases)\n",
+		len(cleaned), inferred)
+
+	fmt.Printf("\nconclusion: tag-level redundancy lifted pallet tracking from %.0f%% to %.0f%%,\n",
+		100*singles["front"], 100*redundant)
+	fmt.Println("and the data-level cleaners catch part of the remainder — but only physical")
+	fmt.Println("redundancy creates reads that never happened.")
+}

@@ -1,0 +1,53 @@
+package rfidtrack_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun smoke-tests every example program end to end: each must
+// build, run to completion within a minute, and print its headline.
+// Skipped under -short (each example simulates dozens of portal passes).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow; skipped with -short")
+	}
+	expects := map[string]string{
+		"quickstart":     "read reliability over",
+		"warehouse":      "two tags per case",
+		"access-control": "door opened for",
+		"bookshelf":      "books found (of 12)",
+		"localization":   "surveyed 16 reference tags",
+		"commissioning":  "final tray check: 7 of 8",
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(expects) {
+		t.Errorf("examples/ has %d entries but %d are smoke-tested", len(entries), len(expects))
+	}
+	for _, e := range entries {
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			want, ok := expects[name]
+			if !ok {
+				t.Fatalf("no expectation registered for examples/%s", name)
+			}
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			cmd.WaitDelay = time.Minute
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,381 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+
+	"rfidtrack/internal/epc"
+)
+
+func code(serial uint64) epc.Code {
+	c, err := epc.GID96{Manager: 4, Class: 4, Serial: serial}.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestWindowSmootherMergesAndCloses(t *testing.T) {
+	s := NewWindowSmoother(1.0)
+	e := func(serial uint64, loc string, at float64) Event {
+		return Event{EPC: code(serial), Location: loc, Time: at}
+	}
+	if got := s.Observe(e(1, "dock", 0)); len(got) != 0 {
+		t.Fatalf("first read closed %d sightings", len(got))
+	}
+	// Reads within the window merge.
+	s.Observe(e(1, "dock", 0.5))
+	s.Observe(e(1, "dock", 1.2))
+	// A read after a >window silence closes the old sighting.
+	closed := s.Observe(e(1, "dock", 3.0))
+	if len(closed) != 1 {
+		t.Fatalf("closed %d sightings, want 1", len(closed))
+	}
+	got := closed[0]
+	if got.First != 0 || got.Last != 1.2 || got.Reads != 3 {
+		t.Errorf("sighting = %+v", got)
+	}
+	// The new sighting is open; flush closes it.
+	flushed := s.Flush(10)
+	if len(flushed) != 1 || flushed[0].First != 3.0 || flushed[0].Reads != 1 {
+		t.Errorf("flush = %+v", flushed)
+	}
+	if len(s.Flush(11)) != 0 {
+		t.Error("second flush should be empty")
+	}
+}
+
+func TestWindowSmootherSeparatesTagsAndLocations(t *testing.T) {
+	s := NewWindowSmoother(1.0)
+	s.Observe(Event{EPC: code(1), Location: "dock", Time: 0})
+	s.Observe(Event{EPC: code(2), Location: "dock", Time: 0.1})
+	s.Observe(Event{EPC: code(1), Location: "gate", Time: 0.2})
+	closed := s.Flush(5)
+	if len(closed) != 3 {
+		t.Fatalf("flush closed %d sightings, want 3", len(closed))
+	}
+	// Sorted by first-seen.
+	if closed[0].Location != "dock" || closed[0].EPC != code(1) {
+		t.Errorf("sort order: %+v", closed)
+	}
+}
+
+func TestAdaptiveSmootherWindowAdapts(t *testing.T) {
+	s := NewAdaptiveSmoother()
+	k := sightingKey{code(1), "dock"}
+	// No estimate yet: generous window.
+	if got := s.windowFor(k); got != s.MaxWindow {
+		t.Errorf("initial window = %v, want max", got)
+	}
+	// A strongly-read tag (10 reads/s) shrinks its window toward the floor.
+	for i := 0; i < 50; i++ {
+		s.Observe(Event{EPC: code(1), Location: "dock", Time: float64(i) * 0.1})
+	}
+	wFast := s.windowFor(k)
+	if wFast >= 2 {
+		t.Errorf("fast-read window = %v, want small", wFast)
+	}
+	// A weakly-read tag keeps a longer window: a 1.5 s silence must not
+	// split its sighting while the same gap would split a fast tag's.
+	s2 := NewAdaptiveSmoother()
+	for i := 0; i < 10; i++ {
+		s2.Observe(Event{EPC: code(2), Location: "dock", Time: float64(i) * 1.2})
+	}
+	if got := s2.Observe(Event{EPC: code(2), Location: "dock", Time: 13.5}); len(got) != 0 {
+		t.Errorf("weak tag sighting split by a 1.5s gap: %+v", got)
+	}
+	closed := s2.Flush(20)
+	if len(closed) != 1 || closed[0].Reads != 11 {
+		t.Errorf("weak tag history = %+v", closed)
+	}
+}
+
+func TestAdaptiveSmootherBounds(t *testing.T) {
+	s := NewAdaptiveSmoother()
+	// Hammer with sub-millisecond reads: window must clamp at MinWindow.
+	for i := 0; i < 100; i++ {
+		s.Observe(Event{EPC: code(1), Location: "dock", Time: float64(i) * 0.0001})
+	}
+	if got := s.windowFor(sightingKey{code(1), "dock"}); got != s.MinWindow {
+		t.Errorf("window = %v, want clamped to %v", got, s.MinWindow)
+	}
+}
+
+func TestStore(t *testing.T) {
+	st := NewStore()
+	st.Apply(Sighting{EPC: code(1), Location: "dock", First: 0, Last: 1})
+	st.Apply(Sighting{EPC: code(1), Location: "gate", First: 5, Last: 6})
+	st.Apply(Sighting{EPC: code(2), Location: "dock", First: 2, Last: 3})
+
+	loc, ok := st.LocationOf(code(1))
+	if !ok || loc.Name != "gate" || loc.Since != 6 {
+		t.Errorf("location = %+v, %v", loc, ok)
+	}
+	if _, ok := st.LocationOf(code(9)); ok {
+		t.Error("unknown tag has a location")
+	}
+	h := st.History(code(1))
+	if len(h) != 2 || h[0].Location != "dock" || h[1].Location != "gate" {
+		t.Errorf("history = %+v", h)
+	}
+	// History returns a copy.
+	h[0].Location = "mutated"
+	if st.History(code(1))[0].Location == "mutated" {
+		t.Error("history aliases internal storage")
+	}
+	tags := st.Tags()
+	if len(tags) != 2 {
+		t.Errorf("tags = %v", tags)
+	}
+	// An out-of-order (older) sighting must not regress the last location.
+	st.Apply(Sighting{EPC: code(1), Location: "dock", First: 1.5, Last: 2})
+	if loc, _ := st.LocationOf(code(1)); loc.Name != "gate" {
+		t.Errorf("stale sighting regressed location to %v", loc.Name)
+	}
+}
+
+func TestPipelineRules(t *testing.T) {
+	p := NewPipeline(NewWindowSmoother(0.5))
+	var alarms []Sighting
+	p.AddRule(Rule{
+		Name:   "alarm on gate",
+		Match:  func(s Sighting) bool { return s.Location == "gate" },
+		Action: func(s Sighting) { alarms = append(alarms, s) },
+	})
+	var all int
+	p.AddRule(Rule{Name: "count", Action: func(Sighting) { all++ }})
+
+	p.Ingest(Event{EPC: code(1), Location: "gate", Time: 0})
+	p.Ingest(Event{EPC: code(1), Location: "dock", Time: 5}) // closes the gate sighting
+	p.Flush(10)
+
+	if len(alarms) != 1 || alarms[0].Location != "gate" {
+		t.Errorf("alarms = %+v", alarms)
+	}
+	if all != 2 {
+		t.Errorf("rule ran %d times, want 2", all)
+	}
+	if loc, ok := p.Store().LocationOf(code(1)); !ok || loc.Name != "dock" {
+		t.Errorf("store location = %+v", loc)
+	}
+}
+
+func TestPipelineDefaultSmoother(t *testing.T) {
+	p := NewPipeline(nil)
+	p.Ingest(Event{EPC: code(1), Location: "dock", Time: 0})
+	if got := p.Flush(5); len(got) != 1 {
+		t.Errorf("default pipeline flushed %d", len(got))
+	}
+}
+
+func TestRouteCleanInfersSkippedPortal(t *testing.T) {
+	r := Route{Portals: []string{"dock", "belt", "gate"}, MaxGap: 10}
+	history := []Sighting{
+		{EPC: code(1), Location: "dock", First: 0, Last: 1},
+		{EPC: code(1), Location: "gate", First: 8, Last: 9},
+	}
+	out := r.Clean(history)
+	if len(out) != 3 {
+		t.Fatalf("cleaned history has %d entries, want 3", len(out))
+	}
+	mid := out[1]
+	if mid.Location != "belt" || !mid.Inferred {
+		t.Errorf("inferred sighting = %+v", mid)
+	}
+	if mid.First <= 1 || mid.First >= 8 {
+		t.Errorf("inferred time %v not inside the gap", mid.First)
+	}
+}
+
+func TestRouteCleanRespectsMaxGap(t *testing.T) {
+	r := Route{Portals: []string{"dock", "belt", "gate"}, MaxGap: 2}
+	history := []Sighting{
+		{EPC: code(1), Location: "dock", First: 0, Last: 1},
+		{EPC: code(1), Location: "gate", First: 100, Last: 101}, // way too slow
+	}
+	if out := r.Clean(history); len(out) != 2 {
+		t.Errorf("inference made despite the gap: %+v", out)
+	}
+}
+
+func TestRouteCleanNoInferenceCases(t *testing.T) {
+	r := Route{Portals: []string{"dock", "belt", "gate"}, MaxGap: 10}
+	// Adjacent portals: nothing missing.
+	adj := []Sighting{
+		{EPC: code(1), Location: "dock", First: 0, Last: 1},
+		{EPC: code(1), Location: "belt", First: 2, Last: 3},
+	}
+	if out := r.Clean(adj); len(out) != 2 {
+		t.Errorf("adjacent portals triggered inference: %+v", out)
+	}
+	// Off-route locations are ignored.
+	off := []Sighting{
+		{EPC: code(1), Location: "dock", First: 0, Last: 1},
+		{EPC: code(1), Location: "elsewhere", First: 2, Last: 3},
+	}
+	if out := r.Clean(off); len(out) != 2 {
+		t.Errorf("off-route location triggered inference: %+v", out)
+	}
+	// Empty inputs.
+	if out := r.Clean(nil); len(out) != 0 {
+		t.Errorf("empty history cleaned to %+v", out)
+	}
+	if out := (Route{Portals: []string{"only"}}).Clean(adj); len(out) != 2 {
+		t.Errorf("degenerate route changed history: %+v", out)
+	}
+}
+
+func TestRouteCleanMultipleSkips(t *testing.T) {
+	r := Route{Portals: []string{"a", "b", "c", "d"}, MaxGap: 10}
+	history := []Sighting{
+		{EPC: code(1), Location: "a", First: 0, Last: 0},
+		{EPC: code(1), Location: "d", First: 9, Last: 9},
+	}
+	out := r.Clean(history)
+	if len(out) != 4 {
+		t.Fatalf("cleaned history has %d entries, want 4", len(out))
+	}
+	if out[1].Location != "b" || out[2].Location != "c" {
+		t.Errorf("inferred order: %v, %v", out[1].Location, out[2].Location)
+	}
+	if !(out[0].Last < out[1].First && out[1].First < out[2].First && out[2].First < out[3].First) {
+		t.Error("inferred times not interpolated in order")
+	}
+}
+
+func TestGroupCleanInfersMissingMember(t *testing.T) {
+	g := Group{
+		Members: []epc.Code{code(1), code(2), code(3), code(4)},
+		Quorum:  0.7,
+		Window:  2,
+	}
+	all := []Sighting{
+		{EPC: code(1), Location: "dock", First: 0, Last: 0.5},
+		{EPC: code(2), Location: "dock", First: 0.3, Last: 0.8},
+		{EPC: code(3), Location: "dock", First: 1.0, Last: 1.2},
+		// code(4) missed — 3/4 = 75% ≥ quorum: infer it.
+	}
+	out := g.Clean(all)
+	if len(out) != 4 {
+		t.Fatalf("cleaned stream has %d entries, want 4", len(out))
+	}
+	var found bool
+	for _, s := range out {
+		if s.EPC == code(4) {
+			found = true
+			if !s.Inferred || s.Location != "dock" {
+				t.Errorf("inferred member = %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing member not inferred")
+	}
+}
+
+func TestGroupCleanBelowQuorum(t *testing.T) {
+	g := Group{
+		Members: []epc.Code{code(1), code(2), code(3), code(4)},
+		Quorum:  0.7,
+		Window:  2,
+	}
+	all := []Sighting{
+		{EPC: code(1), Location: "dock", First: 0, Last: 0.5},
+		{EPC: code(2), Location: "dock", First: 0.3, Last: 0.8},
+		// 2/4 = 50% < 70%: no inference.
+	}
+	if out := g.Clean(all); len(out) != 2 {
+		t.Errorf("below-quorum inference: %+v", out)
+	}
+}
+
+func TestGroupCleanWindowMatters(t *testing.T) {
+	g := Group{
+		Members: []epc.Code{code(1), code(2)},
+		Quorum:  0.9,
+		Window:  1,
+	}
+	// Both members seen, but 10 s apart: not one passage.
+	all := []Sighting{
+		{EPC: code(1), Location: "dock", First: 0, Last: 0.2},
+		{EPC: code(2), Location: "dock", First: 10, Last: 10.2},
+	}
+	out := g.Clean(all)
+	// Each window alone has 1/2 = 50% < 90%: no inference; and no
+	// duplicates for already-seen members.
+	if len(out) != 2 {
+		t.Errorf("window ignored: %+v", out)
+	}
+}
+
+func TestGroupCleanNoDuplicateInference(t *testing.T) {
+	g := Group{
+		Members: []epc.Code{code(1), code(2)},
+		Quorum:  0.5,
+		Window:  2,
+	}
+	all := []Sighting{
+		{EPC: code(1), Location: "dock", First: 0, Last: 0.5},
+		{EPC: code(2), Location: "dock", First: 0.6, Last: 0.9},
+	}
+	out := g.Clean(all)
+	if len(out) != 2 {
+		t.Errorf("inferred a member that was already seen: %+v", out)
+	}
+	// Degenerate groups are no-ops.
+	if got := (Group{}).Clean(all); len(got) != 2 {
+		t.Error("empty group changed the stream")
+	}
+}
+
+func TestGroupCleanNonMembersUntouched(t *testing.T) {
+	g := Group{Members: []epc.Code{code(1), code(2)}, Quorum: 0.5, Window: 2}
+	all := []Sighting{
+		{EPC: code(1), Location: "dock", First: 0, Last: 0.5},
+		{EPC: code(9), Location: "dock", First: 0.1, Last: 0.6}, // stranger
+	}
+	out := g.Clean(all)
+	// Member 1 seen -> quorum 50% met -> member 2 inferred; stranger kept.
+	if len(out) != 3 {
+		t.Fatalf("cleaned stream = %+v", out)
+	}
+}
+
+func TestPipelineConcurrentIngest(t *testing.T) {
+	// The pipeline and store are shared by poll loops and API handlers;
+	// hammer them from several goroutines (run under -race in CI).
+	p := NewPipeline(NewWindowSmoother(0.1))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.Ingest(Event{
+					EPC:      code(uint64(g)),
+					Location: "dock",
+					Time:     float64(i),
+				})
+				if i%10 == 0 {
+					p.Store().Tags()
+					p.Store().LocationOf(code(uint64(g)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Flush(1e9)
+	if got := len(p.Store().Tags()); got != 8 {
+		t.Errorf("tracked %d tags, want 8", got)
+	}
+	for g := 0; g < 8; g++ {
+		h := p.Store().History(code(uint64(g)))
+		var reads int
+		for _, s := range h {
+			reads += s.Reads
+		}
+		if reads != 200 {
+			t.Errorf("tag %d: %d reads recorded, want 200", g, reads)
+		}
+	}
+}

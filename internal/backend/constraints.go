@@ -1,0 +1,154 @@
+package backend
+
+import (
+	"sort"
+
+	"rfidtrack/internal/epc"
+)
+
+// Route is the "route constraint" of Inoue et al.: objects move along a
+// known sequence of portals, so a missed read at an intermediate portal
+// can be inferred when the portals before and after it both saw the tag.
+type Route struct {
+	// Portals is the ordered portal sequence of the route.
+	Portals []string
+	// MaxGap is the maximum plausible travel time between two adjacent
+	// portals; an inference is only made when the observed bracketing
+	// sightings are closer together than the accumulated gap allows.
+	MaxGap float64
+}
+
+// indexOf returns the route position of a portal, or -1.
+func (r Route) indexOf(portal string) int {
+	for i, p := range r.Portals {
+		if p == portal {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clean scans one tag's sighting history and inserts inferred sightings
+// for intermediate portals the route says must have been traversed. The
+// input must belong to a single tag; the result is sorted by time.
+func (r Route) Clean(history []Sighting) []Sighting {
+	if len(r.Portals) < 2 || len(history) == 0 {
+		return append([]Sighting(nil), history...)
+	}
+	out := append([]Sighting(nil), history...)
+	sortSightings(out)
+	var inferred []Sighting
+	for i := 0; i < len(out)-1; i++ {
+		a, b := out[i], out[i+1]
+		ia, ib := r.indexOf(a.Location), r.indexOf(b.Location)
+		if ia < 0 || ib < 0 || ib <= ia+1 {
+			continue // not on the route, or adjacent: nothing skipped
+		}
+		skipped := ib - ia
+		if r.MaxGap > 0 && b.First-a.Last > float64(skipped)*r.MaxGap {
+			continue // too slow: the object may have left the route
+		}
+		// Interpolate one sighting per skipped portal.
+		span := b.First - a.Last
+		for j := ia + 1; j < ib; j++ {
+			frac := float64(j-ia) / float64(skipped)
+			t := a.Last + span*frac
+			inferred = append(inferred, Sighting{
+				EPC:      a.EPC,
+				Location: r.Portals[j],
+				First:    t,
+				Last:     t,
+				Inferred: true,
+			})
+		}
+	}
+	out = append(out, inferred...)
+	sortSightings(out)
+	return out
+}
+
+// Group is the "accompany constraint": a set of tags known to travel
+// together (the cases of one pallet, a person's badges). When at least
+// Quorum of the group is sighted at a portal within Window seconds, the
+// missing members are inferred to have been there too.
+type Group struct {
+	Members []epc.Code
+	// Quorum is the fraction of members (0,1] whose observation triggers
+	// inference for the rest.
+	Quorum float64
+	// Window is how far apart the members' sightings may be, seconds.
+	Window float64
+}
+
+// Clean scans a mixed sighting stream and returns it with inferred
+// sightings appended for group members missed at portals where the group
+// quorum passed. The result is sorted by time.
+func (g Group) Clean(all []Sighting) []Sighting {
+	out := append([]Sighting(nil), all...)
+	sortSightings(out)
+	if len(g.Members) == 0 || g.Quorum <= 0 {
+		return out
+	}
+	member := make(map[epc.Code]bool, len(g.Members))
+	for _, m := range g.Members {
+		member[m] = true
+	}
+	// Collect group sightings per location.
+	byLoc := make(map[string][]Sighting)
+	for _, s := range out {
+		if member[s.EPC] {
+			byLoc[s.Location] = append(byLoc[s.Location], s)
+		}
+	}
+	var inferred []Sighting
+	for loc, ss := range byLoc {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].First < ss[j].First })
+		// Slide a window over the location's sightings; the first window
+		// that meets quorum yields inferences for absent members.
+		for lo := 0; lo < len(ss); lo++ {
+			seen := map[epc.Code]Sighting{}
+			hi := lo
+			for ; hi < len(ss) && ss[hi].First-ss[lo].First <= g.Window; hi++ {
+				if _, dup := seen[ss[hi].EPC]; !dup {
+					seen[ss[hi].EPC] = ss[hi]
+				}
+			}
+			if float64(len(seen)) < g.Quorum*float64(len(g.Members)) {
+				continue
+			}
+			// Quorum met: infer everyone missing in this window.
+			mid := (ss[lo].First + ss[hi-1].Last) / 2
+			for _, m := range g.Members {
+				if _, ok := seen[m]; ok {
+					continue
+				}
+				if sightedNear(out, m, loc, mid, g.Window) {
+					continue
+				}
+				inferred = append(inferred, Sighting{
+					EPC:      m,
+					Location: loc,
+					First:    mid,
+					Last:     mid,
+					Inferred: true,
+				})
+			}
+			break
+		}
+	}
+	out = append(out, inferred...)
+	sortSightings(out)
+	return out
+}
+
+// sightedNear reports whether code already has a sighting at loc within
+// window of t.
+func sightedNear(all []Sighting, code epc.Code, loc string, t, window float64) bool {
+	for _, s := range all {
+		if s.EPC == code && s.Location == loc &&
+			s.First-window <= t && t <= s.Last+window {
+			return true
+		}
+	}
+	return false
+}

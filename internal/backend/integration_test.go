@@ -1,0 +1,99 @@
+package backend_test
+
+import (
+	"testing"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/core"
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+// TestRouteCleaningOverSimulatedPortals drives a tagged box down a belt
+// past three portals, with the middle portal's antenna mis-aimed so it
+// systematically misses — and shows the route constraint reconstructing
+// the missed sighting from the simulator's real event stream.
+func TestRouteCleaningOverSimulatedPortals(t *testing.T) {
+	w := world.New(rf.DefaultCalibration(), 17)
+
+	// Three portals along the belt at x = 0, 8, 16; the middle antenna is
+	// turned away from the belt (a mis-installed portal).
+	a1 := w.AddAntenna("in", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	// The middle portal is mis-installed: pushed 6 m back from the belt
+	// and aimed away, far outside even the scattered field's reach.
+	a2 := w.AddAntenna("mid", geom.NewPose(geom.V(8, -6, 1), geom.UnitY.Scale(-1), geom.UnitZ))
+	a3 := w.AddAntenna("out", geom.NewPose(geom.V(16, 0, 1), geom.UnitY, geom.UnitZ))
+
+	box := w.AddBox("case", geom.LinePath{
+		Start: geom.NewPose(geom.V(-2, 1, 1), geom.UnitX, geom.UnitZ),
+		Vel:   geom.UnitX.Scale(1),
+		Dur:   20,
+	}, geom.V(0.4, 0.4, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	code, err := epc.SGTIN96{Filter: 2, CompanyDigits: 7, Company: 614141, ItemRef: 1, Serial: 1}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AttachTag(box, "case/label", code, world.Mount{
+		Offset: geom.V(0, -0.2, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.1,
+	})
+
+	// One reader per portal, dense mode everywhere (a properly installed
+	// multi-portal site).
+	mkReader := func(name string, ant *world.Antenna) *reader.Reader {
+		r, err := reader.New(name, w, []*world.Antenna{ant}, reader.WithDenseMode(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	portal := &core.Portal{World: w, Readers: []*reader.Reader{
+		mkReader("portal-in", a1), mkReader("portal-mid", a2), mkReader("portal-out", a3),
+	}}
+
+	res := portal.RunPass(0)
+	pipeline := backend.NewPipeline(backend.NewWindowSmoother(2))
+	for _, e := range res.Events {
+		pipeline.Ingest(backend.Event{
+			EPC: e.EPC, Location: e.Reader, Antenna: e.Antenna, Time: e.Time,
+		})
+	}
+	pipeline.Flush(1e9)
+
+	history := pipeline.Store().History(code)
+	seen := map[string]bool{}
+	for _, s := range history {
+		seen[s.Location] = true
+	}
+	if !seen["portal-in"] || !seen["portal-out"] {
+		t.Fatalf("end portals missed the case: %+v", history)
+	}
+	if seen["portal-mid"] {
+		t.Fatal("the mis-aimed portal read the case; the test premise broke")
+	}
+
+	// Route cleaning: in -> mid -> out with plausible belt timing.
+	route := backend.Route{
+		Portals: []string{"portal-in", "portal-mid", "portal-out"},
+		MaxGap:  15,
+	}
+	cleaned := route.Clean(history)
+	var inferred *backend.Sighting
+	for i := range cleaned {
+		if cleaned[i].Location == "portal-mid" {
+			inferred = &cleaned[i]
+		}
+	}
+	if inferred == nil {
+		t.Fatal("route constraint did not reconstruct the missed portal")
+	}
+	if !inferred.Inferred {
+		t.Error("reconstructed sighting not marked inferred")
+	}
+	// The inferred time falls between the real sightings.
+	if inferred.First <= history[0].Last || inferred.First >= history[len(history)-1].First {
+		t.Errorf("inferred time %v outside the travel window", inferred.First)
+	}
+}

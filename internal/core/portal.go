@@ -1,0 +1,205 @@
+// Package core composes the substrates into the system the paper studies:
+// a tracking portal (world + readers) that runs passes of tagged objects
+// or people, and the reliability measurement the paper's tables are built
+// from — per-tag read reliability and per-carrier (object/human) tracking
+// reliability over repeated trials.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/stats"
+	"rfidtrack/internal/world"
+)
+
+// Portal is one read zone: a world plus the reader(s) covering it.
+type Portal struct {
+	World   *world.World
+	Readers []*reader.Reader
+}
+
+// PassResult is the outcome of one trial.
+type PassResult struct {
+	Events   []reader.Event
+	ReadEPCs map[epc.Code]bool
+	Rounds   int
+	Duration float64
+}
+
+// ReadTag reports whether the pass read the given EPC at least once.
+func (p PassResult) ReadTag(c epc.Code) bool { return p.ReadEPCs[c] }
+
+// RunPass simulates one complete trial: every carrier traverses its path
+// while all readers run inventory rounds concurrently (each reader's CW is
+// interference for the others). Tag protocol state is reset first so
+// trials are independent.
+func (p *Portal) RunPass(passID int) PassResult {
+	res := PassResult{ReadEPCs: make(map[epc.Code]bool)}
+	for _, tag := range p.World.Tags() {
+		tag.Proto.Reset()
+	}
+
+	duration := 0.0
+	for _, c := range p.World.Carriers() {
+		switch cc := c.(type) {
+		case *world.Box:
+			duration = math.Max(duration, cc.Path.Duration())
+		case *world.Person:
+			duration = math.Max(duration, cc.Path.Duration())
+		}
+	}
+	if duration <= 0 {
+		// Static scene (the read-range grid): a single read cycle.
+		duration = 1e-9
+	}
+
+	t := 0.0
+	for t <= duration {
+		cycle := 0.0
+		for i, r := range p.Readers {
+			foreign := p.foreignFor(i, t)
+			events, d := r.RunRound(passID, t, foreign)
+			for _, e := range events {
+				res.Events = append(res.Events, e)
+				res.ReadEPCs[e.EPC] = true
+			}
+			res.Rounds++
+			cycle = math.Max(cycle, d)
+		}
+		if cycle <= 0 {
+			break
+		}
+		t += cycle
+		res.Duration = t
+		if duration == 1e-9 {
+			// Static scene: exactly one cycle per pass.
+			break
+		}
+	}
+	return res
+}
+
+// foreignFor lists the CW emitters reader i suffers from: every other
+// reader's currently active antenna. Dense-reader mode only helps when
+// both ends implement it.
+func (p *Portal) foreignFor(i int, t float64) []world.ForeignEmitter {
+	var out []world.ForeignEmitter
+	for j, other := range p.Readers {
+		if j == i {
+			continue
+		}
+		out = append(out, world.ForeignEmitter{
+			Antenna:       other.AntennaAt(t),
+			DenseModeBoth: p.Readers[i].DenseMode() && other.DenseMode(),
+		})
+	}
+	return out
+}
+
+// Reliability aggregates repeated trials the way the paper reports them.
+type Reliability struct {
+	// Trials is the number of passes measured.
+	Trials int
+	// PerTag is the read reliability of each tag (by tag name).
+	PerTag map[string]stats.Proportion
+	// PerCarrier is the tracking reliability of each carrier: a carrier is
+	// tracked when at least one of its tags is read (the paper's
+	// system-level definition).
+	PerCarrier map[string]stats.Proportion
+	// TagsReadPerPass is the number of distinct tags read in each pass
+	// (the quantity Figures 2 and 4 plot).
+	TagsReadPerPass []float64
+}
+
+// Measure runs n independent passes and aggregates reliability. Passes are
+// numbered from firstPass so different conditions of one experiment can
+// use disjoint shadowing draws.
+func (p *Portal) Measure(n, firstPass int) Reliability {
+	rel := Reliability{
+		Trials:     n,
+		PerTag:     make(map[string]stats.Proportion),
+		PerCarrier: make(map[string]stats.Proportion),
+	}
+	tags := p.World.Tags()
+	for trial := 0; trial < n; trial++ {
+		res := p.RunPass(firstPass + trial)
+		distinct := 0
+		for _, tag := range tags {
+			pr := rel.PerTag[tag.Name]
+			pr.Trials++
+			if res.ReadTag(tag.Code) {
+				pr.Successes++
+				distinct++
+			}
+			rel.PerTag[tag.Name] = pr
+		}
+		for _, c := range p.World.Carriers() {
+			if len(c.Tags()) == 0 {
+				continue
+			}
+			pr := rel.PerCarrier[c.Name()]
+			pr.Trials++
+			for _, tag := range c.Tags() {
+				if res.ReadTag(tag.Code) {
+					pr.Successes++
+					break
+				}
+			}
+			rel.PerCarrier[c.Name()] = pr
+		}
+		rel.TagsReadPerPass = append(rel.TagsReadPerPass, float64(distinct))
+	}
+	return rel
+}
+
+// MeanTagReliability averages the per-tag read reliability over tags whose
+// names pass the filter (nil matches every tag).
+func (r Reliability) MeanTagReliability(filter func(name string) bool) float64 {
+	var ps []float64
+	for name, pr := range r.PerTag {
+		if filter == nil || filter(name) {
+			ps = append(ps, pr.Rate())
+		}
+	}
+	return stats.Mean(ps)
+}
+
+// MeanCarrierReliability averages the per-carrier tracking reliability
+// over carriers whose names pass the filter (nil matches all).
+func (r Reliability) MeanCarrierReliability(filter func(name string) bool) float64 {
+	var ps []float64
+	for name, pr := range r.PerCarrier {
+		if filter == nil || filter(name) {
+			ps = append(ps, pr.Rate())
+		}
+	}
+	return stats.Mean(ps)
+}
+
+// TagNames returns the measured tag names, sorted.
+func (r Reliability) TagNames() []string {
+	names := make([]string, 0, len(r.PerTag))
+	for n := range r.PerTag {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CarrierNames returns the measured carrier names, sorted.
+func (r Reliability) CarrierNames() []string {
+	names := make([]string, 0, len(r.PerCarrier))
+	for n := range r.PerCarrier {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ReadSummary summarizes TagsReadPerPass (the Figure 2 / Figure 4 series).
+func (r Reliability) ReadSummary() stats.Summary {
+	return stats.Summarize(r.TagsReadPerPass)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+func testCode(serial uint64) epc.Code {
+	c, err := epc.GID96{Manager: 3, Class: 3, Serial: serial}.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// movingPortal builds a portal with one antenna and a tagged box passing
+// at 1 m/s at 1 m distance, the paper's canonical geometry.
+func movingPortal(t *testing.T, seed uint64) (*Portal, *world.Tag) {
+	t.Helper()
+	w := world.New(rf.DefaultCalibration(), seed)
+	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	box := w.AddBox("box", geom.CrossingPass(1, 1, 2, 1),
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	tag := w.AttachTag(box, "tag", testCode(1), world.Mount{
+		Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+	})
+	r, err := reader.New("r1", w, []*world.Antenna{ant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Portal{World: w, Readers: []*reader.Reader{r}}, tag
+}
+
+func TestRunPassReadsMovingTag(t *testing.T) {
+	p, tag := movingPortal(t, 1)
+	res := p.RunPass(0)
+	if !res.ReadTag(tag.Code) {
+		t.Error("well-placed moving tag not read")
+	}
+	if res.Rounds < 3 {
+		t.Errorf("only %d rounds in a 4 s pass", res.Rounds)
+	}
+	if res.Duration <= 0 {
+		t.Error("pass consumed no time")
+	}
+	if len(res.Events) == 0 {
+		t.Error("no events recorded")
+	}
+}
+
+func TestPassesAreIndependent(t *testing.T) {
+	p, _ := movingPortal(t, 2)
+	a := p.RunPass(0)
+	b := p.RunPass(0) // same pass id: identical draws
+	if len(a.Events) != len(b.Events) {
+		t.Errorf("same pass id produced %d vs %d events", len(a.Events), len(b.Events))
+	}
+	c := p.RunPass(1)
+	// Different pass id: different shadowing; at minimum it must run.
+	if c.Rounds == 0 {
+		t.Error("pass 1 did not run")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	p, tag := movingPortal(t, 3)
+	rel := p.Measure(20, 0)
+	if rel.Trials != 20 {
+		t.Fatalf("trials = %d", rel.Trials)
+	}
+	pr, ok := rel.PerTag[tag.Name]
+	if !ok || pr.Trials != 20 {
+		t.Fatalf("per-tag stats missing: %+v", rel.PerTag)
+	}
+	if pr.Rate() < 0.8 {
+		t.Errorf("boresight moving tag reliability = %v, want high", pr.Rate())
+	}
+	cr := rel.PerCarrier["box"]
+	if cr.Trials != 20 || cr.Successes < pr.Successes {
+		t.Errorf("carrier tracking (%+v) must be at least tag reliability (%+v)", cr, pr)
+	}
+	if len(rel.TagsReadPerPass) != 20 {
+		t.Errorf("per-pass series length %d", len(rel.TagsReadPerPass))
+	}
+	if s := rel.ReadSummary(); s.N != 20 || s.Mean < 0.8 {
+		t.Errorf("summary = %+v", s)
+	}
+	if rel.MeanTagReliability(nil) != pr.Rate() {
+		t.Error("mean over single tag should equal its rate")
+	}
+	if rel.MeanCarrierReliability(nil) != cr.Rate() {
+		t.Error("mean over single carrier should equal its rate")
+	}
+	if got := rel.TagNames(); len(got) != 1 || got[0] != "tag" {
+		t.Errorf("tag names = %v", got)
+	}
+	if got := rel.CarrierNames(); len(got) != 1 || got[0] != "box" {
+		t.Errorf("carrier names = %v", got)
+	}
+}
+
+func TestMeasureFilters(t *testing.T) {
+	p, _ := movingPortal(t, 4)
+	rel := p.Measure(5, 0)
+	none := rel.MeanTagReliability(func(string) bool { return false })
+	if none != 0 {
+		t.Errorf("empty filter mean = %v", none)
+	}
+}
+
+func TestStaticSceneSingleCycle(t *testing.T) {
+	w := world.New(rf.DefaultCalibration(), 5)
+	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	box := w.AddBox("box", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 1), geom.UnitX, geom.UnitZ)},
+		geom.V(0.2, 0.2, 0.2), rf.Cardboard, rf.Air, geom.Vec3{})
+	w.AttachTag(box, "tag", testCode(2), world.Mount{
+		Offset: geom.V(0, -0.1, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitX, Gap: 0.05,
+	})
+	r, _ := reader.New("r1", w, []*world.Antenna{ant})
+	p := &Portal{World: w, Readers: []*reader.Reader{r}}
+	res := p.RunPass(0)
+	// A static scene is a single read: exactly one round per reader.
+	if res.Rounds != 1 {
+		t.Errorf("static pass ran %d rounds, want 1", res.Rounds)
+	}
+	if !res.ReadTag(w.Tags()[0].Code) {
+		t.Error("static boresight tag not read")
+	}
+}
+
+func TestTwoReadersInterfere(t *testing.T) {
+	w := world.New(rf.DefaultCalibration(), 6)
+	a1 := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	a2 := w.AddAntenna("a2", geom.NewPose(geom.V(0, 2, 1), geom.UnitY.Scale(-1), geom.UnitZ))
+	box := w.AddBox("box", geom.CrossingPass(1, 1, 2, 1),
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	w.AttachTag(box, "tag", testCode(3), world.Mount{
+		Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+	})
+	r1, _ := reader.New("r1", w, []*world.Antenna{a1})
+	r2, _ := reader.New("r2", w, []*world.Antenna{a2})
+	p := &Portal{World: w, Readers: []*reader.Reader{r1, r2}}
+	rel := p.Measure(20, 0)
+	twoReader := rel.PerTag["tag"].Rate()
+
+	// Baseline: one reader alone.
+	p1, _ := movingPortal(t, 6)
+	base := p1.Measure(20, 0).PerTag["tag"].Rate()
+	if twoReader >= base {
+		t.Errorf("two non-dense readers (%v) should underperform one (%v)", twoReader, base)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/epc"
+)
+
+// TrackingSystem is the complete deployment the paper's introduction
+// describes: multiple portals (each a read zone with its readers) feeding
+// one back-end, which smooths raw reads into sightings, keeps the
+// tracking database, and runs the application rules.
+type TrackingSystem struct {
+	portals  map[string]*Portal
+	order    []string
+	pipeline *backend.Pipeline
+	// clock is the running deployment time; each pass advances it so
+	// sightings from successive passes never merge.
+	clock float64
+}
+
+// NewTrackingSystem builds a system over the given pipeline (nil =
+// default pipeline with a 2 s smoothing window).
+func NewTrackingSystem(pipeline *backend.Pipeline) *TrackingSystem {
+	if pipeline == nil {
+		pipeline = backend.NewPipeline(nil)
+	}
+	return &TrackingSystem{
+		portals:  make(map[string]*Portal),
+		pipeline: pipeline,
+	}
+}
+
+// AddPortal registers a named portal. Names must be unique.
+func (s *TrackingSystem) AddPortal(name string, p *Portal) error {
+	if _, dup := s.portals[name]; dup {
+		return fmt.Errorf("core: duplicate portal %q", name)
+	}
+	s.portals[name] = p
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Pipeline exposes the back-end (for rules and the store).
+func (s *TrackingSystem) Pipeline() *backend.Pipeline { return s.pipeline }
+
+// PortalNames returns the registered portal names in insertion order.
+func (s *TrackingSystem) PortalNames() []string {
+	return append([]string(nil), s.order...)
+}
+
+// RunPass simulates one pass at the named portal and feeds every read
+// into the back-end, stamping events onto the deployment clock. It
+// returns the pass result and the sightings the pass closed.
+func (s *TrackingSystem) RunPass(portalName string, passID int) (PassResult, []backend.Sighting, error) {
+	p, ok := s.portals[portalName]
+	if !ok {
+		return PassResult{}, nil, fmt.Errorf("core: unknown portal %q (have %v)", portalName, s.PortalNames())
+	}
+	res := p.RunPass(passID)
+	var closed []backend.Sighting
+	for _, e := range res.Events {
+		closed = append(closed, s.pipeline.Ingest(backend.Event{
+			EPC:      e.EPC,
+			Location: portalName,
+			Antenna:  e.Antenna,
+			Time:     s.clock + e.Time,
+		})...)
+	}
+	// Advance the deployment clock well past the pass so the next pass's
+	// sightings never merge with this one's.
+	s.clock += res.Duration + 60
+	return res, closed, nil
+}
+
+// Flush closes all open sightings.
+func (s *TrackingSystem) Flush() []backend.Sighting {
+	return s.pipeline.Flush(s.clock + 1e6)
+}
+
+// WhereIs returns a tag's last tracked location.
+func (s *TrackingSystem) WhereIs(code epc.Code) (backend.Location, bool) {
+	return s.pipeline.Store().LocationOf(code)
+}
+
+// Journey returns a tag's sighting history, optionally cleaned against a
+// route constraint (nil route = raw history).
+func (s *TrackingSystem) Journey(code epc.Code, route *backend.Route) []backend.Sighting {
+	h := s.pipeline.Store().History(code)
+	if route != nil {
+		h = route.Clean(h)
+	}
+	return h
+}
+
+// Inventory lists every tag the system has tracked, sorted by EPC.
+func (s *TrackingSystem) Inventory() []epc.Code {
+	codes := s.pipeline.Store().Tags()
+	sort.Slice(codes, func(i, j int) bool { return codes[i].Hex() < codes[j].Hex() })
+	return codes
+}

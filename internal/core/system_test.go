@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+// buildSystem wires two portals (dock and gate) watching the same tagged
+// box design into one tracking system.
+func buildSystem(t *testing.T) (*TrackingSystem, *world.Tag, *world.Tag) {
+	t.Helper()
+	// A 5 s window: a portal pass can read a tag at entry and exit a few
+	// seconds apart, and those must merge into one sighting.
+	sys := NewTrackingSystem(backend.NewPipeline(backend.NewWindowSmoother(5)))
+
+	mk := func(seed uint64) (*Portal, *world.Tag) {
+		w := world.New(rf.DefaultCalibration(), seed)
+		ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+		box := w.AddBox("box", geom.CrossingPass(1, 1, 2, 1),
+			geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+		tag := w.AttachTag(box, "label", testCode(seed), world.Mount{
+			Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.1,
+		})
+		r, err := reader.New("r1", w, []*world.Antenna{ant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Portal{World: w, Readers: []*reader.Reader{r}}, tag
+	}
+	dock, tagA := mk(21)
+	gate, tagB := mk(21) // same seed: same EPC moves dock -> gate
+	if err := sys.AddPortal("dock", dock); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddPortal("gate", gate); err != nil {
+		t.Fatal(err)
+	}
+	return sys, tagA, tagB
+}
+
+func TestTrackingSystemJourney(t *testing.T) {
+	sys, tagA, _ := buildSystem(t)
+	if got := sys.PortalNames(); len(got) != 2 || got[0] != "dock" || got[1] != "gate" {
+		t.Fatalf("portal names = %v", got)
+	}
+
+	// The same EPC passes the dock, then the gate.
+	if _, _, err := sys.RunPass("dock", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.RunPass("gate", 1); err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+
+	loc, ok := sys.WhereIs(tagA.Code)
+	if !ok || loc.Name != "gate" {
+		t.Errorf("WhereIs = %+v, %v; want gate", loc, ok)
+	}
+	journey := sys.Journey(tagA.Code, nil)
+	if len(journey) != 2 || journey[0].Location != "dock" || journey[1].Location != "gate" {
+		t.Errorf("journey = %+v", journey)
+	}
+	// Sightings from the two passes must not have merged.
+	if journey[0].Last >= journey[1].First {
+		t.Error("passes merged into one sighting")
+	}
+	inv := sys.Inventory()
+	if len(inv) != 1 || inv[0] != tagA.Code {
+		t.Errorf("inventory = %v", inv)
+	}
+}
+
+func TestTrackingSystemRouteCleaning(t *testing.T) {
+	sys, tagA, _ := buildSystem(t)
+	sys.RunPass("dock", 0)
+	sys.RunPass("gate", 1)
+	sys.Flush()
+	// A route with a phantom middle portal: Journey with the constraint
+	// reconstructs it.
+	route := &backend.Route{Portals: []string{"dock", "belt", "gate"}, MaxGap: 1e6}
+	journey := sys.Journey(tagA.Code, route)
+	if len(journey) != 3 || journey[1].Location != "belt" || !journey[1].Inferred {
+		t.Errorf("cleaned journey = %+v", journey)
+	}
+}
+
+func TestTrackingSystemErrors(t *testing.T) {
+	sys, _, _ := buildSystem(t)
+	if _, _, err := sys.RunPass("nowhere", 0); err == nil {
+		t.Error("unknown portal accepted")
+	}
+	if err := sys.AddPortal("dock", nil); err == nil {
+		t.Error("duplicate portal accepted")
+	}
+	// Unknown tag.
+	if _, ok := sys.WhereIs(testCode(999)); ok {
+		t.Error("phantom tag located")
+	}
+	// Nil pipeline defaults.
+	if NewTrackingSystem(nil).Pipeline() == nil {
+		t.Error("nil pipeline not defaulted")
+	}
+}
+
+func TestTrackingSystemRules(t *testing.T) {
+	sys, tagA, _ := buildSystem(t)
+	var arrivals int
+	sys.Pipeline().AddRule(backend.Rule{
+		Name:   "count gate arrivals",
+		Match:  func(s backend.Sighting) bool { return s.Location == "gate" },
+		Action: func(backend.Sighting) { arrivals++ },
+	})
+	sys.RunPass("gate", 0)
+	sys.Flush()
+	if arrivals == 0 {
+		t.Error("gate rule never fired")
+	}
+	_ = tagA
+}

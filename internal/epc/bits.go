@@ -1,0 +1,127 @@
+// Package epc implements the Electronic Product Code encodings carried by
+// Gen-2 tags: MSB-first bit strings, the Gen-2 CRC-5 and CRC-16, and the
+// SGTIN-96 / SSCC-96 / GID-96 binary schemes with their pure-identity URI
+// forms.
+package epc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bits is a mutable MSB-first bit string, the unit of exchange on the Gen-2
+// air interface (commands and replies are not byte aligned).
+//
+// The zero value is an empty bit string ready to use.
+type Bits struct {
+	data []byte
+	n    int
+}
+
+// NewBits returns a bit string preloaded with the n low-order bits of v,
+// MSB first.
+func NewBits(v uint64, n int) *Bits {
+	b := &Bits{}
+	b.Append(v, n)
+	return b
+}
+
+// BitsFromBytes returns a bit string covering all bits of p (a copy).
+func BitsFromBytes(p []byte) *Bits {
+	b := &Bits{data: append([]byte(nil), p...), n: len(p) * 8}
+	return b
+}
+
+// Len returns the number of bits.
+func (b *Bits) Len() int { return b.n }
+
+// Append appends the w low-order bits of v, MSB first. Widths outside
+// [0, 64] panic: they are programming errors, not data errors.
+func (b *Bits) Append(v uint64, w int) {
+	if w < 0 || w > 64 {
+		panic(fmt.Sprintf("epc: bit width %d out of range", w))
+	}
+	for i := w - 1; i >= 0; i-- {
+		b.AppendBit(v>>uint(i)&1 == 1)
+	}
+}
+
+// AppendBit appends one bit.
+func (b *Bits) AppendBit(bit bool) {
+	if b.n%8 == 0 {
+		b.data = append(b.data, 0)
+	}
+	if bit {
+		b.data[b.n/8] |= 1 << uint(7-b.n%8)
+	}
+	b.n++
+}
+
+// AppendBits appends all of o's bits.
+func (b *Bits) AppendBits(o *Bits) {
+	for i := 0; i < o.n; i++ {
+		b.AppendBit(o.Bit(i))
+	}
+}
+
+// Bit returns bit i (0 = first appended). Out-of-range indexes panic.
+func (b *Bits) Bit(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("epc: bit index %d out of range [0,%d)", i, b.n))
+	}
+	return b.data[i/8]>>uint(7-i%8)&1 == 1
+}
+
+// Uint extracts w bits starting at offset as an unsigned integer, MSB
+// first. Reading past the end or widths outside [0, 64] panic.
+func (b *Bits) Uint(offset, w int) uint64 {
+	if w < 0 || w > 64 {
+		panic(fmt.Sprintf("epc: bit width %d out of range", w))
+	}
+	var v uint64
+	for i := 0; i < w; i++ {
+		v <<= 1
+		if b.Bit(offset + i) {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// Bytes returns the bit string packed MSB-first into bytes; the final byte
+// is zero-padded. The returned slice is a copy.
+func (b *Bits) Bytes() []byte {
+	return append([]byte(nil), b.data...)
+}
+
+// String renders the bits as '0'/'1' characters.
+func (b *Bits) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Bit(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Clone returns an independent copy.
+func (b *Bits) Clone() *Bits {
+	return &Bits{data: append([]byte(nil), b.data...), n: b.n}
+}
+
+// Equal reports whether two bit strings have identical length and content.
+func (b *Bits) Equal(o *Bits) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := 0; i < b.n; i++ {
+		if b.Bit(i) != o.Bit(i) {
+			return false
+		}
+	}
+	return true
+}

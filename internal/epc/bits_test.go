@@ -1,0 +1,116 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsAppendAndRead(t *testing.T) {
+	b := &Bits{}
+	b.Append(0b101, 3)
+	b.Append(0xF0, 8)
+	if b.Len() != 11 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := b.String(); got != "10111110000" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := b.Uint(0, 3); got != 0b101 {
+		t.Errorf("Uint(0,3) = %b", got)
+	}
+	if got := b.Uint(3, 8); got != 0xF0 {
+		t.Errorf("Uint(3,8) = %#x", got)
+	}
+}
+
+func TestBitsZeroWidthAppend(t *testing.T) {
+	b := &Bits{}
+	b.Append(0xFFFF, 0)
+	if b.Len() != 0 {
+		t.Errorf("zero-width append changed length: %d", b.Len())
+	}
+}
+
+func TestBitsPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Append(…, 65) did not panic")
+		}
+	}()
+	(&Bits{}).Append(0, 65)
+}
+
+func TestBitsPanicsOnBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bit(5) on 3-bit string did not panic")
+		}
+	}()
+	NewBits(0b101, 3).Bit(5)
+}
+
+func TestBitsFromBytesAndBytes(t *testing.T) {
+	in := []byte{0xDE, 0xAD}
+	b := BitsFromBytes(in)
+	if b.Len() != 16 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	out := b.Bytes()
+	if out[0] != 0xDE || out[1] != 0xAD {
+		t.Fatalf("Bytes = %x", out)
+	}
+	// Both directions are copies.
+	in[0] = 0
+	out[1] = 0
+	if b.Uint(0, 8) != 0xDE || b.Uint(8, 8) != 0xAD {
+		t.Fatal("Bits aliased caller memory")
+	}
+}
+
+func TestBitsAppendBitsAndEqual(t *testing.T) {
+	a := NewBits(0b1101, 4)
+	b := NewBits(0b11, 2)
+	a.AppendBits(b)
+	want := NewBits(0b110111, 6)
+	if !a.Equal(want) {
+		t.Fatalf("AppendBits = %s, want %s", a, want)
+	}
+	if a.Equal(NewBits(0b110111, 7)) {
+		t.Error("Equal ignored length")
+	}
+	if a.Equal(NewBits(0b110110, 6)) {
+		t.Error("Equal ignored content")
+	}
+}
+
+func TestBitsClone(t *testing.T) {
+	a := NewBits(0b1010, 4)
+	c := a.Clone()
+	a.AppendBit(true)
+	if c.Len() != 4 {
+		t.Fatal("clone shares length with original")
+	}
+	c.AppendBit(false)
+	c2 := c.Uint(0, 5)
+	a2 := a.Uint(0, 5)
+	if c2 == a2 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestBitsRoundTripProperty(t *testing.T) {
+	f := func(v uint64, w uint8) bool {
+		width := int(w % 65)
+		masked := v
+		if width < 64 {
+			masked = v & ((1 << uint(width)) - 1)
+		}
+		b := &Bits{}
+		b.Append(0b1, 1) // misalign deliberately
+		b.Append(masked, width)
+		return b.Uint(1, width) == masked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package epc
+
+// Gen-2 link CRCs, computed bit-serially because air-interface frames are
+// not byte aligned.
+//
+// CRC-16: ISO/IEC 13239 (CCITT polynomial x^16+x^12+x^5+1), preset 0xFFFF,
+// and the value appended to a frame is the ones-complement of the register.
+// A receiver that runs the register over frame+CRC sees the constant
+// residue 0x1D0F on an intact frame.
+//
+// CRC-5: polynomial x^5+x^3+1, preset 0b01001, appended uninverted; the
+// receiver recomputes over the frame body and compares.
+
+// CRC16Preset is the Gen-2 CRC-16 register preset.
+const CRC16Preset uint16 = 0xFFFF
+
+// CRC16Residue is the register value after running over an intact
+// frame including its appended CRC-16.
+const CRC16Residue uint16 = 0x1D0F
+
+const crc16Poly uint16 = 0x1021
+
+// CRC16 returns the CRC-16 to append to the given frame bits (already
+// ones-complemented, ready to transmit).
+func CRC16(frame *Bits) uint16 {
+	return ^crc16Register(frame, CRC16Preset)
+}
+
+// CRC16Check reports whether a received frame whose final 16 bits are a
+// CRC-16 is intact.
+func CRC16Check(frameWithCRC *Bits) bool {
+	if frameWithCRC.Len() < 16 {
+		return false
+	}
+	return crc16Register(frameWithCRC, CRC16Preset) == CRC16Residue
+}
+
+func crc16Register(frame *Bits, preset uint16) uint16 {
+	reg := preset
+	for i := 0; i < frame.Len(); i++ {
+		msb := reg&0x8000 != 0
+		in := frame.Bit(i)
+		reg <<= 1
+		if msb != in {
+			reg ^= crc16Poly
+		}
+	}
+	return reg
+}
+
+// CRC5Preset is the Gen-2 CRC-5 register preset.
+const CRC5Preset uint8 = 0b01001
+
+const crc5Poly uint8 = 0b01001 // x^5+x^3+1 with the x^5 term implicit
+
+// CRC5 returns the 5-bit CRC to append to the given frame bits.
+func CRC5(frame *Bits) uint8 {
+	reg := CRC5Preset
+	for i := 0; i < frame.Len(); i++ {
+		msb := reg&0b10000 != 0
+		in := frame.Bit(i)
+		reg = (reg << 1) & 0b11111
+		if msb != in {
+			reg ^= crc5Poly
+		}
+	}
+	return reg
+}
+
+// CRC5Check reports whether a received frame whose final 5 bits are a CRC-5
+// is intact.
+func CRC5Check(frameWithCRC *Bits) bool {
+	n := frameWithCRC.Len()
+	if n < 5 {
+		return false
+	}
+	body := &Bits{}
+	for i := 0; i < n-5; i++ {
+		body.AppendBit(frameWithCRC.Bit(i))
+	}
+	return uint8(frameWithCRC.Uint(n-5, 5)) == CRC5(body)
+}

@@ -1,0 +1,124 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC16KnownVector(t *testing.T) {
+	// Standard check string "123456789": CRC-16/GENIBUS (the Gen-2 CRC:
+	// CCITT poly, preset 0xFFFF, ones-complement output) yields 0xD64E.
+	b := BitsFromBytes([]byte("123456789"))
+	if got := CRC16(b); got != 0xD64E {
+		t.Errorf("CRC16(123456789) = %#04x, want 0xD64E", got)
+	}
+}
+
+func TestCRC16EmptyFrame(t *testing.T) {
+	// Register never advances: result is ^preset.
+	if got := CRC16(&Bits{}); got != ^CRC16Preset {
+		t.Errorf("CRC16(empty) = %#04x, want %#04x", got, ^CRC16Preset)
+	}
+}
+
+func TestCRC16ResidueRoundTrip(t *testing.T) {
+	frame := NewBits(0b1011001110001111, 16)
+	frame.Append(0x3A, 7) // deliberately not byte aligned
+	crc := CRC16(frame)
+	whole := frame.Clone()
+	whole.Append(uint64(crc), 16)
+	if !CRC16Check(whole) {
+		t.Fatal("intact frame failed CRC16Check")
+	}
+}
+
+func TestCRC16DetectsAnySingleBitError(t *testing.T) {
+	frame := NewBits(0xDEADBEEF, 32)
+	frame.Append(0x5, 3)
+	whole := frame.Clone()
+	whole.Append(uint64(CRC16(frame)), 16)
+	for i := 0; i < whole.Len(); i++ {
+		corrupt := &Bits{}
+		for j := 0; j < whole.Len(); j++ {
+			bit := whole.Bit(j)
+			if j == i {
+				bit = !bit
+			}
+			corrupt.AppendBit(bit)
+		}
+		if CRC16Check(corrupt) {
+			t.Fatalf("single-bit error at %d not detected", i)
+		}
+	}
+}
+
+func TestCRC16CheckTooShort(t *testing.T) {
+	if CRC16Check(NewBits(0x5, 3)) {
+		t.Error("frames shorter than a CRC must fail")
+	}
+}
+
+func TestCRC16RoundTripProperty(t *testing.T) {
+	f := func(payload []byte, extra uint8) bool {
+		frame := BitsFromBytes(payload)
+		frame.Append(uint64(extra&0x7F), int(extra%8)) // ragged tail
+		whole := frame.Clone()
+		whole.Append(uint64(CRC16(frame)), 16)
+		return CRC16Check(whole)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC5RoundTrip(t *testing.T) {
+	// A Query command body is 17 bits before its CRC-5.
+	frame := NewBits(0b10001000000010101, 17)
+	crc := CRC5(frame)
+	if crc > 0b11111 {
+		t.Fatalf("CRC5 out of range: %#x", crc)
+	}
+	whole := frame.Clone()
+	whole.Append(uint64(crc), 5)
+	if !CRC5Check(whole) {
+		t.Fatal("intact frame failed CRC5Check")
+	}
+}
+
+func TestCRC5DetectsSingleBitErrors(t *testing.T) {
+	frame := NewBits(0b10001010101010101, 17)
+	whole := frame.Clone()
+	whole.Append(uint64(CRC5(frame)), 5)
+	for i := 0; i < whole.Len(); i++ {
+		corrupt := &Bits{}
+		for j := 0; j < whole.Len(); j++ {
+			bit := whole.Bit(j)
+			if j == i {
+				bit = !bit
+			}
+			corrupt.AppendBit(bit)
+		}
+		if CRC5Check(corrupt) {
+			t.Fatalf("single-bit error at %d not detected", i)
+		}
+	}
+}
+
+func TestCRC5CheckTooShort(t *testing.T) {
+	if CRC5Check(NewBits(0x3, 4)) {
+		t.Error("frames shorter than a CRC-5 must fail")
+	}
+}
+
+func TestCRC5RoundTripProperty(t *testing.T) {
+	f := func(v uint32, w uint8) bool {
+		width := int(w%28) + 5
+		frame := NewBits(uint64(v)&((1<<uint(width))-1), width)
+		whole := frame.Clone()
+		whole.Append(uint64(CRC5(frame)), 5)
+		return CRC5Check(whole)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

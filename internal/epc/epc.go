@@ -1,0 +1,412 @@
+package epc
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Code is a 96-bit EPC as stored in a tag's EPC memory bank.
+type Code [12]byte
+
+// Scheme headers (EPC Tag Data Standard).
+const (
+	HeaderSGTIN96 = 0x30
+	HeaderSSCC96  = 0x31
+	HeaderGID96   = 0x35
+)
+
+// ErrBadEPC is wrapped by all decode errors in this package.
+var ErrBadEPC = errors.New("epc: invalid encoding")
+
+// Header returns the 8-bit scheme header.
+func (c Code) Header() uint8 { return c[0] }
+
+// Hex returns the canonical upper-case hex form (24 digits).
+func (c Code) Hex() string { return strings.ToUpper(hex.EncodeToString(c[:])) }
+
+// String implements fmt.Stringer.
+func (c Code) String() string { return c.Hex() }
+
+// ParseHex parses a 24-digit hex EPC.
+func ParseHex(s string) (Code, error) {
+	var c Code
+	b, err := hex.DecodeString(strings.TrimSpace(s))
+	if err != nil {
+		return c, fmt.Errorf("%w: %v", ErrBadEPC, err)
+	}
+	if len(b) != 12 {
+		return c, fmt.Errorf("%w: want 96 bits, got %d", ErrBadEPC, len(b)*8)
+	}
+	copy(c[:], b)
+	return c, nil
+}
+
+// Bits returns the code as a 96-bit string.
+func (c Code) Bits() *Bits { return BitsFromBytes(c[:]) }
+
+// CodeFromBits rebuilds a Code from a 96-bit string.
+func CodeFromBits(b *Bits) (Code, error) {
+	var c Code
+	if b.Len() != 96 {
+		return c, fmt.Errorf("%w: want 96 bits, got %d", ErrBadEPC, b.Len())
+	}
+	copy(c[:], b.Bytes())
+	return c, nil
+}
+
+// uint extracts w bits starting at bit offset.
+func (c Code) uint(offset, w int) uint64 { return c.Bits().Uint(offset, w) }
+
+// partitionEntry describes one row of a TDS partition table.
+type partitionEntry struct {
+	companyBits, companyDigits int
+	refBits, refDigits         int
+}
+
+// SGTIN-96 partition table: company prefix and (indicator + item reference).
+var sgtinPartitions = [7]partitionEntry{
+	{40, 12, 4, 1},
+	{37, 11, 7, 2},
+	{34, 10, 10, 3},
+	{30, 9, 14, 4},
+	{27, 8, 17, 5},
+	{24, 7, 20, 6},
+	{20, 6, 24, 7},
+}
+
+// SSCC-96 partition table: company prefix and (extension + serial reference).
+var ssccPartitions = [7]partitionEntry{
+	{40, 12, 18, 5},
+	{37, 11, 21, 6},
+	{34, 10, 24, 7},
+	{30, 9, 28, 8},
+	{27, 8, 31, 9},
+	{24, 7, 34, 10},
+	{20, 6, 38, 11},
+}
+
+func pow10(d int) uint64 {
+	v := uint64(1)
+	for i := 0; i < d; i++ {
+		v *= 10
+	}
+	return v
+}
+
+// SGTIN96 identifies a trade item instance: the scheme the paper's
+// case-level and item-level tagging scenarios use.
+type SGTIN96 struct {
+	Filter        uint8  // 3 bits: 1 = POS item, 2 = case, 3 = pallet, ...
+	CompanyDigits int    // length of the GS1 company prefix, 6..12 digits
+	Company       uint64 // company prefix value
+	ItemRef       uint64 // indicator digit + item reference
+	Serial        uint64 // 38-bit serial number
+}
+
+// Encode packs the SGTIN-96 into a Code.
+func (s SGTIN96) Encode() (Code, error) {
+	var c Code
+	if s.CompanyDigits < 6 || s.CompanyDigits > 12 {
+		return c, fmt.Errorf("%w: company prefix digits %d out of range [6,12]", ErrBadEPC, s.CompanyDigits)
+	}
+	p := 12 - s.CompanyDigits
+	e := sgtinPartitions[p]
+	if s.Filter > 7 {
+		return c, fmt.Errorf("%w: filter %d exceeds 3 bits", ErrBadEPC, s.Filter)
+	}
+	if s.Company >= pow10(e.companyDigits) {
+		return c, fmt.Errorf("%w: company %d exceeds %d digits", ErrBadEPC, s.Company, e.companyDigits)
+	}
+	if s.ItemRef >= pow10(e.refDigits) {
+		return c, fmt.Errorf("%w: item reference %d exceeds %d digits", ErrBadEPC, s.ItemRef, e.refDigits)
+	}
+	if s.Serial >= 1<<38 {
+		return c, fmt.Errorf("%w: serial %d exceeds 38 bits", ErrBadEPC, s.Serial)
+	}
+	b := &Bits{}
+	b.Append(HeaderSGTIN96, 8)
+	b.Append(uint64(s.Filter), 3)
+	b.Append(uint64(p), 3)
+	b.Append(s.Company, e.companyBits)
+	b.Append(s.ItemRef, e.refBits)
+	b.Append(s.Serial, 38)
+	return CodeFromBits(b)
+}
+
+// DecodeSGTIN96 unpacks an SGTIN-96 Code.
+func DecodeSGTIN96(c Code) (SGTIN96, error) {
+	if c.Header() != HeaderSGTIN96 {
+		return SGTIN96{}, fmt.Errorf("%w: header %#x is not SGTIN-96", ErrBadEPC, c.Header())
+	}
+	p := int(c.uint(11, 3))
+	if p > 6 {
+		return SGTIN96{}, fmt.Errorf("%w: partition %d out of range", ErrBadEPC, p)
+	}
+	e := sgtinPartitions[p]
+	s := SGTIN96{
+		Filter:        uint8(c.uint(8, 3)),
+		CompanyDigits: e.companyDigits,
+		Company:       c.uint(14, e.companyBits),
+		ItemRef:       c.uint(14+e.companyBits, e.refBits),
+		Serial:        c.uint(14+e.companyBits+e.refBits, 38),
+	}
+	if s.Company >= pow10(e.companyDigits) || s.ItemRef >= pow10(e.refDigits) {
+		return SGTIN96{}, fmt.Errorf("%w: field exceeds its decimal capacity", ErrBadEPC)
+	}
+	return s, nil
+}
+
+// URI returns the pure-identity URI, e.g.
+// urn:epc:id:sgtin:0614141.812345.6789.
+func (s SGTIN96) URI() string {
+	e := sgtinPartitions[12-s.CompanyDigits]
+	return fmt.Sprintf("urn:epc:id:sgtin:%0*d.%0*d.%d",
+		e.companyDigits, s.Company, e.refDigits, s.ItemRef, s.Serial)
+}
+
+// SSCC96 identifies a logistic unit (pallet/shipment).
+type SSCC96 struct {
+	Filter        uint8
+	CompanyDigits int
+	Company       uint64
+	SerialRef     uint64 // extension digit + serial reference
+}
+
+// Encode packs the SSCC-96 into a Code.
+func (s SSCC96) Encode() (Code, error) {
+	var c Code
+	if s.CompanyDigits < 6 || s.CompanyDigits > 12 {
+		return c, fmt.Errorf("%w: company prefix digits %d out of range [6,12]", ErrBadEPC, s.CompanyDigits)
+	}
+	p := 12 - s.CompanyDigits
+	e := ssccPartitions[p]
+	if s.Filter > 7 {
+		return c, fmt.Errorf("%w: filter %d exceeds 3 bits", ErrBadEPC, s.Filter)
+	}
+	if s.Company >= pow10(e.companyDigits) {
+		return c, fmt.Errorf("%w: company %d exceeds %d digits", ErrBadEPC, s.Company, e.companyDigits)
+	}
+	if s.SerialRef >= pow10(e.refDigits) || s.SerialRef >= 1<<uint(e.refBits) {
+		return c, fmt.Errorf("%w: serial reference %d exceeds %d digits", ErrBadEPC, s.SerialRef, e.refDigits)
+	}
+	b := &Bits{}
+	b.Append(HeaderSSCC96, 8)
+	b.Append(uint64(s.Filter), 3)
+	b.Append(uint64(p), 3)
+	b.Append(s.Company, e.companyBits)
+	b.Append(s.SerialRef, e.refBits)
+	b.Append(0, 24) // reserved
+	return CodeFromBits(b)
+}
+
+// DecodeSSCC96 unpacks an SSCC-96 Code.
+func DecodeSSCC96(c Code) (SSCC96, error) {
+	if c.Header() != HeaderSSCC96 {
+		return SSCC96{}, fmt.Errorf("%w: header %#x is not SSCC-96", ErrBadEPC, c.Header())
+	}
+	p := int(c.uint(11, 3))
+	if p > 6 {
+		return SSCC96{}, fmt.Errorf("%w: partition %d out of range", ErrBadEPC, p)
+	}
+	e := ssccPartitions[p]
+	s := SSCC96{
+		Filter:        uint8(c.uint(8, 3)),
+		CompanyDigits: e.companyDigits,
+		Company:       c.uint(14, e.companyBits),
+		SerialRef:     c.uint(14+e.companyBits, e.refBits),
+	}
+	if s.Company >= pow10(e.companyDigits) || s.SerialRef >= pow10(e.refDigits) {
+		return SSCC96{}, fmt.Errorf("%w: field exceeds its decimal capacity", ErrBadEPC)
+	}
+	return s, nil
+}
+
+// URI returns the pure-identity URI, e.g. urn:epc:id:sscc:0614141.1234567890.
+func (s SSCC96) URI() string {
+	e := ssccPartitions[12-s.CompanyDigits]
+	return fmt.Sprintf("urn:epc:id:sscc:%0*d.%0*d",
+		e.companyDigits, s.Company, e.refDigits, s.SerialRef)
+}
+
+// GID96 is the general-identifier scheme, used by the simulator for tags
+// that are not tied to a GS1 company prefix (badge tags, test tags).
+type GID96 struct {
+	Manager uint64 // 28 bits
+	Class   uint64 // 24 bits
+	Serial  uint64 // 36 bits
+}
+
+// Encode packs the GID-96 into a Code.
+func (g GID96) Encode() (Code, error) {
+	var c Code
+	if g.Manager >= 1<<28 {
+		return c, fmt.Errorf("%w: manager %d exceeds 28 bits", ErrBadEPC, g.Manager)
+	}
+	if g.Class >= 1<<24 {
+		return c, fmt.Errorf("%w: class %d exceeds 24 bits", ErrBadEPC, g.Class)
+	}
+	if g.Serial >= 1<<36 {
+		return c, fmt.Errorf("%w: serial %d exceeds 36 bits", ErrBadEPC, g.Serial)
+	}
+	b := &Bits{}
+	b.Append(HeaderGID96, 8)
+	b.Append(g.Manager, 28)
+	b.Append(g.Class, 24)
+	b.Append(g.Serial, 36)
+	return CodeFromBits(b)
+}
+
+// DecodeGID96 unpacks a GID-96 Code.
+func DecodeGID96(c Code) (GID96, error) {
+	if c.Header() != HeaderGID96 {
+		return GID96{}, fmt.Errorf("%w: header %#x is not GID-96", ErrBadEPC, c.Header())
+	}
+	return GID96{
+		Manager: c.uint(8, 28),
+		Class:   c.uint(36, 24),
+		Serial:  c.uint(60, 36),
+	}, nil
+}
+
+// URI returns the pure-identity URI, e.g. urn:epc:id:gid:95100000.12345.400.
+func (g GID96) URI() string {
+	return fmt.Sprintf("urn:epc:id:gid:%d.%d.%d", g.Manager, g.Class, g.Serial)
+}
+
+// URI renders any known 96-bit scheme as a pure-identity URI, falling back
+// to a raw form for unknown headers.
+func (c Code) URI() string {
+	switch c.Header() {
+	case HeaderSGTIN96:
+		if s, err := DecodeSGTIN96(c); err == nil {
+			return s.URI()
+		}
+	case HeaderSSCC96:
+		if s, err := DecodeSSCC96(c); err == nil {
+			return s.URI()
+		}
+	case HeaderGID96:
+		if g, err := DecodeGID96(c); err == nil {
+			return g.URI()
+		}
+	case HeaderGRAI96:
+		if g, err := DecodeGRAI96(c); err == nil {
+			return g.URI()
+		}
+	case HeaderSGLN96:
+		if s, err := DecodeSGLN96(c); err == nil {
+			return s.URI()
+		}
+	}
+	return "urn:epc:raw:96." + c.Hex()
+}
+
+// ParseURI parses a pure-identity URI of any scheme this package encodes
+// and returns the corresponding Code.
+func ParseURI(uri string) (Code, error) {
+	var c Code
+	rest, ok := strings.CutPrefix(uri, "urn:epc:id:")
+	if !ok {
+		return c, fmt.Errorf("%w: %q is not an EPC pure-identity URI", ErrBadEPC, uri)
+	}
+	scheme, body, ok := strings.Cut(rest, ":")
+	if !ok {
+		return c, fmt.Errorf("%w: missing scheme body in %q", ErrBadEPC, uri)
+	}
+	parts := strings.Split(body, ".")
+	field := func(i int) (uint64, int, error) {
+		v, err := strconv.ParseUint(parts[i], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: field %q: %v", ErrBadEPC, parts[i], err)
+		}
+		return v, len(parts[i]), nil
+	}
+	switch scheme {
+	case "sgtin":
+		if len(parts) != 3 {
+			return c, fmt.Errorf("%w: sgtin wants 3 fields, got %d", ErrBadEPC, len(parts))
+		}
+		company, cd, err := field(0)
+		if err != nil {
+			return c, err
+		}
+		item, _, err := field(1)
+		if err != nil {
+			return c, err
+		}
+		serial, _, err := field(2)
+		if err != nil {
+			return c, err
+		}
+		return SGTIN96{Filter: 1, CompanyDigits: cd, Company: company, ItemRef: item, Serial: serial}.Encode()
+	case "sscc":
+		if len(parts) != 2 {
+			return c, fmt.Errorf("%w: sscc wants 2 fields, got %d", ErrBadEPC, len(parts))
+		}
+		company, cd, err := field(0)
+		if err != nil {
+			return c, err
+		}
+		serial, _, err := field(1)
+		if err != nil {
+			return c, err
+		}
+		return SSCC96{Filter: 1, CompanyDigits: cd, Company: company, SerialRef: serial}.Encode()
+	case "gid":
+		if len(parts) != 3 {
+			return c, fmt.Errorf("%w: gid wants 3 fields, got %d", ErrBadEPC, len(parts))
+		}
+		manager, _, err := field(0)
+		if err != nil {
+			return c, err
+		}
+		class, _, err := field(1)
+		if err != nil {
+			return c, err
+		}
+		serial, _, err := field(2)
+		if err != nil {
+			return c, err
+		}
+		return GID96{Manager: manager, Class: class, Serial: serial}.Encode()
+	case "grai":
+		if len(parts) != 3 {
+			return c, fmt.Errorf("%w: grai wants 3 fields, got %d", ErrBadEPC, len(parts))
+		}
+		company, cd, err := field(0)
+		if err != nil {
+			return c, err
+		}
+		assetType, _, err := field(1)
+		if err != nil {
+			return c, err
+		}
+		serial, _, err := field(2)
+		if err != nil {
+			return c, err
+		}
+		return GRAI96{Filter: 1, CompanyDigits: cd, Company: company, AssetType: assetType, Serial: serial}.Encode()
+	case "sgln":
+		if len(parts) != 3 {
+			return c, fmt.Errorf("%w: sgln wants 3 fields, got %d", ErrBadEPC, len(parts))
+		}
+		company, cd, err := field(0)
+		if err != nil {
+			return c, err
+		}
+		locRef, _, err := field(1)
+		if err != nil {
+			return c, err
+		}
+		ext, _, err := field(2)
+		if err != nil {
+			return c, err
+		}
+		return SGLN96{Filter: 1, CompanyDigits: cd, Company: company, LocationRef: locRef, Extension: ext}.Encode()
+	default:
+		return c, fmt.Errorf("%w: unsupported scheme %q", ErrBadEPC, scheme)
+	}
+}

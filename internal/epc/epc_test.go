@@ -1,0 +1,252 @@
+package epc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSGTIN96KnownEncoding(t *testing.T) {
+	// The canonical TDS example: company 0614141 (7 digits), item 812345,
+	// serial 6789, filter 3 (unit load) → partition 5.
+	s := SGTIN96{Filter: 3, CompanyDigits: 7, Company: 614141, ItemRef: 812345, Serial: 6789}
+	c, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Hex(), "3074257BF7194E4000001A85"; got != want {
+		t.Errorf("Encode = %s, want %s", got, want)
+	}
+	back, err := DecodeSGTIN96(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("roundtrip = %+v, want %+v", back, s)
+	}
+	if got, want := s.URI(), "urn:epc:id:sgtin:0614141.812345.6789"; got != want {
+		t.Errorf("URI = %s, want %s", got, want)
+	}
+}
+
+func TestSGTIN96Validation(t *testing.T) {
+	base := SGTIN96{Filter: 1, CompanyDigits: 7, Company: 614141, ItemRef: 812345, Serial: 1}
+	tests := []struct {
+		name string
+		mut  func(*SGTIN96)
+	}{
+		{"company digits too small", func(s *SGTIN96) { s.CompanyDigits = 5 }},
+		{"company digits too big", func(s *SGTIN96) { s.CompanyDigits = 13 }},
+		{"filter overflow", func(s *SGTIN96) { s.Filter = 8 }},
+		{"company overflow", func(s *SGTIN96) { s.Company = 10_000_000 }},
+		{"item overflow", func(s *SGTIN96) { s.ItemRef = 1_000_000 }},
+		{"serial overflow", func(s *SGTIN96) { s.Serial = 1 << 38 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := base
+			tt.mut(&s)
+			if _, err := s.Encode(); !errors.Is(err, ErrBadEPC) {
+				t.Errorf("err = %v, want ErrBadEPC", err)
+			}
+		})
+	}
+	if _, err := base.Encode(); err != nil {
+		t.Errorf("base should encode: %v", err)
+	}
+}
+
+func TestSGTIN96RoundTripProperty(t *testing.T) {
+	f := func(filter uint8, cd uint8, company, item, serial uint64) bool {
+		digits := int(cd%7) + 6 // 6..12
+		e := sgtinPartitions[12-digits]
+		s := SGTIN96{
+			Filter:        filter % 8,
+			CompanyDigits: digits,
+			Company:       company % pow10(e.companyDigits),
+			ItemRef:       item % pow10(e.refDigits),
+			Serial:        serial % (1 << 38),
+		}
+		c, err := s.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := DecodeSGTIN96(c)
+		return err == nil && back == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSCC96RoundTrip(t *testing.T) {
+	s := SSCC96{Filter: 2, CompanyDigits: 7, Company: 614141, SerialRef: 1234567890}
+	c, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Header() != HeaderSSCC96 {
+		t.Fatalf("header = %#x", c.Header())
+	}
+	back, err := DecodeSSCC96(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("roundtrip = %+v, want %+v", back, s)
+	}
+	if got, want := s.URI(), "urn:epc:id:sscc:0614141.1234567890"; got != want {
+		t.Errorf("URI = %s, want %s", got, want)
+	}
+	// Reserved bits must be zero.
+	if c.uint(72, 24) != 0 {
+		t.Error("reserved bits not zero")
+	}
+}
+
+func TestSSCC96RoundTripProperty(t *testing.T) {
+	f := func(filter uint8, cd uint8, company, serial uint64) bool {
+		digits := int(cd%7) + 6
+		e := ssccPartitions[12-digits]
+		max := pow10(e.refDigits)
+		if lim := uint64(1) << uint(e.refBits); lim < max {
+			max = lim
+		}
+		s := SSCC96{
+			Filter:        filter % 8,
+			CompanyDigits: digits,
+			Company:       company % pow10(e.companyDigits),
+			SerialRef:     serial % max,
+		}
+		c, err := s.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := DecodeSSCC96(c)
+		return err == nil && back == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGID96RoundTrip(t *testing.T) {
+	g := GID96{Manager: 95100000, Class: 12345, Serial: 400}
+	c, err := g.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeGID96(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != g {
+		t.Errorf("roundtrip = %+v, want %+v", back, g)
+	}
+	if got, want := g.URI(), "urn:epc:id:gid:95100000.12345.400"; got != want {
+		t.Errorf("URI = %s, want %s", got, want)
+	}
+}
+
+func TestGID96Validation(t *testing.T) {
+	for _, g := range []GID96{
+		{Manager: 1 << 28},
+		{Class: 1 << 24},
+		{Serial: 1 << 36},
+	} {
+		if _, err := g.Encode(); !errors.Is(err, ErrBadEPC) {
+			t.Errorf("%+v: err = %v, want ErrBadEPC", g, err)
+		}
+	}
+}
+
+func TestGID96RoundTripProperty(t *testing.T) {
+	f := func(m, cl, s uint64) bool {
+		g := GID96{Manager: m % (1 << 28), Class: cl % (1 << 24), Serial: s % (1 << 36)}
+		c, err := g.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := DecodeGID96(c)
+		return err == nil && back == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseHex(t *testing.T) {
+	c, err := ParseHex("3074257BF7194E4000001A85")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Header() != HeaderSGTIN96 {
+		t.Errorf("header = %#x", c.Header())
+	}
+	for _, bad := range []string{"", "zz", "3074257BF7194E4000001A", "3074257BF7194E4000001A85FF"} {
+		if _, err := ParseHex(bad); !errors.Is(err, ErrBadEPC) {
+			t.Errorf("ParseHex(%q) err = %v, want ErrBadEPC", bad, err)
+		}
+	}
+}
+
+func TestCodeBitsRoundTrip(t *testing.T) {
+	c, _ := ParseHex("3074257BF7194E4000001A85")
+	back, err := CodeFromBits(c.Bits())
+	if err != nil || back != c {
+		t.Errorf("bits roundtrip = %v, %v", back, err)
+	}
+	short := NewBits(1, 64)
+	short.Append(0, 31)
+	if _, err := CodeFromBits(short); !errors.Is(err, ErrBadEPC) {
+		t.Error("CodeFromBits accepted 95 bits")
+	}
+}
+
+func TestCodeURIDispatch(t *testing.T) {
+	sg, _ := SGTIN96{Filter: 1, CompanyDigits: 6, Company: 123456, ItemRef: 1234567, Serial: 42}.Encode()
+	if !strings.HasPrefix(sg.URI(), "urn:epc:id:sgtin:") {
+		t.Errorf("sgtin URI = %s", sg.URI())
+	}
+	gid, _ := GID96{Manager: 1, Class: 2, Serial: 3}.Encode()
+	if got, want := gid.URI(), "urn:epc:id:gid:1.2.3"; got != want {
+		t.Errorf("gid URI = %s, want %s", got, want)
+	}
+	var unknown Code
+	unknown[0] = 0xFF
+	if !strings.HasPrefix(unknown.URI(), "urn:epc:raw:96.") {
+		t.Errorf("unknown URI = %s", unknown.URI())
+	}
+}
+
+func TestParseURI(t *testing.T) {
+	tests := []string{
+		"urn:epc:id:sgtin:0614141.812345.6789",
+		"urn:epc:id:sscc:0614141.1234567890",
+		"urn:epc:id:gid:95100000.12345.400",
+	}
+	for _, uri := range tests {
+		c, err := ParseURI(uri)
+		if err != nil {
+			t.Errorf("ParseURI(%q): %v", uri, err)
+			continue
+		}
+		if got := c.URI(); got != uri {
+			t.Errorf("roundtrip %q -> %q", uri, got)
+		}
+	}
+	for _, bad := range []string{
+		"urn:epc:id:sgtin:1.2",     // wrong arity
+		"urn:epc:id:sscc:1.2.3",    // wrong arity
+		"urn:epc:id:unknown:1.2.3", // unknown scheme
+		"http://example.com",       // not a URN
+		"urn:epc:id:gid:x.2.3",     // non-numeric
+		"urn:epc:id:sgtinmissing",  // no colon body
+		"urn:epc:id:gid:1.2.3.4",   // wrong arity
+	} {
+		if _, err := ParseURI(bad); !errors.Is(err, ErrBadEPC) {
+			t.Errorf("ParseURI(%q) err = %v, want ErrBadEPC", bad, err)
+		}
+	}
+}

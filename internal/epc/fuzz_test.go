@@ -1,0 +1,100 @@
+package epc
+
+import (
+	"testing"
+)
+
+// Fuzz targets: the decoders must never panic and every accepted input
+// must round-trip consistently. `go test` runs the seed corpus; use
+// `go test -fuzz=FuzzParseURI ./internal/epc` to explore further.
+
+func FuzzParseHex(f *testing.F) {
+	f.Add("3074257BF7194E4000001A85")
+	f.Add("")
+	f.Add("zz")
+	f.Add("3074257bf7194e4000001a85")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseHex(s)
+		if err != nil {
+			return
+		}
+		// Accepted hex must round-trip through the canonical form.
+		back, err := ParseHex(c.Hex())
+		if err != nil || back != c {
+			t.Fatalf("roundtrip broke: %q -> %v -> %v (%v)", s, c, back, err)
+		}
+	})
+}
+
+func FuzzParseURI(f *testing.F) {
+	f.Add("urn:epc:id:sgtin:0614141.812345.6789")
+	f.Add("urn:epc:id:sscc:0614141.1234567890")
+	f.Add("urn:epc:id:gid:95100000.12345.400")
+	f.Add("urn:epc:id:grai:0614141.12345.400")
+	f.Add("urn:epc:id:sgln:0614141.12345.400")
+	f.Add("urn:epc:id:sgtin:..")
+	f.Add("urn:epc:id:gid:-1.2.3")
+	f.Add("urn:epc:id:sgtin:99999999999999999999.1.1")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseURI(s)
+		if err != nil {
+			return
+		}
+		// Whatever parses must re-encode to a URI that parses to the same
+		// code.
+		uri := c.URI()
+		back, err := ParseURI(uri)
+		if err != nil {
+			t.Fatalf("generated URI %q does not parse: %v", uri, err)
+		}
+		if back != c {
+			t.Fatalf("roundtrip changed the code: %q -> %v vs %v", s, c, back)
+		}
+	})
+}
+
+func FuzzDecodeSchemes(f *testing.F) {
+	sg, _ := SGTIN96{Filter: 1, CompanyDigits: 7, Company: 614141, ItemRef: 1, Serial: 1}.Encode()
+	f.Add(sg[:])
+	f.Add(make([]byte, 12))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) != 12 {
+			return
+		}
+		var c Code
+		copy(c[:], raw)
+		// None of the decoders may panic; successful decodes must re-encode
+		// to the same bits.
+		if s, err := DecodeSGTIN96(c); err == nil {
+			if back, err := s.Encode(); err != nil || back != c {
+				t.Fatalf("SGTIN re-encode mismatch: %v vs %v (%v)", c, back, err)
+			}
+		}
+		if s, err := DecodeSSCC96(c); err == nil {
+			back, err := s.Encode()
+			if err != nil {
+				t.Fatalf("SSCC re-encode failed: %v", err)
+			}
+			// The reserved 24 bits are zeroed on re-encode; compare the rest.
+			if back.Hex()[:18] != c.Hex()[:18] {
+				t.Fatalf("SSCC re-encode mismatch: %v vs %v", c, back)
+			}
+		}
+		if g, err := DecodeGID96(c); err == nil {
+			if back, err := g.Encode(); err != nil || back != c {
+				t.Fatalf("GID re-encode mismatch: %v vs %v (%v)", c, back, err)
+			}
+		}
+		if g, err := DecodeGRAI96(c); err == nil {
+			if back, err := g.Encode(); err != nil || back != c {
+				t.Fatalf("GRAI re-encode mismatch: %v vs %v (%v)", c, back, err)
+			}
+		}
+		if s, err := DecodeSGLN96(c); err == nil {
+			if back, err := s.Encode(); err != nil || back != c {
+				t.Fatalf("SGLN re-encode mismatch: %v vs %v (%v)", c, back, err)
+			}
+		}
+		_ = c.URI() // must never panic
+	})
+}

@@ -1,0 +1,189 @@
+package epc
+
+import "fmt"
+
+// Additional TDS schemes used by tracking deployments: GRAI-96 for
+// returnable assets (the carts, totes and pallets the paper's portals
+// watch) and SGLN-96 for the physical locations the back-end maps
+// sightings onto.
+
+// Scheme headers.
+const (
+	HeaderGRAI96 = 0x33
+	HeaderSGLN96 = 0x32
+)
+
+// GRAI-96 partition table: company prefix and asset type.
+var graiPartitions = [7]partitionEntry{
+	{40, 12, 4, 0},
+	{37, 11, 7, 1},
+	{34, 10, 10, 2},
+	{30, 9, 14, 3},
+	{27, 8, 17, 4},
+	{24, 7, 20, 5},
+	{20, 6, 24, 6},
+}
+
+// SGLN-96 partition table: company prefix and location reference.
+var sglnPartitions = [7]partitionEntry{
+	{40, 12, 1, 0},
+	{37, 11, 4, 1},
+	{34, 10, 7, 2},
+	{30, 9, 11, 3},
+	{27, 8, 14, 4},
+	{24, 7, 17, 5},
+	{20, 6, 21, 6},
+}
+
+// GRAI96 identifies an individual returnable asset.
+type GRAI96 struct {
+	Filter        uint8
+	CompanyDigits int
+	Company       uint64
+	AssetType     uint64
+	Serial        uint64 // 38 bits
+}
+
+// Encode packs the GRAI-96 into a Code.
+func (g GRAI96) Encode() (Code, error) {
+	var c Code
+	if g.CompanyDigits < 6 || g.CompanyDigits > 12 {
+		return c, fmt.Errorf("%w: company prefix digits %d out of range [6,12]", ErrBadEPC, g.CompanyDigits)
+	}
+	p := 12 - g.CompanyDigits
+	e := graiPartitions[p]
+	if g.Filter > 7 {
+		return c, fmt.Errorf("%w: filter %d exceeds 3 bits", ErrBadEPC, g.Filter)
+	}
+	if g.Company >= pow10(e.companyDigits) {
+		return c, fmt.Errorf("%w: company %d exceeds %d digits", ErrBadEPC, g.Company, e.companyDigits)
+	}
+	if e.refDigits == 0 && g.AssetType != 0 {
+		return c, fmt.Errorf("%w: asset type must be 0 with a 12-digit company prefix", ErrBadEPC)
+	}
+	if e.refDigits > 0 && g.AssetType >= pow10(e.refDigits) {
+		return c, fmt.Errorf("%w: asset type %d exceeds %d digits", ErrBadEPC, g.AssetType, e.refDigits)
+	}
+	if g.Serial >= 1<<38 {
+		return c, fmt.Errorf("%w: serial %d exceeds 38 bits", ErrBadEPC, g.Serial)
+	}
+	b := &Bits{}
+	b.Append(HeaderGRAI96, 8)
+	b.Append(uint64(g.Filter), 3)
+	b.Append(uint64(p), 3)
+	b.Append(g.Company, e.companyBits)
+	b.Append(g.AssetType, e.refBits)
+	b.Append(g.Serial, 38)
+	return CodeFromBits(b)
+}
+
+// DecodeGRAI96 unpacks a GRAI-96 Code.
+func DecodeGRAI96(c Code) (GRAI96, error) {
+	if c.Header() != HeaderGRAI96 {
+		return GRAI96{}, fmt.Errorf("%w: header %#x is not GRAI-96", ErrBadEPC, c.Header())
+	}
+	p := int(c.uint(11, 3))
+	if p > 6 {
+		return GRAI96{}, fmt.Errorf("%w: partition %d out of range", ErrBadEPC, p)
+	}
+	e := graiPartitions[p]
+	g := GRAI96{
+		Filter:        uint8(c.uint(8, 3)),
+		CompanyDigits: e.companyDigits,
+		Company:       c.uint(14, e.companyBits),
+		AssetType:     c.uint(14+e.companyBits, e.refBits),
+		Serial:        c.uint(14+e.companyBits+e.refBits, 38),
+	}
+	if g.Company >= pow10(e.companyDigits) || (e.refDigits > 0 && g.AssetType >= pow10(e.refDigits)) {
+		return GRAI96{}, fmt.Errorf("%w: field exceeds its decimal capacity", ErrBadEPC)
+	}
+	if e.refDigits == 0 && g.AssetType != 0 {
+		// A zero-digit asset-type field can only legally hold zero.
+		return GRAI96{}, fmt.Errorf("%w: asset type bits set with a 12-digit company prefix", ErrBadEPC)
+	}
+	return g, nil
+}
+
+// URI returns the pure-identity URI, e.g. urn:epc:id:grai:0614141.12345.400.
+func (g GRAI96) URI() string {
+	e := graiPartitions[12-g.CompanyDigits]
+	return fmt.Sprintf("urn:epc:id:grai:%0*d.%0*d.%d",
+		e.companyDigits, g.Company, e.refDigits, g.AssetType, g.Serial)
+}
+
+// SGLN96 identifies a physical location (with an optional extension for
+// sub-locations).
+type SGLN96 struct {
+	Filter        uint8
+	CompanyDigits int
+	Company       uint64
+	LocationRef   uint64
+	Extension     uint64 // 41 bits
+}
+
+// Encode packs the SGLN-96 into a Code.
+func (s SGLN96) Encode() (Code, error) {
+	var c Code
+	if s.CompanyDigits < 6 || s.CompanyDigits > 12 {
+		return c, fmt.Errorf("%w: company prefix digits %d out of range [6,12]", ErrBadEPC, s.CompanyDigits)
+	}
+	p := 12 - s.CompanyDigits
+	e := sglnPartitions[p]
+	if s.Filter > 7 {
+		return c, fmt.Errorf("%w: filter %d exceeds 3 bits", ErrBadEPC, s.Filter)
+	}
+	if s.Company >= pow10(e.companyDigits) {
+		return c, fmt.Errorf("%w: company %d exceeds %d digits", ErrBadEPC, s.Company, e.companyDigits)
+	}
+	if e.refDigits == 0 && s.LocationRef != 0 {
+		return c, fmt.Errorf("%w: location reference must be 0 with a 12-digit company prefix", ErrBadEPC)
+	}
+	if e.refDigits > 0 && s.LocationRef >= pow10(e.refDigits) {
+		return c, fmt.Errorf("%w: location reference %d exceeds %d digits", ErrBadEPC, s.LocationRef, e.refDigits)
+	}
+	if s.Extension >= 1<<41 {
+		return c, fmt.Errorf("%w: extension %d exceeds 41 bits", ErrBadEPC, s.Extension)
+	}
+	b := &Bits{}
+	b.Append(HeaderSGLN96, 8)
+	b.Append(uint64(s.Filter), 3)
+	b.Append(uint64(p), 3)
+	b.Append(s.Company, e.companyBits)
+	b.Append(s.LocationRef, e.refBits)
+	b.Append(s.Extension, 41)
+	return CodeFromBits(b)
+}
+
+// DecodeSGLN96 unpacks an SGLN-96 Code.
+func DecodeSGLN96(c Code) (SGLN96, error) {
+	if c.Header() != HeaderSGLN96 {
+		return SGLN96{}, fmt.Errorf("%w: header %#x is not SGLN-96", ErrBadEPC, c.Header())
+	}
+	p := int(c.uint(11, 3))
+	if p > 6 {
+		return SGLN96{}, fmt.Errorf("%w: partition %d out of range", ErrBadEPC, p)
+	}
+	e := sglnPartitions[p]
+	s := SGLN96{
+		Filter:        uint8(c.uint(8, 3)),
+		CompanyDigits: e.companyDigits,
+		Company:       c.uint(14, e.companyBits),
+		LocationRef:   c.uint(14+e.companyBits, e.refBits),
+		Extension:     c.uint(14+e.companyBits+e.refBits, 41),
+	}
+	if s.Company >= pow10(e.companyDigits) || (e.refDigits > 0 && s.LocationRef >= pow10(e.refDigits)) {
+		return SGLN96{}, fmt.Errorf("%w: field exceeds its decimal capacity", ErrBadEPC)
+	}
+	if e.refDigits == 0 && s.LocationRef != 0 {
+		// A zero-digit location-reference field can only legally hold zero.
+		return SGLN96{}, fmt.Errorf("%w: location reference bits set with a 12-digit company prefix", ErrBadEPC)
+	}
+	return s, nil
+}
+
+// URI returns the pure-identity URI, e.g. urn:epc:id:sgln:0614141.12345.400.
+func (s SGLN96) URI() string {
+	e := sglnPartitions[12-s.CompanyDigits]
+	return fmt.Sprintf("urn:epc:id:sgln:%0*d.%0*d.%d",
+		e.companyDigits, s.Company, e.refDigits, s.LocationRef, s.Extension)
+}

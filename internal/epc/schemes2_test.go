@@ -1,0 +1,163 @@
+package epc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestGRAI96RoundTrip(t *testing.T) {
+	g := GRAI96{Filter: 3, CompanyDigits: 7, Company: 614141, AssetType: 12345, Serial: 400}
+	c, err := g.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Header() != HeaderGRAI96 {
+		t.Fatalf("header = %#x", c.Header())
+	}
+	back, err := DecodeGRAI96(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != g {
+		t.Errorf("roundtrip = %+v, want %+v", back, g)
+	}
+	if got, want := g.URI(), "urn:epc:id:grai:0614141.12345.400"; got != want {
+		t.Errorf("URI = %s, want %s", got, want)
+	}
+	if got := c.URI(); got != g.URI() {
+		t.Errorf("Code.URI dispatch = %s", got)
+	}
+}
+
+func TestGRAI96Validation(t *testing.T) {
+	base := GRAI96{Filter: 1, CompanyDigits: 7, Company: 614141, AssetType: 1, Serial: 1}
+	tests := []struct {
+		name string
+		mut  func(*GRAI96)
+	}{
+		{"digits low", func(g *GRAI96) { g.CompanyDigits = 5 }},
+		{"digits high", func(g *GRAI96) { g.CompanyDigits = 13 }},
+		{"filter", func(g *GRAI96) { g.Filter = 9 }},
+		{"company overflow", func(g *GRAI96) { g.Company = 10_000_000 }},
+		{"asset type overflow", func(g *GRAI96) { g.AssetType = 100_000 }},
+		{"serial overflow", func(g *GRAI96) { g.Serial = 1 << 38 }},
+		{"asset type with 12-digit company", func(g *GRAI96) { g.CompanyDigits = 12; g.Company = 1; g.AssetType = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := base
+			tt.mut(&g)
+			if _, err := g.Encode(); !errors.Is(err, ErrBadEPC) {
+				t.Errorf("err = %v, want ErrBadEPC", err)
+			}
+		})
+	}
+}
+
+func TestGRAI96RoundTripProperty(t *testing.T) {
+	f := func(filter, cd uint8, company, assetType, serial uint64) bool {
+		digits := int(cd%7) + 6
+		e := graiPartitions[12-digits]
+		g := GRAI96{
+			Filter:        filter % 8,
+			CompanyDigits: digits,
+			Company:       company % pow10(e.companyDigits),
+			Serial:        serial % (1 << 38),
+		}
+		if e.refDigits > 0 {
+			g.AssetType = assetType % pow10(e.refDigits)
+		}
+		c, err := g.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := DecodeGRAI96(c)
+		return err == nil && back == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSGLN96RoundTrip(t *testing.T) {
+	s := SGLN96{Filter: 1, CompanyDigits: 7, Company: 614141, LocationRef: 12345, Extension: 400}
+	c, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Header() != HeaderSGLN96 {
+		t.Fatalf("header = %#x", c.Header())
+	}
+	back, err := DecodeSGLN96(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("roundtrip = %+v, want %+v", back, s)
+	}
+	if got, want := s.URI(), "urn:epc:id:sgln:0614141.12345.400"; got != want {
+		t.Errorf("URI = %s, want %s", got, want)
+	}
+}
+
+func TestSGLN96Validation(t *testing.T) {
+	if _, err := (SGLN96{CompanyDigits: 7, Company: 1, Extension: 1 << 41}).Encode(); !errors.Is(err, ErrBadEPC) {
+		t.Error("extension overflow accepted")
+	}
+	if _, err := (SGLN96{CompanyDigits: 12, Company: 1, LocationRef: 5}).Encode(); !errors.Is(err, ErrBadEPC) {
+		t.Error("location ref with 12-digit company accepted")
+	}
+	if _, err := (SGLN96{CompanyDigits: 7, Company: 1, LocationRef: 100_000}).Encode(); !errors.Is(err, ErrBadEPC) {
+		t.Error("location ref overflow accepted")
+	}
+}
+
+func TestSGLN96RoundTripProperty(t *testing.T) {
+	f := func(filter, cd uint8, company, locRef, ext uint64) bool {
+		digits := int(cd%7) + 6
+		e := sglnPartitions[12-digits]
+		s := SGLN96{
+			Filter:        filter % 8,
+			CompanyDigits: digits,
+			Company:       company % pow10(e.companyDigits),
+			Extension:     ext % (1 << 41),
+		}
+		if e.refDigits > 0 {
+			s.LocationRef = locRef % pow10(e.refDigits)
+		}
+		c, err := s.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := DecodeSGLN96(c)
+		return err == nil && back == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseURINewSchemes(t *testing.T) {
+	for _, uri := range []string{
+		"urn:epc:id:grai:0614141.12345.400",
+		"urn:epc:id:sgln:0614141.12345.400",
+	} {
+		c, err := ParseURI(uri)
+		if err != nil {
+			t.Errorf("ParseURI(%q): %v", uri, err)
+			continue
+		}
+		if got := c.URI(); got != uri {
+			t.Errorf("roundtrip %q -> %q", uri, got)
+		}
+	}
+	for _, bad := range []string{
+		"urn:epc:id:grai:1.2",
+		"urn:epc:id:sgln:1.2.3.4",
+	} {
+		if _, err := ParseURI(bad); !errors.Is(err, ErrBadEPC) {
+			t.Errorf("ParseURI(%q) err = %v", bad, err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package estimate implements framed-slotted-ALOHA cardinality estimation
+// (the fast estimation schemes of Kodialam & Nandagopal, the paper's
+// reference [9]): inferring how many tags are present from one inventory
+// round's slot statistics — empties, singletons, collisions — without
+// singulating everyone. Useful both as a reader-side Q seed and as a
+// cheap presence count for portals too busy to read every tag.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rfidtrack/internal/gen2"
+)
+
+// Estimation errors.
+var (
+	// ErrNoSlots is returned for rounds with no slot observations.
+	ErrNoSlots = errors.New("estimate: no slots observed")
+	// ErrSaturated is returned when the statistic carries no upper-bound
+	// information (e.g. every slot collided).
+	ErrSaturated = errors.New("estimate: statistic saturated")
+)
+
+// FromEmpties is the zero estimator (ZE): with n tags uniformly choosing
+// among f slots, E[empty fraction] = (1-1/f)^n ≈ e^(-n/f), so
+// n̂ = -f·ln(z/f).
+func FromEmpties(slots, empties int) (float64, error) {
+	if slots <= 0 {
+		return 0, ErrNoSlots
+	}
+	if empties < 0 || empties > slots {
+		return 0, fmt.Errorf("estimate: %d empties out of %d slots", empties, slots)
+	}
+	if empties == 0 {
+		return 0, fmt.Errorf("%w: no empty slots", ErrSaturated)
+	}
+	f := float64(slots)
+	return -f * math.Log(float64(empties)/f), nil
+}
+
+// FromCollisions is the collision estimator (CE): with load ρ = n/f,
+// E[collision fraction] = 1 − (1+ρ)e^(−ρ). The expectation is monotone in
+// ρ, so it inverts by bisection.
+func FromCollisions(slots, collisions int) (float64, error) {
+	if slots <= 0 {
+		return 0, ErrNoSlots
+	}
+	if collisions < 0 || collisions > slots {
+		return 0, fmt.Errorf("estimate: %d collisions out of %d slots", collisions, slots)
+	}
+	if collisions == slots {
+		return 0, fmt.Errorf("%w: every slot collided", ErrSaturated)
+	}
+	target := float64(collisions) / float64(slots)
+	if target == 0 {
+		return 0, nil
+	}
+	frac := func(rho float64) float64 { return 1 - (1+rho)*math.Exp(-rho) }
+	lo, hi := 0.0, 1.0
+	for frac(hi) < target {
+		hi *= 2
+		if hi > 1e6 {
+			return 0, fmt.Errorf("%w: collision fraction %.3f not invertible", ErrSaturated, target)
+		}
+	}
+	for i := 0; i < 128; i++ {
+		mid := (lo + hi) / 2
+		if frac(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2 * float64(slots), nil
+}
+
+// FromSingletons inverts E[singleton fraction] = ρ·e^(−ρ). The curve
+// peaks at ρ=1 (fraction 1/e), so the observation is ambiguous; pick the
+// branch using whether collisions outnumber empties (high load) or not.
+func FromSingletons(slots, singles int, highLoad bool) (float64, error) {
+	if slots <= 0 {
+		return 0, ErrNoSlots
+	}
+	if singles < 0 || singles > slots {
+		return 0, fmt.Errorf("estimate: %d singles out of %d slots", singles, slots)
+	}
+	target := float64(singles) / float64(slots)
+	if target > 1/math.E {
+		// Above the theoretical maximum: the sample is extreme; report the
+		// peak load.
+		return float64(slots), nil
+	}
+	if target == 0 {
+		if highLoad {
+			return 0, fmt.Errorf("%w: no singletons under high load", ErrSaturated)
+		}
+		return 0, nil
+	}
+	f := func(rho float64) float64 { return rho * math.Exp(-rho) }
+	var lo, hi float64
+	if highLoad {
+		lo, hi = 1, 1
+		for f(hi) > target {
+			hi *= 2
+			if hi > 1e6 {
+				return 0, ErrSaturated
+			}
+		}
+		for i := 0; i < 128; i++ {
+			mid := (lo + hi) / 2
+			if f(mid) > target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	} else {
+		lo, hi = 0, 1
+		for i := 0; i < 128; i++ {
+			mid := (lo + hi) / 2
+			if f(mid) < target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	return (lo + hi) / 2 * float64(slots), nil
+}
+
+// Estimate is a combined population estimate from one round.
+type Estimate struct {
+	// N is the estimated tag count.
+	N float64
+	// Basis names the statistic the estimate used.
+	Basis string
+}
+
+// FromRound estimates the population that participated in an inventory
+// round from its slot statistics, preferring the zero estimator and
+// falling back to collisions when no slot stayed empty.
+func FromRound(res gen2.Result) (Estimate, error) {
+	if res.Slots <= 0 {
+		return Estimate{}, ErrNoSlots
+	}
+	if n, err := FromEmpties(res.Slots, res.Empties); err == nil {
+		return Estimate{N: n, Basis: "empties"}, nil
+	}
+	n, err := FromCollisions(res.Slots, res.Collisions)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{N: n, Basis: "collisions"}, nil
+}
+
+// String implements fmt.Stringer.
+func (e Estimate) String() string {
+	return fmt.Sprintf("~%.1f tags (from %s)", e.N, e.Basis)
+}

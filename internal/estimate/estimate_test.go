@@ -1,0 +1,191 @@
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/gen2"
+	"rfidtrack/internal/tagsim"
+	"rfidtrack/internal/xrand"
+)
+
+func TestFromEmptiesInvertsExpectation(t *testing.T) {
+	// Plug the exact expectation back in: z = f·e^(-n/f) must recover n.
+	for _, tc := range []struct{ f, n int }{{64, 10}, {128, 50}, {256, 256}, {512, 100}} {
+		z := float64(tc.f) * math.Exp(-float64(tc.n)/float64(tc.f))
+		got, err := FromEmpties(tc.f, int(math.Round(z)))
+		if err != nil {
+			t.Fatalf("f=%d n=%d: %v", tc.f, tc.n, err)
+		}
+		if rel := math.Abs(got-float64(tc.n)) / float64(tc.n); rel > 0.1 {
+			t.Errorf("f=%d n=%d: estimate %.1f (%.0f%% off)", tc.f, tc.n, got, rel*100)
+		}
+	}
+}
+
+func TestFromEmptiesEdges(t *testing.T) {
+	if _, err := FromEmpties(0, 0); !errors.Is(err, ErrNoSlots) {
+		t.Error("zero slots accepted")
+	}
+	if _, err := FromEmpties(16, -1); err == nil {
+		t.Error("negative empties accepted")
+	}
+	if _, err := FromEmpties(16, 17); err == nil {
+		t.Error("empties > slots accepted")
+	}
+	if _, err := FromEmpties(16, 0); !errors.Is(err, ErrSaturated) {
+		t.Error("saturation not reported")
+	}
+	// Every slot empty: zero tags.
+	if n, err := FromEmpties(16, 16); err != nil || n != 0 {
+		t.Errorf("all-empty = %v, %v", n, err)
+	}
+}
+
+func TestFromCollisionsInvertsExpectation(t *testing.T) {
+	for _, tc := range []struct{ f, n int }{{64, 20}, {128, 100}, {256, 400}} {
+		rho := float64(tc.n) / float64(tc.f)
+		c := float64(tc.f) * (1 - (1+rho)*math.Exp(-rho))
+		got, err := FromCollisions(tc.f, int(math.Round(c)))
+		if err != nil {
+			t.Fatalf("f=%d n=%d: %v", tc.f, tc.n, err)
+		}
+		if rel := math.Abs(got-float64(tc.n)) / float64(tc.n); rel > 0.15 {
+			t.Errorf("f=%d n=%d: estimate %.1f (%.0f%% off)", tc.f, tc.n, got, rel*100)
+		}
+	}
+}
+
+func TestFromCollisionsEdges(t *testing.T) {
+	if _, err := FromCollisions(0, 0); !errors.Is(err, ErrNoSlots) {
+		t.Error("zero slots accepted")
+	}
+	if n, err := FromCollisions(32, 0); err != nil || n != 0 {
+		t.Errorf("no collisions = %v, %v", n, err)
+	}
+	if _, err := FromCollisions(32, 32); !errors.Is(err, ErrSaturated) {
+		t.Error("all-collided not reported as saturated")
+	}
+	if _, err := FromCollisions(32, 40); err == nil {
+		t.Error("collisions > slots accepted")
+	}
+}
+
+func TestFromSingletons(t *testing.T) {
+	// Low load: rho=0.5 -> fraction 0.303.
+	f := 128
+	singles := int(math.Round(0.5 * math.Exp(-0.5) * float64(f)))
+	got, err := FromSingletons(f, singles, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5*float64(f)) > 0.1*float64(f) {
+		t.Errorf("low-load estimate = %v, want ~%v", got, 0.5*float64(f))
+	}
+	// High load: rho=3 -> fraction 0.149; the high branch must be chosen.
+	singles = int(math.Round(3 * math.Exp(-3) * float64(f)))
+	got, err = FromSingletons(f, singles, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3*float64(f)) > 0.2*3*float64(f) {
+		t.Errorf("high-load estimate = %v, want ~%v", got, 3*float64(f))
+	}
+	// Above-peak observations clamp to the peak.
+	if got, err := FromSingletons(100, 50, false); err != nil || got != 100 {
+		t.Errorf("above-peak = %v, %v", got, err)
+	}
+	// Zero singles.
+	if got, err := FromSingletons(100, 0, false); err != nil || got != 0 {
+		t.Errorf("zero singles low-load = %v, %v", got, err)
+	}
+	if _, err := FromSingletons(100, 0, true); !errors.Is(err, ErrSaturated) {
+		t.Error("zero singles high-load should be saturated")
+	}
+	if _, err := FromSingletons(0, 0, false); !errors.Is(err, ErrNoSlots) {
+		t.Error("zero slots accepted")
+	}
+}
+
+func TestEstimatorsAgainstRealRounds(t *testing.T) {
+	// Monte-Carlo with the actual Gen-2 engine: fixed-Q rounds (so the
+	// frame statistics match the framed-ALOHA model) over real tags.
+	parent := xrand.New(7)
+	for _, n := range []int{8, 24, 60} {
+		var estSum float64
+		const rounds = 30
+		used := 0
+		for r := 0; r < rounds; r++ {
+			parts := make([]gen2.Participant, n)
+			for i := range parts {
+				code, err := epc.GID96{Manager: 9, Class: uint64(n), Serial: uint64(r*1000 + i)}.Encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tag := tagsim.New(code, parent.Split(fmt.Sprintf("t/%d/%d/%d", n, r, i)))
+				tag.SetPower(true, 0)
+				parts[i] = gen2.Participant{Tag: tag, ForwardOK: true, ReverseOK: true}
+			}
+			cfg := gen2.DefaultConfig()
+			cfg.Adaptive = false
+			cfg.InitialQ = 7 // 128-slot frame
+			res := gen2.RunRound(cfg, parts, 0)
+			// Only the first frame's statistics fit the model; reads shrink
+			// the population as the round proceeds, so allow generous error.
+			est, err := FromRound(res)
+			if err != nil {
+				continue
+			}
+			estSum += est.N
+			used++
+		}
+		if used == 0 {
+			t.Fatalf("n=%d: no usable rounds", n)
+		}
+		mean := estSum / float64(used)
+		if rel := math.Abs(mean-float64(n)) / float64(n); rel > 0.35 {
+			t.Errorf("n=%d: mean estimate %.1f (%.0f%% off)", n, mean, rel*100)
+		}
+	}
+}
+
+func TestFromRoundBasisSelection(t *testing.T) {
+	// Empties available: ZE used.
+	e, err := FromRound(gen2.Result{Slots: 64, Empties: 30, Collisions: 10})
+	if err != nil || e.Basis != "empties" {
+		t.Errorf("basis = %+v, %v", e, err)
+	}
+	// No empties: falls back to collisions.
+	e, err = FromRound(gen2.Result{Slots: 64, Empties: 0, Collisions: 20})
+	if err != nil || e.Basis != "collisions" {
+		t.Errorf("fallback basis = %+v, %v", e, err)
+	}
+	if _, err := FromRound(gen2.Result{}); !errors.Is(err, ErrNoSlots) {
+		t.Error("empty result accepted")
+	}
+	if s := e.String(); s == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestZeroEstimatorMonotoneProperty(t *testing.T) {
+	// Fewer empty slots must never decrease the estimate.
+	f := func(a, b uint8) bool {
+		slots := 64
+		e1 := int(a)%slots + 1
+		e2 := int(b)%slots + 1
+		if e1 > e2 {
+			e1, e2 = e2, e1
+		}
+		n1, err1 := FromEmpties(slots, e1)
+		n2, err2 := FromEmpties(slots, e2)
+		return err1 == nil && err2 == nil && n1 >= n2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

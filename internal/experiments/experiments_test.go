@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fast are the options used throughout: few trials, fixed seed. The shape
+// checks embedded in the runners still operate; the heavyweight assertions
+// on actual values live in the integration test for table1/table2.
+var fast = Options{Seed: 1, Trials: 6}
+
+func TestRegistryAndIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry()) {
+		t.Fatal("IDs out of sync with Registry")
+	}
+	for _, want := range []string{"fig2", "fig4", "table1", "table2", "table3", "table4", "table5", "fig5", "fig6", "fig7", "readers", "ablations", "extensions", "throughput"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+	// Stable order.
+	again := IDs()
+	for i := range ids {
+		if ids[i] != again[i] {
+			t.Fatal("IDs order not stable")
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nonsense", fast); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestOptionsTrials(t *testing.T) {
+	if got := (Options{}).trials(12); got != 12 {
+		t.Errorf("default trials = %d", got)
+	}
+	if got := (Options{Trials: 3}).trials(12); got != 3 {
+		t.Errorf("override trials = %d", got)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res, err := Fig2ReadRange(Options{Seed: 1, Trials: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 9 {
+		t.Fatalf("fig2 rows = %d, want 9 distances", len(res.Tables[0].Rows))
+	}
+	assertShapeReproduced(t, res)
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4InterTag(Options{Seed: 1, Trials: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables[0].Rows) != 6 {
+		t.Fatalf("fig4 rows = %d, want 6 orientations", len(res.Tables[0].Rows))
+	}
+	assertShapeReproduced(t, res)
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1ObjectLocations(Options{Seed: 1, Trials: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 locations + the 6-face average.
+	if len(res.Tables[0].Rows) != 5 {
+		t.Fatalf("table1 rows = %d", len(res.Tables[0].Rows))
+	}
+	assertShapeReproduced(t, res)
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2HumanLocations(Options{Seed: 1, Trials: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables[0].Rows) != 4 {
+		t.Fatalf("table2 rows = %d", len(res.Tables[0].Rows))
+	}
+	assertShapeReproduced(t, res)
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3ObjectRedundancy(Options{Seed: 1, Trials: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables[0].Rows) != 5 {
+		t.Fatalf("table3 rows = %d", len(res.Tables[0].Rows))
+	}
+}
+
+func TestTable4And5Run(t *testing.T) {
+	for _, f := range []Runner{Table4HumanRedundancy1Ant, Table5HumanRedundancy2Ant} {
+		res, err := f(fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tables) == 0 || len(res.Tables[0].Rows) == 0 {
+			t.Fatalf("%s produced no rows", res.ID)
+		}
+	}
+}
+
+func TestFigs567Run(t *testing.T) {
+	for _, f := range []Runner{Fig5ObjectRedundancy, Fig6OneSubject, Fig7TwoSubjects} {
+		res, err := f(fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tables[0].Rows) < 4 {
+			t.Fatalf("%s rows = %d", res.ID, len(res.Tables[0].Rows))
+		}
+	}
+}
+
+func TestReaderRedundancyShape(t *testing.T) {
+	res, err := ReaderRedundancy(Options{Seed: 1, Trials: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShapeReproduced(t, res)
+}
+
+func TestExtensionsRun(t *testing.T) {
+	res, err := Extensions(Options{Seed: 1, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 5 {
+		t.Fatalf("extensions tables = %d, want 5", len(res.Tables))
+	}
+	// Active tags must dominate passive in every row of extension 1.
+	for _, row := range res.Tables[0].Rows {
+		if len(row) == 3 && row[1] > row[2] && row[2] != "100%" {
+			t.Errorf("active (%s) not better than passive (%s) for %s", row[2], row[1], row[0])
+		}
+	}
+}
+
+func TestThroughputShape(t *testing.T) {
+	res, err := Throughput(Options{Seed: 1, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables[0].Rows) != 6 {
+		t.Fatalf("throughput rows = %d", len(res.Tables[0].Rows))
+	}
+	assertShapeReproduced(t, res)
+}
+
+func TestAblationsRun(t *testing.T) {
+	res, err := Ablations(Options{Seed: 1, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 4 {
+		t.Fatalf("ablations tables = %d, want 4", len(res.Tables))
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, err := Fig2ReadRange(Options{Seed: 1, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"== fig2", "Figure 2", "note:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("result string missing %q", want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Table1ObjectLocations(Options{Seed: 7, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1ObjectLocations(Options{Seed: 7, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different results")
+	}
+	c, err := Table1ObjectLocations(Options{Seed: 8, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+// assertShapeReproduced fails the test when a runner flagged a shape
+// deviation from the paper.
+func assertShapeReproduced(t *testing.T, res *Result) {
+	t.Helper()
+	for _, n := range res.Notes {
+		if strings.Contains(n, "SHAPE DEVIATION") {
+			t.Errorf("%s: %s", res.ID, n)
+		}
+	}
+}

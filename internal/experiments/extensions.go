@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rfidtrack/internal/core"
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/estimate"
+	"rfidtrack/internal/gen2"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/landmarc"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/redundancy"
+	"rfidtrack/internal/report"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/scenario"
+	"rfidtrack/internal/tagsim"
+	"rfidtrack/internal/world"
+	"rfidtrack/internal/xrand"
+)
+
+// Extensions runs the paper's stated future work and the cited-substrate
+// algorithms built on this simulator:
+//
+//  1. active tags ("future extensions of this work involve experimenting
+//     with active tags") on the worst human-tracking cases;
+//  2. dual-dipole tag designs ("tag reliability for different tag
+//     designs") on the fatal Figure-3 orientations;
+//  3. population estimation from slot statistics (reference [9]);
+//  4. LANDMARC active-tag localization (reference [11]);
+//  5. the placement planner built on the paper's R_C model.
+func Extensions(opt Options) (*Result, error) {
+	res := &Result{ID: "extensions", Title: "Future-work extensions"}
+	t1, err := extActiveTags(opt)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := extDualDipole(opt)
+	if err != nil {
+		return nil, err
+	}
+	t3, err := extEstimation(opt)
+	if err != nil {
+		return nil, err
+	}
+	t4, err := extLandmarc(opt)
+	if err != nil {
+		return nil, err
+	}
+	t5, err := extPlanner(opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Tables = []report.Table{*t1, *t2, *t3, *t4, *t5}
+	return res, nil
+}
+
+// extActiveTags re-runs the worst human-tracking cases with battery
+// (active) tags in place of passive labels.
+func extActiveTags(opt Options) (*report.Table, error) {
+	trials := opt.trials(20)
+	table := &report.Table{
+		Title:   "Extension 1 — passive vs active tags (worst human cases)",
+		Columns: []string{"case", "passive", "active"},
+	}
+	cases := []struct {
+		label    string
+		subjects int
+		loc      scenario.HumanLocation
+		who      string
+	}{
+		{"far-side badge, 1 subject", 1, scenario.HumanSideOut, ""},
+		{"farther subject, front badge", 2, scenario.HumanFront, "farther/"},
+	}
+	for i, c := range cases {
+		passive, err := humanCaseReliability(opt, c.subjects, c.loc, c.who, false, trials, 1000+uint64(i)*10)
+		if err != nil {
+			return nil, err
+		}
+		active, err := humanCaseReliability(opt, c.subjects, c.loc, c.who, true, trials, 1001+uint64(i)*10)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(c.label, report.Percent(passive), report.Percent(active))
+	}
+	return table, nil
+}
+
+// humanCaseReliability builds a human-tracking portal and, when active is
+// set, swaps every badge for an active tag at the same mount.
+func humanCaseReliability(opt Options, subjects int, loc scenario.HumanLocation, who string, active bool, trials int, seedOff uint64) (float64, error) {
+	portal, err := scenario.HumanTracking(scenario.HumanConfig{
+		Subjects: subjects, TagLocations: []scenario.HumanLocation{loc},
+		Antennas: 1, Seed: opt.Seed + seedOff,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if active {
+		portal, err = rebuildWithActiveTags(portal, opt.Seed+seedOff)
+		if err != nil {
+			return 0, err
+		}
+	}
+	rel := portal.Measure(trials, 0)
+	return rel.MeanTagReliability(func(n string) bool {
+		return who == "" || strings.HasPrefix(n, who)
+	}), nil
+}
+
+// rebuildWithActiveTags reconstructs a portal's world with every passive
+// tag replaced by an active one at the identical mount.
+func rebuildWithActiveTags(p *core.Portal, seed uint64) (*core.Portal, error) {
+	w := world.New(p.World.Cal, seed)
+	carrierMap := map[world.Carrier]world.Carrier{}
+	for _, c := range p.World.Carriers() {
+		switch cc := c.(type) {
+		case *world.Box:
+			carrierMap[c] = w.AddBox(cc.Name(), cc.Path, cc.Size, cc.Surface, cc.Content, cc.ContentSize)
+		case *world.Person:
+			carrierMap[c] = w.AddPerson(cc.Name(), cc.Path, cc.Height, cc.Radius)
+		}
+	}
+	for _, tag := range p.World.Tags() {
+		w.AttachActiveTag(carrierMap[tag.Carrier()], tag.Name, tag.Code, tag.Mount)
+	}
+	var ants []*world.Antenna
+	for _, a := range p.World.Antennas() {
+		ants = append(ants, w.AddAntenna(a.Name, a.Pose))
+	}
+	r, err := reader.New("r1", w, ants)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}
+
+// extDualDipole re-runs the fatal Figure-3 orientations (dipole pointing
+// at the antenna) with dual-dipole tags.
+func extDualDipole(opt Options) (*report.Table, error) {
+	trials := opt.trials(10)
+	table := &report.Table{
+		Title:   "Extension 2 — dual-dipole tags on the fatal orientations (tags read of 10, 20 mm spacing)",
+		Columns: []string{"orientation", "single dipole", "dual dipole"},
+	}
+	for _, o := range []scenario.Orientation{scenario.Orient1, scenario.Orient5} {
+		single, err := scenario.InterTag(0.020, o, opt.Seed+1100+uint64(o))
+		if err != nil {
+			return nil, err
+		}
+		sMean := single.Measure(trials, 0).ReadSummary().Mean
+
+		dual, err := scenario.InterTag(0.020, o, opt.Seed+1100+uint64(o))
+		if err != nil {
+			return nil, err
+		}
+		// Give every tag a second, orthogonal dipole in its face plane.
+		for _, tag := range dual.World.Tags() {
+			tag.Mount.Axis2 = tag.Mount.Normal.Cross(tag.Mount.Axis).Unit()
+		}
+		dMean := dual.Measure(trials, 0).ReadSummary().Mean
+		table.AddRow(fmt.Sprintf("case %d", o), report.Num(sMean), report.Num(dMean))
+	}
+	return table, nil
+}
+
+// extEstimation compares slot-statistics population estimates against the
+// true count across population sizes.
+func extEstimation(opt Options) (*report.Table, error) {
+	table := &report.Table{
+		Title:   "Extension 3 — population estimation from one 128-slot frame",
+		Columns: []string{"true tags", "mean estimate", "mean |error|"},
+	}
+	parent := xrand.New(opt.Seed + 1200)
+	for _, n := range []int{8, 32, 96} {
+		var sum, errSum float64
+		const rounds = 20
+		used := 0
+		for r := 0; r < rounds; r++ {
+			parts := make([]gen2.Participant, n)
+			for i := range parts {
+				code, err := epc.GID96{Manager: 8, Class: uint64(n), Serial: uint64(r*1000 + i)}.Encode()
+				if err != nil {
+					return nil, err
+				}
+				tag := tagsim.New(code, parent.Split(fmt.Sprintf("est/%d/%d/%d", n, r, i)))
+				tag.SetPower(true, 0)
+				parts[i] = gen2.Participant{Tag: tag, ForwardOK: true, ReverseOK: true}
+			}
+			cfg := gen2.DefaultConfig()
+			cfg.Adaptive = false
+			cfg.InitialQ = 7
+			res := gen2.RunRound(cfg, parts, 0)
+			est, err := estimate.FromRound(res)
+			if err != nil {
+				continue
+			}
+			sum += est.N
+			if d := est.N - float64(n); d >= 0 {
+				errSum += d
+			} else {
+				errSum -= d
+			}
+			used++
+		}
+		if used == 0 {
+			table.AddRow(fmt.Sprintf("%d", n), "saturated", "-")
+			continue
+		}
+		table.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", sum/float64(used)),
+			fmt.Sprintf("%.1f", errSum/float64(used)))
+	}
+	return table, nil
+}
+
+// extLandmarc measures LANDMARC localization error in a simulated room.
+func extLandmarc(opt Options) (*report.Table, error) {
+	table := &report.Table{
+		Title:   "Extension 4 — LANDMARC localization (6x6 m room, 16 references, 4 antennas)",
+		Columns: []string{"k", "median error", "max error"},
+	}
+	w := world.New(rf.DefaultCalibration(), opt.Seed+1300)
+	var ants []*world.Antenna
+	corners := []geom.Vec3{{X: 0, Y: 0, Z: 2}, {X: 6, Y: 0, Z: 2}, {X: 0, Y: 6, Z: 2}, {X: 6, Y: 6, Z: 2}}
+	for i, c := range corners {
+		ants = append(ants, w.AddAntenna(fmt.Sprintf("a%d", i),
+			geom.NewPose(c, geom.V(3, 3, 1).Sub(c), geom.UnitZ)))
+	}
+	attach := func(name string, pos geom.Vec3, class, serial uint64) (*world.Tag, error) {
+		mountBox := w.AddBox(name+"-mount",
+			geom.StaticPath{Pose: geom.NewPose(pos, geom.UnitX, geom.UnitZ)},
+			geom.V(0.05, 0.05, 0.05), rf.Plastic, rf.Air, geom.Vec3{})
+		code, err := epc.GID96{Manager: 7, Class: class, Serial: serial}.Encode()
+		if err != nil {
+			return nil, err
+		}
+		return w.AttachActiveTag(mountBox, name, code, world.Mount{
+			Normal: geom.UnitZ, Axis: geom.UnitX, Axis2: geom.UnitY, Gap: 0.1,
+		}), nil
+	}
+	var refs []*world.Tag
+	n := 0
+	for gx := 0; gx < 4; gx++ {
+		for gy := 0; gy < 4; gy++ {
+			tag, err := attach(fmt.Sprintf("ref%02d", n), geom.V(0.75+float64(gx)*1.5, 0.75+float64(gy)*1.5, 1), 1, uint64(n))
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, tag)
+			n++
+		}
+	}
+	targets := []geom.Vec3{
+		{X: 1.5, Y: 1.5, Z: 1}, {X: 3, Y: 3, Z: 1}, {X: 4.5, Y: 2.25, Z: 1},
+		{X: 2.25, Y: 4.5, Z: 1}, {X: 5, Y: 5, Z: 1},
+	}
+	var targetTags []*world.Tag
+	for i, pos := range targets {
+		tag, err := attach(fmt.Sprintf("target%d", i), pos, 2, uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		targetTags = append(targetTags, tag)
+	}
+	for _, k := range []int{1, 4, 8} {
+		est, err := landmarc.Survey(w, refs, ants, k, 0, 8)
+		if err != nil {
+			return nil, err
+		}
+		var errsM []float64
+		for i, tag := range targetTags {
+			got, _, err := est.Locate(landmarc.Collect(w, tag, ants, 1+i, 8))
+			if err != nil {
+				return nil, err
+			}
+			errsM = append(errsM, got.Dist(targets[i]))
+		}
+		sort.Float64s(errsM)
+		table.AddRow(fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.2f m", errsM[len(errsM)/2]),
+			fmt.Sprintf("%.2f m", errsM[len(errsM)-1]))
+	}
+	return table, nil
+}
+
+// extPlanner demonstrates the placement planner on the paper's Table 1
+// singles.
+func extPlanner(opt Options) (*report.Table, error) {
+	trials := opt.trials(12)
+	singles, err := measureObjectSingles(opt, trials)
+	if err != nil {
+		return nil, err
+	}
+	pool := []redundancy.Candidate{
+		{Name: "front", P: singles[scenario.LocFront], Cost: 1},
+		{Name: "back", P: singles[scenario.LocFront], Cost: 1},
+		{Name: "side-closer", P: singles[scenario.LocSideIn], Cost: 1},
+		{Name: "side-farther", P: singles[scenario.LocSideOut], Cost: 1},
+		{Name: "top", P: singles[scenario.LocTop], Cost: 1},
+		{Name: "bottom", P: singles[scenario.LocTop], Cost: 1},
+	}
+	table := &report.Table{
+		Title:   "Extension 5 — placement planning from measured singles (unit tag cost)",
+		Columns: []string{"target", "plan", "predicted R_C"},
+	}
+	for _, target := range []float64{0.95, 0.99, 0.999} {
+		plan, err := redundancy.PlanPlacement(pool, target, 0)
+		if err != nil {
+			table.AddRow(report.Percent(target), "unreachable", "-")
+			continue
+		}
+		names := make([]string, len(plan.Chosen))
+		for i, c := range plan.Chosen {
+			names[i] = c.Name
+		}
+		sort.Strings(names)
+		table.AddRow(report.Percent(target), strings.Join(names, " + "), report.Percent(plan.Reliability))
+	}
+	return table, nil
+}

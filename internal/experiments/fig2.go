@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/report"
+	"rfidtrack/internal/scenario"
+)
+
+// Fig2ReadRange reproduces Figure 2: twenty tags in a plane grid facing a
+// single antenna, one read per trial, forty trials per distance from 1 m
+// to 9 m. The paper reports 100% at 1 m with a gradual decline between
+// 2 m and 9 m.
+func Fig2ReadRange(opt Options) (*Result, error) {
+	trials := opt.trials(40)
+	table := report.Table{
+		Title:   "Figure 2 — read reliability vs. antenna distance (tags read of 20)",
+		Columns: []string{"distance", "mean", "lower quartile", "upper quartile", "reliability"},
+	}
+	series := make([]float64, 0, 9)
+	for d := 1; d <= 9; d++ {
+		portal, err := scenario.ReadRange(float64(d), opt.Seed+uint64(d)*1000)
+		if err != nil {
+			return nil, err
+		}
+		rel := portal.Measure(trials, 0)
+		s := rel.ReadSummary()
+		table.AddRow(
+			fmt.Sprintf("%d m", d),
+			report.Num(s.Mean),
+			report.Num(s.Q1),
+			report.Num(s.Q3),
+			report.Percent(s.Mean/20),
+		)
+		series = append(series, s.Mean/20)
+	}
+	res := &Result{
+		ID:     "fig2",
+		Title:  "Read range (20-tag grid, single reads)",
+		Tables: []report.Table{table},
+	}
+	// The paper's shape: saturated at 1 m, monotone-ish gradual decline.
+	if series[0] > 0.97 && series[8] < 0.35 {
+		res.Notes = append(res.Notes,
+			"shape reproduced: ~100% at 1 m declining gradually toward 9 m (paper: 100% at 1 m, gradual drop 2–9 m)")
+	} else {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("SHAPE DEVIATION: 1 m=%s, 9 m=%s (paper: 100%% at 1 m, near-floor at 9 m)",
+				report.Percent(series[0]), report.Percent(series[8])))
+	}
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/report"
+	"rfidtrack/internal/scenario"
+)
+
+// fig4Spacings are the inter-tag distances the paper tested, in meters.
+var fig4Spacings = []float64{0.0003, 0.004, 0.010, 0.020, 0.040}
+
+// Fig4InterTag reproduces Figure 4 (with the Figure 3 orientations): ten
+// parallel tags on a cardboard box carted past the antenna, for five
+// inter-tag spacings and six orientations, at least ten passes each. The
+// paper finds tags need 20–40 mm spacing and that orientations 1 and 5
+// (dipole pointing at the antenna) are far worse than the rest.
+func Fig4InterTag(opt Options) (*Result, error) {
+	trials := opt.trials(10)
+	table := report.Table{
+		Title:   "Figure 4 — tags read (of 10) by orientation and inter-tag distance",
+		Columns: []string{"orientation", "0.3 mm", "4 mm", "10 mm", "20 mm", "40 mm"},
+	}
+	quartiles := report.Table{
+		Title:   "Figure 4 — lower/upper quartiles",
+		Columns: []string{"orientation", "0.3 mm", "4 mm", "10 mm", "20 mm", "40 mm"},
+	}
+	means := make(map[scenario.Orientation][]float64)
+	for o := scenario.Orient1; o <= scenario.Orient6; o++ {
+		row := []string{fmt.Sprintf("case %d", o)}
+		qrow := []string{fmt.Sprintf("case %d", o)}
+		for si, spacing := range fig4Spacings {
+			portal, err := scenario.InterTag(spacing, o, opt.Seed+uint64(o)*100+uint64(si))
+			if err != nil {
+				return nil, err
+			}
+			rel := portal.Measure(trials, 0)
+			s := rel.ReadSummary()
+			row = append(row, report.Num(s.Mean))
+			qrow = append(qrow, fmt.Sprintf("%s/%s", report.Num(s.Q1), report.Num(s.Q3)))
+			means[o] = append(means[o], s.Mean)
+		}
+		table.Rows = append(table.Rows, row)
+		quartiles.Rows = append(quartiles.Rows, qrow)
+	}
+	res := &Result{
+		ID:     "fig4",
+		Title:  "Inter-tag distance and tag orientation (10 tags on a cart)",
+		Tables: []report.Table{table, quartiles},
+	}
+
+	// Shape checks: the perpendicular orientations (1 and 5) must be the
+	// worst at every spacing, and the good orientations must be near 10/10
+	// by 20–40 mm while collapsing at near-contact spacing.
+	goodAt40 := minOver(means, []scenario.Orientation{2, 3, 4, 6}, 4)
+	badAt40 := maxOver(means, []scenario.Orientation{1, 5}, 4)
+	goodAtContact := maxOver(means, []scenario.Orientation{2, 3, 4, 6}, 0)
+	switch {
+	case goodAt40 < 9:
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"SHAPE DEVIATION: good orientations read %.1f/10 at 40 mm (paper: ~10)", goodAt40))
+	case badAt40 > goodAt40:
+		res.Notes = append(res.Notes,
+			"SHAPE DEVIATION: perpendicular orientations not worst at 40 mm")
+	case goodAtContact > 6:
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"SHAPE DEVIATION: near-contact spacing still reads %.1f/10 (paper: heavy interference)", goodAtContact))
+	default:
+		res.Notes = append(res.Notes,
+			"shape reproduced: 20–40 mm minimum safe spacing; orientations 1 and 5 (dipole toward antenna) are the unreliable ones")
+	}
+	return res, nil
+}
+
+func minOver(m map[scenario.Orientation][]float64, os []scenario.Orientation, idx int) float64 {
+	best := 10.0
+	for _, o := range os {
+		if v := m[o][idx]; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func maxOver(m map[scenario.Orientation][]float64, os []scenario.Orientation, idx int) float64 {
+	worst := 0.0
+	for _, o := range os {
+		if v := m[o][idx]; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

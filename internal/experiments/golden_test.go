@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"rfidtrack/internal/scenario"
+	"rfidtrack/internal/stats"
+	"rfidtrack/internal/xrand"
+)
+
+// Golden regression tests: the calibrated simulator's single-opportunity
+// reliabilities must stay within bands of the paper's published values.
+// These run more trials than the paper did (to suppress sampling noise)
+// and are skipped under -short.
+
+// band asserts |got - want| <= tol, in percentage points.
+func band(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol/100 {
+		t.Errorf("%s = %.0f%%, want %.0f%% ± %.0f pts", name, 100*got, 100*want, tol)
+	}
+}
+
+func TestGoldenTable1Bands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden calibration check; skipped with -short")
+	}
+	singles, err := measureObjectSingles(Options{Seed: 12345}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: front 87, side-closer 83, side-farther 63, top 29.
+	band(t, "front", singles[scenario.LocFront], 0.87, 12)
+	band(t, "side-closer", singles[scenario.LocSideIn], 0.83, 12)
+	band(t, "side-farther", singles[scenario.LocSideOut], 0.63, 15)
+	band(t, "top", singles[scenario.LocTop], 0.29, 15)
+}
+
+func TestGoldenTable2Bands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden calibration check; skipped with -short")
+	}
+	s, err := measureHumanSingles(Options{Seed: 54321}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: F/B 75, side-closer 90, side-farther 10; two-subject farther
+	// average 38.
+	band(t, "front/back", fb(s.one), 0.75, 15)
+	band(t, "side-closer", s.one[scenario.HumanSideIn], 0.90, 12)
+	band(t, "side-farther", s.one[scenario.HumanSideOut], 0.10, 12)
+	fartherAvg := (2*fb(s.farther) + s.farther[scenario.HumanSideIn] + s.farther[scenario.HumanSideOut]) / 4
+	band(t, "two-subject farther avg", fartherAvg, 0.38, 15)
+	// The reflection quirk: the closer subject's F/B must not fall below a
+	// lone subject's.
+	if fb(s.closer) < fb(s.one)-0.08 {
+		t.Errorf("closer subject (%.0f%%) fell below lone subject (%.0f%%)",
+			100*fb(s.closer), 100*fb(s.one))
+	}
+}
+
+func TestGoldenReliabilityConfidence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden calibration check; skipped with -short")
+	}
+	// The bootstrap CI over per-pass read counts for the Fig. 2 grid at
+	// 1 m must sit at the top of the scale (the paper's 100% cell).
+	portal, err := scenario.ReadRange(1, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := portal.Measure(40, 0)
+	lo, hi := stats.Bootstrap(rel.TagsReadPerPass, 400, 0.95, xrand.New(1))
+	if lo < 19 || hi > 20 {
+		t.Errorf("1 m read-count CI [%v, %v], want pinned near 20/20", lo, hi)
+	}
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rfidtrack/internal/redundancy"
+	"rfidtrack/internal/report"
+	"rfidtrack/internal/scenario"
+)
+
+// paperTable1 is the paper's Table 1 (read reliability for tags on
+// objects).
+var paperTable1 = map[scenario.BoxLocation]float64{
+	scenario.LocFront:   0.87,
+	scenario.LocSideIn:  0.83,
+	scenario.LocSideOut: 0.63,
+	scenario.LocTop:     0.29,
+}
+
+// measureObjectSingles measures the per-location single-tag, single-
+// antenna reliabilities of the twelve-box experiment.
+func measureObjectSingles(opt Options, trials int) (map[scenario.BoxLocation]float64, error) {
+	out := make(map[scenario.BoxLocation]float64, 4)
+	for i, loc := range scenario.BoxLocations() {
+		portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
+			TagLocations: []scenario.BoxLocation{loc},
+			Antennas:     1,
+			Seed:         opt.Seed + 10 + uint64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[loc] = portal.Measure(trials, 0).MeanTagReliability(nil)
+	}
+	return out, nil
+}
+
+// Table1ObjectLocations reproduces Table 1: twelve router boxes on a cart,
+// one tag per box at each candidate location, twelve passes.
+func Table1ObjectLocations(opt Options) (*Result, error) {
+	trials := opt.trials(12)
+	singles, err := measureObjectSingles(opt, trials)
+	if err != nil {
+		return nil, err
+	}
+	table := report.Table{
+		Title:   "Table 1 — read reliability for tags on objects",
+		Columns: []string{"tag location", "measured", "paper"},
+	}
+	for _, loc := range scenario.BoxLocations() {
+		table.AddRow(string(loc), report.Percent(singles[loc]), report.Percent(paperTable1[loc]))
+	}
+	// The paper averages over all six faces assuming front≈back and
+	// top≈bottom.
+	avg := (2*singles[scenario.LocFront] + singles[scenario.LocSideIn] +
+		singles[scenario.LocSideOut] + 2*singles[scenario.LocTop]) / 6
+	table.AddRow("average (6 faces)", report.Percent(avg), report.Percent(0.63))
+
+	res := &Result{
+		ID:     "table1",
+		Title:  "Tag location on objects (12 router boxes)",
+		Tables: []report.Table{table},
+	}
+	if singles[scenario.LocTop] < singles[scenario.LocSideOut] &&
+		singles[scenario.LocSideOut] < singles[scenario.LocSideIn] &&
+		singles[scenario.LocFront] > 0.7 {
+		res.Notes = append(res.Notes,
+			"shape reproduced: top is catastrophic, far side well below near side, front/near-side good — avoiding the worst location dominates")
+	} else {
+		res.Notes = append(res.Notes, "SHAPE DEVIATION: location ordering differs from the paper")
+	}
+	return res, nil
+}
+
+// objectRedundancyRow is one Table 3 configuration.
+type objectRedundancyRow struct {
+	label    string
+	antennas int
+	tags     []scenario.BoxLocation
+	// calc computes R_C from the measured singles.
+	calc  func(s map[scenario.BoxLocation]float64) float64
+	paper [2]float64 // measured, calculated in the paper
+}
+
+// Table3ObjectRedundancy reproduces Table 3: redundancy for object
+// tracking — two antennas per portal, two tags per object, and both.
+// R_C is computed from this run's measured singles exactly as the paper
+// computes it from its Section 3 measurements.
+func Table3ObjectRedundancy(opt Options) (*Result, error) {
+	trials := opt.trials(12)
+	singles, err := measureObjectSingles(opt, trials)
+	if err != nil {
+		return nil, err
+	}
+	pf := singles[scenario.LocFront]
+	pin := singles[scenario.LocSideIn]
+	pout := singles[scenario.LocSideOut]
+
+	rows := []objectRedundancyRow{
+		{
+			label: "2 antennas, 1 tag: front", antennas: 2,
+			tags: []scenario.BoxLocation{scenario.LocFront},
+			// The front face offers the same opportunity to both antennas.
+			calc:  func(map[scenario.BoxLocation]float64) float64 { return redundancy.Combined(pf, pf) },
+			paper: [2]float64{0.92, 0.98},
+		},
+		{
+			label: "2 antennas, 1 tag: side", antennas: 2,
+			tags: []scenario.BoxLocation{scenario.LocSideIn},
+			// A side tag faces one antenna and is shadowed from the other.
+			calc:  func(map[scenario.BoxLocation]float64) float64 { return redundancy.Combined(pin, pout) },
+			paper: [2]float64{0.79, 0.94},
+		},
+		{
+			label: "1 antenna, 2 tags: front + side (good)", antennas: 1,
+			tags:  []scenario.BoxLocation{scenario.LocFront, scenario.LocSideIn},
+			calc:  func(map[scenario.BoxLocation]float64) float64 { return redundancy.Combined(pf, pin) },
+			paper: [2]float64{0.97, 0.98},
+		},
+		{
+			label: "1 antenna, 2 tags: front + side (bad)", antennas: 1,
+			tags:  []scenario.BoxLocation{scenario.LocFront, scenario.LocSideOut},
+			calc:  func(map[scenario.BoxLocation]float64) float64 { return redundancy.Combined(pf, pout) },
+			paper: [2]float64{0.96, 0.95},
+		},
+		{
+			label: "2 antennas, 2 tags: front + side", antennas: 2,
+			tags: []scenario.BoxLocation{scenario.LocFront, scenario.LocSideIn},
+			calc: func(map[scenario.BoxLocation]float64) float64 {
+				return redundancy.Combined(pf, pf, pin, pout)
+			},
+			paper: [2]float64{1.00, 0.999},
+		},
+	}
+
+	table := report.Table{
+		Title:   "Table 3 — redundancy for object tracking",
+		Columns: []string{"configuration", "R_M (measured)", "R_C (calculated)", "paper R_M", "paper R_C"},
+	}
+	measured := make(map[string]float64, len(rows))
+	for i, row := range rows {
+		portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
+			TagLocations: row.tags,
+			Antennas:     row.antennas,
+			Seed:         opt.Seed + 100 + uint64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rm := portal.Measure(trials, 0).MeanCarrierReliability(nil)
+		rc := row.calc(singles)
+		measured[row.label] = rm
+		table.AddRow(row.label,
+			report.Percent(rm), report.Percent(rc),
+			report.Percent(row.paper[0]), report.Percent(row.paper[1]))
+	}
+
+	res := &Result{
+		ID:     "table3",
+		Title:  "Object tracking with redundancy",
+		Tables: []report.Table{table},
+	}
+	// The paper's two structural findings: tag-level redundancy tracks the
+	// independence model closely, antenna-level redundancy falls short of
+	// it (correlated failures through the shared tag).
+	antGap := redundancy.Gap(measured["2 antennas, 1 tag: side"], pin, pout)
+	tagGap := redundancy.Gap(measured["1 antenna, 2 tags: front + side (good)"], pf, pin)
+	if antGap > tagGap && tagGap < 0.08 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"shape reproduced: tag redundancy ≈ independence model (gap %.0f pts) while antenna redundancy underperforms it (gap %.0f pts) — the paper's Table 3 asymmetry",
+			100*tagGap, 100*antGap))
+	} else {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"SHAPE DEVIATION: antenna gap %.0f pts vs tag gap %.0f pts (paper: antenna ≫ tag)",
+			100*antGap, 100*tagGap))
+	}
+	return res, nil
+}
+
+// Fig5ObjectRedundancy reproduces Figure 5: the measured-vs-calculated
+// bars for the four object-tracking configurations.
+func Fig5ObjectRedundancy(opt Options) (*Result, error) {
+	trials := opt.trials(12)
+	singles, err := measureObjectSingles(opt, trials)
+	if err != nil {
+		return nil, err
+	}
+	pf := singles[scenario.LocFront]
+	pin := singles[scenario.LocSideIn]
+	pout := singles[scenario.LocSideOut]
+	// The paper's "1 antenna, 1 tag" bar is the average object-tracking
+	// reliability over the usable locations (~80% in the paper).
+	base := (pf + pin + pout) / 3
+
+	type bar struct {
+		label    string
+		antennas int
+		tags     []scenario.BoxLocation
+		rc       float64
+	}
+	bars := []bar{
+		{"1 antenna, 1 tag", 1, []scenario.BoxLocation{scenario.LocFront}, base},
+		{"2 antennas, 1 tag", 2, []scenario.BoxLocation{scenario.LocFront},
+			(redundancy.Combined(pf, pf) + redundancy.Combined(pin, pout)) / 2},
+		{"1 antenna, 2 tags", 1, []scenario.BoxLocation{scenario.LocFront, scenario.LocSideIn},
+			(redundancy.Combined(pf, pin) + redundancy.Combined(pf, pout)) / 2},
+		{"2 antennas, 2 tags", 2, []scenario.BoxLocation{scenario.LocFront, scenario.LocSideIn},
+			redundancy.Combined(pf, pf, pin, pout)},
+	}
+	table := report.Table{
+		Title:   "Figure 5 — object tracking with redundancy (measured vs calculated)",
+		Columns: []string{"configuration", "measured", "calculated", "paper measured"},
+	}
+	paperMeasured := []float64{0.80, 0.86, 0.97, 1.00}
+	var ms []float64
+	for i, b := range bars {
+		var rm float64
+		if i == 0 {
+			// Average over single-tag locations, like the paper's baseline.
+			rm = base
+		} else {
+			portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
+				TagLocations: b.tags, Antennas: b.antennas, Seed: opt.Seed + 200 + uint64(i),
+			})
+			if err != nil {
+				return nil, err
+			}
+			rm = portal.Measure(trials, 0).MeanCarrierReliability(nil)
+		}
+		ms = append(ms, rm)
+		table.AddRow(b.label, report.Percent(rm), report.Percent(b.rc), report.Percent(paperMeasured[i]))
+	}
+	res := &Result{
+		ID:     "fig5",
+		Title:  "Object tracking with redundancy (bar series)",
+		Tables: []report.Table{table},
+	}
+	if ms[2] > ms[1] && ms[3] >= ms[2] && ms[2]-ms[0] > 0.1 {
+		res.Notes = append(res.Notes,
+			"shape reproduced: tags-per-object beats antennas-per-portal; two tags lift tracking to near-1 (paper: 80% → 97%)")
+	} else {
+		res.Notes = append(res.Notes, "SHAPE DEVIATION: redundancy ordering differs from the paper")
+	}
+	return res, nil
+}
+
+// ReaderRedundancy reproduces the paper's Section 4 negative result:
+// adding a second reader to the portal without dense-reader mode
+// severely reduces reliability (reader-to-reader interference), while
+// dense-reader mode (the Gen-2 option the paper's readers lacked)
+// restores it.
+func ReaderRedundancy(opt Options) (*Result, error) {
+	trials := opt.trials(12)
+	type cfg struct {
+		label string
+		oc    scenario.ObjectConfig
+	}
+	cfgs := []cfg{
+		{"1 reader, 1 antenna", scenario.ObjectConfig{Antennas: 1, Readers: 1}},
+		{"1 reader, 2 antennas (TDMA)", scenario.ObjectConfig{Antennas: 2, Readers: 1}},
+		{"2 readers, no dense mode", scenario.ObjectConfig{Antennas: 2, Readers: 2}},
+		{"2 readers, dense mode", scenario.ObjectConfig{Antennas: 2, Readers: 2, DenseMode: true}},
+	}
+	table := report.Table{
+		Title:   "Reader-level redundancy (front tags, 12 boxes)",
+		Columns: []string{"configuration", "tracking reliability"},
+	}
+	vals := make([]float64, len(cfgs))
+	for i, c := range cfgs {
+		c.oc.TagLocations = []scenario.BoxLocation{scenario.LocFront}
+		c.oc.Seed = opt.Seed + 300 + uint64(i)
+		portal, err := scenario.ObjectTracking(c.oc)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = portal.Measure(trials, 0).MeanCarrierReliability(nil)
+		table.AddRow(c.label, report.Percent(vals[i]))
+	}
+	res := &Result{
+		ID:     "readers",
+		Title:  "Reader redundancy and dense-reader mode",
+		Tables: []report.Table{table},
+	}
+	if vals[2] < vals[0]*0.6 && vals[3] > vals[2] {
+		res.Notes = append(res.Notes, strings.Join([]string{
+			"shape reproduced: a second non-dense reader severely reduces reliability",
+			"(paper: 'read reliability was severely reduced … reader-to-reader RF interference');",
+			"dense-reader mode recovers it",
+		}, " "))
+	} else {
+		res.Notes = append(res.Notes, "SHAPE DEVIATION: reader interference collapse not reproduced")
+	}
+	return res, nil
+}

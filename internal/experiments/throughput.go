@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/gen2"
+	"rfidtrack/internal/report"
+	"rfidtrack/internal/tagsim"
+	"rfidtrack/internal/xrand"
+)
+
+// Throughput reproduces the related-work benchmark the paper cites
+// ([12], Ramakrishnan & Deavours: "read speed for a population of
+// stationary tags"): time to fully inventory a stationary population as
+// it grows, with the per-tag cost the paper's Section 4 budget rests on
+// ("around .02 sec per tag").
+func Throughput(opt Options) (*Result, error) {
+	trials := opt.trials(10)
+	table := report.Table{
+		Title:   "Read throughput — full inventory of a stationary population (adaptive Q)",
+		Columns: []string{"tags", "inventory time", "per tag", "slots", "collision slots"},
+	}
+	parent := xrand.New(opt.Seed + 2000)
+	perTag := map[int]float64{}
+	for _, n := range []int{1, 5, 10, 20, 40, 80} {
+		var totalDur, totalSlots, totalColl float64
+		for trial := 0; trial < trials; trial++ {
+			parts := make([]gen2.Participant, n)
+			for i := range parts {
+				code, err := epc.GID96{Manager: 11, Class: uint64(n), Serial: uint64(trial*1000 + i)}.Encode()
+				if err != nil {
+					return nil, err
+				}
+				tag := tagsim.New(code, parent.Split(fmt.Sprintf("tp/%d/%d/%d", n, trial, i)))
+				tag.SetPower(true, 0)
+				parts[i] = gen2.Participant{Tag: tag, ForwardOK: true, ReverseOK: true}
+			}
+			res := gen2.RunRound(gen2.DefaultConfig(), parts, 0)
+			if len(res.Reads) != n {
+				return nil, fmt.Errorf("throughput: read %d/%d tags", len(res.Reads), n)
+			}
+			totalDur += res.Duration
+			totalSlots += float64(res.Slots)
+			totalColl += float64(res.Collisions)
+		}
+		meanDur := totalDur / float64(trials)
+		perTag[n] = meanDur / float64(n)
+		table.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.3f s", meanDur),
+			fmt.Sprintf("%.1f ms", 1000*perTag[n]),
+			fmt.Sprintf("%.1f", totalSlots/float64(trials)),
+			fmt.Sprintf("%.1f", totalColl/float64(trials)))
+	}
+	res := &Result{
+		ID:     "throughput",
+		Title:  "Inventory read speed vs population size",
+		Tables: []report.Table{table},
+	}
+	// The paper's budget anchor: ~0.02 s per tag, roughly flat with
+	// population (the adaptive Q keeps collision overhead bounded).
+	if perTag[20] >= 0.01 && perTag[20] <= 0.04 && perTag[80] < 2.5*perTag[20] {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"anchor reproduced: ~%.0f ms per tag at 20 tags, staying near-linear to 80 (the paper's '.02 sec per tag' budget)",
+			1000*perTag[20]))
+	} else {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"SHAPE DEVIATION: per-tag cost %.1f ms at 20 tags (want ~20 ms)", 1000*perTag[20]))
+	}
+	return res, nil
+}

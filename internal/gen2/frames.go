@@ -1,0 +1,267 @@
+// Package gen2 implements the EPCglobal Class-1 Generation-2 air protocol
+// as used by the paper's readers: bit-level command frames with their
+// CRCs, PIE link timing, the reader-side Q anti-collision algorithm, and a
+// slot-accurate inventory-round engine that drives tagsim tags over a
+// per-round channel snapshot.
+package gen2
+
+import (
+	"errors"
+	"fmt"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/tagsim"
+)
+
+// ErrBadFrame is wrapped by all frame decode errors.
+var ErrBadFrame = errors.New("gen2: invalid frame")
+
+// Command is a reader-to-tag air command.
+type Command interface {
+	// Encode renders the complete frame including any CRC.
+	Encode() *epc.Bits
+	// Bits returns the frame length in bits (including CRC).
+	Bits() int
+}
+
+// Query starts a new inventory round.
+type Query struct {
+	DR      bool  // divide ratio: false = 8, true = 64/3
+	M       uint8 // tag miller cycles: 0=FM0, 1=M2, 2=M4, 3=M8
+	TRext   bool  // extended tag preamble
+	Sel     uint8 // which tags respond to Select: 2 bits
+	Session tagsim.Session
+	Target  tagsim.Flag
+	Q       uint8 // slot-count exponent, 4 bits
+}
+
+// Encode implements Command.
+func (q Query) Encode() *epc.Bits {
+	b := epc.NewBits(0b1000, 4)
+	b.Append(boolBit(q.DR), 1)
+	b.Append(uint64(q.M&0b11), 2)
+	b.Append(boolBit(q.TRext), 1)
+	b.Append(uint64(q.Sel&0b11), 2)
+	b.Append(uint64(q.Session&0b11), 2)
+	b.Append(uint64(q.Target&0b1), 1)
+	b.Append(uint64(q.Q&0b1111), 4)
+	b.Append(uint64(epc.CRC5(b)), 5)
+	return b
+}
+
+// Bits implements Command.
+func (q Query) Bits() int { return 22 }
+
+// QueryRep advances the round by one slot.
+type QueryRep struct {
+	Session tagsim.Session
+}
+
+// Encode implements Command.
+func (q QueryRep) Encode() *epc.Bits {
+	b := epc.NewBits(0b00, 2)
+	b.Append(uint64(q.Session&0b11), 2)
+	return b
+}
+
+// Bits implements Command.
+func (q QueryRep) Bits() int { return 4 }
+
+// QueryAdjust changes Q mid-round; participating tags re-draw their slots.
+type QueryAdjust struct {
+	Session tagsim.Session
+	// UpDn is the Q adjustment: +1, 0 or -1.
+	UpDn int
+}
+
+// Encode implements Command.
+func (q QueryAdjust) Encode() *epc.Bits {
+	b := epc.NewBits(0b1001, 4)
+	b.Append(uint64(q.Session&0b11), 2)
+	var code uint64
+	switch {
+	case q.UpDn > 0:
+		code = 0b110
+	case q.UpDn < 0:
+		code = 0b011
+	default:
+		code = 0b000
+	}
+	b.Append(code, 3)
+	return b
+}
+
+// Bits implements Command.
+func (q QueryAdjust) Bits() int { return 9 }
+
+// ACK acknowledges a singulated tag by echoing its RN16.
+type ACK struct {
+	RN16 uint16
+}
+
+// Encode implements Command.
+func (a ACK) Encode() *epc.Bits {
+	b := epc.NewBits(0b01, 2)
+	b.Append(uint64(a.RN16), 16)
+	return b
+}
+
+// Bits implements Command.
+func (a ACK) Bits() int { return 18 }
+
+// NAK returns all tags in Reply/Acknowledged to Arbitrate.
+type NAK struct{}
+
+// Encode implements Command.
+func (NAK) Encode() *epc.Bits { return epc.NewBits(0b11000000, 8) }
+
+// Bits implements Command.
+func (NAK) Bits() int { return 8 }
+
+// Select filters the tag population before inventory.
+type Select struct {
+	Target   uint8 // 3 bits: which flag the action manipulates
+	Action   uint8 // 3 bits
+	MemBank  uint8 // 2 bits
+	Pointer  uint8 // simplified to 8 bits (the spec uses an EBV)
+	Mask     *epc.Bits
+	Truncate bool
+}
+
+// Encode implements Command.
+func (s Select) Encode() *epc.Bits {
+	b := epc.NewBits(0b1010, 4)
+	b.Append(uint64(s.Target&0b111), 3)
+	b.Append(uint64(s.Action&0b111), 3)
+	b.Append(uint64(s.MemBank&0b11), 2)
+	b.Append(uint64(s.Pointer), 8)
+	mask := s.Mask
+	if mask == nil {
+		mask = &epc.Bits{}
+	}
+	b.Append(uint64(mask.Len()), 8)
+	b.AppendBits(mask)
+	b.Append(boolBit(s.Truncate), 1)
+	b.Append(uint64(epc.CRC16(b)), 16)
+	return b
+}
+
+// Bits implements Command.
+func (s Select) Bits() int {
+	n := 0
+	if s.Mask != nil {
+		n = s.Mask.Len()
+	}
+	return 4 + 3 + 3 + 2 + 8 + 8 + n + 1 + 16
+}
+
+// Decode parses a received frame back into a Command. It validates frame
+// CRCs where the command carries one.
+func Decode(b *epc.Bits) (Command, error) {
+	if b.Len() < 4 {
+		return nil, fmt.Errorf("%w: %d bits", ErrBadFrame, b.Len())
+	}
+	switch {
+	case b.Uint(0, 2) == 0b00:
+		if b.Len() != 4 {
+			return nil, fmt.Errorf("%w: QueryRep wants 4 bits, got %d", ErrBadFrame, b.Len())
+		}
+		return QueryRep{Session: tagsim.Session(b.Uint(2, 2))}, nil
+	case b.Uint(0, 2) == 0b01:
+		if b.Len() != 18 {
+			return nil, fmt.Errorf("%w: ACK wants 18 bits, got %d", ErrBadFrame, b.Len())
+		}
+		return ACK{RN16: uint16(b.Uint(2, 16))}, nil
+	case b.Uint(0, 4) == 0b1000:
+		if b.Len() != 22 {
+			return nil, fmt.Errorf("%w: Query wants 22 bits, got %d", ErrBadFrame, b.Len())
+		}
+		if !epc.CRC5Check(b) {
+			return nil, fmt.Errorf("%w: Query CRC-5 mismatch", ErrBadFrame)
+		}
+		return Query{
+			DR:      b.Bit(4),
+			M:       uint8(b.Uint(5, 2)),
+			TRext:   b.Bit(7),
+			Sel:     uint8(b.Uint(8, 2)),
+			Session: tagsim.Session(b.Uint(10, 2)),
+			Target:  tagsim.Flag(b.Uint(12, 1)),
+			Q:       uint8(b.Uint(13, 4)),
+		}, nil
+	case b.Uint(0, 4) == 0b1001:
+		if b.Len() != 9 {
+			return nil, fmt.Errorf("%w: QueryAdjust wants 9 bits, got %d", ErrBadFrame, b.Len())
+		}
+		var updn int
+		switch b.Uint(6, 3) {
+		case 0b110:
+			updn = 1
+		case 0b011:
+			updn = -1
+		case 0b000:
+			updn = 0
+		default:
+			return nil, fmt.Errorf("%w: QueryAdjust UpDn %03b", ErrBadFrame, b.Uint(6, 3))
+		}
+		return QueryAdjust{Session: tagsim.Session(b.Uint(4, 2)), UpDn: updn}, nil
+	case b.Uint(0, 4) == 0b1010:
+		if b.Len() < 45 {
+			return nil, fmt.Errorf("%w: Select too short (%d bits)", ErrBadFrame, b.Len())
+		}
+		if !epc.CRC16Check(b) {
+			return nil, fmt.Errorf("%w: Select CRC-16 mismatch", ErrBadFrame)
+		}
+		maskLen := int(b.Uint(20, 8))
+		if b.Len() != 45+maskLen {
+			return nil, fmt.Errorf("%w: Select mask length %d does not match frame", ErrBadFrame, maskLen)
+		}
+		mask := &epc.Bits{}
+		for i := 0; i < maskLen; i++ {
+			mask.AppendBit(b.Bit(28 + i))
+		}
+		return Select{
+			Target:   uint8(b.Uint(4, 3)),
+			Action:   uint8(b.Uint(7, 3)),
+			MemBank:  uint8(b.Uint(10, 2)),
+			Pointer:  uint8(b.Uint(12, 8)),
+			Mask:     mask,
+			Truncate: b.Bit(28 + maskLen),
+		}, nil
+	case b.Len() == 8 && b.Uint(0, 8) == 0b11000000:
+		return NAK{}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown prefix", ErrBadFrame)
+}
+
+// EncodeEPCReply renders a tag's ACK response (PC + EPC + CRC-16) as it
+// appears on the air.
+func EncodeEPCReply(pc uint16, code epc.Code) *epc.Bits {
+	b := epc.NewBits(uint64(pc), 16)
+	b.AppendBits(code.Bits())
+	b.Append(uint64(epc.CRC16(b)), 16)
+	return b
+}
+
+// DecodeEPCReply validates and parses a tag's ACK response.
+func DecodeEPCReply(b *epc.Bits) (pc uint16, code epc.Code, err error) {
+	if b.Len() != 16+96+16 {
+		return 0, code, fmt.Errorf("%w: EPC reply wants 128 bits, got %d", ErrBadFrame, b.Len())
+	}
+	if !epc.CRC16Check(b) {
+		return 0, code, fmt.Errorf("%w: EPC reply CRC-16 mismatch", ErrBadFrame)
+	}
+	pc = uint16(b.Uint(0, 16))
+	body := &epc.Bits{}
+	for i := 16; i < 112; i++ {
+		body.AppendBit(b.Bit(i))
+	}
+	code, err = epc.CodeFromBits(body)
+	return pc, code, err
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

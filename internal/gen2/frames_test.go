@@ -1,0 +1,207 @@
+package gen2
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/tagsim"
+)
+
+func TestQueryFrameRoundTrip(t *testing.T) {
+	q := Query{DR: true, M: 2, TRext: true, Sel: 1, Session: tagsim.S2, Target: tagsim.FlagB, Q: 9}
+	b := q.Encode()
+	if b.Len() != q.Bits() {
+		t.Fatalf("frame length %d, want %d", b.Len(), q.Bits())
+	}
+	cmd, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cmd.(Query)
+	if !ok {
+		t.Fatalf("decoded %T", cmd)
+	}
+	if got != q {
+		t.Errorf("roundtrip = %+v, want %+v", got, q)
+	}
+}
+
+func TestQueryCRC5Detection(t *testing.T) {
+	b := Query{Q: 4}.Encode()
+	// Flip a payload bit: decode must fail.
+	corrupt := &epc.Bits{}
+	for i := 0; i < b.Len(); i++ {
+		bit := b.Bit(i)
+		if i == 10 {
+			bit = !bit
+		}
+		corrupt.AppendBit(bit)
+	}
+	if _, err := Decode(corrupt); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("corrupted Query decoded: %v", err)
+	}
+}
+
+func TestQueryRepRoundTrip(t *testing.T) {
+	for _, s := range []tagsim.Session{tagsim.S0, tagsim.S1, tagsim.S2, tagsim.S3} {
+		b := QueryRep{Session: s}.Encode()
+		cmd, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cmd.(QueryRep); got.Session != s {
+			t.Errorf("session = %v, want %v", got.Session, s)
+		}
+	}
+}
+
+func TestQueryAdjustRoundTrip(t *testing.T) {
+	for _, updn := range []int{-1, 0, 1} {
+		b := QueryAdjust{Session: tagsim.S1, UpDn: updn}.Encode()
+		if b.Len() != 9 {
+			t.Fatalf("length %d", b.Len())
+		}
+		cmd, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cmd.(QueryAdjust)
+		if got.UpDn != updn || got.Session != tagsim.S1 {
+			t.Errorf("roundtrip = %+v", got)
+		}
+	}
+}
+
+func TestACKRoundTrip(t *testing.T) {
+	f := func(rn uint16) bool {
+		cmd, err := Decode(ACK{RN16: rn}.Encode())
+		if err != nil {
+			return false
+		}
+		got, ok := cmd.(ACK)
+		return ok && got.RN16 == rn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNAKRoundTrip(t *testing.T) {
+	cmd, err := Decode(NAK{}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cmd.(NAK); !ok {
+		t.Fatalf("decoded %T", cmd)
+	}
+}
+
+func TestSelectRoundTrip(t *testing.T) {
+	mask := epc.NewBits(0b10110011, 8)
+	s := Select{Target: 4, Action: 2, MemBank: 1, Pointer: 32, Mask: mask, Truncate: true}
+	b := s.Encode()
+	if b.Len() != s.Bits() {
+		t.Fatalf("frame length %d, want %d", b.Len(), s.Bits())
+	}
+	cmd, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cmd.(Select)
+	if got.Target != 4 || got.Action != 2 || got.MemBank != 1 || got.Pointer != 32 || !got.Truncate {
+		t.Errorf("fields = %+v", got)
+	}
+	if !got.Mask.Equal(mask) {
+		t.Errorf("mask = %s, want %s", got.Mask, mask)
+	}
+}
+
+func TestSelectEmptyMask(t *testing.T) {
+	b := Select{}.Encode()
+	cmd, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmd.(Select); got.Mask.Len() != 0 {
+		t.Errorf("mask length = %d", got.Mask.Len())
+	}
+}
+
+func TestSelectCRC16Detection(t *testing.T) {
+	b := Select{Pointer: 7}.Encode()
+	corrupt := &epc.Bits{}
+	for i := 0; i < b.Len(); i++ {
+		bit := b.Bit(i)
+		if i == 15 {
+			bit = !bit
+		}
+		corrupt.AppendBit(bit)
+	}
+	if _, err := Decode(corrupt); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("corrupted Select decoded: %v", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []*epc.Bits{
+		epc.NewBits(0b11, 2),          // too short
+		epc.NewBits(0b1000111, 7),     // Query prefix, wrong length
+		epc.NewBits(0b11111111, 8),    // unknown 8-bit pattern
+		epc.NewBits(0b1001000111, 10), // QueryAdjust wrong length
+		epc.NewBits(0b0100, 4),        // ACK prefix, wrong length
+	}
+	for _, b := range cases {
+		if _, err := Decode(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("Decode(%s) err = %v, want ErrBadFrame", b, err)
+		}
+	}
+}
+
+func TestEPCReplyRoundTrip(t *testing.T) {
+	code, _ := epc.GID96{Manager: 9, Class: 8, Serial: 7}.Encode()
+	b := EncodeEPCReply(6<<11, code)
+	pc, got, err := DecodeEPCReply(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc != 6<<11 || got != code {
+		t.Errorf("roundtrip = %#x %v", pc, got)
+	}
+	// Corruption detection.
+	corrupt := &epc.Bits{}
+	for i := 0; i < b.Len(); i++ {
+		bit := b.Bit(i)
+		if i == 40 {
+			bit = !bit
+		}
+		corrupt.AppendBit(bit)
+	}
+	if _, _, err := DecodeEPCReply(corrupt); !errors.Is(err, ErrBadFrame) {
+		t.Error("corrupted EPC reply decoded")
+	}
+	if _, _, err := DecodeEPCReply(epc.NewBits(1, 20)); !errors.Is(err, ErrBadFrame) {
+		t.Error("short EPC reply decoded")
+	}
+}
+
+func TestQueryFrameRoundTripProperty(t *testing.T) {
+	f := func(dr, trext bool, m, sel, sess, target, qv uint8) bool {
+		q := Query{
+			DR: dr, M: m % 4, TRext: trext, Sel: sel % 4,
+			Session: tagsim.Session(sess % 4),
+			Target:  tagsim.Flag(target % 2),
+			Q:       qv % 16,
+		}
+		cmd, err := Decode(q.Encode())
+		if err != nil {
+			return false
+		}
+		got, ok := cmd.(Query)
+		return ok && got == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

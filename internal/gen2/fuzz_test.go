@@ -1,0 +1,70 @@
+package gen2
+
+import (
+	"testing"
+
+	"rfidtrack/internal/epc"
+)
+
+// FuzzDecodeFrame: the air-interface frame decoder must never panic, and
+// every frame it accepts must re-encode to the identical bit string.
+func FuzzDecodeFrame(f *testing.F) {
+	seeds := []Command{
+		Query{DR: true, M: 2, Session: 1, Q: 7},
+		QueryRep{Session: 2},
+		QueryAdjust{Session: 1, UpDn: 1},
+		ACK{RN16: 0xBEEF},
+		NAK{},
+		Select{Target: 4, Action: 2, Pointer: 16, Mask: epc.NewBits(0xAB, 8)},
+	}
+	for _, cmd := range seeds {
+		b := cmd.Encode()
+		f.Add(b.Bytes(), uint8(b.Len()%256))
+	}
+	f.Add([]byte{0xFF}, uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, extraBits uint8) {
+		// Reconstruct an arbitrary-length bit string from the bytes plus a
+		// ragged tail.
+		bits := epc.BitsFromBytes(raw)
+		tail := int(extraBits % 8)
+		full := &epc.Bits{}
+		limit := bits.Len() - tail
+		if limit < 0 {
+			limit = bits.Len()
+		}
+		for i := 0; i < limit; i++ {
+			full.AppendBit(bits.Bit(i))
+		}
+		cmd, err := Decode(full)
+		if err != nil {
+			return
+		}
+		re := cmd.Encode()
+		if !re.Equal(full) {
+			t.Fatalf("accepted frame did not re-encode identically:\n in: %s\nout: %s", full, re)
+		}
+		if cmd.Bits() != full.Len() {
+			t.Fatalf("Bits() = %d, frame length %d", cmd.Bits(), full.Len())
+		}
+	})
+}
+
+// FuzzEPCReply: the EPC-reply decoder must reject corruption and
+// round-trip what it accepts.
+func FuzzEPCReply(f *testing.F) {
+	code, _ := epc.GID96{Manager: 1, Class: 2, Serial: 3}.Encode()
+	good := EncodeEPCReply(6<<11, code)
+	f.Add(good.Bytes())
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bits := epc.BitsFromBytes(raw)
+		pc, c, err := DecodeEPCReply(bits)
+		if err != nil {
+			return
+		}
+		re := EncodeEPCReply(pc, c)
+		if !re.Equal(bits) {
+			t.Fatalf("accepted reply did not re-encode identically")
+		}
+	})
+}

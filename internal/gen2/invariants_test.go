@@ -1,0 +1,96 @@
+package gen2
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/tagsim"
+	"rfidtrack/internal/xrand"
+)
+
+// TestRoundInvariantsProperty drives rounds over randomized populations
+// and channel states and checks the invariants every round must satisfy:
+//
+//   - every read is of a participant with both link directions up;
+//   - no tag is read twice in one round;
+//   - slot accounting is consistent (slots = empties+singles+collisions,
+//     noting CRC-failed singulations still count their slot as a single
+//     attempt in the collision/empty sense... they consume a slot too);
+//   - time moves forward and scales with slots.
+func TestRoundInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, qRaw uint8, fwdMask, revMask uint16, adaptive, capture bool) bool {
+		n := int(nRaw)%24 + 1
+		parent := xrand.New(seed)
+		parts := make([]Participant, n)
+		for i := range parts {
+			code, err := epc.GID96{Manager: 3, Class: 9, Serial: uint64(i)}.Encode()
+			if err != nil {
+				return false
+			}
+			tag := tagsim.New(code, parent.Split(fmt.Sprintf("t%d", i)))
+			tag.SetPower(true, 0)
+			parts[i] = Participant{
+				Tag:       tag,
+				ForwardOK: fwdMask>>(i%16)&1 == 1,
+				ReverseOK: revMask>>(i%16)&1 == 1,
+			}
+		}
+		cfg := DefaultConfig()
+		cfg.Adaptive = adaptive
+		cfg.Capture = capture
+		cfg.InitialQ = qRaw % 8
+		res := RunRound(cfg, parts, 0)
+
+		seen := map[int]bool{}
+		for _, r := range res.Reads {
+			p := parts[r.Index]
+			if !p.ForwardOK || !p.ReverseOK {
+				return false // read through a dead link
+			}
+			if seen[r.Index] {
+				return false // duplicate read
+			}
+			seen[r.Index] = true
+			if r.EPC != p.Tag.EPC() {
+				return false // wrong EPC attributed
+			}
+			if r.Slot < 0 || r.Slot >= res.Slots {
+				return false // slot ordinal out of range
+			}
+		}
+		if res.Empties+res.Singles+res.Collisions+res.CRCFailures != res.Slots {
+			return false // slot accounting broken
+		}
+		if res.Duration <= 0 || res.Slots <= 0 {
+			return false
+		}
+		if res.Slots > cfg.MaxSlots {
+			return false
+		}
+		// Every healthy participant must be read by an adaptive round when
+		// the population has no forward-only (inaudible) repliers: those
+		// collide invisibly with healthy tags and can legitimately starve
+		// them — the paper's false-negative mechanism. (Fixed small Q can
+		// also legitimately leave tags unread.)
+		inaudible := false
+		for _, p := range parts {
+			if p.ForwardOK && !p.ReverseOK {
+				inaudible = true
+			}
+		}
+		if adaptive && !inaudible {
+			for i, p := range parts {
+				if p.ForwardOK && p.ReverseOK && !seen[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+package gen2
+
+import (
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/tagsim"
+	"rfidtrack/internal/xrand"
+)
+
+// Participant is one candidate tag in an inventory round together with its
+// channel state for the round. The world resolves ForwardOK/ReverseOK from
+// the link budget before the round starts; fast fading is drawn per round,
+// so the values hold for the whole round.
+type Participant struct {
+	Tag *tagsim.Tag
+	// ForwardOK: the tag is powered and can decode reader commands.
+	ForwardOK bool
+	// ReverseOK: the reader can decode this tag's backscatter.
+	ReverseOK bool
+}
+
+// Read is one successful singulation.
+type Read struct {
+	// Index is the participant index that was read.
+	Index int
+	PC    uint16
+	EPC   epc.Code
+	// Slot is the slot ordinal (0-based) within the round.
+	Slot int
+}
+
+// Result summarizes an inventory round.
+type Result struct {
+	Reads      []Read
+	Slots      int
+	Empties    int
+	Singles    int
+	Collisions int
+	// Captures counts collided slots rescued by the capture effect.
+	Captures int
+	// CRCFailures counts EPC replies the reader discarded as corrupted
+	// (followed by a NAK; the tag rejoins the round).
+	CRCFailures int
+	// Duration is the simulated time the round consumed.
+	Duration float64
+	// FinalQ is the Q value when the round ended.
+	FinalQ uint8
+}
+
+// Config parameterizes an inventory round.
+type Config struct {
+	Session tagsim.Session
+	Target  tagsim.Flag
+	// InitialQ is the starting slot-count exponent.
+	InitialQ uint8
+	// Adaptive enables the Q-algorithm (QueryAdjust); otherwise the round
+	// runs a fixed 2^InitialQ slots.
+	Adaptive bool
+	// QC is the Q-algorithm adjustment constant (default 0.3).
+	QC float64
+	// MaxSlots bounds the round regardless of strategy (default 4096).
+	MaxSlots int
+	// Capture enables the near-far capture effect: a collided slot where
+	// exactly one reply is decodable is treated as that tag's singulation.
+	Capture bool
+	// SelectMask, when non-nil, makes the reader open the round with a
+	// Select command: only tags whose EPC matches the mask at SelectPointer
+	// participate (their SL flag asserts; the Query targets SL).
+	SelectMask    *epc.Bits
+	SelectPointer int
+	// ReplyCorruptionProb injects reverse-link bit errors: each EPC reply
+	// independently fails its CRC-16 with this probability, the reader
+	// NAKs, and the tag rejoins the round. Requires Rng.
+	ReplyCorruptionProb float64
+	// Rng drives the corruption draws (nil disables corruption).
+	Rng    *xrand.Rand
+	Timing LinkTiming
+}
+
+// DefaultConfig returns the configuration used by the simulated readers:
+// adaptive Q starting at 4, capture on, default timing.
+func DefaultConfig() Config {
+	return Config{
+		Session:  tagsim.S1,
+		Target:   tagsim.FlagA,
+		InitialQ: 4,
+		Adaptive: true,
+		QC:       0.3,
+		MaxSlots: 4096,
+		Capture:  true,
+		Timing:   DefaultTiming(),
+	}
+}
+
+// RunRound executes one complete inventory round at simulation time now
+// and returns what the reader observed. Tag protocol state advances as a
+// side effect, exactly as it would on air: tags that were read toggle
+// their session flag and drop out of subsequent rounds until it decays.
+func RunRound(cfg Config, parts []Participant, now float64) Result {
+	if cfg.MaxSlots <= 0 {
+		cfg.MaxSlots = 4096
+	}
+	if cfg.QC <= 0 {
+		cfg.QC = 0.3
+	}
+	var res Result
+	alg := NewQAlgorithm(cfg.InitialQ, cfg.QC)
+	q := alg.Q()
+
+	clock := now
+	advance := func(d float64) {
+		clock += d
+		res.Duration += d
+	}
+
+	// Optional Select: filter the population before inventorying.
+	selOnly := cfg.SelectMask != nil
+	if selOnly {
+		advance(cfg.Timing.ReaderCommandSeconds(Select{Mask: cfg.SelectMask}.Bits()) +
+			cfg.Timing.ControllerOverheadPerSlot)
+		for _, p := range parts {
+			if p.ForwardOK {
+				p.Tag.Select(cfg.SelectPointer, cfg.SelectMask)
+			}
+		}
+	}
+
+	// Round-opening Query. Replies collected from tags that can hear it.
+	advance(cfg.Timing.QuerySeconds())
+	replies := make(map[int]tagsim.Reply)
+	for i, p := range parts {
+		if !p.ForwardOK {
+			continue
+		}
+		if r, ok := p.Tag.QuerySel(cfg.Session, cfg.Target, q, selOnly, clock); ok {
+			replies[i] = r
+		}
+	}
+
+	fixedSlots := 1 << uint(cfg.InitialQ)
+	// Annex-D rounds do not simply stop when Q decays: the interrogator
+	// issues a fresh Query and only gives up when a fresh round finds
+	// silence. restarts bounds the pathological case of tags that keep
+	// replying inaudibly.
+	const maxRestarts = 8
+	restarts := 0
+	slotsSinceQuery, activitySinceQuery := 0, 0
+	for res.Slots < cfg.MaxSlots {
+		res.Slots++
+		slotsSinceQuery++
+		// Resolve the current slot.
+		audible := make([]int, 0, 2)
+		for i := range replies {
+			if parts[i].ReverseOK {
+				audible = append(audible, i)
+			}
+		}
+		qChanged := false
+		observedEmpty := false
+		switch {
+		case len(replies) == 0 || len(audible) == 0:
+			observedEmpty = true
+			// Nothing decodable: the reader sees silence. (Tags that
+			// replied inaudibly will back off on the next QueryRep.)
+			res.Empties++
+			advance(cfg.Timing.EmptySlotSeconds())
+			if cfg.Adaptive {
+				qChanged = alg.OnEmpty()
+			}
+		case len(audible) == 1 && (len(replies) == 1 || cfg.Capture):
+			// Clean singulation (or capture of the dominant reply).
+			i := audible[0]
+			if len(replies) > 1 {
+				res.Captures++
+			}
+			rn := replies[i].RN16
+			advance(cfg.Timing.SuccessSlotSeconds())
+			if er, ok := parts[i].Tag.ACK(rn); ok && parts[i].ReverseOK {
+				if cfg.Rng != nil && cfg.Rng.Bool(cfg.ReplyCorruptionProb) {
+					// The EPC reply failed its CRC-16: NAK the tag back
+					// into the round and try again later.
+					res.CRCFailures++
+					parts[i].Tag.NAK()
+					advance(cfg.Timing.ReaderCommandSeconds(NAK{}.Bits()))
+				} else {
+					res.Singles++
+					activitySinceQuery++
+					res.Reads = append(res.Reads, Read{
+						Index: i,
+						PC:    er.PC,
+						EPC:   er.Code,
+						Slot:  res.Slots - 1,
+					})
+				}
+			}
+			if cfg.Adaptive {
+				alg.OnSingle()
+			}
+		default:
+			// Multiple decodable replies garble each other. The reader saw
+			// the garble: that is activity, not silence.
+			res.Collisions++
+			activitySinceQuery++
+			advance(cfg.Timing.CollisionSlotSeconds())
+			if cfg.Adaptive {
+				qChanged = alg.OnCollision()
+			}
+		}
+
+		// Termination and restart. The reader can only act on what it
+		// observed: when the Q controller decays to zero on a silent slot,
+		// it issues a fresh Query (tags still arbitrating re-draw and
+		// re-join), and gives up once a fresh round yields nothing — or
+		// after bounded restarts (tags replying inaudibly are invisible and
+		// would otherwise spin the round forever).
+		if cfg.Adaptive {
+			if alg.Exhausted() && observedEmpty {
+				// Silence only counts once a *fresh* Query has gone
+				// unanswered — no reads and no observed collisions since it
+				// was issued. The first exhaustion may just mean the round
+				// started with too small a Q while tags still arbitrate.
+				if restarts > 0 && activitySinceQuery == 0 && slotsSinceQuery >= 1 {
+					break
+				}
+				if restarts >= maxRestarts {
+					break
+				}
+				restarts++
+				slotsSinceQuery, activitySinceQuery = 0, 0
+				q = alg.Q()
+				advance(cfg.Timing.QuerySeconds())
+				replies = make(map[int]tagsim.Reply)
+				for i, p := range parts {
+					if !p.ForwardOK {
+						continue
+					}
+					if r, ok := p.Tag.QuerySel(cfg.Session, cfg.Target, q, selOnly, clock); ok {
+						replies[i] = r
+					}
+				}
+				continue
+			}
+		} else if res.Slots >= fixedSlots {
+			break
+		}
+
+		// Advance the round: QueryAdjust when Q moved, QueryRep otherwise.
+		replies = make(map[int]tagsim.Reply)
+		if cfg.Adaptive && qChanged {
+			q = alg.Q()
+			advance(cfg.Timing.AdjustSeconds())
+			for i, p := range parts {
+				if !p.ForwardOK {
+					continue
+				}
+				if r, ok := p.Tag.QueryAdjust(cfg.Session, q, clock); ok {
+					replies[i] = r
+				}
+			}
+		} else {
+			for i, p := range parts {
+				if !p.ForwardOK {
+					continue
+				}
+				if r, ok := p.Tag.QueryRep(cfg.Session, clock); ok {
+					replies[i] = r
+				}
+			}
+		}
+	}
+	res.FinalQ = alg.Q()
+	return res
+}

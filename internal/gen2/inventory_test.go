@@ -1,0 +1,256 @@
+package gen2
+
+import (
+	"fmt"
+	"testing"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/tagsim"
+	"rfidtrack/internal/xrand"
+)
+
+func makeParticipants(t *testing.T, n int, seed uint64) []Participant {
+	t.Helper()
+	parent := xrand.New(seed)
+	parts := make([]Participant, n)
+	for i := range parts {
+		code, err := epc.GID96{Manager: 42, Class: 1, Serial: uint64(i)}.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag := tagsim.New(code, parent.Split(fmt.Sprintf("tag/%d", i)))
+		tag.SetPower(true, 0)
+		parts[i] = Participant{Tag: tag, ForwardOK: true, ReverseOK: true}
+	}
+	return parts
+}
+
+func TestRoundReadsAllHealthyTags(t *testing.T) {
+	for _, n := range []int{1, 5, 20, 60} {
+		parts := makeParticipants(t, n, uint64(n))
+		res := RunRound(DefaultConfig(), parts, 0)
+		if len(res.Reads) != n {
+			t.Errorf("n=%d: read %d tags in one adaptive round", n, len(res.Reads))
+		}
+		seen := map[epc.Code]bool{}
+		for _, r := range res.Reads {
+			if seen[r.EPC] {
+				t.Errorf("n=%d: duplicate read of %v", n, r.EPC)
+			}
+			seen[r.EPC] = true
+		}
+		if res.Singles != len(res.Reads) {
+			t.Errorf("n=%d: singles %d != reads %d", n, res.Singles, len(res.Reads))
+		}
+	}
+}
+
+func TestRoundEmptyPopulation(t *testing.T) {
+	res := RunRound(DefaultConfig(), nil, 0)
+	if len(res.Reads) != 0 {
+		t.Error("read tags out of thin air")
+	}
+	if res.Slots == 0 {
+		t.Error("round should still consume slots")
+	}
+	if res.Duration <= 0 {
+		t.Error("round should consume time")
+	}
+}
+
+func TestRoundSkipsDeafTags(t *testing.T) {
+	parts := makeParticipants(t, 4, 1)
+	parts[2].ForwardOK = false
+	res := RunRound(DefaultConfig(), parts, 0)
+	if len(res.Reads) != 3 {
+		t.Fatalf("reads = %d, want 3", len(res.Reads))
+	}
+	for _, r := range res.Reads {
+		if r.Index == 2 {
+			t.Error("deaf tag was read")
+		}
+	}
+}
+
+func TestRoundSkipsInaudibleTags(t *testing.T) {
+	parts := makeParticipants(t, 4, 2)
+	parts[1].ReverseOK = false
+	res := RunRound(DefaultConfig(), parts, 0)
+	if len(res.Reads) != 3 {
+		t.Fatalf("reads = %d, want 3", len(res.Reads))
+	}
+	for _, r := range res.Reads {
+		if r.Index == 1 {
+			t.Error("inaudible tag was read")
+		}
+	}
+}
+
+func TestRoundTerminatesWithOnlyInaudibleTags(t *testing.T) {
+	// A tag the reader can never hear must not hang the round.
+	parts := makeParticipants(t, 3, 3)
+	for i := range parts {
+		parts[i].ReverseOK = false
+	}
+	res := RunRound(DefaultConfig(), parts, 0)
+	if len(res.Reads) != 0 {
+		t.Error("read inaudible tags")
+	}
+	if res.Slots >= 4096 {
+		t.Errorf("round ran to the MaxSlots backstop (%d slots)", res.Slots)
+	}
+}
+
+func TestInventoriedTagsDropOut(t *testing.T) {
+	parts := makeParticipants(t, 10, 4)
+	cfg := DefaultConfig()
+	first := RunRound(cfg, parts, 0)
+	if len(first.Reads) != 10 {
+		t.Fatalf("first round read %d", len(first.Reads))
+	}
+	// Immediately after, every tag's S1 flag is B: an A-targeted round
+	// finds nobody.
+	second := RunRound(cfg, parts, first.Duration)
+	if len(second.Reads) != 0 {
+		t.Errorf("second round re-read %d tags before flag decay", len(second.Reads))
+	}
+	// After the S1 persistence window the flags decay and tags return.
+	third := RunRound(cfg, parts, first.Duration+3)
+	if len(third.Reads) != 10 {
+		t.Errorf("third round read %d tags after decay, want 10", len(third.Reads))
+	}
+}
+
+func TestFixedQRound(t *testing.T) {
+	parts := makeParticipants(t, 3, 5)
+	cfg := DefaultConfig()
+	cfg.Adaptive = false
+	cfg.InitialQ = 6
+	res := RunRound(cfg, parts, 0)
+	if res.Slots != 64 {
+		t.Errorf("fixed round ran %d slots, want 64", res.Slots)
+	}
+	if len(res.Reads) != 3 {
+		t.Errorf("fixed round read %d tags, want 3", len(res.Reads))
+	}
+}
+
+func TestCaptureEffect(t *testing.T) {
+	// Two tags always collide under Q=0 (both reply in slot 0 forever).
+	// With one of them inaudible and capture on, the audible one is read.
+	parts := makeParticipants(t, 2, 6)
+	parts[1].ReverseOK = false
+	cfg := DefaultConfig()
+	cfg.Adaptive = false
+	cfg.InitialQ = 0
+	cfg.Capture = true
+	res := RunRound(cfg, parts, 0)
+	if len(res.Reads) != 1 || res.Reads[0].Index != 0 {
+		t.Errorf("capture failed: %+v", res.Reads)
+	}
+	if res.Captures == 0 {
+		t.Error("capture not counted")
+	}
+}
+
+func TestNoCaptureMeansCollision(t *testing.T) {
+	parts := makeParticipants(t, 2, 7)
+	parts[1].ReverseOK = false
+	cfg := DefaultConfig()
+	cfg.Adaptive = false
+	cfg.InitialQ = 0
+	cfg.Capture = false
+	res := RunRound(cfg, parts, 0)
+	if len(res.Reads) != 0 {
+		t.Errorf("reads = %+v, want none without capture", res.Reads)
+	}
+}
+
+func TestRoundDurationScalesWithPopulation(t *testing.T) {
+	small := RunRound(DefaultConfig(), makeParticipants(t, 2, 8), 0)
+	large := RunRound(DefaultConfig(), makeParticipants(t, 40, 9), 0)
+	if large.Duration <= small.Duration {
+		t.Errorf("duration did not grow: %v vs %v", small.Duration, large.Duration)
+	}
+	// The paper's throughput anchor: reading a tag costs about 0.02 s.
+	perTag := large.Duration / 40
+	if perTag < 0.01 || perTag > 0.04 {
+		t.Errorf("per-tag cost = %.4fs, want ~0.02s", perTag)
+	}
+}
+
+func TestCollisionsHappenAtLowQ(t *testing.T) {
+	parts := makeParticipants(t, 30, 10)
+	cfg := DefaultConfig()
+	cfg.InitialQ = 1 // far too small for 30 tags: collisions guaranteed
+	res := RunRound(cfg, parts, 0)
+	if res.Collisions == 0 {
+		t.Error("no collisions with 30 tags at Q=1")
+	}
+	// The adaptive controller must still resolve everyone.
+	if len(res.Reads) != 30 {
+		t.Errorf("adaptive round read %d/30", len(res.Reads))
+	}
+	if res.FinalQ == 15 {
+		t.Error("Q ran away to the ceiling")
+	}
+}
+
+func TestQAlgorithm(t *testing.T) {
+	a := NewQAlgorithm(4, 0.5)
+	if a.Q() != 4 {
+		t.Fatalf("initial Q = %d", a.Q())
+	}
+	a.OnCollision()
+	if a.Q() != 5 {
+		t.Errorf("Q after collision = %d, want 5 (4.5 rounds up)", a.Q())
+	}
+	for i := 0; i < 20; i++ {
+		a.OnEmpty()
+	}
+	if a.Q() != 0 || !a.Exhausted() {
+		t.Errorf("Q after many empties = %d, exhausted=%v", a.Q(), a.Exhausted())
+	}
+	// Floor and ceiling.
+	a.OnEmpty()
+	if a.Q() != 0 {
+		t.Error("Q went below 0")
+	}
+	b := NewQAlgorithm(15, 0.5)
+	b.OnCollision()
+	b.OnCollision()
+	if b.Q() != 15 {
+		t.Error("Q went above 15")
+	}
+	// Zero/negative C defaults sanely.
+	c := NewQAlgorithm(4, -1)
+	c.OnEmpty()
+	if c.Q() > 4 {
+		t.Error("default C broken")
+	}
+}
+
+func TestTimingAnchors(t *testing.T) {
+	tm := DefaultTiming()
+	// One successful singulation is ~2 ms of air time plus ~18 ms
+	// controller overhead: the paper's 0.02 s per tag.
+	s := tm.SuccessSlotSeconds()
+	if s < 0.015 || s > 0.03 {
+		t.Errorf("success slot = %.4fs, want ~0.02", s)
+	}
+	if tm.EmptySlotSeconds() >= tm.CollisionSlotSeconds() {
+		t.Error("empty slot should be cheaper than a collision")
+	}
+	if tm.CollisionSlotSeconds() >= s {
+		t.Error("collision should be cheaper than a full singulation")
+	}
+	if tm.QuerySeconds() <= 0 || tm.AdjustSeconds() <= 0 {
+		t.Error("command times must be positive")
+	}
+	// Degenerate BLF must not divide by zero.
+	bad := tm
+	bad.BLFHz = 0
+	if bad.TagReplySeconds(16) != 0 {
+		t.Error("zero BLF should yield zero reply time")
+	}
+}

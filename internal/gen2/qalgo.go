@@ -1,0 +1,55 @@
+package gen2
+
+import "math"
+
+// QAlgorithm is the reader-side adaptive slot-count controller from the
+// Gen-2 specification (Annex D): a floating-point shadow of Q that rises
+// on collisions and falls on empty slots, issuing a QueryAdjust whenever
+// the rounded value changes.
+type QAlgorithm struct {
+	qfp float64
+	c   float64
+}
+
+// NewQAlgorithm returns a controller starting at initialQ with the given
+// adjustment constant (the spec suggests 0.1 ≤ C ≤ 0.5; smaller C for
+// larger Q).
+func NewQAlgorithm(initialQ uint8, c float64) *QAlgorithm {
+	if c <= 0 {
+		c = 0.3
+	}
+	return &QAlgorithm{qfp: float64(initialQ), c: c}
+}
+
+// Q returns the current integer slot-count exponent.
+func (a *QAlgorithm) Q() uint8 {
+	q := math.Round(a.qfp)
+	if q < 0 {
+		q = 0
+	}
+	if q > 15 {
+		q = 15
+	}
+	return uint8(q)
+}
+
+// OnEmpty records an empty slot and reports whether Q changed.
+func (a *QAlgorithm) OnEmpty() bool {
+	old := a.Q()
+	a.qfp = math.Max(0, a.qfp-a.c)
+	return a.Q() != old
+}
+
+// OnCollision records a collided slot and reports whether Q changed.
+func (a *QAlgorithm) OnCollision() bool {
+	old := a.Q()
+	a.qfp = math.Min(15, a.qfp+a.c)
+	return a.Q() != old
+}
+
+// OnSingle records a successful singulation (Q unchanged per the spec).
+func (a *QAlgorithm) OnSingle() {}
+
+// Exhausted reports whether the controller has decayed to Q==0, the
+// round-termination condition once slots come back empty.
+func (a *QAlgorithm) Exhausted() bool { return a.qfp < 0.5 }

@@ -1,0 +1,142 @@
+package gen2
+
+import (
+	"testing"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/tagsim"
+	"rfidtrack/internal/xrand"
+)
+
+func TestTagSelectMatching(t *testing.T) {
+	code, err := epc.GID96{Manager: 95100000, Class: 42, Serial: 7}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := tagsim.New(code, xrand.New(1))
+	tag.SetPower(true, 0)
+
+	// Match the 8-bit GID header at pointer 0.
+	header := epc.NewBits(uint64(epc.HeaderGID96), 8)
+	if !tag.Select(0, header) || !tag.Selected() {
+		t.Error("header mask did not match a GID tag")
+	}
+	// A wrong mask deasserts SL.
+	wrong := epc.NewBits(uint64(epc.HeaderSGTIN96), 8)
+	if tag.Select(0, wrong) || tag.Selected() {
+		t.Error("SGTIN mask matched a GID tag")
+	}
+	// Out-of-range masks never match.
+	if tag.Select(90, header) {
+		t.Error("mask past the EPC end matched")
+	}
+	if tag.Select(-1, header) {
+		t.Error("negative pointer matched")
+	}
+	if tag.Select(0, nil) {
+		t.Error("nil mask matched")
+	}
+	// Unpowered tags ignore Select.
+	tag.SetPower(false, 1)
+	if tag.Select(0, header) {
+		t.Error("unpowered tag handled Select")
+	}
+}
+
+func TestRoundWithSelectFiltersPopulation(t *testing.T) {
+	parent := xrand.New(5)
+	// Mixed population: 4 GID badges and 4 SGTIN case labels.
+	var parts []Participant
+	for i := 0; i < 4; i++ {
+		code, err := epc.GID96{Manager: 1, Class: 1, Serial: uint64(i)}.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag := tagsim.New(code, parent.Split("gid"+string(rune('0'+i))))
+		tag.SetPower(true, 0)
+		parts = append(parts, Participant{Tag: tag, ForwardOK: true, ReverseOK: true})
+	}
+	for i := 0; i < 4; i++ {
+		code, err := epc.SGTIN96{Filter: 1, CompanyDigits: 7, Company: 614141, ItemRef: 1, Serial: uint64(i)}.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag := tagsim.New(code, parent.Split("sgtin"+string(rune('0'+i))))
+		tag.SetPower(true, 0)
+		parts = append(parts, Participant{Tag: tag, ForwardOK: true, ReverseOK: true})
+	}
+
+	cfg := DefaultConfig()
+	cfg.SelectMask = epc.NewBits(uint64(epc.HeaderSGTIN96), 8)
+	cfg.SelectPointer = 0
+	res := RunRound(cfg, parts, 0)
+	if len(res.Reads) != 4 {
+		t.Fatalf("selected round read %d tags, want the 4 SGTINs", len(res.Reads))
+	}
+	for _, r := range res.Reads {
+		if r.EPC.Header() != epc.HeaderSGTIN96 {
+			t.Errorf("read a filtered-out tag: %v", r.EPC.URI())
+		}
+	}
+	// The GID badges were not inventoried: a follow-up unfiltered round
+	// still finds them (SGTINs flipped their flag and drop out).
+	res2 := RunRound(DefaultConfig(), parts, res.Duration)
+	if len(res2.Reads) != 4 {
+		t.Fatalf("follow-up round read %d tags, want the 4 GIDs", len(res2.Reads))
+	}
+	for _, r := range res2.Reads {
+		if r.EPC.Header() != epc.HeaderGID96 {
+			t.Errorf("unexpected tag in follow-up: %v", r.EPC.URI())
+		}
+	}
+}
+
+func TestReplyCorruptionRecovery(t *testing.T) {
+	parts := makeParticipants(t, 10, 11)
+	cfg := DefaultConfig()
+	cfg.ReplyCorruptionProb = 0.4
+	cfg.Rng = xrand.New(99)
+	res := RunRound(cfg, parts, 0)
+	// Heavy corruption costs retries but every tag is still read: the
+	// NAK/re-arbitrate recovery path works.
+	if len(res.Reads) != 10 {
+		t.Fatalf("read %d/10 tags under corruption", len(res.Reads))
+	}
+	if res.CRCFailures == 0 {
+		t.Error("no CRC failures at 40% corruption")
+	}
+	// The corrupted attempts cost time: the round is longer than clean.
+	clean := RunRound(DefaultConfig(), makeParticipants(t, 10, 11), 0)
+	if res.Duration <= clean.Duration {
+		t.Errorf("corrupted round (%v) not longer than clean (%v)", res.Duration, clean.Duration)
+	}
+	// Without an Rng, the corruption knob is inert.
+	inert := DefaultConfig()
+	inert.ReplyCorruptionProb = 1
+	res3 := RunRound(inert, makeParticipants(t, 5, 12), 0)
+	if res3.CRCFailures != 0 || len(res3.Reads) != 5 {
+		t.Error("corruption ran without an Rng")
+	}
+}
+
+func TestCorruptionNeverLosesOrDuplicates(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		parts := makeParticipants(t, 12, 100+seed)
+		cfg := DefaultConfig()
+		cfg.ReplyCorruptionProb = 0.25
+		cfg.Rng = xrand.New(seed)
+		res := RunRound(cfg, parts, 0)
+		seen := map[epc.Code]int{}
+		for _, r := range res.Reads {
+			seen[r.EPC]++
+		}
+		for code, n := range seen {
+			if n > 1 {
+				t.Fatalf("seed %d: %v read %d times in one round", seed, code, n)
+			}
+		}
+		if len(seen) != 12 {
+			t.Fatalf("seed %d: read %d/12 distinct tags", seed, len(seen))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package gen2
+
+// LinkTiming models the PIE / backscatter air timing plus the reader's
+// controller overhead, so that inventory rounds consume realistic amounts
+// of simulated time. The paper's caveat — redundancy only helps when there
+// is "adequate time for all tags to be read, which is around .02 sec per
+// tag" — falls out of these numbers: the air exchange for one singulation
+// is ~2 ms and the remaining ~18 ms is reader firmware and backhaul, which
+// the AR400-era equipment very much exhibited.
+type LinkTiming struct {
+	// TariSeconds is the reader data-0 symbol length (PIE reference).
+	TariSeconds float64
+	// ReaderPreambleSeconds precedes every reader command.
+	ReaderPreambleSeconds float64
+	// BLFHz is the tag backscatter link frequency (FM0 bit rate).
+	BLFHz float64
+	// T1 and T2 are the spec turnaround gaps; T3 is the extra wait the
+	// reader allows before declaring an empty slot.
+	T1Seconds, T2Seconds, T3Seconds float64
+	// ControllerOverheadPerRead is firmware/backhaul time consumed per
+	// successful singulation over and above air time.
+	ControllerOverheadPerRead float64
+	// ControllerOverheadPerSlot is per-slot scheduling overhead.
+	ControllerOverheadPerSlot float64
+	// ControllerOverheadPerRound is the fixed firmware cost of an
+	// inventory cycle (antenna switching, buffer management). AR400-class
+	// readers cycled at roughly 5-10 rounds per second.
+	ControllerOverheadPerRound float64
+}
+
+// DefaultTiming returns values typical of the paper's era: Tari 12.5 µs,
+// FM0 backscatter at 250 kHz, and controller overhead calibrated so that a
+// successful read costs ≈20 ms end to end.
+func DefaultTiming() LinkTiming {
+	return LinkTiming{
+		TariSeconds:                12.5e-6,
+		ReaderPreambleSeconds:      62.5e-6,
+		BLFHz:                      250e3,
+		T1Seconds:                  62.5e-6,
+		T2Seconds:                  80e-6,
+		T3Seconds:                  100e-6,
+		ControllerOverheadPerRead:  17.5e-3,
+		ControllerOverheadPerSlot:  300e-6,
+		ControllerOverheadPerRound: 120e-3,
+	}
+}
+
+// ReaderCommandSeconds returns the air time of a reader command of the
+// given bit length. PIE data-1 symbols are ~2 Tari and data-0 are 1 Tari;
+// an even mix averages 1.5 Tari per bit.
+func (t LinkTiming) ReaderCommandSeconds(bits int) float64 {
+	return t.ReaderPreambleSeconds + float64(bits)*1.5*t.TariSeconds
+}
+
+// TagReplySeconds returns the air time of a tag backscatter of the given
+// payload bit length (FM0: one bit per BLF cycle, plus a 6-bit preamble
+// and the dummy terminating bit).
+func (t LinkTiming) TagReplySeconds(bits int) float64 {
+	if t.BLFHz <= 0 {
+		return 0
+	}
+	return float64(bits+7) / t.BLFHz
+}
+
+// EmptySlotSeconds is the time an empty slot costs the round.
+func (t LinkTiming) EmptySlotSeconds() float64 {
+	return t.ReaderCommandSeconds(QueryRep{}.Bits()) + t.T1Seconds + t.T3Seconds +
+		t.ControllerOverheadPerSlot
+}
+
+// CollisionSlotSeconds is the time a collided slot costs: the reader
+// listens to the full RN16 window before giving up.
+func (t LinkTiming) CollisionSlotSeconds() float64 {
+	return t.ReaderCommandSeconds(QueryRep{}.Bits()) + t.T1Seconds +
+		t.TagReplySeconds(16) + t.T2Seconds + t.ControllerOverheadPerSlot
+}
+
+// SuccessSlotSeconds is the complete singulation exchange: QueryRep, RN16,
+// ACK, PC+EPC+CRC reply, plus controller overhead.
+func (t LinkTiming) SuccessSlotSeconds() float64 {
+	return t.ReaderCommandSeconds(QueryRep{}.Bits()) + t.T1Seconds +
+		t.TagReplySeconds(16) + t.T2Seconds +
+		t.ReaderCommandSeconds(ACK{}.Bits()) + t.T1Seconds +
+		t.TagReplySeconds(16+96+16) + t.T2Seconds +
+		t.ControllerOverheadPerSlot + t.ControllerOverheadPerRead
+}
+
+// QuerySeconds is the cost of issuing the round-opening Query, including
+// the per-round controller overhead.
+func (t LinkTiming) QuerySeconds() float64 {
+	return t.ReaderCommandSeconds(Query{}.Bits()) + t.ControllerOverheadPerSlot +
+		t.ControllerOverheadPerRound
+}
+
+// AdjustSeconds is the cost of a QueryAdjust.
+func (t LinkTiming) AdjustSeconds() float64 {
+	return t.ReaderCommandSeconds(QueryAdjust{}.Bits()) + t.ControllerOverheadPerSlot
+}

@@ -1,0 +1,205 @@
+// Package geom provides the small 3-D vector and motion toolkit used by the
+// physical-scene simulator: vectors, poses (position plus orientation), and
+// constant-velocity straight-line paths such as the paper's cart passes and
+// walking subjects.
+//
+// The coordinate convention throughout the repository is:
+//
+//   - +X: the direction of travel past the portal (the conveyor/cart axis)
+//   - +Y: from the portal toward the scene (an antenna at y=0 faces +Y)
+//   - +Z: up
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a three-dimensional vector in meters (for positions) or
+// dimensionless (for directions).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V constructs a Vec3; the idiomatic spelling for cross-package literals.
+func V(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Convenience unit vectors.
+var (
+	UnitX = Vec3{1, 0, 0}
+	UnitY = Vec3{0, 1, 0}
+	UnitZ = Vec3{0, 0, 1}
+)
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Unit returns v scaled to unit length. The zero vector is returned
+// unchanged so callers can treat "no preferred direction" uniformly.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Dist returns the Euclidean distance between two points.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// IsZero reports whether v is exactly the zero vector.
+func (v Vec3) IsZero() bool { return v == Vec3{} }
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z)
+}
+
+// AngleBetween returns the angle in radians between v and w, in [0, π].
+// If either vector is zero the angle is reported as π/2 (no alignment
+// information, neither parallel nor antiparallel).
+func AngleBetween(v, w Vec3) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return math.Pi / 2
+	}
+	c := v.Dot(w) / (nv * nw)
+	c = math.Max(-1, math.Min(1, c))
+	return math.Acos(c)
+}
+
+// Pose is a rigid placement: a position plus an orthonormal orientation
+// frame. Forward is the facing direction (an antenna's boresight, a human's
+// chest normal), Up completes the frame.
+type Pose struct {
+	Pos     Vec3
+	Forward Vec3
+	Up      Vec3
+}
+
+// NewPose builds a pose at pos facing forward with the given up vector,
+// normalizing and re-orthogonalizing the frame. Degenerate inputs (zero or
+// parallel vectors) fall back to the canonical +Y forward / +Z up frame.
+func NewPose(pos, forward, up Vec3) Pose {
+	f := forward.Unit()
+	if f.IsZero() {
+		f = UnitY
+	}
+	u := up.Unit()
+	if u.IsZero() || math.Abs(f.Dot(u)) > 0.999999 {
+		// Pick any vector not parallel to f.
+		u = UnitZ
+		if math.Abs(f.Dot(u)) > 0.999999 {
+			u = UnitX
+		}
+	}
+	// Re-orthogonalize up against forward.
+	u = u.Sub(f.Scale(f.Dot(u))).Unit()
+	return Pose{Pos: pos, Forward: f, Up: u}
+}
+
+// Right returns the third axis of the pose frame (Forward × Up).
+func (p Pose) Right() Vec3 { return p.Forward.Cross(p.Up) }
+
+// Translated returns the pose moved by delta without rotating it.
+func (p Pose) Translated(delta Vec3) Pose {
+	p.Pos = p.Pos.Add(delta)
+	return p
+}
+
+// ToWorld maps a point expressed in the pose's local frame (right, forward,
+// up) into world coordinates.
+func (p Pose) ToWorld(local Vec3) Vec3 {
+	return p.Pos.
+		Add(p.Right().Scale(local.X)).
+		Add(p.Forward.Scale(local.Y)).
+		Add(p.Up.Scale(local.Z))
+}
+
+// DirToWorld maps a direction in the pose's local frame to world
+// coordinates (no translation).
+func (p Pose) DirToWorld(local Vec3) Vec3 {
+	return p.Right().Scale(local.X).
+		Add(p.Forward.Scale(local.Y)).
+		Add(p.Up.Scale(local.Z))
+}
+
+// Path is a time-parameterized rigid motion.
+type Path interface {
+	// At returns the pose at time t (seconds from the start of the pass).
+	At(t float64) Pose
+	// Duration returns the total time the path covers.
+	Duration() float64
+}
+
+// LinePath moves a pose at constant velocity along a straight segment, the
+// shape of every pass in the paper (cart at ~1 m/s, walking volunteers).
+type LinePath struct {
+	Start Pose    // pose at t=0
+	Vel   Vec3    // velocity in m/s
+	Dur   float64 // seconds
+}
+
+var _ Path = LinePath{}
+
+// At implements Path. Times are clamped to [0, Dur].
+func (l LinePath) At(t float64) Pose {
+	t = math.Max(0, math.Min(t, l.Dur))
+	return l.Start.Translated(l.Vel.Scale(t))
+}
+
+// Duration implements Path.
+func (l LinePath) Duration() float64 { return l.Dur }
+
+// StaticPath holds a pose fixed for Dur seconds (the static read-range
+// grid of Figure 2).
+type StaticPath struct {
+	Pose Pose
+	Dur  float64
+}
+
+var _ Path = StaticPath{}
+
+// At implements Path.
+func (s StaticPath) At(float64) Pose { return s.Pose }
+
+// Duration implements Path.
+func (s StaticPath) Duration() float64 { return s.Dur }
+
+// CrossingPass builds the canonical pass used throughout the paper's mobile
+// experiments: motion along +X at speed m/s, passing the point closest to
+// the portal (x=0) at distance standoff in front of it, covering
+// [-halfSpan, +halfSpan] in x at height z. The subject faces its direction
+// of travel by default.
+func CrossingPass(speed, standoff, halfSpan, z float64) LinePath {
+	if speed <= 0 {
+		speed = 1
+	}
+	start := NewPose(Vec3{-halfSpan, standoff, z}, UnitX, UnitZ)
+	return LinePath{
+		Start: start,
+		Vel:   UnitX.Scale(speed),
+		Dur:   2 * halfSpan / speed,
+	}
+}

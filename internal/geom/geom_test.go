@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func vecAlmost(a, b Vec3) bool {
+	return almost(a.X, b.X) && almost(a.Y, b.Y) && almost(a.Z, b.Z)
+}
+
+func TestVecBasics(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, -5, 6}
+	if got := a.Add(b); !vecAlmost(got, Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); !vecAlmost(got, Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); !almost(got, 4-10+18) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Scale(2); !vecAlmost(got, Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	got := UnitX.Cross(UnitY)
+	if !vecAlmost(got, UnitZ) {
+		t.Errorf("X cross Y = %v, want Z", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); !almost(got, 5) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := (Vec3{0, 3, 4}).Dist(Vec3{0, 0, 0}); !almost(got, 5) {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestUnitZeroSafe(t *testing.T) {
+	if got := (Vec3{}).Unit(); !got.IsZero() {
+		t.Errorf("zero.Unit() = %v, want zero", got)
+	}
+	if got := (Vec3{0, 0, 9}).Unit(); !vecAlmost(got, UnitZ) {
+		t.Errorf("Unit = %v", got)
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	tests := []struct {
+		v, w Vec3
+		want float64
+	}{
+		{UnitX, UnitX, 0},
+		{UnitX, UnitY, math.Pi / 2},
+		{UnitX, UnitX.Scale(-1), math.Pi},
+		{UnitX, Vec3{1, 1, 0}, math.Pi / 4},
+		{Vec3{}, UnitX, math.Pi / 2}, // degenerate: no information
+	}
+	for _, tt := range tests {
+		if got := AngleBetween(tt.v, tt.w); !almost(got, tt.want) {
+			t.Errorf("AngleBetween(%v, %v) = %v, want %v", tt.v, tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestNewPoseOrthonormal(t *testing.T) {
+	p := NewPose(Vec3{1, 2, 3}, Vec3{1, 1, 0}, Vec3{0, 0.2, 5})
+	if !almost(p.Forward.Norm(), 1) || !almost(p.Up.Norm(), 1) {
+		t.Fatalf("frame not normalized: %+v", p)
+	}
+	if !almost(p.Forward.Dot(p.Up), 0) {
+		t.Fatalf("frame not orthogonal: %+v", p)
+	}
+	r := p.Right()
+	if !almost(r.Norm(), 1) || !almost(r.Dot(p.Forward), 0) || !almost(r.Dot(p.Up), 0) {
+		t.Fatalf("right axis broken: %v", r)
+	}
+}
+
+func TestNewPoseDegenerateInputs(t *testing.T) {
+	// Zero forward falls back to +Y; up parallel to forward is re-picked.
+	p := NewPose(Vec3{}, Vec3{}, Vec3{})
+	if !vecAlmost(p.Forward, UnitY) || !almost(p.Up.Norm(), 1) {
+		t.Errorf("degenerate pose = %+v", p)
+	}
+	q := NewPose(Vec3{}, UnitZ, UnitZ)
+	if !almost(q.Forward.Dot(q.Up), 0) {
+		t.Errorf("parallel up not fixed: %+v", q)
+	}
+}
+
+func TestPoseToWorld(t *testing.T) {
+	// A pose facing +X with up +Z has right = forward×up = X×Z = -Y... check
+	// concrete mapping instead: local forward offset lands along +X.
+	p := NewPose(Vec3{10, 0, 0}, UnitX, UnitZ)
+	if got := p.ToWorld(Vec3{0, 2, 0}); !vecAlmost(got, Vec3{12, 0, 0}) {
+		t.Errorf("ToWorld forward = %v", got)
+	}
+	if got := p.ToWorld(Vec3{0, 0, 3}); !vecAlmost(got, Vec3{10, 0, 3}) {
+		t.Errorf("ToWorld up = %v", got)
+	}
+	if got := p.DirToWorld(Vec3{0, 1, 0}); !vecAlmost(got, UnitX) {
+		t.Errorf("DirToWorld = %v", got)
+	}
+}
+
+func TestLinePath(t *testing.T) {
+	l := LinePath{
+		Start: NewPose(Vec3{-2, 1, 0}, UnitX, UnitZ),
+		Vel:   Vec3{1, 0, 0},
+		Dur:   4,
+	}
+	if got := l.At(0).Pos; !vecAlmost(got, Vec3{-2, 1, 0}) {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := l.At(2).Pos; !vecAlmost(got, Vec3{0, 1, 0}) {
+		t.Errorf("At(2) = %v", got)
+	}
+	// Clamped beyond the ends.
+	if got := l.At(99).Pos; !vecAlmost(got, Vec3{2, 1, 0}) {
+		t.Errorf("At(99) = %v", got)
+	}
+	if got := l.At(-1).Pos; !vecAlmost(got, Vec3{-2, 1, 0}) {
+		t.Errorf("At(-1) = %v", got)
+	}
+}
+
+func TestStaticPath(t *testing.T) {
+	p := NewPose(Vec3{1, 1, 1}, UnitY, UnitZ)
+	s := StaticPath{Pose: p, Dur: 10}
+	if s.At(0) != s.At(5) || s.At(5) != s.At(100) {
+		t.Error("static path moved")
+	}
+	if s.Duration() != 10 {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+}
+
+func TestCrossingPass(t *testing.T) {
+	l := CrossingPass(1, 1, 3, 0.5)
+	if !almost(l.Duration(), 6) {
+		t.Errorf("Duration = %v, want 6", l.Duration())
+	}
+	mid := l.At(3).Pos
+	if !vecAlmost(mid, Vec3{0, 1, 0.5}) {
+		t.Errorf("midpoint = %v, want closest approach at x=0", mid)
+	}
+	// Zero/negative speed defaults to 1 m/s rather than dividing by zero.
+	l2 := CrossingPass(0, 1, 3, 0)
+	if math.IsInf(l2.Duration(), 0) || math.IsNaN(l2.Duration()) {
+		t.Errorf("degenerate speed produced duration %v", l2.Duration())
+	}
+}
+
+func TestCrossProductProperties(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{math.Mod(ax, 1e3), math.Mod(ay, 1e3), math.Mod(az, 1e3)}
+		b := Vec3{math.Mod(bx, 1e3), math.Mod(by, 1e3), math.Mod(bz, 1e3)}
+		c := a.Cross(b)
+		// c is orthogonal to both inputs (within fp tolerance scaled to magnitude).
+		tol := 1e-6 * (1 + a.Norm()*b.Norm())
+		return math.Abs(c.Dot(a)) < tol*(1+c.Norm()) && math.Abs(c.Dot(b)) < tol*(1+c.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{math.Mod(ax, 1e3), math.Mod(ay, 1e3), math.Mod(az, 1e3)}
+		b := Vec3{math.Mod(bx, 1e3), math.Mod(by, 1e3), math.Mod(bz, 1e3)}
+		return a.Add(b).Norm() <= a.Norm()+b.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package landmarc implements LANDMARC-style indoor location sensing
+// (Ni, Liu, Lau, Patil — the paper's reference [11] and its cited
+// application of active RFID to human tracking): a grid of active
+// *reference* tags at known positions shares the radio environment with
+// the tags being tracked; a tag's position is estimated as the weighted
+// centroid of its k nearest reference tags in *signal space* (per-antenna
+// RSSI vectors), which cancels much of the environment's fading.
+package landmarc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/world"
+)
+
+// ErrNoReferences is returned when locating without references.
+var ErrNoReferences = errors.New("landmarc: no reference tags")
+
+// FloorRSSI substitutes for antennas that did not hear a tag at all: the
+// bottom of the receivers' dynamic range.
+const FloorRSSI = -90.0
+
+// Measurement is a tag's RSSI signature: mean received power per antenna
+// name, in dBm.
+type Measurement struct {
+	ByAntenna map[string]float64
+}
+
+// rssi returns the measured value for an antenna, or the floor.
+func (m Measurement) rssi(antenna string) float64 {
+	if v, ok := m.ByAntenna[antenna]; ok {
+		return v
+	}
+	return FloorRSSI
+}
+
+// antennas returns the union of antenna names in a and b, sorted.
+func unionAntennas(a, b Measurement) []string {
+	set := map[string]bool{}
+	for name := range a.ByAntenna {
+		set[name] = true
+	}
+	for name := range b.ByAntenna {
+		set[name] = true
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SignalDistance is the Euclidean distance between two signatures in
+// signal space (the paper's E_j).
+func SignalDistance(a, b Measurement) float64 {
+	var sum float64
+	for _, name := range unionAntennas(a, b) {
+		d := a.rssi(name) - b.rssi(name)
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Reference is one reference tag: a known position with its signature.
+type Reference struct {
+	Name   string
+	Pos    geom.Vec3
+	Signal Measurement
+}
+
+// Estimator locates tags against a set of references.
+type Estimator struct {
+	// K is the number of nearest references in the weighted centroid
+	// (LANDMARC found k=4 optimal for their deployment). K is clamped to
+	// the number of references.
+	K    int
+	refs []Reference
+}
+
+// NewEstimator returns an estimator using the k nearest references.
+func NewEstimator(k int) *Estimator {
+	if k <= 0 {
+		k = 4
+	}
+	return &Estimator{K: k}
+}
+
+// AddReference registers a reference tag.
+func (e *Estimator) AddReference(r Reference) { e.refs = append(e.refs, r) }
+
+// References returns the registered reference count.
+func (e *Estimator) References() int { return len(e.refs) }
+
+// Neighbour is one reference with its signal-space distance and centroid
+// weight, as returned by Locate for diagnostics.
+type Neighbour struct {
+	Reference Reference
+	Distance  float64
+	Weight    float64
+}
+
+// Locate estimates the position of a tag with the given signature, also
+// returning the neighbours used.
+func (e *Estimator) Locate(sig Measurement) (geom.Vec3, []Neighbour, error) {
+	if len(e.refs) == 0 {
+		return geom.Vec3{}, nil, ErrNoReferences
+	}
+	k := e.K
+	if k > len(e.refs) {
+		k = len(e.refs)
+	}
+	nn := make([]Neighbour, len(e.refs))
+	for i, r := range e.refs {
+		nn[i] = Neighbour{Reference: r, Distance: SignalDistance(sig, r.Signal)}
+	}
+	sort.Slice(nn, func(i, j int) bool { return nn[i].Distance < nn[j].Distance })
+	nn = nn[:k]
+
+	// Weights 1/E², normalized. An exact signal match dominates.
+	const eps = 1e-9
+	var wsum float64
+	for i := range nn {
+		nn[i].Weight = 1 / (nn[i].Distance*nn[i].Distance + eps)
+		wsum += nn[i].Weight
+	}
+	var pos geom.Vec3
+	for i := range nn {
+		nn[i].Weight /= wsum
+		pos = pos.Add(nn[i].Reference.Pos.Scale(nn[i].Weight))
+	}
+	return pos, nn, nil
+}
+
+// Collect measures a tag's RSSI signature in a world: the mean decodable
+// reverse-link power at each antenna over the given number of fading
+// samples. Antennas that never decode the tag are omitted (the estimator
+// substitutes the floor).
+func Collect(w *world.World, tag *world.Tag, antennas []*world.Antenna, pass, samples int) Measurement {
+	if samples <= 0 {
+		samples = 8
+	}
+	m := Measurement{ByAntenna: map[string]float64{}}
+	for _, ant := range antennas {
+		var sum float64
+		heard := 0
+		for s := 0; s < samples; s++ {
+			// Spread samples across fading coherence blocks.
+			t := float64(s) * math.Max(w.Cal.FadingCoherenceSeconds, 0.1)
+			l := w.ResolveLink(tag, ant, world.LinkContext{Time: t, Pass: pass, Round: s})
+			if l.Readable(w.Cal) {
+				sum += float64(l.ReaderPower)
+				heard++
+			}
+		}
+		if heard > 0 {
+			m.ByAntenna[ant.Name] = sum / float64(heard)
+		}
+	}
+	return m
+}
+
+// Survey builds an estimator from a set of reference tags already placed
+// in the world.
+func Survey(w *world.World, refs []*world.Tag, antennas []*world.Antenna, k, pass, samples int) (*Estimator, error) {
+	if len(refs) == 0 {
+		return nil, ErrNoReferences
+	}
+	e := NewEstimator(k)
+	for _, tag := range refs {
+		e.AddReference(Reference{
+			Name:   tag.Name,
+			Pos:    tag.Pos(0),
+			Signal: Collect(w, tag, antennas, pass, samples),
+		})
+	}
+	return e, nil
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (n Neighbour) String() string {
+	return fmt.Sprintf("%s E=%.2f w=%.2f", n.Reference.Name, n.Distance, n.Weight)
+}

@@ -1,0 +1,185 @@
+package landmarc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+func sig(vals ...float64) Measurement {
+	m := Measurement{ByAntenna: map[string]float64{}}
+	for i, v := range vals {
+		m.ByAntenna[fmt.Sprintf("a%d", i)] = v
+	}
+	return m
+}
+
+func TestSignalDistance(t *testing.T) {
+	a := sig(-50, -60)
+	b := sig(-53, -56)
+	if got := SignalDistance(a, b); math.Abs(got-5) > 1e-9 {
+		t.Errorf("distance = %v, want 5", got)
+	}
+	if got := SignalDistance(a, a); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+	// Missing antennas fall to the floor.
+	c := Measurement{ByAntenna: map[string]float64{"a0": -50}}
+	d := Measurement{ByAntenna: map[string]float64{"a0": -50, "a1": FloorRSSI}}
+	if got := SignalDistance(c, d); got != 0 {
+		t.Errorf("floor-substituted distance = %v, want 0", got)
+	}
+}
+
+func TestLocateExactReferenceMatch(t *testing.T) {
+	e := NewEstimator(4)
+	e.AddReference(Reference{Name: "r1", Pos: geom.V(0, 0, 0), Signal: sig(-40, -70)})
+	e.AddReference(Reference{Name: "r2", Pos: geom.V(4, 0, 0), Signal: sig(-70, -40)})
+	e.AddReference(Reference{Name: "r3", Pos: geom.V(2, 3, 0), Signal: sig(-55, -55)})
+
+	pos, nn, err := e.Locate(sig(-40, -70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Dist(geom.V(0, 0, 0)) > 0.01 {
+		t.Errorf("exact match located at %v", pos)
+	}
+	if nn[0].Reference.Name != "r1" || nn[0].Weight < 0.99 {
+		t.Errorf("nearest neighbour = %+v", nn[0])
+	}
+}
+
+func TestLocateInterpolates(t *testing.T) {
+	e := NewEstimator(2)
+	e.AddReference(Reference{Name: "left", Pos: geom.V(0, 0, 0), Signal: sig(-40, -70)})
+	e.AddReference(Reference{Name: "right", Pos: geom.V(4, 0, 0), Signal: sig(-70, -40)})
+	// Exactly between the two signatures: the midpoint.
+	pos, nn, err := e.Locate(sig(-55, -55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Dist(geom.V(2, 0, 0)) > 0.01 {
+		t.Errorf("midpoint located at %v", pos)
+	}
+	if math.Abs(nn[0].Weight-0.5) > 0.01 {
+		t.Errorf("weights = %v / %v, want ~0.5 each", nn[0].Weight, nn[1].Weight)
+	}
+}
+
+func TestLocateKClamping(t *testing.T) {
+	e := NewEstimator(10) // more than we have
+	e.AddReference(Reference{Name: "r1", Pos: geom.V(0, 0, 0), Signal: sig(-40)})
+	e.AddReference(Reference{Name: "r2", Pos: geom.V(1, 0, 0), Signal: sig(-50)})
+	_, nn, err := e.Locate(sig(-45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 2 {
+		t.Errorf("neighbours = %d, want clamped to 2", len(nn))
+	}
+	// Weights normalize.
+	if math.Abs(nn[0].Weight+nn[1].Weight-1) > 1e-9 {
+		t.Error("weights do not sum to 1")
+	}
+	// Default k.
+	if NewEstimator(0).K != 4 {
+		t.Error("default k != 4")
+	}
+}
+
+func TestLocateNoReferences(t *testing.T) {
+	if _, _, err := NewEstimator(4).Locate(sig(-50)); !errors.Is(err, ErrNoReferences) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Survey(nil, nil, nil, 4, 0, 1); !errors.Is(err, ErrNoReferences) {
+		t.Errorf("survey err = %v", err)
+	}
+}
+
+// roomWorld builds a 6x6 m room with four corner antennas and a 4x4 grid
+// of active reference tags at 1 m height.
+func roomWorld(seed uint64) (*world.World, []*world.Antenna, []*world.Tag) {
+	w := world.New(rf.DefaultCalibration(), seed)
+	var ants []*world.Antenna
+	corners := []geom.Vec3{{X: 0, Y: 0, Z: 2}, {X: 6, Y: 0, Z: 2}, {X: 0, Y: 6, Z: 2}, {X: 6, Y: 6, Z: 2}}
+	for i, c := range corners {
+		ants = append(ants, w.AddAntenna(fmt.Sprintf("a%d", i),
+			geom.NewPose(c, geom.V(3, 3, 1).Sub(c), geom.UnitZ)))
+	}
+	var refs []*world.Tag
+	n := 0
+	for gx := 0; gx < 4; gx++ {
+		for gy := 0; gy < 4; gy++ {
+			pos := geom.V(0.75+float64(gx)*1.5, 0.75+float64(gy)*1.5, 1)
+			board := w.AddBox(fmt.Sprintf("ref-mount%d", n),
+				geom.StaticPath{Pose: geom.NewPose(pos, geom.UnitX, geom.UnitZ)},
+				geom.V(0.05, 0.05, 0.05), rf.Plastic, rf.Air, geom.Vec3{})
+			code, err := epc.GID96{Manager: 7, Class: 1, Serial: uint64(n)}.Encode()
+			if err != nil {
+				panic(err)
+			}
+			refs = append(refs, w.AttachActiveTag(board, fmt.Sprintf("ref%02d", n), code, world.Mount{
+				Normal: geom.UnitZ, Axis: geom.UnitX, Axis2: geom.UnitY, Gap: 0.1,
+			}))
+			n++
+		}
+	}
+	return w, ants, refs
+}
+
+func TestLocalizationInSimulatedRoom(t *testing.T) {
+	w, ants, refs := roomWorld(33)
+	est, err := Survey(w, refs, ants, 4, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.References() != 16 {
+		t.Fatalf("surveyed %d references", est.References())
+	}
+
+	// Track tags at several positions; LANDMARC-class accuracy is around
+	// 1-2 m median error for this density.
+	targets := []geom.Vec3{
+		{X: 1.5, Y: 1.5, Z: 1}, {X: 3, Y: 3, Z: 1}, {X: 4.5, Y: 2.25, Z: 1}, {X: 2.25, Y: 4.5, Z: 1},
+	}
+	var errs []float64
+	for i, pos := range targets {
+		board := w.AddBox(fmt.Sprintf("target-mount%d", i),
+			geom.StaticPath{Pose: geom.NewPose(pos, geom.UnitX, geom.UnitZ)},
+			geom.V(0.05, 0.05, 0.05), rf.Plastic, rf.Air, geom.Vec3{})
+		code, err := epc.GID96{Manager: 7, Class: 2, Serial: uint64(i)}.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := w.AttachActiveTag(board, fmt.Sprintf("target%d", i), code, world.Mount{
+			Normal: geom.UnitZ, Axis: geom.UnitX, Axis2: geom.UnitY, Gap: 0.1,
+		})
+		got, _, err := est.Locate(Collect(w, target, ants, 1+i, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := got.Dist(pos)
+		errs = append(errs, e)
+		if e > 3 {
+			t.Errorf("target %d at %v located at %v (error %.2f m)", i, pos, got, e)
+		}
+	}
+	sort.Float64s(errs)
+	if med := errs[len(errs)/2]; med > 2 {
+		t.Errorf("median localization error %.2f m, want LANDMARC-class (<2 m)", med)
+	}
+}
+
+func TestNeighbourString(t *testing.T) {
+	n := Neighbour{Reference: Reference{Name: "r1"}, Distance: 1.5, Weight: 0.25}
+	if got := n.String(); got != "r1 E=1.50 w=0.25" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,260 @@
+// Package reader models the interrogator (the paper's Matrix AR400 class
+// of device): one to four antennas multiplexed by TDMA, continuous
+// (buffered) read mode, optional dense-reader mode, and inventory rounds
+// executed against the world's channel state.
+package reader
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/estimate"
+	"rfidtrack/internal/gen2"
+	"rfidtrack/internal/units"
+	"rfidtrack/internal/world"
+)
+
+// Event is one tag observation, the unit the back-end consumes.
+type Event struct {
+	EPC     epc.Code
+	PC      uint16
+	Reader  string
+	Antenna string
+	// Time is the simulation time of the read.
+	Time float64
+	// RSSI is the backscatter power at the receiver.
+	RSSI units.DBm
+	// Pass tags the trial the event belongs to.
+	Pass int
+}
+
+// Option configures a Reader.
+type Option func(*Reader)
+
+// WithDenseMode enables dense-reader mode (the Gen-2 option the paper's
+// readers lacked).
+func WithDenseMode(on bool) Option {
+	return func(r *Reader) { r.dense = on }
+}
+
+// WithRoundConfig overrides the inventory round configuration.
+func WithRoundConfig(cfg gen2.Config) Option {
+	return func(r *Reader) { r.cfg = cfg }
+}
+
+// WithAntennaDwell overrides how long the reader stays on one antenna
+// before multiplexing to the next (seconds).
+func WithAntennaDwell(d float64) Option {
+	return func(r *Reader) {
+		if d > 0 {
+			r.dwell = d
+		}
+	}
+}
+
+// WithFrameAdaptive switches anti-collision from the in-round Q-algorithm
+// to Vogt-style frame sizing (the paper's reference [18]): each round runs
+// a fixed frame whose size comes from a population estimate of the
+// previous round's slot statistics.
+func WithFrameAdaptive() Option {
+	return func(r *Reader) {
+		r.frameAdaptive = true
+		r.cfg.Adaptive = false
+		r.lastEstimate = float64(int(1) << r.cfg.InitialQ)
+	}
+}
+
+// Reader is one interrogator with its attached antennas.
+type Reader struct {
+	name     string
+	world    *world.World
+	antennas []*world.Antenna
+	dense    bool
+	cfg      gen2.Config
+	// dwell is how long the multiplexer stays on one antenna. Era readers
+	// switched on the order of a second, not per round — which is why the
+	// paper saw a slight *decrease* from a second antenna when blocking
+	// was not an issue: each antenna only covers part of the pass window.
+	dwell float64
+
+	// frameAdaptive selects Vogt-style frame sizing (see
+	// WithFrameAdaptive); lastEstimate carries the population estimate
+	// between rounds.
+	frameAdaptive bool
+	lastEstimate  float64
+
+	mu     sync.Mutex
+	round  int
+	buffer []Event
+}
+
+// DefaultAntennaDwell is the multiplexer dwell used unless overridden.
+const DefaultAntennaDwell = 2.5
+
+// New builds a reader driving the given antennas (1–4, per the hardware the
+// paper describes).
+func New(name string, w *world.World, antennas []*world.Antenna, opts ...Option) (*Reader, error) {
+	if len(antennas) == 0 || len(antennas) > 4 {
+		return nil, fmt.Errorf("reader: %q wants 1-4 antennas, got %d", name, len(antennas))
+	}
+	r := &Reader{
+		name:     name,
+		world:    w,
+		antennas: antennas,
+		cfg:      gen2.DefaultConfig(),
+		dwell:    DefaultAntennaDwell,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// Name returns the reader's name.
+func (r *Reader) Name() string { return r.name }
+
+// DenseMode reports whether dense-reader mode is enabled.
+func (r *Reader) DenseMode() bool { return r.dense }
+
+// Antennas returns the antennas the reader multiplexes.
+func (r *Reader) Antennas() []*world.Antenna { return r.antennas }
+
+// AntennaAt returns the antenna the multiplexer drives at time t — which
+// is also the antenna radiating CW at that moment in continuous mode, the
+// one foreign readers see as an interferer. The schedule is a stateless
+// function of time so passes replay identically.
+func (r *Reader) AntennaAt(t float64) *world.Antenna {
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t/r.dwell) % len(r.antennas)
+	return r.antennas[idx]
+}
+
+// RunRound executes one inventory round at time t of pass passID over the
+// next antenna in the TDMA schedule. foreign lists other readers' active
+// antennas. Events are appended to the buffered-mode store and returned
+// together with the round's duration.
+func (r *Reader) RunRound(passID int, t float64, foreign []world.ForeignEmitter) ([]Event, float64) {
+	ant := r.AntennaAt(t)
+	r.mu.Lock()
+	round := r.round
+	r.round++
+	r.mu.Unlock()
+
+	cal := r.world.Cal
+	tags := r.world.Tags()
+	parts := make([]gen2.Participant, len(tags))
+	links := make([]units.DBm, len(tags))
+	ctx := world.LinkContext{Time: t, Pass: passID, Round: round, Foreign: foreign}
+	for i, tag := range tags {
+		l := r.world.ResolveLink(tag, ant, ctx)
+		tag.Proto.SetPower(l.TagPowered(cal), t)
+		parts[i] = gen2.Participant{
+			Tag:       tag.Proto,
+			ForwardOK: l.ForwardDecodable(cal),
+			ReverseOK: l.ReverseDecodable(cal),
+		}
+		links[i] = l.ReaderPower
+	}
+
+	cfg := r.cfg
+	if r.frameAdaptive {
+		cfg.InitialQ = r.frameQ()
+	}
+	res := gen2.RunRound(cfg, parts, t)
+	if r.frameAdaptive {
+		r.updateEstimate(res)
+	}
+	events := make([]Event, 0, len(res.Reads))
+	for _, read := range res.Reads {
+		events = append(events, Event{
+			EPC:     read.EPC,
+			PC:      read.PC,
+			Reader:  r.name,
+			Antenna: ant.Name,
+			Time:    t, // the round start; sub-round timing is below event resolution
+			RSSI:    links[read.Index],
+			Pass:    passID,
+		})
+	}
+
+	r.mu.Lock()
+	r.buffer = append(r.buffer, events...)
+	r.mu.Unlock()
+	return events, res.Duration
+}
+
+// frameQ converts the running population estimate into the next round's
+// frame exponent (optimal framed ALOHA sets the frame size near the
+// population size).
+func (r *Reader) frameQ() uint8 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := math.Max(r.lastEstimate, 1)
+	q := math.Round(math.Log2(n))
+	if q < 1 {
+		q = 1
+	}
+	if q > 15 {
+		q = 15
+	}
+	return uint8(q)
+}
+
+// updateEstimate folds one round's slot statistics into the population
+// estimate. A saturated frame (every slot collided) doubles the estimate;
+// otherwise the estimator's output is smoothed in, floored by the reads
+// actually made.
+func (r *Reader) updateEstimate(res gen2.Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	est, err := estimate.FromRound(res)
+	switch {
+	case err != nil:
+		r.lastEstimate *= 2
+	default:
+		const alpha = 0.5
+		n := math.Max(est.N, float64(len(res.Reads)))
+		r.lastEstimate = (1-alpha)*r.lastEstimate + alpha*n
+	}
+	if r.lastEstimate > 1<<15 {
+		r.lastEstimate = 1 << 15
+	}
+}
+
+// Buffer returns a copy of the buffered events (continuous read mode).
+func (r *Reader) Buffer() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.buffer...)
+}
+
+// DrainBuffer returns the buffered events and clears the store, the
+// "read and purge" poll the paper's Java software performed over HTTP.
+func (r *Reader) DrainBuffer() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.buffer
+	r.buffer = nil
+	return out
+}
+
+// DistinctEPCs returns the sorted set of distinct EPCs currently buffered.
+func (r *Reader) DistinctEPCs() []epc.Code {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := make(map[epc.Code]bool, len(r.buffer))
+	for _, e := range r.buffer {
+		set[e.EPC] = true
+	}
+	out := make([]epc.Code, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hex() < out[j].Hex() })
+	return out
+}

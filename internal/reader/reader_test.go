@@ -1,0 +1,230 @@
+package reader
+
+import (
+	"testing"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/gen2"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+func testCode(serial uint64) epc.Code {
+	c, err := epc.GID96{Manager: 2, Class: 2, Serial: serial}.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// staticScene builds a world with n well-placed tags at 1 m and one
+// antenna, returning both.
+func staticScene(t *testing.T, n int, seed uint64) (*world.World, *world.Antenna) {
+	t.Helper()
+	w := world.New(rf.DefaultCalibration(), seed)
+	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	for i := 0; i < n; i++ {
+		x := float64(i%5)*0.125 - 0.25
+		z := 1 + float64(i/5)*0.2 - 0.2
+		box := w.AddBox("box"+string(rune('A'+i)),
+			geom.StaticPath{Pose: geom.NewPose(geom.V(x, 1, z), geom.UnitX, geom.UnitZ)},
+			geom.V(0.1, 0.1, 0.1), rf.Cardboard, rf.Air, geom.Vec3{})
+		w.AttachTag(box, "tag"+string(rune('A'+i)), testCode(uint64(i)), world.Mount{
+			Offset: geom.V(0, -0.05, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitX, Gap: 0.05,
+		})
+	}
+	return w, ant
+}
+
+func TestReaderValidation(t *testing.T) {
+	w, ant := staticScene(t, 1, 1)
+	if _, err := New("r", w, nil); err == nil {
+		t.Error("reader with no antennas accepted")
+	}
+	five := []*world.Antenna{ant, ant, ant, ant, ant}
+	if _, err := New("r", w, five); err == nil {
+		t.Error("reader with five antennas accepted")
+	}
+	r, err := New("r", w, []*world.Antenna{ant})
+	if err != nil || r.Name() != "r" || r.DenseMode() {
+		t.Errorf("basic reader: %v %v", r, err)
+	}
+}
+
+func TestRunRoundReadsTags(t *testing.T) {
+	w, ant := staticScene(t, 6, 2)
+	r, err := New("r1", w, []*world.Antenna{ant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, dur := r.RunRound(0, 0, nil)
+	if len(events) != 6 {
+		t.Fatalf("read %d/6 tags at 1 m boresight", len(events))
+	}
+	if dur <= 0 {
+		t.Error("round consumed no time")
+	}
+	for _, e := range events {
+		if e.Reader != "r1" || e.Antenna != "a1" {
+			t.Errorf("event attribution: %+v", e)
+		}
+		if e.RSSI < -80 || e.RSSI > 0 {
+			t.Errorf("implausible RSSI %v", e.RSSI)
+		}
+	}
+}
+
+func TestTDMAAntennaRotation(t *testing.T) {
+	w, a1 := staticScene(t, 2, 3)
+	a2 := w.AddAntenna("a2", geom.NewPose(geom.V(0, 2, 1), geom.UnitY.Scale(-1), geom.UnitZ))
+	r, err := New("r1", w, []*world.Antenna{a1, a2}, WithAntennaDwell(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The multiplexer schedule is a stateless function of time: dwell on
+	// each antenna in turn, wrapping around.
+	if r.AntennaAt(0) != a1 || r.AntennaAt(0.49) != a1 {
+		t.Error("first dwell should be on a1")
+	}
+	if r.AntennaAt(0.51) != a2 {
+		t.Error("second dwell should be on a2")
+	}
+	if r.AntennaAt(1.1) != a1 {
+		t.Error("schedule did not wrap")
+	}
+	if r.AntennaAt(-1) != a1 {
+		t.Error("negative time should clamp to the first dwell")
+	}
+	events, _ := r.RunRound(0, 0.6, nil)
+	for _, e := range events {
+		if e.Antenna != "a2" {
+			t.Errorf("round at t=0.6 attributed to %s, want a2", e.Antenna)
+		}
+	}
+}
+
+func TestBufferedMode(t *testing.T) {
+	w, ant := staticScene(t, 3, 4)
+	r, _ := New("r1", w, []*world.Antenna{ant})
+	r.RunRound(0, 0, nil)
+	if len(r.Buffer()) != 3 {
+		t.Fatalf("buffer has %d events", len(r.Buffer()))
+	}
+	if got := len(r.DistinctEPCs()); got != 3 {
+		t.Fatalf("distinct EPCs = %d", got)
+	}
+	drained := r.DrainBuffer()
+	if len(drained) != 3 || len(r.Buffer()) != 0 {
+		t.Error("drain did not empty the buffer")
+	}
+	// Buffer() returns a copy, not an alias.
+	r.RunRound(0, 3, nil)
+	b := r.Buffer()
+	if len(b) == 0 {
+		t.Fatal("no events after second round")
+	}
+	b[0].Reader = "mutated"
+	if r.Buffer()[0].Reader == "mutated" {
+		t.Error("Buffer aliases internal storage")
+	}
+}
+
+func TestForeignReaderJamsReads(t *testing.T) {
+	w, a1 := staticScene(t, 6, 5)
+	a2 := w.AddAntenna("a2", geom.NewPose(geom.V(0, 2, 1), geom.UnitY.Scale(-1), geom.UnitZ))
+	r1, _ := New("r1", w, []*world.Antenna{a1})
+
+	// Clean baseline.
+	clean, _ := r1.RunRound(0, 0, nil)
+	if len(clean) != 6 {
+		t.Fatalf("clean round read %d/6", len(clean))
+	}
+
+	// Same round with a non-dense foreign reader radiating from across the
+	// portal: reads must collapse (reader-to-reader interference, the
+	// paper's negative result).
+	for _, tag := range w.Tags() {
+		tag.Proto.Reset()
+	}
+	jammed, _ := r1.RunRound(1, 0, []world.ForeignEmitter{{Antenna: a2}})
+	if len(jammed) != 0 {
+		t.Errorf("jammed round still read %d tags", len(jammed))
+	}
+
+	// Dense mode on both ends restores operation.
+	for _, tag := range w.Tags() {
+		tag.Proto.Reset()
+	}
+	dense, _ := r1.RunRound(2, 0, []world.ForeignEmitter{{Antenna: a2, DenseModeBoth: true}})
+	if len(dense) < 5 {
+		t.Errorf("dense-mode round read only %d/6", len(dense))
+	}
+}
+
+func TestWithRoundConfig(t *testing.T) {
+	w, ant := staticScene(t, 2, 6)
+	cfg := gen2.DefaultConfig()
+	cfg.Adaptive = false
+	cfg.InitialQ = 5
+	r, _ := New("r1", w, []*world.Antenna{ant}, WithRoundConfig(cfg), WithDenseMode(true))
+	if !r.DenseMode() {
+		t.Error("option WithDenseMode ignored")
+	}
+	events, dur := r.RunRound(0, 0, nil)
+	if len(events) != 2 {
+		t.Errorf("fixed-Q round read %d/2", len(events))
+	}
+	// 32 fixed slots cost measurably more than an adaptive round for 2 tags.
+	if dur < 0.01 {
+		t.Errorf("fixed 32-slot round took only %v", dur)
+	}
+}
+
+func TestFrameAdaptiveStrategy(t *testing.T) {
+	// A dense static population: the Vogt strategy must converge its frame
+	// size and read everyone across a few rounds.
+	w, ant := staticScene(t, 24, 7)
+	r, err := New("r1", w, []*world.Antenna{ant}, WithFrameAdaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := map[string]bool{}
+	for round := 0; round < 6; round++ {
+		events, _ := r.RunRound(0, float64(round), nil)
+		for _, e := range events {
+			read[e.EPC.Hex()] = true
+		}
+	}
+	if len(read) != 24 {
+		t.Errorf("frame-adaptive reader found %d/24 tags", len(read))
+	}
+	// The frame exponent must have adapted into a sane band for ~24 tags
+	// (log2(24) ≈ 4.6) once the estimate settles.
+	if q := r.frameQ(); q < 2 || q > 8 {
+		t.Errorf("converged frame Q = %d, want near log2(population)", q)
+	}
+}
+
+func TestFrameAdaptiveSaturationGrowth(t *testing.T) {
+	r := &Reader{cfg: gen2.DefaultConfig(), frameAdaptive: true, lastEstimate: 4}
+	// A fully collided round has no information: the estimate must grow.
+	r.updateEstimate(gen2.Result{Slots: 4, Collisions: 4})
+	if r.lastEstimate != 8 {
+		t.Errorf("estimate after saturation = %v, want doubled", r.lastEstimate)
+	}
+	// And it must not grow without bound.
+	r.lastEstimate = 1 << 15
+	r.updateEstimate(gen2.Result{Slots: 4, Collisions: 4})
+	if r.lastEstimate > 1<<15 {
+		t.Errorf("estimate unbounded: %v", r.lastEstimate)
+	}
+	// frameQ clamps.
+	if q := r.frameQ(); q != 15 {
+		t.Errorf("frameQ at ceiling = %d", q)
+	}
+	r.lastEstimate = 0.5
+	if q := r.frameQ(); q != 1 {
+		t.Errorf("frameQ at floor = %d", q)
+	}
+}

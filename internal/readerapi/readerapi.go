@@ -1,0 +1,191 @@
+// Package readerapi implements the wire interface the paper's software
+// used: "Our software sends commands to the reader over its HTTP interface
+// and the reader responds with a list of tags in XML format." It provides
+// an AR400-style HTTP server wrapping a reader, and a polling client for
+// the back-end.
+package readerapi
+
+import (
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/reader"
+)
+
+// Source is the reader capability the server exposes. *reader.Reader
+// satisfies it.
+type Source interface {
+	Name() string
+	Buffer() []reader.Event
+	DrainBuffer() []reader.Event
+	DistinctEPCs() []epc.Code
+}
+
+var _ Source = (*reader.Reader)(nil)
+
+// TagXML is one tag entry in a tag-list response.
+type TagXML struct {
+	XMLName xml.Name `xml:"tag"`
+	EPC     string   `xml:"epc,attr"`
+	URI     string   `xml:"uri,attr"`
+	Antenna string   `xml:"antenna,attr"`
+	Reader  string   `xml:"reader,attr"`
+	RSSI    float64  `xml:"rssi,attr"`
+	Time    float64  `xml:"time,attr"`
+	Pass    int      `xml:"pass,attr"`
+}
+
+// TagListXML is the reader's tag-list response document.
+type TagListXML struct {
+	XMLName xml.Name `xml:"taglist"`
+	Reader  string   `xml:"reader,attr"`
+	Count   int      `xml:"count,attr"`
+	Tags    []TagXML `xml:"tag"`
+}
+
+// StatusXML is the reader status document.
+type StatusXML struct {
+	XMLName  xml.Name `xml:"status"`
+	Reader   string   `xml:"reader,attr"`
+	Buffered int      `xml:"buffered,attr"`
+	Distinct int      `xml:"distinct,attr"`
+}
+
+// Server serves the AR400-style API for one reader.
+type Server struct {
+	mu  sync.Mutex
+	src Source
+}
+
+// NewServer wraps a reader source.
+func NewServer(src Source) *Server { return &Server{src: src} }
+
+// Handler returns the HTTP handler:
+//
+//	GET  /api/status          reader status
+//	GET  /api/taglist         buffered events as an XML tag list
+//	POST /api/taglist/purge   drain the buffer, returning what was drained
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/status", s.handleStatus)
+	mux.HandleFunc("GET /api/taglist", s.handleTagList)
+	mux.HandleFunc("POST /api/taglist/purge", s.handlePurge)
+	return mux
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	buffered := len(s.src.Buffer())
+	distinct := len(s.src.DistinctEPCs())
+	name := s.src.Name()
+	s.mu.Unlock()
+	writeXML(w, StatusXML{Reader: name, Buffered: buffered, Distinct: distinct})
+}
+
+func (s *Server) handleTagList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	events := s.src.Buffer()
+	name := s.src.Name()
+	s.mu.Unlock()
+	writeXML(w, toTagList(name, events))
+}
+
+func (s *Server) handlePurge(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	events := s.src.DrainBuffer()
+	name := s.src.Name()
+	s.mu.Unlock()
+	writeXML(w, toTagList(name, events))
+}
+
+func toTagList(name string, events []reader.Event) TagListXML {
+	list := TagListXML{Reader: name, Count: len(events)}
+	for _, e := range events {
+		list.Tags = append(list.Tags, TagXML{
+			EPC:     e.EPC.Hex(),
+			URI:     e.EPC.URI(),
+			Antenna: e.Antenna,
+			Reader:  e.Reader,
+			RSSI:    float64(e.RSSI),
+			Time:    e.Time,
+			Pass:    e.Pass,
+		})
+	}
+	return list
+}
+
+func writeXML(w http.ResponseWriter, doc any) {
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	// Encoding errors after the header is sent can only be logged by the
+	// caller's middleware; the encoder itself reports them here.
+	_ = enc.Encode(doc)
+	_ = enc.Close()
+}
+
+// Client polls a readerapi server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for the default.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// Status fetches the reader status.
+func (c *Client) Status() (StatusXML, error) {
+	var out StatusXML
+	err := c.get("/api/status", &out)
+	return out, err
+}
+
+// TagList fetches the buffered tag list without draining it.
+func (c *Client) TagList() (TagListXML, error) {
+	var out TagListXML
+	err := c.get("/api/taglist", &out)
+	return out, err
+}
+
+// Poll drains the reader buffer — the paper's software polling loop.
+func (c *Client) Poll() (TagListXML, error) {
+	resp, err := c.http.Post(c.base+"/api/taglist/purge", "text/xml", nil)
+	if err != nil {
+		return TagListXML{}, fmt.Errorf("readerapi: poll: %w", err)
+	}
+	defer resp.Body.Close()
+	var out TagListXML
+	if err := decodeXML(resp, &out); err != nil {
+		return TagListXML{}, err
+	}
+	return out, nil
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("readerapi: get %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeXML(resp, out)
+}
+
+func decodeXML(resp *http.Response, out any) error {
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readerapi: server returned %s", resp.Status)
+	}
+	if err := xml.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("readerapi: decoding response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package readerapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+// liveReader builds a reader over a small static scene and runs one round
+// so its buffer is populated.
+func liveReader(t *testing.T) *reader.Reader {
+	t.Helper()
+	w := world.New(rf.DefaultCalibration(), 5)
+	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	for i := 0; i < 3; i++ {
+		box := w.AddBox("box"+string(rune('A'+i)),
+			geom.StaticPath{Pose: geom.NewPose(geom.V(float64(i)*0.3-0.3, 1, 1), geom.UnitX, geom.UnitZ)},
+			geom.V(0.2, 0.2, 0.2), rf.Cardboard, rf.Air, geom.Vec3{})
+		c, err := epc.GID96{Manager: 5, Class: 5, Serial: uint64(i)}.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.AttachTag(box, "tag"+string(rune('A'+i)), c, world.Mount{
+			Offset: geom.V(0, -0.1, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitX, Gap: 0.05,
+		})
+	}
+	r, err := reader.New("r1", w, []*world.Antenna{ant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RunRound(0, 0, nil)
+	return r
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	r := liveReader(t)
+	srv := httptest.NewServer(NewServer(r).Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+
+	status, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Reader != "r1" || status.Buffered != 3 || status.Distinct != 3 {
+		t.Errorf("status = %+v", status)
+	}
+
+	list, err := c.TagList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 3 || len(list.Tags) != 3 {
+		t.Fatalf("taglist = %+v", list)
+	}
+	for _, tag := range list.Tags {
+		if tag.Reader != "r1" || tag.Antenna != "a1" {
+			t.Errorf("attribution: %+v", tag)
+		}
+		if !strings.HasPrefix(tag.URI, "urn:epc:id:gid:") {
+			t.Errorf("URI = %q", tag.URI)
+		}
+		if len(tag.EPC) != 24 {
+			t.Errorf("EPC hex = %q", tag.EPC)
+		}
+		if tag.RSSI >= 0 || tag.RSSI < -90 {
+			t.Errorf("RSSI = %v", tag.RSSI)
+		}
+	}
+
+	// TagList does not drain.
+	if again, _ := c.TagList(); again.Count != 3 {
+		t.Error("TagList drained the buffer")
+	}
+
+	// Poll drains: the paper's software poll loop.
+	drained, err := c.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drained.Count != 3 {
+		t.Errorf("poll drained %d", drained.Count)
+	}
+	empty, err := c.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Count != 0 {
+		t.Errorf("second poll returned %d", empty.Count)
+	}
+}
+
+func TestServerContentTypeAndXMLWellFormed(t *testing.T) {
+	r := liveReader(t)
+	srv := httptest.NewServer(NewServer(r).Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/api/taglist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/xml") {
+		t.Errorf("content type = %q", ct)
+	}
+	var list TagListXML
+	if err := decodeXML(resp, &list); err != nil {
+		t.Fatalf("response not well-formed XML: %v", err)
+	}
+}
+
+func TestServerMethodRouting(t *testing.T) {
+	r := liveReader(t)
+	srv := httptest.NewServer(NewServer(r).Handler())
+	defer srv.Close()
+
+	// Purge requires POST.
+	resp, err := srv.Client().Get(srv.URL + "/api/taglist/purge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET purge = %d, want 405", resp.StatusCode)
+	}
+	// Unknown path.
+	resp, err = srv.Client().Get(srv.URL + "/api/nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	// A server that always 500s.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+	if _, err := c.Status(); err == nil {
+		t.Error("Status on a failing server should error")
+	}
+	if _, err := c.Poll(); err == nil {
+		t.Error("Poll on a failing server should error")
+	}
+	// Unreachable server.
+	dead := NewClient("http://127.0.0.1:1", nil)
+	if _, err := dead.TagList(); err == nil {
+		t.Error("TagList on a dead server should error")
+	}
+}

@@ -1,0 +1,162 @@
+package redundancy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Planning errors.
+var (
+	// ErrUnreachable is returned when no candidate subset reaches the
+	// target reliability.
+	ErrUnreachable = errors.New("redundancy: target reliability unreachable")
+	// ErrBadCandidate is returned for malformed candidates.
+	ErrBadCandidate = errors.New("redundancy: invalid candidate")
+)
+
+// Candidate is one possible read opportunity to buy: a tag location (or
+// an extra antenna) with its measured single reliability and its cost in
+// whatever unit the deployment cares about (tag price, placement labor).
+type Candidate struct {
+	Name string
+	P    float64
+	Cost float64
+}
+
+// Plan is a chosen set of candidates.
+type Plan struct {
+	Chosen      []Candidate
+	Reliability float64
+	Cost        float64
+}
+
+// String implements fmt.Stringer.
+func (p Plan) String() string {
+	names := make([]string, len(p.Chosen))
+	for i, c := range p.Chosen {
+		names[i] = c.Name
+	}
+	return fmt.Sprintf("%v -> %.2f%% for %.2f", names, 100*p.Reliability, p.Cost)
+}
+
+// PlanPlacement finds the cheapest subset of candidates whose combined
+// independent reliability reaches target, using at most maxPicks
+// candidates (0 = no limit). Each candidate may be used once — two tags
+// in the same spot are not independent. Exhaustive branch-and-bound:
+// candidate counts in real deployments are small (a box has six faces).
+func PlanPlacement(candidates []Candidate, target float64, maxPicks int) (Plan, error) {
+	if target <= 0 {
+		return Plan{}, nil
+	}
+	if target >= 1 {
+		return Plan{}, fmt.Errorf("%w: target 1.0 needs a perfect opportunity", ErrUnreachable)
+	}
+	for _, c := range candidates {
+		if c.P < 0 || c.P > 1 {
+			return Plan{}, fmt.Errorf("%w: %s has reliability %v", ErrBadCandidate, c.Name, c.P)
+		}
+		if c.Cost < 0 {
+			return Plan{}, fmt.Errorf("%w: %s has negative cost", ErrBadCandidate, c.Name)
+		}
+	}
+	if maxPicks <= 0 || maxPicks > len(candidates) {
+		maxPicks = len(candidates)
+	}
+	// Work in log space: each candidate contributes gain_i = -ln(1-p_i);
+	// the target needs total gain >= need.
+	need := -math.Log(1 - target)
+	type item struct {
+		c    Candidate
+		gain float64
+	}
+	items := make([]item, 0, len(candidates))
+	for _, c := range candidates {
+		g := math.Inf(1)
+		if c.P < 1 {
+			g = -math.Log(1 - c.P)
+		}
+		items = append(items, item{c: c, gain: g})
+	}
+	// Sort by gain density so branch-and-bound prunes early; zero-cost
+	// candidates sort first.
+	sort.Slice(items, func(i, j int) bool {
+		di := density(items[i].gain, items[i].c.Cost)
+		dj := density(items[j].gain, items[j].c.Cost)
+		if di != dj {
+			return di > dj
+		}
+		return items[i].c.Cost < items[j].c.Cost
+	})
+	// Suffix sums of remaining achievable gain for pruning.
+	suffixGain := make([]float64, len(items)+1)
+	for i := len(items) - 1; i >= 0; i-- {
+		suffixGain[i] = suffixGain[i+1] + items[i].gain
+	}
+
+	best := Plan{Cost: math.Inf(1)}
+	var chosen []int
+	var dfs func(i int, gain, cost float64)
+	dfs = func(i int, gain, cost float64) {
+		if gain >= need-1e-12 {
+			if cost < best.Cost || (cost == best.Cost && len(chosen) < len(best.Chosen)) {
+				best = Plan{Cost: cost}
+				for _, idx := range chosen {
+					best.Chosen = append(best.Chosen, items[idx].c)
+				}
+			}
+			return
+		}
+		if i >= len(items) || len(chosen) >= maxPicks {
+			return
+		}
+		if cost >= best.Cost {
+			return // already worse than the incumbent
+		}
+		if gain+suffixGain[i] < need-1e-12 {
+			return // even taking everything left cannot reach the target
+		}
+		// Take items[i].
+		chosen = append(chosen, i)
+		dfs(i+1, gain+items[i].gain, cost+items[i].c.Cost)
+		chosen = chosen[:len(chosen)-1]
+		// Skip items[i].
+		dfs(i+1, gain, cost)
+	}
+	dfs(0, 0, 0)
+
+	if math.IsInf(best.Cost, 1) {
+		gains := make([]float64, len(items))
+		for i, it := range items {
+			gains[i] = it.gain
+		}
+		return Plan{}, fmt.Errorf("%w: best achievable is %.2f%%",
+			ErrUnreachable, 100*bestAchievable(gains, maxPicks))
+	}
+	ps := make([]float64, len(best.Chosen))
+	for i, c := range best.Chosen {
+		ps[i] = c.P
+	}
+	best.Reliability = Combined(ps...)
+	return best, nil
+}
+
+func density(gain, cost float64) float64 {
+	if cost <= 0 {
+		return math.Inf(1)
+	}
+	return gain / cost
+}
+
+// bestAchievable returns the highest reliability any allowed subset gives
+// (the top-gain maxPicks candidates).
+func bestAchievable(gains []float64, maxPicks int) float64 {
+	gains = append([]float64(nil), gains...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(gains)))
+	var total float64
+	for i := 0; i < len(gains) && i < maxPicks; i++ {
+		total += gains[i]
+	}
+	return 1 - math.Exp(-total)
+}

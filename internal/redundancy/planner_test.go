@@ -1,0 +1,190 @@
+package redundancy
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperBox is the paper's Table 1 as a candidate pool with unit costs.
+func paperBox() []Candidate {
+	return []Candidate{
+		{Name: "front", P: 0.87, Cost: 1},
+		{Name: "back", P: 0.87, Cost: 1},
+		{Name: "side-closer", P: 0.83, Cost: 1},
+		{Name: "side-farther", P: 0.63, Cost: 1},
+		{Name: "top", P: 0.29, Cost: 1},
+		{Name: "bottom", P: 0.29, Cost: 1},
+	}
+}
+
+func TestPlanPicksBestLocationsFirst(t *testing.T) {
+	// With unit costs, hitting 97% needs the two best faces — exactly the
+	// paper's "two tags instead of one: 80% -> 97%".
+	plan, err := PlanPlacement(paperBox(), 0.97, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Chosen) != 2 {
+		t.Fatalf("plan used %d tags, want 2: %v", len(plan.Chosen), plan)
+	}
+	for _, c := range plan.Chosen {
+		if c.P < 0.83 {
+			t.Errorf("plan picked a weak location: %v", plan)
+		}
+	}
+	if plan.Reliability < 0.97 {
+		t.Errorf("plan reliability %v below target", plan.Reliability)
+	}
+	if plan.Cost != 2 {
+		t.Errorf("plan cost = %v", plan.Cost)
+	}
+}
+
+func TestPlanRespectsCosts(t *testing.T) {
+	// A cheap mediocre pair can beat one expensive good tag.
+	candidates := []Candidate{
+		{Name: "premium", P: 0.95, Cost: 10},
+		{Name: "cheap-a", P: 0.80, Cost: 1},
+		{Name: "cheap-b", P: 0.80, Cost: 1},
+	}
+	plan, err := PlanPlacement(candidates, 0.95, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two cheap tags: 1-(0.2)^2 = 96% ≥ 95% at cost 2, beating cost 10.
+	if plan.Cost != 2 || len(plan.Chosen) != 2 {
+		t.Errorf("plan = %v, want the two cheap tags", plan)
+	}
+}
+
+func TestPlanMaxPicks(t *testing.T) {
+	// Capped at one tag, only the premium one reaches the target.
+	candidates := []Candidate{
+		{Name: "premium", P: 0.95, Cost: 10},
+		{Name: "cheap-a", P: 0.80, Cost: 1},
+		{Name: "cheap-b", P: 0.80, Cost: 1},
+	}
+	plan, err := PlanPlacement(candidates, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Chosen) != 1 || plan.Chosen[0].Name != "premium" {
+		t.Errorf("plan = %v", plan)
+	}
+}
+
+func TestPlanUnreachable(t *testing.T) {
+	_, err := PlanPlacement(paperBox(), 0.9999999999, 0)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v", err)
+	}
+	// Degenerate pools.
+	if _, err := PlanPlacement(nil, 0.5, 0); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("empty pool err = %v", err)
+	}
+	// A perfect candidate makes even target→1 awkward; targets of exactly
+	// 1 are rejected outright.
+	if _, err := PlanPlacement(paperBox(), 1, 0); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("target 1 err = %v", err)
+	}
+}
+
+func TestPlanTrivialTargets(t *testing.T) {
+	plan, err := PlanPlacement(paperBox(), 0, 0)
+	if err != nil || len(plan.Chosen) != 0 {
+		t.Errorf("zero target plan = %v, %v", plan, err)
+	}
+	plan, err = PlanPlacement(paperBox(), -1, 0)
+	if err != nil || len(plan.Chosen) != 0 {
+		t.Errorf("negative target plan = %v, %v", plan, err)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := PlanPlacement([]Candidate{{Name: "x", P: 1.5}}, 0.5, 0); !errors.Is(err, ErrBadCandidate) {
+		t.Error("bad reliability accepted")
+	}
+	if _, err := PlanPlacement([]Candidate{{Name: "x", P: 0.5, Cost: -1}}, 0.4, 0); !errors.Is(err, ErrBadCandidate) {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestPlanPerfectCandidate(t *testing.T) {
+	plan, err := PlanPlacement([]Candidate{
+		{Name: "perfect", P: 1, Cost: 5},
+		{Name: "meh", P: 0.5, Cost: 1},
+	}, 0.99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Chosen) != 1 || plan.Chosen[0].Name != "perfect" {
+		t.Errorf("plan = %v", plan)
+	}
+	if plan.Reliability != 1 {
+		t.Errorf("reliability = %v", plan.Reliability)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	plan, err := PlanPlacement(paperBox(), 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "front") && !strings.Contains(s, "back") {
+		t.Errorf("plan string = %q", s)
+	}
+}
+
+func TestPlanOptimalityAgainstBruteForce(t *testing.T) {
+	f := func(ps [6]uint8, costs [6]uint8, targetRaw uint8) bool {
+		candidates := make([]Candidate, 6)
+		for i := range candidates {
+			candidates[i] = Candidate{
+				Name: string(rune('a' + i)),
+				P:    float64(ps[i]%99) / 100,
+				Cost: float64(costs[i]%9) + 1,
+			}
+		}
+		target := float64(targetRaw%95) / 100
+		plan, err := PlanPlacement(candidates, target, 0)
+
+		// Brute force over all 64 subsets, with the same epsilon the
+		// planner's log-space comparison implies (1-(1-p) loses a few ulps,
+		// e.g. Combined(0.21) = 0.20999999999999996 for target 0.21).
+		const eps = 1e-9
+		bestCost := math.Inf(1)
+		reachable := false
+		for mask := 0; mask < 64; mask++ {
+			var pvals []float64
+			cost := 0.0
+			for i := 0; i < 6; i++ {
+				if mask>>i&1 == 1 {
+					pvals = append(pvals, candidates[i].P)
+					cost += candidates[i].Cost
+				}
+			}
+			if Combined(pvals...) >= target-eps || target <= 0 {
+				reachable = true
+				if cost < bestCost {
+					bestCost = cost
+				}
+			}
+		}
+		if !reachable {
+			return errors.Is(err, ErrUnreachable)
+		}
+		if err != nil {
+			return false
+		}
+		// The plan must reach the target (within eps) and never cost more
+		// than the brute-force optimum.
+		return plan.Reliability >= target-eps && plan.Cost <= bestCost+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

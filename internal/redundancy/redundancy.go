@@ -1,0 +1,109 @@
+// Package redundancy implements the paper's analytical model for composite
+// read opportunities (Section 4):
+//
+//	R_C = 1 − (1−P_1)(1−P_2)…(1−P_n)
+//
+// where each P_i is the measured reliability of one (tag, antenna) read
+// opportunity, assumed independent — plus planning helpers built on it
+// (how many opportunities a target reliability needs, and comparison of
+// measured vs. computed reliability, whose gap exposes correlated
+// failures).
+package redundancy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Opportunity is one (tag, antenna) combination together with its
+// single-opportunity reliability.
+type Opportunity struct {
+	Tag     string
+	Antenna string
+	P       float64
+}
+
+// Label renders the opportunity for reports.
+func (o Opportunity) Label() string { return fmt.Sprintf("%s@%s", o.Tag, o.Antenna) }
+
+// Combined returns the paper's R_C for a set of independent opportunity
+// reliabilities. Values are clamped to [0, 1].
+func Combined(ps ...float64) float64 {
+	miss := 1.0
+	for _, p := range ps {
+		p = clamp01(p)
+		miss *= 1 - p
+	}
+	return 1 - miss
+}
+
+// CombinedOpportunities is Combined over a slice of Opportunities.
+func CombinedOpportunities(ops []Opportunity) float64 {
+	miss := 1.0
+	for _, o := range ops {
+		miss *= 1 - clamp01(o.P)
+	}
+	return 1 - miss
+}
+
+// Opportunities enumerates every (tag, antenna) combination from a
+// per-tag-per-antenna reliability table: the paper's definition "every
+// combination of tag and antenna in the same area is a read opportunity".
+func Opportunities(perTagAntenna map[string]map[string]float64) []Opportunity {
+	var out []Opportunity
+	for tag, m := range perTagAntenna {
+		for ant, p := range m {
+			out = append(out, Opportunity{Tag: tag, Antenna: ant, P: p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tag != out[j].Tag {
+			return out[i].Tag < out[j].Tag
+		}
+		return out[i].Antenna < out[j].Antenna
+	})
+	return out
+}
+
+// MinOpportunities returns the smallest number of independent
+// opportunities of reliability p needed to reach the target reliability.
+// It returns 0 for a non-positive target and -1 when the target is
+// unreachable (p <= 0 or target >= 1 with p < 1).
+func MinOpportunities(p, target float64) int {
+	target = clamp01(target)
+	if target == 0 {
+		return 0
+	}
+	p = clamp01(p)
+	if p == 0 {
+		return -1
+	}
+	if p == 1 {
+		return 1
+	}
+	if target == 1 {
+		return -1
+	}
+	// 1-(1-p)^n >= target  =>  n >= log(1-target)/log(1-p)
+	n := math.Log(1-target) / math.Log(1-p)
+	return int(math.Ceil(n - 1e-12))
+}
+
+// Gap quantifies how far a measured composite reliability falls short of
+// the independence model: positive when correlated failures are present
+// (the paper's antenna-redundancy case), near zero when opportunities
+// really are independent (the tag-redundancy case).
+func Gap(measured float64, ps ...float64) float64 {
+	return Combined(ps...) - measured
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

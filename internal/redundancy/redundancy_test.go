@@ -1,0 +1,153 @@
+package redundancy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestCombinedPaperExamples(t *testing.T) {
+	// Values computable from the paper's Table 2 singles, as they appear
+	// in the R_C columns of Tables 4 and 5.
+	tests := []struct {
+		ps   []float64
+		want float64
+	}{
+		{[]float64{0.75, 0.75}, 0.9375},               // 2 tags front/back, 1 subject -> 94%
+		{[]float64{0.9, 0.1}, 0.91},                   // 2 tags on the sides -> 91%
+		{[]float64{0.9, 0.9}, 0.99},                   // closer subject, 2 F/B tags -> 99%
+		{[]float64{0.5, 0.5}, 0.75},                   // farther subject, 2 F/B tags -> 75%
+		{[]float64{0.75, 0.75, 0.9, 0.1}, 0.99437500}, // 4 tags, 1 subject -> 99.5%
+	}
+	for _, tt := range tests {
+		if got := Combined(tt.ps...); !almost(got, tt.want) {
+			t.Errorf("Combined(%v) = %v, want %v", tt.ps, got, tt.want)
+		}
+	}
+}
+
+func TestCombinedEdgeCases(t *testing.T) {
+	if Combined() != 0 {
+		t.Error("no opportunities should mean zero reliability")
+	}
+	if Combined(1, 0, 0.5) != 1 {
+		t.Error("a perfect opportunity dominates")
+	}
+	if Combined(0, 0, 0) != 0 {
+		t.Error("all-zero should be zero")
+	}
+	// Clamping.
+	if Combined(-5) != 0 || Combined(7) != 1 {
+		t.Error("clamping broken")
+	}
+}
+
+func TestCombinedProperties(t *testing.T) {
+	// Monotone: adding an opportunity never hurts; result bounded by [max p, 1].
+	f := func(raw []float64, extra float64) bool {
+		ps := make([]float64, 0, len(raw))
+		for _, p := range raw {
+			ps = append(ps, math.Abs(math.Mod(p, 1)))
+		}
+		base := Combined(ps...)
+		e := math.Abs(math.Mod(extra, 1))
+		grown := Combined(append(ps, e)...)
+		if grown < base-1e-12 || grown > 1 {
+			return false
+		}
+		for _, p := range ps {
+			if base < p-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpportunities(t *testing.T) {
+	table := map[string]map[string]float64{
+		"front": {"a1": 0.9, "a2": 0.8},
+		"side":  {"a1": 0.7},
+	}
+	ops := Opportunities(table)
+	if len(ops) != 3 {
+		t.Fatalf("got %d opportunities", len(ops))
+	}
+	// Sorted by tag then antenna.
+	if ops[0].Label() != "front@a1" || ops[1].Label() != "front@a2" || ops[2].Label() != "side@a1" {
+		t.Errorf("order: %v %v %v", ops[0].Label(), ops[1].Label(), ops[2].Label())
+	}
+	got := CombinedOpportunities(ops)
+	want := Combined(0.9, 0.8, 0.7)
+	if !almost(got, want) {
+		t.Errorf("CombinedOpportunities = %v, want %v", got, want)
+	}
+}
+
+func TestMinOpportunities(t *testing.T) {
+	tests := []struct {
+		p, target float64
+		want      int
+	}{
+		{0.63, 0.99, 5}, // the paper's human-tracking average
+		{0.63, 0.95, 4}, // "virtually 100% with four tags"
+		{0.8, 0.97, 3},  // object tracking: 2 tags reach 96%, 3 reach 99.2%
+		{0.5, 0.75, 2},
+		{0.9, 0.9, 1},
+		{1, 0.999, 1},
+		{0.5, 0, 0},
+		{0, 0.5, -1}, // unreachable
+		{0.5, 1, -1}, // unreachable
+		{0.5, -3, 0}, // clamped target
+	}
+	for _, tt := range tests {
+		if got := MinOpportunities(tt.p, tt.target); got != tt.want {
+			t.Errorf("MinOpportunities(%v, %v) = %d, want %d", tt.p, tt.target, got, tt.want)
+		}
+	}
+}
+
+func TestMinOpportunitiesSufficiencyProperty(t *testing.T) {
+	f := func(pr, tr float64) bool {
+		p := 0.05 + 0.9*math.Abs(math.Mod(pr, 1))
+		target := 0.05 + 0.9*math.Abs(math.Mod(tr, 1))
+		n := MinOpportunities(p, target)
+		if n < 1 {
+			return false
+		}
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = p
+		}
+		if Combined(ps...) < target-1e-9 {
+			return false // n opportunities must suffice
+		}
+		if n > 1 {
+			// n-1 must not suffice (minimality).
+			if Combined(ps[:n-1]...) >= target {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGap(t *testing.T) {
+	// Independent opportunities: measured matches computed, gap ~ 0.
+	if g := Gap(0.9375, 0.75, 0.75); !almost(g, 0) {
+		t.Errorf("independent gap = %v", g)
+	}
+	// Correlated failures (the paper's 2-antenna object case: measured 86%
+	// vs computed 96%): positive gap.
+	if g := Gap(0.86, 0.8, 0.8); g < 0.09 {
+		t.Errorf("correlated gap = %v, want ~0.1", g)
+	}
+}

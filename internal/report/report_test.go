@@ -1,0 +1,107 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() Table {
+	t := Table{
+		Title:   "Sample",
+		Columns: []string{"name", "value"},
+	}
+	t.AddRow("alpha", "1")
+	t.AddRow("a-much-longer-name", "22")
+	return t
+}
+
+func TestTableString(t *testing.T) {
+	s := sample().String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), s)
+	}
+	if lines[0] != "Sample" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Columns align: "value" cells start at the same offset in each row.
+	off3 := strings.Index(lines[3], "1")
+	off4 := strings.Index(lines[4], "22")
+	if off3 != off4 {
+		t.Errorf("misaligned columns:\n%s", s)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := Table{Columns: []string{"x"}}
+	tab.AddRow("1")
+	s := tab.String()
+	if strings.HasPrefix(s, "\n") {
+		t.Error("empty title produced a leading blank line")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	for _, want := range []string{
+		"**Sample**",
+		"| name | value |",
+		"|---|---|",
+		"| alpha | 1 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableRaggedRowTolerated(t *testing.T) {
+	tab := Table{Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2", "extra")
+	// Must not panic.
+	if s := tab.String(); !strings.Contains(s, "extra") {
+		t.Errorf("extra cell lost:\n%s", s)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0%"},
+		{0.29, "29%"},
+		{0.87, "87%"},
+		{1, "100%"},
+		{0.999, "99.9%"},
+		{0.9996, "100%"},
+		{0.634, "63%"},
+	}
+	for _, tt := range tests {
+		if got := Percent(tt.in); got != tt.want {
+			t.Errorf("Percent(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNum(t *testing.T) {
+	if got := Num(19.666); got != "19.7" {
+		t.Errorf("Num = %q", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{Title: "ignored", Columns: []string{"a", "b"}}
+	tab.AddRow("plain", `quo"te,comma`)
+	csv := tab.CSV()
+	want := "a,b\nplain,\"quo\"\"te,comma\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}

@@ -1,0 +1,136 @@
+package rf
+
+import (
+	"fmt"
+	"strings"
+
+	"rfidtrack/internal/units"
+)
+
+// Term is one named contribution to a link budget, in dB (gains positive,
+// losses negative).
+type Term struct {
+	Name string
+	DB   units.DB
+}
+
+// Budget is an itemized link budget: a transmit power plus a list of named
+// gains and losses. Keeping the terms named makes simulated links
+// explainable — `rfsim -explain` and several tests print them.
+type Budget struct {
+	Start units.DBm
+	Terms []Term
+}
+
+// NewBudget starts a budget at the conducted transmit power.
+func NewBudget(start units.DBm) *Budget {
+	return &Budget{Start: start}
+}
+
+// Add appends a named term. Gains are positive, losses negative.
+func (b *Budget) Add(name string, v units.DB) *Budget {
+	b.Terms = append(b.Terms, Term{Name: name, DB: v})
+	return b
+}
+
+// AddLoss appends a named loss given as a positive magnitude.
+func (b *Budget) AddLoss(name string, loss units.DB) *Budget {
+	return b.Add(name, -loss)
+}
+
+// Total returns the resulting power level.
+func (b *Budget) Total() units.DBm {
+	p := b.Start
+	for _, t := range b.Terms {
+		p = p.Plus(t.DB)
+	}
+	return p
+}
+
+// String renders the budget one term per line.
+func (b *Budget) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8.2f dBm  tx\n", float64(b.Start))
+	for _, t := range b.Terms {
+		fmt.Fprintf(&sb, "%+8.2f dB   %s\n", float64(t.DB), t.Name)
+	}
+	fmt.Fprintf(&sb, "%8.2f dBm  total", float64(b.Total()))
+	return sb.String()
+}
+
+// Link is the resolved state of one (antenna, tag) combination at one
+// instant: the power delivered to the tag chip, the backscattered power
+// returned to the reader, and the interference background at each end.
+type Link struct {
+	// TagPower is the power available to the tag chip (forward link).
+	TagPower units.DBm
+	// ReaderPower is the backscattered signal power at the reader receiver
+	// (reverse link).
+	ReaderPower units.DBm
+	// TagInterference is the aggregate foreign-carrier power at the tag.
+	TagInterference units.DBm
+	// ReaderInterference is the aggregate foreign-carrier power reaching
+	// the reader receiver after its own filtering.
+	ReaderInterference units.DBm
+	// Forward, when set, carries the itemized forward budget for
+	// explanation output.
+	Forward *Budget
+	// Active marks a battery-powered tag: powering uses the active
+	// receiver sensitivity and the reverse link is a one-way transmission
+	// rather than backscatter.
+	Active bool
+}
+
+// TagPowered reports whether the tag chip can operate: rectified energy
+// for a passive tag, receiver sensitivity for an active one.
+func (l Link) TagPowered(c Calibration) bool {
+	if l.Active {
+		return l.TagPower >= c.ActiveSensitivityDBm
+	}
+	return l.TagPower >= c.ChipSensitivityDBm
+}
+
+// ForwardDecodable reports whether the tag, once powered, can slice the
+// reader's commands out of the aggregate carrier it sees. Passive tags are
+// envelope detectors with no channel selectivity, so a comparable-power
+// foreign carrier destroys the PIE envelope even when the tag has plenty
+// of energy — the mechanism behind the paper's reader-redundancy failure.
+func (l Link) ForwardDecodable(c Calibration) bool {
+	if !l.TagPowered(c) {
+		return false
+	}
+	sinr := float64(l.TagPower) - float64(l.TagInterference)
+	return sinr >= float64(c.TagCaptureMarginDB)
+}
+
+// ReverseDecodable reports whether the reader can decode the tag's
+// backscatter over thermal noise and foreign-carrier leakage.
+func (l Link) ReverseDecodable(c Calibration) bool {
+	if l.ReaderPower < c.ReaderSensitivityDBm {
+		return false
+	}
+	// Interference below the noise floor is irrelevant.
+	noise := c.ReaderNoiseFloorDBm
+	eff := noise
+	if l.ReaderInterference > eff {
+		eff = l.ReaderInterference
+	}
+	sinr := float64(l.ReaderPower) - float64(eff)
+	return sinr >= float64(c.ReaderSNRThresholdDB)
+}
+
+// Readable reports whether the complete command/reply exchange can succeed
+// on this link at this instant.
+func (l Link) Readable(c Calibration) bool {
+	return l.ForwardDecodable(c) && l.ReverseDecodable(c)
+}
+
+// NoInterference is the interference level used when no foreign carrier is
+// present: effectively -infinity dBm.
+const NoInterference units.DBm = -300
+
+// CombineInterference returns the aggregate of two interference powers
+// (linear sum in milliwatts).
+func CombineInterference(a, b units.DBm) units.DBm {
+	return (a.Milliwatts() + b.Milliwatts()).DBm()
+}

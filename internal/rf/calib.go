@@ -1,0 +1,230 @@
+package rf
+
+import (
+	"rfidtrack/internal/units"
+)
+
+// Calibration bundles every tunable physical constant in the simulator.
+//
+// Per DESIGN.md §5, calibration is allowed to target only the paper's
+// *single-opportunity* reliabilities (Tables 1–2 and the endpoints of
+// Figs. 2 and 4); all redundancy results must emerge from composition.
+// Each value below carries its physical rationale.
+type Calibration struct {
+	// FreqHz is the carrier frequency. The paper's US deployment uses the
+	// 902–928 MHz ISM band; we use the band centre.
+	FreqHz float64
+	// TxPowerDBm is the conducted reader power. The paper: "maximum power
+	// output of 30 dBm (1 watt)".
+	TxPowerDBm units.DBm
+	// CableLossDB is the feedline loss between reader and antenna.
+	CableLossDB units.DB
+
+	// ReaderAntenna is the area (patch) antenna pattern: 6 dBi boresight
+	// with a cos^5 power main lobe (~59 degree half-power beamwidth),
+	// matching the spec sheets of mid-2000s portal area antennas.
+	ReaderAntenna PatchPattern
+	// ReaderPolarization: portal area antennas are circularly polarized,
+	// which matches the paper's orientation results (in-plane rotation
+	// barely matters; pointing the dipole at the antenna is fatal).
+	ReaderPolarization Polarization
+	// CrossPolFloorDB bounds the cross-polarization loss of a linear
+	// reader antenna (leakage keeps it finite).
+	CrossPolFloorDB units.DB
+
+	// TagDipole is the label antenna pattern: a half-wave-like meandered
+	// dipole, 2.15 dBi peak, with the axial null bounded at -15 dB
+	// (meander arms radiate a little along the axis).
+	TagDipole DipolePattern
+	// GrazingMaxDB is the full depth of the ground-plane grazing
+	// cancellation for a tag flush on metal seen edge-on (see
+	// GrazingLossDB). The paper's top-of-the-router-box tags sit in this
+	// regime.
+	GrazingMaxDB units.DB
+
+	// ChipSensitivityDBm is the minimum rectified power for the tag chip
+	// to operate. -11 dBm is typical for 2006-era Gen-2 silicon (modern
+	// chips reach -20; the paper's range results clearly reflect the
+	// older generation).
+	ChipSensitivityDBm units.DBm
+	// BackscatterLossDB is the modulation/conversion loss between the
+	// power incident on the tag and the re-radiated sideband.
+	BackscatterLossDB units.DB
+	// ReaderSensitivityDBm is the reader receiver sensitivity; monostatic
+	// Gen-2 readers of the era decode backscatter to about -75 dBm.
+	ReaderSensitivityDBm units.DBm
+	// ReaderNoiseFloorDBm is the receiver noise floor in the backscatter
+	// bandwidth.
+	ReaderNoiseFloorDBm units.DBm
+	// ReaderSNRThresholdDB is the post-detection SNR needed to decode FM0
+	// backscatter.
+	ReaderSNRThresholdDB units.DB
+
+	// TagCaptureMarginDB is the forward-link carrier-to-interference ratio
+	// a tag needs to slice PIE symbols out of the envelope. Tags have no
+	// channel selectivity, so this is small but applies to the *aggregate*
+	// foreign carrier power — the reader-redundancy failure mechanism.
+	TagCaptureMarginDB units.DB
+	// DenseModeReaderSuppressionDB is how much a dense-reader-mode pair of
+	// readers suppresses mutual interference at the *reader* receiver
+	// (spectral channelization keeps the foreign carrier out of the
+	// backscatter sidebands; phase noise limits the rejection).
+	DenseModeReaderSuppressionDB units.DB
+	// DenseModeTagSuppressionDB is the effective rejection at the *tag*:
+	// the beat between two channelized carriers lands above the tag's
+	// envelope-detector data filter, so the tag partially ignores it.
+	DenseModeTagSuppressionDB units.DB
+
+	// Lab environments are rich in multipath: tags with no line of sight
+	// are still illuminated by floor/wall/cart reflections. The scattered
+	// component is modeled as a second path ScatterLossDB below the direct
+	// one, with its own (larger) fading, a flattened antenna pattern, and
+	// only partial sensitivity to obstructions. This is what keeps the
+	// paper's far-side box tags at 63% instead of zero.
+	ScatterLossDB units.DB
+	// ScatterAntennaGainDB replaces the patch pattern gain on the
+	// scattered path (reflections arrive from everywhere).
+	ScatterAntennaGainDB units.DB
+	// ScatterSigmaDB is the extra lognormal spread of the scattered path.
+	ScatterSigmaDB float64
+	// (Per-material scattered-path blocking lives in MaterialProperties
+	// .ScatterLeakFactor: reflective obstacles are bypassed by multipath,
+	// absorbing ones are not.)
+
+	// SigmaTagDB is the standard deviation of the tag-local slow fading
+	// component (dB), drawn once per tag per pass and shared by every
+	// antenna observing that tag. It captures everything that travels with
+	// the tag: mounting variation, local multipath around the object,
+	// bending of the label. This shared component is what makes
+	// antenna-level redundancy underperform the independence model in the
+	// paper (Table 3) while tag-level redundancy matches it.
+	SigmaTagDB float64
+	// SigmaPathDB is the per-(tag, antenna) slow fading component (dB),
+	// independent across antennas.
+	SigmaPathDB float64
+	// RicianK is the K-factor of the per-inventory-round fast fading
+	// (specular-to-scattered power ratio). Portals have a strong direct
+	// path, so K is high: deep per-read fades must be rare enough that the
+	// paper's 100% single-read reliability at 1 m holds.
+	RicianK float64
+	// FadingCoherenceSeconds is the temporal coherence of the fast fading:
+	// rounds within one coherence block see the same channel draw. At
+	// ~1 m/s the channel decorrelates over roughly half a wavelength of
+	// motion, i.e. a few hundred milliseconds — without this, a pass with
+	// twenty inventory rounds would get twenty independent fading
+	// lotteries and every marginal tag would eventually win one.
+	FadingCoherenceSeconds float64
+
+	// Materials is the property table for blocking and proximity detuning.
+	Materials map[Material]MaterialProperties
+
+	// Inter-tag mutual coupling curve (see CouplingLossDB).
+	CouplingMaxLossDB    units.DB
+	CouplingHalfDistance float64 // meters
+	CouplingExponent     float64
+
+	// Active-tag constants (the paper's future-work extension). An active
+	// tag carries a battery: its receiver decodes reader commands far
+	// below passive rectification thresholds, and it replies with a real
+	// transmitter instead of backscatter.
+	ActiveSensitivityDBm units.DBm
+	ActiveTxPowerDBm     units.DBm
+
+	// BodyReflectionGainDB is the constructive multipath bonus measured by
+	// the paper for the closer of two adjacent subjects ("we attribute the
+	// higher read reliabilities to signal reflections off the farther
+	// subject"). Applied when another body stands within
+	// BodyReflectionRange behind the tag.
+	BodyReflectionGainDB units.DB
+	BodyReflectionRange  float64 // meters
+}
+
+// DefaultCalibration returns the constants used for every experiment in
+// EXPERIMENTS.md.
+func DefaultCalibration() Calibration {
+	return Calibration{
+		FreqHz:      915e6,
+		TxPowerDBm:  30,
+		CableLossDB: 1,
+
+		ReaderAntenna: PatchPattern{
+			BoresightGainDBi: 6,
+			Exponent:         5,
+			BackLobeDB:       -25,
+		},
+		ReaderPolarization: Circular,
+		CrossPolFloorDB:    -15,
+
+		TagDipole: DipolePattern{
+			PeakGainDBi: 2.15,
+			MinRelDB:    -15,
+		},
+		GrazingMaxDB: 16,
+
+		ChipSensitivityDBm:   -11,
+		BackscatterLossDB:    6,
+		ReaderSensitivityDBm: -75,
+		ReaderNoiseFloorDBm:  -90,
+		ReaderSNRThresholdDB: 10,
+
+		TagCaptureMarginDB:           3,
+		DenseModeReaderSuppressionDB: 75,
+		DenseModeTagSuppressionDB:    20,
+
+		ScatterLossDB:        4,
+		ScatterAntennaGainDB: 1,
+		ScatterSigmaDB:       3,
+
+		SigmaTagDB:             4.5,
+		SigmaPathDB:            2.5,
+		RicianK:                12,
+		FadingCoherenceSeconds: 0.35,
+
+		Materials: map[Material]MaterialProperties{
+			Air:       {},
+			Cardboard: {TransmissionLossDB: 1, ProximityDetuneDB: 1, ProximityRange: 0.01, ScatterLeakFactor: 0.5},
+			Plastic:   {TransmissionLossDB: 1.5, ProximityDetuneDB: 2, ProximityRange: 0.01, ScatterLeakFactor: 0.5},
+			// A boxed product with a metal case is a leaky shield — seams,
+			// plastic bezels and internal gaps pass ~-12 dB — but its case
+			// is a strong ground plane for tags mounted against it.
+			Metal: {TransmissionLossDB: 12, ProximityDetuneDB: 14, ProximityRange: 0.05, ScatterLeakFactor: 0.12},
+			// Water-rich loads absorb strongly and detune nearby tags.
+			Liquid: {TransmissionLossDB: 12, ProximityDetuneDB: 10, ProximityRange: 0.03, ScatterLeakFactor: 0.5},
+			// A torso blocks most of the signal and detunes touching tags
+			// (the paper: "tags should not touch the body").
+			Body: {TransmissionLossDB: 18, ProximityDetuneDB: 9, ProximityRange: 0.05, ScatterLeakFactor: 0.55},
+		},
+
+		CouplingMaxLossDB:    22,
+		CouplingHalfDistance: 0.006,
+		CouplingExponent:     1.6,
+
+		ActiveSensitivityDBm: -85,
+		ActiveTxPowerDBm:     0,
+
+		BodyReflectionGainDB: 1.5,
+		BodyReflectionRange:  1.2,
+	}
+}
+
+// EIRPDBm returns the boresight effective isotropic radiated power.
+func (c Calibration) EIRPDBm() units.DBm {
+	return c.TxPowerDBm.Plus(-c.CableLossDB).Plus(c.ReaderAntenna.BoresightGainDBi)
+}
+
+// FreeSpaceMarginDB returns the boresight forward-link margin (dB above
+// chip sensitivity) for an ideally oriented tag at distance d with no
+// losses other than free space, polarization and cable. Useful as a sanity
+// anchor: ~13.5 dB at 1 m with the defaults, crossing zero near 4.7 m —
+// matching the paper's "100% at 1 m, declining between 2 m and 9 m".
+func (c Calibration) FreeSpaceMarginDB(d float64) units.DB {
+	polLoss := units.DB(0)
+	if c.ReaderPolarization == Circular {
+		polLoss = 3
+	}
+	p := c.EIRPDBm().
+		Plus(-units.FSPL(d, c.FreqHz)).
+		Plus(-polLoss).
+		Plus(c.TagDipole.PeakGainDBi)
+	return units.DB(p - c.ChipSensitivityDBm)
+}

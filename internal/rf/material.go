@@ -1,0 +1,97 @@
+package rf
+
+import (
+	"rfidtrack/internal/units"
+)
+
+// Material enumerates the materials the paper identifies as reliability
+// factors: packaging, metals, liquids, and human bodies.
+type Material int
+
+// Material values.
+const (
+	Air Material = iota
+	Cardboard
+	Plastic
+	Metal
+	Liquid
+	Body
+)
+
+// String implements fmt.Stringer.
+func (m Material) String() string {
+	switch m {
+	case Air:
+		return "air"
+	case Cardboard:
+		return "cardboard"
+	case Plastic:
+		return "plastic"
+	case Metal:
+		return "metal"
+	case Liquid:
+		return "liquid"
+	case Body:
+		return "body"
+	default:
+		return "unknown"
+	}
+}
+
+// MaterialProperties captures how a material affects the link. The values
+// live in the Calibration so experiments can ablate them.
+type MaterialProperties struct {
+	// TransmissionLossDB is the loss when the material sits between the
+	// antenna and the tag (per blocking event, not per meter: at UHF, a
+	// metal case or a torso is effectively opaque regardless of thickness,
+	// while cardboard barely matters).
+	TransmissionLossDB units.DB
+	// ProximityDetuneDB is the worst-case loss from mounting a tag
+	// directly against the material (ground-plane detuning for metal,
+	// dielectric loading for liquid/body). It decays with the mounting gap.
+	ProximityDetuneDB units.DB
+	// ProximityRange is the gap in meters beyond which proximity detuning
+	// is negligible.
+	ProximityRange float64
+	// ScatterLeakFactor is the fraction of the material's blocking loss
+	// that still applies on the scattered (multipath) path: reflective
+	// obstacles (metal) are routed around by reflections, absorbing ones
+	// (bodies, liquids) also eat the ambient field.
+	ScatterLeakFactor float64
+}
+
+// ScatterTransmissionLossDB returns the blocking loss a material imposes
+// on the scattered path.
+func (c Calibration) ScatterTransmissionLossDB(m Material) units.DB {
+	p := c.Materials[m]
+	return units.DB(float64(p.TransmissionLossDB) * p.ScatterLeakFactor)
+}
+
+// TransmissionLossDB returns the blocking loss for a signal crossing the
+// material, given the calibrated property table.
+func (c Calibration) TransmissionLossDB(m Material) units.DB {
+	return c.Materials[m].TransmissionLossDB
+}
+
+// ProximityFraction returns how strongly the material detunes a tag
+// mounted gap meters away, from 1 at contact decaying linearly to 0 at
+// ProximityRange. Materials with no detuning always return 0.
+func (c Calibration) ProximityFraction(m Material, gap float64) float64 {
+	p := c.Materials[m]
+	if p.ProximityDetuneDB <= 0 || p.ProximityRange <= 0 {
+		return 0
+	}
+	if gap < 0 {
+		gap = 0
+	}
+	if gap >= p.ProximityRange {
+		return 0
+	}
+	return 1 - gap/p.ProximityRange
+}
+
+// ProximityDetuneDB returns the detuning loss for a tag mounted gap meters
+// from the material, decaying linearly to zero at ProximityRange.
+func (c Calibration) ProximityDetuneDB(m Material, gap float64) units.DB {
+	return units.DB(float64(c.Materials[m].ProximityDetuneDB) * c.ProximityFraction(m, gap))
+}

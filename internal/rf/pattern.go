@@ -1,0 +1,165 @@
+// Package rf models the UHF radio link between a reader antenna and a
+// passive tag: antenna patterns, polarization, path loss, shadowing and
+// fast fading, material and body losses, inter-tag coupling, carrier
+// interference between readers, and the assembled forward/reverse link
+// budgets.
+//
+// This package is the substitution for the paper's physical testbed (see
+// DESIGN.md §2): read reliability in the paper is governed by exactly the
+// loss chain assembled here, evaluated against the tag chip's sensitivity.
+// All tunable constants live in calib.go.
+package rf
+
+import (
+	"math"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/units"
+)
+
+// PatchPattern models the reader's area (patch) antenna: a boresight gain
+// with a smooth cosine-power roll-off and a bounded back lobe.
+type PatchPattern struct {
+	// BoresightGainDBi is the gain on the antenna axis.
+	BoresightGainDBi units.DB
+	// Exponent shapes the main lobe: power gain falls as
+	// cos(theta)^Exponent. Exponent 3 gives roughly a 74° half-power
+	// beamwidth, typical for the mid-2000s area antennas the paper used.
+	Exponent float64
+	// BackLobeDB bounds how far below boresight the pattern can fall
+	// (a negative relative value such as -25).
+	BackLobeDB units.DB
+}
+
+// GainDB returns the pattern gain toward a direction theta radians off
+// boresight.
+func (p PatchPattern) GainDB(theta float64) units.DB {
+	c := math.Cos(theta)
+	if c <= 0 {
+		return p.BoresightGainDBi + p.BackLobeDB
+	}
+	rel := units.DB(10 * p.Exponent * math.Log10(c))
+	if rel < p.BackLobeDB {
+		rel = p.BackLobeDB
+	}
+	return p.BoresightGainDBi + rel
+}
+
+// GainToward returns the pattern gain from an antenna posed at pose toward
+// the world point target.
+func (p PatchPattern) GainToward(pose geom.Pose, target geom.Vec3) units.DB {
+	dir := target.Sub(pose.Pos)
+	return p.GainDB(geom.AngleBetween(pose.Forward, dir))
+}
+
+// DipolePattern models the tag's label dipole: a toroidal pattern with peak
+// gain broadside to the dipole axis and a deep (but bounded) null along it.
+// Real label antennas are meandered dipoles, so the axial null does not go
+// to -infinity; MinRelDB bounds it.
+type DipolePattern struct {
+	PeakGainDBi units.DB
+	MinRelDB    units.DB // pattern floor relative to peak (negative)
+}
+
+// GainDB returns the gain toward a direction psi radians away from the
+// dipole axis (psi = π/2 is broadside, the peak).
+func (d DipolePattern) GainDB(psi float64) units.DB {
+	s := math.Sin(psi)
+	rel := units.FromLinear(s * s)
+	if rel < d.MinRelDB {
+		rel = d.MinRelDB
+	}
+	return d.PeakGainDBi + rel
+}
+
+// GainToward returns the dipole gain from a tag whose axis is axis (world
+// frame) at position pos toward the world point target.
+func (d DipolePattern) GainToward(axis geom.Vec3, pos, target geom.Vec3) units.DB {
+	dir := target.Sub(pos)
+	return d.GainDB(geom.AngleBetween(axis, dir))
+}
+
+// Polarization enumerates the reader antenna's polarization. Passive label
+// tags are linearly polarized along their dipole axis.
+type Polarization int
+
+// Polarization values.
+const (
+	// Circular reader antennas (the common portal choice, and the one that
+	// matches the paper's orientation results) lose a flat 3 dB to any
+	// linear tag but have no cross-polarized null in the tag's plane.
+	Circular Polarization = iota + 1
+	// Linear reader antennas lose nothing to an aligned tag but null out a
+	// crossed one.
+	Linear
+)
+
+// String implements fmt.Stringer.
+func (p Polarization) String() string {
+	switch p {
+	case Circular:
+		return "circular"
+	case Linear:
+		return "linear"
+	default:
+		return "unknown"
+	}
+}
+
+// PolarizationLossDB returns the polarization mismatch loss (a positive dB
+// loss) between a reader antenna and a linear tag dipole.
+//
+// readerAxis is the reader antenna's electrical axis (only meaningful for
+// Linear), tagAxis the tag dipole axis, and dir the propagation direction;
+// all in world coordinates. The mismatch is computed between the axes
+// projected onto the plane transverse to propagation. crossPolFloorDB
+// bounds the loss for crossed linear polarizations (real antennas leak).
+func PolarizationLossDB(p Polarization, readerAxis, tagAxis, dir geom.Vec3, crossPolFloorDB units.DB) units.DB {
+	if p == Circular {
+		return 3
+	}
+	d := dir.Unit()
+	proj := func(v geom.Vec3) geom.Vec3 {
+		return v.Sub(d.Scale(v.Dot(d)))
+	}
+	ra := proj(readerAxis)
+	ta := proj(tagAxis)
+	if ra.Norm() < 1e-9 || ta.Norm() < 1e-9 {
+		// One of the axes is along propagation: treat as fully crossed; the
+		// pattern null handles the rest.
+		return -crossPolFloorDB
+	}
+	c := math.Cos(geom.AngleBetween(ra, ta))
+	loss := -units.FromLinear(c * c)
+	if loss > -crossPolFloorDB {
+		loss = -crossPolFloorDB
+	}
+	return loss
+}
+
+// GrazingLossDB models the ground-plane cancellation suffered by a label
+// tag mounted close to a conductive surface and illuminated edge-on: the
+// image currents in the metal cancel radiation along the horizon, so a tag
+// lying flat on a metal case (the paper's "top of the box", 29%) dies at
+// grazing incidence while the same tag face-on to the antenna barely
+// notices the metal. A tag on plain cardboard (proximityFraction 0) is a
+// nearly free-space dipole and has no edge-on penalty — which is why four
+// of the paper's six Figure-4 orientations read fine.
+//
+// cosAlpha is the cosine of the angle between the tag's face normal and
+// the direction toward the antenna (sign irrelevant: labels radiate
+// through cardboard both ways); proximityFraction in [0,1] is how strongly
+// the backing material detunes at the mount gap (0 = free space, 1 = flush
+// on metal); maxDB is the full grazing cancellation depth.
+func GrazingLossDB(cosAlpha, proximityFraction float64, maxDB units.DB) units.DB {
+	a := math.Abs(cosAlpha)
+	if a > 1 {
+		a = 1
+	}
+	if proximityFraction < 0 {
+		proximityFraction = 0
+	} else if proximityFraction > 1 {
+		proximityFraction = 1
+	}
+	return units.DB(float64(maxDB) * (1 - a) * proximityFraction)
+}

@@ -1,0 +1,359 @@
+package rf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/units"
+)
+
+func almost(a, b units.DB, tol float64) bool {
+	return math.Abs(float64(a-b)) <= tol
+}
+
+func TestPatchPattern(t *testing.T) {
+	p := DefaultCalibration().ReaderAntenna
+	if got := p.GainDB(0); got != p.BoresightGainDBi {
+		t.Errorf("boresight gain = %v", got)
+	}
+	// cos^5 power pattern: half power (-3 dB) near 29.5 degrees (~59 deg HPBW).
+	hp := p.GainDB(29.5 * math.Pi / 180)
+	if !almost(hp, p.BoresightGainDBi-3, 0.2) {
+		t.Errorf("half-power gain = %v, want ~%v", hp, p.BoresightGainDBi-3)
+	}
+	// Monotone decreasing over the front hemisphere.
+	prev := p.GainDB(0)
+	for deg := 5.0; deg <= 90; deg += 5 {
+		g := p.GainDB(deg * math.Pi / 180)
+		if g > prev+1e-9 {
+			t.Fatalf("pattern not monotone at %v deg", deg)
+		}
+		prev = g
+	}
+	// Behind the antenna: clamped to the back lobe.
+	if got := p.GainDB(math.Pi); got != p.BoresightGainDBi+p.BackLobeDB {
+		t.Errorf("back lobe = %v", got)
+	}
+}
+
+func TestPatchGainToward(t *testing.T) {
+	p := DefaultCalibration().ReaderAntenna
+	pose := geom.NewPose(geom.V(0, 0, 0), geom.UnitY, geom.UnitZ)
+	on := p.GainToward(pose, geom.V(0, 5, 0))
+	off := p.GainToward(pose, geom.V(3, 5, 0))
+	if on != p.BoresightGainDBi {
+		t.Errorf("on-axis = %v", on)
+	}
+	if off >= on {
+		t.Errorf("off-axis %v not below on-axis %v", off, on)
+	}
+}
+
+func TestDipolePattern(t *testing.T) {
+	d := DefaultCalibration().TagDipole
+	if got := d.GainDB(math.Pi / 2); got != d.PeakGainDBi {
+		t.Errorf("broadside = %v", got)
+	}
+	// Along the axis: bounded null.
+	if got := d.GainDB(0); got != d.PeakGainDBi+d.MinRelDB {
+		t.Errorf("axial = %v, want floor %v", got, d.PeakGainDBi+d.MinRelDB)
+	}
+	// Symmetric about broadside.
+	if g1, g2 := d.GainDB(math.Pi/3), d.GainDB(math.Pi-math.Pi/3); !almost(g1, g2, 1e-9) {
+		t.Errorf("asymmetric: %v vs %v", g1, g2)
+	}
+}
+
+func TestDipoleGainToward(t *testing.T) {
+	d := DefaultCalibration().TagDipole
+	// Axis along X, target along Y: broadside.
+	if got := d.GainToward(geom.UnitX, geom.V(0, 0, 0), geom.V(0, 2, 0)); got != d.PeakGainDBi {
+		t.Errorf("broadside toward = %v", got)
+	}
+	// Target along the axis: floor.
+	if got := d.GainToward(geom.UnitX, geom.V(0, 0, 0), geom.V(2, 0, 0)); got != d.PeakGainDBi+d.MinRelDB {
+		t.Errorf("axial toward = %v", got)
+	}
+}
+
+func TestPolarizationLoss(t *testing.T) {
+	floor := units.DB(-15)
+	dir := geom.UnitY
+	if got := PolarizationLossDB(Circular, geom.UnitX, geom.UnitZ, dir, floor); got != 3 {
+		t.Errorf("circular = %v, want flat 3 dB", got)
+	}
+	// Linear co-polarized: no loss.
+	if got := PolarizationLossDB(Linear, geom.UnitX, geom.UnitX, dir, floor); !almost(got, 0, 1e-9) {
+		t.Errorf("co-pol = %v", got)
+	}
+	// Linear crossed: clamped to the floor magnitude.
+	if got := PolarizationLossDB(Linear, geom.UnitX, geom.UnitZ, dir, floor); got != 15 {
+		t.Errorf("cross-pol = %v, want 15", got)
+	}
+	// 45 degrees: 3 dB.
+	mid := geom.V(1, 0, 1)
+	if got := PolarizationLossDB(Linear, geom.UnitX, mid, dir, floor); !almost(got, 3, 0.05) {
+		t.Errorf("45deg = %v, want ~3", got)
+	}
+	// Axis along propagation: treated as crossed.
+	if got := PolarizationLossDB(Linear, geom.UnitY, geom.UnitX, dir, floor); got != 15 {
+		t.Errorf("axis-along-propagation = %v, want 15", got)
+	}
+}
+
+func TestGrazingLoss(t *testing.T) {
+	const max = units.DB(18)
+	// Face-on: no penalty regardless of backing.
+	if got := GrazingLossDB(1, 1, max); got != 0 {
+		t.Errorf("face-on = %v", got)
+	}
+	// A free-space mount has no penalty even edge-on (the Figure-4
+	// face-up orientations on plain cardboard read fine).
+	if got := GrazingLossDB(0, 0, max); got != 0 {
+		t.Errorf("free-space edge-on = %v", got)
+	}
+	// Flush on metal, edge-on: full cancellation depth.
+	if got := GrazingLossDB(0, 1, max); got != max {
+		t.Errorf("flush edge-on = %v, want %v", got, max)
+	}
+	// Symmetric in the sign of the incidence cosine (labels radiate both
+	// ways through packaging).
+	if GrazingLossDB(-0.4, 0.7, max) != GrazingLossDB(0.4, 0.7, max) {
+		t.Error("grazing loss not symmetric in cosAlpha")
+	}
+	// Scales linearly in both factors and clamps out-of-range inputs.
+	if got := GrazingLossDB(0.5, 0.5, max); !almost(got, 4.5, 1e-9) {
+		t.Errorf("half/half = %v, want 4.5", got)
+	}
+	if GrazingLossDB(2, 1, max) != 0 || GrazingLossDB(0, 2, max) != max {
+		t.Error("clamping broken")
+	}
+	if GrazingLossDB(0, -1, max) != 0 {
+		t.Error("negative proximity fraction should clamp to 0")
+	}
+}
+
+func TestProximityFraction(t *testing.T) {
+	c := DefaultCalibration()
+	if got := c.ProximityFraction(Metal, 0); got != 1 {
+		t.Errorf("contact fraction = %v", got)
+	}
+	if got := c.ProximityFraction(Metal, c.Materials[Metal].ProximityRange); got != 0 {
+		t.Errorf("at-range fraction = %v", got)
+	}
+	if got := c.ProximityFraction(Air, 0); got != 0 {
+		t.Errorf("air fraction = %v", got)
+	}
+}
+
+func TestMaterialProperties(t *testing.T) {
+	c := DefaultCalibration()
+	if c.TransmissionLossDB(Air) != 0 {
+		t.Error("air should be transparent")
+	}
+	if c.TransmissionLossDB(Metal) < c.TransmissionLossDB(Cardboard) {
+		t.Error("metal should block more than cardboard")
+	}
+	// Proximity detune decays with gap and vanishes at range.
+	full := c.ProximityDetuneDB(Metal, 0)
+	half := c.ProximityDetuneDB(Metal, c.Materials[Metal].ProximityRange/2)
+	gone := c.ProximityDetuneDB(Metal, c.Materials[Metal].ProximityRange)
+	if full != c.Materials[Metal].ProximityDetuneDB {
+		t.Errorf("detune at contact = %v", full)
+	}
+	if !(half > 0 && half < full) {
+		t.Errorf("detune at half range = %v, want in (0, %v)", half, full)
+	}
+	if gone != 0 {
+		t.Errorf("detune at range = %v, want 0", gone)
+	}
+	if c.ProximityDetuneDB(Metal, -1) != full {
+		t.Error("negative gap should clamp to contact")
+	}
+	if c.ProximityDetuneDB(Air, 0) != 0 {
+		t.Error("air detunes nothing")
+	}
+}
+
+func TestMaterialString(t *testing.T) {
+	for m, want := range map[Material]string{
+		Air: "air", Cardboard: "cardboard", Plastic: "plastic",
+		Metal: "metal", Liquid: "liquid", Body: "body", Material(99): "unknown",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q", m, got)
+		}
+	}
+	if Circular.String() != "circular" || Linear.String() != "linear" || Polarization(9).String() != "unknown" {
+		t.Error("polarization strings broken")
+	}
+}
+
+func TestCouplingCurve(t *testing.T) {
+	c := DefaultCalibration()
+	// Monotone decreasing in spacing.
+	prev := c.CouplingLossDB(0, 1)
+	for _, mm := range []float64{0.3, 4, 10, 20, 40, 100} {
+		l := c.CouplingLossDB(mm/1000, 1)
+		if l > prev+1e-9 {
+			t.Fatalf("coupling not monotone at %v mm", mm)
+		}
+		prev = l
+	}
+	// The paper's ladder: near-contact must be crushing, 40 mm negligible.
+	if l := c.CouplingLossDB(0.0003, 1); l < 15 {
+		t.Errorf("0.3mm coupling = %v dB, want > 15", l)
+	}
+	if l := c.CouplingLossDB(0.040, 1); l > 3 {
+		t.Errorf("40mm coupling = %v dB, want < 3", l)
+	}
+	// Alignment scales the effect; crossed neighbours do not couple.
+	if c.CouplingLossDB(0.004, 0) != 0 {
+		t.Error("zero alignment should kill coupling")
+	}
+	full := c.CouplingLossDB(0.004, 1)
+	halfAligned := c.CouplingLossDB(0.004, 0.5)
+	if !almost(halfAligned, units.DB(float64(full)/2), 1e-9) {
+		t.Errorf("alignment scaling broken: %v vs %v", halfAligned, full)
+	}
+	if c.CouplingLossDB(0.004, 2) != full {
+		t.Error("alignment should clamp to 1")
+	}
+	if c.CouplingLossDB(-1, 1) != c.CouplingLossDB(0, 1) {
+		t.Error("negative spacing should clamp to contact")
+	}
+}
+
+func TestNeighbourAlignment(t *testing.T) {
+	if got := NeighbourAlignment(0); !almost(units.DB(got), 1, 1e-9) {
+		t.Errorf("parallel = %v", got)
+	}
+	if got := NeighbourAlignment(math.Pi / 2); !almost(units.DB(got), 0, 1e-9) {
+		t.Errorf("crossed = %v", got)
+	}
+	if got := NeighbourAlignment(math.Pi); !almost(units.DB(got), 1, 1e-9) {
+		t.Errorf("antiparallel = %v", got)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(30).
+		Add("antenna gain", 6).
+		AddLoss("path loss", 31.7).
+		AddLoss("polarization", 3)
+	if got := b.Total(); !almost(units.DB(got-0), units.DB(1.3), 1e-9) {
+		t.Errorf("total = %v, want 1.3 dBm", got)
+	}
+	s := b.String()
+	for _, want := range []string{"tx", "antenna gain", "path loss", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("budget string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLinkDecodability(t *testing.T) {
+	c := DefaultCalibration()
+	healthy := Link{
+		TagPower:           -5,
+		ReaderPower:        -60,
+		TagInterference:    NoInterference,
+		ReaderInterference: NoInterference,
+	}
+	if !healthy.TagPowered(c) || !healthy.ForwardDecodable(c) || !healthy.ReverseDecodable(c) || !healthy.Readable(c) {
+		t.Fatal("healthy link should be readable")
+	}
+
+	dead := healthy
+	dead.TagPower = -20 // below -11 dBm sensitivity
+	if dead.TagPowered(c) || dead.Readable(c) {
+		t.Error("unpowered tag should not read")
+	}
+
+	// Forward interference: tag powered but envelope swamped.
+	jammed := healthy
+	jammed.TagInterference = jammed.TagPower // 0 dB C/I < capture margin
+	if !jammed.TagPowered(c) {
+		t.Error("jammed tag is still powered")
+	}
+	if jammed.ForwardDecodable(c) || jammed.Readable(c) {
+		t.Error("jammed tag should not decode commands")
+	}
+
+	// Reverse link below sensitivity.
+	faint := healthy
+	faint.ReaderPower = -80
+	if faint.ReverseDecodable(c) || faint.Readable(c) {
+		t.Error("sub-sensitivity backscatter should not decode")
+	}
+
+	// Reverse interference above the noise floor eats the SNR.
+	rxJam := healthy
+	rxJam.ReaderPower = -65
+	rxJam.ReaderInterference = -70 // SINR 5 dB < 10 dB threshold
+	if rxJam.ReverseDecodable(c) {
+		t.Error("reader-side interference should block decoding")
+	}
+	// The same interference below the noise floor is harmless.
+	rxOk := healthy
+	rxOk.ReaderPower = -65
+	rxOk.ReaderInterference = -100
+	if !rxOk.ReverseDecodable(c) {
+		t.Error("sub-noise interference should not block decoding")
+	}
+}
+
+func TestCombineInterference(t *testing.T) {
+	// Two equal carriers: +3 dB.
+	got := CombineInterference(-50, -50)
+	if !almost(units.DB(got-(-47)), 0, 0.02) {
+		t.Errorf("equal combine = %v, want ~-47", got)
+	}
+	// Combining with nothing changes nothing.
+	got = CombineInterference(-50, NoInterference)
+	if !almost(units.DB(got-(-50)), 0, 0.01) {
+		t.Errorf("combine with none = %v, want -50", got)
+	}
+}
+
+func TestFreeSpaceMarginAnchors(t *testing.T) {
+	c := DefaultCalibration()
+	// The sanity anchors documented in calib.go: comfortably positive at
+	// 1 m, zero-crossing between 4 and 6 m, clearly negative at 9 m.
+	if m := c.FreeSpaceMarginDB(1); m < 10 || m > 18 {
+		t.Errorf("margin(1m) = %v, want ~13.5", m)
+	}
+	m4, m6 := c.FreeSpaceMarginDB(4), c.FreeSpaceMarginDB(6)
+	if !(m4 > 0 && m6 < 0) {
+		t.Errorf("zero crossing not in (4m, 6m): margin(4)=%v margin(6)=%v", m4, m6)
+	}
+	if m := c.FreeSpaceMarginDB(9); m > -3 {
+		t.Errorf("margin(9m) = %v, want < -3", m)
+	}
+}
+
+func TestFreeSpaceMarginMonotoneProperty(t *testing.T) {
+	c := DefaultCalibration()
+	f := func(a, b float64) bool {
+		a = 0.1 + math.Abs(math.Mod(a, 20))
+		b = 0.1 + math.Abs(math.Mod(b, 20))
+		if a > b {
+			a, b = b, a
+		}
+		return c.FreeSpaceMarginDB(a) >= c.FreeSpaceMarginDB(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEIRPWithinRegulatoryBallpark(t *testing.T) {
+	// 30 dBm - 1 dB cable + 6 dBi = 35 dBm EIRP, inside the FCC 36 dBm cap.
+	c := DefaultCalibration()
+	if got := c.EIRPDBm(); got != 35 {
+		t.Errorf("EIRP = %v, want 35 dBm", got)
+	}
+}

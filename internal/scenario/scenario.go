@@ -1,0 +1,417 @@
+// Package scenario builds the paper's experiments: the static read-range
+// grid (Fig. 2), the inter-tag spacing × orientation cart passes (Figs. 3
+// and 4), the twelve router boxes (Tables 1 and 3), and the walking
+// subjects (Tables 2, 4 and 5) — all parameterized by the redundancy
+// configuration under study and a seed.
+//
+// Shared geometry (the paper's Section 3 setup): the portal antenna sits
+// at the origin at 1 m height facing +Y; carriers pass along +X at about
+// 1 m/s with 1 m of standoff. Two-antenna portals add a second antenna
+// 2 m away on the far side, facing back across the portal.
+package scenario
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/core"
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+// Portal geometry shared by every experiment.
+const (
+	antennaHeight = 1.0
+	portalDepth   = 2.0 // distance between the two facing antennas
+	passSpeed     = 1.0 // m/s, "a speed of about 1 m/s"
+	passStandoff  = 1.0 // m, "antenna-tag distance of 1 m"
+	passHalfSpan  = 2.5 // m of travel on each side of the portal
+)
+
+// addPortalAntennas places n antennas (1 or 2) and returns them.
+func addPortalAntennas(w *world.World, n int) []*world.Antenna {
+	ants := []*world.Antenna{
+		w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, antennaHeight), geom.UnitY, geom.UnitZ)),
+	}
+	if n >= 2 {
+		ants = append(ants, w.AddAntenna("a2",
+			geom.NewPose(geom.V(0, portalDepth, antennaHeight), geom.UnitY.Scale(-1), geom.UnitZ)))
+	}
+	return ants
+}
+
+func sgtin(item, serial uint64) epc.Code {
+	c, err := epc.SGTIN96{Filter: 2, CompanyDigits: 7, Company: 614141, ItemRef: item, Serial: serial}.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("scenario: bad SGTIN: %v", err)) // unreachable: fields are in range
+	}
+	return c
+}
+
+func gid(class, serial uint64) epc.Code {
+	c, err := epc.GID96{Manager: 95100000, Class: class, Serial: serial}.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("scenario: bad GID: %v", err)) // unreachable: fields are in range
+	}
+	return c
+}
+
+// ReadRange builds the Figure 2 experiment: 20 tags in a 5×4 plane grid
+// (12.5 cm horizontal, 20 cm vertical spacing) parallel to the antenna at
+// the given distance, read statically.
+func ReadRange(distance float64, seed uint64) (*core.Portal, error) {
+	w := world.New(rf.DefaultCalibration(), seed)
+	ants := addPortalAntennas(w, 1)
+	// The mounting board: a thin foam/cardboard sheet, no content.
+	board := w.AddBox("board",
+		geom.StaticPath{Pose: geom.NewPose(geom.V(0, distance, antennaHeight), geom.UnitX, geom.UnitZ)},
+		geom.V(0.7, 0.01, 0.75), rf.Cardboard, rf.Air, geom.Vec3{})
+	n := 0
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 5; col++ {
+			x := (float64(col) - 2) * 0.125
+			z := (float64(row) - 1.5) * 0.20
+			w.AttachTag(board, fmt.Sprintf("grid%02d", n), sgtin(100, uint64(n)), world.Mount{
+				Offset: geom.V(x, -0.006, z),
+				Normal: geom.V(0, -1, 0), // facing the antenna
+				Axis:   geom.UnitX,       // horizontal dipole, broadside
+				Gap:    0.1,              // nothing behind the board
+			})
+			n++
+		}
+	}
+	r, err := reader.New("r1", w, ants)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}
+
+// Orientation identifies one of the six Figure-3 tag orientations on the
+// cart box. Orientations 1 and 5 point the dipole at the antenna (the
+// paper's "perpendicular to the antenna" cases).
+type Orientation int
+
+// The six Figure-3 orientations as (face, dipole axis) pairs.
+const (
+	// Orient1: on the leading face, dipole pointing at the antenna. BAD.
+	Orient1 Orientation = iota + 1
+	// Orient2: facing the antenna, dipole horizontal along travel.
+	Orient2
+	// Orient3: facing the antenna, dipole vertical.
+	Orient3
+	// Orient4: lying on top, dipole horizontal along travel.
+	Orient4
+	// Orient5: lying on top, dipole pointing at the antenna. BAD.
+	Orient5
+	// Orient6: on the leading face, dipole vertical.
+	Orient6
+)
+
+// mount returns the face normal, dipole axis and side-by-side stacking
+// direction for the orientation.
+func (o Orientation) mount() (normal, axis, stack geom.Vec3, ok bool) {
+	switch o {
+	case Orient1:
+		return geom.UnitX, geom.UnitY, geom.UnitZ, true
+	case Orient2:
+		return geom.V(0, -1, 0), geom.UnitX, geom.UnitZ, true
+	case Orient3:
+		return geom.V(0, -1, 0), geom.UnitZ, geom.UnitX, true
+	case Orient4:
+		return geom.UnitZ, geom.UnitX, geom.UnitY, true
+	case Orient5:
+		return geom.UnitZ, geom.UnitY, geom.UnitX, true
+	case Orient6:
+		return geom.UnitX, geom.UnitZ, geom.UnitY, true
+	default:
+		return geom.Vec3{}, geom.Vec3{}, geom.Vec3{}, false
+	}
+}
+
+// InterTag builds the Figure 4 experiment: ten parallel tags with the
+// given inter-tag spacing (meters) and orientation, on an empty cardboard
+// box carted past the antenna at 1 m/s and 1 m standoff.
+func InterTag(spacing float64, o Orientation, seed uint64) (*core.Portal, error) {
+	normal, axis, stack, ok := o.mount()
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown orientation %d", o)
+	}
+	w := world.New(rf.DefaultCalibration(), seed)
+	ants := addPortalAntennas(w, 1)
+	box := w.AddBox("cartbox", geom.CrossingPass(passSpeed, passStandoff, passHalfSpan, antennaHeight),
+		geom.V(0.6, 0.4, 0.4), rf.Cardboard, rf.Air, geom.Vec3{})
+	// Face offsets: center of the face the orientation mounts on.
+	face := geom.V(normal.X*0.3, normal.Y*0.2, normal.Z*0.2)
+	for i := 0; i < 10; i++ {
+		along := (float64(i) - 4.5) * spacing
+		w.AttachTag(box, fmt.Sprintf("t%02d", i), sgtin(200, uint64(i)), world.Mount{
+			Offset: face.Add(stack.Scale(along)).Add(normal.Scale(0.002)),
+			Normal: normal,
+			Axis:   axis,
+			Gap:    0.1, // empty box: nothing behind the tags
+		})
+	}
+	r, err := reader.New("r1", w, ants)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}
+
+// BoxLocation is a tag location on a router box (Table 1).
+type BoxLocation string
+
+// Table 1 tag locations.
+const (
+	LocFront   BoxLocation = "front"
+	LocSideIn  BoxLocation = "side-closer"  // side facing antenna a1
+	LocSideOut BoxLocation = "side-farther" // side away from antenna a1
+	LocTop     BoxLocation = "top"
+)
+
+// BoxLocations lists the Table 1 locations in paper order.
+func BoxLocations() []BoxLocation {
+	return []BoxLocation{LocFront, LocSideIn, LocSideOut, LocTop}
+}
+
+// Router box geometry: a flat metal router snug under the lid and close
+// to the leading face, foam at the sides — which is why the top mount gap
+// is smallest (strong ground plane), the front gap intermediate, and the
+// side gaps large enough to escape detuning.
+var (
+	routerBoxSize     = geom.V(0.45, 0.40, 0.20)
+	routerContentSize = geom.V(0.38, 0.33, 0.15)
+	topMountGap       = 0.018
+	frontMountGap     = 0.042
+	sideMountGap      = 0.05
+)
+
+// boxMount returns the mount for a tag at the given location on a router
+// box. Dipole axes are vertical on the vertical faces and along travel on
+// the lid (how a label is naturally applied).
+func boxMount(loc BoxLocation) (world.Mount, error) {
+	half := routerBoxSize.Scale(0.5)
+	switch loc {
+	case LocFront:
+		return world.Mount{
+			Offset: geom.V(half.X+0.002, 0, 0), Normal: geom.UnitX, Axis: geom.UnitZ, Gap: frontMountGap,
+		}, nil
+	case LocSideIn:
+		return world.Mount{
+			Offset: geom.V(0, -half.Y-0.002, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: sideMountGap,
+		}, nil
+	case LocSideOut:
+		return world.Mount{
+			Offset: geom.V(0, half.Y+0.002, 0), Normal: geom.UnitY, Axis: geom.UnitZ, Gap: sideMountGap,
+		}, nil
+	case LocTop:
+		return world.Mount{
+			Offset: geom.V(0, 0, half.Z+0.002), Normal: geom.UnitZ, Axis: geom.UnitX, Gap: topMountGap,
+		}, nil
+	default:
+		return world.Mount{}, fmt.Errorf("scenario: unknown box location %q", loc)
+	}
+}
+
+// ObjectConfig parameterizes the object-tracking experiments (Tables 1
+// and 3 and the reader-redundancy study).
+type ObjectConfig struct {
+	// TagLocations is the set of tag locations per box (one entry for
+	// Table 1, two for Table 3's redundant-tag rows).
+	TagLocations []BoxLocation
+	// Antennas per portal (1 or 2). With two readers, each reader drives
+	// one antenna.
+	Antennas int
+	// Readers per portal (1 or 2).
+	Readers int
+	// DenseMode enables dense-reader mode on all readers.
+	DenseMode bool
+	// Speed overrides the cart speed in m/s (0 = the paper's 1 m/s).
+	Speed float64
+	// Calibration overrides the radio constants (nil = defaults); used by
+	// the ablation experiments.
+	Calibration *rf.Calibration
+	Seed        uint64
+}
+
+// ObjectTracking builds the Table 1/3 experiment: twelve identical router
+// boxes stacked three rows × two columns × two layers on a cart, passing
+// the portal at 1 m/s with the closer column at 1 m.
+func ObjectTracking(cfg ObjectConfig) (*core.Portal, error) {
+	if len(cfg.TagLocations) == 0 {
+		return nil, fmt.Errorf("scenario: no tag locations")
+	}
+	if cfg.Antennas == 0 {
+		cfg.Antennas = 1
+	}
+	if cfg.Readers == 0 {
+		cfg.Readers = 1
+	}
+	if cfg.Readers > cfg.Antennas {
+		return nil, fmt.Errorf("scenario: %d readers need at least as many antennas (%d)", cfg.Readers, cfg.Antennas)
+	}
+	if cfg.Speed <= 0 {
+		cfg.Speed = passSpeed
+	}
+	cal := rf.DefaultCalibration()
+	if cfg.Calibration != nil {
+		cal = *cfg.Calibration
+	}
+	w := world.New(cal, cfg.Seed)
+	ants := addPortalAntennas(w, cfg.Antennas)
+
+	// The cart: columns at y = 1.0 and 1.45 (box depth 0.40 + 5 cm gap),
+	// layers centered at z = 0.80 and 1.05, rows packed tightly along
+	// travel (1 cm gaps), so leading boxes shadow the front tags behind
+	// them — the cart is a moving stack, not a spaced parade.
+	serial := uint64(0)
+	for row := 0; row < 3; row++ {
+		for col := 0; col < 2; col++ {
+			for layer := 0; layer < 2; layer++ {
+				name := fmt.Sprintf("box%d%d%d", row, col, layer)
+				y := passStandoff + float64(col)*0.45
+				z := 0.80 + float64(layer)*0.25
+				path := geom.LinePath{
+					Start: geom.NewPose(geom.V(-passHalfSpan+float64(row)*0.46, y, z), geom.UnitX, geom.UnitZ),
+					Vel:   geom.UnitX.Scale(cfg.Speed),
+					Dur:   2 * passHalfSpan / cfg.Speed,
+				}
+				box := w.AddBox(name, path, routerBoxSize, rf.Cardboard, rf.Metal, routerContentSize)
+				for _, loc := range cfg.TagLocations {
+					m, err := boxMount(loc)
+					if err != nil {
+						return nil, err
+					}
+					serial++
+					w.AttachTag(box, name+"/"+string(loc), sgtin(300, serial), m)
+				}
+			}
+		}
+	}
+
+	readers := make([]*reader.Reader, cfg.Readers)
+	var opts []reader.Option
+	if cfg.DenseMode {
+		opts = append(opts, reader.WithDenseMode(true))
+	}
+	if cfg.Readers == 1 {
+		r, err := reader.New("r1", w, ants, opts...)
+		if err != nil {
+			return nil, err
+		}
+		readers[0] = r
+	} else {
+		per := len(ants) / cfg.Readers
+		for i := range readers {
+			r, err := reader.New(fmt.Sprintf("r%d", i+1), w, ants[i*per:(i+1)*per], opts...)
+			if err != nil {
+				return nil, err
+			}
+			readers[i] = r
+		}
+	}
+	return &core.Portal{World: w, Readers: readers}, nil
+}
+
+// HumanLocation is a badge location on a subject (Table 2).
+type HumanLocation string
+
+// Table 2 tag locations. Sides are named relative to antenna a1.
+const (
+	HumanFront   HumanLocation = "front"
+	HumanBack    HumanLocation = "back"
+	HumanSideIn  HumanLocation = "side-closer"
+	HumanSideOut HumanLocation = "side-farther"
+)
+
+// HumanLocations lists the Table 2 locations.
+func HumanLocations() []HumanLocation {
+	return []HumanLocation{HumanFront, HumanBack, HumanSideIn, HumanSideOut}
+}
+
+// Subject body model: waist-level badges hanging from the belt, close to
+// but not touching the body (the paper's best-performing placement).
+const (
+	subjectHeight = 1.75
+	subjectRadius = 0.21 // torso plus swinging arms
+	badgeHeight   = 1.00
+	badgeStandoff = 0.23  // just outside the torso cylinder
+	badgeGap      = 0.025 // hanging from the belt, clear of the body
+)
+
+func humanMount(loc HumanLocation) (world.Mount, error) {
+	switch loc {
+	case HumanFront:
+		return world.Mount{
+			Offset: geom.V(badgeStandoff, 0, badgeHeight), Normal: geom.UnitX, Axis: geom.UnitZ, Gap: badgeGap,
+		}, nil
+	case HumanBack:
+		return world.Mount{
+			Offset: geom.V(-badgeStandoff, 0, badgeHeight), Normal: geom.UnitX.Scale(-1), Axis: geom.UnitZ, Gap: badgeGap,
+		}, nil
+	case HumanSideIn:
+		return world.Mount{
+			Offset: geom.V(0, -badgeStandoff, badgeHeight), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: badgeGap,
+		}, nil
+	case HumanSideOut:
+		return world.Mount{
+			Offset: geom.V(0, badgeStandoff, badgeHeight), Normal: geom.UnitY, Axis: geom.UnitZ, Gap: badgeGap,
+		}, nil
+	default:
+		return world.Mount{}, fmt.Errorf("scenario: unknown human location %q", loc)
+	}
+}
+
+// HumanConfig parameterizes the human-tracking experiments (Tables 2, 4
+// and 5).
+type HumanConfig struct {
+	// Subjects walking in parallel (1 or 2). Subject "closer" walks at 1 m
+	// from antenna a1; "farther" at 1.6 m, partially shadowed.
+	Subjects int
+	// TagLocations per subject.
+	TagLocations []HumanLocation
+	// Antennas per portal (1 or 2, one reader).
+	Antennas int
+	Seed     uint64
+}
+
+// HumanTracking builds the Table 2/4/5 experiment.
+func HumanTracking(cfg HumanConfig) (*core.Portal, error) {
+	if cfg.Subjects < 1 || cfg.Subjects > 2 {
+		return nil, fmt.Errorf("scenario: %d subjects unsupported", cfg.Subjects)
+	}
+	if len(cfg.TagLocations) == 0 {
+		return nil, fmt.Errorf("scenario: no tag locations")
+	}
+	if cfg.Antennas == 0 {
+		cfg.Antennas = 1
+	}
+	w := world.New(rf.DefaultCalibration(), cfg.Seed)
+	ants := addPortalAntennas(w, cfg.Antennas)
+
+	names := []string{"closer", "farther"}
+	standoffs := []float64{passStandoff, passStandoff + 0.55}
+	for s := 0; s < cfg.Subjects; s++ {
+		path := geom.LinePath{
+			Start: geom.NewPose(geom.V(-passHalfSpan, standoffs[s], 0), geom.UnitX, geom.UnitZ),
+			Vel:   geom.UnitX.Scale(passSpeed),
+			Dur:   2 * passHalfSpan / passSpeed,
+		}
+		p := w.AddPerson(names[s], path, subjectHeight, subjectRadius)
+		for i, loc := range cfg.TagLocations {
+			m, err := humanMount(loc)
+			if err != nil {
+				return nil, err
+			}
+			w.AttachTag(p, names[s]+"/"+string(loc), gid(uint64(s+1), uint64(i+1)), m)
+		}
+	}
+	r, err := reader.New("r1", w, ants)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}

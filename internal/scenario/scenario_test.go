@@ -1,0 +1,290 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"rfidtrack/internal/world"
+)
+
+func TestReadRangeGeometry(t *testing.T) {
+	p, err := ReadRange(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := p.World.Tags()
+	if len(tags) != 20 {
+		t.Fatalf("grid has %d tags, want 20", len(tags))
+	}
+	if len(p.World.Antennas()) != 1 || len(p.Readers) != 1 {
+		t.Fatal("read range wants one antenna, one reader")
+	}
+	// All tags at the requested distance (y≈3), facing the antenna, and at
+	// the paper's 12.5/20 cm spacings.
+	xs := map[float64]bool{}
+	zs := map[float64]bool{}
+	for _, tag := range tags {
+		pos := tag.Pos(0)
+		if pos.Y < 2.9 || pos.Y > 3.1 {
+			t.Errorf("%s at y=%v, want ~3", tag.Name, pos.Y)
+		}
+		xs[pos.X] = true
+		zs[pos.Z] = true
+	}
+	if len(xs) != 5 || len(zs) != 4 {
+		t.Errorf("grid is %d x %d, want 5 x 4", len(xs), len(zs))
+	}
+	// Static scene: a pass is a single read.
+	res := p.RunPass(0)
+	if res.Rounds != 1 {
+		t.Errorf("static pass ran %d rounds", res.Rounds)
+	}
+}
+
+func TestInterTagGeometry(t *testing.T) {
+	for o := Orient1; o <= Orient6; o++ {
+		p, err := InterTag(0.020, o, 2)
+		if err != nil {
+			t.Fatalf("orientation %d: %v", o, err)
+		}
+		tags := p.World.Tags()
+		if len(tags) != 10 {
+			t.Fatalf("orientation %d: %d tags", o, len(tags))
+		}
+		// Adjacent tags are exactly the requested spacing apart.
+		for i := 1; i < len(tags); i++ {
+			d := tags[i].Pos(0).Dist(tags[i-1].Pos(0))
+			if d < 0.019 || d > 0.021 {
+				t.Errorf("orientation %d: spacing %v, want 0.020", o, d)
+			}
+		}
+		// Every tag shares the orientation's normal and axis.
+		for _, tag := range tags {
+			if tag.Mount.Normal != tags[0].Mount.Normal || tag.Mount.Axis != tags[0].Mount.Axis {
+				t.Errorf("orientation %d: tags not parallel", o)
+			}
+		}
+	}
+	if _, err := InterTag(0.02, Orientation(7), 1); err == nil {
+		t.Error("unknown orientation accepted")
+	}
+}
+
+func TestInterTagOrientationsDistinct(t *testing.T) {
+	seen := map[[2]world.Mount]bool{}
+	for o := Orient1; o <= Orient6; o++ {
+		n, a, _, ok := o.mount()
+		if !ok {
+			t.Fatalf("orientation %d invalid", o)
+		}
+		key := [2]world.Mount{{Normal: n}, {Axis: a}}
+		if seen[key] {
+			t.Errorf("orientation %d duplicates another", o)
+		}
+		seen[key] = true
+		// The dipole axis is never parallel to the face normal (labels are
+		// flat on their face).
+		if n.Dot(a) != 0 {
+			t.Errorf("orientation %d: axis not in the face plane", o)
+		}
+	}
+}
+
+func TestObjectTrackingGeometry(t *testing.T) {
+	p, err := ObjectTracking(ObjectConfig{
+		TagLocations: []BoxLocation{LocFront, LocTop},
+		Antennas:     2,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.World.Carriers()); got != 12 {
+		t.Fatalf("%d boxes, want 12", got)
+	}
+	if got := len(p.World.Tags()); got != 24 {
+		t.Fatalf("%d tags, want 12 boxes x 2 locations", got)
+	}
+	if got := len(p.World.Antennas()); got != 2 {
+		t.Fatalf("%d antennas", got)
+	}
+	// Tag names encode box and location for downstream filtering.
+	var fronts, tops int
+	for _, tag := range p.World.Tags() {
+		switch {
+		case strings.HasSuffix(tag.Name, "/front"):
+			fronts++
+		case strings.HasSuffix(tag.Name, "/top"):
+			tops++
+		}
+	}
+	if fronts != 12 || tops != 12 {
+		t.Errorf("fronts=%d tops=%d", fronts, tops)
+	}
+	// Top tags sit close to the metal (small gap), sides clear of it.
+	mTop, err := boxMount(LocTop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSide, err := boxMount(LocSideIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mTop.Gap >= mSide.Gap {
+		t.Error("top mount should be closer to the router than the sides")
+	}
+	if _, err := boxMount(BoxLocation("nowhere")); err == nil {
+		t.Error("unknown location accepted")
+	}
+}
+
+func TestObjectTrackingValidation(t *testing.T) {
+	if _, err := ObjectTracking(ObjectConfig{}); err == nil {
+		t.Error("no tag locations accepted")
+	}
+	if _, err := ObjectTracking(ObjectConfig{
+		TagLocations: []BoxLocation{LocFront},
+		Antennas:     1,
+		Readers:      2,
+	}); err == nil {
+		t.Error("2 readers on 1 antenna accepted")
+	}
+	if _, err := ObjectTracking(ObjectConfig{
+		TagLocations: []BoxLocation{BoxLocation("bogus")},
+	}); err == nil {
+		t.Error("bogus location accepted")
+	}
+}
+
+func TestObjectTrackingTwoReaders(t *testing.T) {
+	p, err := ObjectTracking(ObjectConfig{
+		TagLocations: []BoxLocation{LocFront},
+		Antennas:     2,
+		Readers:      2,
+		DenseMode:    true,
+		Seed:         4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Readers) != 2 {
+		t.Fatalf("%d readers", len(p.Readers))
+	}
+	for _, r := range p.Readers {
+		if len(r.Antennas()) != 1 {
+			t.Errorf("reader %s drives %d antennas, want 1", r.Name(), len(r.Antennas()))
+		}
+		if !r.DenseMode() {
+			t.Errorf("reader %s should be dense", r.Name())
+		}
+	}
+}
+
+func TestObjectTrackingSpeedOverride(t *testing.T) {
+	slow, err := ObjectTracking(ObjectConfig{TagLocations: []BoxLocation{LocFront}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ObjectTracking(ObjectConfig{TagLocations: []BoxLocation{LocFront}, Speed: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := slow.RunPass(0).Duration
+	fd := fast.RunPass(0).Duration
+	if fd >= sd {
+		t.Errorf("4 m/s pass (%v) not shorter than 1 m/s pass (%v)", fd, sd)
+	}
+}
+
+func TestHumanTrackingGeometry(t *testing.T) {
+	p, err := HumanTracking(HumanConfig{
+		Subjects:     2,
+		TagLocations: HumanLocations(),
+		Antennas:     2,
+		Seed:         6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.World.Carriers()); got != 2 {
+		t.Fatalf("%d subjects", got)
+	}
+	if got := len(p.World.Tags()); got != 8 {
+		t.Fatalf("%d tags, want 2 subjects x 4 locations", got)
+	}
+	// Badges sit outside the torso cylinder at waist height.
+	for _, c := range p.World.Carriers() {
+		person := c.(*world.Person)
+		for _, tag := range person.Tags() {
+			r := tag.Mount.Offset
+			r.Z = 0
+			if r.Norm() <= person.Radius {
+				t.Errorf("%s inside the torso", tag.Name)
+			}
+			if tag.Mount.Offset.Z < 0.8 || tag.Mount.Offset.Z > 1.2 {
+				t.Errorf("%s not at waist height: z=%v", tag.Name, tag.Mount.Offset.Z)
+			}
+		}
+	}
+	// Subjects walk in parallel, the farther one farther from antenna a1.
+	closer := p.World.Carriers()[0].Center(0)
+	farther := p.World.Carriers()[1].Center(0)
+	if farther.Y <= closer.Y {
+		t.Error("second subject not farther from a1")
+	}
+	if closer.X != farther.X {
+		t.Error("subjects should walk side by side ('in parallel to maximize blocking')")
+	}
+}
+
+func TestHumanTrackingValidation(t *testing.T) {
+	if _, err := HumanTracking(HumanConfig{Subjects: 0, TagLocations: HumanLocations()}); err == nil {
+		t.Error("0 subjects accepted")
+	}
+	if _, err := HumanTracking(HumanConfig{Subjects: 3, TagLocations: HumanLocations()}); err == nil {
+		t.Error("3 subjects accepted")
+	}
+	if _, err := HumanTracking(HumanConfig{Subjects: 1}); err == nil {
+		t.Error("no tag locations accepted")
+	}
+	if _, err := HumanTracking(HumanConfig{
+		Subjects:     1,
+		TagLocations: []HumanLocation{HumanLocation("hat")},
+	}); err == nil {
+		t.Error("bogus location accepted")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	run := func() float64 {
+		p, err := ObjectTracking(ObjectConfig{TagLocations: []BoxLocation{LocFront}, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Measure(4, 0).MeanTagReliability(nil)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced %v then %v", a, b)
+	}
+}
+
+func TestEPCSchemesByCarrierType(t *testing.T) {
+	op, err := ObjectTracking(ObjectConfig{TagLocations: []BoxLocation{LocFront}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range op.World.Tags() {
+		if !strings.HasPrefix(tag.Code.URI(), "urn:epc:id:sgtin:") {
+			t.Errorf("box tag %s has URI %s, want SGTIN", tag.Name, tag.Code.URI())
+		}
+	}
+	hp, err := HumanTracking(HumanConfig{Subjects: 1, TagLocations: []HumanLocation{HumanFront}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range hp.World.Tags() {
+		if !strings.HasPrefix(tag.Code.URI(), "urn:epc:id:gid:") {
+			t.Errorf("badge %s has URI %s, want GID", tag.Name, tag.Code.URI())
+		}
+	}
+}

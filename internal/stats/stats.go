@@ -1,0 +1,162 @@
+// Package stats provides the sample statistics the paper reports — means,
+// upper and lower quartiles — plus confidence-interval helpers used by the
+// experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rfidtrack/internal/xrand"
+)
+
+// Summary describes a sample the way the paper's figures do: average with
+// lower and upper quartiles, plus the extremes and spread.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Q1     float64 // lower quartile
+	Median float64
+	Q3     float64 // upper quartile
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample returns the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	std := 0.0
+	if len(sorted) > 1 {
+		v := (sumSq - n*mean*mean) / (n - 1)
+		if v > 0 {
+			std = math.Sqrt(v)
+		}
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Std:    std,
+		Min:    sorted[0],
+		Q1:     Quantile(sorted, 0.25),
+		Median: Quantile(sorted, 0.5),
+		Q3:     Quantile(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f q1=%.3f med=%.3f q3=%.3f [%.3f, %.3f]",
+		s.N, s.Mean, s.Q1, s.Median, s.Q3, s.Min, s.Max)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of an already sorted sample
+// using linear interpolation between closest ranks (the "R-7" definition
+// used by most statistics packages). An empty sample returns 0; q is
+// clamped to [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Proportion is a Bernoulli sample: successes out of trials.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Rate returns the observed success rate, or 0 for an empty sample.
+func (p Proportion) Rate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// Wilson returns the Wilson score interval for the proportion at the given
+// z value (1.96 for 95%). The Wilson interval behaves sensibly at the
+// extremes (0% and 100% observed), which RFID reliability measurements hit
+// constantly.
+func (p Proportion) Wilson(z float64) (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 1
+	}
+	n := float64(p.Trials)
+	phat := p.Rate()
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (phat + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n))
+	lo = math.Max(0, center-half)
+	hi = math.Min(1, center+half)
+	return lo, hi
+}
+
+// String implements fmt.Stringer.
+func (p Proportion) String() string {
+	return fmt.Sprintf("%d/%d (%.1f%%)", p.Successes, p.Trials, 100*p.Rate())
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Bootstrap computes a percentile bootstrap confidence interval for the
+// mean of xs: resamples draws with replacement, deterministic under the
+// given rng. Returns (lo, hi) at the given confidence in (0,1). Degenerate
+// inputs return the sample mean for both ends.
+func Bootstrap(xs []float64, resamples int, confidence float64, rng *xrand.Rand) (lo, hi float64) {
+	m := Mean(xs)
+	if len(xs) < 2 || resamples < 2 || confidence <= 0 || confidence >= 1 || rng == nil {
+		return m, m
+	}
+	means := make([]float64, resamples)
+	for r := range means {
+		var sum float64
+		for i := 0; i < len(xs); i++ {
+			sum += xs[rng.IntN(len(xs))]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	return Quantile(means, alpha), Quantile(means, 1-alpha)
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rfidtrack/internal/xrand"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almost(s.Mean, 5) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	// Sample std of this classic sample is sqrt(32/7).
+	if !almost(s.Std, math.Sqrt(32.0/7.0)) {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("range = [%v, %v]", s.Min, s.Max)
+	}
+	if !almost(s.Median, 4.5) {
+		t.Errorf("Median = %v", s.Median)
+	}
+	if !almost(s.Q1, 4) {
+		t.Errorf("Q1 = %v", s.Q1)
+	}
+	if !almost(s.Q3, 5.5) {
+		t.Errorf("Q3 = %v", s.Q3)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty = %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Std != 0 || s.Q1 != 3 || s.Q3 != 3 {
+		t.Errorf("single = %+v", s)
+	}
+	// Summarize must not mutate its input.
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.1, 1.4},
+		{-1, 1}, {2, 5}, // clamped
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); !almost(got, tt.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	p := Proportion{Successes: 29, Trials: 100}
+	if !almost(p.Rate(), 0.29) {
+		t.Errorf("Rate = %v", p.Rate())
+	}
+	if (Proportion{}).Rate() != 0 {
+		t.Error("empty proportion rate should be 0")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	p := Proportion{Successes: 50, Trials: 100}
+	lo, hi := p.Wilson(1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("interval [%v, %v] should contain the point estimate", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval [%v, %v] too wide for n=100", lo, hi)
+	}
+	// Extremes stay in [0, 1] and are non-degenerate.
+	lo, hi = Proportion{Successes: 0, Trials: 20}.Wilson(1.96)
+	if lo != 0 || hi <= 0 || hi > 1 {
+		t.Errorf("0%% interval = [%v, %v]", lo, hi)
+	}
+	lo, hi = Proportion{Successes: 20, Trials: 20}.Wilson(1.96)
+	if hi != 1 || lo >= 1 || lo < 0 {
+		t.Errorf("100%% interval = [%v, %v]", lo, hi)
+	}
+	lo, hi = Proportion{}.Wilson(1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty interval = [%v, %v], want [0, 1]", lo, hi)
+	}
+}
+
+func TestWilsonCoversTruthProperty(t *testing.T) {
+	// For moderate n, the interval must always contain the observed rate.
+	f := func(s uint8, extra uint8) bool {
+		trials := int(s)%50 + 1
+		successes := int(extra) % (trials + 1)
+		p := Proportion{Successes: successes, Trials: trials}
+		lo, hi := p.Wilson(1.96)
+		r := p.Rate()
+		return lo <= r+1e-9 && r <= hi+1e-9 && lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean broken")
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	rng := xrand.New(7)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.Normal(10, 2)
+	}
+	lo, hi := Bootstrap(xs, 500, 0.95, xrand.New(8))
+	m := Mean(xs)
+	if !(lo < m && m < hi) {
+		t.Errorf("interval [%v, %v] does not contain the mean %v", lo, hi, m)
+	}
+	// ~95% CI for n=200, sigma=2: half-width near 2*2/sqrt(200) ~ 0.28.
+	if w := hi - lo; w < 0.2 || w > 1.5 {
+		t.Errorf("interval width = %v, implausible", w)
+	}
+	// Deterministic under the same rng seed.
+	lo2, hi2 := Bootstrap(xs, 500, 0.95, xrand.New(8))
+	if lo2 != lo || hi2 != hi {
+		t.Error("bootstrap not deterministic under a fixed seed")
+	}
+	// Degenerate inputs collapse to the mean.
+	if l, h := Bootstrap([]float64{5}, 100, 0.95, xrand.New(1)); l != 5 || h != 5 {
+		t.Errorf("single sample = [%v, %v]", l, h)
+	}
+	if l, h := Bootstrap(xs, 0, 0.95, xrand.New(1)); l != m || h != m {
+		t.Errorf("zero resamples = [%v, %v]", l, h)
+	}
+	if l, h := Bootstrap(xs, 100, 0.95, nil); l != m || h != m {
+		t.Errorf("nil rng = [%v, %v]", l, h)
+	}
+}

@@ -1,0 +1,273 @@
+package tagsim
+
+import (
+	"errors"
+	"fmt"
+
+	"rfidtrack/internal/epc"
+)
+
+// The Gen-2 access layer: once a tag is singulated (Acknowledged), the
+// reader can open a session against its memory with Req_RN, authenticate
+// with Access, and then Read/Write/Lock/Kill. This file implements the
+// four memory banks, the handle protocol, password checks and lock
+// semantics.
+
+// Bank identifies a Gen-2 memory bank.
+type Bank int
+
+// Gen-2 memory banks.
+const (
+	BankReserved Bank = iota // kill + access passwords
+	BankEPC                  // CRC, PC, EPC
+	BankTID                  // tag/vendor identification
+	BankUser                 // free-form application data
+)
+
+// String implements fmt.Stringer.
+func (b Bank) String() string {
+	switch b {
+	case BankReserved:
+		return "reserved"
+	case BankEPC:
+		return "epc"
+	case BankTID:
+		return "tid"
+	case BankUser:
+		return "user"
+	default:
+		return fmt.Sprintf("bank(%d)", int(b))
+	}
+}
+
+// Access-layer errors.
+var (
+	// ErrNotSingulated: the command needs an open access session.
+	ErrNotSingulated = errors.New("tagsim: tag not in access state")
+	// ErrBadHandle: the RN16 handle does not match.
+	ErrBadHandle = errors.New("tagsim: wrong handle")
+	// ErrBadPassword: password mismatch.
+	ErrBadPassword = errors.New("tagsim: wrong password")
+	// ErrLocked: the bank refuses the operation in this state.
+	ErrLocked = errors.New("tagsim: memory locked")
+	// ErrBounds: address range outside the bank.
+	ErrBounds = errors.New("tagsim: address out of range")
+	// ErrNotSecured: the command requires the Secured state.
+	ErrNotSecured = errors.New("tagsim: tag not secured")
+	// ErrKillForbidden: kill with a zero kill password is refused (spec).
+	ErrKillForbidden = errors.New("tagsim: zero kill password")
+)
+
+// LockState is a bank's lock configuration.
+type LockState int
+
+// Lock states (simplified from the spec's pwd-write/perma bits).
+const (
+	Unlocked LockState = iota
+	// Locked: writable only in the Secured state.
+	Locked
+	// PermaLocked: never writable again.
+	PermaLocked
+)
+
+// Memory is a tag's non-volatile storage.
+type Memory struct {
+	KillPassword   uint32
+	AccessPassword uint32
+	TID            []byte
+	User           []byte
+	Locks          [4]LockState
+}
+
+// defaultMemory builds factory-state memory: a vendor TID and 16 words of
+// user memory.
+func defaultMemory() Memory {
+	return Memory{
+		// E2 = ISO/IEC 15963 class, then a made-up mask-designer/model.
+		TID:  []byte{0xE2, 0x80, 0x11, 0x05},
+		User: make([]byte, 32),
+	}
+}
+
+// SetMemory replaces the tag's memory image (test and provisioning hook).
+func (t *Tag) SetMemory(m Memory) { t.mem = m }
+
+// MemoryImage returns a copy of the tag's memory.
+func (t *Tag) MemoryImage() Memory {
+	m := t.mem
+	m.TID = append([]byte(nil), t.mem.TID...)
+	m.User = append([]byte(nil), t.mem.User...)
+	return m
+}
+
+// ReqRN opens the access layer on a singulated tag: the tag issues a new
+// handle and moves to Open (or straight to Secured when its access
+// password is zero, per the spec).
+func (t *Tag) ReqRN(rn16 uint16) (handle uint16, err error) {
+	if !t.operational() || t.state != StateAcknowledged {
+		return 0, ErrNotSingulated
+	}
+	if rn16 != t.rn16 {
+		return 0, ErrBadHandle
+	}
+	t.handle = uint16(t.rng.Uint32())
+	if t.mem.AccessPassword == 0 {
+		t.state = StateSecured
+	} else {
+		t.state = StateOpen
+	}
+	return t.handle, nil
+}
+
+// Access authenticates with the access password, promoting Open→Secured.
+func (t *Tag) Access(handle uint16, password uint32) error {
+	if !t.operational() || (t.state != StateOpen && t.state != StateSecured) {
+		return ErrNotSingulated
+	}
+	if handle != t.handle {
+		return ErrBadHandle
+	}
+	if password != t.mem.AccessPassword {
+		// The spec has the tag go silent; we model it as returning to
+		// arbitrate so the reader must re-singulate.
+		t.state = StateArbitrate
+		return ErrBadPassword
+	}
+	t.state = StateSecured
+	return nil
+}
+
+// bankBytes returns the addressable bytes of a bank.
+func (t *Tag) bankBytes(b Bank) ([]byte, error) {
+	switch b {
+	case BankReserved:
+		return []byte{
+			byte(t.mem.KillPassword >> 24), byte(t.mem.KillPassword >> 16),
+			byte(t.mem.KillPassword >> 8), byte(t.mem.KillPassword),
+			byte(t.mem.AccessPassword >> 24), byte(t.mem.AccessPassword >> 16),
+			byte(t.mem.AccessPassword >> 8), byte(t.mem.AccessPassword),
+		}, nil
+	case BankEPC:
+		c := t.code
+		return c[:], nil
+	case BankTID:
+		return t.mem.TID, nil
+	case BankUser:
+		return t.mem.User, nil
+	default:
+		return nil, fmt.Errorf("%w: bank %d", ErrBounds, b)
+	}
+}
+
+// Read returns count bytes from a bank at offset. Requires an open access
+// session; the Reserved bank additionally requires Secured.
+func (t *Tag) Read(handle uint16, bank Bank, offset, count int) ([]byte, error) {
+	if !t.operational() || (t.state != StateOpen && t.state != StateSecured) {
+		return nil, ErrNotSingulated
+	}
+	if handle != t.handle {
+		return nil, ErrBadHandle
+	}
+	if bank == BankReserved && t.state != StateSecured {
+		return nil, ErrNotSecured
+	}
+	data, err := t.bankBytes(bank)
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 || count < 0 || offset+count > len(data) {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d bytes", ErrBounds, offset, offset+count, len(data))
+	}
+	return append([]byte(nil), data[offset:offset+count]...), nil
+}
+
+// Write stores data into a bank at offset. Locked banks require Secured;
+// perma-locked banks refuse. TID is read-only (factory programmed).
+func (t *Tag) Write(handle uint16, bank Bank, offset int, data []byte) error {
+	if !t.operational() || (t.state != StateOpen && t.state != StateSecured) {
+		return ErrNotSingulated
+	}
+	if handle != t.handle {
+		return ErrBadHandle
+	}
+	if bank == BankTID {
+		return fmt.Errorf("%w: TID is factory programmed", ErrLocked)
+	}
+	switch t.mem.Locks[bank] {
+	case PermaLocked:
+		return fmt.Errorf("%w: %s perma-locked", ErrLocked, bank)
+	case Locked:
+		if t.state != StateSecured {
+			return fmt.Errorf("%w: %s requires secured state", ErrLocked, bank)
+		}
+	}
+	switch bank {
+	case BankReserved:
+		if offset != 0 || len(data) != 8 {
+			return fmt.Errorf("%w: reserved bank writes the full 8 bytes", ErrBounds)
+		}
+		t.mem.KillPassword = beUint32(data[0:4])
+		t.mem.AccessPassword = beUint32(data[4:8])
+	case BankEPC:
+		if offset < 0 || offset+len(data) > len(t.code) {
+			return fmt.Errorf("%w: [%d,%d) of %d bytes", ErrBounds, offset, offset+len(data), len(t.code))
+		}
+		copy(t.code[offset:], data)
+	case BankUser:
+		if offset < 0 || offset+len(data) > len(t.mem.User) {
+			return fmt.Errorf("%w: [%d,%d) of %d bytes", ErrBounds, offset, offset+len(data), len(t.mem.User))
+		}
+		copy(t.mem.User[offset:], data)
+	}
+	return nil
+}
+
+// Lock changes a bank's lock state. Requires Secured. Perma-locking is
+// irreversible; unlocking a perma-locked bank fails.
+func (t *Tag) Lock(handle uint16, bank Bank, state LockState) error {
+	if !t.operational() || t.state != StateSecured {
+		return ErrNotSecured
+	}
+	if handle != t.handle {
+		return ErrBadHandle
+	}
+	if bank < BankReserved || bank > BankUser {
+		return fmt.Errorf("%w: bank %d", ErrBounds, bank)
+	}
+	if t.mem.Locks[bank] == PermaLocked && state != PermaLocked {
+		return fmt.Errorf("%w: %s perma-locked", ErrLocked, bank)
+	}
+	t.mem.Locks[bank] = state
+	return nil
+}
+
+// KillWithPassword permanently silences the tag. Requires Secured and a
+// matching non-zero kill password (a zero kill password disables the kill
+// feature, per the spec).
+func (t *Tag) KillWithPassword(handle uint16, password uint32) error {
+	if !t.operational() || t.state != StateSecured {
+		return ErrNotSecured
+	}
+	if handle != t.handle {
+		return ErrBadHandle
+	}
+	if t.mem.KillPassword == 0 {
+		return ErrKillForbidden
+	}
+	if password != t.mem.KillPassword {
+		t.state = StateArbitrate
+		return ErrBadPassword
+	}
+	t.Kill()
+	return nil
+}
+
+// WriteEPC is the provisioning helper commissioning systems use: rewrite
+// the EPC bank with a new code through an authenticated session.
+func (t *Tag) WriteEPC(handle uint16, code epc.Code) error {
+	return t.Write(handle, BankEPC, 0, code[:])
+}
+
+func beUint32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

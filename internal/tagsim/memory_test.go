@@ -1,0 +1,298 @@
+package tagsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/xrand"
+)
+
+// openSession singulates a tag and opens the access layer, returning the
+// handle.
+func openSession(t *testing.T, tag *Tag) uint16 {
+	t.Helper()
+	tag.SetPower(true, 0)
+	r, ok := tag.Query(S0, FlagA, 0, 0)
+	if !ok {
+		t.Fatal("no RN16 reply")
+	}
+	if _, ok := tag.ACK(r.RN16); !ok {
+		t.Fatal("ACK failed")
+	}
+	handle, err := tag.ReqRN(r.RN16)
+	if err != nil {
+		t.Fatalf("ReqRN: %v", err)
+	}
+	return handle
+}
+
+func TestReqRNOpensAccessLayer(t *testing.T) {
+	tag := newTag(t, "reqrn")
+	handle := openSession(t, tag)
+	// Zero access password: straight to Secured.
+	if tag.State() != StateSecured {
+		t.Errorf("state = %v, want secured (zero access password)", tag.State())
+	}
+	if handle == 0 && tag.State() != StateSecured {
+		t.Error("no handle issued")
+	}
+}
+
+func TestReqRNRequiresAcknowledged(t *testing.T) {
+	tag := newTag(t, "reqrn2")
+	tag.SetPower(true, 0)
+	if _, err := tag.ReqRN(0); !errors.Is(err, ErrNotSingulated) {
+		t.Errorf("err = %v", err)
+	}
+	// Wrong RN16.
+	r, _ := tag.Query(S0, FlagA, 0, 0)
+	tag.ACK(r.RN16)
+	if _, err := tag.ReqRN(r.RN16 + 1); !errors.Is(err, ErrBadHandle) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAccessPasswordFlow(t *testing.T) {
+	tag := newTag(t, "access")
+	tag.SetMemory(Memory{AccessPassword: 0xDEADBEEF, TID: []byte{1}, User: make([]byte, 8)})
+	handle := openSession(t, tag)
+	// Non-zero password: lands in Open.
+	if tag.State() != StateOpen {
+		t.Fatalf("state = %v, want open", tag.State())
+	}
+	// Reserved bank unreadable before Access.
+	if _, err := tag.Read(handle, BankReserved, 0, 8); !errors.Is(err, ErrNotSecured) {
+		t.Errorf("reserved read in open = %v", err)
+	}
+	// Wrong password bounces the tag out.
+	if err := tag.Access(handle, 0x12345678); !errors.Is(err, ErrBadPassword) {
+		t.Errorf("err = %v", err)
+	}
+	if tag.State() != StateArbitrate {
+		t.Errorf("state after bad password = %v", tag.State())
+	}
+	// Re-singulate and do it right.
+	tag.Reset()
+	handle = openSession(t, tag)
+	if err := tag.Access(handle, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if tag.State() != StateSecured {
+		t.Errorf("state = %v, want secured", tag.State())
+	}
+	// Wrong handle.
+	if err := tag.Access(handle+1, 0xDEADBEEF); !errors.Is(err, ErrBadHandle) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReadBanks(t *testing.T) {
+	tag := newTag(t, "read")
+	tag.SetMemory(Memory{
+		KillPassword:   0x11223344,
+		AccessPassword: 0,
+		TID:            []byte{0xE2, 0x80},
+		User:           []byte{9, 8, 7, 6},
+	})
+	handle := openSession(t, tag)
+
+	// EPC bank returns the code bytes.
+	got, err := tag.Read(handle, BankEPC, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tag.EPC()
+	if !bytes.Equal(got, want[:]) {
+		t.Errorf("EPC bank = %x", got)
+	}
+	// TID.
+	if got, err := tag.Read(handle, BankTID, 0, 2); err != nil || !bytes.Equal(got, []byte{0xE2, 0x80}) {
+		t.Errorf("TID = %x, %v", got, err)
+	}
+	// Reserved (secured): passwords big-endian.
+	got, err = tag.Read(handle, BankReserved, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:4], []byte{0x11, 0x22, 0x33, 0x44}) {
+		t.Errorf("kill password bytes = %x", got[:4])
+	}
+	// Bounds.
+	if _, err := tag.Read(handle, BankUser, 2, 10); !errors.Is(err, ErrBounds) {
+		t.Errorf("out-of-range read = %v", err)
+	}
+	if _, err := tag.Read(handle, Bank(9), 0, 1); !errors.Is(err, ErrBounds) {
+		t.Errorf("bad bank = %v", err)
+	}
+	// Wrong handle.
+	if _, err := tag.Read(handle+1, BankUser, 0, 1); !errors.Is(err, ErrBadHandle) {
+		t.Errorf("wrong handle = %v", err)
+	}
+	// Read returns a copy.
+	got, _ = tag.Read(handle, BankUser, 0, 4)
+	got[0] = 0xFF
+	if again, _ := tag.Read(handle, BankUser, 0, 4); again[0] == 0xFF {
+		t.Error("Read aliases tag memory")
+	}
+}
+
+func TestWriteUserAndEPC(t *testing.T) {
+	tag := newTag(t, "write")
+	handle := openSession(t, tag)
+	if err := tag.Write(handle, BankUser, 4, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tag.Read(handle, BankUser, 4, 3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("user readback = %x", got)
+	}
+	// Re-commission the EPC.
+	newCode, err := epc.SGTIN96{Filter: 1, CompanyDigits: 7, Company: 614141, ItemRef: 9, Serial: 9}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tag.WriteEPC(handle, newCode); err != nil {
+		t.Fatal(err)
+	}
+	if tag.EPC() != newCode {
+		t.Errorf("EPC after write = %v", tag.EPC())
+	}
+	// TID is read-only.
+	if err := tag.Write(handle, BankTID, 0, []byte{0}); !errors.Is(err, ErrLocked) {
+		t.Errorf("TID write = %v", err)
+	}
+	// Reserved writes must be the full 8 bytes.
+	if err := tag.Write(handle, BankReserved, 0, []byte{1}); !errors.Is(err, ErrBounds) {
+		t.Errorf("short reserved write = %v", err)
+	}
+	if err := tag.Write(handle, BankReserved, 0, []byte{0, 0, 0, 1, 0, 0, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m := tag.MemoryImage(); m.KillPassword != 1 || m.AccessPassword != 2 {
+		t.Errorf("passwords = %x/%x", m.KillPassword, m.AccessPassword)
+	}
+	// Bounds on user.
+	if err := tag.Write(handle, BankUser, 30, []byte{1, 2, 3, 4}); !errors.Is(err, ErrBounds) {
+		t.Errorf("oob user write = %v", err)
+	}
+}
+
+func TestLockSemantics(t *testing.T) {
+	tag := newTag(t, "lock")
+	tag.SetMemory(Memory{AccessPassword: 0xAA, TID: []byte{1}, User: make([]byte, 8)})
+	handle := openSession(t, tag)
+	// In Open: lock refused.
+	if err := tag.Lock(handle, BankUser, Locked); !errors.Is(err, ErrNotSecured) {
+		t.Errorf("lock in open = %v", err)
+	}
+	if err := tag.Access(handle, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	if err := tag.Lock(handle, BankUser, Locked); err != nil {
+		t.Fatal(err)
+	}
+	// Locked bank still writable in Secured.
+	if err := tag.Write(handle, BankUser, 0, []byte{5}); err != nil {
+		t.Errorf("secured write to locked bank = %v", err)
+	}
+	// But not from Open: re-singulate without Access.
+	tag.Reset()
+	handle = openSession(t, tag)
+	if tag.State() != StateOpen {
+		t.Fatal("expected open")
+	}
+	if err := tag.Write(handle, BankUser, 0, []byte{5}); !errors.Is(err, ErrLocked) {
+		t.Errorf("open write to locked bank = %v", err)
+	}
+	// Perma-lock is irreversible.
+	if err := tag.Access(handle, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	if err := tag.Lock(handle, BankUser, PermaLocked); err != nil {
+		t.Fatal(err)
+	}
+	if err := tag.Lock(handle, BankUser, Unlocked); !errors.Is(err, ErrLocked) {
+		t.Errorf("unlocking perma-locked = %v", err)
+	}
+	if err := tag.Write(handle, BankUser, 0, []byte{5}); !errors.Is(err, ErrLocked) {
+		t.Errorf("write to perma-locked = %v", err)
+	}
+	// Bad bank.
+	if err := tag.Lock(handle, Bank(7), Locked); !errors.Is(err, ErrBounds) {
+		t.Errorf("lock bad bank = %v", err)
+	}
+}
+
+func TestKillWithPassword(t *testing.T) {
+	tag := newTag(t, "killpwd")
+	tag.SetMemory(Memory{KillPassword: 0xC0FFEE, TID: []byte{1}, User: make([]byte, 4)})
+	handle := openSession(t, tag)
+	// Wrong password: refused, tag bounced.
+	if err := tag.KillWithPassword(handle, 1); !errors.Is(err, ErrBadPassword) {
+		t.Errorf("wrong kill password = %v", err)
+	}
+	tag.Reset()
+	handle = openSession(t, tag)
+	if err := tag.KillWithPassword(handle, 0xC0FFEE); err != nil {
+		t.Fatal(err)
+	}
+	if !tag.Killed() {
+		t.Error("tag survived a valid kill")
+	}
+	// Killed tags never come back.
+	tag.Reset()
+	tag.SetPower(true, 10)
+	if _, ok := tag.Query(S0, FlagA, 0, 10); ok {
+		t.Error("killed tag replied")
+	}
+}
+
+func TestKillZeroPasswordForbidden(t *testing.T) {
+	tag := newTag(t, "killzero")
+	handle := openSession(t, tag)
+	if err := tag.KillWithPassword(handle, 0); !errors.Is(err, ErrKillForbidden) {
+		t.Errorf("zero kill password = %v", err)
+	}
+	if tag.Killed() {
+		t.Error("tag died despite disabled kill")
+	}
+}
+
+func TestBankString(t *testing.T) {
+	for b, want := range map[Bank]string{
+		BankReserved: "reserved", BankEPC: "epc", BankTID: "tid",
+		BankUser: "user", Bank(9): "bank(9)",
+	} {
+		if got := b.String(); got != want {
+			t.Errorf("%d.String() = %q", b, got)
+		}
+	}
+}
+
+func TestAccessAfterPowerLoss(t *testing.T) {
+	// Losing power tears down the access session.
+	tag := newTag(t, "powerloss")
+	handle := openSession(t, tag)
+	tag.SetPower(false, 1)
+	tag.SetPower(true, 1.1)
+	if _, err := tag.Read(handle, BankUser, 0, 1); !errors.Is(err, ErrNotSingulated) {
+		t.Errorf("read after power loss = %v", err)
+	}
+}
+
+func TestMemoryDefaultTID(t *testing.T) {
+	tag := New(epc.Code{}, xrand.New(1))
+	m := tag.MemoryImage()
+	if len(m.TID) == 0 || m.TID[0] != 0xE2 {
+		t.Errorf("default TID = %x, want ISO 15963 class E2", m.TID)
+	}
+	if len(m.User) == 0 {
+		t.Error("no default user memory")
+	}
+	// MemoryImage is a copy.
+	m.User[0] = 0xFF
+	if tag.MemoryImage().User[0] == 0xFF {
+		t.Error("MemoryImage aliases tag memory")
+	}
+}

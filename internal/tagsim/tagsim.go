@@ -1,0 +1,419 @@
+// Package tagsim models the protocol side of a passive Gen-2 tag: the
+// inventory state machine (Ready / Arbitrate / Reply / Acknowledged / Open
+// / Secured / Killed), the four session inventoried flags with their
+// persistence classes, the slot counter, and RN16 generation.
+//
+// The radio side (whether the tag is powered and can hear the reader) is
+// resolved by internal/world; this package assumes the caller only invokes
+// command handlers for tags that actually received the command.
+package tagsim
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/xrand"
+)
+
+// State is the Gen-2 tag inventory state.
+type State int
+
+// Gen-2 tag states.
+const (
+	StateReady State = iota
+	StateArbitrate
+	StateReply
+	StateAcknowledged
+	StateOpen
+	StateSecured
+	StateKilled
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateArbitrate:
+		return "arbitrate"
+	case StateReply:
+		return "reply"
+	case StateAcknowledged:
+		return "acknowledged"
+	case StateOpen:
+		return "open"
+	case StateSecured:
+		return "secured"
+	case StateKilled:
+		return "killed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Session identifies one of the four Gen-2 inventory sessions.
+type Session int
+
+// Gen-2 sessions. Their inventoried flags persist differently across power
+// loss: S0 resets immediately, S1 decays on a timer even while powered,
+// S2/S3 survive short power gaps.
+const (
+	S0 Session = iota
+	S1
+	S2
+	S3
+)
+
+// String implements fmt.Stringer.
+func (s Session) String() string { return fmt.Sprintf("S%d", int(s)) }
+
+// Flag is a session's inventoried flag value.
+type Flag int
+
+// Inventoried flag values.
+const (
+	FlagA Flag = iota
+	FlagB
+)
+
+// String implements fmt.Stringer.
+func (f Flag) String() string {
+	if f == FlagA {
+		return "A"
+	}
+	return "B"
+}
+
+// Persistence is the flag persistence configuration. Values follow the
+// Gen-2 spec minimums.
+type Persistence struct {
+	// S1Decay is how long an S1 flag holds before decaying back to A,
+	// powered or not.
+	S1Decay float64
+	// S23Unpowered is how long S2/S3 flags survive without power.
+	S23Unpowered float64
+}
+
+// DefaultPersistence returns spec-typical values.
+func DefaultPersistence() Persistence {
+	return Persistence{S1Decay: 2.0, S23Unpowered: 2.0}
+}
+
+// Tag is the protocol state of one physical tag. All times are simulation
+// seconds. Tag is not safe for concurrent use; the simulator drives each
+// tag from a single goroutine.
+type Tag struct {
+	code    epc.Code
+	pc      uint16 // protocol-control word backscattered with the EPC
+	rng     *xrand.Rand
+	persist Persistence
+
+	state   State
+	q       uint8
+	slot    uint32
+	rn16    uint16
+	session Session
+
+	powered     bool
+	powerLostAt float64
+
+	flags     [4]Flag
+	flagSetAt [4]float64
+	selected  bool
+	killed    bool
+
+	handle uint16
+	mem    Memory
+}
+
+// New returns a tag carrying the given EPC. The rng should be a dedicated
+// sub-stream (e.g. parent.Split("tag/"+name)).
+func New(code epc.Code, rng *xrand.Rand) *Tag {
+	return &Tag{
+		code: code,
+		// PC word: EPC length in words (6 for 96 bits) in the top 5 bits.
+		pc:      uint16(6) << 11,
+		rng:     rng,
+		persist: DefaultPersistence(),
+		mem:     defaultMemory(),
+	}
+}
+
+// Reset returns the tag to factory state (unpowered, all flags A, state
+// Ready) without disturbing its random stream. The experiment harness
+// calls this between independent trials; a killed tag stays killed.
+func (t *Tag) Reset() {
+	if t.killed {
+		return
+	}
+	t.state = StateReady
+	t.powered = false
+	t.powerLostAt = 0
+	t.flags = [4]Flag{}
+	t.flagSetAt = [4]float64{}
+	t.selected = false
+	t.slot = 0
+	t.rn16 = 0
+}
+
+// Select matches mask against the tag's EPC memory starting at bit
+// pointer and asserts (or deasserts) the SL flag accordingly, returning
+// whether it matched. A mask running past the end of the EPC never
+// matches. Unpowered tags ignore the command.
+func (t *Tag) Select(pointer int, mask *epc.Bits) bool {
+	if !t.operational() {
+		return false
+	}
+	bits := t.code.Bits()
+	if pointer < 0 || mask == nil || pointer+mask.Len() > bits.Len() {
+		t.selected = false
+		return false
+	}
+	match := true
+	for i := 0; i < mask.Len(); i++ {
+		if bits.Bit(pointer+i) != mask.Bit(i) {
+			match = false
+			break
+		}
+	}
+	t.selected = match
+	return match
+}
+
+// Selected reports the SL flag.
+func (t *Tag) Selected() bool { return t.selected }
+
+// SetPersistence overrides the flag persistence configuration.
+func (t *Tag) SetPersistence(p Persistence) { t.persist = p }
+
+// EPC returns the tag's EPC.
+func (t *Tag) EPC() epc.Code { return t.code }
+
+// PC returns the protocol-control word.
+func (t *Tag) PC() uint16 { return t.pc }
+
+// State returns the current inventory state.
+func (t *Tag) State() State { return t.state }
+
+// Killed reports whether the tag has been permanently silenced.
+func (t *Tag) Killed() bool { return t.killed }
+
+// Powered reports whether the tag currently rectifies enough energy to
+// operate.
+func (t *Tag) Powered() bool { return t.powered }
+
+// Flag returns the inventoried flag for a session at time now, applying
+// persistence decay lazily.
+func (t *Tag) Flag(s Session, now float64) Flag {
+	t.decayFlags(now)
+	return t.flags[s]
+}
+
+// SetPower updates the tag's powered state at time now. Losing power
+// resets the inventory state machine and starts the persistence clocks;
+// regaining power applies any decay that happened while dark.
+func (t *Tag) SetPower(on bool, now float64) {
+	if t.killed {
+		t.powered = false
+		return
+	}
+	if t.powered == on {
+		t.decayFlags(now)
+		return
+	}
+	if !on {
+		t.powered = false
+		t.powerLostAt = now
+		t.state = StateReady
+		// S0 has no persistence at all.
+		t.flags[S0] = FlagA
+		return
+	}
+	// Apply any decay accumulated while dark before flipping the flag,
+	// since decayFlags only counts dark time while unpowered.
+	t.decayFlags(now)
+	t.powered = true
+	t.state = StateReady
+}
+
+// decayFlags applies S1 timer decay and S2/S3 unpowered decay.
+func (t *Tag) decayFlags(now float64) {
+	if t.flags[S1] == FlagB && now-t.flagSetAt[S1] > t.persist.S1Decay {
+		t.flags[S1] = FlagA
+	}
+	if !t.powered {
+		dark := now - t.powerLostAt
+		if dark > t.persist.S23Unpowered {
+			t.flags[S2] = FlagA
+			t.flags[S3] = FlagA
+		}
+	}
+}
+
+// Reply is a tag response on the air interface.
+type Reply struct {
+	// RN16 is set for Query/QueryRep/QueryAdjust replies.
+	RN16 uint16
+	// EPC responses (to ACK) carry the PC word and the code.
+	PC   uint16
+	Code epc.Code
+	// HasEPC distinguishes an EPC reply from an RN16 reply.
+	HasEPC bool
+}
+
+// Query handles a Query command at time now. It begins a new inventory
+// round: tags whose session flag matches target participate, drawing a
+// slot in [0, 2^q). A tag that draws slot zero backscatters an RN16
+// immediately. Returns the reply and whether the tag responded.
+func (t *Tag) Query(s Session, target Flag, q uint8, now float64) (Reply, bool) {
+	return t.QuerySel(s, target, q, false, now)
+}
+
+// QuerySel is Query with the Sel filter: when selOnly is set, only tags
+// whose SL flag is asserted (by a prior Select) participate.
+func (t *Tag) QuerySel(s Session, target Flag, q uint8, selOnly bool, now float64) (Reply, bool) {
+	if !t.operational() {
+		return Reply{}, false
+	}
+	if selOnly && !t.selected {
+		t.commitIfAcknowledged(now)
+		t.state = StateReady
+		return Reply{}, false
+	}
+	t.decayFlags(now)
+	t.session = s
+	t.q = q
+	// A Query always ends any prior round: an acknowledged tag commits its
+	// flag toggle first (it was successfully inventoried).
+	t.commitIfAcknowledged(now)
+	if t.flags[s] != target {
+		t.state = StateReady
+		return Reply{}, false
+	}
+	t.slot = t.drawSlot(q)
+	if t.slot == 0 {
+		return t.backscatterRN16(), true
+	}
+	t.state = StateArbitrate
+	return Reply{}, false
+}
+
+// QueryRep handles a QueryRep (advance one slot) at time now.
+func (t *Tag) QueryRep(s Session, now float64) (Reply, bool) {
+	if !t.operational() || s != t.session {
+		return Reply{}, false
+	}
+	t.decayFlags(now)
+	switch t.state {
+	case StateAcknowledged:
+		// Successful singulation: toggle the session flag and drop out.
+		t.commitIfAcknowledged(now)
+		return Reply{}, false
+	case StateReply:
+		// We replied but were never acknowledged (collision or reverse-link
+		// loss). Back off into the remainder of the round.
+		t.state = StateArbitrate
+		t.slot = t.drawSlot(t.q)
+		if t.slot == 0 {
+			return t.backscatterRN16(), true
+		}
+		return Reply{}, false
+	case StateArbitrate:
+		if t.slot > 0 {
+			t.slot--
+		}
+		if t.slot == 0 {
+			return t.backscatterRN16(), true
+		}
+		return Reply{}, false
+	default:
+		return Reply{}, false
+	}
+}
+
+// QueryAdjust handles a QueryAdjust: like QueryRep but the Q value changes
+// and every participating tag re-draws its slot.
+func (t *Tag) QueryAdjust(s Session, q uint8, now float64) (Reply, bool) {
+	if !t.operational() || s != t.session {
+		return Reply{}, false
+	}
+	t.decayFlags(now)
+	switch t.state {
+	case StateAcknowledged:
+		t.commitIfAcknowledged(now)
+		return Reply{}, false
+	case StateArbitrate, StateReply:
+		t.q = q
+		t.slot = t.drawSlot(q)
+		if t.slot == 0 {
+			return t.backscatterRN16(), true
+		}
+		t.state = StateArbitrate
+		return Reply{}, false
+	default:
+		return Reply{}, false
+	}
+}
+
+// ACK handles an ACK carrying rn16. A tag in Reply state whose RN16
+// matches backscatters its PC+EPC and moves to Acknowledged.
+func (t *Tag) ACK(rn16 uint16) (Reply, bool) {
+	if !t.operational() || t.state != StateReply || rn16 != t.rn16 {
+		if t.state == StateReply {
+			// Wrong RN16: the ACK was for someone else; return to arbitrate.
+			t.state = StateArbitrate
+		}
+		return Reply{}, false
+	}
+	t.state = StateAcknowledged
+	return Reply{RN16: t.rn16, PC: t.pc, Code: t.code, HasEPC: true}, true
+}
+
+// NAK returns the tag to Arbitrate without toggling its flag.
+func (t *Tag) NAK() {
+	if !t.operational() {
+		return
+	}
+	if t.state == StateReply || t.state == StateAcknowledged {
+		t.state = StateArbitrate
+	}
+}
+
+// Kill permanently silences the tag.
+func (t *Tag) Kill() {
+	t.killed = true
+	t.state = StateKilled
+	t.powered = false
+}
+
+func (t *Tag) operational() bool { return t.powered && !t.killed }
+
+func (t *Tag) commitIfAcknowledged(now float64) {
+	if t.state != StateAcknowledged {
+		return
+	}
+	s := t.session
+	if t.flags[s] == FlagA {
+		t.flags[s] = FlagB
+	} else {
+		t.flags[s] = FlagA
+	}
+	t.flagSetAt[s] = now
+	t.state = StateReady
+}
+
+func (t *Tag) drawSlot(q uint8) uint32 {
+	if q == 0 {
+		return 0
+	}
+	if q > 15 {
+		q = 15
+	}
+	return uint32(t.rng.IntN(1 << uint(q)))
+}
+
+func (t *Tag) backscatterRN16() Reply {
+	t.rn16 = uint16(t.rng.Uint32())
+	t.state = StateReply
+	return Reply{RN16: t.rn16}
+}

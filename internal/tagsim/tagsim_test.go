@@ -1,0 +1,375 @@
+package tagsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/xrand"
+)
+
+func newTag(t *testing.T, label string) *Tag {
+	t.Helper()
+	code, err := epc.GID96{Manager: 1, Class: 2, Serial: 3}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(code, xrand.New(7).Split(label))
+}
+
+// singulate drives a full successful exchange for a lone tag and returns
+// the EPC reply.
+func singulate(t *testing.T, tag *Tag, now float64) Reply {
+	t.Helper()
+	tag.SetPower(true, now)
+	// Q=0: the lone tag must answer the Query immediately.
+	r, ok := tag.Query(S0, FlagA, 0, now)
+	if !ok {
+		t.Fatal("lone tag with Q=0 did not reply to Query")
+	}
+	er, ok := tag.ACK(r.RN16)
+	if !ok || !er.HasEPC {
+		t.Fatal("ACK with correct RN16 did not yield EPC")
+	}
+	return er
+}
+
+func TestSingulationHappyPath(t *testing.T) {
+	tag := newTag(t, "happy")
+	er := singulate(t, tag, 0)
+	if er.Code != tag.EPC() {
+		t.Errorf("EPC reply = %v, want %v", er.Code, tag.EPC())
+	}
+	if er.PC != tag.PC() || er.PC>>11 != 6 {
+		t.Errorf("PC word = %#x, want EPC length 6 words", er.PC)
+	}
+	if tag.State() != StateAcknowledged {
+		t.Errorf("state = %v, want acknowledged", tag.State())
+	}
+	// The following QueryRep commits the inventory: flag toggles to B and
+	// the tag stops participating in A-targeted rounds.
+	if _, ok := tag.QueryRep(S0, 0.01); ok {
+		t.Error("acknowledged tag should not reply to QueryRep")
+	}
+	if got := tag.Flag(S0, 0.01); got != FlagB {
+		t.Errorf("flag after commit = %v, want B", got)
+	}
+	if _, ok := tag.Query(S0, FlagA, 0, 0.02); ok {
+		t.Error("inventoried tag replied to A-targeted Query")
+	}
+	if _, ok := tag.Query(S0, FlagB, 0, 0.03); !ok {
+		t.Error("inventoried tag should reply to B-targeted Query")
+	}
+}
+
+func TestUnpoweredTagIsSilent(t *testing.T) {
+	tag := newTag(t, "dark")
+	if _, ok := tag.Query(S0, FlagA, 0, 0); ok {
+		t.Error("unpowered tag replied")
+	}
+	if _, ok := tag.QueryRep(S0, 0); ok {
+		t.Error("unpowered tag replied to QueryRep")
+	}
+	if _, ok := tag.ACK(0); ok {
+		t.Error("unpowered tag replied to ACK")
+	}
+}
+
+func TestSlotCountdown(t *testing.T) {
+	tag := newTag(t, "slots")
+	tag.SetPower(true, 0)
+	// With a large Q the tag almost surely draws a nonzero slot; drive
+	// QueryReps until it replies and check it happens within the window.
+	_, ok := tag.Query(S0, FlagA, 8, 0)
+	replies := 0
+	if ok {
+		replies++
+	}
+	steps := 0
+	for replies == 0 && steps < 1<<9 {
+		steps++
+		if _, ok := tag.QueryRep(S0, 0); ok {
+			replies++
+		}
+	}
+	if replies == 0 {
+		t.Fatal("tag never replied within 2^9 QueryReps")
+	}
+	if tag.State() != StateReply {
+		t.Errorf("state = %v, want reply", tag.State())
+	}
+}
+
+func TestWrongSessionIgnored(t *testing.T) {
+	tag := newTag(t, "sess")
+	tag.SetPower(true, 0)
+	tag.Query(S2, FlagA, 4, 0)
+	if _, ok := tag.QueryRep(S1, 0); ok {
+		t.Error("tag answered QueryRep for a session it is not in")
+	}
+	if _, ok := tag.QueryAdjust(S3, 2, 0); ok {
+		t.Error("tag answered QueryAdjust for a session it is not in")
+	}
+}
+
+func TestWrongRN16(t *testing.T) {
+	tag := newTag(t, "rn16")
+	tag.SetPower(true, 0)
+	r, ok := tag.Query(S0, FlagA, 0, 0)
+	if !ok {
+		t.Fatal("no reply")
+	}
+	if _, ok := tag.ACK(r.RN16 + 1); ok {
+		t.Error("tag accepted a wrong RN16")
+	}
+	if tag.State() != StateArbitrate {
+		t.Errorf("state after foreign ACK = %v, want arbitrate", tag.State())
+	}
+}
+
+func TestUnacknowledgedReplyBacksOff(t *testing.T) {
+	tag := newTag(t, "backoff")
+	tag.SetPower(true, 0)
+	// Drive until the first reply in a Q=3 round.
+	replied := false
+	if _, ok := tag.Query(S0, FlagA, 3, 0); ok {
+		replied = true
+	}
+	for i := 0; !replied && i < 8; i++ {
+		if _, ok := tag.QueryRep(S0, 0); ok {
+			replied = true
+		}
+	}
+	if !replied {
+		t.Fatal("tag never replied in the round")
+	}
+	// Reader moves on without ACK (collision). The tag must rejoin the
+	// round — i.e. reply again within the next window — and must not count
+	// itself inventoried.
+	rejoined := false
+	for i := 0; i < 16; i++ {
+		if _, ok := tag.QueryRep(S0, 0); ok {
+			rejoined = true
+			break
+		}
+	}
+	if !rejoined {
+		t.Error("skipped tag never rejoined the round")
+	}
+	if got := tag.Flag(S0, 0); got != FlagA {
+		t.Errorf("flag = %v, want A (not inventoried)", got)
+	}
+}
+
+func TestNAK(t *testing.T) {
+	tag := newTag(t, "nak")
+	tag.SetPower(true, 0)
+	r, _ := tag.Query(S0, FlagA, 0, 0)
+	tag.ACK(r.RN16)
+	tag.NAK()
+	if tag.State() != StateArbitrate {
+		t.Errorf("state after NAK = %v, want arbitrate", tag.State())
+	}
+	if got := tag.Flag(S0, 0); got != FlagA {
+		t.Errorf("flag after NAK = %v, want A", got)
+	}
+}
+
+func TestQueryAdjustRedraw(t *testing.T) {
+	tag := newTag(t, "adjust")
+	tag.SetPower(true, 0)
+	tag.Query(S0, FlagA, 8, 0)
+	// Adjust down to Q=0: every participating tag must reply at once.
+	if _, ok := tag.QueryAdjust(S0, 0, 0); !ok {
+		t.Error("tag did not reply after QueryAdjust to Q=0")
+	}
+}
+
+func TestS0FlagResetsOnPowerLoss(t *testing.T) {
+	tag := newTag(t, "s0")
+	singulate(t, tag, 0)
+	tag.QueryRep(S0, 0.01) // commit
+	tag.SetPower(false, 1)
+	tag.SetPower(true, 1.001)
+	if got := tag.Flag(S0, 1.001); got != FlagA {
+		t.Errorf("S0 flag after power cycle = %v, want A", got)
+	}
+}
+
+func TestS1FlagDecaysOnTimer(t *testing.T) {
+	tag := newTag(t, "s1")
+	tag.SetPower(true, 0)
+	r, _ := tag.Query(S1, FlagA, 0, 0)
+	tag.ACK(r.RN16)
+	tag.QueryRep(S1, 0.01)
+	if got := tag.Flag(S1, 0.02); got != FlagB {
+		t.Fatalf("flag right after commit = %v, want B", got)
+	}
+	// Still B inside the persistence window, even while powered.
+	if got := tag.Flag(S1, 1.5); got != FlagB {
+		t.Errorf("flag at 1.5s = %v, want B", got)
+	}
+	// Decays after S1Decay (2s default) regardless of power.
+	if got := tag.Flag(S1, 2.5); got != FlagA {
+		t.Errorf("flag at 2.5s = %v, want A", got)
+	}
+}
+
+func TestS2FlagSurvivesShortPowerGap(t *testing.T) {
+	tag := newTag(t, "s2")
+	tag.SetPower(true, 0)
+	r, _ := tag.Query(S2, FlagA, 0, 0)
+	tag.ACK(r.RN16)
+	tag.QueryRep(S2, 0.01)
+	tag.SetPower(false, 0.02)
+	tag.SetPower(true, 0.5) // short gap: survives
+	if got := tag.Flag(S2, 0.5); got != FlagB {
+		t.Errorf("S2 flag after short gap = %v, want B", got)
+	}
+	tag.SetPower(false, 1)
+	tag.SetPower(true, 4) // long gap: decays
+	if got := tag.Flag(S2, 4); got != FlagA {
+		t.Errorf("S2 flag after long gap = %v, want A", got)
+	}
+}
+
+func TestKill(t *testing.T) {
+	tag := newTag(t, "kill")
+	tag.SetPower(true, 0)
+	tag.Kill()
+	if !tag.Killed() || tag.State() != StateKilled {
+		t.Error("kill did not take")
+	}
+	tag.SetPower(true, 1)
+	if tag.Powered() {
+		t.Error("killed tag claims to be powered")
+	}
+	if _, ok := tag.Query(S0, FlagA, 0, 1); ok {
+		t.Error("killed tag replied")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	states := map[State]string{
+		StateReady: "ready", StateArbitrate: "arbitrate", StateReply: "reply",
+		StateAcknowledged: "acknowledged", StateOpen: "open",
+		StateSecured: "secured", StateKilled: "killed", State(42): "state(42)",
+	}
+	for s, want := range states {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if S2.String() != "S2" || FlagA.String() != "A" || FlagB.String() != "B" {
+		t.Error("session/flag strings broken")
+	}
+}
+
+func TestSlotDrawWithinWindowProperty(t *testing.T) {
+	f := func(seed uint64, q uint8) bool {
+		q = q % 16
+		tag := New(epc.Code{}, xrand.New(seed))
+		tag.SetPower(true, 0)
+		tag.Query(S0, FlagA, q, 0)
+		// The tag is either replying (slot 0) or arbitrating with a slot
+		// strictly inside the window.
+		switch tag.State() {
+		case StateReply:
+			return true
+		case StateArbitrate:
+			return tag.slot < 1<<uint(q)
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundRobinSingulationOfMany(t *testing.T) {
+	// A population of tags under a fixed-Q round-robin driver must all be
+	// inventoried eventually (collisions resolved by backoff).
+	parent := xrand.New(99)
+	const n = 16
+	tags := make([]*Tag, n)
+	for i := range tags {
+		code, _ := epc.GID96{Manager: 1, Class: 2, Serial: uint64(i)}.Encode()
+		tags[i] = New(code, parent.Split("tag/"+string(rune('a'+i))))
+		tags[i].SetPower(true, 0)
+	}
+	read := map[epc.Code]bool{}
+	now := 0.0
+	for round := 0; round < 60 && len(read) < n; round++ {
+		replies := map[int]Reply{}
+		for i, tag := range tags {
+			if r, ok := tag.Query(S0, FlagA, 4, now); ok {
+				replies[i] = r
+			}
+		}
+		for slot := 0; slot < 1<<4; slot++ {
+			if len(replies) == 1 {
+				for i, r := range replies {
+					if er, ok := tags[i].ACK(r.RN16); ok {
+						read[er.Code] = true
+					}
+				}
+			}
+			// All colliding or missed tags see the next QueryRep.
+			replies = map[int]Reply{}
+			for i, tag := range tags {
+				if r, ok := tag.QueryRep(S0, now); ok {
+					replies[i] = r
+				}
+			}
+			now += 0.001
+		}
+		now += 0.01
+	}
+	if len(read) != n {
+		t.Fatalf("only %d/%d tags inventoried", len(read), n)
+	}
+}
+
+func TestSetPersistence(t *testing.T) {
+	tag := newTag(t, "persist")
+	tag.SetPersistence(Persistence{S1Decay: 0.5, S23Unpowered: 0.5})
+	tag.SetPower(true, 0)
+	r, _ := tag.Query(S1, FlagA, 0, 0)
+	tag.ACK(r.RN16)
+	tag.QueryRep(S1, 0.01)
+	// With the shortened decay the flag is gone by 0.6 s.
+	if got := tag.Flag(S1, 0.6); got != FlagA {
+		t.Errorf("flag at 0.6s = %v, want decayed to A", got)
+	}
+}
+
+func TestQueryAdjustCommitsAcknowledged(t *testing.T) {
+	tag := newTag(t, "adjcommit")
+	tag.SetPower(true, 0)
+	r, _ := tag.Query(S0, FlagA, 0, 0)
+	tag.ACK(r.RN16)
+	// A QueryAdjust arriving while Acknowledged commits the inventory.
+	if _, ok := tag.QueryAdjust(S0, 3, 0.01); ok {
+		t.Error("acknowledged tag replied to QueryAdjust")
+	}
+	if got := tag.Flag(S0, 0.02); got != FlagB {
+		t.Errorf("flag = %v, want committed to B", got)
+	}
+	// Unpowered tags ignore QueryAdjust; so do tags in another session.
+	tag.SetPower(false, 1)
+	if _, ok := tag.QueryAdjust(S0, 3, 1); ok {
+		t.Error("unpowered tag replied to QueryAdjust")
+	}
+}
+
+func TestNAKWhileIdle(t *testing.T) {
+	tag := newTag(t, "nakidle")
+	// NAK on an unpowered or idle tag is a no-op, not a panic.
+	tag.NAK()
+	tag.SetPower(true, 0)
+	tag.NAK()
+	if tag.State() != StateReady {
+		t.Errorf("state = %v", tag.State())
+	}
+}

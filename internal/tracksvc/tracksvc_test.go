@@ -1,0 +1,172 @@
+package tracksvc
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/core"
+	"rfidtrack/internal/readerapi"
+	"rfidtrack/internal/scenario"
+)
+
+// TestFullChain exercises the complete deployment in-process: a simulated
+// portal behind the HTTP/XML reader interface, the tracking service
+// polling it, and the JSON API serving the resulting state — the paper's
+// "infrastructure ... antennas, readers, and a back-end system".
+func TestFullChain(t *testing.T) {
+	portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
+		TagLocations: []scenario.BoxLocation{scenario.LocFront, scenario.LocSideIn},
+		Antennas:     2,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run a few passes so the reader buffer fills.
+	for pass := 0; pass < 3; pass++ {
+		portal.RunPass(pass)
+	}
+
+	readerSrv := httptest.NewServer(readerapi.NewServer(portal.Readers[0]).Handler())
+	defer readerSrv.Close()
+
+	svc := New(backend.NewPipeline(backend.NewWindowSmoother(2)),
+		WithLogger(func(string, ...any) {}))
+	client := readerapi.NewClient(readerSrv.URL, readerSrv.Client())
+	if err := svc.Poll(client); err != nil {
+		t.Fatal(err)
+	}
+	// Events are in the pipeline; close everything out.
+	svc.Pipeline().Flush(1e12)
+	if svc.Sightings() == 0 {
+		t.Fatal("no sightings after polling a busy reader")
+	}
+
+	apiSrv := httptest.NewServer(svc.Handler())
+	defer apiSrv.Close()
+
+	// /api/tags reports tracked tags at the portal.
+	resp, err := apiSrv.Client().Get(apiSrv.URL + "/api/tags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var state StateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Tags) == 0 || state.Sightings == 0 {
+		t.Fatalf("state = %+v", state)
+	}
+	for _, tag := range state.Tags {
+		if tag.Location != "r1" {
+			t.Errorf("tag %s tracked at %q, want r1", tag.EPC, tag.Location)
+		}
+		if !strings.HasPrefix(tag.URI, "urn:epc:id:sgtin:") {
+			t.Errorf("tag URI = %q", tag.URI)
+		}
+	}
+
+	// /api/history returns that tag's sightings.
+	resp2, err := apiSrv.Client().Get(apiSrv.URL + "/api/history?epc=" + state.Tags[0].EPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var history []backend.Sighting
+	if err := json.NewDecoder(resp2.Body).Decode(&history); err != nil {
+		t.Fatal(err)
+	}
+	if len(history) == 0 {
+		t.Error("empty history for a tracked tag")
+	}
+
+	// Bad EPC: 400.
+	resp3, err := apiSrv.Client().Get(apiSrv.URL + "/api/history?epc=zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad epc status = %d", resp3.StatusCode)
+	}
+}
+
+func TestIngestTagListBadEPC(t *testing.T) {
+	svc := New(nil, WithLogger(func(string, ...any) {}))
+	err := svc.IngestTagList(readerapi.TagListXML{
+		Tags: []readerapi.TagXML{
+			{EPC: "not-hex", Reader: "r1"},
+			{EPC: "35000000400000C00000000A", Reader: "r1", Time: 1},
+		},
+	})
+	if err == nil {
+		t.Error("bad EPC not reported")
+	}
+	// The good event still went through.
+	svc.Pipeline().Flush(1e12)
+	if svc.Sightings() != 1 {
+		t.Errorf("sightings = %d, want 1", svc.Sightings())
+	}
+}
+
+func TestPollLoopStopsOnContext(t *testing.T) {
+	// A dead endpoint: the loop must keep running (logging errors) and
+	// stop promptly on cancel.
+	var logged int
+	svc := New(nil, WithLogger(func(string, ...any) { logged++ }))
+	client := readerapi.NewClient("http://127.0.0.1:1", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		svc.PollLoop(ctx, client, time.Millisecond)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("poll loop did not stop")
+	}
+	if logged == 0 {
+		t.Error("failed polls were not logged")
+	}
+}
+
+func TestDrivePasses(t *testing.T) {
+	portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
+		TagLocations: []scenario.BoxLocation{scenario.LocFront},
+		Seed:         10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var passes int
+	done := make(chan struct{})
+	go func() {
+		DrivePasses(ctx, portal, time.Millisecond, func(pass int, res core.PassResult) {
+			passes++
+			if pass == 2 {
+				cancel()
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		cancel()
+		t.Fatal("pass driver did not stop")
+	}
+	if passes < 3 {
+		t.Errorf("driver ran %d passes before cancel at pass 2", passes)
+	}
+}

@@ -1,0 +1,71 @@
+// Package units provides the small set of radio-engineering unit types and
+// conversions used throughout the simulator: decibels, decibel-milliwatts,
+// linear power, frequency and wavelength.
+//
+// Powers are carried as dBm and gains/losses as dB so that link budgets are
+// sums; conversions to linear milliwatts exist for the few places (SINR,
+// fading) where powers must actually be added.
+package units
+
+import "math"
+
+// DB is a dimensionless ratio expressed in decibels. Positive values are
+// gains, negative values are losses.
+type DB float64
+
+// DBm is an absolute power level referenced to one milliwatt.
+type DBm float64
+
+// Milliwatt is a linear power.
+type Milliwatt float64
+
+// SpeedOfLight is the propagation speed of radio waves in vacuum, in m/s.
+const SpeedOfLight = 299_792_458.0
+
+// Linear converts a decibel ratio to its linear equivalent.
+func (d DB) Linear() float64 { return math.Pow(10, float64(d)/10) }
+
+// FromLinear converts a linear power ratio to decibels. Ratios that are zero
+// or negative map to -inf, which composes correctly in link budgets (the
+// link is simply dead).
+func FromLinear(ratio float64) DB {
+	if ratio <= 0 {
+		return DB(math.Inf(-1))
+	}
+	return DB(10 * math.Log10(ratio))
+}
+
+// Plus offsets an absolute power by a gain or loss.
+func (p DBm) Plus(g DB) DBm { return p + DBm(g) }
+
+// Milliwatts converts an absolute dBm power to linear milliwatts.
+func (p DBm) Milliwatts() Milliwatt {
+	return Milliwatt(math.Pow(10, float64(p)/10))
+}
+
+// DBm converts a linear power to dBm. Zero or negative power maps to -inf
+// dBm.
+func (m Milliwatt) DBm() DBm {
+	if m <= 0 {
+		return DBm(math.Inf(-1))
+	}
+	return DBm(10 * math.Log10(float64(m)))
+}
+
+// Wavelength returns the wavelength in meters of a carrier at freqHz.
+func Wavelength(freqHz float64) float64 {
+	return SpeedOfLight / freqHz
+}
+
+// FSPL returns the free-space path loss (as a positive dB loss) over
+// distance d meters at frequency freqHz, per the Friis transmission
+// equation. Distances below a tenth of a wavelength are clamped to the
+// near-field boundary so the model never reports negative loss.
+func FSPL(d, freqHz float64) DB {
+	lambda := Wavelength(freqHz)
+	min := lambda / (2 * math.Pi) // reactive near-field boundary
+	if d < min {
+		d = min
+	}
+	return DB(20 * math.Log10(4*math.Pi*d/lambda))
+}

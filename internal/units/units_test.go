@@ -1,0 +1,120 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLinearRoundTrip(t *testing.T) {
+	tests := []struct {
+		db  DB
+		lin float64
+	}{
+		{0, 1},
+		{10, 10},
+		{20, 100},
+		{-10, 0.1},
+		{3, 1.9953},
+		{-3, 0.50119},
+	}
+	for _, tt := range tests {
+		if got := tt.db.Linear(); !almost(got, tt.lin, 1e-3) {
+			t.Errorf("DB(%v).Linear() = %v, want %v", tt.db, got, tt.lin)
+		}
+		if got := FromLinear(tt.lin); !almost(float64(got), float64(tt.db), 1e-3) {
+			t.Errorf("FromLinear(%v) = %v, want %v", tt.lin, got, tt.db)
+		}
+	}
+}
+
+func TestFromLinearNonPositive(t *testing.T) {
+	for _, ratio := range []float64{0, -1, -1e9} {
+		if got := FromLinear(ratio); !math.IsInf(float64(got), -1) {
+			t.Errorf("FromLinear(%v) = %v, want -Inf", ratio, got)
+		}
+	}
+}
+
+func TestDBmMilliwatts(t *testing.T) {
+	tests := []struct {
+		dbm DBm
+		mw  float64
+	}{
+		{0, 1},
+		{30, 1000}, // the paper's 1 W reader output
+		{-30, 0.001},
+		{10, 10},
+	}
+	for _, tt := range tests {
+		if got := tt.dbm.Milliwatts(); !almost(float64(got), tt.mw, tt.mw*1e-9) {
+			t.Errorf("DBm(%v).Milliwatts() = %v, want %v", tt.dbm, got, tt.mw)
+		}
+		if got := Milliwatt(tt.mw).DBm(); !almost(float64(got), float64(tt.dbm), 1e-9) {
+			t.Errorf("Milliwatt(%v).DBm() = %v, want %v", tt.mw, got, tt.dbm)
+		}
+	}
+}
+
+func TestPlus(t *testing.T) {
+	p := DBm(30).Plus(DB(-31.7)).Plus(DB(6))
+	if !almost(float64(p), 4.3, 1e-9) {
+		t.Errorf("30 dBm - 31.7 dB + 6 dB = %v, want 4.3 dBm", p)
+	}
+}
+
+func TestWavelengthUHF(t *testing.T) {
+	// 915 MHz ISM band: lambda ~ 32.76 cm.
+	if got := Wavelength(915e6); !almost(got, 0.3276, 1e-3) {
+		t.Errorf("Wavelength(915 MHz) = %v, want ~0.3276", got)
+	}
+}
+
+func TestFSPLReferenceValues(t *testing.T) {
+	// Known values for 915 MHz: ~31.7 dB at 1 m, +6 dB per distance doubling.
+	if got := FSPL(1, 915e6); !almost(float64(got), 31.7, 0.1) {
+		t.Errorf("FSPL(1m) = %v, want ~31.7", got)
+	}
+	d1 := FSPL(2, 915e6)
+	d2 := FSPL(4, 915e6)
+	if !almost(float64(d2-d1), 6.02, 0.01) {
+		t.Errorf("doubling distance added %v dB, want ~6.02", d2-d1)
+	}
+}
+
+func TestFSPLNearFieldClamp(t *testing.T) {
+	got := FSPL(0, 915e6)
+	if math.IsInf(float64(got), 0) || math.IsNaN(float64(got)) || got < 0 {
+		t.Errorf("FSPL(0) = %v, want finite non-negative", got)
+	}
+	if FSPL(1e-9, 915e6) != got {
+		t.Errorf("sub-near-field distances should clamp to the same loss")
+	}
+}
+
+func TestFSPLMonotonic(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Abs(a)
+		b = math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		return FSPL(a, 915e6) <= FSPL(b, 915e6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		d := DB(math.Mod(x, 100)) // keep in a numerically comfortable range
+		back := FromLinear(d.Linear())
+		return almost(float64(back), float64(d), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

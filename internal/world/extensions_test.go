@@ -1,0 +1,114 @@
+package world
+
+import (
+	"testing"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/rf"
+)
+
+// Tests for the paper's future-work extensions: active tags and
+// dual-dipole (orientation-insensitive) tag designs.
+
+func TestActiveTagSurvivesPassiveDeadRange(t *testing.T) {
+	cal := rf.DefaultCalibration()
+	w := New(cal, 20)
+	ant := portalAntenna(w, "a1", 1)
+	// 15 m: far beyond passive range.
+	box := w.AddBox("far", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 15, 1), geom.UnitX, geom.UnitZ)},
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	passive := w.AttachTag(box, "passive", testCode(1), Mount{
+		Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitX, Gap: 0.1,
+	})
+	active := w.AttachActiveTag(box, "active", testCode(2), Mount{
+		Offset: geom.V(0.05, -0.15, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitX, Gap: 0.1,
+	})
+	if !active.Active || passive.Active {
+		t.Fatal("Active flags wrong")
+	}
+
+	okPassive, okActive := 0, 0
+	const n = 100
+	for p := 0; p < n; p++ {
+		lp := w.ResolveLink(passive, ant, LinkContext{Pass: p})
+		la := w.ResolveLink(active, ant, LinkContext{Pass: p})
+		if lp.Readable(cal) {
+			okPassive++
+		}
+		if la.Readable(cal) {
+			okActive++
+		}
+		if !la.Active {
+			t.Fatal("link lost the active flag")
+		}
+	}
+	if okPassive > n/10 {
+		t.Errorf("passive tag readable %d/%d at 15 m, want ~0", okPassive, n)
+	}
+	if okActive < n*9/10 {
+		t.Errorf("active tag readable %d/%d at 15 m, want ~all", okActive, n)
+	}
+}
+
+func TestActiveTagReverseLinkIsOneWay(t *testing.T) {
+	cal := rf.DefaultCalibration()
+	w := New(cal, 21)
+	ant := portalAntenna(w, "a1", 1)
+	box := w.AddBox("b", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 2, 1), geom.UnitX, geom.UnitZ)},
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	tag := w.AttachActiveTag(box, "active", testCode(1), Mount{
+		Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitX, Gap: 0.1,
+	})
+	l := w.ResolveLink(tag, ant, LinkContext{Pass: 0})
+	// One-way: ReaderPower = ActiveTx + (TagPower − Tx); far stronger than
+	// a backscatter reply at the same geometry.
+	backscatter := 2*float64(l.TagPower) - float64(cal.TxPowerDBm) - float64(cal.BackscatterLossDB)
+	if float64(l.ReaderPower) <= backscatter {
+		t.Errorf("active reply (%v) not stronger than backscatter (%v)", l.ReaderPower, backscatter)
+	}
+}
+
+func TestDualDipoleFixesOrientationNull(t *testing.T) {
+	cal := rf.DefaultCalibration()
+	mk := func(axis2 geom.Vec3, seed uint64) float64 {
+		w := New(cal, seed)
+		ant := portalAntenna(w, "a1", 1)
+		box := w.AddBox("b", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 1), geom.UnitX, geom.UnitZ)},
+			geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+		// Primary dipole pointing straight at the antenna: the null.
+		tag := w.AttachTag(box, "t", testCode(1), Mount{
+			Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0),
+			Axis: geom.UnitY, Axis2: axis2, Gap: 0.1,
+		})
+		return meanTagPower(w, tag, ant, 200)
+	}
+	single := mk(geom.Vec3{}, 7)
+	dual := mk(geom.UnitX, 7)
+	if dual <= single+8 {
+		t.Errorf("dual dipole (%v dBm) should rescue the null (%v dBm)", dual, single)
+	}
+	// With the primary already well oriented, the second dipole must not
+	// hurt (best-of selection).
+	wellSingle := mk(geom.Vec3{}, 8)
+	_ = wellSingle
+	w := New(cal, 9)
+	ant := portalAntenna(w, "a1", 1)
+	box := w.AddBox("b", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 1), geom.UnitX, geom.UnitZ)},
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	good := w.AttachTag(box, "good", testCode(1), Mount{
+		Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0),
+		Axis: geom.UnitX, Axis2: geom.UnitY, Gap: 0.1,
+	})
+	goodDual := meanTagPower(w, good, ant, 200)
+	w2 := New(cal, 9)
+	ant2 := portalAntenna(w2, "a1", 1)
+	box2 := w2.AddBox("b", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 1), geom.UnitX, geom.UnitZ)},
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	goodOnly := w2.AttachTag(box2, "good", testCode(1), Mount{
+		Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0),
+		Axis: geom.UnitX, Gap: 0.1,
+	})
+	if base := meanTagPower(w2, goodOnly, ant2, 200); goodDual < base-0.5 {
+		t.Errorf("adding a second dipole hurt a well-oriented tag: %v vs %v", goodDual, base)
+	}
+}

@@ -1,0 +1,83 @@
+package world
+
+import (
+	"math"
+
+	"rfidtrack/internal/geom"
+)
+
+// segmentHitsAABB reports whether the segment from a to b intersects the
+// axis-aligned box [min, max] (slab method).
+func segmentHitsAABB(a, b, min, max geom.Vec3) bool {
+	d := b.Sub(a)
+	tEnter, tExit := 0.0, 1.0
+	for axis := 0; axis < 3; axis++ {
+		var origin, dir, lo, hi float64
+		switch axis {
+		case 0:
+			origin, dir, lo, hi = a.X, d.X, min.X, max.X
+		case 1:
+			origin, dir, lo, hi = a.Y, d.Y, min.Y, max.Y
+		default:
+			origin, dir, lo, hi = a.Z, d.Z, min.Z, max.Z
+		}
+		if math.Abs(dir) < 1e-12 {
+			if origin < lo || origin > hi {
+				return false
+			}
+			continue
+		}
+		t1 := (lo - origin) / dir
+		t2 := (hi - origin) / dir
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		tEnter = math.Max(tEnter, t1)
+		tExit = math.Min(tExit, t2)
+		if tEnter > tExit {
+			return false
+		}
+	}
+	return true
+}
+
+// segmentHitsCylinder reports whether the segment from a to b intersects a
+// finite vertical cylinder with the given center axis (x, y), radius, and
+// z extent [z0, z1].
+func segmentHitsCylinder(a, b geom.Vec3, cx, cy, radius, z0, z1 float64) bool {
+	// Work in the XY plane first: find the parameter range where the
+	// segment is inside the infinite cylinder.
+	dx, dy := b.X-a.X, b.Y-a.Y
+	fx, fy := a.X-cx, a.Y-cy
+	A := dx*dx + dy*dy
+	B := 2 * (fx*dx + fy*dy)
+	C := fx*fx + fy*fy - radius*radius
+	var tLo, tHi float64
+	if A < 1e-12 {
+		// Vertical segment in XY: inside or outside for all t.
+		if C > 0 {
+			return false
+		}
+		tLo, tHi = 0, 1
+	} else {
+		disc := B*B - 4*A*C
+		if disc < 0 {
+			return false
+		}
+		s := math.Sqrt(disc)
+		tLo = (-B - s) / (2 * A)
+		tHi = (-B + s) / (2 * A)
+		if tHi < 0 || tLo > 1 {
+			return false
+		}
+		tLo = math.Max(tLo, 0)
+		tHi = math.Min(tHi, 1)
+	}
+	// Now intersect with the z slab over the same parameter range.
+	za := a.Z + (b.Z-a.Z)*tLo
+	zb := a.Z + (b.Z-a.Z)*tHi
+	if za > zb {
+		za, zb = zb, za
+	}
+	return zb >= z0 && za <= z1
+}

@@ -1,0 +1,58 @@
+package world
+
+import (
+	"testing"
+
+	"rfidtrack/internal/geom"
+)
+
+func TestSegmentHitsAABB(t *testing.T) {
+	min := geom.V(-1, -1, -1)
+	max := geom.V(1, 1, 1)
+	tests := []struct {
+		name string
+		a, b geom.Vec3
+		want bool
+	}{
+		{"through center", geom.V(-5, 0, 0), geom.V(5, 0, 0), true},
+		{"misses above", geom.V(-5, 0, 2), geom.V(5, 0, 2), false},
+		{"stops short", geom.V(-5, 0, 0), geom.V(-2, 0, 0), false},
+		{"starts inside", geom.V(0, 0, 0), geom.V(5, 0, 0), true},
+		{"fully inside", geom.V(-0.5, 0, 0), geom.V(0.5, 0, 0), true},
+		{"diagonal corner", geom.V(-2, -2, -2), geom.V(2, 2, 2), true},
+		{"grazing face", geom.V(-5, 1, 0), geom.V(5, 1, 0), true},
+		{"parallel offset", geom.V(-5, 1.01, 0), geom.V(5, 1.01, 0), false},
+		{"degenerate point inside", geom.V(0, 0, 0), geom.V(0, 0, 0), true},
+		{"degenerate point outside", geom.V(3, 0, 0), geom.V(3, 0, 0), false},
+	}
+	for _, tt := range tests {
+		if got := segmentHitsAABB(tt.a, tt.b, min, max); got != tt.want {
+			t.Errorf("%s: segmentHitsAABB = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestSegmentHitsCylinder(t *testing.T) {
+	// Cylinder at origin, radius 0.2, z in [0, 1.8] (a torso).
+	tests := []struct {
+		name string
+		a, b geom.Vec3
+		want bool
+	}{
+		{"through middle", geom.V(-2, 0, 1), geom.V(2, 0, 1), true},
+		{"over the head", geom.V(-2, 0, 2), geom.V(2, 0, 2), false},
+		{"below the feet", geom.V(-2, 0, -0.5), geom.V(2, 0, -0.5), false},
+		{"beside the body", geom.V(-2, 0.5, 1), geom.V(2, 0.5, 1), false},
+		{"stops short", geom.V(-2, 0, 1), geom.V(-0.5, 0, 1), false},
+		{"tangent", geom.V(-2, 0.2, 1), geom.V(2, 0.2, 1), true},
+		{"vertical inside", geom.V(0.1, 0, 0.5), geom.V(0.1, 0, 1.5), true},
+		{"vertical outside", geom.V(0.5, 0, 0.5), geom.V(0.5, 0, 1.5), false},
+		{"diagonal through top", geom.V(-1, 0, 2.2), geom.V(1, 0, 0.8), true},
+		{"enters z-range beyond xy-range", geom.V(-2, 0, 3.6), geom.V(2, 0, -0.5), true},
+	}
+	for _, tt := range tests {
+		if got := segmentHitsCylinder(tt.a, tt.b, 0, 0, 0.2, 0, 1.8); got != tt.want {
+			t.Errorf("%s: segmentHitsCylinder = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package world
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/units"
+)
+
+// ForeignEmitter is another reader's antenna radiating CW concurrently
+// with the link being resolved.
+type ForeignEmitter struct {
+	Antenna *Antenna
+	// DenseModeBoth is true when both the interfering reader and the
+	// victim reader operate in dense-reader mode (spectral separation).
+	DenseModeBoth bool
+}
+
+// LinkContext keys the random fields and carries the interference
+// environment for one link resolution.
+type LinkContext struct {
+	// Time is the simulation instant (seconds into the pass).
+	Time float64
+	// Pass identifies the trial: slow fading (shadowing) is drawn once per
+	// (pass, tag[, antenna]).
+	Pass int
+	// Round identifies the inventory round: fast fading is drawn once per
+	// (pass, round, tag, antenna).
+	Round int
+	// Foreign lists other readers' active antennas.
+	Foreign []ForeignEmitter
+	// Explain requests an itemized forward budget in the result.
+	Explain bool
+}
+
+// couplingSearchRadius bounds the neighbour scan for mutual coupling;
+// beyond 10 cm the effect is zero for any plausible calibration.
+const couplingSearchRadius = 0.10
+
+// ResolveLink computes the complete radio state of one (tag, antenna)
+// combination: forward power at the tag chip, backscatter power at the
+// reader, and interference at both ends.
+func (w *World) ResolveLink(tag *Tag, ant *Antenna, ctx LinkContext) rf.Link {
+	var l rf.Link
+	var budget *rf.Budget
+	if ctx.Explain {
+		budget = rf.NewBudget(w.Cal.TxPowerDBm)
+	}
+	l.TagPower = w.forwardPowerDBm(tag, ant, ctx, budget, false)
+	l.Forward = budget
+	l.Active = tag.Active
+
+	if tag.Active {
+		// An active tag transmits its reply: the reverse link is one-way.
+		// By reciprocity the one-way path gain is TagPower − TxPower.
+		l.ReaderPower = w.Cal.ActiveTxPowerDBm.
+			Plus(units.DB(l.TagPower - w.Cal.TxPowerDBm))
+	} else {
+		// Monostatic reciprocity: the backscatter retraces the forward
+		// path, so in dB the received power is 2·P_tag − P_tx − conversion
+		// loss.
+		l.ReaderPower = units.DBm(2*float64(l.TagPower)) - w.Cal.TxPowerDBm -
+			units.DBm(w.Cal.BackscatterLossDB)
+	}
+
+	l.TagInterference = rf.NoInterference
+	l.ReaderInterference = rf.NoInterference
+	for _, f := range ctx.Foreign {
+		if f.Antenna == ant {
+			continue
+		}
+		// Carrier power the tag absorbs from the foreign reader.
+		p := w.forwardPowerDBm(tag, f.Antenna, ctx, nil, true)
+		if f.DenseModeBoth {
+			p = p.Plus(-w.Cal.DenseModeTagSuppressionDB)
+		}
+		l.TagInterference = rf.CombineInterference(l.TagInterference, p)
+
+		// Carrier leakage straight into the victim reader's receiver.
+		rp := w.readerToReaderDBm(f.Antenna, ant)
+		if f.DenseModeBoth {
+			rp = rp.Plus(-w.Cal.DenseModeReaderSuppressionDB)
+		}
+		l.ReaderInterference = rf.CombineInterference(l.ReaderInterference, rp)
+	}
+	return l
+}
+
+// forwardPowerDBm computes the power delivered to the tag chip from one
+// antenna: the linear sum of a direct path and a scattered (multipath)
+// path, each with its own deterministic gains and random fields.
+// asInterference marks foreign-carrier resolutions, which use separate
+// fading draws (a different propagation path) but share the tag-local
+// terms.
+func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget *rf.Budget, asInterference bool) units.DBm {
+	cal := w.Cal
+	tagPos := tag.Pos(ctx.Time)
+	antPos := ant.Pose.Pos
+	dist := tagPos.Dist(antPos)
+	dirToTag := tagPos.Sub(antPos).Unit()
+	dirToAnt := dirToTag.Scale(-1)
+
+	fspl := units.FSPL(dist, cal.FreqHz)
+	obstruction, scatterObstruction := w.obstructionDB(antPos, tagPos, ctx.Time)
+
+	// Tag-local terms shared by both paths.
+	detune := cal.ProximityDetuneDB(tag.carrier.ContentMaterial(), tag.Mount.Gap)
+	coupling := w.couplingDB(tag, ctx.Time)
+	reflect := w.bodyReflectionDB(tag, antPos, ctx.Time)
+	tagShadow := units.DB(w.fieldNormal(
+		fmt.Sprintf("shadow.tag/p%d/%s", ctx.Pass, tag.Name), cal.SigmaTagDB))
+
+	// Direct path. A dual-dipole tag uses whichever of its two dipoles
+	// couples better right now (orientation-insensitive designs).
+	patch := cal.ReaderAntenna.GainToward(ant.Pose, tagPos)
+	pol, dipole := bestDipole(cal, tag, ant, tagPos, antPos, dirToTag)
+	graze := rf.GrazingLossDB(
+		tag.Mount.Normal.Dot(dirToAnt),
+		cal.ProximityFraction(tag.carrier.ContentMaterial(), tag.Mount.Gap),
+		cal.GrazingMaxDB)
+	pathShadow := units.DB(w.fieldNormal(
+		fmt.Sprintf("shadow.path/p%d/%s/%s", ctx.Pass, tag.Name, ant.Name), cal.SigmaPathDB))
+	fadeKind := "fade.dir"
+	if asInterference {
+		fadeKind = "fade.int"
+	}
+	// Fast fading decorrelates on the channel coherence time, not per
+	// round: rounds inside one coherence block share the same draw.
+	block := ctx.Round
+	if cal.FadingCoherenceSeconds > 0 {
+		block = int(ctx.Time / cal.FadingCoherenceSeconds)
+	}
+	fadeDirect := units.DB(w.fieldRician(
+		fmt.Sprintf("%s/p%d/b%d/%s/%s", fadeKind, ctx.Pass, block, tag.Name, ant.Name), cal.RicianK))
+
+	direct := cal.TxPowerDBm.
+		Plus(-cal.CableLossDB).
+		Plus(patch).
+		Plus(-fspl).
+		Plus(-pol).
+		Plus(dipole).
+		Plus(-graze).
+		Plus(-obstruction).
+		Plus(-detune).
+		Plus(-coupling).
+		Plus(reflect).
+		Plus(tagShadow).
+		Plus(pathShadow).
+		Plus(fadeDirect)
+
+	// Scattered path: reflections off floor, walls and fixtures. Arrives
+	// from everywhere: flattened antenna pattern, averaged tag pattern,
+	// fixed 3 dB polarization scrambling, partial obstruction, Rayleigh
+	// fading, and no grazing cancellation (arrivals are not in the tag's
+	// ground plane).
+	// The scattered illumination level is a property of the tag's local
+	// clutter, so its slow fading is shared by every antenna observing the
+	// tag (only the per-block Rayleigh draw differs). This shared
+	// component is part of what correlates antenna-level read
+	// opportunities in Table 3.
+	scatShadow := units.DB(w.fieldNormal(
+		fmt.Sprintf("shadow.scat/p%d/%s", ctx.Pass, tag.Name), cal.ScatterSigmaDB))
+	fadeScatter := units.DB(w.fieldRician(
+		fmt.Sprintf("%s.scat/p%d/b%d/%s/%s", fadeKind, ctx.Pass, block, tag.Name, ant.Name), 0))
+	scatter := cal.TxPowerDBm.
+		Plus(-cal.CableLossDB).
+		Plus(cal.ScatterAntennaGainDB).
+		Plus(-fspl).
+		Plus(-cal.ScatterLossDB).
+		Plus(-3).
+		Plus(-scatterObstruction).
+		Plus(-detune).
+		Plus(-coupling).
+		Plus(reflect).
+		Plus(tagShadow).
+		Plus(scatShadow).
+		Plus(fadeScatter)
+
+	if budget != nil {
+		budget.Add("patch gain", patch).
+			AddLoss("cable", cal.CableLossDB).
+			AddLoss("free space", fspl).
+			AddLoss("polarization", pol).
+			Add("tag dipole", dipole).
+			AddLoss("grazing", graze).
+			AddLoss("obstruction", obstruction).
+			AddLoss("proximity detune", detune).
+			AddLoss("inter-tag coupling", coupling).
+			Add("body reflection", reflect).
+			Add("tag shadowing", tagShadow).
+			Add("path shadowing", pathShadow).
+			Add("fast fading", fadeDirect).
+			Add("scattered path (extra)", units.DB(combinePower(direct, scatter)-direct))
+	}
+
+	return combinePower(direct, scatter)
+}
+
+// bestDipole returns the (polarization loss, dipole gain) of the tag
+// dipole that couples best toward the antenna.
+func bestDipole(cal rf.Calibration, tag *Tag, ant *Antenna, tagPos, antPos, dirToTag geom.Vec3) (units.DB, units.DB) {
+	evalAxis := func(axis geom.Vec3) (units.DB, units.DB, units.DB) {
+		p := rf.PolarizationLossDB(cal.ReaderPolarization, ant.Pose.Up, axis, dirToTag, cal.CrossPolFloorDB)
+		d := cal.TagDipole.GainToward(axis, tagPos, antPos)
+		return p, d, d - p
+	}
+	pol, dip, score := evalAxis(tag.Mount.Axis)
+	if !tag.Mount.Axis2.IsZero() {
+		if p2, d2, s2 := evalAxis(tag.Mount.Axis2); s2 > score {
+			pol, dip = p2, d2
+		}
+	}
+	return pol, dip
+}
+
+// readerToReaderDBm is the carrier power one antenna couples into another.
+func (w *World) readerToReaderDBm(from, to *Antenna) units.DBm {
+	cal := w.Cal
+	d := from.Pose.Pos.Dist(to.Pose.Pos)
+	return cal.TxPowerDBm.
+		Plus(-cal.CableLossDB).
+		Plus(cal.ReaderAntenna.GainToward(from.Pose, to.Pose.Pos)).
+		Plus(-units.FSPL(d, cal.FreqHz)).
+		Plus(cal.ReaderAntenna.GainToward(to.Pose, from.Pose.Pos)).
+		Plus(-cal.CableLossDB)
+}
+
+// obstructionDB sums the blocking of every carrier crossing the segment,
+// separately for the direct and scattered paths. The tag end is pulled
+// back slightly so a tag sitting on its own carrier's surface is not
+// swallowed by numeric noise.
+func (w *World) obstructionDB(antPos, tagPos geom.Vec3, t float64) (direct, scatter units.DB) {
+	toAnt := antPos.Sub(tagPos).Unit()
+	from := tagPos.Add(toAnt.Scale(0.002))
+	for _, c := range w.carriers {
+		d, s := c.ObstructionDB(w.Cal, antPos, from, t)
+		direct += d
+		scatter += s
+	}
+	return direct, scatter
+}
+
+// couplingDB returns the mutual-coupling detuning from the tag's nearest
+// neighbours (the worst single neighbour dominates).
+func (w *World) couplingDB(tag *Tag, t float64) units.DB {
+	pos := tag.Pos(t)
+	var worst units.DB
+	for _, o := range w.tags {
+		if o == tag {
+			continue
+		}
+		d := pos.Dist(o.Pos(t))
+		if d > couplingSearchRadius {
+			continue
+		}
+		align := rf.NeighbourAlignment(geom.AngleBetween(tag.Mount.Axis, o.Mount.Axis))
+		if l := w.Cal.CouplingLossDB(d, align); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// bodyReflectionDB returns the paper's measured bonus for a tag whose
+// carrier has another body close behind it (reflections off the farther
+// subject illuminate the closer one).
+func (w *World) bodyReflectionDB(tag *Tag, antPos geom.Vec3, t float64) units.DB {
+	p, ok := tag.carrier.(*Person)
+	if !ok {
+		return 0
+	}
+	own := p.Center(t)
+	ownDist := own.Dist(antPos)
+	for _, c := range w.carriers {
+		q, ok := c.(*Person)
+		if !ok || q == p {
+			continue
+		}
+		center := q.Center(t)
+		if center.Dist(own) <= w.Cal.BodyReflectionRange && center.Dist(antPos) > ownDist {
+			return w.Cal.BodyReflectionGainDB
+		}
+	}
+	return 0
+}
+
+func (w *World) fieldNormal(label string, sigma float64) float64 {
+	if sigma <= 0 {
+		return 0
+	}
+	return w.rng.Split(label).Normal(0, sigma)
+}
+
+func (w *World) fieldRician(label string, k float64) float64 {
+	return w.rng.Split(label).RicianPowerDB(k)
+}
+
+// combinePower adds two powers linearly.
+func combinePower(a, b units.DBm) units.DBm {
+	return (a.Milliwatts() + b.Milliwatts()).DBm()
+}

@@ -1,0 +1,258 @@
+// Package world models the physical scene of an RFID installation: tagged
+// objects and people moving along paths, portal antennas, and the channel
+// resolution that turns a (tag, antenna, instant) triple into an itemized
+// link budget.
+//
+// Carriers translate along their paths without rotating (every experiment
+// in the paper is a straight pass), so tag mounts are expressed directly
+// in world axes at construction time: an offset from the carrier reference
+// point, a face normal, and a dipole axis.
+//
+// All randomness is resolved through deterministic random fields keyed by
+// (seed, pass, round, tag, antenna) labels, so a scenario replays
+// identically for a given seed regardless of evaluation order.
+package world
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/tagsim"
+	"rfidtrack/internal/units"
+	"rfidtrack/internal/xrand"
+)
+
+// Mount is a tag placement in world axes (see the package comment).
+type Mount struct {
+	// Offset from the carrier reference point to the tag, world axes.
+	Offset geom.Vec3
+	// Normal is the tag face normal (unit, world axes).
+	Normal geom.Vec3
+	// Axis is the dipole axis (unit, world axes).
+	Axis geom.Vec3
+	// Axis2, when non-zero, is the second dipole of a dual-dipole
+	// (orientation-insensitive) tag design — the paper's future-work
+	// "different tag designs". The link uses whichever dipole couples
+	// better at each instant.
+	Axis2 geom.Vec3
+	// Gap is the distance in meters between the tag and the carrier's
+	// content material (drives proximity detuning and grazing).
+	Gap float64
+}
+
+// Tag is a physical tag placed on a carrier.
+type Tag struct {
+	Name  string
+	Code  epc.Code
+	Proto *tagsim.Tag
+	Mount Mount
+	// Active marks a battery-powered tag (see rf.Link.Active).
+	Active bool
+
+	carrier Carrier
+}
+
+// Carrier returns the object or person the tag is mounted on.
+func (t *Tag) Carrier() Carrier { return t.carrier }
+
+// Pos returns the tag's world position at time tt.
+func (t *Tag) Pos(tt float64) geom.Vec3 {
+	return t.carrier.Center(tt).Add(t.Mount.Offset)
+}
+
+// Carrier is anything tags are mounted on.
+type Carrier interface {
+	Name() string
+	// Center returns the carrier reference point at time t.
+	Center(t float64) geom.Vec3
+	// Tags returns the tags mounted on the carrier.
+	Tags() []*Tag
+	// ObstructionDB returns the blocking loss (positive dB) this carrier's
+	// body or content adds to the segment from a to b at time t, for the
+	// direct path and for the scattered path (which reflective obstacles
+	// barely block).
+	ObstructionDB(cal rf.Calibration, a, b geom.Vec3, t float64) (direct, scatter units.DB)
+	// ContentMaterial is what sits behind tags mounted on this carrier.
+	ContentMaterial() rf.Material
+}
+
+// Box is a tagged carton: outer shell of Surface material, with a content
+// block of Content material centered inside (the paper's network routers).
+type Box struct {
+	name    string
+	Path    geom.Path
+	Size    geom.Vec3 // outer extents (x: along travel, y: depth, z: height)
+	Surface rf.Material
+	Content rf.Material
+	// ContentSize is the extents of the inner content block; zero means no
+	// blocking content (an empty cardboard box).
+	ContentSize geom.Vec3
+	tags        []*Tag
+}
+
+var _ Carrier = (*Box)(nil)
+
+// Name implements Carrier.
+func (b *Box) Name() string { return b.name }
+
+// Center implements Carrier. The reference point is the box center.
+func (b *Box) Center(t float64) geom.Vec3 { return b.Path.At(t).Pos }
+
+// Tags implements Carrier.
+func (b *Box) Tags() []*Tag { return b.tags }
+
+// ObstructionDB implements Carrier: the content block attenuates any
+// segment crossing it; the cardboard shell contributes its (small) loss
+// when crossed.
+func (b *Box) ObstructionDB(cal rf.Calibration, a, p geom.Vec3, t float64) (direct, scatter units.DB) {
+	c := b.Center(t)
+	if b.ContentSize.X > 0 && b.ContentSize.Y > 0 && b.ContentSize.Z > 0 {
+		half := b.ContentSize.Scale(0.5)
+		if segmentHitsAABB(a, p, c.Sub(half), c.Add(half)) {
+			direct += cal.TransmissionLossDB(b.Content)
+			scatter += cal.ScatterTransmissionLossDB(b.Content)
+		}
+	}
+	if b.Size.X > 0 {
+		half := b.Size.Scale(0.5)
+		if segmentHitsAABB(a, p, c.Sub(half), c.Add(half)) {
+			direct += cal.TransmissionLossDB(b.Surface)
+			scatter += cal.ScatterTransmissionLossDB(b.Surface)
+		}
+	}
+	return direct, scatter
+}
+
+// ContentMaterial implements Carrier.
+func (b *Box) ContentMaterial() rf.Material {
+	if b.ContentSize.X > 0 {
+		return b.Content
+	}
+	return b.Surface
+}
+
+// Person is a walking subject: a vertical body cylinder with badge tags at
+// waist height.
+type Person struct {
+	name   string
+	Path   geom.Path // reference point at the body axis, ground level (z=0)
+	Height float64
+	Radius float64
+	tags   []*Tag
+}
+
+var _ Carrier = (*Person)(nil)
+
+// Name implements Carrier.
+func (p *Person) Name() string { return p.name }
+
+// Center implements Carrier: the body axis at ground level.
+func (p *Person) Center(t float64) geom.Vec3 { return p.Path.At(t).Pos }
+
+// Tags implements Carrier.
+func (p *Person) Tags() []*Tag { return p.tags }
+
+// ObstructionDB implements Carrier: the torso cylinder blocks both paths
+// (bodies absorb).
+func (p *Person) ObstructionDB(cal rf.Calibration, a, b geom.Vec3, t float64) (direct, scatter units.DB) {
+	c := p.Center(t)
+	if segmentHitsCylinder(a, b, c.X, c.Y, p.Radius, c.Z, c.Z+p.Height) {
+		return cal.TransmissionLossDB(rf.Body), cal.ScatterTransmissionLossDB(rf.Body)
+	}
+	return 0, 0
+}
+
+// ContentMaterial implements Carrier.
+func (p *Person) ContentMaterial() rf.Material { return rf.Body }
+
+// Antenna is a portal area antenna. Pose.Forward is the boresight.
+type Antenna struct {
+	Name string
+	Pose geom.Pose
+}
+
+// World is the complete scene.
+type World struct {
+	Cal      rf.Calibration
+	carriers []Carrier
+	antennas []*Antenna
+	tags     []*Tag
+	rng      *xrand.Rand
+}
+
+// New returns an empty scene using the given calibration and random seed.
+func New(cal rf.Calibration, seed uint64) *World {
+	return &World{Cal: cal, rng: xrand.New(seed)}
+}
+
+// AddBox places a box in the scene and returns it.
+func (w *World) AddBox(name string, path geom.Path, size geom.Vec3, surface, content rf.Material, contentSize geom.Vec3) *Box {
+	b := &Box{
+		name: name, Path: path, Size: size,
+		Surface: surface, Content: content, ContentSize: contentSize,
+	}
+	w.carriers = append(w.carriers, b)
+	return b
+}
+
+// AddPerson places a walking subject in the scene and returns it.
+func (w *World) AddPerson(name string, path geom.Path, height, radius float64) *Person {
+	p := &Person{name: name, Path: path, Height: height, Radius: radius}
+	w.carriers = append(w.carriers, p)
+	return p
+}
+
+// AttachTag mounts a new passive tag on a carrier. The tag's protocol
+// state gets its own deterministic random sub-stream derived from the tag
+// name.
+func (w *World) AttachTag(c Carrier, name string, code epc.Code, m Mount) *Tag {
+	return w.attach(c, name, code, m, false)
+}
+
+// AttachActiveTag mounts a battery-powered tag: no rectification
+// constraint and a transmitted (not backscattered) reply.
+func (w *World) AttachActiveTag(c Carrier, name string, code epc.Code, m Mount) *Tag {
+	return w.attach(c, name, code, m, true)
+}
+
+func (w *World) attach(c Carrier, name string, code epc.Code, m Mount, active bool) *Tag {
+	m.Normal = m.Normal.Unit()
+	m.Axis = m.Axis.Unit()
+	m.Axis2 = m.Axis2.Unit()
+	t := &Tag{
+		Name:   name,
+		Code:   code,
+		Proto:  tagsim.New(code, w.rng.Split("tagproto/"+name)),
+		Mount:  m,
+		Active: active,
+	}
+	t.carrier = c
+	switch cc := c.(type) {
+	case *Box:
+		cc.tags = append(cc.tags, t)
+	case *Person:
+		cc.tags = append(cc.tags, t)
+	default:
+		panic(fmt.Sprintf("world: unknown carrier type %T", c))
+	}
+	w.tags = append(w.tags, t)
+	return t
+}
+
+// AddAntenna places a portal antenna.
+func (w *World) AddAntenna(name string, pose geom.Pose) *Antenna {
+	a := &Antenna{Name: name, Pose: pose}
+	w.antennas = append(w.antennas, a)
+	return a
+}
+
+// Tags returns every tag in the scene.
+func (w *World) Tags() []*Tag { return w.tags }
+
+// Antennas returns every antenna in the scene.
+func (w *World) Antennas() []*Antenna { return w.antennas }
+
+// Carriers returns every carrier in the scene.
+func (w *World) Carriers() []Carrier { return w.carriers }

@@ -1,0 +1,470 @@
+package world
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/units"
+)
+
+func testCode(serial uint64) epc.Code {
+	c, err := epc.GID96{Manager: 1, Class: 1, Serial: serial}.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// portalAntenna returns an antenna at the origin at height z facing +Y.
+func portalAntenna(w *World, name string, z float64) *Antenna {
+	return w.AddAntenna(name, geom.NewPose(geom.V(0, 0, z), geom.UnitY, geom.UnitZ))
+}
+
+// emptyBoxWithTag builds a static empty cardboard box at distance d with a
+// well-oriented tag on the antenna-facing side.
+func emptyBoxWithTag(w *World, name string, d float64) *Tag {
+	box := w.AddBox(name, geom.StaticPath{Pose: geom.NewPose(geom.V(0, d, 1), geom.UnitX, geom.UnitZ)},
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	return w.AttachTag(box, name+"/tag", testCode(1), Mount{
+		Offset: geom.V(0, -0.15, 0), // face toward the antenna
+		Normal: geom.V(0, -1, 0),
+		Axis:   geom.UnitX,
+		Gap:    0.1,
+	})
+}
+
+// meanTagPower averages the forward power over many passes.
+func meanTagPower(w *World, tag *Tag, ant *Antenna, passes int) float64 {
+	var sum float64
+	for p := 0; p < passes; p++ {
+		l := w.ResolveLink(tag, ant, LinkContext{Time: 0, Pass: p, Round: 0})
+		sum += float64(l.TagPower)
+	}
+	return sum / float64(passes)
+}
+
+func TestBoresightLinkIsHealthy(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 1)
+	ant := portalAntenna(w, "a1", 1)
+	tag := emptyBoxWithTag(w, "box", 1)
+	readable := 0
+	const n = 200
+	for p := 0; p < n; p++ {
+		l := w.ResolveLink(tag, ant, LinkContext{Pass: p})
+		if l.Readable(w.Cal) {
+			readable++
+		}
+	}
+	if readable < n*97/100 {
+		t.Errorf("boresight 1m link readable %d/%d, want ~all", readable, n)
+	}
+}
+
+func TestPowerFallsWithDistance(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 2)
+	ant := portalAntenna(w, "a1", 1)
+	prev := 1e9
+	for _, d := range []float64{1, 3, 5, 9} {
+		tag := emptyBoxWithTag(w, fmt.Sprintf("box%v", d), d)
+		m := meanTagPower(w, tag, ant, 300)
+		if m >= prev {
+			t.Errorf("mean power at %vm (%v) not below previous (%v)", d, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestReverseLinkReciprocity(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 3)
+	ant := portalAntenna(w, "a1", 1)
+	tag := emptyBoxWithTag(w, "box", 2)
+	l := w.ResolveLink(tag, ant, LinkContext{Pass: 0})
+	want := units.DBm(2*float64(l.TagPower)) - w.Cal.TxPowerDBm - units.DBm(w.Cal.BackscatterLossDB)
+	if l.ReaderPower != want {
+		t.Errorf("reader power = %v, want %v", l.ReaderPower, want)
+	}
+	// At sane forward levels the reverse link is comfortably above
+	// sensitivity: the system is forward-limited like real passive RFID.
+	if l.TagPower > w.Cal.ChipSensitivityDBm && l.ReaderPower < w.Cal.ReaderSensitivityDBm {
+		t.Error("reverse link died before the forward link")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() (us *World, tag *Tag, ant *Antenna) {
+		w := New(rf.DefaultCalibration(), 42)
+		a := portalAntenna(w, "a1", 1)
+		tg := emptyBoxWithTag(w, "box", 2)
+		return w, tg, a
+	}
+	w1, t1, a1 := build()
+	w2, t2, a2 := build()
+	for p := 0; p < 20; p++ {
+		l1 := w1.ResolveLink(t1, a1, LinkContext{Pass: p, Round: p % 3})
+		l2 := w2.ResolveLink(t2, a2, LinkContext{Pass: p, Round: p % 3})
+		if l1.TagPower != l2.TagPower || l1.ReaderPower != l2.ReaderPower {
+			t.Fatalf("pass %d: links diverged: %v vs %v", p, l1.TagPower, l2.TagPower)
+		}
+	}
+	// Repeated resolution of the same context is idempotent.
+	l := w1.ResolveLink(t1, a1, LinkContext{Pass: 7})
+	if l2 := w1.ResolveLink(t1, a1, LinkContext{Pass: 7}); l2.TagPower != l.TagPower {
+		t.Error("same context resolved differently twice")
+	}
+}
+
+func TestFadingCoherence(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 4)
+	ant := portalAntenna(w, "a1", 1)
+	tag := emptyBoxWithTag(w, "box", 2)
+	coh := w.Cal.FadingCoherenceSeconds
+	if coh <= 0 {
+		t.Fatal("calibration must define a fading coherence time")
+	}
+	// Rounds inside one coherence block share the channel draw (the tag
+	// is static, so only fading could differ).
+	p0 := w.ResolveLink(tag, ant, LinkContext{Pass: 0, Time: 0.0, Round: 0}).TagPower
+	p1 := w.ResolveLink(tag, ant, LinkContext{Pass: 0, Time: coh * 0.9, Round: 1}).TagPower
+	if p0 != p1 {
+		t.Error("fading varied inside one coherence block")
+	}
+	// A later coherence block sees a fresh draw.
+	p2 := w.ResolveLink(tag, ant, LinkContext{Pass: 0, Time: coh * 1.5, Round: 2}).TagPower
+	if p2 == p0 {
+		t.Error("fast fading identical across coherence blocks")
+	}
+}
+
+func TestOwnContentBlocksFarSideTag(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 5)
+	ant := portalAntenna(w, "a1", 1)
+	// A router box: metal content block inside.
+	box := w.AddBox("router", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 1), geom.UnitX, geom.UnitZ)},
+		geom.V(0.4, 0.4, 0.3), rf.Cardboard, rf.Metal, geom.V(0.3, 0.3, 0.2))
+	near := w.AttachTag(box, "near", testCode(1), Mount{
+		Offset: geom.V(0, -0.2, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitX, Gap: 0.05,
+	})
+	far := w.AttachTag(box, "far", testCode(2), Mount{
+		Offset: geom.V(0, 0.2, 0), Normal: geom.V(0, 1, 0), Axis: geom.UnitX, Gap: 0.05,
+	})
+	mNear := meanTagPower(w, near, ant, 300)
+	mFar := meanTagPower(w, far, ant, 300)
+	if mFar >= mNear-5 {
+		t.Errorf("far-side tag (%v dBm) should be well below near-side (%v dBm)", mFar, mNear)
+	}
+	// The scattered path must keep the far tag alive, not -inf dead.
+	if mFar < -40 {
+		t.Errorf("far-side tag completely dead (%v dBm); scatter path missing", mFar)
+	}
+}
+
+func TestNeighborBoxOcclusion(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 6)
+	ant := portalAntenna(w, "a1", 1)
+	tag := emptyBoxWithTag(w, "victim", 2)
+	before := meanTagPower(w, tag, ant, 300)
+	// Park a metal-loaded box between antenna and victim.
+	w.AddBox("blocker", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 1), geom.UnitX, geom.UnitZ)},
+		geom.V(0.4, 0.4, 0.4), rf.Cardboard, rf.Metal, geom.V(0.35, 0.35, 0.35))
+	after := meanTagPower(w, tag, ant, 300)
+	if after >= before-3 {
+		t.Errorf("blocker had no effect: %v -> %v dBm", before, after)
+	}
+}
+
+func TestInterTagCoupling(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 7)
+	ant := portalAntenna(w, "a1", 1)
+	lone := emptyBoxWithTag(w, "lone", 1)
+	base := meanTagPower(w, lone, ant, 200)
+
+	// Second scene: the same tag with a parallel neighbour 4 mm away.
+	w2 := New(rf.DefaultCalibration(), 7)
+	ant2 := portalAntenna(w2, "a1", 1)
+	crowded := emptyBoxWithTag(w2, "lone", 1)
+	box := crowded.Carrier().(*Box)
+	w2.AttachTag(box, "neighbour", testCode(9), Mount{
+		Offset: crowded.Mount.Offset.Add(geom.V(0.004, 0, 0)),
+		Normal: crowded.Mount.Normal,
+		Axis:   crowded.Mount.Axis,
+		Gap:    0.1,
+	})
+	coupled := meanTagPower(w2, crowded, ant2, 200)
+	if coupled >= base-5 {
+		t.Errorf("4mm neighbour cost only %.1f dB", base-coupled)
+	}
+
+	// Crossed dipoles at the same spacing barely couple.
+	w3 := New(rf.DefaultCalibration(), 7)
+	ant3 := portalAntenna(w3, "a1", 1)
+	crossed := emptyBoxWithTag(w3, "lone", 1)
+	box3 := crossed.Carrier().(*Box)
+	w3.AttachTag(box3, "neighbour", testCode(9), Mount{
+		Offset: crossed.Mount.Offset.Add(geom.V(0.004, 0, 0)),
+		Normal: crossed.Mount.Normal,
+		Axis:   geom.UnitZ, // perpendicular to the victim's X axis
+		Gap:    0.1,
+	})
+	uncoupled := meanTagPower(w3, crossed, ant3, 200)
+	if base-uncoupled > 2 {
+		t.Errorf("crossed neighbour cost %.1f dB, want ~0", base-uncoupled)
+	}
+}
+
+func TestDipoleOrientationMatters(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 8)
+	ant := portalAntenna(w, "a1", 1)
+	good := emptyBoxWithTag(w, "good", 1) // axis X, broadside to the antenna
+
+	w2 := New(rf.DefaultCalibration(), 8)
+	ant2 := portalAntenna(w2, "a1", 1)
+	box := w2.AddBox("b", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 1), geom.UnitX, geom.UnitZ)},
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	bad := w2.AttachTag(box, "bad", testCode(1), Mount{
+		Offset: geom.V(0, -0.15, 0),
+		Normal: geom.V(0, -1, 0),
+		Axis:   geom.UnitY, // pointing straight at the antenna: the null
+		Gap:    0.1,
+	})
+	mGood := meanTagPower(w, good, ant, 200)
+	mBad := meanTagPower(w2, bad, ant2, 200)
+	if mBad >= mGood-8 {
+		t.Errorf("axis-toward-antenna tag (%v) should be far below broadside (%v)", mBad, mGood)
+	}
+}
+
+func TestGrazingNeedsMetalBacking(t *testing.T) {
+	mkTop := func(content rf.Material, contentSize geom.Vec3, gap float64) (float64, *World) {
+		w := New(rf.DefaultCalibration(), 9)
+		ant := portalAntenna(w, "a1", 1)
+		box := w.AddBox("b", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 0.85), geom.UnitX, geom.UnitZ)},
+			geom.V(0.4, 0.4, 0.3), rf.Cardboard, content, contentSize)
+		// Tag flat on the lid: normal up, axis along travel; the antenna at
+		// the same height sees it edge-on.
+		tag := w.AttachTag(box, "top", testCode(1), Mount{
+			Offset: geom.V(0, 0, 0.151), Normal: geom.UnitZ, Axis: geom.UnitX, Gap: gap,
+		})
+		return meanTagPower(w, tag, ant, 300), w
+	}
+	onCardboard, _ := mkTop(rf.Air, geom.Vec3{}, 0.1)
+	onRouter, _ := mkTop(rf.Metal, geom.V(0.3, 0.3, 0.24), 0.012)
+	if onRouter >= onCardboard-8 {
+		t.Errorf("top tag on router box (%v) should be far below empty box (%v)", onRouter, onCardboard)
+	}
+}
+
+func TestPersonBodyBlocking(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 10)
+	ant := portalAntenna(w, "a1", 1)
+	p := w.AddPerson("alice", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 0), geom.UnitX, geom.UnitZ)}, 1.75, 0.17)
+	nearHip := w.AttachTag(p, "near", testCode(1), Mount{
+		Offset: geom.V(0, -0.18, 1.0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.015,
+	})
+	farHip := w.AttachTag(p, "far", testCode(2), Mount{
+		Offset: geom.V(0, 0.18, 1.0), Normal: geom.V(0, 1, 0), Axis: geom.UnitZ, Gap: 0.015,
+	})
+	mNear := meanTagPower(w, nearHip, ant, 300)
+	mFar := meanTagPower(w, farHip, ant, 300)
+	if mFar >= mNear-6 {
+		t.Errorf("far hip (%v) should be well below near hip (%v)", mFar, mNear)
+	}
+}
+
+func TestBodyReflectionBonus(t *testing.T) {
+	cal := rf.DefaultCalibration()
+	single := New(cal, 11)
+	antS := portalAntenna(single, "a1", 1)
+	pS := single.AddPerson("alice", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 0), geom.UnitX, geom.UnitZ)}, 1.75, 0.17)
+	tagS := single.AttachTag(pS, "front", testCode(1), Mount{
+		Offset: geom.V(0.18, 0, 1.0), Normal: geom.UnitX, Axis: geom.UnitZ, Gap: 0.015,
+	})
+
+	double := New(cal, 11)
+	antD := portalAntenna(double, "a1", 1)
+	pD := double.AddPerson("alice", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 0), geom.UnitX, geom.UnitZ)}, 1.75, 0.17)
+	tagD := double.AttachTag(pD, "front", testCode(1), Mount{
+		Offset: geom.V(0.18, 0, 1.0), Normal: geom.UnitX, Axis: geom.UnitZ, Gap: 0.015,
+	})
+	// A second subject walking in parallel, farther from the antenna.
+	double.AddPerson("bob", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1.6, 0), geom.UnitX, geom.UnitZ)}, 1.75, 0.17)
+
+	mS := meanTagPower(single, tagS, antS, 300)
+	mD := meanTagPower(double, tagD, antD, 300)
+	diff := mD - mS
+	want := float64(cal.BodyReflectionGainDB)
+	if diff < want-1 || diff > want+1 {
+		t.Errorf("reflection bonus = %.2f dB, want ~%.1f", diff, want)
+	}
+}
+
+func TestForeignEmitterInterference(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 12)
+	a1 := portalAntenna(w, "a1", 1)
+	// The paper's two-antenna portal: the second antenna 2 m away on the
+	// other side, facing back — so the two boresights stare at each other.
+	a2 := w.AddAntenna("a2", geom.NewPose(geom.V(0, 2, 1), geom.UnitY.Scale(-1), geom.UnitZ))
+	tag := emptyBoxWithTag(w, "box", 1)
+
+	clean := w.ResolveLink(tag, a1, LinkContext{Pass: 0})
+	if clean.TagInterference != rf.NoInterference || clean.ReaderInterference != rf.NoInterference {
+		t.Fatal("interference without foreign emitters")
+	}
+	if !clean.Readable(w.Cal) {
+		t.Fatal("clean link unreadable")
+	}
+
+	jammed := w.ResolveLink(tag, a1, LinkContext{Pass: 0, Foreign: []ForeignEmitter{{Antenna: a2}}})
+	if jammed.ReaderInterference < -40 {
+		t.Errorf("reader-to-reader leakage = %v dBm, expected a strong carrier", jammed.ReaderInterference)
+	}
+	if jammed.ReverseDecodable(w.Cal) {
+		t.Error("reverse link should be jammed by a non-dense foreign reader")
+	}
+
+	dense := w.ResolveLink(tag, a1, LinkContext{Pass: 0, Foreign: []ForeignEmitter{{Antenna: a2, DenseModeBoth: true}}})
+	if dense.ReaderInterference >= jammed.ReaderInterference {
+		t.Error("dense mode did not suppress reader interference")
+	}
+	if dense.TagInterference >= jammed.TagInterference {
+		t.Error("dense mode did not suppress tag-side interference")
+	}
+
+	// A foreign emitter that is the same antenna is ignored.
+	self := w.ResolveLink(tag, a1, LinkContext{Pass: 0, Foreign: []ForeignEmitter{{Antenna: a1}}})
+	if self.TagInterference != rf.NoInterference {
+		t.Error("own antenna counted as interference")
+	}
+}
+
+func TestExplainBudget(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 13)
+	ant := portalAntenna(w, "a1", 1)
+	tag := emptyBoxWithTag(w, "box", 2)
+	l := w.ResolveLink(tag, ant, LinkContext{Pass: 0, Explain: true})
+	if l.Forward == nil {
+		t.Fatal("no budget returned with Explain")
+	}
+	s := l.Forward.String()
+	for _, term := range []string{"patch gain", "free space", "tag dipole", "scattered path"} {
+		if !strings.Contains(s, term) {
+			t.Errorf("budget missing term %q:\n%s", term, s)
+		}
+	}
+	// The itemized budget total matches the returned power.
+	if got := l.Forward.Total(); got != l.TagPower {
+		t.Errorf("budget total %v != tag power %v", got, l.TagPower)
+	}
+	// Without Explain, no budget is allocated.
+	if l2 := w.ResolveLink(tag, ant, LinkContext{Pass: 0}); l2.Forward != nil {
+		t.Error("budget allocated without Explain")
+	}
+}
+
+func TestWorldAccessors(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 14)
+	ant := portalAntenna(w, "a1", 1)
+	tag := emptyBoxWithTag(w, "box", 1)
+	p := w.AddPerson("p", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 2, 0), geom.UnitX, geom.UnitZ)}, 1.7, 0.17)
+	w.AttachTag(p, "badge", testCode(5), Mount{Offset: geom.V(0, -0.18, 1), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ})
+
+	if len(w.Tags()) != 2 || len(w.Antennas()) != 1 || len(w.Carriers()) != 2 {
+		t.Errorf("accessors: %d tags, %d antennas, %d carriers",
+			len(w.Tags()), len(w.Antennas()), len(w.Carriers()))
+	}
+	if w.Antennas()[0] != ant {
+		t.Error("antenna identity lost")
+	}
+	if tag.Carrier().Name() != "box" || tag.Carrier().ContentMaterial() != rf.Cardboard {
+		t.Error("carrier wiring broken")
+	}
+	if p.Tags()[0].Name != "badge" || p.ContentMaterial() != rf.Body {
+		t.Error("person wiring broken")
+	}
+	// Tag positions track the carrier.
+	if got := p.Tags()[0].Pos(0); got.Dist(geom.V(0, 1.82, 1)) > 1e-9 {
+		t.Errorf("badge position = %v", got)
+	}
+}
+
+func TestMountVectorsNormalized(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 15)
+	box := w.AddBox("b", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 1, 1), geom.UnitX, geom.UnitZ)},
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	tag := w.AttachTag(box, "t", testCode(1), Mount{
+		Offset: geom.V(0, -0.15, 0),
+		Normal: geom.V(0, -9, 0),
+		Axis:   geom.V(5, 0, 0),
+	})
+	if tag.Mount.Normal.Norm() != 1 || tag.Mount.Axis.Norm() != 1 {
+		t.Error("mount vectors not normalized on attach")
+	}
+}
+
+func TestLinkMonotoneInTxPowerProperty(t *testing.T) {
+	// More conducted power never weakens any link (with all random draws
+	// held fixed by seed/pass/round keys).
+	build := func(tx float64) (*World, *Tag, *Antenna) {
+		cal := rf.DefaultCalibration()
+		cal.TxPowerDBm = units.DBm(tx)
+		w := New(cal, 55)
+		ant := portalAntenna(w, "a1", 1)
+		box := w.AddBox("b", geom.StaticPath{Pose: geom.NewPose(geom.V(0.4, 1.5, 1), geom.UnitX, geom.UnitZ)},
+			geom.V(0.4, 0.4, 0.2), rf.Cardboard, rf.Metal, geom.V(0.3, 0.3, 0.15))
+		tag := w.AttachTag(box, "t", testCode(1), Mount{
+			Offset: geom.V(0, 0.21, 0), Normal: geom.UnitY, Axis: geom.UnitZ, Gap: 0.03,
+		})
+		return w, tag, ant
+	}
+	f := func(p1Raw, p2Raw uint8, pass uint8) bool {
+		p1 := 10 + float64(p1Raw%21) // 10..30 dBm
+		p2 := 10 + float64(p2Raw%21)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		w1, t1, a1 := build(p1)
+		w2, t2, a2 := build(p2)
+		ctx := LinkContext{Pass: int(pass), Round: 0}
+		l1 := w1.ResolveLink(t1, a1, ctx)
+		l2 := w2.ResolveLink(t2, a2, ctx)
+		return l2.TagPower >= l1.TagPower-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResolutionOrderIndependence(t *testing.T) {
+	// The random-field design promise: link values do not depend on the
+	// order in which links are resolved.
+	build := func() (*World, []*Tag, *Antenna) {
+		w := New(rf.DefaultCalibration(), 66)
+		ant := portalAntenna(w, "a1", 1)
+		var tags []*Tag
+		for i := 0; i < 5; i++ {
+			box := w.AddBox(fmt.Sprintf("b%d", i),
+				geom.StaticPath{Pose: geom.NewPose(geom.V(float64(i)*0.4-0.8, 1.2, 1), geom.UnitX, geom.UnitZ)},
+				geom.V(0.2, 0.2, 0.2), rf.Cardboard, rf.Air, geom.Vec3{})
+			tags = append(tags, w.AttachTag(box, fmt.Sprintf("t%d", i), testCode(uint64(i)), Mount{
+				Offset: geom.V(0, -0.1, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.1,
+			}))
+		}
+		return w, tags, ant
+	}
+	w1, tags1, a1 := build()
+	forward := make([]float64, len(tags1))
+	for i, tag := range tags1 {
+		forward[i] = float64(w1.ResolveLink(tag, a1, LinkContext{Pass: 3}).TagPower)
+	}
+	w2, tags2, a2 := build()
+	for i := len(tags2) - 1; i >= 0; i-- {
+		got := float64(w2.ResolveLink(tags2[i], a2, LinkContext{Pass: 3}).TagPower)
+		if got != forward[i] {
+			t.Fatalf("tag %d: %v (reverse order) != %v (forward order)", i, got, forward[i])
+		}
+	}
+}

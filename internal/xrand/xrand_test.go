@@ -1,0 +1,183 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	same := true
+	d := New(42)
+	for i := 0; i < 10; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependentOfOrderAndParentState(t *testing.T) {
+	a := New(7)
+	s1 := a.Split("tags")
+	// Consume parent state and split again: must not change the sub-stream.
+	for i := 0; i < 50; i++ {
+		a.Float64()
+	}
+	s2 := a.Split("tags")
+	for i := 0; i < 50; i++ {
+		if s1.Float64() != s2.Float64() {
+			t.Fatal("Split depends on parent stream state")
+		}
+	}
+}
+
+func TestSplitDistinctLabels(t *testing.T) {
+	a := New(7)
+	s1 := a.Split("alpha")
+	s2 := a.Split("beta")
+	equal := 0
+	for i := 0; i < 32; i++ {
+		if s1.Float64() == s2.Float64() {
+			equal++
+		}
+	}
+	if equal == 32 {
+		t.Fatal("distinct labels produced identical streams")
+	}
+}
+
+func TestSplitDistinctSeeds(t *testing.T) {
+	s1 := New(1).Split("x")
+	s2 := New(2).Split("x")
+	equal := 0
+	for i := 0; i < 32; i++ {
+		if s1.Float64() == s2.Float64() {
+			equal++
+		}
+	}
+	if equal == 32 {
+		t.Fatal("same label under different seeds produced identical streams")
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if r.Bool(-3) || !r.Bool(7) {
+			t.Fatal("clamping broken")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	r := New(99)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", p)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(3, 2)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("variance = %v, want ~4", variance)
+	}
+}
+
+func TestShadowingDisabled(t *testing.T) {
+	r := New(5)
+	if r.ShadowingDB(0) != 0 || r.ShadowingDB(-1) != 0 {
+		t.Error("non-positive sigma should disable shadowing")
+	}
+}
+
+func TestRicianUnitMeanPower(t *testing.T) {
+	for _, k := range []float64{0, 1, 5, 20} {
+		r := New(11)
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += math.Pow(10, r.RicianPowerDB(k)/10)
+		}
+		mean := sum / n
+		if math.Abs(mean-1) > 0.02 {
+			t.Errorf("K=%v: mean linear power = %v, want ~1", k, mean)
+		}
+	}
+}
+
+func TestRicianLargeKIsSteady(t *testing.T) {
+	r := New(12)
+	for i := 0; i < 1000; i++ {
+		db := r.RicianPowerDB(1e6)
+		if math.Abs(db) > 0.5 {
+			t.Fatalf("K=1e6 fading draw %v dB, want ~0", db)
+		}
+	}
+}
+
+func TestRicianNegativeKClamped(t *testing.T) {
+	r := New(13)
+	// Must not panic or produce NaN.
+	for i := 0; i < 100; i++ {
+		if math.IsNaN(r.RicianPowerDB(-5)) {
+			t.Fatal("NaN from negative K")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(3)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.IntN(7); v < 0 || v >= 7 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+	}
+}

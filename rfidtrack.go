@@ -1,0 +1,306 @@
+// Package rfidtrack is a simulation library for studying — and improving —
+// the read reliability of passive UHF (EPC Class-1 Gen-2) RFID tracking
+// systems, reproducing "Reliability Techniques for RFID-Based Object
+// Tracking Applications" (DSN 2007).
+//
+// The library spans the full stack the paper's measurements exercise:
+//
+//   - a physics-grounded radio channel (path loss, antenna patterns,
+//     polarization, shadowing, fading, material and body losses, inter-tag
+//     coupling, reader-to-reader interference) — package internal/rf;
+//   - the Gen-2 air protocol (frames with CRCs, PIE timing, tag state
+//     machines, the adaptive-Q anti-collision algorithm) — internal/gen2
+//     and internal/tagsim;
+//   - physical scenes of tagged boxes and walking people passing reader
+//     portals — internal/world and internal/scenario;
+//   - readers with TDMA antenna multiplexing, buffered read mode and an
+//     AR400-style HTTP/XML interface — internal/reader, internal/readerapi;
+//   - a tracking back-end with smoothing, constraint cleaning, storage and
+//     rules — internal/backend;
+//   - the paper's contribution: redundancy techniques and the read-
+//     opportunity reliability model R_C = 1 − Π(1−P_i) — internal/redundancy
+//     and internal/core;
+//   - a harness that regenerates every table and figure of the paper —
+//     internal/experiments.
+//
+// This file re-exports the pieces a downstream user composes; see
+// examples/ for runnable programs and cmd/rfsim for the experiment CLI.
+package rfidtrack
+
+import (
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/core"
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/estimate"
+	"rfidtrack/internal/experiments"
+	"rfidtrack/internal/gen2"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/landmarc"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/readerapi"
+	"rfidtrack/internal/redundancy"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/scenario"
+	"rfidtrack/internal/world"
+)
+
+// Physical scene building.
+type (
+	// World is the physical scene: carriers, tags and antennas.
+	World = world.World
+	// Box is a tagged carton, optionally with blocking content.
+	Box = world.Box
+	// Person is a walking subject with badge tags.
+	Person = world.Person
+	// PhysicalTag is a tag placed in the scene.
+	PhysicalTag = world.Tag
+	// Mount places a tag on its carrier: offset, face normal, dipole axis
+	// and gap to the content material.
+	Mount = world.Mount
+	// Antenna is a portal area antenna.
+	Antenna = world.Antenna
+	// Vec3 is a 3-D vector (meters).
+	Vec3 = geom.Vec3
+	// Pose is a position plus orientation.
+	Pose = geom.Pose
+	// LinePath is constant-velocity straight motion (a conveyor or walking
+	// pass).
+	LinePath = geom.LinePath
+	// StaticPath holds a carrier still.
+	StaticPath = geom.StaticPath
+	// Material enumerates the contents that block or detune tags.
+	Material = rf.Material
+	// Calibration bundles every physical constant of the channel model.
+	Calibration = rf.Calibration
+)
+
+// Materials.
+const (
+	Air       = rf.Air
+	Cardboard = rf.Cardboard
+	Plastic   = rf.Plastic
+	Metal     = rf.Metal
+	Liquid    = rf.Liquid
+	Body      = rf.Body
+)
+
+// NewWorld returns an empty scene with the given calibration and seed.
+func NewWorld(cal Calibration, seed uint64) *World { return world.New(cal, seed) }
+
+// DefaultCalibration returns the constants calibrated against the paper's
+// measurements (see internal/rf/calib.go for each value's rationale).
+func DefaultCalibration() Calibration { return rf.DefaultCalibration() }
+
+// V builds a Vec3.
+func V(x, y, z float64) Vec3 { return geom.V(x, y, z) }
+
+// NewPose builds a pose facing forward with the given up vector.
+func NewPose(pos, forward, up Vec3) Pose { return geom.NewPose(pos, forward, up) }
+
+// CrossingPass builds the canonical portal pass: travel along +X at speed,
+// passing the portal at the given standoff, covering ±halfSpan at height z.
+func CrossingPass(speed, standoff, halfSpan, z float64) LinePath {
+	return geom.CrossingPass(speed, standoff, halfSpan, z)
+}
+
+// Readers and portals.
+type (
+	// Reader is an interrogator multiplexing 1-4 antennas.
+	Reader = reader.Reader
+	// ReaderOption configures a Reader.
+	ReaderOption = reader.Option
+	// ReadEvent is one tag observation.
+	ReadEvent = reader.Event
+	// Portal composes a world with the readers covering it.
+	Portal = core.Portal
+	// PassResult is the outcome of one simulated pass.
+	PassResult = core.PassResult
+	// Reliability aggregates read/tracking reliability over trials.
+	Reliability = core.Reliability
+	// TrackingSystem is a complete deployment: named portals feeding one
+	// back-end, with location queries and route-cleaned journeys.
+	TrackingSystem = core.TrackingSystem
+)
+
+// NewTrackingSystem builds a deployment over the given pipeline (nil =
+// default 2 s smoothing).
+func NewTrackingSystem(p *Pipeline) *TrackingSystem { return core.NewTrackingSystem(p) }
+
+// NewReader builds a reader driving the given antennas.
+func NewReader(name string, w *World, antennas []*Antenna, opts ...ReaderOption) (*Reader, error) {
+	return reader.New(name, w, antennas, opts...)
+}
+
+// WithDenseMode enables Gen-2 dense-reader mode.
+func WithDenseMode(on bool) ReaderOption { return reader.WithDenseMode(on) }
+
+// WithAntennaDwell sets the antenna multiplexer dwell time in seconds.
+func WithAntennaDwell(d float64) ReaderOption { return reader.WithAntennaDwell(d) }
+
+// RoundConfig parameterizes the reader's Gen-2 inventory rounds: session,
+// Q strategy, Select filtering, corruption injection.
+type RoundConfig = gen2.Config
+
+// DefaultRoundConfig returns the stock inventory configuration.
+func DefaultRoundConfig() RoundConfig { return gen2.DefaultConfig() }
+
+// WithRoundConfig overrides a reader's inventory round configuration.
+func WithRoundConfig(cfg RoundConfig) ReaderOption { return reader.WithRoundConfig(cfg) }
+
+// EPC identification.
+type (
+	// EPC is a 96-bit Electronic Product Code.
+	EPC = epc.Code
+	// SGTIN96 identifies trade items.
+	SGTIN96 = epc.SGTIN96
+	// SSCC96 identifies logistics units.
+	SSCC96 = epc.SSCC96
+	// GID96 is the general identifier scheme.
+	GID96 = epc.GID96
+)
+
+// ParseEPC parses a 24-hex-digit EPC.
+func ParseEPC(s string) (EPC, error) { return epc.ParseHex(s) }
+
+// ParseEPCURI parses a pure-identity URI (urn:epc:id:...).
+func ParseEPCURI(s string) (EPC, error) { return epc.ParseURI(s) }
+
+// Redundancy analysis (the paper's Section 4 model).
+
+// CombinedReliability is the paper's R_C = 1 − Π(1−P_i) for independent
+// read opportunities.
+func CombinedReliability(ps ...float64) float64 { return redundancy.Combined(ps...) }
+
+// MinOpportunities returns how many independent opportunities of
+// reliability p a target reliability needs (-1 if unreachable).
+func MinOpportunities(p, target float64) int { return redundancy.MinOpportunities(p, target) }
+
+// ReliabilityGap measures how far a composite falls short of the
+// independence model — positive gaps expose correlated failures.
+func ReliabilityGap(measured float64, ps ...float64) float64 {
+	return redundancy.Gap(measured, ps...)
+}
+
+// Placement planning.
+type (
+	// PlacementCandidate is one purchasable read opportunity.
+	PlacementCandidate = redundancy.Candidate
+	// PlacementPlan is a chosen candidate set.
+	PlacementPlan = redundancy.Plan
+)
+
+// PlanPlacement finds the cheapest candidate subset reaching the target
+// reliability under the independence model.
+func PlanPlacement(candidates []PlacementCandidate, target float64, maxPicks int) (PlacementPlan, error) {
+	return redundancy.PlanPlacement(candidates, target, maxPicks)
+}
+
+// Population estimation (framed-ALOHA slot statistics).
+
+// EstimatePopulation infers how many tags participated in an inventory
+// round from its slot statistics.
+func EstimatePopulation(res gen2.Result) (estimate.Estimate, error) {
+	return estimate.FromRound(res)
+}
+
+// Indoor localization (LANDMARC, active reference tags).
+type (
+	// LocationEstimator is a LANDMARC k-nearest-neighbour locator.
+	LocationEstimator = landmarc.Estimator
+	// RSSISignature is a tag's per-antenna RSSI vector.
+	RSSISignature = landmarc.Measurement
+)
+
+// NewLocationEstimator returns a LANDMARC estimator with the given k.
+func NewLocationEstimator(k int) *LocationEstimator { return landmarc.NewEstimator(k) }
+
+// SurveyReferences builds a location estimator from reference tags placed
+// in a world.
+func SurveyReferences(w *World, refs []*PhysicalTag, antennas []*Antenna, k, pass, samples int) (*LocationEstimator, error) {
+	return landmarc.Survey(w, refs, antennas, k, pass, samples)
+}
+
+// CollectSignature measures a tag's RSSI signature for localization.
+func CollectSignature(w *World, tag *PhysicalTag, antennas []*Antenna, pass, samples int) RSSISignature {
+	return landmarc.Collect(w, tag, antennas, pass, samples)
+}
+
+// Back-end processing.
+type (
+	// BackendEvent is a raw read delivered to the back-end.
+	BackendEvent = backend.Event
+	// Sighting is a smoothed presence interval.
+	Sighting = backend.Sighting
+	// Pipeline wires smoothing, storage and rules.
+	Pipeline = backend.Pipeline
+	// Rule is a sighting-triggered action (door, alarm, database update).
+	Rule = backend.Rule
+	// TrackStore is the in-memory tracking database.
+	TrackStore = backend.Store
+	// RouteConstraint infers sightings missed between portals on a known
+	// route.
+	RouteConstraint = backend.Route
+	// GroupConstraint infers sightings for group members that travel
+	// together.
+	GroupConstraint = backend.Group
+)
+
+// NewPipeline builds a back-end pipeline; a nil smoother defaults to a 2 s
+// fixed window.
+func NewPipeline(s backend.Smoother) *Pipeline { return backend.NewPipeline(s) }
+
+// NewWindowSmoother returns the classic fixed-window cleaner.
+func NewWindowSmoother(window float64) *backend.WindowSmoother {
+	return backend.NewWindowSmoother(window)
+}
+
+// NewAdaptiveSmoother returns the SMURF-style adaptive cleaner.
+func NewAdaptiveSmoother() *backend.AdaptiveSmoother { return backend.NewAdaptiveSmoother() }
+
+// Reader wire protocol (the AR400-style HTTP/XML interface).
+type (
+	// ReaderServer serves a reader over HTTP/XML.
+	ReaderServer = readerapi.Server
+	// ReaderClient polls a reader server.
+	ReaderClient = readerapi.Client
+)
+
+// NewReaderServer wraps a reader for HTTP serving.
+func NewReaderServer(src readerapi.Source) *ReaderServer { return readerapi.NewServer(src) }
+
+// NewReaderClient returns a client for the server at base URL.
+func NewReaderClient(base string) *ReaderClient { return readerapi.NewClient(base, nil) }
+
+// Paper scenarios and experiments.
+type (
+	// ObjectConfig parameterizes the twelve-router-box experiments.
+	ObjectConfig = scenario.ObjectConfig
+	// HumanConfig parameterizes the walking-subject experiments.
+	HumanConfig = scenario.HumanConfig
+	// BoxLocation is a tag location on a box.
+	BoxLocation = scenario.BoxLocation
+	// HumanLocation is a badge location on a subject.
+	HumanLocation = scenario.HumanLocation
+	// ExperimentOptions parameterizes a reproduction run.
+	ExperimentOptions = experiments.Options
+	// ExperimentResult is a completed reproduction run.
+	ExperimentResult = experiments.Result
+)
+
+// Scenario constructors.
+var (
+	// NewReadRangeScenario builds the Figure 2 grid at a distance.
+	NewReadRangeScenario = scenario.ReadRange
+	// NewObjectTrackingScenario builds the Table 1/3 cart of boxes.
+	NewObjectTrackingScenario = scenario.ObjectTracking
+	// NewHumanTrackingScenario builds the Table 2/4/5 walking subjects.
+	NewHumanTrackingScenario = scenario.HumanTracking
+)
+
+// RunExperiment executes one paper experiment by id (see ExperimentIDs).
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentResult, error) {
+	return experiments.Run(id, opt)
+}
+
+// ExperimentIDs lists the reproducible tables and figures.
+func ExperimentIDs() []string { return experiments.IDs() }

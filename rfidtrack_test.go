@@ -1,0 +1,252 @@
+package rfidtrack_test
+
+// Tests of the public facade: everything a downstream consumer composes,
+// exercised the way examples/ and cmd/ use it.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rfidtrack"
+	"rfidtrack/internal/gen2"
+)
+
+func TestFacadeSceneToReliability(t *testing.T) {
+	world := rfidtrack.NewWorld(rfidtrack.DefaultCalibration(), 42)
+	antenna := world.AddAntenna("a1", rfidtrack.NewPose(
+		rfidtrack.V(0, 0, 1), rfidtrack.V(0, 1, 0), rfidtrack.V(0, 0, 1)))
+	box := world.AddBox("parcel",
+		rfidtrack.CrossingPass(1, 1, 2, 1),
+		rfidtrack.V(0.4, 0.4, 0.3), rfidtrack.Cardboard, rfidtrack.Air, rfidtrack.V(0, 0, 0))
+
+	code, err := rfidtrack.ParseEPCURI("urn:epc:id:sgtin:0614141.812345.6789")
+	if err != nil {
+		t.Fatal(err)
+	}
+	world.AttachTag(box, "label", code, rfidtrack.Mount{
+		Offset: rfidtrack.V(0, -0.2, 0),
+		Normal: rfidtrack.V(0, -1, 0),
+		Axis:   rfidtrack.V(0, 0, 1),
+		Gap:    0.1,
+	})
+
+	r, err := rfidtrack.NewReader("r1", world, []*rfidtrack.Antenna{antenna},
+		rfidtrack.WithDenseMode(false), rfidtrack.WithAntennaDwell(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	portal := &rfidtrack.Portal{World: world, Readers: []*rfidtrack.Reader{r}}
+	rel := portal.Measure(10, 0)
+	if rel.PerTag["label"].Rate() < 0.7 {
+		t.Errorf("facade-built portal reliability = %v", rel.PerTag["label"])
+	}
+}
+
+func TestFacadeEPCHelpers(t *testing.T) {
+	code, err := rfidtrack.ParseEPC("3074257BF7194E4000001A85")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := code.URI(); got != "urn:epc:id:sgtin:0614141.812345.6789" {
+		t.Errorf("URI = %s", got)
+	}
+	if _, err := rfidtrack.ParseEPC("nope"); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if _, err := rfidtrack.ParseEPCURI("urn:epc:id:unknown:1.2"); err == nil {
+		t.Error("bad URI accepted")
+	}
+}
+
+func TestFacadeRedundancyMath(t *testing.T) {
+	if got := rfidtrack.CombinedReliability(0.75, 0.75); got != 0.9375 {
+		t.Errorf("CombinedReliability = %v", got)
+	}
+	if got := rfidtrack.MinOpportunities(0.63, 0.99); got != 5 {
+		t.Errorf("MinOpportunities = %v", got)
+	}
+	if got := rfidtrack.ReliabilityGap(0.86, 0.8, 0.8); got < 0.09 {
+		t.Errorf("ReliabilityGap = %v", got)
+	}
+}
+
+func TestFacadeScenariosAndExperiments(t *testing.T) {
+	ids := rfidtrack.ExperimentIDs()
+	if len(ids) < 13 {
+		t.Fatalf("only %d experiments exposed", len(ids))
+	}
+	res, err := rfidtrack.RunExperiment("table1", rfidtrack.ExperimentOptions{Seed: 1, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "Table 1") {
+		t.Error("experiment result malformed")
+	}
+	if _, err := rfidtrack.RunExperiment("bogus", rfidtrack.ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+
+	portal, err := rfidtrack.NewHumanTrackingScenario(rfidtrack.HumanConfig{
+		Subjects:     1,
+		TagLocations: []rfidtrack.HumanLocation{"front"},
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(portal.World.Tags()); got != 1 {
+		t.Errorf("scenario tags = %d", got)
+	}
+}
+
+func TestFacadeBackend(t *testing.T) {
+	p := rfidtrack.NewPipeline(rfidtrack.NewWindowSmoother(1))
+	code, err := rfidtrack.ParseEPCURI("urn:epc:id:gid:1.2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	p.AddRule(rfidtrack.Rule{Action: func(rfidtrack.Sighting) { fired++ }})
+	p.Ingest(rfidtrack.BackendEvent{EPC: code, Location: "dock", Time: 0})
+	p.Flush(10)
+	if fired != 1 {
+		t.Errorf("rules fired %d times", fired)
+	}
+	if loc, ok := p.Store().LocationOf(code); !ok || loc.Name != "dock" {
+		t.Errorf("location = %+v, %v", loc, ok)
+	}
+	// Adaptive smoother constructor also wires up.
+	if rfidtrack.NewAdaptiveSmoother() == nil {
+		t.Error("nil adaptive smoother")
+	}
+	// Constraints.
+	route := rfidtrack.RouteConstraint{Portals: []string{"a", "b", "c"}, MaxGap: 10}
+	cleaned := route.Clean([]rfidtrack.Sighting{
+		{EPC: code, Location: "a", First: 0, Last: 1},
+		{EPC: code, Location: "c", First: 5, Last: 6},
+	})
+	if len(cleaned) != 3 {
+		t.Errorf("route cleaning produced %d sightings", len(cleaned))
+	}
+	group := rfidtrack.GroupConstraint{Members: []rfidtrack.EPC{code}, Quorum: 0.5, Window: 1}
+	if got := group.Clean(nil); len(got) != 0 {
+		t.Errorf("empty group clean = %v", got)
+	}
+}
+
+func TestFacadeMaterials(t *testing.T) {
+	cal := rfidtrack.DefaultCalibration()
+	if cal.TransmissionLossDB(rfidtrack.Metal) <= cal.TransmissionLossDB(rfidtrack.Cardboard) {
+		t.Error("material constants lost in re-export")
+	}
+	for _, m := range []rfidtrack.Material{
+		rfidtrack.Air, rfidtrack.Cardboard, rfidtrack.Plastic,
+		rfidtrack.Metal, rfidtrack.Liquid, rfidtrack.Body,
+	} {
+		if m.String() == "unknown" {
+			t.Errorf("material %d unnamed", m)
+		}
+	}
+}
+
+func TestFacadeTrackingSystem(t *testing.T) {
+	sys := rfidtrack.NewTrackingSystem(rfidtrack.NewPipeline(rfidtrack.NewWindowSmoother(5)))
+	world := rfidtrack.NewWorld(rfidtrack.DefaultCalibration(), 3)
+	ant := world.AddAntenna("a1", rfidtrack.NewPose(
+		rfidtrack.V(0, 0, 1), rfidtrack.V(0, 1, 0), rfidtrack.V(0, 0, 1)))
+	box := world.AddBox("b", rfidtrack.CrossingPass(1, 1, 2, 1),
+		rfidtrack.V(0.3, 0.3, 0.3), rfidtrack.Cardboard, rfidtrack.Air, rfidtrack.V(0, 0, 0))
+	code, err := rfidtrack.ParseEPCURI("urn:epc:id:grai:0614141.12345.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	world.AttachTag(box, "asset", code, rfidtrack.Mount{
+		Offset: rfidtrack.V(0, -0.15, 0), Normal: rfidtrack.V(0, -1, 0),
+		Axis: rfidtrack.V(0, 0, 1), Gap: 0.1,
+	})
+	r, err := rfidtrack.NewReader("r1", world, []*rfidtrack.Antenna{ant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddPortal("dock", &rfidtrack.Portal{World: world, Readers: []*rfidtrack.Reader{r}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.RunPass("dock", 0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+	if loc, ok := sys.WhereIs(code); !ok || loc.Name != "dock" {
+		t.Errorf("WhereIs = %+v, %v", loc, ok)
+	}
+	if inv := sys.Inventory(); len(inv) != 1 {
+		t.Errorf("inventory = %v", inv)
+	}
+}
+
+func TestFacadePlanningAndEstimation(t *testing.T) {
+	plan, err := rfidtrack.PlanPlacement([]rfidtrack.PlacementCandidate{
+		{Name: "front", P: 0.87, Cost: 1},
+		{Name: "side", P: 0.83, Cost: 1},
+		{Name: "top", P: 0.29, Cost: 1},
+	}, 0.97, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Chosen) != 2 || plan.Reliability < 0.97 {
+		t.Errorf("plan = %v", plan)
+	}
+
+	cfg := rfidtrack.DefaultRoundConfig()
+	if !cfg.Adaptive || cfg.MaxSlots == 0 {
+		t.Errorf("round config defaults = %+v", cfg)
+	}
+
+	// Population estimation from slot statistics.
+	est, err := rfidtrack.EstimatePopulation(gen2.Result{Slots: 64, Empties: 30, Collisions: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N <= 0 || est.Basis != "empties" {
+		t.Errorf("estimate = %+v", est)
+	}
+
+	// LANDMARC wrappers: a tiny two-reference line.
+	loc := rfidtrack.NewLocationEstimator(2)
+	if loc == nil {
+		t.Fatal("nil estimator")
+	}
+	w := rfidtrack.NewWorld(rfidtrack.DefaultCalibration(), 8)
+	corners := []rfidtrack.Vec3{rfidtrack.V(0, 0, 2), rfidtrack.V(4, 0, 2)}
+	var ants []*rfidtrack.Antenna
+	for i, c := range corners {
+		ants = append(ants, w.AddAntenna(fmt.Sprintf("a%d", i),
+			rfidtrack.NewPose(c, rfidtrack.V(2, 2, 1).Sub(c), rfidtrack.V(0, 0, 1))))
+	}
+	var refs []*rfidtrack.PhysicalTag
+	for i := 0; i < 2; i++ {
+		pos := rfidtrack.V(1+2*float64(i), 1, 1)
+		mountBox := w.AddBox(fmt.Sprintf("m%d", i),
+			rfidtrack.StaticPath{Pose: rfidtrack.NewPose(pos, rfidtrack.V(1, 0, 0), rfidtrack.V(0, 0, 1))},
+			rfidtrack.V(0.05, 0.05, 0.05), rfidtrack.Plastic, rfidtrack.Air, rfidtrack.V(0, 0, 0))
+		code, err := rfidtrack.ParseEPCURI(fmt.Sprintf("urn:epc:id:gid:1.1.%d", i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, w.AttachActiveTag(mountBox, fmt.Sprintf("ref%d", i), code, rfidtrack.Mount{
+			Normal: rfidtrack.V(0, 0, 1), Axis: rfidtrack.V(1, 0, 0), Gap: 0.1,
+		}))
+	}
+	surveyed, err := rfidtrack.SurveyReferences(w, refs, ants, 2, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := rfidtrack.CollectSignature(w, refs[0], ants, 1, 4)
+	got, _, err := surveyed.Locate(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(refs[0].Pos(0)) > 1.5 {
+		t.Errorf("located ref0 at %v, true %v", got, refs[0].Pos(0))
+	}
+}
