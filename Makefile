@@ -1,8 +1,15 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench experiments examples fuzz cover
+.PHONY: all check build vet test test-race test-short bench experiments examples fuzz cover
 
 all: build vet test
+
+# check is the pre-merge gate: build, vet, the full test suite, then the
+# race detector over the reduced-trial (-short) suite — golden experiment
+# sweeps skip under -short, so the race pass stays affordable while still
+# exercising the parallel measurement engine end to end.
+check: build vet test
+	$(GO) test -race -short ./...
 
 build:
 	$(GO) build ./...
@@ -19,8 +26,10 @@ test-race:
 test-short:
 	$(GO) test -short ./...
 
+# bench runs every benchmark and snapshots the parsed results to
+# BENCH_1.json (see cmd/benchsnap) for machine-diffable tracking.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -o BENCH_1.json
 
 experiments:
 	$(GO) run ./cmd/experiments -o EXPERIMENTS.md

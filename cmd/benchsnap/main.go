@@ -1,0 +1,142 @@
+// Command benchsnap converts `go test -bench` output into a JSON snapshot
+// so benchmark runs can be diffed across commits by machines, not eyes.
+//
+// It reads the benchmark stream on stdin (echoing it through to stdout so
+// the run stays visible), parses every benchmark result line — standard
+// ns/op, -benchmem's B/op and allocs/op, and any custom b.ReportMetric
+// units such as reads/pass — and writes one JSON document:
+//
+//	go test -bench=. -benchmem ./... | benchsnap -o BENCH_1.json
+//
+// Result lines look like
+//
+//	BenchmarkResolveLink-8   121   9876 ns/op   120 B/op   3 allocs/op
+//
+// where the -8 suffix is GOMAXPROCS. Header lines (goos/goarch/pkg/cpu)
+// scope the results that follow them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name without the GOMAXPROCS suffix
+	// (BenchmarkResolveLink, BenchmarkMeasureParallel/workers=2).
+	Name string `json:"name"`
+	// Package is the import path from the preceding pkg: header, if any.
+	Package string `json:"package,omitempty"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value: ns/op, B/op, allocs/op, custom units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the whole document benchsnap emits.
+type Snapshot struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchsnap: ")
+	out := flag.String("o", "BENCH_1.json", "output JSON file")
+	quiet := flag.Bool("q", false, "do not echo the input stream to stdout")
+	flag.Parse()
+
+	echo := io.Writer(os.Stdout)
+	if *quiet {
+		echo = io.Discard
+	}
+	snap, err := parse(os.Stdin, echo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines on stdin (pipe `go test -bench` output in)")
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", *out, len(snap.Benchmarks))
+}
+
+// parse scans the benchmark stream, echoing every line to echo.
+func parse(r io.Reader, echo io.Writer) (*Snapshot, error) {
+	snap := &Snapshot{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseResult(line); ok {
+				b.Package = pkg
+				snap.Benchmarks = append(snap.Benchmarks, b)
+			}
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseResult parses one result line: name, iteration count, then
+// value-unit pairs. Non-result Benchmark lines (e.g. a bare name printed
+// before its timing line under -v) report ok = false.
+func parseResult(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       f[0],
+		Procs:      1,
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(f)-2)/2),
+	}
+	if i := strings.LastIndexByte(b.Name, '-'); i >= 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	for i := 2; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const sampleStream = `goos: linux
+goarch: amd64
+pkg: rfidtrack
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkResolveLink-8   	  121212	      9876 ns/op	     120 B/op	       3 allocs/op
+BenchmarkPortalPass-8    	     500	   2345678 ns/op	        41.50 reads/pass
+BenchmarkMeasureParallel/workers=2-8         	      10	 111222333 ns/op
+BenchmarkCRC16           	 5000000	       250 ns/op
+PASS
+ok  	rfidtrack	12.345s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleStream), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Errorf("headers not captured: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(snap.Benchmarks))
+	}
+	rl := snap.Benchmarks[0]
+	if rl.Name != "BenchmarkResolveLink" || rl.Procs != 8 || rl.Package != "rfidtrack" {
+		t.Errorf("ResolveLink parsed as %+v", rl)
+	}
+	if rl.Iterations != 121212 || rl.Metrics["ns/op"] != 9876 ||
+		rl.Metrics["B/op"] != 120 || rl.Metrics["allocs/op"] != 3 {
+		t.Errorf("ResolveLink metrics wrong: %+v", rl)
+	}
+	if m := snap.Benchmarks[1].Metrics["reads/pass"]; m != 41.50 {
+		t.Errorf("custom metric reads/pass = %v, want 41.5", m)
+	}
+	sub := snap.Benchmarks[2]
+	if sub.Name != "BenchmarkMeasureParallel/workers=2" || sub.Procs != 8 {
+		t.Errorf("sub-benchmark parsed as %+v", sub)
+	}
+	// No GOMAXPROCS suffix → procs defaults to 1 and the name is intact.
+	if b := snap.Benchmarks[3]; b.Name != "BenchmarkCRC16" || b.Procs != 1 {
+		t.Errorf("suffixless benchmark parsed as %+v", b)
+	}
+}
+
+func TestParseResultRejectsNonResultLines(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkResolveLink",               // -v name-only line
+		"BenchmarkResolveLink-8   oops 1 ns", // non-numeric iterations
+		"Benchmark short",                    // too few fields
+	} {
+		if _, ok := parseResult(line); ok {
+			t.Errorf("parseResult accepted %q", line)
+		}
+	}
+}

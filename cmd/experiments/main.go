@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-trials N] [-o EXPERIMENTS.md]
+//	experiments [-seed N] [-trials N] [-workers N] [-o EXPERIMENTS.md]
 package main
 
 import (
@@ -21,10 +21,11 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	trials := flag.Int("trials", 0, "override per-experiment trial counts (0 = paper defaults)")
+	workers := flag.Int("workers", 0, "measurement worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	opt := experiments.Options{Seed: *seed, Trials: *trials}
+	opt := experiments.Options{Seed: *seed, Trials: *trials, Workers: *workers}
 	start := time.Now()
 	results, err := experiments.RunAll(opt)
 	if err != nil {

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+// richPortal builds a two-box, three-tag, two-reader portal — enough
+// moving parts (interference, multiple carriers, shared fading blocks) to
+// catch any cross-pass state leaking between workers.
+func richPortal() (*Portal, error) {
+	w := world.New(rf.DefaultCalibration(), 99)
+	a1 := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	a2 := w.AddAntenna("a2", geom.NewPose(geom.V(0, 2, 1), geom.UnitY.Scale(-1), geom.UnitZ))
+	b1 := w.AddBox("box1", geom.CrossingPass(1, 1, 2, 1),
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	b2 := w.AddBox("box2", geom.CrossingPass(1, 1.2, 2, 1),
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Metal, geom.V(0.2, 0.2, 0.2))
+	w.AttachTag(b1, "t1", testCode(11), world.Mount{
+		Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+	})
+	w.AttachTag(b2, "t2", testCode(12), world.Mount{
+		Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.02,
+	})
+	w.AttachTag(b2, "t3", testCode(13), world.Mount{
+		Offset: geom.V(0.15, 0, 0), Normal: geom.UnitX, Axis: geom.UnitZ, Gap: 0.02,
+	})
+	r1, err := reader.New("r1", w, []*world.Antenna{a1})
+	if err != nil {
+		return nil, err
+	}
+	r2, err := reader.New("r2", w, []*world.Antenna{a2})
+	if err != nil {
+		return nil, err
+	}
+	return &Portal{World: w, Readers: []*reader.Reader{r1, r2}}, nil
+}
+
+// TestMeasureParallelMatchesSequential is the engine's determinism
+// contract: for any worker count, MeasureParallel must produce results —
+// including the per-pass TagsReadPerPass series — bit-identical to
+// sequential Measure on one portal.
+func TestMeasureParallelMatchesSequential(t *testing.T) {
+	const trials, firstPass = 24, 3
+	seq, err := richPortal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Measure(trials, firstPass)
+	for _, workers := range []int{1, 2, 8} {
+		got, err := MeasureParallel(richPortal, trials, firstPass, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: parallel result diverges from sequential\nseq: %+v\npar: %+v",
+				workers, want, got)
+		}
+	}
+}
+
+// TestMeasureParallelDefaultWorkers: workers <= 0 selects GOMAXPROCS and
+// must still match.
+func TestMeasureParallelDefaultWorkers(t *testing.T) {
+	seq, err := richPortal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Measure(8, 0)
+	got, err := MeasureParallel(richPortal, 8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("default worker count diverges from sequential")
+	}
+}
+
+// TestSequentialMeasureIsRepeatable: a second Measure on the same portal
+// must repeat the first bit-for-bit (pass purity — no state carried
+// between trials or between whole measurements).
+func TestSequentialMeasureIsRepeatable(t *testing.T) {
+	p, err := richPortal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Measure(10, 0)
+	b := p.Measure(10, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("repeated Measure on one portal diverged: state leaked between trials")
+	}
+}
+
+// TestMeasureParallelBuilderError: a failing builder surfaces its error.
+func TestMeasureParallelBuilderError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MeasureParallel(func() (*Portal, error) { return nil, boom }, 4, 0, 2)
+	if !errors.Is(err, boom) {
+		t.Errorf("builder error not propagated: %v", err)
+	}
+	_, err = MeasureParallel(func() (*Portal, error) { return nil, boom }, 4, 0, 1)
+	if !errors.Is(err, boom) {
+		t.Errorf("builder error not propagated on sequential path: %v", err)
+	}
+}
+
+// marginalPortal puts the tag far enough out that passes succeed only
+// sometimes — per-pass outcomes then expose the random draws directly.
+func marginalPortal() (*Portal, error) {
+	w := world.New(rf.DefaultCalibration(), 17)
+	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	box := w.AddBox("box", geom.CrossingPass(1, 5, 2, 1),
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	w.AttachTag(box, "tag", testCode(21), world.Mount{
+		Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+	})
+	r, err := reader.New("r1", w, []*world.Antenna{ant})
+	if err != nil {
+		return nil, err
+	}
+	return &Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}
+
+// TestMeasureParallelFirstPassOffset: disjoint firstPass windows must
+// yield different draws (the pass index really keys the randomness).
+func TestMeasureParallelFirstPassOffset(t *testing.T) {
+	a, err := MeasureParallel(marginalPortal, 40, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureParallel(marginalPortal, 40, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.TagsReadPerPass, b.TagsReadPerPass) {
+		t.Error("different firstPass windows produced identical per-pass series")
+	}
+	// And the marginal series must itself be deterministic per window.
+	c, err := MeasureParallel(marginalPortal, 40, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Error("marginal portal: workers=2 and workers=8 diverge")
+	}
+}
+
+func BenchmarkMeasureSequential(b *testing.B) {
+	p, err := richPortal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Measure(4, 0)
+	}
+}
+
+func BenchmarkMeasureParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := MeasureParallel(richPortal, 4, 0, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -7,7 +7,10 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rfidtrack/internal/epc"
 	"rfidtrack/internal/reader"
@@ -34,12 +37,33 @@ func (p PassResult) ReadTag(c epc.Code) bool { return p.ReadEPCs[c] }
 
 // RunPass simulates one complete trial: every carrier traverses its path
 // while all readers run inventory rounds concurrently (each reader's CW is
-// interference for the others). Tag protocol state is reset first so
-// trials are independent.
+// interference for the others). Tag protocol and reader round state are
+// re-keyed to the pass first, so a pass is a pure function of
+// (configuration, seed, passID) — trials are independent and replay
+// identically whether they run in sequence or spread across workers.
 func (p *Portal) RunPass(passID int) PassResult {
-	res := PassResult{ReadEPCs: make(map[epc.Code]bool)}
+	var res PassResult
+	p.runPassInto(passID, &res)
+	return res
+}
+
+// runPassInto is RunPass writing into caller-owned storage: the event
+// slice and the read-EPC set are truncated and reused, so a measurement
+// loop allocates per-pass state once instead of once per trial.
+func (p *Portal) runPassInto(passID int, res *PassResult) {
+	if res.ReadEPCs == nil {
+		res.ReadEPCs = make(map[epc.Code]bool)
+	} else {
+		clear(res.ReadEPCs)
+	}
+	res.Events = res.Events[:0]
+	res.Rounds = 0
+	res.Duration = 0
 	for _, tag := range p.World.Tags() {
-		tag.Proto.Reset()
+		tag.Proto.ResetForPass(passID)
+	}
+	for _, r := range p.Readers {
+		r.BeginPass()
 	}
 
 	duration := 0.0
@@ -79,7 +103,6 @@ func (p *Portal) RunPass(passID int) PassResult {
 			break
 		}
 	}
-	return res
 }
 
 // foreignFor lists the CW emitters reader i suffers from: every other
@@ -114,23 +137,45 @@ type Reliability struct {
 	TagsReadPerPass []float64
 }
 
-// Measure runs n independent passes and aggregates reliability. Passes are
-// numbered from firstPass so different conditions of one experiment can
-// use disjoint shadowing draws.
-func (p *Portal) Measure(n, firstPass int) Reliability {
+// passOutcome is the part of a pass the reliability aggregation needs:
+// which tags (by World.Tags() index) were read at least once.
+type passOutcome struct {
+	tagRead []bool
+}
+
+// recordOutcome condenses a pass result into an outcome slot.
+func (p *Portal) recordOutcome(res *PassResult, out *passOutcome) {
+	tags := p.World.Tags()
+	if cap(out.tagRead) < len(tags) {
+		out.tagRead = make([]bool, len(tags))
+	}
+	out.tagRead = out.tagRead[:len(tags)]
+	for i, tag := range tags {
+		out.tagRead[i] = res.ReadTag(tag.Code)
+	}
+}
+
+// aggregate folds per-pass outcomes, in pass order, into the Reliability
+// the paper's tables report. Outcomes are indexed by trial, so the result
+// is identical no matter which worker produced each pass or in what order
+// passes finished.
+func (p *Portal) aggregate(outcomes []passOutcome) Reliability {
 	rel := Reliability{
-		Trials:     n,
+		Trials:     len(outcomes),
 		PerTag:     make(map[string]stats.Proportion),
 		PerCarrier: make(map[string]stats.Proportion),
 	}
 	tags := p.World.Tags()
-	for trial := 0; trial < n; trial++ {
-		res := p.RunPass(firstPass + trial)
+	index := make(map[*world.Tag]int, len(tags))
+	for i, tag := range tags {
+		index[tag] = i
+	}
+	for _, out := range outcomes {
 		distinct := 0
-		for _, tag := range tags {
+		for i, tag := range tags {
 			pr := rel.PerTag[tag.Name]
 			pr.Trials++
-			if res.ReadTag(tag.Code) {
+			if out.tagRead[i] {
 				pr.Successes++
 				distinct++
 			}
@@ -143,7 +188,7 @@ func (p *Portal) Measure(n, firstPass int) Reliability {
 			pr := rel.PerCarrier[c.Name()]
 			pr.Trials++
 			for _, tag := range c.Tags() {
-				if res.ReadTag(tag.Code) {
+				if out.tagRead[index[tag]] {
 					pr.Successes++
 					break
 				}
@@ -153,6 +198,82 @@ func (p *Portal) Measure(n, firstPass int) Reliability {
 		rel.TagsReadPerPass = append(rel.TagsReadPerPass, float64(distinct))
 	}
 	return rel
+}
+
+// Measure runs n independent passes and aggregates reliability. Passes are
+// numbered from firstPass so different conditions of one experiment can
+// use disjoint shadowing draws. Per-pass event buffers are reused across
+// trials.
+func (p *Portal) Measure(n, firstPass int) Reliability {
+	outcomes := make([]passOutcome, n)
+	var res PassResult
+	for trial := 0; trial < n; trial++ {
+		p.runPassInto(firstPass+trial, &res)
+		p.recordOutcome(&res, &outcomes[trial])
+	}
+	return p.aggregate(outcomes)
+}
+
+// Builder constructs one portal replica. The parallel measurement engine
+// calls it once per worker; every invocation must build an identical
+// portal (same configuration, same seed), because each worker simulates a
+// disjoint subset of passes against its own replica. Anything that mutates
+// the scene after construction (repositioned tags, activated tags) belongs
+// inside the builder, not after it.
+type Builder func() (*Portal, error)
+
+// MeasureParallel is Measure fanned across a worker pool. Each worker gets
+// its own portal replica from build (workers share no mutable tag, reader,
+// or world state), pulls pass indices from a shared counter, and writes
+// its outcome into the trial's slot; the slots are then aggregated in pass
+// order. Because every pass is a pure function of (configuration, seed,
+// passID), the result — including TagsReadPerPass — is bit-identical to
+// sequential Measure for any worker count.
+//
+// workers <= 0 selects GOMAXPROCS. One worker (or n <= 1) degenerates to
+// the sequential path on a single replica.
+func MeasureParallel(build Builder, n, firstPass, workers int) (Reliability, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		p, err := build()
+		if err != nil {
+			return Reliability{}, err
+		}
+		return p.Measure(n, firstPass), nil
+	}
+	portals := make([]*Portal, workers)
+	for i := range portals {
+		p, err := build()
+		if err != nil {
+			return Reliability{}, err
+		}
+		portals[i] = p
+	}
+	outcomes := make([]passOutcome, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(p *Portal) {
+			defer wg.Done()
+			var res PassResult
+			for {
+				trial := int(next.Add(1)) - 1
+				if trial >= n {
+					return
+				}
+				p.runPassInto(firstPass+trial, &res)
+				p.recordOutcome(&res, &outcomes[trial])
+			}
+		}(portals[w])
+	}
+	wg.Wait()
+	return portals[0].aggregate(outcomes), nil
 }
 
 // MeanTagReliability averages the per-tag read reliability over tags whose

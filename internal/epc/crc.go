@@ -1,7 +1,9 @@
 package epc
 
-// Gen-2 link CRCs, computed bit-serially because air-interface frames are
-// not byte aligned.
+// Gen-2 link CRCs. Air-interface frames are not byte aligned, so each CRC
+// runs table-driven over the frame's packed full bytes (CRC-16) or nibbles
+// (CRC-5) and finishes the unaligned tail bit-serially — the same register
+// sequence as a pure bit-serial implementation, byte-at-a-time.
 //
 // CRC-16: ISO/IEC 13239 (CCITT polynomial x^16+x^12+x^5+1), preset 0xFFFF,
 // and the value appended to a frame is the ones-complement of the register.
@@ -20,6 +22,23 @@ const CRC16Residue uint16 = 0x1D0F
 
 const crc16Poly uint16 = 0x1021
 
+// crc16Table[b] is the register change from clocking byte b through the
+// CCITT polynomial.
+var crc16Table = func() (t [256]uint16) {
+	for i := range t {
+		reg := uint16(i) << 8
+		for bit := 0; bit < 8; bit++ {
+			if reg&0x8000 != 0 {
+				reg = reg<<1 ^ crc16Poly
+			} else {
+				reg <<= 1
+			}
+		}
+		t[i] = reg
+	}
+	return
+}()
+
 // CRC16 returns the CRC-16 to append to the given frame bits (already
 // ones-complemented, ready to transmit).
 func CRC16(frame *Bits) uint16 {
@@ -37,11 +56,14 @@ func CRC16Check(frameWithCRC *Bits) bool {
 
 func crc16Register(frame *Bits, preset uint16) uint16 {
 	reg := preset
-	for i := 0; i < frame.Len(); i++ {
+	full := frame.n / 8
+	for _, b := range frame.data[:full] {
+		reg = reg<<8 ^ crc16Table[byte(reg>>8)^b]
+	}
+	for i := full * 8; i < frame.n; i++ {
 		msb := reg&0x8000 != 0
-		in := frame.Bit(i)
 		reg <<= 1
-		if msb != in {
+		if msb != frame.Bit(i) {
 			reg ^= crc16Poly
 		}
 	}
@@ -53,30 +75,62 @@ const CRC5Preset uint8 = 0b01001
 
 const crc5Poly uint8 = 0b01001 // x^5+x^3+1 with the x^5 term implicit
 
-// CRC5 returns the 5-bit CRC to append to the given frame bits.
-func CRC5(frame *Bits) uint8 {
+// crc5Table[reg][nib] is the 5-bit register after clocking nibble nib (MSB
+// first) through a register holding reg.
+var crc5Table = func() (t [32][16]uint8) {
+	for reg := 0; reg < 32; reg++ {
+		for nib := 0; nib < 16; nib++ {
+			r := uint8(reg)
+			for bit := 3; bit >= 0; bit-- {
+				msb := r&0b10000 != 0
+				in := nib>>uint(bit)&1 == 1
+				r = (r << 1) & 0b11111
+				if msb != in {
+					r ^= crc5Poly
+				}
+			}
+			t[reg][nib] = r
+		}
+	}
+	return
+}()
+
+// crc5Register runs the CRC-5 register over the first nbits of frame.
+func crc5Register(frame *Bits, nbits int) uint8 {
 	reg := CRC5Preset
-	for i := 0; i < frame.Len(); i++ {
+	full := nbits / 4
+	for i := 0; i < full; i++ {
+		b := frame.data[i/2]
+		var nib uint8
+		if i%2 == 0 {
+			nib = b >> 4
+		} else {
+			nib = b & 0x0F
+		}
+		reg = crc5Table[reg][nib]
+	}
+	for i := full * 4; i < nbits; i++ {
 		msb := reg&0b10000 != 0
-		in := frame.Bit(i)
 		reg = (reg << 1) & 0b11111
-		if msb != in {
+		if msb != frame.Bit(i) {
 			reg ^= crc5Poly
 		}
 	}
 	return reg
 }
 
+// CRC5 returns the 5-bit CRC to append to the given frame bits.
+func CRC5(frame *Bits) uint8 {
+	return crc5Register(frame, frame.Len())
+}
+
 // CRC5Check reports whether a received frame whose final 5 bits are a CRC-5
-// is intact.
+// is intact. The body is the frame's prefix, so the register runs over it
+// in place — no copy.
 func CRC5Check(frameWithCRC *Bits) bool {
 	n := frameWithCRC.Len()
 	if n < 5 {
 		return false
 	}
-	body := &Bits{}
-	for i := 0; i < n-5; i++ {
-		body.AppendBit(frameWithCRC.Bit(i))
-	}
-	return uint8(frameWithCRC.Uint(n-5, 5)) == CRC5(body)
+	return uint8(frameWithCRC.Uint(n-5, 5)) == crc5Register(frameWithCRC, n-5)
 }

@@ -1,0 +1,135 @@
+package epc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// Bit-serial reference implementations: the registers the table-driven
+// CRCs must clock identically.
+
+func refCRC16Register(frame *Bits, preset uint16) uint16 {
+	reg := preset
+	for i := 0; i < frame.Len(); i++ {
+		msb := reg&0x8000 != 0
+		in := frame.Bit(i)
+		reg <<= 1
+		if msb != in {
+			reg ^= crc16Poly
+		}
+	}
+	return reg
+}
+
+func refCRC5(frame *Bits) uint8 {
+	reg := CRC5Preset
+	for i := 0; i < frame.Len(); i++ {
+		msb := reg&0b10000 != 0
+		in := frame.Bit(i)
+		reg = (reg << 1) & 0b11111
+		if msb != in {
+			reg ^= crc5Poly
+		}
+	}
+	return reg
+}
+
+func randomFrame(r *rand.Rand, nbits int) *Bits {
+	b := &Bits{}
+	for i := 0; i < nbits; i++ {
+		b.AppendBit(r.Uint64()&1 == 1)
+	}
+	return b
+}
+
+// TestCRC16TableMatchesBitSerial sweeps every frame length across the
+// byte-alignment residues (0..7 tail bits) with many random payloads.
+func TestCRC16TableMatchesBitSerial(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for nbits := 0; nbits <= 130; nbits++ {
+		for trial := 0; trial < 8; trial++ {
+			frame := randomFrame(r, nbits)
+			if got, want := crc16Register(frame, CRC16Preset), refCRC16Register(frame, CRC16Preset); got != want {
+				t.Fatalf("len %d: table register %#04x != bit-serial %#04x (frame %s)",
+					nbits, got, want, frame)
+			}
+		}
+	}
+	// And longer random frames (whole Gen-2 EPC replies and beyond).
+	for trial := 0; trial < 200; trial++ {
+		frame := randomFrame(r, 8+r.IntN(512))
+		if got, want := CRC16(frame), ^refCRC16Register(frame, CRC16Preset); got != want {
+			t.Fatalf("len %d: CRC16 %#04x != reference %#04x", frame.Len(), got, want)
+		}
+	}
+}
+
+// TestCRC5TableMatchesBitSerial sweeps nibble-alignment residues (0..3
+// tail bits) the same way.
+func TestCRC5TableMatchesBitSerial(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for nbits := 0; nbits <= 68; nbits++ {
+		for trial := 0; trial < 8; trial++ {
+			frame := randomFrame(r, nbits)
+			if got, want := CRC5(frame), refCRC5(frame); got != want {
+				t.Fatalf("len %d: table CRC5 %#02x != bit-serial %#02x (frame %s)",
+					nbits, got, want, frame)
+			}
+		}
+	}
+}
+
+// TestCRC5CheckMatchesReference: the in-place prefix register must agree
+// with the historical rebuild-the-body check for intact and corrupted
+// frames alike.
+func TestCRC5CheckMatchesReference(t *testing.T) {
+	refCheck := func(frameWithCRC *Bits) bool {
+		n := frameWithCRC.Len()
+		if n < 5 {
+			return false
+		}
+		body := &Bits{}
+		for i := 0; i < n-5; i++ {
+			body.AppendBit(frameWithCRC.Bit(i))
+		}
+		return uint8(frameWithCRC.Uint(n-5, 5)) == refCRC5(body)
+	}
+	r := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 400; trial++ {
+		body := randomFrame(r, r.IntN(64))
+		frame := body.Clone()
+		frame.Append(uint64(CRC5(body)), 5)
+		if r.Uint64()&1 == 1 && frame.Len() > 0 {
+			// Flip a random bit half the time.
+			flipped := &Bits{}
+			k := r.IntN(frame.Len())
+			for i := 0; i < frame.Len(); i++ {
+				bit := frame.Bit(i)
+				if i == k {
+					bit = !bit
+				}
+				flipped.AppendBit(bit)
+			}
+			frame = flipped
+		}
+		if got, want := CRC5Check(frame), refCheck(frame); got != want {
+			t.Fatalf("len %d: CRC5Check = %v, reference = %v", frame.Len(), got, want)
+		}
+	}
+}
+
+func BenchmarkCRC16Table(b *testing.B) {
+	frame := randomFrame(rand.New(rand.NewPCG(7, 8)), 112)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CRC16(frame)
+	}
+}
+
+func BenchmarkCRC5Table(b *testing.B) {
+	frame := randomFrame(rand.New(rand.NewPCG(9, 10)), 22)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CRC5(frame)
+	}
+}

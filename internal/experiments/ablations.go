@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rfidtrack/internal/core"
 	"rfidtrack/internal/gen2"
 	"rfidtrack/internal/reader"
 	"rfidtrack/internal/redundancy"
@@ -81,14 +82,16 @@ func ablateShadowSplit(opt Options) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
-			TagLocations: []scenario.BoxLocation{scenario.LocSideIn},
-			Antennas:     2, Calibration: &cal, Seed: opt.Seed + 902 + uint64(i)*10,
-		})
+		rel, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.ObjectTracking(scenario.ObjectConfig{
+				TagLocations: []scenario.BoxLocation{scenario.LocSideIn},
+				Antennas:     2, Calibration: &cal, Seed: opt.Seed + 902 + uint64(i)*10,
+			})
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		rm := portal.Measure(trials, 0).MeanCarrierReliability(nil)
+		rm := rel.MeanCarrierReliability(nil)
 		rc := redundancy.Combined(pin, pout)
 		table.AddRow(v.label, report.Percent(rm), report.Percent(rc),
 			fmt.Sprintf("%+.0f pts", 100*(rc-rm)))
@@ -97,14 +100,16 @@ func ablateShadowSplit(opt Options) (*report.Table, error) {
 }
 
 func objectLocationReliability(opt Options, cal *rf.Calibration, loc scenario.BoxLocation, trials int, seedOff uint64) (float64, error) {
-	portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
-		TagLocations: []scenario.BoxLocation{loc},
-		Antennas:     1, Calibration: cal, Seed: opt.Seed + seedOff,
-	})
+	rel, err := opt.measure(func() (*core.Portal, error) {
+		return scenario.ObjectTracking(scenario.ObjectConfig{
+			TagLocations: []scenario.BoxLocation{loc},
+			Antennas:     1, Calibration: cal, Seed: opt.Seed + seedOff,
+		})
+	}, trials, 0)
 	if err != nil {
 		return 0, err
 	}
-	return portal.Measure(trials, 0).MeanTagReliability(nil), nil
+	return rel.MeanTagReliability(nil), nil
 }
 
 // ablateCoherence shows what i.i.d. per-round fading does to a marginal
@@ -145,16 +150,17 @@ func ablateReadBudget(opt Options) (*report.Table, error) {
 		Columns: []string{"belt speed", "pass window", "tracking reliability"},
 	}
 	for i, speed := range []float64{0.5, 1, 2, 4} {
-		portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
-			TagLocations: scenario.BoxLocations(),
-			Antennas:     1,
-			Speed:        speed,
-			Seed:         opt.Seed + 940 + uint64(i),
-		})
+		rel, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.ObjectTracking(scenario.ObjectConfig{
+				TagLocations: scenario.BoxLocations(),
+				Antennas:     1,
+				Speed:        speed,
+				Seed:         opt.Seed + 940 + uint64(i),
+			})
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		rel := portal.Measure(trials, 0)
 		table.AddRow(
 			fmt.Sprintf("%.1f m/s", speed),
 			fmt.Sprintf("%.1f s", 5.0/speed),
@@ -190,21 +196,28 @@ func ablateQAlgorithm(opt Options) (*report.Table, error) {
 		}},
 	}
 	run := func(label string, opts ...reader.Option) error {
-		portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
-			TagLocations: scenario.BoxLocations(),
-			Antennas:     1,
-			Seed:         opt.Seed + 960 + uint64(len(table.Rows)),
-		})
+		seed := opt.Seed + 960 + uint64(len(table.Rows))
+		rel, err := opt.measure(func() (*core.Portal, error) {
+			portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
+				TagLocations: scenario.BoxLocations(),
+				Antennas:     1,
+				Seed:         seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Swap in a reader running the strategy under test. The swap
+			// happens inside the builder so every worker replica runs it.
+			r, err := reader.New("r1", portal.World, portal.World.Antennas(), opts...)
+			if err != nil {
+				return nil, err
+			}
+			portal.Readers = []*reader.Reader{r}
+			return portal, nil
+		}, trials, 0)
 		if err != nil {
 			return err
 		}
-		// Swap in a reader running the strategy under test.
-		r, err := reader.New("r1", portal.World, portal.World.Antennas(), opts...)
-		if err != nil {
-			return err
-		}
-		portal.Readers = []*reader.Reader{r}
-		rel := portal.Measure(trials, 0)
 		table.AddRow(label, report.Percent(rel.MeanCarrierReliability(nil)))
 		return nil
 	}

@@ -6,8 +6,10 @@ package experiments
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 
+	"rfidtrack/internal/core"
 	"rfidtrack/internal/report"
 )
 
@@ -20,6 +22,11 @@ type Options struct {
 	// positive. More trials tighten the estimates beyond what the paper's
 	// small samples could.
 	Trials int
+	// Workers is the measurement worker-pool size: trials of one condition
+	// fan out across this many portal replicas. Zero (the default) selects
+	// GOMAXPROCS. Results are bit-identical for every worker count; see
+	// core.MeasureParallel.
+	Workers int
 }
 
 func (o Options) trials(paperDefault int) int {
@@ -27,6 +34,12 @@ func (o Options) trials(paperDefault int) int {
 		return o.Trials
 	}
 	return paperDefault
+}
+
+// measure runs trials passes of the portal the builder constructs through
+// the parallel measurement engine, honoring o.Workers.
+func (o Options) measure(build core.Builder, trials, firstPass int) (core.Reliability, error) {
+	return core.MeasureParallel(build, trials, firstPass, o.Workers)
 }
 
 // Result is a completed experiment.
@@ -52,41 +65,50 @@ func (r *Result) String() string {
 // Runner executes one experiment.
 type Runner func(Options) (*Result, error)
 
-// Registry returns the experiment registry keyed by id. A fresh map is
-// returned each call (no shared mutable state).
-func Registry() map[string]Runner {
-	return map[string]Runner{
-		"fig2":       Fig2ReadRange,
-		"fig4":       Fig4InterTag,
-		"table1":     Table1ObjectLocations,
-		"table2":     Table2HumanLocations,
-		"table3":     Table3ObjectRedundancy,
-		"fig5":       Fig5ObjectRedundancy,
-		"table4":     Table4HumanRedundancy1Ant,
-		"table5":     Table5HumanRedundancy2Ant,
-		"fig6":       Fig6OneSubject,
-		"fig7":       Fig7TwoSubjects,
-		"readers":    ReaderRedundancy,
-		"ablations":  Ablations,
-		"extensions": Extensions,
-		"throughput": Throughput,
-	}
+// registry is the package-level immutable experiment table, built once at
+// init. Lookups read it directly; Registry hands callers a copy so nothing
+// outside the package can mutate the shared map.
+var registry = map[string]Runner{
+	"fig2":       Fig2ReadRange,
+	"fig4":       Fig4InterTag,
+	"table1":     Table1ObjectLocations,
+	"table2":     Table2HumanLocations,
+	"table3":     Table3ObjectRedundancy,
+	"fig5":       Fig5ObjectRedundancy,
+	"table4":     Table4HumanRedundancy1Ant,
+	"table5":     Table5HumanRedundancy2Ant,
+	"fig6":       Fig6OneSubject,
+	"fig7":       Fig7TwoSubjects,
+	"readers":    ReaderRedundancy,
+	"ablations":  Ablations,
+	"extensions": Extensions,
+	"throughput": Throughput,
 }
 
-// IDs returns the registered experiment ids in a stable order.
-func IDs() []string {
-	reg := Registry()
-	ids := make([]string, 0, len(reg))
-	for id := range reg {
+// registryIDs is the sorted id list, computed once.
+var registryIDs = func() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	return ids
+}()
+
+// Registry returns a copy of the experiment registry keyed by id. Mutating
+// the returned map does not affect the package's own table.
+func Registry() map[string]Runner {
+	return maps.Clone(registry)
+}
+
+// IDs returns the registered experiment ids in a stable order.
+func IDs() []string {
+	return append([]string(nil), registryIDs...)
 }
 
 // Run executes one experiment by id.
 func Run(id string, opt Options) (*Result, error) {
-	r, ok := Registry()[id]
+	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}

@@ -91,20 +91,24 @@ func extActiveTags(opt Options) (*report.Table, error) {
 // humanCaseReliability builds a human-tracking portal and, when active is
 // set, swaps every badge for an active tag at the same mount.
 func humanCaseReliability(opt Options, subjects int, loc scenario.HumanLocation, who string, active bool, trials int, seedOff uint64) (float64, error) {
-	portal, err := scenario.HumanTracking(scenario.HumanConfig{
-		Subjects: subjects, TagLocations: []scenario.HumanLocation{loc},
-		Antennas: 1, Seed: opt.Seed + seedOff,
-	})
+	// The active-tag rebuild happens inside the builder so every worker
+	// replica carries the same swapped tags.
+	rel, err := opt.measure(func() (*core.Portal, error) {
+		portal, err := scenario.HumanTracking(scenario.HumanConfig{
+			Subjects: subjects, TagLocations: []scenario.HumanLocation{loc},
+			Antennas: 1, Seed: opt.Seed + seedOff,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if active {
+			return rebuildWithActiveTags(portal, opt.Seed+seedOff)
+		}
+		return portal, nil
+	}, trials, 0)
 	if err != nil {
 		return 0, err
 	}
-	if active {
-		portal, err = rebuildWithActiveTags(portal, opt.Seed+seedOff)
-		if err != nil {
-			return 0, err
-		}
-	}
-	rel := portal.Measure(trials, 0)
 	return rel.MeanTagReliability(func(n string) bool {
 		return who == "" || strings.HasPrefix(n, who)
 	}), nil
@@ -146,21 +150,31 @@ func extDualDipole(opt Options) (*report.Table, error) {
 		Columns: []string{"orientation", "single dipole", "dual dipole"},
 	}
 	for _, o := range []scenario.Orientation{scenario.Orient1, scenario.Orient5} {
-		single, err := scenario.InterTag(0.020, o, opt.Seed+1100+uint64(o))
+		sRel, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.InterTag(0.020, o, opt.Seed+1100+uint64(o))
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		sMean := single.Measure(trials, 0).ReadSummary().Mean
+		sMean := sRel.ReadSummary().Mean
 
-		dual, err := scenario.InterTag(0.020, o, opt.Seed+1100+uint64(o))
+		// The dual-dipole mutation happens inside the builder so every
+		// worker replica gets the second dipole.
+		dRel, err := opt.measure(func() (*core.Portal, error) {
+			dual, err := scenario.InterTag(0.020, o, opt.Seed+1100+uint64(o))
+			if err != nil {
+				return nil, err
+			}
+			// Give every tag a second, orthogonal dipole in its face plane.
+			for _, tag := range dual.World.Tags() {
+				tag.Mount.Axis2 = tag.Mount.Normal.Cross(tag.Mount.Axis).Unit()
+			}
+			return dual, nil
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		// Give every tag a second, orthogonal dipole in its face plane.
-		for _, tag := range dual.World.Tags() {
-			tag.Mount.Axis2 = tag.Mount.Normal.Cross(tag.Mount.Axis).Unit()
-		}
-		dMean := dual.Measure(trials, 0).ReadSummary().Mean
+		dMean := dRel.ReadSummary().Mean
 		table.AddRow(fmt.Sprintf("case %d", o), report.Num(sMean), report.Num(dMean))
 	}
 	return table, nil

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"rfidtrack/internal/core"
 	"rfidtrack/internal/report"
 	"rfidtrack/internal/scenario"
 )
@@ -19,11 +20,12 @@ func Fig2ReadRange(opt Options) (*Result, error) {
 	}
 	series := make([]float64, 0, 9)
 	for d := 1; d <= 9; d++ {
-		portal, err := scenario.ReadRange(float64(d), opt.Seed+uint64(d)*1000)
+		rel, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.ReadRange(float64(d), opt.Seed+uint64(d)*1000)
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		rel := portal.Measure(trials, 0)
 		s := rel.ReadSummary()
 		table.AddRow(
 			fmt.Sprintf("%d m", d),

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"rfidtrack/internal/core"
 	"rfidtrack/internal/report"
 	"rfidtrack/internal/scenario"
 )
@@ -30,11 +31,12 @@ func Fig4InterTag(opt Options) (*Result, error) {
 		row := []string{fmt.Sprintf("case %d", o)}
 		qrow := []string{fmt.Sprintf("case %d", o)}
 		for si, spacing := range fig4Spacings {
-			portal, err := scenario.InterTag(spacing, o, opt.Seed+uint64(o)*100+uint64(si))
+			rel, err := opt.measure(func() (*core.Portal, error) {
+				return scenario.InterTag(spacing, o, opt.Seed+uint64(o)*100+uint64(si))
+			}, trials, 0)
 			if err != nil {
 				return nil, err
 			}
-			rel := portal.Measure(trials, 0)
 			s := rel.ReadSummary()
 			row = append(row, report.Num(s.Mean))
 			qrow = append(qrow, fmt.Sprintf("%s/%s", report.Num(s.Q1), report.Num(s.Q3)))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"rfidtrack/internal/core"
 	"rfidtrack/internal/redundancy"
 	"rfidtrack/internal/report"
 	"rfidtrack/internal/scenario"
@@ -31,23 +32,26 @@ func measureHumanSingles(opt Options, trials int) (humanSingles, error) {
 		farther: map[scenario.HumanLocation]float64{},
 	}
 	for i, loc := range humanLocs {
-		p1, err := scenario.HumanTracking(scenario.HumanConfig{
-			Subjects: 1, TagLocations: []scenario.HumanLocation{loc},
-			Antennas: 1, Seed: opt.Seed + 400 + uint64(i),
-		})
+		rel1, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.HumanTracking(scenario.HumanConfig{
+				Subjects: 1, TagLocations: []scenario.HumanLocation{loc},
+				Antennas: 1, Seed: opt.Seed + 400 + uint64(i),
+			})
+		}, trials, 0)
 		if err != nil {
 			return s, err
 		}
-		s.one[loc] = p1.Measure(trials, 0).MeanTagReliability(nil)
+		s.one[loc] = rel1.MeanTagReliability(nil)
 
-		p2, err := scenario.HumanTracking(scenario.HumanConfig{
-			Subjects: 2, TagLocations: []scenario.HumanLocation{loc},
-			Antennas: 1, Seed: opt.Seed + 420 + uint64(i),
-		})
+		rel, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.HumanTracking(scenario.HumanConfig{
+				Subjects: 2, TagLocations: []scenario.HumanLocation{loc},
+				Antennas: 1, Seed: opt.Seed + 420 + uint64(i),
+			})
+		}, trials, 0)
 		if err != nil {
 			return s, err
 		}
-		rel := p2.Measure(trials, 0)
 		s.closer[loc] = rel.MeanTagReliability(func(n string) bool { return strings.HasPrefix(n, "closer/") })
 		s.farther[loc] = rel.MeanTagReliability(func(n string) bool { return strings.HasPrefix(n, "farther/") })
 	}
@@ -198,22 +202,26 @@ func Table4HumanRedundancy1Ant(opt Options) (*Result, error) {
 	}
 	var shapeOK = true
 	for i, cfg := range humanRedundancyConfigs(false) {
-		p1, err := scenario.HumanTracking(scenario.HumanConfig{
-			Subjects: 1, TagLocations: cfg.tags, Antennas: 1, Seed: opt.Seed + 500 + uint64(i),
-		})
+		rel1, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.HumanTracking(scenario.HumanConfig{
+				Subjects: 1, TagLocations: cfg.tags, Antennas: 1, Seed: opt.Seed + 500 + uint64(i),
+			})
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		rm1 := p1.Measure(trials, 0).MeanCarrierReliability(nil)
+		rm1 := rel1.MeanCarrierReliability(nil)
 		rc1 := rcOneAntenna(s.one, cfg.tags)
 
-		p2, err := scenario.HumanTracking(scenario.HumanConfig{
-			Subjects: 2, TagLocations: cfg.tags, Antennas: 1, Seed: opt.Seed + 520 + uint64(i),
-		})
+		rel2, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.HumanTracking(scenario.HumanConfig{
+				Subjects: 2, TagLocations: cfg.tags, Antennas: 1, Seed: opt.Seed + 520 + uint64(i),
+			})
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		rm2 := p2.Measure(trials, 0).MeanCarrierReliability(nil)
+		rm2 := rel2.MeanCarrierReliability(nil)
 		rc2 := (rcOneAntenna(s.closer, cfg.tags) + rcOneAntenna(s.farther, cfg.tags)) / 2
 
 		pp := paper[cfg.label]
@@ -262,24 +270,28 @@ func Table5HumanRedundancy2Ant(opt Options) (*Result, error) {
 			"2 subj R_M", "R_C", "paper R_M/R_C"},
 	}
 	for i, cfg := range humanRedundancyConfigs(true) {
-		p1, err := scenario.HumanTracking(scenario.HumanConfig{
-			Subjects: 1, TagLocations: cfg.tags, Antennas: 2, Seed: opt.Seed + 600 + uint64(i),
-		})
+		rel1, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.HumanTracking(scenario.HumanConfig{
+				Subjects: 1, TagLocations: cfg.tags, Antennas: 2, Seed: opt.Seed + 600 + uint64(i),
+			})
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		rm1 := p1.Measure(trials, 0).MeanCarrierReliability(nil)
+		rm1 := rel1.MeanCarrierReliability(nil)
 		// A lone subject sits between the facing antennas: both see it with
 		// single-subject reliabilities, sides swapped for the far antenna.
 		rc1 := rcTwoAntennas(s.one, s.one, cfg.tags)
 
-		p2, err := scenario.HumanTracking(scenario.HumanConfig{
-			Subjects: 2, TagLocations: cfg.tags, Antennas: 2, Seed: opt.Seed + 620 + uint64(i),
-		})
+		rel2, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.HumanTracking(scenario.HumanConfig{
+				Subjects: 2, TagLocations: cfg.tags, Antennas: 2, Seed: opt.Seed + 620 + uint64(i),
+			})
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		rm2 := p2.Measure(trials, 0).MeanCarrierReliability(nil)
+		rm2 := rel2.MeanCarrierReliability(nil)
 		// With two subjects, whoever is closer to one antenna is farther
 		// from the other: each subject combines closer- and farther-role
 		// opportunities (this is what makes the paper's two-subject
@@ -329,14 +341,16 @@ func figBars(opt Options, subjects, trials int, seedBase uint64) (*report.Table,
 	}
 	var measured []float64
 	for i, b := range bars {
-		portal, err := scenario.HumanTracking(scenario.HumanConfig{
-			Subjects: subjects, TagLocations: b.tags, Antennas: b.antennas,
-			Seed: seedBase + uint64(i),
-		})
+		rel, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.HumanTracking(scenario.HumanConfig{
+				Subjects: subjects, TagLocations: b.tags, Antennas: b.antennas,
+				Seed: seedBase + uint64(i),
+			})
+		}, trials, 0)
 		if err != nil {
 			return nil, nil, err
 		}
-		rm := portal.Measure(trials, 0).MeanCarrierReliability(nil)
+		rm := rel.MeanCarrierReliability(nil)
 		var rc float64
 		switch {
 		case subjects == 1 && b.antennas == 1:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"rfidtrack/internal/core"
 	"rfidtrack/internal/redundancy"
 	"rfidtrack/internal/report"
 	"rfidtrack/internal/scenario"
@@ -23,15 +24,17 @@ var paperTable1 = map[scenario.BoxLocation]float64{
 func measureObjectSingles(opt Options, trials int) (map[scenario.BoxLocation]float64, error) {
 	out := make(map[scenario.BoxLocation]float64, 4)
 	for i, loc := range scenario.BoxLocations() {
-		portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
-			TagLocations: []scenario.BoxLocation{loc},
-			Antennas:     1,
-			Seed:         opt.Seed + 10 + uint64(i),
-		})
+		rel, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.ObjectTracking(scenario.ObjectConfig{
+				TagLocations: []scenario.BoxLocation{loc},
+				Antennas:     1,
+				Seed:         opt.Seed + 10 + uint64(i),
+			})
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		out[loc] = portal.Measure(trials, 0).MeanTagReliability(nil)
+		out[loc] = rel.MeanTagReliability(nil)
 	}
 	return out, nil
 }
@@ -140,15 +143,17 @@ func Table3ObjectRedundancy(opt Options) (*Result, error) {
 	}
 	measured := make(map[string]float64, len(rows))
 	for i, row := range rows {
-		portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
-			TagLocations: row.tags,
-			Antennas:     row.antennas,
-			Seed:         opt.Seed + 100 + uint64(i),
-		})
+		rel, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.ObjectTracking(scenario.ObjectConfig{
+				TagLocations: row.tags,
+				Antennas:     row.antennas,
+				Seed:         opt.Seed + 100 + uint64(i),
+			})
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		rm := portal.Measure(trials, 0).MeanCarrierReliability(nil)
+		rm := rel.MeanCarrierReliability(nil)
 		rc := row.calc(singles)
 		measured[row.label] = rm
 		table.AddRow(row.label,
@@ -220,13 +225,15 @@ func Fig5ObjectRedundancy(opt Options) (*Result, error) {
 			// Average over single-tag locations, like the paper's baseline.
 			rm = base
 		} else {
-			portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
-				TagLocations: b.tags, Antennas: b.antennas, Seed: opt.Seed + 200 + uint64(i),
-			})
+			rel, err := opt.measure(func() (*core.Portal, error) {
+				return scenario.ObjectTracking(scenario.ObjectConfig{
+					TagLocations: b.tags, Antennas: b.antennas, Seed: opt.Seed + 200 + uint64(i),
+				})
+			}, trials, 0)
 			if err != nil {
 				return nil, err
 			}
-			rm = portal.Measure(trials, 0).MeanCarrierReliability(nil)
+			rm = rel.MeanCarrierReliability(nil)
 		}
 		ms = append(ms, rm)
 		table.AddRow(b.label, report.Percent(rm), report.Percent(b.rc), report.Percent(paperMeasured[i]))
@@ -270,11 +277,14 @@ func ReaderRedundancy(opt Options) (*Result, error) {
 	for i, c := range cfgs {
 		c.oc.TagLocations = []scenario.BoxLocation{scenario.LocFront}
 		c.oc.Seed = opt.Seed + 300 + uint64(i)
-		portal, err := scenario.ObjectTracking(c.oc)
+		oc := c.oc
+		rel, err := opt.measure(func() (*core.Portal, error) {
+			return scenario.ObjectTracking(oc)
+		}, trials, 0)
 		if err != nil {
 			return nil, err
 		}
-		vals[i] = portal.Measure(trials, 0).MeanCarrierReliability(nil)
+		vals[i] = rel.MeanCarrierReliability(nil)
 		table.AddRow(c.label, report.Percent(vals[i]))
 	}
 	res := &Result{

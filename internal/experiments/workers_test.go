@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestWorkersDeterminism is the harness-level spelling of the measurement
+// engine's contract: a whole experiment — every table cell derived from
+// per-tag, per-carrier, and per-pass aggregates — renders identically for
+// any worker-pool size.
+func TestWorkersDeterminism(t *testing.T) {
+	for _, id := range []string{"table1", "table3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			base := Options{Seed: 424242, Trials: 8, Workers: 1}
+			want, err := Run(id, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				opt := base
+				opt.Workers = workers
+				got, err := Run(id, opt)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got.String() != want.String() {
+					t.Errorf("workers=%d output differs from workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+						workers, want.String(), workers, got.String())
+				}
+			}
+		})
+	}
+}

@@ -86,6 +86,11 @@ type Reader struct {
 	frameAdaptive bool
 	lastEstimate  float64
 
+	// parts and links are per-round scratch reused across RunRound calls;
+	// rounds on one reader run from a single goroutine.
+	parts []gen2.Participant
+	links []units.DBm
+
 	mu     sync.Mutex
 	round  int
 	buffer []Event
@@ -115,6 +120,20 @@ func New(name string, w *world.World, antennas []*world.Antenna, opts ...Option)
 
 // Name returns the reader's name.
 func (r *Reader) Name() string { return r.name }
+
+// BeginPass rewinds the per-pass protocol state — the round counter (which
+// keys fading blocks when coherence is round-based) and the frame-adaptive
+// population estimate — so every measurement pass starts from the same
+// reader state regardless of how many passes ran before it. The buffered
+// events are left alone; harnesses drain them per pass.
+func (r *Reader) BeginPass() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.round = 0
+	if r.frameAdaptive {
+		r.lastEstimate = float64(int(1) << r.cfg.InitialQ)
+	}
+}
 
 // DenseMode reports whether dense-reader mode is enabled.
 func (r *Reader) DenseMode() bool { return r.dense }
@@ -147,8 +166,12 @@ func (r *Reader) RunRound(passID int, t float64, foreign []world.ForeignEmitter)
 
 	cal := r.world.Cal
 	tags := r.world.Tags()
-	parts := make([]gen2.Participant, len(tags))
-	links := make([]units.DBm, len(tags))
+	if cap(r.parts) < len(tags) {
+		r.parts = make([]gen2.Participant, len(tags))
+		r.links = make([]units.DBm, len(tags))
+	}
+	parts := r.parts[:len(tags)]
+	links := r.links[:len(tags)]
 	ctx := world.LinkContext{Time: t, Pass: passID, Round: round, Foreign: foreign}
 	for i, tag := range tags {
 		l := r.world.ResolveLink(tag, ant, ctx)

@@ -106,6 +106,7 @@ type Tag struct {
 	code    epc.Code
 	pc      uint16 // protocol-control word backscattered with the EPC
 	rng     *xrand.Rand
+	base    *xrand.Rand
 	persist Persistence
 
 	state   State
@@ -134,6 +135,7 @@ func New(code epc.Code, rng *xrand.Rand) *Tag {
 		// PC word: EPC length in words (6 for 96 bits) in the top 5 bits.
 		pc:      uint16(6) << 11,
 		rng:     rng,
+		base:    rng,
 		persist: DefaultPersistence(),
 		mem:     defaultMemory(),
 	}
@@ -154,6 +156,20 @@ func (t *Tag) Reset() {
 	t.selected = false
 	t.slot = 0
 	t.rn16 = 0
+}
+
+// ResetForPass is Reset plus a re-keying of the tag's random stream to a
+// sub-stream derived from (base stream, pass). It makes each measurement
+// pass a pure function of (configuration, seed, pass index) — slot draws no
+// longer depend on how many draws earlier passes consumed — which is what
+// lets the measurement engine run passes on any worker in any order and
+// still merge to bit-identical results (see core.MeasureParallel).
+func (t *Tag) ResetForPass(pass int) {
+	t.Reset()
+	if t.killed {
+		return
+	}
+	t.rng = t.base.Key().Str("pass/").Int(pass).Stream()
 }
 
 // Select matches mask against the tag's EPC memory starting at bit

@@ -1,0 +1,117 @@
+package world
+
+import (
+	"fmt"
+	"testing"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/rf"
+)
+
+// TestFieldKeysMatchSprintfLabels pins the determinism contract of the
+// allocation-free field keys: for every random-field label shape the link
+// resolver builds, the Key chain must hash the identical byte sequence as
+// the historical fmt.Sprintf label — identical bytes → identical streams →
+// identical golden tables.
+func TestFieldKeysMatchSprintfLabels(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 987654321)
+	type tc struct {
+		name  string
+		label string
+		seed  uint64
+	}
+	tagName, antName := "box210/side-closer", "a2"
+	for _, pass := range []int{0, 1, 12, 4095} {
+		for _, block := range []int{0, 7, 131} {
+			cases := []tc{
+				{"shadow.tag", fmt.Sprintf("shadow.tag/p%d/%s", pass, tagName),
+					w.keys.shadowTag.Int(pass).Str("/").Str(tagName).Seed()},
+				{"shadow.path", fmt.Sprintf("shadow.path/p%d/%s/%s", pass, tagName, antName),
+					w.keys.shadowPath.Int(pass).Str("/").Str(tagName).Str("/").Str(antName).Seed()},
+				{"shadow.scat", fmt.Sprintf("shadow.scat/p%d/%s", pass, tagName),
+					w.keys.shadowScat.Int(pass).Str("/").Str(tagName).Seed()},
+				{"fade.dir", fmt.Sprintf("fade.dir/p%d/b%d/%s/%s", pass, block, tagName, antName),
+					w.keys.fadeDir.Int(pass).Str("/b").Int(block).Str("/").Str(tagName).Str("/").Str(antName).Seed()},
+				{"fade.int", fmt.Sprintf("fade.int/p%d/b%d/%s/%s", pass, block, tagName, antName),
+					w.keys.fadeInt.Int(pass).Str("/b").Int(block).Str("/").Str(tagName).Str("/").Str(antName).Seed()},
+				{"fade.dir.scat", fmt.Sprintf("fade.dir.scat/p%d/b%d/%s/%s", pass, block, tagName, antName),
+					w.keys.fadeDirS.Int(pass).Str("/b").Int(block).Str("/").Str(tagName).Str("/").Str(antName).Seed()},
+				{"fade.int.scat", fmt.Sprintf("fade.int.scat/p%d/b%d/%s/%s", pass, block, tagName, antName),
+					w.keys.fadeIntS.Int(pass).Str("/b").Int(block).Str("/").Str(tagName).Str("/").Str(antName).Seed()},
+			}
+			for _, c := range cases {
+				if want := w.rng.SplitSeed(c.label); c.seed != want {
+					t.Errorf("%s: key seed %#x != Split(%q) seed %#x", c.name, c.seed, c.label, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFieldValuesMatchLegacySplitPath checks the drawn values, not just
+// the label hashes: fieldNormal/fieldRician must be bit-identical to the
+// historical Split(label).Normal / Split(label).RicianPowerDB path.
+func TestFieldValuesMatchLegacySplitPath(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 5)
+	label := "shadow.tag/p3/t00"
+	key := w.keys.shadowTag.Int(3).Str("/").Str("t00")
+	if got, want := w.fieldNormal(key, 4.2), w.rng.Split(label).Normal(0, 4.2); got != want {
+		t.Errorf("fieldNormal = %v, legacy split path = %v", got, want)
+	}
+	// Cached second draw must be identical too.
+	if got, want := w.fieldNormal(key, 4.2), w.rng.Split(label).Normal(0, 4.2); got != want {
+		t.Errorf("cached fieldNormal = %v, legacy split path = %v", got, want)
+	}
+	for _, k := range []float64{0, 2.5, 8} {
+		label := fmt.Sprintf("fade.dir/p9/b2/t00/a1#k%v", k)
+		key := w.rng.Key().Str(label)
+		if got, want := w.fieldRician(key, k), w.rng.Split(label).RicianPowerDB(k); got != want {
+			t.Errorf("fieldRician(k=%v) = %v, legacy split path = %v", k, got, want)
+		}
+	}
+}
+
+// TestResolveLinkDeterministicAcrossReplicas: two worlds built identically
+// must resolve identical links — the replica property the parallel
+// measurement engine relies on — and the field cache must not leak state
+// between draws.
+func TestResolveLinkDeterministicAcrossReplicas(t *testing.T) {
+	build := func() (*World, *Tag, *Antenna) {
+		w := New(rf.DefaultCalibration(), 77)
+		ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+		box := w.AddBox("box", geom.CrossingPass(1, 1, 2.5, 1),
+			geom.V(0.45, 0.4, 0.2), rf.Cardboard, rf.Metal, geom.V(0.38, 0.33, 0.15))
+		tag := w.AttachTag(box, "tag", [12]byte{1}, Mount{
+			Offset: geom.V(0, -0.21, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+		})
+		return w, tag, ant
+	}
+	w1, t1, a1 := build()
+	w2, t2, a2 := build()
+	// Resolve in different orders so cache population order differs.
+	var links1, links2 []float64
+	for pass := 0; pass < 4; pass++ {
+		for round := 0; round < 3; round++ {
+			l := w1.ResolveLink(t1, a1, LinkContext{Time: 2.0, Pass: pass, Round: round})
+			links1 = append(links1, float64(l.TagPower), float64(l.ReaderPower))
+		}
+	}
+	for pass := 3; pass >= 0; pass-- {
+		for round := 2; round >= 0; round-- {
+			l := w2.ResolveLink(t2, a2, LinkContext{Time: 2.0, Pass: pass, Round: round})
+			links2 = append(links2, float64(l.TagPower), float64(l.ReaderPower))
+		}
+	}
+	// Compare pass/round-aligned values.
+	idx := func(pass, round, part int) int { return (pass*3+round)*2 + part }
+	ridx := func(pass, round, part int) int { return ((3-pass)*3+(2-round))*2 + part }
+	for pass := 0; pass < 4; pass++ {
+		for round := 0; round < 3; round++ {
+			for part := 0; part < 2; part++ {
+				if links1[idx(pass, round, part)] != links2[ridx(pass, round, part)] {
+					t.Fatalf("replica divergence at pass %d round %d", pass, round)
+				}
+			}
+		}
+	}
+}

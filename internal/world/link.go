@@ -1,11 +1,12 @@
 package world
 
 import (
-	"fmt"
+	"math"
 
 	"rfidtrack/internal/geom"
 	"rfidtrack/internal/rf"
 	"rfidtrack/internal/units"
+	"rfidtrack/internal/xrand"
 )
 
 // ForeignEmitter is another reader's antenna radiating CW concurrently
@@ -109,7 +110,7 @@ func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget 
 	coupling := w.couplingDB(tag, ctx.Time)
 	reflect := w.bodyReflectionDB(tag, antPos, ctx.Time)
 	tagShadow := units.DB(w.fieldNormal(
-		fmt.Sprintf("shadow.tag/p%d/%s", ctx.Pass, tag.Name), cal.SigmaTagDB))
+		w.keys.shadowTag.Int(ctx.Pass).Str("/").Str(tag.Name), cal.SigmaTagDB))
 
 	// Direct path. A dual-dipole tag uses whichever of its two dipoles
 	// couples better right now (orientation-insensitive designs).
@@ -120,10 +121,10 @@ func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget 
 		cal.ProximityFraction(tag.carrier.ContentMaterial(), tag.Mount.Gap),
 		cal.GrazingMaxDB)
 	pathShadow := units.DB(w.fieldNormal(
-		fmt.Sprintf("shadow.path/p%d/%s/%s", ctx.Pass, tag.Name, ant.Name), cal.SigmaPathDB))
-	fadeKind := "fade.dir"
+		w.keys.shadowPath.Int(ctx.Pass).Str("/").Str(tag.Name).Str("/").Str(ant.Name), cal.SigmaPathDB))
+	fadeKey, fadeScatKey := w.keys.fadeDir, w.keys.fadeDirS
 	if asInterference {
-		fadeKind = "fade.int"
+		fadeKey, fadeScatKey = w.keys.fadeInt, w.keys.fadeIntS
 	}
 	// Fast fading decorrelates on the channel coherence time, not per
 	// round: rounds inside one coherence block share the same draw.
@@ -132,7 +133,7 @@ func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget 
 		block = int(ctx.Time / cal.FadingCoherenceSeconds)
 	}
 	fadeDirect := units.DB(w.fieldRician(
-		fmt.Sprintf("%s/p%d/b%d/%s/%s", fadeKind, ctx.Pass, block, tag.Name, ant.Name), cal.RicianK))
+		fadeKey.Int(ctx.Pass).Str("/b").Int(block).Str("/").Str(tag.Name).Str("/").Str(ant.Name), cal.RicianK))
 
 	direct := cal.TxPowerDBm.
 		Plus(-cal.CableLossDB).
@@ -160,9 +161,9 @@ func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget 
 	// component is part of what correlates antenna-level read
 	// opportunities in Table 3.
 	scatShadow := units.DB(w.fieldNormal(
-		fmt.Sprintf("shadow.scat/p%d/%s", ctx.Pass, tag.Name), cal.ScatterSigmaDB))
+		w.keys.shadowScat.Int(ctx.Pass).Str("/").Str(tag.Name), cal.ScatterSigmaDB))
 	fadeScatter := units.DB(w.fieldRician(
-		fmt.Sprintf("%s.scat/p%d/b%d/%s/%s", fadeKind, ctx.Pass, block, tag.Name, ant.Name), 0))
+		fadeScatKey.Int(ctx.Pass).Str("/b").Int(block).Str("/").Str(tag.Name).Str("/").Str(ant.Name), 0))
 	scatter := cal.TxPowerDBm.
 		Plus(-cal.CableLossDB).
 		Plus(cal.ScatterAntennaGainDB).
@@ -285,15 +286,50 @@ func (w *World) bodyReflectionDB(tag *Tag, antPos geom.Vec3, t float64) units.DB
 	return 0
 }
 
-func (w *World) fieldNormal(label string, sigma float64) float64 {
+// fieldDraws returns the two unit-normal draws at the head of the stream
+// the key identifies — the raw material of every random field. Values are
+// memoized by label hash: a field is a pure function of its label, so the
+// cache only removes the per-draw stream construction (the dominant
+// allocation of the old fmt.Sprintf + Split path).
+func (w *World) fieldDraws(k xrand.Key) [2]float64 {
+	h := k.Seed()
+	if v, ok := w.fieldCache[h]; ok {
+		return v
+	}
+	if len(w.fieldCache) >= maxFieldCacheEntries {
+		clear(w.fieldCache)
+	}
+	r := k.Stream()
+	v := [2]float64{r.Normal(0, 1), r.Normal(0, 1)}
+	w.fieldCache[h] = v
+	return v
+}
+
+// fieldNormal draws N(0, sigma²) for the field the key labels —
+// bit-identical to Split(label).Normal(0, sigma).
+func (w *World) fieldNormal(k xrand.Key, sigma float64) float64 {
 	if sigma <= 0 {
 		return 0
 	}
-	return w.rng.Split(label).Normal(0, sigma)
+	return sigma * w.fieldDraws(k)[0]
 }
 
-func (w *World) fieldRician(label string, k float64) float64 {
-	return w.rng.Split(label).RicianPowerDB(k)
+// fieldRician draws the Rician power gain (dB, K-factor k) for the field
+// the key labels — bit-identical to Split(label).RicianPowerDB(k).
+func (w *World) fieldRician(k xrand.Key, kf float64) float64 {
+	if kf < 0 {
+		kf = 0
+	}
+	d := w.fieldDraws(k)
+	sigma := math.Sqrt(1 / (2 * (kf + 1)))
+	nu := math.Sqrt(kf / (kf + 1))
+	x := nu + sigma*d[0]
+	y := sigma * d[1]
+	p := x*x + y*y
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(p)
 }
 
 // combinePower adds two powers linearly.

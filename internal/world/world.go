@@ -174,17 +174,55 @@ type Antenna struct {
 }
 
 // World is the complete scene.
+//
+// A World is not safe for concurrent use: link resolution caches random-
+// field draws. The parallel measurement engine gives every worker its own
+// replica (see core.MeasureParallel) instead of sharing one scene.
 type World struct {
 	Cal      rf.Calibration
 	carriers []Carrier
 	antennas []*Antenna
 	tags     []*Tag
 	rng      *xrand.Rand
+
+	// keys holds the pass-invariant random-field label prefixes, hashed
+	// once at construction. The per-link hot path extends them with the
+	// varying suffix (pass, block, tag, antenna) without allocating; the
+	// byte sequence fed into the hash is identical to the fmt.Sprintf
+	// labels the fields were historically keyed by, so streams — and every
+	// golden table — are unchanged.
+	keys fieldKeys
+	// fieldCache memoizes the unit draws behind each random field by label
+	// hash. Field values are pure functions of their label, so caching
+	// cannot perturb results; it only removes the per-draw stream
+	// construction. Bounded by maxFieldCacheEntries.
+	fieldCache map[uint64][2]float64
 }
+
+// fieldKeys are the precomputed label-prefix hash states (see World.keys).
+type fieldKeys struct {
+	shadowTag, shadowPath, shadowScat    xrand.Key
+	fadeDir, fadeInt, fadeDirS, fadeIntS xrand.Key
+}
+
+// maxFieldCacheEntries bounds the field cache; labels are pass-keyed so
+// long measurement runs would otherwise grow it without limit.
+const maxFieldCacheEntries = 1 << 16
 
 // New returns an empty scene using the given calibration and random seed.
 func New(cal rf.Calibration, seed uint64) *World {
-	return &World{Cal: cal, rng: xrand.New(seed)}
+	w := &World{Cal: cal, rng: xrand.New(seed), fieldCache: make(map[uint64][2]float64)}
+	base := w.rng.Key()
+	w.keys = fieldKeys{
+		shadowTag:  base.Str("shadow.tag/p"),
+		shadowPath: base.Str("shadow.path/p"),
+		shadowScat: base.Str("shadow.scat/p"),
+		fadeDir:    base.Str("fade.dir/p"),
+		fadeInt:    base.Str("fade.int/p"),
+		fadeDirS:   base.Str("fade.dir.scat/p"),
+		fadeIntS:   base.Str("fade.int.scat/p"),
+	}
+	return w
 }
 
 // AddBox places a box in the scene and returns it.

@@ -1,0 +1,89 @@
+package xrand
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKeyMatchesSplit is the contract the world's random fields rest on:
+// a Key fed the same bytes as a Split label must identify the identical
+// stream. The labels here are the exact shapes internal/world builds.
+func TestKeyMatchesSplit(t *testing.T) {
+	r := New(12345)
+	cases := []struct {
+		label string
+		key   Key
+	}{
+		{"", r.Key()},
+		{"shadow.tag/p0/box000/front", r.Key().Str("shadow.tag/p").Int(0).Str("/box000/front")},
+		{
+			fmt.Sprintf("shadow.path/p%d/%s/%s", 17, "box210/top", "a2"),
+			r.Key().Str("shadow.path/p").Int(17).Str("/").Str("box210/top").Str("/").Str("a2"),
+		},
+		{
+			fmt.Sprintf("fade.dir/p%d/b%d/%s/%s", 999, 12, "t03", "a1"),
+			r.Key().Str("fade.dir/p").Int(999).Str("/b").Int(12).Str("/").Str("t03").Str("/").Str("a1"),
+		},
+		{
+			fmt.Sprintf("fade.int.scat/p%d/b%d/%s/%s", -3, 0, "grid07", "a1"),
+			r.Key().Str("fade.int.scat/p").Int(-3).Str("/b").Int(0).Str("/").Str("grid07").Str("/").Str("a1"),
+		},
+	}
+	for _, c := range cases {
+		if got, want := c.key.Seed(), r.SplitSeed(c.label); got != want {
+			t.Errorf("Key(%q) seed = %#x, Split seed = %#x", c.label, got, want)
+		}
+		a, b := c.key.Stream(), r.Split(c.label)
+		for i := 0; i < 4; i++ {
+			if x, y := a.Float64(), b.Float64(); x != y {
+				t.Fatalf("Key(%q) stream diverges from Split at draw %d: %v vs %v", c.label, i, x, y)
+			}
+		}
+	}
+}
+
+// TestKeyIntDigits checks Int against every digit shape Sprintf produces.
+func TestKeyIntDigits(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{0, 1, -1, 9, 10, 99, 100, 12345, -12345, 1 << 40, -(1 << 40)} {
+		label := fmt.Sprintf("x%dy", n)
+		if got, want := r.Key().Str("x").Int(n).Str("y").Seed(), r.SplitSeed(label); got != want {
+			t.Errorf("Int(%d): key seed %#x != split seed %#x", n, got, want)
+		}
+	}
+}
+
+// TestKeySeedSensitivity: the same label under different parent seeds must
+// identify different streams (the seed bytes are folded in first).
+func TestKeySeedSensitivity(t *testing.T) {
+	a := New(1).Key().Str("same").Seed()
+	b := New(2).Key().Str("same").Seed()
+	if a == b {
+		t.Error("identical key seeds for different parent seeds")
+	}
+}
+
+// TestKeyPrefixReuse: extending a stored prefix must equal building the
+// full label in one go (Key is a value type; no hidden shared state).
+func TestKeyPrefixReuse(t *testing.T) {
+	r := New(42)
+	prefix := r.Key().Str("shadow.scat/p")
+	k1 := prefix.Int(3).Str("/t00")
+	k2 := prefix.Int(4).Str("/t00")
+	if k1.Seed() == k2.Seed() {
+		t.Error("different passes collided")
+	}
+	if got, want := k1.Seed(), r.SplitSeed("shadow.scat/p3/t00"); got != want {
+		t.Errorf("prefix reuse seed %#x != direct %#x", got, want)
+	}
+}
+
+// BenchmarkKeyBuild measures the allocation-free label path.
+func BenchmarkKeyBuild(b *testing.B) {
+	r := New(1)
+	prefix := r.Key().Str("fade.dir/p")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = prefix.Int(i & 1023).Str("/b").Int(i & 7).Str("/").Str("box000/front").Str("/").Str("a1").Seed()
+	}
+}

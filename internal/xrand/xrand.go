@@ -12,6 +12,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand/v2"
+	"strconv"
 )
 
 // Rand is a deterministic random stream.
@@ -46,6 +47,70 @@ func (r *Rand) Split(label string) *Rand {
 	h.Write([]byte(label))
 	return New(h.Sum64())
 }
+
+// SplitSeed returns the seed Split(label) would use without constructing
+// the stream. Exposed so callers (and tests) can compare label identities.
+func (r *Rand) SplitSeed(label string) uint64 {
+	return r.Key().Str(label).Seed()
+}
+
+// FNV-64a constants (hash/fnv's, frozen here because Key must keep
+// producing the exact byte-for-byte hashes Split computes).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Key incrementally builds the FNV-64a hash of a split label without
+// allocating. Feeding a Key the same bytes Split's label contains yields
+// the identical derived stream: Key is the zero-allocation spelling of
+// Split(fmt.Sprintf(...)), which is why the hot paths that draw random
+// fields per (pass, tag, antenna) use it. Key is a value; every method
+// returns a new Key, so prefix states for label fragments that never
+// change (e.g. "shadow.tag/p") can be computed once and reused.
+type Key struct{ h uint64 }
+
+// Key starts a label hash seeded by the stream's seed, exactly as Split
+// does before folding in label bytes.
+func (r *Rand) Key() Key {
+	k := Key{fnvOffset64}
+	s := r.seed
+	for i := 0; i < 8; i++ {
+		k = k.byteFold(byte(s >> (8 * i)))
+	}
+	return k
+}
+
+func (k Key) byteFold(b byte) Key {
+	k.h = (k.h ^ uint64(b)) * fnvPrime64
+	return k
+}
+
+// Str folds the bytes of s into the key.
+func (k Key) Str(s string) Key {
+	for i := 0; i < len(s); i++ {
+		k = k.byteFold(s[i])
+	}
+	return k
+}
+
+// Int folds the decimal representation of n — the same bytes
+// fmt.Sprintf("%d", n) produces — into the key.
+func (k Key) Int(n int) Key {
+	var buf [20]byte
+	for _, b := range strconv.AppendInt(buf[:0], int64(n), 10) {
+		k = k.byteFold(b)
+	}
+	return k
+}
+
+// Seed returns the accumulated hash, the seed of the stream the key
+// identifies.
+func (k Key) Seed() uint64 { return k.h }
+
+// Stream instantiates the sub-stream the key identifies. Equivalent to
+// Split of the label whose bytes were folded into the key.
+func (k Key) Stream() *Rand { return New(k.h) }
 
 // Float64 returns a uniform value in [0, 1).
 func (r *Rand) Float64() float64 { return r.rng.Float64() }

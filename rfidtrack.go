@@ -113,6 +113,9 @@ type (
 	ReadEvent = reader.Event
 	// Portal composes a world with the readers covering it.
 	Portal = core.Portal
+	// PortalBuilder constructs one portal replica for the parallel
+	// measurement engine; every call must build an identical portal.
+	PortalBuilder = core.Builder
 	// PassResult is the outcome of one simulated pass.
 	PassResult = core.PassResult
 	// Reliability aggregates read/tracking reliability over trials.
@@ -125,6 +128,13 @@ type (
 // NewTrackingSystem builds a deployment over the given pipeline (nil =
 // default 2 s smoothing).
 func NewTrackingSystem(p *Pipeline) *TrackingSystem { return core.NewTrackingSystem(p) }
+
+// MeasureParallel measures n passes of the portal the builder constructs,
+// fanned across a worker pool (workers <= 0 selects GOMAXPROCS). Results
+// are bit-identical to sequential Portal.Measure for any worker count.
+func MeasureParallel(build PortalBuilder, n, firstPass, workers int) (Reliability, error) {
+	return core.MeasureParallel(build, n, firstPass, workers)
+}
 
 // NewReader builds a reader driving the given antennas.
 func NewReader(name string, w *World, antennas []*Antenna, opts ...ReaderOption) (*Reader, error) {
