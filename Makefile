@@ -1,15 +1,21 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race test-short bench experiments examples fuzz cover
+.PHONY: all check build vet test test-race test-short bench bench-diff alloc-guard experiments examples fuzz cover
 
 all: build vet test
 
-# check is the pre-merge gate: build, vet, the full test suite, then the
-# race detector over the reduced-trial (-short) suite — golden experiment
-# sweeps skip under -short, so the race pass stays affordable while still
-# exercising the parallel measurement engine end to end.
-check: build vet test
+# check is the pre-merge gate: build, vet, the full test suite, the
+# disabled-instrumentation allocation guard, then the race detector over
+# the reduced-trial (-short) suite — golden experiment sweeps skip under
+# -short, so the race pass stays affordable while still exercising the
+# parallel measurement engine end to end.
+check: build vet test alloc-guard
 	$(GO) test -race -short ./...
+
+# alloc-guard pins the observability zero-cost contract: with no
+# Collector attached, ResolveLink must not allocate (DESIGN.md §8).
+alloc-guard:
+	$(GO) test -run TestResolveLinkZeroAllocWhenDisabled -count=1 ./internal/world
 
 build:
 	$(GO) build ./...
@@ -30,6 +36,13 @@ test-short:
 # BENCH_1.json (see cmd/benchsnap) for machine-diffable tracking.
 bench:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -o BENCH_1.json
+
+# bench-diff re-runs the benchmarks into BENCH_new.json and compares them
+# against the committed BENCH_1.json baseline; fails when any benchmark
+# slows down past the threshold or a 0-alloc benchmark starts allocating.
+bench-diff:
+	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -q -o BENCH_new.json
+	$(GO) run ./cmd/benchsnap -old BENCH_1.json -new BENCH_new.json
 
 experiments:
 	$(GO) run ./cmd/experiments -o EXPERIMENTS.md

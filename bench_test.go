@@ -18,6 +18,7 @@ import (
 	"rfidtrack/internal/experiments"
 	"rfidtrack/internal/gen2"
 	"rfidtrack/internal/geom"
+	"rfidtrack/internal/obs"
 	"rfidtrack/internal/rf"
 	"rfidtrack/internal/tagsim"
 	"rfidtrack/internal/world"
@@ -131,6 +132,29 @@ func BenchmarkResolveLink(b *testing.B) {
 	tag := w.AttachTag(box, "tag", code, world.Mount{
 		Offset: geom.V(0, -0.21, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
 	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.ResolveLink(tag, ant, world.LinkContext{Time: 2.5, Pass: i & 1023, Round: i & 7})
+	}
+}
+
+// BenchmarkResolveLinkObserved is BenchmarkResolveLink with a metrics
+// collector attached — the delta against the plain benchmark is the price
+// of enabled instrumentation (the disabled path is pinned at zero cost by
+// TestResolveLinkZeroAllocWhenDisabled and make bench-diff).
+func BenchmarkResolveLinkObserved(b *testing.B) {
+	w := world.New(rf.DefaultCalibration(), 1)
+	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	box := w.AddBox("box", geom.CrossingPass(1, 1, 2.5, 1),
+		geom.V(0.45, 0.4, 0.2), rf.Cardboard, rf.Metal, geom.V(0.38, 0.33, 0.15))
+	code, err := epc.GID96{Manager: 1, Class: 1, Serial: 1}.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag := w.AttachTag(box, "tag", code, world.Mount{
+		Offset: geom.V(0, -0.21, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+	})
+	w.Observe(obs.NewMetrics().Shard())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = w.ResolveLink(tag, ant, world.LinkContext{Time: 2.5, Pass: i & 1023, Round: i & 7})

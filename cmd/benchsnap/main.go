@@ -8,6 +8,13 @@
 //
 //	go test -bench=. -benchmem ./... | benchsnap -o BENCH_1.json
 //
+// Compare mode diffs two snapshots instead of reading stdin, printing the
+// ns/op and allocs/op movement of every benchmark present in both files
+// and exiting 1 when any ns/op regression exceeds -threshold or a
+// benchmark that allocated nothing starts allocating:
+//
+//	benchsnap -old BENCH_1.json -new BENCH_new.json -threshold 0.10
+//
 // Result lines look like
 //
 //	BenchmarkResolveLink-8   121   9876 ns/op   120 B/op   3 allocs/op
@@ -56,7 +63,30 @@ func main() {
 	log.SetPrefix("benchsnap: ")
 	out := flag.String("o", "BENCH_1.json", "output JSON file")
 	quiet := flag.Bool("q", false, "do not echo the input stream to stdout")
+	oldPath := flag.String("old", "", "compare mode: baseline snapshot JSON")
+	newPath := flag.String("new", "", "compare mode: candidate snapshot JSON")
+	threshold := flag.Float64("threshold", 0.10, "compare mode: ns/op regression ratio that fails the run")
 	flag.Parse()
+
+	if *oldPath != "" || *newPath != "" {
+		if *oldPath == "" || *newPath == "" {
+			log.Fatal("compare mode needs both -old and -new")
+		}
+		a, err := readSnapshot(*oldPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := readSnapshot(*newPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, regressed := compareSnapshots(a, b, *threshold)
+		fmt.Print(report)
+		if regressed {
+			log.Fatalf("regression above %.0f%% threshold", 100**threshold)
+		}
+		return
+	}
 
 	echo := io.Writer(os.Stdout)
 	if *quiet {
@@ -139,4 +169,77 @@ func parseResult(line string) (Benchmark, bool) {
 		b.Metrics[f[i+1]] = v
 	}
 	return b, true
+}
+
+// readSnapshot loads a snapshot written by a previous benchsnap run.
+func readSnapshot(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// benchKey identifies a benchmark across snapshots.
+func benchKey(b Benchmark) string { return b.Package + "\x00" + b.Name }
+
+// compareSnapshots reports the ns/op and allocs/op movement of every
+// benchmark present in both snapshots. regressed is true when a common
+// benchmark slowed down by more than threshold (a ratio: 0.10 = 10%) or
+// went from zero to nonzero allocs/op — the disabled-instrumentation
+// guard the repo's bench-diff target relies on.
+func compareSnapshots(a, b *Snapshot, threshold float64) (report string, regressed bool) {
+	old := make(map[string]Benchmark, len(a.Benchmarks))
+	for _, bm := range a.Benchmarks {
+		old[benchKey(bm)] = bm
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-44s %14s %14s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	matched := 0
+	for _, nb := range b.Benchmarks {
+		ob, ok := old[benchKey(nb)]
+		if !ok {
+			fmt.Fprintf(&sb, "%-44s %14s %14.1f %8s  (new benchmark)\n", nb.Name, "-", nb.Metrics["ns/op"], "-")
+			continue
+		}
+		matched++
+		oldNS, newNS := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		delta := 0.0
+		if oldNS > 0 {
+			delta = (newNS - oldNS) / oldNS
+		}
+		oldAllocs, newAllocs := ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]
+		notes := fmt.Sprintf("%g -> %g", oldAllocs, newAllocs)
+		bad := false
+		if delta > threshold {
+			bad = true
+			notes += "  SLOWER"
+		}
+		if oldAllocs == 0 && newAllocs > 0 {
+			bad = true
+			notes += "  NOW ALLOCATES"
+		}
+		if bad {
+			regressed = true
+		}
+		fmt.Fprintf(&sb, "%-44s %14.1f %14.1f %+7.1f%%  %s\n", nb.Name, oldNS, newNS, 100*delta, notes)
+	}
+	for _, ob := range a.Benchmarks {
+		found := false
+		for _, nb := range b.Benchmarks {
+			if benchKey(nb) == benchKey(ob) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(&sb, "%-44s %14.1f %14s %8s  (removed)\n", ob.Name, ob.Metrics["ns/op"], "-", "-")
+		}
+	}
+	fmt.Fprintf(&sb, "%d benchmarks compared\n", matched)
+	return sb.String(), regressed
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -47,6 +48,103 @@ func TestParse(t *testing.T) {
 	// No GOMAXPROCS suffix → procs defaults to 1 and the name is intact.
 	if b := snap.Benchmarks[3]; b.Name != "BenchmarkCRC16" || b.Procs != 1 {
 		t.Errorf("suffixless benchmark parsed as %+v", b)
+	}
+}
+
+// snapWith builds a one-package snapshot from name → (ns/op, allocs/op).
+func snapWith(metrics map[string][2]float64) *Snapshot {
+	s := &Snapshot{}
+	for name, m := range metrics {
+		s.Benchmarks = append(s.Benchmarks, Benchmark{
+			Name:    name,
+			Package: "rfidtrack",
+			Procs:   8,
+			Metrics: map[string]float64{"ns/op": m[0], "allocs/op": m[1]},
+		})
+	}
+	return s
+}
+
+func TestCompareSnapshotsWithinThreshold(t *testing.T) {
+	a := snapWith(map[string][2]float64{"BenchmarkResolveLink": {1000, 0}})
+	b := snapWith(map[string][2]float64{"BenchmarkResolveLink": {1050, 0}})
+	report, regressed := compareSnapshots(a, b, 0.10)
+	if regressed {
+		t.Errorf("5%% slowdown flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "+5.0%") {
+		t.Errorf("delta not reported:\n%s", report)
+	}
+	if !strings.Contains(report, "1 benchmarks compared") {
+		t.Errorf("match count missing:\n%s", report)
+	}
+}
+
+func TestCompareSnapshotsSlowdownRegresses(t *testing.T) {
+	a := snapWith(map[string][2]float64{"BenchmarkResolveLink": {1000, 0}})
+	b := snapWith(map[string][2]float64{"BenchmarkResolveLink": {1200, 0}})
+	report, regressed := compareSnapshots(a, b, 0.10)
+	if !regressed {
+		t.Errorf("20%% slowdown not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "SLOWER") {
+		t.Errorf("SLOWER marker missing:\n%s", report)
+	}
+}
+
+func TestCompareSnapshotsNewAllocationsRegress(t *testing.T) {
+	// Speed within threshold, but a previously allocation-free benchmark
+	// now allocates — the guard the zero-cost contract depends on.
+	a := snapWith(map[string][2]float64{"BenchmarkResolveLink": {1000, 0}})
+	b := snapWith(map[string][2]float64{"BenchmarkResolveLink": {1000, 2}})
+	report, regressed := compareSnapshots(a, b, 0.10)
+	if !regressed {
+		t.Errorf("0 -> 2 allocs/op not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "NOW ALLOCATES") {
+		t.Errorf("NOW ALLOCATES marker missing:\n%s", report)
+	}
+}
+
+func TestCompareSnapshotsUnmatchedBenchmarks(t *testing.T) {
+	a := snapWith(map[string][2]float64{"BenchmarkOld": {500, 0}})
+	b := snapWith(map[string][2]float64{"BenchmarkNew": {700, 1}})
+	report, regressed := compareSnapshots(a, b, 0.10)
+	if regressed {
+		t.Errorf("disjoint snapshots flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "(new benchmark)") || !strings.Contains(report, "(removed)") {
+		t.Errorf("unmatched benchmarks not annotated:\n%s", report)
+	}
+	if !strings.Contains(report, "0 benchmarks compared") {
+		t.Errorf("match count wrong:\n%s", report)
+	}
+}
+
+func TestCompareSnapshotsMatchesByPackage(t *testing.T) {
+	// Same name in a different package must not match.
+	a := snapWith(map[string][2]float64{"BenchmarkResolveLink": {1000, 0}})
+	b := snapWith(map[string][2]float64{"BenchmarkResolveLink": {5000, 0}})
+	b.Benchmarks[0].Package = "rfidtrack/other"
+	report, regressed := compareSnapshots(a, b, 0.10)
+	if regressed {
+		t.Errorf("cross-package comparison happened:\n%s", report)
+	}
+	if !strings.Contains(report, "(new benchmark)") {
+		t.Errorf("package mismatch not treated as unmatched:\n%s", report)
+	}
+}
+
+func TestReadSnapshotErrors(t *testing.T) {
+	if _, err := readSnapshot("/nonexistent/bench.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSnapshot(bad); err == nil {
+		t.Error("malformed JSON accepted")
 	}
 }
 

@@ -5,31 +5,103 @@
 // Usage:
 //
 //	experiments [-seed N] [-trials N] [-workers N] [-o EXPERIMENTS.md]
+//	            [-metrics] [-trace FILE] [-trace-links] [-pprof ADDR]
+//
+// With -metrics, the engine's instrumentation layer (internal/obs) is
+// enabled and a run manifest — config, seed, workers, git revision,
+// per-experiment timings, and the full metric snapshot — is written next
+// to the output (render or diff it with cmd/obsreport). With -trace, a
+// JSONL stream of pass/round events (plus per-link events under
+// -trace-links) is written to FILE. With -pprof, net/http/pprof and
+// expvar are served on ADDR for live profiling; the expvar variable
+// "rfidtrack_metrics" exposes the latest completed metric snapshot.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"rfidtrack/internal/experiments"
+	"rfidtrack/internal/obs"
 )
+
+// lastSnapshot backs the "rfidtrack_metrics" expvar: the main goroutine
+// stores each completed snapshot; scrapes never race a live measurement.
+var lastSnapshot atomic.Pointer[obs.Snapshot]
 
 func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	trials := flag.Int("trials", 0, "override per-experiment trial counts (0 = paper defaults)")
 	workers := flag.Int("workers", 0, "measurement worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	out := flag.String("o", "", "output file (default stdout)")
+	metricsOn := flag.Bool("metrics", false, "collect engine metrics and write a run manifest next to the output")
+	manifestPath := flag.String("manifest", "", "manifest path (default: derived from -o when -metrics is set)")
+	tracePath := flag.String("trace", "", "write a JSONL pass/round trace to this file")
+	traceLinks := flag.Bool("trace-links", false, "include per-(tag, antenna) link events in the trace (large)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		expvar.Publish("rfidtrack_metrics", expvar.Func(func() any { return lastSnapshot.Load() }))
+		go func() {
+			log.Printf("pprof: serving http://%s/debug/pprof/ and /debug/vars", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
+
 	opt := experiments.Options{Seed: *seed, Trials: *trials, Workers: *workers}
-	start := time.Now()
-	results, err := experiments.RunAll(opt)
-	if err != nil {
+	if *metricsOn {
+		opt.Metrics = obs.NewMetrics()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("experiments: %v", err)
+		}
+		var topts []obs.TracerOption
+		if *traceLinks {
+			topts = append(topts, obs.TraceLinks())
+		}
+		tracer := obs.NewTracer(f, topts...)
+		opt.Tracer = tracer
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				log.Printf("experiments: trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("experiments: trace: %v", err)
+			}
+			if n := tracer.Dropped(); n > 0 {
+				log.Printf("experiments: trace truncated, %d events dropped", n)
+			}
+		}()
+	}
+	if err := opt.Validate(); err != nil {
 		log.Fatalf("experiments: %v", err)
+	}
+
+	start := time.Now()
+	timings := make(map[string]float64, len(experiments.IDs()))
+	var results []*experiments.Result
+	for _, id := range experiments.IDs() {
+		t0 := time.Now()
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			log.Fatalf("experiments: %s: %v", id, err)
+		}
+		timings[id] = time.Since(t0).Seconds()
+		results = append(results, res)
 	}
 
 	var sb strings.Builder
@@ -56,10 +128,49 @@ func main() {
 
 	if *out == "" {
 		fmt.Print(sb.String())
-		return
+	} else {
+		if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+			log.Fatalf("experiments: %v", err)
+		}
+		log.Printf("wrote %s (%d experiments)", *out, len(results))
 	}
-	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
-		log.Fatalf("experiments: %v", err)
+
+	if opt.Metrics != nil {
+		snap := opt.Metrics.Snapshot()
+		lastSnapshot.Store(&snap)
+		path := *manifestPath
+		if path == "" {
+			path = manifestFor(*out)
+		}
+		m := obs.Manifest{
+			Tool:            "experiments",
+			Experiments:     experiments.IDs(),
+			Seed:            *seed,
+			Trials:          *trials,
+			Workers:         *workers,
+			GoVersion:       runtime.Version(),
+			GitRevision:     obs.GitRevision(),
+			Start:           start.UTC(),
+			DurationSeconds: time.Since(start).Seconds(),
+			Timings:         timings,
+			Metrics:         &snap,
+		}
+		if err := obs.WriteManifest(path, m); err != nil {
+			log.Fatalf("experiments: %v", err)
+		}
+		log.Printf("wrote %s", path)
 	}
-	log.Printf("wrote %s (%d experiments)", *out, len(results))
+}
+
+// manifestFor derives the manifest path from the output path: next to the
+// output with a .manifest.json suffix replacing any extension, or a
+// default name when the record went to stdout.
+func manifestFor(out string) string {
+	if out == "" {
+		return "experiments.manifest.json"
+	}
+	if i := strings.LastIndexByte(out, '.'); i > strings.LastIndexByte(out, '/') {
+		out = out[:i]
+	}
+	return out + ".manifest.json"
 }

@@ -1,0 +1,221 @@
+// Command obsreport renders and compares the run manifests the
+// measurement engine's instrumentation layer emits (see internal/obs and
+// `experiments -metrics` / `rfsim -metrics`).
+//
+// Usage:
+//
+//	obsreport RUN.manifest.json            render one manifest
+//	obsreport -old A.json -new B.json      compare two manifests
+//	obsreport -top 30 RUN.manifest.json    widen the opportunity table
+//
+// Render mode prints the run header (seed, workers, revision, timings),
+// every counter, each histogram, and the per-(tag, antenna) read
+// opportunities sorted worst-first — the series that explains *which*
+// links caused correlated misses when redundancy underperforms the
+// R_C = 1 − Π(1−Pᵢ) independence model. Compare mode diffs the counters
+// and per-opportunity read rates of two runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"rfidtrack/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obsreport: ")
+	oldPath := flag.String("old", "", "compare mode: baseline manifest")
+	newPath := flag.String("new", "", "compare mode: candidate manifest")
+	top := flag.Int("top", 20, "render mode: opportunity rows to show (0 = all)")
+	flag.Parse()
+
+	switch {
+	case *oldPath != "" && *newPath != "":
+		a, err := obs.ReadManifest(*oldPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := obs.ReadManifest(*newPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(compare(*oldPath, *newPath, a, b))
+	case *oldPath != "" || *newPath != "":
+		log.Fatal("compare mode needs both -old and -new")
+	case flag.NArg() == 1:
+		m, err := obs.ReadManifest(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(render(m, *top))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: obsreport MANIFEST.json | obsreport -old A.json -new B.json")
+		os.Exit(2)
+	}
+}
+
+// render formats one manifest for terminal reading.
+func render(m obs.Manifest, top int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "run: %s  seed=%d trials=%d workers=%d\n", m.Tool, m.Seed, m.Trials, m.Workers)
+	fmt.Fprintf(&sb, "rev: %s  %s  %.1fs", m.GitRevision, m.GoVersion, m.DurationSeconds)
+	if !m.Start.IsZero() {
+		fmt.Fprintf(&sb, "  started %s", m.Start.Format("2006-01-02 15:04:05 MST"))
+	}
+	sb.WriteString("\n")
+	if len(m.Experiments) > 0 {
+		fmt.Fprintf(&sb, "experiments: %s\n", strings.Join(m.Experiments, " "))
+	}
+	if len(m.Timings) > 0 {
+		ids := sortedKeys(m.Timings)
+		sort.Slice(ids, func(i, j int) bool { return m.Timings[ids[i]] > m.Timings[ids[j]] })
+		sb.WriteString("slowest experiments:")
+		for i, id := range ids {
+			if i == 5 {
+				break
+			}
+			fmt.Fprintf(&sb, " %s=%.2fs", id, m.Timings[id])
+		}
+		sb.WriteString("\n")
+	}
+	if m.Metrics == nil {
+		sb.WriteString("\n(no metric snapshot in manifest)\n")
+		return sb.String()
+	}
+	s := *m.Metrics
+
+	sb.WriteString("\ncounters:\n")
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&sb, "  %-22s %12d\n", name, s.Counters[name])
+	}
+
+	sb.WriteString("\nhistograms (le = inclusive upper bound):\n")
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&sb, "  %-22s n=%d\n", name, h.Count)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(&sb, "    le %-8s %10d %s\n", b.Le, b.Count, bar(b.Count, h.Count))
+		}
+	}
+	if s.WallTime != nil {
+		fmt.Fprintf(&sb, "\nwall time: %.2fs of simulated passes\n", s.WallTime.TotalSeconds)
+		for _, b := range s.WallTime.PassMicros.Buckets {
+			fmt.Fprintf(&sb, "    le %-8sµs %8d %s\n", b.Le, b.Count, bar(b.Count, s.WallTime.PassMicros.Count))
+		}
+	}
+
+	if len(s.Opportunities) > 0 {
+		opps := append([]obs.OpportunitySnapshot(nil), s.Opportunities...)
+		sort.Slice(opps, func(i, j int) bool { return rate(opps[i]) < rate(opps[j]) })
+		fmt.Fprintf(&sb, "\nread opportunities, worst first (%d series):\n", len(opps))
+		fmt.Fprintf(&sb, "  %-24s %-10s %8s %8s %8s %8s %8s\n",
+			"tag", "antenna", "P(read)", "read", "missed", "fwd-only", "deaf")
+		for i, o := range opps {
+			if top > 0 && i >= top {
+				fmt.Fprintf(&sb, "  … %d more (rerun with -top 0)\n", len(opps)-top)
+				break
+			}
+			fmt.Fprintf(&sb, "  %-24s %-10s %7.1f%% %8d %8d %8d %8d\n",
+				o.Tag, o.Antenna, 100*rate(o), o.Read, o.Missed, o.ForwardOnly, o.Deaf)
+		}
+	}
+	return sb.String()
+}
+
+// compare diffs the deterministic metrics of two manifests.
+func compare(oldName, newName string, a, b obs.Manifest) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "old: %s (seed=%d trials=%d workers=%d rev=%s)\n", oldName, a.Seed, a.Trials, a.Workers, a.GitRevision)
+	fmt.Fprintf(&sb, "new: %s (seed=%d trials=%d workers=%d rev=%s)\n", newName, b.Seed, b.Trials, b.Workers, b.GitRevision)
+	if a.Metrics == nil || b.Metrics == nil {
+		sb.WriteString("(one of the manifests has no metric snapshot)\n")
+		return sb.String()
+	}
+	sb.WriteString("\ncounters:\n")
+	names := map[string]bool{}
+	for n := range a.Metrics.Counters {
+		names[n] = true
+	}
+	for n := range b.Metrics.Counters {
+		names[n] = true
+	}
+	for _, n := range sortedKeys(names) {
+		va, vb := a.Metrics.Counters[n], b.Metrics.Counters[n]
+		mark := ""
+		if va != vb {
+			mark = "  *"
+		}
+		fmt.Fprintf(&sb, "  %-22s %12d -> %-12d%s\n", n, va, vb, mark)
+	}
+
+	type pair struct{ tag, ant string }
+	rates := map[pair][2]float64{}
+	for _, o := range a.Metrics.Opportunities {
+		rates[pair{o.Tag, o.Antenna}] = [2]float64{rate(o), math.NaN()}
+	}
+	for _, o := range b.Metrics.Opportunities {
+		r := rates[pair{o.Tag, o.Antenna}]
+		if _, ok := rates[pair{o.Tag, o.Antenna}]; !ok {
+			r[0] = math.NaN()
+		}
+		r[1] = rate(o)
+		rates[pair{o.Tag, o.Antenna}] = r
+	}
+	keys := make([]pair, 0, len(rates))
+	for k := range rates {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		di := math.Abs(rates[keys[i]][1] - rates[keys[i]][0])
+		dj := math.Abs(rates[keys[j]][1] - rates[keys[j]][0])
+		return di > dj
+	})
+	if len(keys) > 0 {
+		sb.WriteString("\nopportunity read rates, largest change first:\n")
+		for i, k := range keys {
+			if i >= 20 {
+				fmt.Fprintf(&sb, "  … %d more\n", len(keys)-20)
+				break
+			}
+			r := rates[k]
+			fmt.Fprintf(&sb, "  %-24s %-10s %7.1f%% -> %6.1f%%  (%+.1f pts)\n",
+				k.tag, k.ant, 100*r[0], 100*r[1], 100*(r[1]-r[0]))
+		}
+	}
+	return sb.String()
+}
+
+// rate is ReadRate with NaN mapped to 0 for sorting and display.
+func rate(o obs.OpportunitySnapshot) float64 {
+	r := o.ReadRate()
+	if math.IsNaN(r) {
+		return 0
+	}
+	return r
+}
+
+// bar renders a proportional ASCII bar.
+func bar(n, total uint64) string {
+	if total == 0 {
+		return ""
+	}
+	w := int(40 * float64(n) / float64(total))
+	return strings.Repeat("#", w)
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/obs"
+)
+
+// manifest builds a small synthetic manifest with one counter, one
+// histogram, and two opportunity series at the given read counts.
+func manifest(readsA, readsB uint64) obs.Manifest {
+	snap := obs.Snapshot{
+		Counters: map[string]uint64{
+			"pass.count":  4,
+			"round.count": 12,
+		},
+		Histograms: map[string]obs.HistSnapshot{
+			"pass.rounds": {
+				Count: 4,
+				Buckets: []obs.HistBucket{
+					{Le: "2", Count: 1},
+					{Le: "3", Count: 3},
+				},
+			},
+		},
+		Opportunities: []obs.OpportunitySnapshot{
+			{Tag: "pallet-top", Antenna: "left", Read: readsA, Missed: 10 - readsA},
+			{Tag: "pallet-bottom", Antenna: "right", Read: readsB, Deaf: 10 - readsB},
+		},
+		WallTime: &obs.WallSnapshot{TotalSeconds: 0.5},
+	}
+	return obs.Manifest{
+		Tool:            "rfsim",
+		Experiments:     []string{"fig2"},
+		Seed:            7,
+		Trials:          4,
+		Workers:         2,
+		GoVersion:       "go1.24",
+		GitRevision:     "abc123",
+		Start:           time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		DurationSeconds: 1.25,
+		Timings:         map[string]float64{"fig2": 1.25},
+		Metrics:         &snap,
+	}
+}
+
+func TestRender(t *testing.T) {
+	got := render(manifest(9, 2), 20)
+	for _, want := range []string{
+		"run: rfsim  seed=7 trials=4 workers=2",
+		"rev: abc123",
+		"experiments: fig2",
+		"pass.count",
+		"round.count",
+		"pass.rounds",
+		"le 2",
+		"wall time: 0.50s",
+		"read opportunities, worst first (2 series)",
+		"pallet-bottom",
+		"20.0%",
+		"90.0%",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("render output missing %q:\n%s", want, got)
+		}
+	}
+	// Worst series first.
+	if strings.Index(got, "pallet-bottom") > strings.Index(got, "pallet-top") {
+		t.Errorf("opportunities not sorted worst-first:\n%s", got)
+	}
+}
+
+func TestRenderTruncatesOpportunities(t *testing.T) {
+	got := render(manifest(9, 2), 1)
+	if !strings.Contains(got, "1 more") {
+		t.Errorf("truncation note missing with -top 1:\n%s", got)
+	}
+	got = render(manifest(9, 2), 0)
+	if strings.Contains(got, "more") {
+		t.Errorf("-top 0 should render every series:\n%s", got)
+	}
+}
+
+func TestRenderWithoutMetrics(t *testing.T) {
+	m := manifest(1, 1)
+	m.Metrics = nil
+	got := render(m, 20)
+	if !strings.Contains(got, "no metric snapshot") {
+		t.Errorf("missing no-snapshot note:\n%s", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a, b := manifest(9, 2), manifest(9, 6)
+	b.Metrics.Counters["round.count"] = 15
+	got := compare("A.json", "B.json", a, b)
+	for _, want := range []string{
+		"old: A.json (seed=7",
+		"new: B.json (seed=7",
+		"round.count",
+		"12 -> 15",
+		"*", // changed-counter marker
+		"opportunity read rates, largest change first",
+		"pallet-bottom",
+		"+40.0 pts",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+	// Unchanged counters carry no marker line.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "pass.count") && strings.Contains(line, "*") {
+			t.Errorf("unchanged counter marked as changed: %q", line)
+		}
+	}
+	// The biggest mover sorts first.
+	if strings.Index(got, "pallet-bottom") > strings.Index(got, "pallet-top") {
+		t.Errorf("rate deltas not sorted largest-first:\n%s", got)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if bar(0, 0) != "" {
+		t.Error("bar with zero total should be empty")
+	}
+	if got := bar(10, 10); got != strings.Repeat("#", 40) {
+		t.Errorf("full bar = %q", got)
+	}
+	if got := bar(5, 10); got != strings.Repeat("#", 20) {
+		t.Errorf("half bar = %q", got)
+	}
+}

@@ -2,11 +2,15 @@
 //
 // Usage:
 //
-//	rfsim [-seed N] [-trials N] [-list] <experiment>...
+//	rfsim [-seed N] [-trials N] [-workers N] [-list] <experiment>...
+//	rfsim -metrics run.manifest.json -trace run.trace.jsonl fig2
 //	rfsim all
 //
 // Each experiment prints the same rows the corresponding table or figure
 // of the paper reports, with the paper's published values alongside.
+// -metrics enables the engine's instrumentation layer and writes a run
+// manifest (render it with obsreport); -trace writes a JSONL pass/round
+// event stream.
 package main
 
 import (
@@ -14,9 +18,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"rfidtrack/internal/experiments"
+	"rfidtrack/internal/obs"
 )
 
 func main() {
@@ -28,8 +35,12 @@ func run(args []string, out, errOut io.Writer) int {
 	fs.SetOutput(errOut)
 	seed := fs.Uint64("seed", 1, "random seed (equal seeds reproduce results exactly)")
 	trials := fs.Int("trials", 0, "override per-experiment trial counts (0 = paper defaults)")
+	workers := fs.Int("workers", 0, "measurement worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	list := fs.Bool("list", false, "list available experiments and exit")
 	csv := fs.Bool("csv", false, "emit result tables as CSV (for plotting)")
+	metricsPath := fs.String("metrics", "", "collect engine metrics and write a run manifest to this file")
+	tracePath := fs.String("trace", "", "write a JSONL pass/round trace to this file")
+	traceLinks := fs.Bool("trace-links", false, "include per-(tag, antenna) link events in the trace (large)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rfsim [flags] <experiment>...|all\n\nexperiments: %s\n\nflags:\n",
 			strings.Join(experiments.IDs(), " "))
@@ -52,13 +63,40 @@ func run(args []string, out, errOut io.Writer) int {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
 	}
-	opt := experiments.Options{Seed: *seed, Trials: *trials}
+
+	opt := experiments.Options{Seed: *seed, Trials: *trials, Workers: *workers}
+	if *metricsPath != "" {
+		opt.Metrics = obs.NewMetrics()
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(errOut, "rfsim: %v\n", err)
+			return 1
+		}
+		traceFile = f
+		var topts []obs.TracerOption
+		if *traceLinks {
+			topts = append(topts, obs.TraceLinks())
+		}
+		opt.Tracer = obs.NewTracer(f, topts...)
+	}
+	if err := opt.Validate(); err != nil {
+		fmt.Fprintf(errOut, "rfsim: %v\n", err)
+		return 2
+	}
+
+	start := time.Now()
+	timings := make(map[string]float64, len(ids))
 	for _, id := range ids {
+		t0 := time.Now()
 		res, err := experiments.Run(id, opt)
 		if err != nil {
 			fmt.Fprintf(errOut, "rfsim: %v\n", err)
 			return 1
 		}
+		timings[id] = time.Since(t0).Seconds()
 		if *csv {
 			for _, tab := range res.Tables {
 				fmt.Fprintf(out, "# %s: %s\n%s\n", res.ID, tab.Title, tab.CSV())
@@ -66,6 +104,38 @@ func run(args []string, out, errOut io.Writer) int {
 		} else {
 			fmt.Fprintln(out, res)
 		}
+	}
+
+	if opt.Tracer != nil {
+		if err := opt.Tracer.Close(); err != nil {
+			fmt.Fprintf(errOut, "rfsim: trace: %v\n", err)
+			return 1
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(errOut, "rfsim: trace: %v\n", err)
+			return 1
+		}
+	}
+	if opt.Metrics != nil {
+		snap := opt.Metrics.Snapshot()
+		m := obs.Manifest{
+			Tool:            "rfsim",
+			Experiments:     ids,
+			Seed:            *seed,
+			Trials:          *trials,
+			Workers:         *workers,
+			GoVersion:       runtime.Version(),
+			GitRevision:     obs.GitRevision(),
+			Start:           start.UTC(),
+			DurationSeconds: time.Since(start).Seconds(),
+			Timings:         timings,
+			Metrics:         &snap,
+		}
+		if err := obs.WriteManifest(*metricsPath, m); err != nil {
+			fmt.Fprintf(errOut, "rfsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(errOut, "rfsim: wrote %s\n", *metricsPath)
 	}
 	return 0
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rfidtrack/internal/obs"
+)
+
+// TestMeasureMetricsDeterminism is the engine-level half of the
+// observability contract: the merged metric snapshot (minus wall time) is
+// bit-identical for any worker count, just like the reliability results.
+func TestMeasureMetricsDeterminism(t *testing.T) {
+	const trials, firstPass = 24, 3
+	snapshotWith := func(workers int) (obs.Snapshot, Reliability) {
+		m := obs.NewMetrics()
+		rel, err := MeasureParallelOpts(richPortal, trials, firstPass,
+			MeasureOpts{Workers: workers, Metrics: m})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return m.Snapshot().Canonical(), rel
+	}
+	want, wantRel := snapshotWith(1)
+	if want.Counters["pass.count"] != trials {
+		t.Fatalf("pass.count = %d, want %d", want.Counters["pass.count"], trials)
+	}
+	if want.Counters["round.count"] == 0 || want.Counters["link.resolutions"] == 0 {
+		t.Fatalf("metrics empty: %+v", want.Counters)
+	}
+	for _, workers := range []int{2, 8} {
+		got, gotRel := snapshotWith(workers)
+		if !reflect.DeepEqual(want, got) {
+			a, _ := json.Marshal(want)
+			b, _ := json.Marshal(got)
+			t.Errorf("workers=%d snapshot diverges:\n1: %s\n%d: %s", workers, a, workers, b)
+		}
+		if !reflect.DeepEqual(wantRel, gotRel) {
+			t.Errorf("workers=%d reliability diverges under instrumentation", workers)
+		}
+	}
+}
+
+// TestMeasureMetricsConsistency sanity-checks the engine's counters
+// against the structure of the scene: every pass is counted, every round
+// resolves one link per (tag, active antenna), and each (tag, antenna)
+// opportunity series sums to that antenna's rounds.
+func TestMeasureMetricsConsistency(t *testing.T) {
+	const trials = 8
+	m := obs.NewMetrics()
+	if _, err := MeasureParallelOpts(richPortal, trials, 0,
+		MeasureOpts{Workers: 2, Metrics: m}); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	// richPortal: 3 tags, 2 readers with 1 antenna each → each round
+	// resolves 3 links, and each (tag, antenna) pair appears.
+	if got, want := s.Counters["link.resolutions"], 3*s.Counters["round.count"]; got != want {
+		t.Errorf("link.resolutions = %d, want 3×rounds = %d", got, want)
+	}
+	if len(s.Opportunities) != 6 {
+		t.Fatalf("opportunity series = %d, want 3 tags × 2 antennas", len(s.Opportunities))
+	}
+	var oppRounds uint64
+	for _, o := range s.Opportunities {
+		oppRounds += o.Rounds()
+	}
+	if oppRounds != 3*s.Counters["round.count"] {
+		t.Errorf("opportunity outcomes %d != 3×rounds %d", oppRounds, 3*s.Counters["round.count"])
+	}
+	if s.Histograms["pass.rounds"].Count != trials {
+		t.Errorf("pass.rounds count = %d, want %d", s.Histograms["pass.rounds"].Count, trials)
+	}
+	if s.WallTime == nil || s.WallTime.PassMicros.Count != trials {
+		t.Errorf("wall-time section missing or short: %+v", s.WallTime)
+	}
+}
+
+// TestMeasureTrace drives a measurement with the tracer attached and
+// checks the JSONL stream is well-formed and complete per pass.
+func TestMeasureTrace(t *testing.T) {
+	const trials = 4
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	if _, err := MeasureParallelOpts(richPortal, trials, 0,
+		MeasureOpts{Workers: 1, Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	begins, ends, rounds := 0, 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev struct {
+			Ev     string `json:"ev"`
+			Rounds int    `json:"rounds"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		switch ev.Ev {
+		case "pass_begin":
+			begins++
+		case "pass_end":
+			ends++
+		case "round":
+			rounds++
+		default:
+			t.Fatalf("unexpected event %q", ev.Ev)
+		}
+	}
+	if begins != trials || ends != trials {
+		t.Errorf("pass events = %d begin / %d end, want %d each", begins, ends, trials)
+	}
+	if rounds == 0 {
+		t.Error("no round events traced")
+	}
+}
+
+// TestMeasureInstrumentedMatchesBare: attaching metrics and tracing must
+// not change measured reliability.
+func TestMeasureInstrumentedMatchesBare(t *testing.T) {
+	want, err := MeasureParallel(richPortal, 12, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	got, err := MeasureParallelOpts(richPortal, 12, 0, MeasureOpts{
+		Workers: 2, Metrics: obs.NewMetrics(), Tracer: obs.NewTracer(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("instrumentation changed measured reliability")
+	}
+}

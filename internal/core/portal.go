@@ -11,8 +11,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rfidtrack/internal/epc"
+	"rfidtrack/internal/obs"
 	"rfidtrack/internal/reader"
 	"rfidtrack/internal/stats"
 	"rfidtrack/internal/world"
@@ -22,6 +24,24 @@ import (
 type Portal struct {
 	World   *world.World
 	Readers []*reader.Reader
+
+	// obs and tracer, when non-nil, instrument every pass (see Observe).
+	obs    *obs.Collector
+	tracer *obs.Tracer
+}
+
+// Observe attaches instrumentation to the portal and propagates it to
+// the world (link-resolution counts) and every reader (round summaries,
+// opportunity outcomes). The collector shard must be private to the
+// goroutine running this portal's passes; the tracer may be shared. Nil
+// arguments detach, restoring the zero-cost disabled path.
+func (p *Portal) Observe(c *obs.Collector, tr *obs.Tracer) {
+	p.obs = c
+	p.tracer = tr
+	p.World.Observe(c)
+	for _, r := range p.Readers {
+		r.Observe(c, tr)
+	}
 }
 
 // PassResult is the outcome of one trial.
@@ -51,6 +71,13 @@ func (p *Portal) RunPass(passID int) PassResult {
 // slice and the read-EPC set are truncated and reused, so a measurement
 // loop allocates per-pass state once instead of once per trial.
 func (p *Portal) runPassInto(passID int, res *PassResult) {
+	var start time.Time
+	if p.obs != nil {
+		start = time.Now()
+	}
+	if p.tracer != nil {
+		p.tracer.PassBegin(passID)
+	}
 	if res.ReadEPCs == nil {
 		res.ReadEPCs = make(map[epc.Code]bool)
 	} else {
@@ -102,6 +129,13 @@ func (p *Portal) runPassInto(passID int, res *PassResult) {
 			// Static scene: exactly one cycle per pass.
 			break
 		}
+	}
+
+	if p.obs != nil {
+		p.obs.PassDone(res.Rounds, res.Duration, time.Since(start))
+	}
+	if p.tracer != nil {
+		p.tracer.PassEnd(passID, res.Rounds, len(res.Events), res.Duration)
 	}
 }
 
@@ -222,6 +256,21 @@ func (p *Portal) Measure(n, firstPass int) Reliability {
 // inside the builder, not after it.
 type Builder func() (*Portal, error)
 
+// MeasureOpts parameterizes MeasureParallelOpts.
+type MeasureOpts struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Metrics, when non-nil, collects engine counters and histograms: each
+	// worker replica writes its own shard, and the merged snapshot is
+	// identical for any worker count (every deterministic metric is an
+	// order-independent integer sum over pass-pure events).
+	Metrics *obs.Metrics
+	// Tracer, when non-nil, receives pass/round (and optionally link)
+	// events from every worker. Lines from concurrent workers interleave;
+	// sort by (pass, round) to reconstruct per-pass order.
+	Tracer *obs.Tracer
+}
+
 // MeasureParallel is Measure fanned across a worker pool. Each worker gets
 // its own portal replica from build (workers share no mutable tag, reader,
 // or world state), pulls pass indices from a shared counter, and writes
@@ -233,6 +282,14 @@ type Builder func() (*Portal, error)
 // workers <= 0 selects GOMAXPROCS. One worker (or n <= 1) degenerates to
 // the sequential path on a single replica.
 func MeasureParallel(build Builder, n, firstPass, workers int) (Reliability, error) {
+	return MeasureParallelOpts(build, n, firstPass, MeasureOpts{Workers: workers})
+}
+
+// MeasureParallelOpts is MeasureParallel with instrumentation: portal
+// replicas are observed with per-worker metric shards and the shared
+// tracer before any pass runs.
+func MeasureParallelOpts(build Builder, n, firstPass int, o MeasureOpts) (Reliability, error) {
+	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -244,6 +301,9 @@ func MeasureParallel(build Builder, n, firstPass, workers int) (Reliability, err
 		if err != nil {
 			return Reliability{}, err
 		}
+		if o.Metrics != nil || o.Tracer != nil {
+			p.Observe(o.Metrics.Shard(), o.Tracer)
+		}
 		return p.Measure(n, firstPass), nil
 	}
 	portals := make([]*Portal, workers)
@@ -251,6 +311,9 @@ func MeasureParallel(build Builder, n, firstPass, workers int) (Reliability, err
 		p, err := build()
 		if err != nil {
 			return Reliability{}, err
+		}
+		if o.Metrics != nil || o.Tracer != nil {
+			p.Observe(o.Metrics.Shard(), o.Tracer)
 		}
 		portals[i] = p
 	}

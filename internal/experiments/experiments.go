@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"rfidtrack/internal/core"
+	"rfidtrack/internal/obs"
 	"rfidtrack/internal/report"
 )
 
@@ -20,13 +21,33 @@ type Options struct {
 	Seed uint64
 	// Trials overrides each experiment's paper-default trial count when
 	// positive. More trials tighten the estimates beyond what the paper's
-	// small samples could.
+	// small samples could. Negative values are rejected by Validate.
 	Trials int
 	// Workers is the measurement worker-pool size: trials of one condition
 	// fan out across this many portal replicas. Zero (the default) selects
 	// GOMAXPROCS. Results are bit-identical for every worker count; see
-	// core.MeasureParallel.
+	// core.MeasureParallel. Negative values are rejected by Validate.
 	Workers int
+	// Metrics, when non-nil, collects engine counters, histograms, and
+	// per-(tag, antenna) opportunity outcomes across every measurement of
+	// the run. The merged snapshot's deterministic sections are
+	// bit-identical for any Workers value (see obs.Snapshot.Canonical).
+	Metrics *obs.Metrics
+	// Tracer, when non-nil, receives JSONL pass/round (and optionally
+	// link) events from every measurement.
+	Tracer *obs.Tracer
+}
+
+// Validate rejects option values that would otherwise be silently
+// reinterpreted: negative worker pools and negative trial overrides.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: Workers must be >= 0 (0 selects GOMAXPROCS), got %d", o.Workers)
+	}
+	if o.Trials < 0 {
+		return fmt.Errorf("experiments: Trials must be >= 0 (0 selects each experiment's paper default), got %d", o.Trials)
+	}
+	return nil
 }
 
 func (o Options) trials(paperDefault int) int {
@@ -37,9 +58,18 @@ func (o Options) trials(paperDefault int) int {
 }
 
 // measure runs trials passes of the portal the builder constructs through
-// the parallel measurement engine, honoring o.Workers.
+// the parallel measurement engine, honoring o.Workers and attaching the
+// run's instrumentation. A non-positive trial count is an error: a silent
+// zero-trial measurement would report empty reliability as if measured.
 func (o Options) measure(build core.Builder, trials, firstPass int) (core.Reliability, error) {
-	return core.MeasureParallel(build, trials, firstPass, o.Workers)
+	if trials <= 0 {
+		return core.Reliability{}, fmt.Errorf("experiments: trial count must be positive, got %d", trials)
+	}
+	return core.MeasureParallelOpts(build, trials, firstPass, core.MeasureOpts{
+		Workers: o.Workers,
+		Metrics: o.Metrics,
+		Tracer:  o.Tracer,
+	})
 }
 
 // Result is a completed experiment.
@@ -108,6 +138,9 @@ func IDs() []string {
 
 // Run executes one experiment by id.
 func Run(id string, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())

@@ -50,6 +50,57 @@ func TestOptionsTrials(t *testing.T) {
 	}
 }
 
+// TestOptionsValidate: invalid worker pools and trial overrides must be
+// rejected with a clear error instead of silently reinterpreted.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		opt     Options
+		wantErr string // "" means valid
+	}{
+		{"zero value", Options{}, ""},
+		{"defaults", Options{Seed: 1, Trials: 12, Workers: 4}, ""},
+		{"zero workers selects GOMAXPROCS", Options{Workers: 0}, ""},
+		{"negative workers", Options{Workers: -1}, "Workers"},
+		{"very negative workers", Options{Workers: -64}, "Workers"},
+		{"negative trials", Options{Trials: -3}, "Trials"},
+		{"both negative reports workers first", Options{Workers: -1, Trials: -1}, "Workers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opt.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted %+v", tc.opt)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not name %s", err, tc.wantErr)
+			}
+		})
+	}
+	// Run enforces validation before dispatch.
+	if _, err := Run("fig2", Options{Workers: -2}); err == nil {
+		t.Error("Run accepted negative Workers")
+	}
+	if _, err := Run("fig2", Options{Trials: -2}); err == nil {
+		t.Error("Run accepted negative Trials")
+	}
+}
+
+// TestMeasureRejectsZeroTrials: a zero resolved trial count must error
+// out rather than silently measuring nothing.
+func TestMeasureRejectsZeroTrials(t *testing.T) {
+	_, err := (Options{}).measure(nil, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "trial count") {
+		t.Errorf("zero-trial measure error = %v", err)
+	}
+}
+
 func TestFig2Shape(t *testing.T) {
 	res, err := Fig2ReadRange(Options{Seed: 1, Trials: 12})
 	if err != nil {

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rfidtrack/internal/obs"
+)
+
+// TestMetricsMergeDeterminism is the harness-level spelling of the
+// observability contract, mirroring TestWorkersDeterminism: an entire
+// experiment's merged metric snapshot — counters, histograms, and every
+// per-(tag, antenna) opportunity series — is bit-identical for any
+// worker-pool size once the nondeterministic wall-time section is
+// stripped.
+func TestMetricsMergeDeterminism(t *testing.T) {
+	for _, id := range []string{"table1", "table3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			snapshotWith := func(workers int) string {
+				m := obs.NewMetrics()
+				opt := Options{Seed: 424242, Trials: 6, Workers: workers, Metrics: m}
+				if _, err := Run(id, opt); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				snap := m.Snapshot()
+				if snap.Counters["pass.count"] == 0 || len(snap.Opportunities) == 0 {
+					t.Fatalf("workers=%d collected no metrics: %+v", workers, snap.Counters)
+				}
+				buf, err := json.Marshal(snap.Canonical())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return string(buf)
+			}
+			want := snapshotWith(1)
+			for _, workers := range []int{2, 8} {
+				if got := snapshotWith(workers); got != want {
+					t.Errorf("workers=%d metric snapshot differs from workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+						workers, want, workers, got)
+				}
+			}
+		})
+	}
+}

@@ -40,6 +40,9 @@ type Result struct {
 	// CRCFailures counts EPC replies the reader discarded as corrupted
 	// (followed by a NAK; the tag rejoins the round).
 	CRCFailures int
+	// QAdjusts counts the QueryAdjust commands the round issued (the
+	// Q-algorithm's mid-round frame-size corrections).
+	QAdjusts int
 	// Duration is the simulated time the round consumed.
 	Duration float64
 	// FinalQ is the Q value when the round ended.
@@ -247,6 +250,7 @@ func RunRound(cfg Config, parts []Participant, now float64) Result {
 		replies = make(map[int]tagsim.Reply)
 		if cfg.Adaptive && qChanged {
 			q = alg.Q()
+			res.QAdjusts++
 			advance(cfg.Timing.AdjustSeconds())
 			for i, p := range parts {
 				if !p.ForwardOK {

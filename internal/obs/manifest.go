@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest is the record written next to experiment output: everything
+// needed to reproduce the run (config, seed, workers, revision) plus its
+// timings and the full metric snapshot.
+type Manifest struct {
+	// Tool is the producing command ("experiments", "rfsim", …).
+	Tool string `json:"tool"`
+	// Experiments lists the experiment ids the run executed.
+	Experiments []string `json:"experiments,omitempty"`
+	Seed        uint64   `json:"seed"`
+	// Trials is the per-experiment override (0 = paper defaults).
+	Trials int `json:"trials"`
+	// Workers is the requested pool size (0 = GOMAXPROCS).
+	Workers     int    `json:"workers"`
+	GoVersion   string `json:"go_version,omitempty"`
+	GitRevision string `json:"git_revision,omitempty"`
+	// Start is the run's wall-clock start (UTC).
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	// Timings maps experiment id to its wall-clock seconds.
+	Timings map[string]float64 `json:"timings,omitempty"`
+	// Metrics is the merged metric snapshot (including WallTime).
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// GitRevision returns the VCS revision stamped into the binary by the Go
+// toolchain ("-dirty" suffixed when the tree was modified), or "unknown"
+// when the build carries no VCS metadata (go test binaries, go run).
+func GitRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", ""
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	return rev + dirty
+}
+
+// WriteManifest marshals the manifest as indented JSON to path.
+func WriteManifest(path string, m Manifest) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads a manifest written by WriteManifest.
+func ReadManifest(path string) (Manifest, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("obs: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return Manifest{}, fmt.Errorf("obs: parse manifest %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewMetrics()
+	c := m.Shard()
+	c.RoundDone(RoundStats{Slots: 4, Singles: 1, Reads: 1})
+	c.Opportunity("t1", "a1", OutRead)
+	c.PassDone(1, 0.5, time.Millisecond)
+	snap := m.Snapshot()
+
+	in := Manifest{
+		Tool:            "test",
+		Experiments:     []string{"fig2"},
+		Seed:            7,
+		Trials:          12,
+		Workers:         4,
+		GoVersion:       "go1.24.0",
+		GitRevision:     GitRevision(),
+		Start:           time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		DurationSeconds: 1.25,
+		Timings:         map[string]float64{"fig2": 1.25},
+		Metrics:         &snap,
+	}
+	path := filepath.Join(t.TempDir(), "run.manifest.json")
+	if err := WriteManifest(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tool != in.Tool || out.Seed != in.Seed || out.Workers != in.Workers ||
+		!out.Start.Equal(in.Start) || out.Timings["fig2"] != 1.25 {
+		t.Errorf("round trip mangled manifest: %+v", out)
+	}
+	if out.Metrics == nil || out.Metrics.Counters["round.count"] != 1 {
+		t.Errorf("round trip lost metrics: %+v", out.Metrics)
+	}
+	if len(out.Metrics.Opportunities) != 1 || out.Metrics.Opportunities[0].Tag != "t1" {
+		t.Errorf("round trip lost opportunities: %+v", out.Metrics.Opportunities)
+	}
+}
+
+func TestReadManifestErrors(t *testing.T) {
+	if _, err := ReadManifest(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bad); err == nil {
+		t.Error("malformed manifest accepted")
+	}
+}
+
+// GitRevision must never fail outright — "unknown" is the worst case.
+func TestGitRevision(t *testing.T) {
+	if GitRevision() == "" {
+		t.Error("GitRevision returned empty string")
+	}
+}

@@ -1,0 +1,316 @@
+// Package obs is the measurement engine's instrumentation layer: sharded
+// counters and fixed-bucket histograms, an optional JSONL round/event
+// tracer, and run manifests.
+//
+// The contract is zero cost when disabled. Every hook in the hot path
+// (world.ResolveLink, reader rounds, core passes) is guarded by a single
+// nil check and performs no allocation, no atomic, and no call when the
+// observer is nil — pinned by the allocation guard in
+// internal/world/obs_alloc_test.go and by BenchmarkResolveLink.
+//
+// When enabled, each measurement worker writes into its own *Collector
+// shard (collectors are not safe for concurrent use; sharing is the
+// registry's job). Because a pass is a pure function of (configuration,
+// seed, passID) and every deterministic metric is an order-independent
+// integer sum, merging the shards yields the same Snapshot no matter how
+// many workers ran or which worker simulated which pass. Wall-clock
+// timings are the one inherently nondeterministic signal; they live in
+// the snapshot's WallTime section, which Canonical strips so snapshots
+// can be compared bit-for-bit across worker counts.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter identifies one scalar engine counter.
+type Counter int
+
+// The engine's scalar counters. Round counters accumulate over every
+// inventory round of every pass; link.resolutions counts calls into
+// world.ResolveLink (one per (tag, active antenna, round), foreign-carrier
+// resolutions excluded).
+const (
+	CtrPasses Counter = iota // pass.count
+	CtrRounds                // round.count
+	CtrSlots                 // round.slots
+	CtrEmpties               // round.empties
+	CtrSingles               // round.singles
+	CtrCollisions            // round.collisions
+	CtrCaptures              // round.captures
+	CtrCRCFailures           // round.crc_failures
+	CtrQAdjusts              // round.q_adjusts
+	CtrReads                 // round.reads
+	CtrLinkResolutions       // link.resolutions
+
+	numCounters
+)
+
+// counterNames are the stable snapshot keys, documented in DESIGN.md §8.
+var counterNames = [numCounters]string{
+	CtrPasses:          "pass.count",
+	CtrRounds:          "round.count",
+	CtrSlots:           "round.slots",
+	CtrEmpties:         "round.empties",
+	CtrSingles:         "round.singles",
+	CtrCollisions:      "round.collisions",
+	CtrCaptures:        "round.captures",
+	CtrCRCFailures:     "round.crc_failures",
+	CtrQAdjusts:        "round.q_adjusts",
+	CtrReads:           "round.reads",
+	CtrLinkResolutions: "link.resolutions",
+}
+
+// Histogram identifies one deterministic fixed-bucket histogram.
+type Histogram int
+
+// The engine's deterministic histograms. All values are integers bucketed
+// by powers of two (bucket k holds values in [2^(k-1), 2^k − 1]).
+const (
+	HistRoundsPerPass Histogram = iota // pass.rounds
+	HistSlotsPerRound                  // round.slots
+	HistReadsPerRound                  // round.reads
+	HistPassSimMillis                  // pass.sim_ms (simulated pass duration, ms)
+
+	numHistograms
+)
+
+var histogramNames = [numHistograms]string{
+	HistRoundsPerPass: "pass.rounds",
+	HistSlotsPerRound: "round.slots",
+	HistReadsPerRound: "round.reads",
+	HistPassSimMillis: "pass.sim_ms",
+}
+
+// Outcome classifies one (tag, antenna) read opportunity — one inventory
+// round in which the antenna illuminated the tag. These are the per-round
+// counts behind the paper's per-link probabilities P_i, the inputs to
+// R_C = 1 − Π(1−P_i).
+type Outcome int
+
+const (
+	// OutRead: the tag was singulated and its EPC decoded this round.
+	OutRead Outcome = iota
+	// OutMissed: both link directions were decodable but the round ended
+	// without a read (lost to arbitration, collisions, or CRC failure) —
+	// the protocol-limited misses.
+	OutMissed
+	// OutForwardOnly: the tag heard the reader but its backscatter was not
+	// decodable — the reverse-link-limited misses.
+	OutForwardOnly
+	// OutDeaf: the tag could not decode reader commands (unpowered or
+	// forward link down) — the power-limited misses.
+	OutDeaf
+
+	numOutcomes
+)
+
+// RoundStats is the per-round summary the reader reports after each
+// inventory round (a plain-data mirror of gen2.Result).
+type RoundStats struct {
+	Slots       int
+	Empties     int
+	Singles     int
+	Collisions  int
+	Captures    int
+	CRCFailures int
+	QAdjusts    int
+	Reads       int
+}
+
+// histBuckets is the fixed bucket count of every histogram: bucket 0
+// holds the value 0, bucket k in [1, histBuckets−2] holds values in
+// [2^(k−1), 2^k − 1], and the last bucket is the overflow.
+const histBuckets = 20
+
+// hist is one power-of-two-bucketed histogram.
+type hist struct {
+	buckets [histBuckets]uint64
+}
+
+func (h *hist) observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i]++
+}
+
+// opKey identifies one (tag, antenna) opportunity series.
+type opKey struct {
+	tag, antenna string
+}
+
+// Collector is one worker's shard: plain (non-atomic) counters written by
+// exactly one goroutine at a time. A nil *Collector is the disabled
+// state; hot paths guard every hook with a single nil check.
+type Collector struct {
+	counters [numCounters]uint64
+	hists    [numHistograms]hist
+
+	// Wall-clock timing: nondeterministic, merged into the snapshot's
+	// WallTime section only.
+	wallPassMicros hist
+	wallTotalNS    uint64
+
+	opps map[opKey]*[numOutcomes]uint64
+}
+
+func newCollector() *Collector {
+	return &Collector{opps: make(map[opKey]*[numOutcomes]uint64)}
+}
+
+// Inc adds one to a scalar counter.
+func (c *Collector) Inc(ctr Counter) { c.counters[ctr]++ }
+
+// Add adds n to a scalar counter.
+func (c *Collector) Add(ctr Counter, n uint64) { c.counters[ctr] += n }
+
+// Observe records one value into a histogram.
+func (c *Collector) Observe(h Histogram, v uint64) { c.hists[h].observe(v) }
+
+// PassDone records the completion of one simulated pass: the round count,
+// the simulated duration, and the wall-clock time the pass took.
+func (c *Collector) PassDone(rounds int, simDuration float64, wall time.Duration) {
+	c.counters[CtrPasses]++
+	c.hists[HistRoundsPerPass].observe(uint64(rounds))
+	if simDuration > 0 {
+		c.hists[HistPassSimMillis].observe(uint64(simDuration * 1e3))
+	}
+	if wall > 0 {
+		c.wallPassMicros.observe(uint64(wall.Microseconds()))
+		c.wallTotalNS += uint64(wall.Nanoseconds())
+	}
+}
+
+// RoundDone folds one inventory round's statistics into the counters.
+func (c *Collector) RoundDone(s RoundStats) {
+	c.counters[CtrRounds]++
+	c.counters[CtrSlots] += uint64(s.Slots)
+	c.counters[CtrEmpties] += uint64(s.Empties)
+	c.counters[CtrSingles] += uint64(s.Singles)
+	c.counters[CtrCollisions] += uint64(s.Collisions)
+	c.counters[CtrCaptures] += uint64(s.Captures)
+	c.counters[CtrCRCFailures] += uint64(s.CRCFailures)
+	c.counters[CtrQAdjusts] += uint64(s.QAdjusts)
+	c.counters[CtrReads] += uint64(s.Reads)
+	c.hists[HistSlotsPerRound].observe(uint64(s.Slots))
+	c.hists[HistReadsPerRound].observe(uint64(s.Reads))
+}
+
+// Opportunity records the outcome of one (tag, antenna) read opportunity.
+func (c *Collector) Opportunity(tag, antenna string, out Outcome) {
+	k := opKey{tag: tag, antenna: antenna}
+	row := c.opps[k]
+	if row == nil {
+		row = new([numOutcomes]uint64)
+		c.opps[k] = row
+	}
+	row[out]++
+}
+
+// Metrics is the sharded registry: the measurement engine requests one
+// Collector per worker via Shard and the owner merges them with Snapshot
+// once measurement is done. A nil *Metrics hands out nil shards, keeping
+// the whole pipeline disabled.
+type Metrics struct {
+	mu     sync.Mutex
+	shards []*Collector
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Shard registers and returns a new collector shard. Safe to call from
+// any goroutine; returns nil when the registry itself is nil.
+func (m *Metrics) Shard() *Collector {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := newCollector()
+	m.shards = append(m.shards, c)
+	return c
+}
+
+// Snapshot merges every shard into one Snapshot. All deterministic
+// metrics are integer sums, so the result is independent of shard count
+// and of which worker recorded what. Call only after the measurement
+// using the shards has finished (shards are not synchronized).
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64, int(numCounters)),
+		Histograms: make(map[string]HistSnapshot, int(numHistograms)),
+	}
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	shards := append([]*Collector(nil), m.shards...)
+	m.mu.Unlock()
+
+	var counters [numCounters]uint64
+	var hists [numHistograms]hist
+	var wallPass hist
+	var wallNS uint64
+	opps := make(map[opKey]*[numOutcomes]uint64)
+	for _, c := range shards {
+		for i := range counters {
+			counters[i] += c.counters[i]
+		}
+		for i := range hists {
+			for b := range hists[i].buckets {
+				hists[i].buckets[b] += c.hists[i].buckets[b]
+			}
+		}
+		for b := range wallPass.buckets {
+			wallPass.buckets[b] += c.wallPassMicros.buckets[b]
+		}
+		wallNS += c.wallTotalNS
+		for k, row := range c.opps {
+			dst := opps[k]
+			if dst == nil {
+				dst = new([numOutcomes]uint64)
+				opps[k] = dst
+			}
+			for i := range row {
+				dst[i] += row[i]
+			}
+		}
+	}
+
+	for i, v := range counters {
+		s.Counters[counterNames[i]] = v
+	}
+	for i := range hists {
+		s.Histograms[histogramNames[i]] = snapHist(&hists[i])
+	}
+	for k, row := range opps {
+		s.Opportunities = append(s.Opportunities, OpportunitySnapshot{
+			Tag:         k.tag,
+			Antenna:     k.antenna,
+			Read:        row[OutRead],
+			Missed:      row[OutMissed],
+			ForwardOnly: row[OutForwardOnly],
+			Deaf:        row[OutDeaf],
+		})
+	}
+	sort.Slice(s.Opportunities, func(i, j int) bool {
+		a, b := s.Opportunities[i], s.Opportunities[j]
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		return a.Antenna < b.Antenna
+	})
+	if wallNS > 0 {
+		s.WallTime = &WallSnapshot{
+			TotalSeconds: float64(wallNS) / 1e9,
+			PassMicros:   snapHist(&wallPass),
+		}
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNilMetricsAndCollector(t *testing.T) {
+	var m *Metrics
+	if c := m.Shard(); c != nil {
+		t.Fatal("nil Metrics handed out a non-nil shard")
+	}
+	snap := m.Snapshot()
+	if len(snap.Opportunities) != 0 || snap.WallTime != nil {
+		t.Errorf("nil Metrics snapshot not empty: %+v", snap)
+	}
+	if snap.Counters["pass.count"] != 0 {
+		t.Error("nil Metrics snapshot has counts")
+	}
+}
+
+func TestCountersAndHistograms(t *testing.T) {
+	m := NewMetrics()
+	c := m.Shard()
+	c.Inc(CtrLinkResolutions)
+	c.Add(CtrLinkResolutions, 4)
+	c.RoundDone(RoundStats{Slots: 16, Empties: 10, Singles: 5, Collisions: 1,
+		Captures: 1, CRCFailures: 2, QAdjusts: 3, Reads: 5})
+	c.PassDone(7, 2.5, 3*time.Millisecond)
+
+	s := m.Snapshot()
+	want := map[string]uint64{
+		"link.resolutions":   5,
+		"round.count":        1,
+		"round.slots":        16,
+		"round.empties":      10,
+		"round.singles":      5,
+		"round.collisions":   1,
+		"round.captures":     1,
+		"round.crc_failures": 2,
+		"round.q_adjusts":    3,
+		"round.reads":        5,
+		"pass.count":         1,
+	}
+	for name, v := range want {
+		if s.Counters[name] != v {
+			t.Errorf("counter %s = %d, want %d", name, s.Counters[name], v)
+		}
+	}
+	// 16 slots lands in the bucket with upper bound 31 (2^5 − 1).
+	h := s.Histograms["round.slots"]
+	if h.Count != 1 || len(h.Buckets) != 1 || h.Buckets[0].Le != "31" {
+		t.Errorf("round.slots histogram = %+v", h)
+	}
+	// 2.5 s simulated = 2500 ms → bucket le 4095.
+	if hs := s.Histograms["pass.sim_ms"]; hs.Count != 1 || hs.Buckets[0].Le != "4095" {
+		t.Errorf("pass.sim_ms histogram = %+v", hs)
+	}
+	if s.WallTime == nil || s.WallTime.TotalSeconds <= 0 || s.WallTime.PassMicros.Count != 1 {
+		t.Errorf("wall time not recorded: %+v", s.WallTime)
+	}
+	if got := s.Canonical(); got.WallTime != nil {
+		t.Error("Canonical kept the wall-time section")
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	m := NewMetrics()
+	c := m.Shard()
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1 << 30} {
+		c.Observe(HistRoundsPerPass, v)
+	}
+	h := m.Snapshot().Histograms["pass.rounds"]
+	if h.Count != 6 {
+		t.Fatalf("count = %d, want 6", h.Count)
+	}
+	// Buckets: 0→{0}, 1→{1}, 3→{2,3}, 7→{4}, +Inf→{2^30}.
+	wantBuckets := []HistBucket{
+		{Le: "0", Count: 1}, {Le: "1", Count: 1}, {Le: "3", Count: 2},
+		{Le: "7", Count: 1}, {Le: "+Inf", Count: 1},
+	}
+	if !reflect.DeepEqual(h.Buckets, wantBuckets) {
+		t.Errorf("buckets = %+v, want %+v", h.Buckets, wantBuckets)
+	}
+}
+
+// TestShardMergeIsOrderIndependent is the layer-level determinism
+// contract: the same events spread over any number of shards in any
+// arrangement merge to the same snapshot.
+func TestShardMergeIsOrderIndependent(t *testing.T) {
+	record := func(c *Collector, i int) {
+		c.RoundDone(RoundStats{Slots: 8 + i, Singles: 1, Reads: 1})
+		c.Opportunity("tag-a", "a1", OutRead)
+		c.Opportunity("tag-b", "a2", Outcome(i%int(numOutcomes)))
+		c.PassDone(3, 1.0, 0)
+	}
+	snapshotWith := func(shardCount int) string {
+		m := NewMetrics()
+		shards := make([]*Collector, shardCount)
+		for i := range shards {
+			shards[i] = m.Shard()
+		}
+		for i := 0; i < 24; i++ {
+			record(shards[i%shardCount], i)
+		}
+		buf, err := json.Marshal(m.Snapshot().Canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}
+	want := snapshotWith(1)
+	for _, n := range []int{2, 3, 8} {
+		if got := snapshotWith(n); got != want {
+			t.Errorf("%d shards merged differently:\n1: %s\n%d: %s", n, want, n, got)
+		}
+	}
+}
+
+func TestOpportunityRates(t *testing.T) {
+	m := NewMetrics()
+	c := m.Shard()
+	for i := 0; i < 3; i++ {
+		c.Opportunity("t", "a", OutRead)
+	}
+	c.Opportunity("t", "a", OutMissed)
+	c.Opportunity("t", "a", OutForwardOnly)
+	c.Opportunity("t", "a", OutDeaf)
+	s := m.Snapshot()
+	if len(s.Opportunities) != 1 {
+		t.Fatalf("opportunities = %d, want 1", len(s.Opportunities))
+	}
+	o := s.Opportunities[0]
+	if o.Rounds() != 6 || o.ReadRate() != 0.5 {
+		t.Errorf("rounds=%d rate=%v, want 6 and 0.5", o.Rounds(), o.ReadRate())
+	}
+	if !math.IsNaN((OpportunitySnapshot{}).ReadRate()) {
+		t.Error("empty series rate is not NaN")
+	}
+}
+
+func TestOpportunitySortOrder(t *testing.T) {
+	m := NewMetrics()
+	c := m.Shard()
+	c.Opportunity("b", "a2", OutRead)
+	c.Opportunity("b", "a1", OutRead)
+	c.Opportunity("a", "a9", OutRead)
+	s := m.Snapshot()
+	var got []string
+	for _, o := range s.Opportunities {
+		got = append(got, o.Tag+"/"+o.Antenna)
+	}
+	want := []string{"a/a9", "b/a1", "b/a2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}

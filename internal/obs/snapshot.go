@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Snapshot is the merged, serializable view of a Metrics registry.
+// Everything outside WallTime is deterministic: for a fixed
+// (configuration, seed, trial count) it is bit-identical no matter how
+// many workers measured — the property TestMetricsMergeDeterminism pins.
+type Snapshot struct {
+	// Counters maps counter name (DESIGN.md §8) to its total.
+	Counters map[string]uint64 `json:"counters"`
+	// Histograms maps histogram name to its fixed power-of-two buckets.
+	Histograms map[string]HistSnapshot `json:"histograms"`
+	// Opportunities lists per-(tag, antenna) read-opportunity outcomes,
+	// sorted by tag then antenna.
+	Opportunities []OpportunitySnapshot `json:"opportunities,omitempty"`
+	// WallTime is the nondeterministic section: wall-clock pass timings.
+	WallTime *WallSnapshot `json:"wall_time,omitempty"`
+}
+
+// HistSnapshot is one histogram: bucket k counts values in
+// [2^(k−1), 2^k − 1] (bucket 0 counts zeros, the last bucket overflows).
+// Only non-empty buckets are emitted, labeled by their inclusive upper
+// bound ("le") with "+Inf" for the overflow bucket.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket.
+type HistBucket struct {
+	// Le is the bucket's inclusive upper bound ("0", "1", "3", "7", …,
+	// "+Inf").
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// OpportunitySnapshot is the outcome tally of one (tag, antenna) series.
+type OpportunitySnapshot struct {
+	Tag         string `json:"tag"`
+	Antenna     string `json:"antenna"`
+	Read        uint64 `json:"read"`
+	Missed      uint64 `json:"missed,omitempty"`
+	ForwardOnly uint64 `json:"forward_only,omitempty"`
+	Deaf        uint64 `json:"deaf,omitempty"`
+}
+
+// Rounds is the total opportunities in the series.
+func (o OpportunitySnapshot) Rounds() uint64 {
+	return o.Read + o.Missed + o.ForwardOnly + o.Deaf
+}
+
+// ReadRate is the per-round read probability of the series (the paper's
+// per-opportunity P_i); NaN when the series is empty.
+func (o OpportunitySnapshot) ReadRate() float64 {
+	n := o.Rounds()
+	if n == 0 {
+		return math.NaN()
+	}
+	return float64(o.Read) / float64(n)
+}
+
+// WallSnapshot carries the wall-clock timings, the one section of a
+// snapshot that is *not* deterministic across runs or worker counts.
+type WallSnapshot struct {
+	// TotalSeconds is the summed wall time of all measured passes (CPU
+	// seconds of simulation, roughly workers × elapsed).
+	TotalSeconds float64 `json:"total_seconds"`
+	// PassMicros buckets each pass's wall time in microseconds.
+	PassMicros HistSnapshot `json:"pass_micros"`
+}
+
+// Canonical returns the snapshot with the nondeterministic WallTime
+// section stripped — the form that is bit-identical across worker counts
+// and safe to diff or golden-test.
+func (s Snapshot) Canonical() Snapshot {
+	s.WallTime = nil
+	return s
+}
+
+// snapHist converts an internal histogram into its serialized form.
+func snapHist(h *hist) HistSnapshot {
+	var out HistSnapshot
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		out.Count += n
+		out.Buckets = append(out.Buckets, HistBucket{Le: bucketLabel(i), Count: n})
+	}
+	return out
+}
+
+// bucketLabel renders bucket i's inclusive upper bound.
+func bucketLabel(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	if i >= histBuckets-1 {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", uint64(1)<<i-1)
+}

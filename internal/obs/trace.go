@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DefaultTraceMaxEvents bounds a tracer's output unless overridden: a
+// full experiment sweep emits a few hundred thousand round events, so the
+// default cap keeps a runaway (or link-level) trace from filling a disk.
+const DefaultTraceMaxEvents = 1 << 21
+
+// Tracer writes one JSON object per line (JSONL) for pass, round, and —
+// optionally — per-(tag, antenna) link events. The schema is documented
+// in DESIGN.md §8. A Tracer is safe for concurrent use: workers
+// interleave, so lines are ordered only within one pass's emitting
+// goroutine; consumers sort by (pass, round) when order matters.
+//
+// Output is buffered and bounded: after the event cap the tracer drops
+// events (counting them) and Close appends a final "truncated" record.
+// A nil *Tracer is the disabled state.
+type Tracer struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	links   bool
+	max     int64
+	n       int64
+	dropped int64
+	err     error
+}
+
+// TracerOption configures a Tracer.
+type TracerOption func(*Tracer)
+
+// TraceLinks enables per-(tag, antenna) link events — roughly
+// tags × rounds lines, large but the full picture of every read
+// opportunity.
+func TraceLinks() TracerOption {
+	return func(t *Tracer) { t.links = true }
+}
+
+// TraceMaxEvents overrides the event cap (n <= 0 keeps the default).
+func TraceMaxEvents(n int64) TracerOption {
+	return func(t *Tracer) {
+		if n > 0 {
+			t.max = n
+		}
+	}
+}
+
+// NewTracer wraps w in a buffered, bounded JSONL tracer.
+func NewTracer(w io.Writer, opts ...TracerOption) *Tracer {
+	t := &Tracer{w: bufio.NewWriterSize(w, 1<<16), max: DefaultTraceMaxEvents}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Links reports whether link-level events are enabled; hot paths check it
+// before assembling per-tag event data.
+func (t *Tracer) Links() bool { return t != nil && t.links }
+
+// emit marshals one event and appends it as a line, honoring the cap.
+func (t *Tracer) emit(v any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if t.n >= t.max {
+		t.dropped++
+		return
+	}
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+	if _, err := t.w.Write(buf); err != nil {
+		t.err = err
+		return
+	}
+	if err := t.w.WriteByte('\n'); err != nil {
+		t.err = err
+	}
+}
+
+// PassBegin records the start of one simulated pass.
+func (t *Tracer) PassBegin(pass int) {
+	t.emit(struct {
+		Ev   string `json:"ev"`
+		Pass int    `json:"pass"`
+	}{"pass_begin", pass})
+}
+
+// PassEnd records the completion of one pass with its summary.
+func (t *Tracer) PassEnd(pass, rounds, events int, duration float64) {
+	t.emit(struct {
+		Ev       string  `json:"ev"`
+		Pass     int     `json:"pass"`
+		Rounds   int     `json:"rounds"`
+		Events   int     `json:"events"`
+		Duration float64 `json:"duration_s"`
+	}{"pass_end", pass, rounds, events, duration})
+}
+
+// Round records one inventory round's summary.
+func (t *Tracer) Round(pass, round int, reader, antenna string, at float64, s RoundStats, duration float64) {
+	t.emit(struct {
+		Ev          string  `json:"ev"`
+		Pass        int     `json:"pass"`
+		Round       int     `json:"round"`
+		Reader      string  `json:"reader"`
+		Antenna     string  `json:"antenna"`
+		T           float64 `json:"t"`
+		Slots       int     `json:"slots"`
+		Empties     int     `json:"empties"`
+		Singles     int     `json:"singles"`
+		Collisions  int     `json:"collisions"`
+		Captures    int     `json:"captures,omitempty"`
+		CRCFailures int     `json:"crc_failures,omitempty"`
+		QAdjusts    int     `json:"q_adjusts,omitempty"`
+		Reads       int     `json:"reads"`
+		Duration    float64 `json:"duration_s"`
+	}{"round", pass, round, reader, antenna, at, s.Slots, s.Empties, s.Singles,
+		s.Collisions, s.Captures, s.CRCFailures, s.QAdjusts, s.Reads, duration})
+}
+
+// Link records one (tag, antenna) link resolution outcome for the round.
+// Emitted only when TraceLinks is enabled.
+func (t *Tracer) Link(pass, round int, reader, antenna, tag string, rssiDBm float64, forwardOK, reverseOK, read bool) {
+	t.emit(struct {
+		Ev        string  `json:"ev"`
+		Pass      int     `json:"pass"`
+		Round     int     `json:"round"`
+		Reader    string  `json:"reader"`
+		Antenna   string  `json:"antenna"`
+		Tag       string  `json:"tag"`
+		RSSIDBm   float64 `json:"rssi_dbm"`
+		ForwardOK bool    `json:"forward_ok"`
+		ReverseOK bool    `json:"reverse_ok"`
+		Read      bool    `json:"read"`
+	}{"link", pass, round, reader, antenna, tag, rssiDBm, forwardOK, reverseOK, read})
+}
+
+// Dropped returns how many events the cap discarded so far.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Close flushes the buffer, appending a "truncated" record first when the
+// cap dropped events, and returns the first write error encountered.
+func (t *Tracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dropped > 0 && t.err == nil {
+		if buf, err := json.Marshal(struct {
+			Ev      string `json:"ev"`
+			Dropped int64  `json:"dropped"`
+		}{"truncated", t.dropped}); err == nil {
+			t.w.Write(buf)
+			t.w.WriteByte('\n')
+		}
+	}
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeLines parses a JSONL stream into generic maps, failing on any
+// malformed line.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestTracerEmitsSchema(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TraceLinks())
+	tr.PassBegin(3)
+	tr.Round(3, 0, "r1", "a1", 0.5, RoundStats{Slots: 16, Singles: 2, Reads: 2}, 0.04)
+	tr.Link(3, 0, "r1", "a1", "tag-x", -61.5, true, true, true)
+	tr.PassEnd(3, 1, 2, 2.5)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeLines(t, &buf)
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	for i, ev := range []string{"pass_begin", "round", "link", "pass_end"} {
+		if lines[i]["ev"] != ev {
+			t.Errorf("line %d ev = %v, want %s", i, lines[i]["ev"], ev)
+		}
+		if lines[i]["pass"] != float64(3) {
+			t.Errorf("line %d pass = %v, want 3", i, lines[i]["pass"])
+		}
+	}
+	round := lines[1]
+	if round["slots"] != float64(16) || round["reads"] != float64(2) ||
+		round["reader"] != "r1" || round["antenna"] != "a1" {
+		t.Errorf("round event = %v", round)
+	}
+	link := lines[2]
+	if link["tag"] != "tag-x" || link["rssi_dbm"] != -61.5 ||
+		link["forward_ok"] != true || link["read"] != true {
+		t.Errorf("link event = %v", link)
+	}
+}
+
+func TestTracerLinksGating(t *testing.T) {
+	var off *Tracer
+	if off.Links() {
+		t.Error("nil tracer reports links enabled")
+	}
+	if NewTracer(&bytes.Buffer{}).Links() {
+		t.Error("default tracer reports links enabled")
+	}
+	if !NewTracer(&bytes.Buffer{}, TraceLinks()).Links() {
+		t.Error("TraceLinks tracer reports links disabled")
+	}
+}
+
+func TestTracerBoundedBuffering(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TraceMaxEvents(2))
+	for i := 0; i < 5; i++ {
+		tr.PassBegin(i)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Errorf("dropped = %d, want 3", got)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeLines(t, &buf)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 2 events + truncation marker", len(lines))
+	}
+	last := lines[2]
+	if last["ev"] != "truncated" || last["dropped"] != float64(3) {
+		t.Errorf("truncation marker = %v", last)
+	}
+}

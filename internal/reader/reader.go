@@ -13,6 +13,7 @@ import (
 	"rfidtrack/internal/epc"
 	"rfidtrack/internal/estimate"
 	"rfidtrack/internal/gen2"
+	"rfidtrack/internal/obs"
 	"rfidtrack/internal/units"
 	"rfidtrack/internal/world"
 )
@@ -91,6 +92,13 @@ type Reader struct {
 	parts []gen2.Participant
 	links []units.DBm
 
+	// obs and tracer, when non-nil, receive round summaries and
+	// per-(tag, antenna) opportunity outcomes (see Observe). readMark is
+	// observation scratch, sized like parts.
+	obs      *obs.Collector
+	tracer   *obs.Tracer
+	readMark []bool
+
 	mu     sync.Mutex
 	round  int
 	buffer []Event
@@ -133,6 +141,16 @@ func (r *Reader) BeginPass() {
 	if r.frameAdaptive {
 		r.lastEstimate = float64(int(1) << r.cfg.InitialQ)
 	}
+}
+
+// Observe attaches (or, with nil arguments, detaches) instrumentation:
+// the collector takes round statistics and read-opportunity outcomes,
+// the tracer round (and optionally link) events. The collector must be
+// private to the goroutine running this reader's rounds; the tracer may
+// be shared (it synchronizes internally).
+func (r *Reader) Observe(c *obs.Collector, tr *obs.Tracer) {
+	r.obs = c
+	r.tracer = tr
 }
 
 // DenseMode reports whether dense-reader mode is enabled.
@@ -205,10 +223,66 @@ func (r *Reader) RunRound(passID int, t float64, foreign []world.ForeignEmitter)
 		})
 	}
 
+	if r.obs != nil || r.tracer != nil {
+		r.observeRound(passID, round, t, ant, parts, links, &res)
+	}
+
 	r.mu.Lock()
 	r.buffer = append(r.buffer, events...)
 	r.mu.Unlock()
 	return events, res.Duration
+}
+
+// observeRound reports one finished round to the attached collector and
+// tracer: the round summary, plus one read-opportunity outcome per
+// (tag, active antenna) — the per-link counts behind the paper's P_i.
+// Only reached when instrumentation is attached; the disabled path stays
+// allocation-free.
+func (r *Reader) observeRound(passID, round int, t float64, ant *world.Antenna,
+	parts []gen2.Participant, links []units.DBm, res *gen2.Result) {
+	stats := obs.RoundStats{
+		Slots:       res.Slots,
+		Empties:     res.Empties,
+		Singles:     res.Singles,
+		Collisions:  res.Collisions,
+		Captures:    res.Captures,
+		CRCFailures: res.CRCFailures,
+		QAdjusts:    res.QAdjusts,
+		Reads:       len(res.Reads),
+	}
+	if cap(r.readMark) < len(parts) {
+		r.readMark = make([]bool, len(parts))
+	}
+	mark := r.readMark[:len(parts)]
+	clear(mark)
+	for _, read := range res.Reads {
+		mark[read.Index] = true
+	}
+	tags := r.world.Tags()
+	if c := r.obs; c != nil {
+		c.RoundDone(stats)
+		for i := range parts {
+			out := obs.OutDeaf
+			switch {
+			case mark[i]:
+				out = obs.OutRead
+			case parts[i].ForwardOK && parts[i].ReverseOK:
+				out = obs.OutMissed
+			case parts[i].ForwardOK:
+				out = obs.OutForwardOnly
+			}
+			c.Opportunity(tags[i].Name, ant.Name, out)
+		}
+	}
+	if tr := r.tracer; tr != nil {
+		tr.Round(passID, round, r.name, ant.Name, t, stats, res.Duration)
+		if tr.Links() {
+			for i := range parts {
+				tr.Link(passID, round, r.name, ant.Name, tags[i].Name,
+					float64(links[i]), parts[i].ForwardOK, parts[i].ReverseOK, mark[i])
+			}
+		}
+	}
 }
 
 // frameQ converts the running population estimate into the next round's

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"rfidtrack/internal/geom"
+	"rfidtrack/internal/obs"
 	"rfidtrack/internal/rf"
 	"rfidtrack/internal/units"
 	"rfidtrack/internal/xrand"
@@ -43,6 +44,9 @@ const couplingSearchRadius = 0.10
 // combination: forward power at the tag chip, backscatter power at the
 // reader, and interference at both ends.
 func (w *World) ResolveLink(tag *Tag, ant *Antenna, ctx LinkContext) rf.Link {
+	if w.obs != nil {
+		w.obs.Inc(obs.CtrLinkResolutions)
+	}
 	var l rf.Link
 	var budget *rf.Budget
 	if ctx.Explain {

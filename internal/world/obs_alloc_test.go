@@ -1,0 +1,73 @@
+package world
+
+import (
+	"testing"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/obs"
+	"rfidtrack/internal/rf"
+)
+
+// obsWorld builds the BenchmarkResolveLink scene: one moving metal-content
+// box with a side tag and one portal antenna.
+func obsWorld() (*World, *Tag, *Antenna) {
+	w := New(rf.DefaultCalibration(), 1)
+	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	box := w.AddBox("box", geom.CrossingPass(1, 1, 2.5, 1),
+		geom.V(0.45, 0.4, 0.2), rf.Cardboard, rf.Metal, geom.V(0.38, 0.33, 0.15))
+	tag := w.AttachTag(box, "tag", testCode(1), Mount{
+		Offset: geom.V(0, -0.21, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+	})
+	return w, tag, ant
+}
+
+// TestResolveLinkZeroAllocWhenDisabled is the instrumentation layer's
+// zero-cost-when-disabled contract, enforced on every `make check`: with
+// no collector attached, a warmed-up ResolveLink performs no allocation
+// at all. (The field cache absorbs the only allocating path once the
+// labels for a (pass, round) have been drawn.)
+func TestResolveLinkZeroAllocWhenDisabled(t *testing.T) {
+	w, tag, ant := obsWorld()
+	ctx := LinkContext{Time: 2.5, Pass: 1, Round: 1}
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = w.ResolveLink(tag, ant, ctx)
+	}); avg != 0 {
+		t.Errorf("ResolveLink with obs disabled allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestResolveLinkObservedCounts: with a collector attached, every call is
+// counted, and detaching restores the disabled (zero-alloc) path.
+func TestResolveLinkObservedCounts(t *testing.T) {
+	w, tag, ant := obsWorld()
+	m := obs.NewMetrics()
+	w.Observe(m.Shard())
+	for i := 0; i < 5; i++ {
+		_ = w.ResolveLink(tag, ant, LinkContext{Time: 2.5, Pass: i, Round: 0})
+	}
+	if got := m.Snapshot().Counters["link.resolutions"]; got != 5 {
+		t.Errorf("link.resolutions = %d, want 5", got)
+	}
+
+	w.Observe(nil)
+	_ = w.ResolveLink(tag, ant, LinkContext{Time: 2.5, Pass: 0, Round: 0})
+	if got := m.Snapshot().Counters["link.resolutions"]; got != 5 {
+		t.Errorf("detached world still counted: %d", got)
+	}
+}
+
+// TestResolveLinkResultUnchangedByObservation: attaching instrumentation
+// must never perturb the physics.
+func TestResolveLinkResultUnchangedByObservation(t *testing.T) {
+	w1, tag1, ant1 := obsWorld()
+	w2, tag2, ant2 := obsWorld()
+	w2.Observe(obs.NewMetrics().Shard())
+	for pass := 0; pass < 3; pass++ {
+		ctx := LinkContext{Time: 2.5, Pass: pass, Round: pass}
+		a := w1.ResolveLink(tag1, ant1, ctx)
+		b := w2.ResolveLink(tag2, ant2, ctx)
+		if a != b {
+			t.Fatalf("pass %d: observed link differs: %+v vs %+v", pass, a, b)
+		}
+	}
+}

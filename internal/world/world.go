@@ -18,6 +18,7 @@ import (
 
 	"rfidtrack/internal/epc"
 	"rfidtrack/internal/geom"
+	"rfidtrack/internal/obs"
 	"rfidtrack/internal/rf"
 	"rfidtrack/internal/tagsim"
 	"rfidtrack/internal/units"
@@ -197,6 +198,10 @@ type World struct {
 	// cannot perturb results; it only removes the per-draw stream
 	// construction. Bounded by maxFieldCacheEntries.
 	fieldCache map[uint64][2]float64
+
+	// obs, when non-nil, counts link resolutions. The nil state must stay
+	// free: ResolveLink's disabled path is pinned at 0 allocs/op.
+	obs *obs.Collector
 }
 
 // fieldKeys are the precomputed label-prefix hash states (see World.keys).
@@ -285,6 +290,12 @@ func (w *World) AddAntenna(name string, pose geom.Pose) *Antenna {
 	w.antennas = append(w.antennas, a)
 	return a
 }
+
+// Observe attaches (or, with nil, detaches) a metrics collector. The
+// collector is written from link resolution, so it must be private to
+// whatever goroutine drives this world — the measurement engine hands
+// every worker replica its own shard.
+func (w *World) Observe(c *obs.Collector) { w.obs = c }
 
 // Tags returns every tag in the scene.
 func (w *World) Tags() []*Tag { return w.tags }
