@@ -12,10 +12,12 @@ all: build vet test
 check: build vet test alloc-guard
 	$(GO) test -race -short ./...
 
-# alloc-guard pins the observability zero-cost contract: with no
-# Collector attached, ResolveLink must not allocate (DESIGN.md §8).
+# alloc-guard pins the hot-path allocation contracts: with no Collector
+# attached ResolveLink must not allocate (DESIGN.md §8), and the
+# budget-terms cache's hit path must stay allocation-free with the cache
+# enabled (DESIGN.md §9).
 alloc-guard:
-	$(GO) test -run TestResolveLinkZeroAllocWhenDisabled -count=1 ./internal/world
+	$(GO) test -run 'TestResolveLinkZeroAllocWhenDisabled|TestResolveLinkCacheHitZeroAlloc' -count=1 ./internal/world
 
 build:
 	$(GO) build ./...
@@ -32,17 +34,21 @@ test-race:
 test-short:
 	$(GO) test -short ./...
 
-# bench runs every benchmark and snapshots the parsed results to
-# BENCH_1.json (see cmd/benchsnap) for machine-diffable tracking.
+# bench runs every benchmark and snapshots the parsed results to the
+# current baseline file (see cmd/benchsnap) for machine-diffable tracking.
+# Baselines are numbered per PR: BENCH_1.json is the parallel-engine
+# snapshot, BENCH_2.json adds the link cache.
+BENCH_BASELINE ?= BENCH_2.json
 bench:
-	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -o BENCH_1.json
+	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -o $(BENCH_BASELINE)
 
 # bench-diff re-runs the benchmarks into BENCH_new.json and compares them
-# against the committed BENCH_1.json baseline; fails when any benchmark
-# slows down past the threshold or a 0-alloc benchmark starts allocating.
+# against the committed baseline; fails when any benchmark slows down past
+# the threshold or a 0-alloc benchmark starts allocating. A missing
+# baseline skips the comparison with a pointer to `make bench`.
 bench-diff:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -q -o BENCH_new.json
-	$(GO) run ./cmd/benchsnap -old BENCH_1.json -new BENCH_new.json
+	$(GO) run ./cmd/benchsnap -old $(BENCH_BASELINE) -new BENCH_new.json
 
 experiments:
 	$(GO) run ./cmd/experiments -o EXPERIMENTS.md

@@ -118,9 +118,10 @@ func BenchmarkPortalPass(b *testing.B) {
 	b.ReportMetric(float64(reads)/float64(b.N), "reads/pass")
 }
 
-// BenchmarkResolveLink measures one full link-budget resolution (both
-// propagation paths, occlusion scan, coupling scan, random fields).
-func BenchmarkResolveLink(b *testing.B) {
+// benchLinkScene builds the shared link-resolution microbenchmark scene:
+// one moving metal-content box with a side tag and one portal antenna.
+func benchLinkScene(b *testing.B) (*world.World, *world.Tag, *world.Antenna) {
+	b.Helper()
 	w := world.New(rf.DefaultCalibration(), 1)
 	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
 	box := w.AddBox("box", geom.CrossingPass(1, 1, 2.5, 1),
@@ -132,6 +133,51 @@ func BenchmarkResolveLink(b *testing.B) {
 	tag := w.AttachTag(box, "tag", code, world.Mount{
 		Offset: geom.V(0, -0.21, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
 	})
+	return w, tag, ant
+}
+
+// BenchmarkResolveLink measures one full link-budget resolution (both
+// propagation paths, occlusion scan, coupling scan, random fields).
+func BenchmarkResolveLink(b *testing.B) {
+	w, tag, ant := benchLinkScene(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.ResolveLink(tag, ant, world.LinkContext{Time: 2.5, Pass: i & 1023, Round: i & 7})
+	}
+}
+
+// BenchmarkResolveLinkCached isolates the budget-terms cache paths of one
+// resolution (DESIGN.md §9): "hit" repeats one fully-warm context — the
+// steady state of a static-scene measurement — and "miss" invalidates the
+// scene every iteration, forcing the full deterministic recomputation plus
+// cache maintenance.
+func BenchmarkResolveLinkCached(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		w, tag, ant := benchLinkScene(b)
+		ctx := world.LinkContext{Time: 2.5, Pass: 1, Round: 1}
+		_ = w.ResolveLink(tag, ant, ctx)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = w.ResolveLink(tag, ant, ctx)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		w, tag, ant := benchLinkScene(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Invalidate()
+			_ = w.ResolveLink(tag, ant, world.LinkContext{Time: 2.5, Pass: i & 1023, Round: i & 7})
+		}
+	})
+}
+
+// BenchmarkResolveLinkCacheOff is BenchmarkResolveLink with the cache
+// disabled (the -linkcache=off escape hatch) — the A/B baseline the cached
+// benchmarks are read against.
+func BenchmarkResolveLinkCacheOff(b *testing.B) {
+	w, tag, ant := benchLinkScene(b)
+	w.SetLinkCache(false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = w.ResolveLink(tag, ant, world.LinkContext{Time: 2.5, Pass: i & 1023, Round: i & 7})
@@ -143,17 +189,7 @@ func BenchmarkResolveLink(b *testing.B) {
 // of enabled instrumentation (the disabled path is pinned at zero cost by
 // TestResolveLinkZeroAllocWhenDisabled and make bench-diff).
 func BenchmarkResolveLinkObserved(b *testing.B) {
-	w := world.New(rf.DefaultCalibration(), 1)
-	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
-	box := w.AddBox("box", geom.CrossingPass(1, 1, 2.5, 1),
-		geom.V(0.45, 0.4, 0.2), rf.Cardboard, rf.Metal, geom.V(0.38, 0.33, 0.15))
-	code, err := epc.GID96{Manager: 1, Class: 1, Serial: 1}.Encode()
-	if err != nil {
-		b.Fatal(err)
-	}
-	tag := w.AttachTag(box, "tag", code, world.Mount{
-		Offset: geom.V(0, -0.21, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
-	})
+	w, tag, ant := benchLinkScene(b)
 	w.Observe(obs.NewMetrics().Shard())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -73,6 +73,12 @@ func main() {
 			log.Fatal("compare mode needs both -old and -new")
 		}
 		a, err := readSnapshot(*oldPath)
+		if os.IsNotExist(err) {
+			// A brand-new checkout has no committed baseline yet; that is
+			// not a regression, so say what to do and succeed.
+			log.Printf("no baseline snapshot at %s; skipping comparison (run `make bench` to create one)", *oldPath)
+			return
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

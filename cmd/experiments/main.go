@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-trials N] [-workers N] [-o EXPERIMENTS.md]
+//	experiments [-seed N] [-trials N] [-workers N] [-parallel-experiments]
+//	            [-linkcache on|off] [-o EXPERIMENTS.md]
 //	            [-metrics] [-trace FILE] [-trace-links] [-pprof ADDR]
 //
 // With -metrics, the engine's instrumentation layer (internal/obs) is
@@ -27,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,6 +44,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	trials := flag.Int("trials", 0, "override per-experiment trial counts (0 = paper defaults)")
 	workers := flag.Int("workers", 0, "measurement worker pool size (0 = GOMAXPROCS); results are identical for any value")
+	parallelExp := flag.Bool("parallel-experiments", false, "run the registered experiments concurrently (bounded by GOMAXPROCS); results print in the usual order")
+	linkcache := flag.String("linkcache", "on", "deterministic budget-terms cache: on or off (off recomputes every link budget, for A/B benchmarking; results are bit-identical)")
 	out := flag.String("o", "", "output file (default stdout)")
 	metricsOn := flag.Bool("metrics", false, "collect engine metrics and write a run manifest next to the output")
 	manifestPath := flag.String("manifest", "", "manifest path (default: derived from -o when -metrics is set)")
@@ -61,6 +65,13 @@ func main() {
 	}
 
 	opt := experiments.Options{Seed: *seed, Trials: *trials, Workers: *workers}
+	switch *linkcache {
+	case "on":
+	case "off":
+		opt.DisableLinkCache = true
+	default:
+		log.Fatalf("experiments: -linkcache wants on or off, got %q", *linkcache)
+	}
 	if *metricsOn {
 		opt.Metrics = obs.NewMetrics()
 	}
@@ -92,16 +103,47 @@ func main() {
 	}
 
 	start := time.Now()
-	timings := make(map[string]float64, len(experiments.IDs()))
-	var results []*experiments.Result
-	for _, id := range experiments.IDs() {
-		t0 := time.Now()
-		res, err := experiments.Run(id, opt)
-		if err != nil {
-			log.Fatalf("experiments: %s: %v", id, err)
+	ids := experiments.IDs()
+	results := make([]*experiments.Result, len(ids))
+	seconds := make([]float64, len(ids))
+	if *parallelExp {
+		// Experiments are independent, so the harness fans them out across
+		// GOMAXPROCS slots; results land in their id slot so the record
+		// prints in the usual order no matter what finished first.
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		errs := make([]error, len(ids))
+		for i, id := range ids {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				t0 := time.Now()
+				results[i], errs[i] = experiments.Run(id, opt)
+				seconds[i] = time.Since(t0).Seconds()
+			}(i, id)
 		}
-		timings[id] = time.Since(t0).Seconds()
-		results = append(results, res)
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				log.Fatalf("experiments: %s: %v", ids[i], err)
+			}
+		}
+	} else {
+		for i, id := range ids {
+			t0 := time.Now()
+			res, err := experiments.Run(id, opt)
+			if err != nil {
+				log.Fatalf("experiments: %s: %v", id, err)
+			}
+			seconds[i] = time.Since(t0).Seconds()
+			results[i] = res
+		}
+	}
+	timings := make(map[string]float64, len(ids))
+	for i, id := range ids {
+		timings[id] = seconds[i]
 	}
 
 	var sb strings.Builder

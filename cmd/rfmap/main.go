@@ -65,7 +65,9 @@ func main() {
 	// position, best over antennas, with randomness suppressed by
 	// averaging passes.
 	margin := func(x, y float64) float64 {
-		probeBox.Path = geom.StaticPath{Pose: geom.NewPose(geom.V(x, y, *height), geom.UnitX, geom.UnitZ)}
+		// Through the mutator: the probe drag must invalidate the world's
+		// budget-terms cache at every new position.
+		w.SetBoxPath(probeBox, geom.StaticPath{Pose: geom.NewPose(geom.V(x, y, *height), geom.UnitX, geom.UnitZ)})
 		best := -1e9
 		for _, ant := range w.Antennas() {
 			var sum float64
@@ -86,7 +88,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("rfmap: %v", err)
 		}
-		probeBox.Path = geom.StaticPath{Pose: geom.NewPose(geom.V(x, y, *height), geom.UnitX, geom.UnitZ)}
+		w.SetBoxPath(probeBox, geom.StaticPath{Pose: geom.NewPose(geom.V(x, y, *height), geom.UnitX, geom.UnitZ)})
 		l := w.ResolveLink(probe, w.Antennas()[0], world.LinkContext{Pass: 0, Explain: true})
 		fmt.Printf("link budget at (%.2f, %.2f, %.2f) toward a1:\n%s\n", x, y, *height, l.Forward)
 		fmt.Printf("margin over sensitivity: %.1f dB\n", float64(l.TagPower-cal.ChipSensitivityDBm))

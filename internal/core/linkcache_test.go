@@ -1,0 +1,101 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+// staticPortal is a stationary two-tag scene: every resolution lands on
+// the same quantized pose instant, so once a worker replica's cache is
+// warm every lookup is a hit — the maximum-sharing-pressure case for the
+// per-replica ownership rule.
+func staticPortal() (*Portal, error) {
+	w := world.New(rf.DefaultCalibration(), 7)
+	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	box := w.AddBox("box", geom.StaticPath{Pose: geom.NewPose(geom.V(0, 2, 1), geom.UnitX, geom.UnitZ), Dur: 4},
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	w.AttachTag(box, "t1", testCode(31), world.Mount{
+		Offset: geom.V(0, -0.15, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+	})
+	w.AttachTag(box, "t2", testCode(32), world.Mount{
+		Offset: geom.V(0.1, -0.15, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitX, Gap: 0.05,
+	})
+	r, err := reader.New("r1", w, []*world.Antenna{ant})
+	if err != nil {
+		return nil, err
+	}
+	return &Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}
+
+// invalidatingPortal is richPortal with a post-construction mutation: the
+// builder warms the cache, then moves a box through the mutator API, so
+// every replica exercises the pose-epoch invalidation path (stale entries
+// discarded on the first resolution of the measurement proper).
+func invalidatingPortal() (*Portal, error) {
+	p, err := richPortal()
+	if err != nil {
+		return nil, err
+	}
+	w := p.World
+	tags, ants := w.Tags(), w.Antennas()
+	_ = w.ResolveLink(tags[0], ants[0], world.LinkContext{Time: 1, Pass: 0, Round: 0})
+	w.SetBoxPath(tags[0].Carrier().(*world.Box), geom.CrossingPass(1, 1.1, 2, 1))
+	return p, nil
+}
+
+// TestMeasureParallelCachedRace is the concurrency regression test for the
+// link cache: eight workers on a fully-cached static scene and on an
+// invalidating moving scene, run under `make check`'s -race. A cache (or
+// position memo, or draw scratch) shared across replicas shows up here as
+// a data race; the results must also still match sequential.
+func TestMeasureParallelCachedRace(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build Builder
+	}{
+		{"static", staticPortal},
+		{"invalidating", invalidatingPortal},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := seq.Measure(24, 0)
+			got, err := MeasureParallel(tc.build, 24, 0, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("workers=8 diverges from sequential on %s scene", tc.name)
+			}
+		})
+	}
+}
+
+// TestMeasureParallelCacheOffMatches: DisableLinkCache must change
+// nothing — for every worker count the uncached measurement is
+// bit-identical to the cached one.
+func TestMeasureParallelCacheOffMatches(t *testing.T) {
+	want, err := MeasureParallelOpts(richPortal, 16, 0, MeasureOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := MeasureParallelOpts(richPortal, 16, 0, MeasureOpts{
+			Workers:          workers,
+			DisableLinkCache: true,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d with cache off diverges from cached sequential", workers)
+		}
+	}
+}

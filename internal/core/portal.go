@@ -28,6 +28,10 @@ type Portal struct {
 	// obs and tracer, when non-nil, instrument every pass (see Observe).
 	obs    *obs.Collector
 	tracer *obs.Tracer
+
+	// foreign is per-round scratch for foreignFor; passes on one portal run
+	// from a single goroutine.
+	foreign []world.ForeignEmitter
 }
 
 // Observe attaches instrumentation to the portal and propagates it to
@@ -143,7 +147,7 @@ func (p *Portal) runPassInto(passID int, res *PassResult) {
 // reader's currently active antenna. Dense-reader mode only helps when
 // both ends implement it.
 func (p *Portal) foreignFor(i int, t float64) []world.ForeignEmitter {
-	var out []world.ForeignEmitter
+	out := p.foreign[:0]
 	for j, other := range p.Readers {
 		if j == i {
 			continue
@@ -153,6 +157,7 @@ func (p *Portal) foreignFor(i int, t float64) []world.ForeignEmitter {
 			DenseModeBoth: p.Readers[i].DenseMode() && other.DenseMode(),
 		})
 	}
+	p.foreign = out
 	return out
 }
 
@@ -269,6 +274,10 @@ type MeasureOpts struct {
 	// events from every worker. Lines from concurrent workers interleave;
 	// sort by (pass, round) to reconstruct per-pass order.
 	Tracer *obs.Tracer
+	// DisableLinkCache turns off every replica's deterministic budget-terms
+	// cache (the -linkcache=off escape hatch). Results are bit-identical
+	// with the cache on or off; the switch exists for A/B benchmarking.
+	DisableLinkCache bool
 }
 
 // MeasureParallel is Measure fanned across a worker pool. Each worker gets
@@ -301,6 +310,9 @@ func MeasureParallelOpts(build Builder, n, firstPass int, o MeasureOpts) (Reliab
 		if err != nil {
 			return Reliability{}, err
 		}
+		if o.DisableLinkCache {
+			p.World.SetLinkCache(false)
+		}
 		if o.Metrics != nil || o.Tracer != nil {
 			p.Observe(o.Metrics.Shard(), o.Tracer)
 		}
@@ -311,6 +323,9 @@ func MeasureParallelOpts(build Builder, n, firstPass int, o MeasureOpts) (Reliab
 		p, err := build()
 		if err != nil {
 			return Reliability{}, err
+		}
+		if o.DisableLinkCache {
+			p.World.SetLinkCache(false)
 		}
 		if o.Metrics != nil || o.Tracer != nil {
 			p.Observe(o.Metrics.Shard(), o.Tracer)

@@ -36,6 +36,10 @@ type Options struct {
 	// Tracer, when non-nil, receives JSONL pass/round (and optionally
 	// link) events from every measurement.
 	Tracer *obs.Tracer
+	// DisableLinkCache turns off the deterministic budget-terms cache in
+	// every portal replica (the CLIs' -linkcache=off). Results are
+	// bit-identical either way; the switch exists for A/B benchmarking.
+	DisableLinkCache bool
 }
 
 // Validate rejects option values that would otherwise be silently
@@ -66,9 +70,10 @@ func (o Options) measure(build core.Builder, trials, firstPass int) (core.Reliab
 		return core.Reliability{}, fmt.Errorf("experiments: trial count must be positive, got %d", trials)
 	}
 	return core.MeasureParallelOpts(build, trials, firstPass, core.MeasureOpts{
-		Workers: o.Workers,
-		Metrics: o.Metrics,
-		Tracer:  o.Tracer,
+		Workers:          o.Workers,
+		Metrics:          o.Metrics,
+		Tracer:           o.Tracer,
+		DisableLinkCache: o.DisableLinkCache,
 	})
 }
 

@@ -165,9 +165,12 @@ func extDualDipole(opt Options) (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			// Give every tag a second, orthogonal dipole in its face plane.
+			// Give every tag a second, orthogonal dipole in its face plane
+			// (through the mutator so the budget-terms cache is invalidated).
 			for _, tag := range dual.World.Tags() {
-				tag.Mount.Axis2 = tag.Mount.Normal.Cross(tag.Mount.Axis).Unit()
+				m := tag.Mount
+				m.Axis2 = m.Normal.Cross(m.Axis).Unit()
+				dual.World.SetTagMount(tag, m)
 			}
 			return dual, nil
 		}, trials, 0)

@@ -94,11 +94,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// Scratch holds the reusable working state of an inventory round. A
+// caller running many rounds (the reader hot loop) keeps one Scratch and
+// passes it to RunRoundScratch so per-slot reply books and the read list
+// stop allocating; the zero value is ready to use. A Scratch must not be
+// shared between concurrent rounds.
+type Scratch struct {
+	replies map[int]tagsim.Reply
+	audible []int
+	reads   []Read
+}
+
 // RunRound executes one complete inventory round at simulation time now
 // and returns what the reader observed. Tag protocol state advances as a
 // side effect, exactly as it would on air: tags that were read toggle
 // their session flag and drop out of subsequent rounds until it decays.
 func RunRound(cfg Config, parts []Participant, now float64) Result {
+	return RunRoundScratch(cfg, parts, now, &Scratch{})
+}
+
+// RunRoundScratch is RunRound drawing its working state from sc. The
+// returned Result's Reads slice is backed by the scratch: it is valid
+// until the next round runs with the same Scratch, so callers that retain
+// reads across rounds must copy them out.
+func RunRoundScratch(cfg Config, parts []Participant, now float64, sc *Scratch) Result {
 	if cfg.MaxSlots <= 0 {
 		cfg.MaxSlots = 4096
 	}
@@ -129,7 +148,12 @@ func RunRound(cfg Config, parts []Participant, now float64) Result {
 
 	// Round-opening Query. Replies collected from tags that can hear it.
 	advance(cfg.Timing.QuerySeconds())
-	replies := make(map[int]tagsim.Reply)
+	if sc.replies == nil {
+		sc.replies = make(map[int]tagsim.Reply)
+	}
+	replies := sc.replies
+	clear(replies)
+	reads := sc.reads[:0]
 	for i, p := range parts {
 		if !p.ForwardOK {
 			continue
@@ -150,13 +174,15 @@ func RunRound(cfg Config, parts []Participant, now float64) Result {
 	for res.Slots < cfg.MaxSlots {
 		res.Slots++
 		slotsSinceQuery++
-		// Resolve the current slot.
-		audible := make([]int, 0, 2)
+		// Resolve the current slot. Map iteration order is irrelevant:
+		// audible's elements are only consulted when it holds exactly one.
+		audible := sc.audible[:0]
 		for i := range replies {
 			if parts[i].ReverseOK {
 				audible = append(audible, i)
 			}
 		}
+		sc.audible = audible
 		qChanged := false
 		observedEmpty := false
 		switch {
@@ -187,7 +213,7 @@ func RunRound(cfg Config, parts []Participant, now float64) Result {
 				} else {
 					res.Singles++
 					activitySinceQuery++
-					res.Reads = append(res.Reads, Read{
+					reads = append(reads, Read{
 						Index: i,
 						PC:    er.PC,
 						EPC:   er.Code,
@@ -231,7 +257,7 @@ func RunRound(cfg Config, parts []Participant, now float64) Result {
 				slotsSinceQuery, activitySinceQuery = 0, 0
 				q = alg.Q()
 				advance(cfg.Timing.QuerySeconds())
-				replies = make(map[int]tagsim.Reply)
+				clear(replies)
 				for i, p := range parts {
 					if !p.ForwardOK {
 						continue
@@ -247,7 +273,7 @@ func RunRound(cfg Config, parts []Participant, now float64) Result {
 		}
 
 		// Advance the round: QueryAdjust when Q moved, QueryRep otherwise.
-		replies = make(map[int]tagsim.Reply)
+		clear(replies)
 		if cfg.Adaptive && qChanged {
 			q = alg.Q()
 			res.QAdjusts++
@@ -272,5 +298,7 @@ func RunRound(cfg Config, parts []Participant, now float64) Result {
 		}
 	}
 	res.FinalQ = alg.Q()
+	sc.reads = reads
+	res.Reads = reads
 	return res
 }

@@ -34,17 +34,17 @@ type Counter int
 // world.ResolveLink (one per (tag, active antenna, round), foreign-carrier
 // resolutions excluded).
 const (
-	CtrPasses Counter = iota // pass.count
-	CtrRounds                // round.count
-	CtrSlots                 // round.slots
-	CtrEmpties               // round.empties
-	CtrSingles               // round.singles
-	CtrCollisions            // round.collisions
-	CtrCaptures              // round.captures
-	CtrCRCFailures           // round.crc_failures
-	CtrQAdjusts              // round.q_adjusts
-	CtrReads                 // round.reads
-	CtrLinkResolutions       // link.resolutions
+	CtrPasses          Counter = iota // pass.count
+	CtrRounds                         // round.count
+	CtrSlots                          // round.slots
+	CtrEmpties                        // round.empties
+	CtrSingles                        // round.singles
+	CtrCollisions                     // round.collisions
+	CtrCaptures                       // round.captures
+	CtrCRCFailures                    // round.crc_failures
+	CtrQAdjusts                       // round.q_adjusts
+	CtrReads                          // round.reads
+	CtrLinkResolutions                // link.resolutions
 
 	numCounters
 )
@@ -156,6 +156,12 @@ type Collector struct {
 	wallPassMicros hist
 	wallTotalNS    uint64
 
+	// Link-cache effectiveness. Hit/miss splits depend on how many worker
+	// replicas ran (each replica warms its own cache), so they merge into
+	// the snapshot's Cache section, which Canonical strips alongside
+	// WallTime.
+	linkCacheHits, linkCacheMisses uint64
+
 	opps map[opKey]*[numOutcomes]uint64
 }
 
@@ -171,6 +177,13 @@ func (c *Collector) Add(ctr Counter, n uint64) { c.counters[ctr] += n }
 
 // Observe records one value into a histogram.
 func (c *Collector) Observe(h Histogram, v uint64) { c.hists[h].observe(v) }
+
+// LinkCacheHit counts one budget-terms cache hit in world.ResolveLink.
+func (c *Collector) LinkCacheHit() { c.linkCacheHits++ }
+
+// LinkCacheMiss counts one budget-terms cache miss (a full deterministic
+// term computation).
+func (c *Collector) LinkCacheMiss() { c.linkCacheMisses++ }
 
 // PassDone records the completion of one simulated pass: the round count,
 // the simulated duration, and the wall-clock time the pass took.
@@ -257,8 +270,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	var hists [numHistograms]hist
 	var wallPass hist
 	var wallNS uint64
+	var cacheHits, cacheMisses uint64
 	opps := make(map[opKey]*[numOutcomes]uint64)
 	for _, c := range shards {
+		cacheHits += c.linkCacheHits
+		cacheMisses += c.linkCacheMisses
 		for i := range counters {
 			counters[i] += c.counters[i]
 		}
@@ -311,6 +327,9 @@ func (m *Metrics) Snapshot() Snapshot {
 			TotalSeconds: float64(wallNS) / 1e9,
 			PassMicros:   snapHist(&wallPass),
 		}
+	}
+	if cacheHits+cacheMisses > 0 {
+		s.Cache = &CacheSnapshot{LinkHits: cacheHits, LinkMisses: cacheMisses}
 	}
 	return s
 }

@@ -19,6 +19,11 @@ type Snapshot struct {
 	Opportunities []OpportunitySnapshot `json:"opportunities,omitempty"`
 	// WallTime is the nondeterministic section: wall-clock pass timings.
 	WallTime *WallSnapshot `json:"wall_time,omitempty"`
+	// Cache reports link-cache effectiveness. Like WallTime it is not
+	// deterministic across worker counts — every worker replica warms its
+	// own cache, so the hit/miss split depends on how trials were spread —
+	// and Canonical strips it.
+	Cache *CacheSnapshot `json:"cache,omitempty"`
 }
 
 // HistSnapshot is one histogram: bucket k counts values in
@@ -73,11 +78,30 @@ type WallSnapshot struct {
 	PassMicros HistSnapshot `json:"pass_micros"`
 }
 
-// Canonical returns the snapshot with the nondeterministic WallTime
-// section stripped — the form that is bit-identical across worker counts
-// and safe to diff or golden-test.
+// CacheSnapshot tallies link-cache lookups in world.ResolveLink. Hits
+// replay precomputed deterministic budget terms; misses computed them
+// fresh (see DESIGN.md §9).
+type CacheSnapshot struct {
+	LinkHits   uint64 `json:"link_hits"`
+	LinkMisses uint64 `json:"link_misses"`
+}
+
+// HitRate is the fraction of lookups served from the cache; NaN when no
+// lookups were recorded.
+func (c CacheSnapshot) HitRate() float64 {
+	n := c.LinkHits + c.LinkMisses
+	if n == 0 {
+		return math.NaN()
+	}
+	return float64(c.LinkHits) / float64(n)
+}
+
+// Canonical returns the snapshot with the nondeterministic sections
+// (WallTime, Cache) stripped — the form that is bit-identical across
+// worker counts and safe to diff or golden-test.
 func (s Snapshot) Canonical() Snapshot {
 	s.WallTime = nil
+	s.Cache = nil
 	return s
 }
 

@@ -87,10 +87,13 @@ type Reader struct {
 	frameAdaptive bool
 	lastEstimate  float64
 
-	// parts and links are per-round scratch reused across RunRound calls;
-	// rounds on one reader run from a single goroutine.
-	parts []gen2.Participant
-	links []units.DBm
+	// parts, links, events and scratch are per-round working state reused
+	// across RunRound calls; rounds on one reader run from a single
+	// goroutine.
+	parts   []gen2.Participant
+	links   []units.DBm
+	events  []Event
+	scratch gen2.Scratch
 
 	// obs and tracer, when non-nil, receive round summaries and
 	// per-(tag, antenna) opportunity outcomes (see Observe). readMark is
@@ -174,7 +177,9 @@ func (r *Reader) AntennaAt(t float64) *world.Antenna {
 // RunRound executes one inventory round at time t of pass passID over the
 // next antenna in the TDMA schedule. foreign lists other readers' active
 // antennas. Events are appended to the buffered-mode store and returned
-// together with the round's duration.
+// together with the round's duration. The returned slice is reader-owned
+// scratch, valid until this reader's next round; callers that keep events
+// across rounds must copy them (the buffered store already holds copies).
 func (r *Reader) RunRound(passID int, t float64, foreign []world.ForeignEmitter) ([]Event, float64) {
 	ant := r.AntennaAt(t)
 	r.mu.Lock()
@@ -206,11 +211,11 @@ func (r *Reader) RunRound(passID int, t float64, foreign []world.ForeignEmitter)
 	if r.frameAdaptive {
 		cfg.InitialQ = r.frameQ()
 	}
-	res := gen2.RunRound(cfg, parts, t)
+	res := gen2.RunRoundScratch(cfg, parts, t, &r.scratch)
 	if r.frameAdaptive {
 		r.updateEstimate(res)
 	}
-	events := make([]Event, 0, len(res.Reads))
+	events := r.events[:0]
 	for _, read := range res.Reads {
 		events = append(events, Event{
 			EPC:     read.EPC,
@@ -227,6 +232,7 @@ func (r *Reader) RunRound(passID int, t float64, foreign []world.ForeignEmitter)
 		r.observeRound(passID, round, t, ant, parts, links, &res)
 	}
 
+	r.events = events
 	r.mu.Lock()
 	r.buffer = append(r.buffer, events...)
 	r.mu.Unlock()

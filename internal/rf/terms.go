@@ -1,0 +1,33 @@
+package rf
+
+import "rfidtrack/internal/units"
+
+// BudgetTerms is the deterministic half of a forward link budget: every
+// dB term that is a pure function of scene pose (tag position and mount,
+// antenna pose, obstacle and neighbour geometry) at one instant. Nothing
+// here depends on the pass or round key — the random fields (shadowing,
+// fading) are drawn separately and applied on top — so a resolved
+// BudgetTerms can be cached and replayed across passes without perturbing
+// any random stream (see world.ResolveLink and DESIGN.md §9).
+type BudgetTerms struct {
+	// Patch is the reader antenna's pattern gain toward the tag.
+	Patch units.DB
+	// FSPL is the free-space path loss of the tag–antenna distance.
+	FSPL units.DB
+	// Pol is the polarization mismatch loss of the better-coupled dipole.
+	Pol units.DB
+	// Dipole is that dipole's pattern gain toward the antenna.
+	Dipole units.DB
+	// Graze is the grazing-incidence cancellation loss.
+	Graze units.DB
+	// Obstruction and ScatterObstruction are the summed carrier blocking
+	// losses of the direct and scattered paths.
+	Obstruction        units.DB
+	ScatterObstruction units.DB
+	// Detune is the proximity detuning from the tagged carrier's content.
+	Detune units.DB
+	// Coupling is the mutual-coupling loss from neighbouring tags.
+	Coupling units.DB
+	// Reflect is the body-reflection bonus (human carriers only).
+	Reflect units.DB
+}

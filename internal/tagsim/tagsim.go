@@ -103,10 +103,13 @@ func DefaultPersistence() Persistence {
 // seconds. Tag is not safe for concurrent use; the simulator drives each
 // tag from a single goroutine.
 type Tag struct {
-	code    epc.Code
-	pc      uint16 // protocol-control word backscattered with the EPC
-	rng     *xrand.Rand
-	base    *xrand.Rand
+	code epc.Code
+	pc   uint16 // protocol-control word backscattered with the EPC
+	rng  *xrand.Rand
+	base *xrand.Rand
+	// passRng is the tag's reusable per-pass stream: ResetForPass reseeds
+	// it in place instead of constructing a new stream every pass.
+	passRng *xrand.Rand
 	persist Persistence
 
 	state   State
@@ -169,7 +172,13 @@ func (t *Tag) ResetForPass(pass int) {
 	if t.killed {
 		return
 	}
-	t.rng = t.base.Key().Str("pass/").Int(pass).Stream()
+	seed := t.base.Key().Str("pass/").Int(pass).Seed()
+	if t.passRng == nil {
+		t.passRng = xrand.New(seed)
+	} else {
+		t.passRng.Reseed(seed)
+	}
+	t.rng = t.passRng
 }
 
 // Select matches mask against the tag's EPC memory starting at bit

@@ -7,33 +7,76 @@ import (
 )
 
 // segmentHitsAABB reports whether the segment from a to b intersects the
-// axis-aligned box [min, max] (slab method).
+// axis-aligned box [min, max] (slab method). The slabs are unrolled and
+// min/max open-coded as branches: this test runs once per carrier face
+// per link resolution, and math.Max/Min are library calls on targets
+// without float intrinsics. All inputs are finite and every divisor has
+// magnitude ≥ 1e-12, so the branches decide exactly as math.Max/Min
+// would.
 func segmentHitsAABB(a, b, min, max geom.Vec3) bool {
-	d := b.Sub(a)
 	tEnter, tExit := 0.0, 1.0
-	for axis := 0; axis < 3; axis++ {
-		var origin, dir, lo, hi float64
-		switch axis {
-		case 0:
-			origin, dir, lo, hi = a.X, d.X, min.X, max.X
-		case 1:
-			origin, dir, lo, hi = a.Y, d.Y, min.Y, max.Y
-		default:
-			origin, dir, lo, hi = a.Z, d.Z, min.Z, max.Z
+
+	dir := b.X - a.X
+	if dir < 1e-12 && dir > -1e-12 {
+		if a.X < min.X || a.X > max.X {
+			return false
 		}
-		if math.Abs(dir) < 1e-12 {
-			if origin < lo || origin > hi {
-				return false
-			}
-			continue
-		}
-		t1 := (lo - origin) / dir
-		t2 := (hi - origin) / dir
+	} else {
+		t1 := (min.X - a.X) / dir
+		t2 := (max.X - a.X) / dir
 		if t1 > t2 {
 			t1, t2 = t2, t1
 		}
-		tEnter = math.Max(tEnter, t1)
-		tExit = math.Min(tExit, t2)
+		if t1 > tEnter {
+			tEnter = t1
+		}
+		if t2 < tExit {
+			tExit = t2
+		}
+		if tEnter > tExit {
+			return false
+		}
+	}
+
+	dir = b.Y - a.Y
+	if dir < 1e-12 && dir > -1e-12 {
+		if a.Y < min.Y || a.Y > max.Y {
+			return false
+		}
+	} else {
+		t1 := (min.Y - a.Y) / dir
+		t2 := (max.Y - a.Y) / dir
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		if t1 > tEnter {
+			tEnter = t1
+		}
+		if t2 < tExit {
+			tExit = t2
+		}
+		if tEnter > tExit {
+			return false
+		}
+	}
+
+	dir = b.Z - a.Z
+	if dir < 1e-12 && dir > -1e-12 {
+		if a.Z < min.Z || a.Z > max.Z {
+			return false
+		}
+	} else {
+		t1 := (min.Z - a.Z) / dir
+		t2 := (max.Z - a.Z) / dir
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		if t1 > tEnter {
+			tEnter = t1
+		}
+		if t2 < tExit {
+			tExit = t2
+		}
 		if tEnter > tExit {
 			return false
 		}
@@ -70,8 +113,12 @@ func segmentHitsCylinder(a, b geom.Vec3, cx, cy, radius, z0, z1 float64) bool {
 		if tHi < 0 || tLo > 1 {
 			return false
 		}
-		tLo = math.Max(tLo, 0)
-		tHi = math.Min(tHi, 1)
+		if tLo < 0 {
+			tLo = 0
+		}
+		if tHi > 1 {
+			tHi = 1
+		}
 	}
 	// Now intersect with the z slab over the same parameter range.
 	za := a.Z + (b.Z-a.Z)*tLo

@@ -92,38 +92,155 @@ func (w *World) ResolveLink(tag *Tag, ant *Antenna, ctx LinkContext) rf.Link {
 	return l
 }
 
-// forwardPowerDBm computes the power delivered to the tag chip from one
-// antenna: the linear sum of a direct path and a scattered (multipath)
-// path, each with its own deterministic gains and random fields.
-// asInterference marks foreign-carrier resolutions, which use separate
-// fading draws (a different propagation path) but share the tag-local
-// terms.
-func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget *rf.Budget, asInterference bool) units.DBm {
-	cal := w.Cal
-	tagPos := tag.Pos(ctx.Time)
+// poseQuantum is the grid pose-evaluation times snap to (2^-10 s, under
+// a millimeter of travel at walking speed). Quantizing keys the
+// budget-terms cache so trajectory sweeps that revisit the same sample
+// instant — and static scenes, which always resolve at t = 0 — hit the
+// cache. A power of two keeps on-grid times exact: t/poseQuantum scales
+// the exponent only, so a time already on the grid quantizes to itself.
+const poseQuantum = 1.0 / 1024
+
+// poseTime returns t snapped down to the pose grid.
+func poseTime(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return math.Floor(t/poseQuantum) * poseQuantum
+}
+
+// syncCaches discards the reader-to-reader cache when the scene has
+// mutated since it was filled. (The budget-terms memo carries per-entry
+// epoch stamps instead, so it needs no sweep.)
+func (w *World) syncCaches() {
+	if w.cacheEpoch != w.poseEpoch {
+		clear(w.r2rCache)
+		w.cacheEpoch = w.poseEpoch
+	}
+}
+
+// linkTerms returns the deterministic budget terms of (tag, ant) at time
+// t — from the memo when the pair's last resolution was at the same scene
+// epoch and quantized instant, computed fresh (and memoized) otherwise.
+// Both paths evaluate the scene at the same quantized instant, so cached
+// and uncached resolutions are bit-identical. One slot per (tag, antenna)
+// is exactly the reuse that exists: static scenes pin one instant forever,
+// and moving scenes revisit an instant only within the concurrent rounds
+// of one cycle.
+func (w *World) linkTerms(tag *Tag, ant *Antenna, t float64) rf.BudgetTerms {
+	tq := poseTime(t)
+	if w.linkCacheOff {
+		return w.budgetTerms(tag, ant, tq)
+	}
+	if need := len(w.tags) * len(w.antennas); len(w.termsMemo) != need {
+		w.termsMemo = make([]termsEntry, need)
+	}
+	e := &w.termsMemo[tag.idx*len(w.antennas)+ant.idx]
+	if e.epoch == w.poseEpoch && e.tq == tq {
+		if w.obs != nil {
+			w.obs.LinkCacheHit()
+		}
+		return e.terms
+	}
+	bt := w.budgetTerms(tag, ant, tq)
+	*e = termsEntry{tq: tq, epoch: w.poseEpoch, terms: bt}
+	if w.obs != nil {
+		w.obs.LinkCacheMiss()
+	}
+	return bt
+}
+
+// budgetTerms computes the deterministic half of the forward budget: every
+// term that depends only on scene pose at the quantized instant tq. No
+// random field is read here — that is what makes the result cacheable
+// across passes (see DESIGN.md §9).
+func (w *World) budgetTerms(tag *Tag, ant *Antenna, tq float64) rf.BudgetTerms {
+	cal := &w.Cal
+	tagPos := w.tagPositions(tq)[tag.idx]
 	antPos := ant.Pose.Pos
 	dist := tagPos.Dist(antPos)
 	dirToTag := tagPos.Sub(antPos).Unit()
 	dirToAnt := dirToTag.Scale(-1)
 
-	fspl := units.FSPL(dist, cal.FreqHz)
-	obstruction, scatterObstruction := w.obstructionDB(antPos, tagPos, ctx.Time)
+	var bt rf.BudgetTerms
+	bt.FSPL = units.FSPL(dist, cal.FreqHz)
+	bt.Obstruction, bt.ScatterObstruction = w.obstructionDB(antPos, tagPos, tq)
 
 	// Tag-local terms shared by both paths.
-	detune := cal.ProximityDetuneDB(tag.carrier.ContentMaterial(), tag.Mount.Gap)
-	coupling := w.couplingDB(tag, ctx.Time)
-	reflect := w.bodyReflectionDB(tag, antPos, ctx.Time)
-	tagShadow := units.DB(w.fieldNormal(
-		w.keys.shadowTag.Int(ctx.Pass).Str("/").Str(tag.Name), cal.SigmaTagDB))
+	bt.Detune = cal.ProximityDetuneDB(tag.carrier.ContentMaterial(), tag.Mount.Gap)
+	bt.Coupling = w.couplingDB(tag, tq)
+	bt.Reflect = w.bodyReflectionDB(tag, antPos, tq)
 
 	// Direct path. A dual-dipole tag uses whichever of its two dipoles
 	// couples better right now (orientation-insensitive designs).
-	patch := cal.ReaderAntenna.GainToward(ant.Pose, tagPos)
-	pol, dipole := bestDipole(cal, tag, ant, tagPos, antPos, dirToTag)
-	graze := rf.GrazingLossDB(
+	bt.Patch = cal.ReaderAntenna.GainToward(ant.Pose, tagPos)
+	bt.Pol, bt.Dipole = bestDipole(cal, tag, ant, tagPos, antPos, dirToTag)
+	bt.Graze = rf.GrazingLossDB(
 		tag.Mount.Normal.Dot(dirToAnt),
 		cal.ProximityFraction(tag.carrier.ContentMaterial(), tag.Mount.Gap),
 		cal.GrazingMaxDB)
+	return bt
+}
+
+// tagPositions returns every tag's world position at the quantized
+// instant tq, recomputed only when the instant, the scene, or the tag set
+// changed — the neighbour scans (coupling, obstruction callers) would
+// otherwise evaluate O(tags²) path positions per round.
+func (w *World) tagPositions(tq float64) []geom.Vec3 {
+	if w.posTags != len(w.tags) || w.posTime != tq || w.posEpoch != w.poseEpoch {
+		if cap(w.positions) < len(w.tags) {
+			w.positions = make([]geom.Vec3, len(w.tags))
+		}
+		w.positions = w.positions[:len(w.tags)]
+		centers := w.carrierCenters(tq)
+		for i, tag := range w.tags {
+			if tag.cidx >= 0 {
+				// Same floats as tag.Pos(tq): the carrier center comes from
+				// the same Path.At evaluation, just memoized per instant.
+				w.positions[i] = centers[tag.cidx].Add(tag.Mount.Offset)
+			} else {
+				w.positions[i] = tag.Pos(tq)
+			}
+		}
+		w.posTags, w.posTime, w.posEpoch = len(w.tags), tq, w.poseEpoch
+	}
+	return w.positions
+}
+
+// carrierCenters returns every carrier's reference point at the quantized
+// instant tq, recomputed only when the instant, the scene, or the carrier
+// set changed — the obstruction and body-reflection scans would otherwise
+// re-walk every carrier's path for every (tag, antenna) resolution of the
+// same instant.
+func (w *World) carrierCenters(tq float64) []geom.Vec3 {
+	if w.cenN != len(w.carriers) || w.cenTime != tq || w.cenEpoch != w.poseEpoch {
+		if cap(w.centers) < len(w.carriers) {
+			w.centers = make([]geom.Vec3, len(w.carriers))
+		}
+		w.centers = w.centers[:len(w.carriers)]
+		for i, c := range w.carriers {
+			w.centers[i] = c.Center(tq)
+		}
+		w.cenN, w.cenTime, w.cenEpoch = len(w.carriers), tq, w.poseEpoch
+	}
+	return w.centers
+}
+
+// forwardPowerDBm computes the power delivered to the tag chip from one
+// antenna: the linear sum of a direct path and a scattered (multipath)
+// path, each combining cached deterministic gains (linkTerms) with fresh
+// random fields. asInterference marks foreign-carrier resolutions, which
+// use separate fading draws (a different propagation path) but share the
+// tag-local terms.
+func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget *rf.Budget, asInterference bool) units.DBm {
+	cal := &w.Cal
+	bt := w.linkTerms(tag, ant, ctx.Time)
+
+	// Stochastic overlay: the random fields are keyed and drawn exactly as
+	// the uncached path draws them, and the dB terms are summed in the
+	// same order, so enabling the cache cannot move a result by even one
+	// bit.
+	tagShadow := units.DB(w.fieldNormal(
+		w.keys.shadowTag.Int(ctx.Pass).Str("/").Str(tag.Name), cal.SigmaTagDB))
 	pathShadow := units.DB(w.fieldNormal(
 		w.keys.shadowPath.Int(ctx.Pass).Str("/").Str(tag.Name).Str("/").Str(ant.Name), cal.SigmaPathDB))
 	fadeKey, fadeScatKey := w.keys.fadeDir, w.keys.fadeDirS
@@ -141,15 +258,15 @@ func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget 
 
 	direct := cal.TxPowerDBm.
 		Plus(-cal.CableLossDB).
-		Plus(patch).
-		Plus(-fspl).
-		Plus(-pol).
-		Plus(dipole).
-		Plus(-graze).
-		Plus(-obstruction).
-		Plus(-detune).
-		Plus(-coupling).
-		Plus(reflect).
+		Plus(bt.Patch).
+		Plus(-bt.FSPL).
+		Plus(-bt.Pol).
+		Plus(bt.Dipole).
+		Plus(-bt.Graze).
+		Plus(-bt.Obstruction).
+		Plus(-bt.Detune).
+		Plus(-bt.Coupling).
+		Plus(bt.Reflect).
 		Plus(tagShadow).
 		Plus(pathShadow).
 		Plus(fadeDirect)
@@ -171,28 +288,28 @@ func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget 
 	scatter := cal.TxPowerDBm.
 		Plus(-cal.CableLossDB).
 		Plus(cal.ScatterAntennaGainDB).
-		Plus(-fspl).
+		Plus(-bt.FSPL).
 		Plus(-cal.ScatterLossDB).
 		Plus(-3).
-		Plus(-scatterObstruction).
-		Plus(-detune).
-		Plus(-coupling).
-		Plus(reflect).
+		Plus(-bt.ScatterObstruction).
+		Plus(-bt.Detune).
+		Plus(-bt.Coupling).
+		Plus(bt.Reflect).
 		Plus(tagShadow).
 		Plus(scatShadow).
 		Plus(fadeScatter)
 
 	if budget != nil {
-		budget.Add("patch gain", patch).
+		budget.Add("patch gain", bt.Patch).
 			AddLoss("cable", cal.CableLossDB).
-			AddLoss("free space", fspl).
-			AddLoss("polarization", pol).
-			Add("tag dipole", dipole).
-			AddLoss("grazing", graze).
-			AddLoss("obstruction", obstruction).
-			AddLoss("proximity detune", detune).
-			AddLoss("inter-tag coupling", coupling).
-			Add("body reflection", reflect).
+			AddLoss("free space", bt.FSPL).
+			AddLoss("polarization", bt.Pol).
+			Add("tag dipole", bt.Dipole).
+			AddLoss("grazing", bt.Graze).
+			AddLoss("obstruction", bt.Obstruction).
+			AddLoss("proximity detune", bt.Detune).
+			AddLoss("inter-tag coupling", bt.Coupling).
+			Add("body reflection", bt.Reflect).
 			Add("tag shadowing", tagShadow).
 			Add("path shadowing", pathShadow).
 			Add("fast fading", fadeDirect).
@@ -204,7 +321,7 @@ func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget 
 
 // bestDipole returns the (polarization loss, dipole gain) of the tag
 // dipole that couples best toward the antenna.
-func bestDipole(cal rf.Calibration, tag *Tag, ant *Antenna, tagPos, antPos, dirToTag geom.Vec3) (units.DB, units.DB) {
+func bestDipole(cal *rf.Calibration, tag *Tag, ant *Antenna, tagPos, antPos, dirToTag geom.Vec3) (units.DB, units.DB) {
 	evalAxis := func(axis geom.Vec3) (units.DB, units.DB, units.DB) {
 		p := rf.PolarizationLossDB(cal.ReaderPolarization, ant.Pose.Up, axis, dirToTag, cal.CrossPolFloorDB)
 		d := cal.TagDipole.GainToward(axis, tagPos, antPos)
@@ -219,8 +336,25 @@ func bestDipole(cal rf.Calibration, tag *Tag, ant *Antenna, tagPos, antPos, dirT
 	return pol, dip
 }
 
-// readerToReaderDBm is the carrier power one antenna couples into another.
+// readerToReaderDBm is the carrier power one antenna couples into
+// another — a pure function of the two poses, memoized per antenna pair
+// until the scene mutates.
 func (w *World) readerToReaderDBm(from, to *Antenna) units.DBm {
+	if w.linkCacheOff {
+		return w.readerToReaderTerms(from, to)
+	}
+	w.syncCaches()
+	k := antPair{from: from, to: to}
+	if p, ok := w.r2rCache[k]; ok {
+		return p
+	}
+	p := w.readerToReaderTerms(from, to)
+	w.r2rCache[k] = p
+	return p
+}
+
+// readerToReaderTerms computes the leakage readerToReaderDBm memoizes.
+func (w *World) readerToReaderTerms(from, to *Antenna) units.DBm {
 	cal := w.Cal
 	d := from.Pose.Pos.Dist(to.Pose.Pos)
 	return cal.TxPowerDBm.
@@ -238,8 +372,17 @@ func (w *World) readerToReaderDBm(from, to *Antenna) units.DBm {
 func (w *World) obstructionDB(antPos, tagPos geom.Vec3, t float64) (direct, scatter units.DB) {
 	toAnt := antPos.Sub(tagPos).Unit()
 	from := tagPos.Add(toAnt.Scale(0.002))
-	for _, c := range w.carriers {
-		d, s := c.ObstructionDB(w.Cal, antPos, from, t)
+	centers := w.carrierCenters(t)
+	for i, c := range w.carriers {
+		var d, s units.DB
+		switch cc := c.(type) {
+		case *Box:
+			d, s = cc.obstructionAt(&w.Cal, antPos, from, centers[i])
+		case *Person:
+			d, s = cc.obstructionAt(&w.Cal, antPos, from, centers[i])
+		default:
+			d, s = c.ObstructionDB(w.Cal, antPos, from, t)
+		}
 		direct += d
 		scatter += s
 	}
@@ -247,15 +390,18 @@ func (w *World) obstructionDB(antPos, tagPos geom.Vec3, t float64) (direct, scat
 }
 
 // couplingDB returns the mutual-coupling detuning from the tag's nearest
-// neighbours (the worst single neighbour dominates).
+// neighbours (the worst single neighbour dominates). Neighbour positions
+// come from the per-instant memo, so a round's scan over every tag costs
+// O(tags) path evaluations in total.
 func (w *World) couplingDB(tag *Tag, t float64) units.DB {
-	pos := tag.Pos(t)
+	positions := w.tagPositions(t)
+	pos := positions[tag.idx]
 	var worst units.DB
-	for _, o := range w.tags {
+	for i, o := range w.tags {
 		if o == tag {
 			continue
 		}
-		d := pos.Dist(o.Pos(t))
+		d := pos.Dist(positions[i])
 		if d > couplingSearchRadius {
 			continue
 		}
@@ -275,14 +421,20 @@ func (w *World) bodyReflectionDB(tag *Tag, antPos geom.Vec3, t float64) units.DB
 	if !ok {
 		return 0
 	}
-	own := p.Center(t)
+	centers := w.carrierCenters(t)
+	var own geom.Vec3
+	if tag.cidx >= 0 {
+		own = centers[tag.cidx]
+	} else {
+		own = p.Center(t)
+	}
 	ownDist := own.Dist(antPos)
-	for _, c := range w.carriers {
+	for i, c := range w.carriers {
 		q, ok := c.(*Person)
 		if !ok || q == p {
 			continue
 		}
-		center := q.Center(t)
+		center := centers[i]
 		if center.Dist(own) <= w.Cal.BodyReflectionRange && center.Dist(antPos) > ownDist {
 			return w.Cal.BodyReflectionGainDB
 		}
@@ -291,22 +443,15 @@ func (w *World) bodyReflectionDB(tag *Tag, antPos geom.Vec3, t float64) units.DB
 }
 
 // fieldDraws returns the two unit-normal draws at the head of the stream
-// the key identifies — the raw material of every random field. Values are
-// memoized by label hash: a field is a pure function of its label, so the
-// cache only removes the per-draw stream construction (the dominant
-// allocation of the old fmt.Sprintf + Split path).
+// the key identifies — the raw material of every random field. Reseeding
+// the world-owned scratch stream replays the exact sequence k.Stream()
+// would construct, without the per-draw allocations; field labels are
+// pass-keyed and so almost never recur, which is why drawing beats
+// memoizing (a map insert per label costs more than the two ziggurat
+// draws it would save).
 func (w *World) fieldDraws(k xrand.Key) [2]float64 {
-	h := k.Seed()
-	if v, ok := w.fieldCache[h]; ok {
-		return v
-	}
-	if len(w.fieldCache) >= maxFieldCacheEntries {
-		clear(w.fieldCache)
-	}
-	r := k.Stream()
-	v := [2]float64{r.Normal(0, 1), r.Normal(0, 1)}
-	w.fieldCache[h] = v
-	return v
+	w.draw.Reseed(k.Seed())
+	return [2]float64{w.draw.Normal(0, 1), w.draw.Normal(0, 1)}
 }
 
 // fieldNormal draws N(0, sigma²) for the field the key labels —

@@ -1,0 +1,130 @@
+package world
+
+import (
+	"testing"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/obs"
+	"rfidtrack/internal/rf"
+)
+
+// TestResolveLinkCacheHitZeroAlloc pins the budget-terms cache-hit path at
+// zero allocations (enforced on every `make check` alongside the disabled-
+// instrumentation guard): once a (tag, antenna, pose instant) has been
+// resolved, repeating it allocates nothing — map lookups, cached field
+// draws, and the reseedable scratch stream only.
+func TestResolveLinkCacheHitZeroAlloc(t *testing.T) {
+	w, tag, ant := obsWorld()
+	ctx := LinkContext{Time: 2.5, Pass: 1, Round: 1}
+	_ = w.ResolveLink(tag, ant, ctx) // warm the caches
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = w.ResolveLink(tag, ant, ctx)
+	}); avg != 0 {
+		t.Errorf("ResolveLink cache hit allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestWorldMutatorsBumpEpoch: every scene mutator must bump the pose
+// epoch — a mutator that forgets leaves the budget-terms cache serving
+// stale geometry.
+func TestWorldMutatorsBumpEpoch(t *testing.T) {
+	w := New(rf.DefaultCalibration(), 1)
+	epoch := w.poseEpoch
+	step := func(name string) {
+		t.Helper()
+		if w.poseEpoch <= epoch {
+			t.Errorf("%s did not bump the pose epoch (still %d)", name, epoch)
+		}
+		epoch = w.poseEpoch
+	}
+
+	box := w.AddBox("box", geom.CrossingPass(1, 1, 2.5, 1),
+		geom.V(0.45, 0.4, 0.2), rf.Cardboard, rf.Metal, geom.V(0.38, 0.33, 0.15))
+	step("AddBox")
+	person := w.AddPerson("p", geom.CrossingPass(1, 1.5, 2.5, 0), 1.7, 0.15)
+	step("AddPerson")
+	mount := Mount{Offset: geom.V(0, -0.21, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05}
+	tag := w.AttachTag(box, "t1", testCode(1), mount)
+	step("AttachTag")
+	w.AttachActiveTag(person, "t2", testCode(2), mount)
+	step("AttachActiveTag")
+	ant := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	step("AddAntenna")
+	w.SetBoxPath(box, geom.CrossingPass(1, 2, 2.5, 1))
+	step("SetBoxPath")
+	w.SetPersonPath(person, geom.CrossingPass(1, 1.8, 2.5, 0))
+	step("SetPersonPath")
+	w.SetAntennaPose(ant, geom.NewPose(geom.V(0, 0, 1.5), geom.UnitY, geom.UnitZ))
+	step("SetAntennaPose")
+	w.SetTagMount(tag, mount)
+	step("SetTagMount")
+	w.Invalidate()
+	step("Invalidate")
+}
+
+// TestResolveLinkCachedMatchesUncached is the tentpole's equivalence
+// contract at link level: with the cache on (second world resolving each
+// context twice, so hits are exercised) and off, every resolution is
+// bit-identical — including off-grid times, which both paths quantize.
+func TestResolveLinkCachedMatchesUncached(t *testing.T) {
+	cached, tagC, antC := obsWorld()
+	plain, tagP, antP := obsWorld()
+	plain.SetLinkCache(false)
+	for _, tt := range []float64{0, 0.5, 2.5, 2.5003, 3.14159} {
+		for pass := 0; pass < 4; pass++ {
+			for round := 0; round < 3; round++ {
+				ctx := LinkContext{Time: tt, Pass: pass, Round: round}
+				_ = cached.ResolveLink(tagC, antC, ctx) // warm, then hit
+				a := cached.ResolveLink(tagC, antC, ctx)
+				b := plain.ResolveLink(tagP, antP, ctx)
+				if a != b {
+					t.Fatalf("t=%g pass=%d round=%d: cached link differs from uncached:\n%+v\n%+v",
+						tt, pass, round, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestLinkCacheInvalidation: after a geometry mutation, resolutions must
+// match a fresh world built with the new geometry — no stale terms.
+func TestLinkCacheInvalidation(t *testing.T) {
+	w, tag, ant := obsWorld()
+	ctx := LinkContext{Time: 2.5, Pass: 1, Round: 1}
+	_ = w.ResolveLink(tag, ant, ctx) // fill the cache with the old pose
+
+	moved := geom.CrossingPass(1, 1.7, 2.5, 1)
+	w.SetBoxPath(tag.Carrier().(*Box), moved)
+	got := w.ResolveLink(tag, ant, ctx)
+
+	fresh, ftag, fant := obsWorld()
+	fresh.SetBoxPath(ftag.Carrier().(*Box), moved)
+	want := fresh.ResolveLink(ftag, fant, ctx)
+	if got != want {
+		t.Errorf("post-mutation resolution served stale cache:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLinkCacheCounters: with a collector attached, repeated resolutions
+// of one context record one miss and the rest as hits, and the counters
+// surface in the snapshot's Canonical-stripped Cache section.
+func TestLinkCacheCounters(t *testing.T) {
+	w, tag, ant := obsWorld()
+	m := obs.NewMetrics()
+	w.Observe(m.Shard())
+	ctx := LinkContext{Time: 2.5, Pass: 1, Round: 1}
+	for i := 0; i < 5; i++ {
+		_ = w.ResolveLink(tag, ant, ctx)
+	}
+	s := m.Snapshot()
+	if s.Cache == nil {
+		t.Fatal("snapshot has no Cache section after cached resolutions")
+	}
+	if s.Cache.LinkMisses != 1 || s.Cache.LinkHits != 4 {
+		t.Errorf("cache counters = %d hits / %d misses, want 4 / 1",
+			s.Cache.LinkHits, s.Cache.LinkMisses)
+	}
+	if c := s.Canonical(); c.Cache != nil {
+		t.Error("Canonical did not strip the Cache section")
+	}
+}

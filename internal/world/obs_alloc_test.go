@@ -24,8 +24,8 @@ func obsWorld() (*World, *Tag, *Antenna) {
 // TestResolveLinkZeroAllocWhenDisabled is the instrumentation layer's
 // zero-cost-when-disabled contract, enforced on every `make check`: with
 // no collector attached, a warmed-up ResolveLink performs no allocation
-// at all. (The field cache absorbs the only allocating path once the
-// labels for a (pass, round) have been drawn.)
+// at all. (Field draws reseed a world-owned scratch stream, and the
+// budget-terms memo is a flat array — nothing on the path allocates.)
 func TestResolveLinkZeroAllocWhenDisabled(t *testing.T) {
 	w, tag, ant := obsWorld()
 	ctx := LinkContext{Time: 2.5, Pass: 1, Round: 1}

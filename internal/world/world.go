@@ -53,6 +53,12 @@ type Tag struct {
 	Active bool
 
 	carrier Carrier
+	// idx is the tag's index in World.tags, the key into the world's
+	// per-instant position memo. cidx is the carrier's index in
+	// World.carriers (-1 for a carrier the world does not own), the key
+	// into the per-instant carrier-center memo.
+	idx  int
+	cidx int
 }
 
 // Carrier returns the object or person the tag is mounted on.
@@ -108,19 +114,31 @@ func (b *Box) Tags() []*Tag { return b.tags }
 // segment crossing it; the cardboard shell contributes its (small) loss
 // when crossed.
 func (b *Box) ObstructionDB(cal rf.Calibration, a, p geom.Vec3, t float64) (direct, scatter units.DB) {
-	c := b.Center(t)
+	return b.obstructionAt(&cal, a, p, b.Center(t))
+}
+
+// obstructionAt is ObstructionDB with the box center already evaluated —
+// the world's obstruction scan memoizes centers per instant instead of
+// re-walking the path for every (tag, antenna) resolution. The
+// calibration comes by pointer: it is a 200+-byte struct and this runs
+// per carrier per resolution. One property lookup per face replaces the
+// TransmissionLossDB/ScatterTransmissionLossDB pair, with the identical
+// arithmetic.
+func (b *Box) obstructionAt(cal *rf.Calibration, a, p, c geom.Vec3) (direct, scatter units.DB) {
 	if b.ContentSize.X > 0 && b.ContentSize.Y > 0 && b.ContentSize.Z > 0 {
 		half := b.ContentSize.Scale(0.5)
 		if segmentHitsAABB(a, p, c.Sub(half), c.Add(half)) {
-			direct += cal.TransmissionLossDB(b.Content)
-			scatter += cal.ScatterTransmissionLossDB(b.Content)
+			mp := cal.Materials[b.Content]
+			direct += mp.TransmissionLossDB
+			scatter += units.DB(float64(mp.TransmissionLossDB) * mp.ScatterLeakFactor)
 		}
 	}
 	if b.Size.X > 0 {
 		half := b.Size.Scale(0.5)
 		if segmentHitsAABB(a, p, c.Sub(half), c.Add(half)) {
-			direct += cal.TransmissionLossDB(b.Surface)
-			scatter += cal.ScatterTransmissionLossDB(b.Surface)
+			mp := cal.Materials[b.Surface]
+			direct += mp.TransmissionLossDB
+			scatter += units.DB(float64(mp.TransmissionLossDB) * mp.ScatterLeakFactor)
 		}
 	}
 	return direct, scatter
@@ -158,9 +176,15 @@ func (p *Person) Tags() []*Tag { return p.tags }
 // ObstructionDB implements Carrier: the torso cylinder blocks both paths
 // (bodies absorb).
 func (p *Person) ObstructionDB(cal rf.Calibration, a, b geom.Vec3, t float64) (direct, scatter units.DB) {
-	c := p.Center(t)
+	return p.obstructionAt(&cal, a, b, p.Center(t))
+}
+
+// obstructionAt is ObstructionDB with the body axis already evaluated
+// (see Box.obstructionAt).
+func (p *Person) obstructionAt(cal *rf.Calibration, a, b, c geom.Vec3) (direct, scatter units.DB) {
 	if segmentHitsCylinder(a, b, c.X, c.Y, p.Radius, c.Z, c.Z+p.Height) {
-		return cal.TransmissionLossDB(rf.Body), cal.ScatterTransmissionLossDB(rf.Body)
+		mp := cal.Materials[rf.Body]
+		return mp.TransmissionLossDB, units.DB(float64(mp.TransmissionLossDB) * mp.ScatterLeakFactor)
 	}
 	return 0, 0
 }
@@ -172,13 +196,25 @@ func (p *Person) ContentMaterial() rf.Material { return rf.Body }
 type Antenna struct {
 	Name string
 	Pose geom.Pose
+	// idx is the antenna's index in World.antennas, the column key into
+	// the world's budget-terms memo.
+	idx int
 }
 
 // World is the complete scene.
 //
-// A World is not safe for concurrent use: link resolution caches random-
-// field draws. The parallel measurement engine gives every worker its own
-// replica (see core.MeasureParallel) instead of sharing one scene.
+// A World is not safe for concurrent use, not even for read-only link
+// resolution: ResolveLink writes the world-owned budget-terms memo, the
+// tag-position memo, and the reseedable draw scratch on every call. That single-goroutine ownership is load-bearing —
+// none of the caches carry locks. The parallel measurement engine gives
+// every worker its own replica (see core.MeasureParallel) instead of
+// sharing one scene.
+//
+// Scene geometry must change through the mutator methods (SetBoxPath,
+// SetPersonPath, SetAntennaPose, SetTagMount, the Add/Attach
+// constructors) or be followed by Invalidate: each bumps the pose epoch
+// that invalidates the budget-terms cache. Writing a carrier's Path or an
+// antenna's Pose field directly leaves the cache serving stale geometry.
 type World struct {
 	Cal      rf.Calibration
 	carriers []Carrier
@@ -193,15 +229,66 @@ type World struct {
 	// labels the fields were historically keyed by, so streams — and every
 	// golden table — are unchanged.
 	keys fieldKeys
-	// fieldCache memoizes the unit draws behind each random field by label
-	// hash. Field values are pure functions of their label, so caching
-	// cannot perturb results; it only removes the per-draw stream
-	// construction. Bounded by maxFieldCacheEntries.
-	fieldCache map[uint64][2]float64
+	// draw is the reseedable scratch stream behind every field draw: one
+	// stream reseeded per label instead of one allocation per draw. (A
+	// field is a pure function of its label hash, so reseeding by hash
+	// replays it exactly.)
+	draw *xrand.Rand
 
-	// obs, when non-nil, counts link resolutions. The nil state must stay
-	// free: ResolveLink's disabled path is pinned at 0 allocs/op.
+	// poseEpoch counts scene mutations. Every mutator bumps it; the
+	// deterministic caches below stamp their contents with it and discard
+	// them when it moves (DESIGN.md §9).
+	poseEpoch uint64
+	// termsMemo memoizes the deterministic budget terms: one slot per
+	// (tag, antenna) pair holding the terms of the last pose instant that
+	// pair resolved at, stamped with (tq, epoch) — dense array indexing
+	// instead of map hashing, sized tags × antennas. r2rCache memoizes
+	// reader-to-reader carrier leakage per antenna pair, valid for
+	// cacheEpoch only.
+	termsMemo  []termsEntry
+	r2rCache   map[antPair]units.DBm
+	cacheEpoch uint64
+	// linkCacheOff disables the budget-terms caches (the -linkcache=off
+	// escape hatch); terms are recomputed on every resolution, with
+	// bit-identical results.
+	linkCacheOff bool
+
+	// posTags/posTime/posEpoch stamp the positions memo: world positions of
+	// every tag at one quantized instant, shared by the O(tags) neighbour
+	// scans so one round costs O(tags) position evaluations, not O(tags²).
+	positions []geom.Vec3
+	posTime   float64
+	posEpoch  uint64
+	posTags   int
+
+	// centers/cenTime/cenEpoch/cenN is the same memo for carrier reference
+	// points: every obstruction scan needs every carrier's center at the
+	// same quantized instant, so one path evaluation per carrier per
+	// instant serves all O(tags × antennas) resolutions of that instant.
+	centers  []geom.Vec3
+	cenTime  float64
+	cenEpoch uint64
+	cenN     int
+
+	// obs, when non-nil, counts link resolutions and cache hits/misses. The
+	// nil state must stay free: ResolveLink's disabled path is pinned at
+	// 0 allocs/op.
 	obs *obs.Collector
+}
+
+// termsEntry is one slot of the budget-terms memo: the terms of (tag,
+// antenna) at quantized instant tq, valid while the scene stays at epoch.
+// The zero value never matches a live lookup (every scene that can resolve
+// a link has had at least one mutator bump poseEpoch past zero).
+type termsEntry struct {
+	tq    float64
+	epoch uint64
+	terms rf.BudgetTerms
+}
+
+// antPair identifies one reader-to-reader leakage cache entry.
+type antPair struct {
+	from, to *Antenna
 }
 
 // fieldKeys are the precomputed label-prefix hash states (see World.keys).
@@ -210,13 +297,14 @@ type fieldKeys struct {
 	fadeDir, fadeInt, fadeDirS, fadeIntS xrand.Key
 }
 
-// maxFieldCacheEntries bounds the field cache; labels are pass-keyed so
-// long measurement runs would otherwise grow it without limit.
-const maxFieldCacheEntries = 1 << 16
-
 // New returns an empty scene using the given calibration and random seed.
 func New(cal rf.Calibration, seed uint64) *World {
-	w := &World{Cal: cal, rng: xrand.New(seed), fieldCache: make(map[uint64][2]float64)}
+	w := &World{
+		Cal:      cal,
+		rng:      xrand.New(seed),
+		draw:     xrand.New(0),
+		r2rCache: make(map[antPair]units.DBm),
+	}
 	base := w.rng.Key()
 	w.keys = fieldKeys{
 		shadowTag:  base.Str("shadow.tag/p"),
@@ -237,6 +325,7 @@ func (w *World) AddBox(name string, path geom.Path, size geom.Vec3, surface, con
 		Surface: surface, Content: content, ContentSize: contentSize,
 	}
 	w.carriers = append(w.carriers, b)
+	w.Invalidate()
 	return b
 }
 
@@ -244,8 +333,46 @@ func (w *World) AddBox(name string, path geom.Path, size geom.Vec3, surface, con
 func (w *World) AddPerson(name string, path geom.Path, height, radius float64) *Person {
 	p := &Person{name: name, Path: path, Height: height, Radius: radius}
 	w.carriers = append(w.carriers, p)
+	w.Invalidate()
 	return p
 }
+
+// SetBoxPath moves a box onto a new path.
+func (w *World) SetBoxPath(b *Box, path geom.Path) {
+	b.Path = path
+	w.Invalidate()
+}
+
+// SetPersonPath moves a person onto a new path.
+func (w *World) SetPersonPath(p *Person, path geom.Path) {
+	p.Path = path
+	w.Invalidate()
+}
+
+// SetAntennaPose repositions or reorients a portal antenna.
+func (w *World) SetAntennaPose(a *Antenna, pose geom.Pose) {
+	a.Pose = pose
+	w.Invalidate()
+}
+
+// SetTagMount replaces a tag's mount. The mount is used exactly as given
+// (Normal, Axis and a non-zero Axis2 should be unit vectors, as after
+// AttachTag's normalization).
+func (w *World) SetTagMount(t *Tag, m Mount) {
+	t.Mount = m
+	w.Invalidate()
+}
+
+// Invalidate bumps the pose epoch, discarding every cached deterministic
+// budget term. The mutator methods call it; code that mutates scene
+// geometry through struct fields directly must call it afterwards.
+func (w *World) Invalidate() { w.poseEpoch++ }
+
+// SetLinkCache enables or disables the deterministic budget-terms cache
+// (enabled by default). Disabling recomputes the terms on every
+// resolution; results are bit-identical either way — the switch exists for
+// A/B benchmarking (the CLIs' -linkcache=off).
+func (w *World) SetLinkCache(on bool) { w.linkCacheOff = !on }
 
 // AttachTag mounts a new passive tag on a carrier. The tag's protocol
 // state gets its own deterministic random sub-stream derived from the tag
@@ -272,6 +399,13 @@ func (w *World) attach(c Carrier, name string, code epc.Code, m Mount, active bo
 		Active: active,
 	}
 	t.carrier = c
+	t.cidx = -1
+	for i, owned := range w.carriers {
+		if owned == c {
+			t.cidx = i
+			break
+		}
+	}
 	switch cc := c.(type) {
 	case *Box:
 		cc.tags = append(cc.tags, t)
@@ -280,14 +414,17 @@ func (w *World) attach(c Carrier, name string, code epc.Code, m Mount, active bo
 	default:
 		panic(fmt.Sprintf("world: unknown carrier type %T", c))
 	}
+	t.idx = len(w.tags)
 	w.tags = append(w.tags, t)
+	w.Invalidate()
 	return t
 }
 
 // AddAntenna places a portal antenna.
 func (w *World) AddAntenna(name string, pose geom.Pose) *Antenna {
-	a := &Antenna{Name: name, Pose: pose}
+	a := &Antenna{Name: name, Pose: pose, idx: len(w.antennas)}
 	w.antennas = append(w.antennas, a)
+	w.Invalidate()
 	return a
 }
 

@@ -15,18 +15,35 @@ import (
 	"strconv"
 )
 
+// streamInc is the fixed PCG increment every stream uses; the seed alone
+// identifies a stream.
+const streamInc = 0x9e3779b97f4a7c15
+
 // Rand is a deterministic random stream.
 type Rand struct {
 	rng  *rand.Rand
+	src  *rand.PCG
 	seed uint64
 }
 
 // New returns a stream seeded by seed.
 func New(seed uint64) *Rand {
+	src := rand.NewPCG(seed, streamInc)
 	return &Rand{
-		rng:  rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		rng:  rand.New(src),
+		src:  src,
 		seed: seed,
 	}
+}
+
+// Reseed rewinds the stream in place to the exact state New(seed) would
+// construct, without allocating. Hot paths that would otherwise build a
+// fresh stream per label (random-field draws, per-pass tag streams) keep
+// one Rand and reseed it; the drawn sequence is bit-identical to a freshly
+// constructed stream's.
+func (r *Rand) Reseed(seed uint64) {
+	r.seed = seed
+	r.src.Seed(seed, streamInc)
 }
 
 // Split derives an independent sub-stream identified by label. Equal
