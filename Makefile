@@ -37,8 +37,9 @@ test-short:
 # bench runs every benchmark and snapshots the parsed results to the
 # current baseline file (see cmd/benchsnap) for machine-diffable tracking.
 # Baselines are numbered per PR: BENCH_1.json is the parallel-engine
-# snapshot, BENCH_2.json adds the link cache.
-BENCH_BASELINE ?= BENCH_2.json
+# snapshot, BENCH_2.json adds the link cache, BENCH_3.json the service
+# resilience PR.
+BENCH_BASELINE ?= BENCH_3.json
 bench:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -o $(BENCH_BASELINE)
 

@@ -5,7 +5,17 @@
 //
 // Usage:
 //
-//	readerd [-addr :7080] [-scenario warehouse|badges] [-seed N] [-interval 2s]
+//	readerd [-addr :7080] [-scenario warehouse|badges] [-readers N] [-seed N] [-interval 2s] [-fault SPEC]
+//
+// With -readers 2 (warehouse only) the portal runs two redundant readers
+// in Gen-2 dense-reader mode — the paper's reader-redundancy setup —
+// serving reader i on the -addr port + i (e.g. :7080 and :7081).
+//
+// -fault injects deterministic faults into every reader's HTTP interface
+// (internal/faultinject): "delay:every=3,latency=2s", "drop:every=4",
+// "5xx:every=2", "corrupt:every=2", "flap:up=8,down=4",
+// "random:seed=1,drop=0.2". Use it to watch trackd's retry, breaker, and
+// failover behavior live.
 //
 // Endpoints: GET /api/status, GET /api/taglist, POST /api/taglist/purge.
 package main
@@ -16,28 +26,33 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
 	"rfidtrack"
+	"rfidtrack/internal/faultinject"
 	"rfidtrack/internal/tracksvc"
 )
 
 func main() {
-	addr := flag.String("addr", ":7080", "listen address")
+	addr := flag.String("addr", ":7080", "listen address of the first reader; reader i adds i to the port")
 	scenarioName := flag.String("scenario", "warehouse", "simulated scene: warehouse|badges")
+	readers := flag.Int("readers", 1, "redundant readers on the portal (warehouse only; >1 enables dense-reader mode)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	interval := flag.Duration("interval", 2*time.Second, "real time between simulated passes")
+	fault := flag.String("fault", "", "fault-injection spec applied to every reader (see internal/faultinject)")
 	flag.Parse()
 
-	portal, err := buildPortal(*scenarioName, *seed)
+	portal, err := buildPortal(*scenarioName, *readers, *seed)
 	if err != nil {
 		log.Fatalf("readerd: %v", err)
 	}
-	r := portal.Readers[0]
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -48,32 +63,73 @@ func main() {
 		log.Printf("pass %d: %d reads, %d rounds", pass, len(res.Events), res.Rounds)
 	})
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           rfidtrack.NewReaderServer(r).Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
+	var wg sync.WaitGroup
+	for i, r := range portal.Readers {
+		readerAddr, err := offsetAddr(*addr, i)
+		if err != nil {
+			log.Fatalf("readerd: %v", err)
+		}
+		handler := rfidtrack.NewReaderServer(r).Handler()
+		if *fault != "" {
+			// One injector per reader: redundant readers fail
+			// independently, each replaying the same deterministic spec.
+			inj, err := faultinject.Parse(*fault)
+			if err != nil {
+				log.Fatalf("readerd: %v", err)
+			}
+			handler = inj.Middleware(handler)
+			log.Printf("readerd: reader %q serving with injected fault %q", r.Name(), *fault)
+		}
+		srv := &http.Server{Addr: readerAddr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			<-ctx.Done()
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutdownCtx)
+		}()
+		log.Printf("readerd: serving reader %q on %s (scenario %s)", r.Name(), readerAddr, *scenarioName)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("readerd: %s: %v", readerAddr, err)
+				stop()
+			}
+		}()
 	}
-	go func() {
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
-	}()
-	log.Printf("readerd: serving reader %q on %s (scenario %s)", r.Name(), *addr, *scenarioName)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("readerd: %v", err)
-	}
+	wg.Wait()
 }
 
-func buildPortal(name string, seed uint64) (*rfidtrack.Portal, error) {
+// offsetAddr returns addr with i added to its port ("  :7080"+1 → ":7081").
+func offsetAddr(addr string, i int) (string, error) {
+	if i == 0 {
+		return addr, nil
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("cannot derive reader %d address from %q: %w", i, addr, err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return "", fmt.Errorf("cannot derive reader %d address from %q: %w", i, addr, err)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+i)), nil
+}
+
+func buildPortal(name string, readers int, seed uint64) (*rfidtrack.Portal, error) {
 	switch name {
 	case "warehouse":
 		return rfidtrack.NewObjectTrackingScenario(rfidtrack.ObjectConfig{
 			TagLocations: []rfidtrack.BoxLocation{"front", "side-closer"},
 			Antennas:     2,
+			Readers:      readers,
+			DenseMode:    readers > 1, // redundant readers jam each other otherwise
 			Seed:         seed,
 		})
 	case "badges":
+		if readers > 1 {
+			return nil, fmt.Errorf("scenario badges supports a single reader")
+		}
 		return rfidtrack.NewHumanTrackingScenario(rfidtrack.HumanConfig{
 			Subjects:     2,
 			TagLocations: []rfidtrack.HumanLocation{"front", "back"},

@@ -2,14 +2,23 @@
 // instances over the HTTP/XML reader interface, runs the cleaning pipeline
 // (smoothing + deduplication), and serves the tracking state as JSON.
 //
+// Each reader is polled by its own supervisor (DESIGN.md §10): requests
+// carry deadlines, transient failures retry with exponential backoff and
+// jitter, and a circuit breaker sheds a persistently dead reader while the
+// remaining readers keep the portal tracking — the paper's
+// reader-redundancy result applied to the service chain.
+//
 // Usage:
 //
-//	trackd [-addr :7090] [-readers http://host:7080,http://host2:7080] [-poll 1s] [-window 2.0]
+//	trackd [-addr :7090] [-readers http://host:7080,http://host2:7080] [-poll 1s]
+//	       [-window 2.0] [-request-timeout 5s] [-retries 3] [-backoff 50ms]
+//	       [-breaker-failures 3] [-breaker-open 2s] [-jitter-seed 1]
 //
 // Endpoints:
 //
 //	GET /api/tags               every tracked tag with its last location
-//	GET /api/history?epc=HEX    a tag's sighting history
+//	GET /api/history?epc=HEX    a tag's sighting history (404 unknown EPC)
+//	GET /api/health             per-reader breaker state and poll counters
 package main
 
 import (
@@ -34,6 +43,13 @@ func main() {
 	readers := flag.String("readers", "http://127.0.0.1:7080", "comma-separated readerd base URLs")
 	poll := flag.Duration("poll", time.Second, "reader poll interval")
 	window := flag.Float64("window", 2.0, "smoothing window in (simulation) seconds; 0 = adaptive")
+	requestTimeout := flag.Duration("request-timeout", readerapi.DefaultTimeout, "per-request deadline")
+	retries := flag.Int("retries", 3, "poll attempts per cycle, including the first")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
+	backoffMax := flag.Duration("backoff-max", 2*time.Second, "retry backoff cap")
+	breakerFailures := flag.Int("breaker-failures", 3, "consecutive failed cycles before the breaker opens")
+	breakerOpen := flag.Duration("breaker-open", 2*time.Second, "open-breaker cool-off before a half-open probe")
+	jitterSeed := flag.Uint64("jitter-seed", 1, "seed of the deterministic backoff jitter stream")
 	flag.Parse()
 
 	var smoother backend.Smoother
@@ -48,10 +64,25 @@ func main() {
 	defer stop()
 
 	var bases []string
-	for _, base := range strings.Split(*readers, ",") {
+	for i, base := range strings.Split(*readers, ",") {
 		if base = strings.TrimSpace(base); base != "" {
 			bases = append(bases, base)
-			go svc.PollLoop(ctx, readerapi.NewClient(base, nil), *poll)
+			cfg := tracksvc.SupervisorConfig{
+				Interval:         *poll,
+				RequestTimeout:   *requestTimeout,
+				MaxAttempts:      *retries,
+				BackoffBase:      *backoff,
+				BackoffMax:       *backoffMax,
+				FailureThreshold: *breakerFailures,
+				OpenTimeout:      *breakerOpen,
+				// Distinct per-reader jitter streams, reproducible from the
+				// flag: redundant readers must not retry in lockstep.
+				JitterSeed: *jitterSeed + uint64(i),
+				OnStateChange: func(reader string, from, to tracksvc.BreakerState) {
+					log.Printf("trackd: %s: breaker %s -> %s", reader, from, to)
+				},
+			}
+			go svc.Supervise(ctx, base, readerapi.NewClient(base, nil), cfg)
 		}
 	}
 

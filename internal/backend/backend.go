@@ -234,6 +234,15 @@ func (s *Store) Apply(sight Sighting) {
 	s.history[sight.EPC] = append(s.history[sight.EPC], sight)
 }
 
+// Seen reports whether the store has ever recorded a sighting of the tag
+// — the membership test behind the tracking API's 404 for unknown EPCs.
+func (s *Store) Seen(code epc.Code) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.last[code]
+	return ok
+}
+
 // LocationOf returns the last known location of a tag.
 func (s *Store) LocationOf(code epc.Code) (Location, bool) {
 	s.mu.RLock()

@@ -1,0 +1,407 @@
+// Package faultinject makes the reader→tracker service chain testable
+// under failure: it injects delays, dropped connections, 5xx responses,
+// corrupted XML, and up/down flapping into the AR400-style HTTP interface,
+// deterministically from a seed or a scripted plan.
+//
+// Two injection points cover both halves of the chain:
+//
+//   - Transport wraps an http.RoundTripper, so a readerapi.Client can be
+//     handed a faulty network without any server cooperation;
+//   - Middleware wraps an http.Handler, so a readerapi.Server (or
+//     cmd/readerd via its -fault flag) can misbehave on the wire exactly
+//     like a sick physical reader.
+//
+// Every decision is a pure function of (plan, request index), never of
+// the wall clock, so a test that polls a faulty reader sees the identical
+// fault sequence on every run — the property the tracksvc breaker tests
+// rely on. The one mutable control is the Kill/Revive switch, which
+// overrides the plan with Drop while down: integration tests use it to
+// kill a redundant reader mid-run and later bring it back.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"rfidtrack/internal/xrand"
+)
+
+// Fault is one injected behavior applied to a single request.
+type Fault int
+
+const (
+	// None passes the request through untouched.
+	None Fault = iota
+	// Delay stalls the request by the injector's Latency before serving
+	// it, honoring the request context — long enough a Latency turns into
+	// a client-side timeout.
+	Delay
+	// Drop severs the exchange with no HTTP response: the client sees a
+	// transport error (connection reset / EOF).
+	Drop
+	// Err5xx answers 503 Service Unavailable without invoking the handler.
+	Err5xx
+	// Corrupt serves the real response but truncates the body mid-way and
+	// flips a byte — well-formed HTTP carrying broken XML.
+	Corrupt
+)
+
+// String names the fault for specs and logs.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Err5xx:
+		return "5xx"
+	case Corrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// Plan decides the fault for the n-th request (n counts from 1). Decide
+// must be a pure function of n so fault sequences replay exactly.
+type Plan interface {
+	Decide(n uint64) Fault
+}
+
+// planFunc adapts a function to a Plan.
+type planFunc func(n uint64) Fault
+
+func (f planFunc) Decide(n uint64) Fault { return f(n) }
+
+// NonePlan never faults — the identity plan.
+func NonePlan() Plan { return planFunc(func(uint64) Fault { return None }) }
+
+// EveryN applies f to every n-th request (the n-th, 2n-th, ...); other
+// requests pass through.
+func EveryN(f Fault, n uint64) Plan {
+	if n == 0 {
+		n = 1
+	}
+	return planFunc(func(i uint64) Fault {
+		if i%n == 0 {
+			return f
+		}
+		return None
+	})
+}
+
+// Seq replays the given faults once, in order, then passes everything
+// through — a scripted failure episode.
+func Seq(faults ...Fault) Plan {
+	seq := append([]Fault(nil), faults...)
+	return planFunc(func(i uint64) Fault {
+		if i == 0 || i > uint64(len(seq)) {
+			return None
+		}
+		return seq[i-1]
+	})
+}
+
+// Flap alternates a healthy phase of `up` requests with a dead phase of
+// `down` requests (Drop), repeating — the flapping reader of the breaker
+// tests.
+func Flap(up, down uint64) Plan {
+	if up == 0 && down == 0 {
+		return NonePlan()
+	}
+	period := up + down
+	return planFunc(func(i uint64) Fault {
+		if (i-1)%period < up {
+			return None
+		}
+		return Drop
+	})
+}
+
+// Random draws each request's fault independently from the given
+// per-fault probabilities (the remainder passes through), keyed by (seed,
+// request index) so the sequence is reproducible regardless of timing.
+func Random(seed uint64, pDelay, pDrop, p5xx, pCorrupt float64) Plan {
+	base := xrand.New(seed)
+	return planFunc(func(i uint64) Fault {
+		u := base.Key().Str("faultinject").Int(int(i)).Stream().Float64()
+		switch {
+		case u < pDelay:
+			return Delay
+		case u < pDelay+pDrop:
+			return Drop
+		case u < pDelay+pDrop+p5xx:
+			return Err5xx
+		case u < pDelay+pDrop+p5xx+pCorrupt:
+			return Corrupt
+		}
+		return None
+	})
+}
+
+// Injector applies a Plan to requests, counting them across both
+// injection points. Safe for concurrent use.
+type Injector struct {
+	plan    Plan
+	n       atomic.Uint64
+	downed  atomic.Bool
+	latency time.Duration
+}
+
+// Option configures an Injector.
+type Option func(*Injector)
+
+// WithLatency sets the stall applied by Delay faults (default 100ms).
+func WithLatency(d time.Duration) Option {
+	return func(i *Injector) { i.latency = d }
+}
+
+// New builds an injector over plan (nil = NonePlan).
+func New(plan Plan, opts ...Option) *Injector {
+	if plan == nil {
+		plan = NonePlan()
+	}
+	inj := &Injector{plan: plan, latency: 100 * time.Millisecond}
+	for _, o := range opts {
+		o(inj)
+	}
+	return inj
+}
+
+// Kill takes the simulated reader down: every request Drops until Revive.
+func (inj *Injector) Kill() { inj.downed.Store(true) }
+
+// Revive brings the reader back; the plan resumes deciding.
+func (inj *Injector) Revive() { inj.downed.Store(false) }
+
+// Down reports whether the reader is currently killed.
+func (inj *Injector) Down() bool { return inj.downed.Load() }
+
+// Requests returns how many requests the injector has decided so far.
+func (inj *Injector) Requests() uint64 { return inj.n.Load() }
+
+// next assigns the next request its fault.
+func (inj *Injector) next() Fault {
+	n := inj.n.Add(1)
+	if inj.downed.Load() {
+		return Drop
+	}
+	return inj.plan.Decide(n)
+}
+
+// dropErr is the transport-level failure Drop produces client-side.
+type dropErr struct{}
+
+func (dropErr) Error() string   { return "faultinject: connection dropped" }
+func (dropErr) Timeout() bool   { return false }
+func (dropErr) Temporary() bool { return true }
+
+// Transport wraps inner (nil = http.DefaultTransport) with the injector.
+func (inj *Injector) Transport(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return roundTripper{inj: inj, inner: inner}
+}
+
+type roundTripper struct {
+	inj   *Injector
+	inner http.RoundTripper
+}
+
+func (rt roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch rt.inj.next() {
+	case Drop:
+		return nil, dropErr{}
+	case Err5xx:
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable",
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(strings.NewReader("faultinject: unavailable")),
+			Request: req,
+		}, nil
+	case Delay:
+		select {
+		case <-time.After(rt.inj.latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	case Corrupt:
+		resp, err := rt.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		mangled := mangle(body)
+		resp.Body = io.NopCloser(bytes.NewReader(mangled))
+		resp.ContentLength = int64(len(mangled))
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return rt.inner.RoundTrip(req)
+}
+
+// Middleware wraps next with the injector, server-side.
+func (inj *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch inj.next() {
+		case Drop:
+			// net/http treats ErrAbortHandler as "cut the connection
+			// without replying" — the client observes EOF/reset.
+			panic(http.ErrAbortHandler)
+		case Err5xx:
+			http.Error(w, "faultinject: unavailable", http.StatusServiceUnavailable)
+			return
+		case Delay:
+			select {
+			case <-time.After(inj.latency):
+			case <-r.Context().Done():
+				return
+			}
+		case Corrupt:
+			rec := &recorder{header: make(http.Header)}
+			next.ServeHTTP(rec, r)
+			copyHeader(w.Header(), rec.header)
+			w.Header().Del("Content-Length")
+			code := rec.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			w.WriteHeader(code)
+			w.Write(mangle(rec.body.Bytes()))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// recorder buffers a handler's response so Corrupt can mangle it.
+type recorder struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+func (r *recorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// mangle truncates the body past the midpoint and flips a byte, so XML
+// decoding reliably fails while the HTTP exchange itself stays valid.
+func mangle(body []byte) []byte {
+	if len(body) == 0 {
+		return []byte{'<'}
+	}
+	out := append([]byte(nil), body[:len(body)/2+1]...)
+	out[len(out)-1] ^= 0x5a
+	return out
+}
+
+// Parse builds an injector from a compact spec, for CLI flags:
+//
+//	none
+//	delay:every=3,latency=200ms
+//	drop:every=4
+//	5xx:every=2
+//	corrupt:every=2
+//	flap:up=8,down=4
+//	random:seed=1,delay=0.1,drop=0.1,5xx=0.1,corrupt=0.1
+//
+// Omitted parameters default to every=1, latency=100ms, seed=1 and
+// probability 0.
+func Parse(spec string) (*Injector, error) {
+	mode, rest, _ := strings.Cut(strings.TrimSpace(spec), ":")
+	params := map[string]string{}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: bad parameter %q in %q", kv, spec)
+			}
+			params[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
+	getUint := func(key string, def uint64) (uint64, error) {
+		s, ok := params[key]
+		if !ok {
+			return def, nil
+		}
+		return strconv.ParseUint(s, 10, 64)
+	}
+	getFloat := func(key string) (float64, error) {
+		s, ok := params[key]
+		if !ok {
+			return 0, nil
+		}
+		return strconv.ParseFloat(s, 64)
+	}
+
+	var opts []Option
+	if s, ok := params["latency"]; ok {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad latency in %q: %w", spec, err)
+		}
+		opts = append(opts, WithLatency(d))
+	}
+
+	switch mode {
+	case "", "none":
+		return New(NonePlan(), opts...), nil
+	case "delay", "drop", "5xx", "corrupt":
+		fault := map[string]Fault{"delay": Delay, "drop": Drop, "5xx": Err5xx, "corrupt": Corrupt}[mode]
+		every, err := getUint("every", 1)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad every in %q: %w", spec, err)
+		}
+		return New(EveryN(fault, every), opts...), nil
+	case "flap":
+		up, err := getUint("up", 1)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad up in %q: %w", spec, err)
+		}
+		down, err := getUint("down", 1)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad down in %q: %w", spec, err)
+		}
+		return New(Flap(up, down), opts...), nil
+	case "random":
+		seed, err := getUint("seed", 1)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad seed in %q: %w", spec, err)
+		}
+		var ps [4]float64
+		for i, key := range []string{"delay", "drop", "5xx", "corrupt"} {
+			if ps[i], err = getFloat(key); err != nil {
+				return nil, fmt.Errorf("faultinject: bad %s in %q: %w", key, spec, err)
+			}
+		}
+		return New(Random(seed, ps[0], ps[1], ps[2], ps[3]), opts...), nil
+	}
+	return nil, fmt.Errorf("faultinject: unknown mode %q (want none|delay|drop|5xx|corrupt|flap|random)", mode)
+}

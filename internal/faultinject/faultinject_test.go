@@ -1,0 +1,216 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/readerapi"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/xml")
+		io.WriteString(w, `<taglist reader="r1" count="0"></taglist>`)
+	})
+}
+
+func TestPlansAreDeterministic(t *testing.T) {
+	plans := map[string]Plan{
+		"every3":  EveryN(Drop, 3),
+		"flap":    Flap(5, 3),
+		"seq":     Seq(Delay, Drop, Err5xx, Corrupt),
+		"random":  Random(7, 0.1, 0.2, 0.1, 0.1),
+		"random2": Random(7, 0.1, 0.2, 0.1, 0.1),
+	}
+	for name, p := range plans {
+		for n := uint64(1); n <= 50; n++ {
+			if a, b := p.Decide(n), p.Decide(n); a != b {
+				t.Fatalf("%s: Decide(%d) unstable: %v vs %v", name, n, a, b)
+			}
+		}
+	}
+	// Identical seeds give identical sequences.
+	for n := uint64(1); n <= 200; n++ {
+		if a, b := plans["random"].Decide(n), plans["random2"].Decide(n); a != b {
+			t.Fatalf("Random(7) diverged at %d: %v vs %v", n, a, b)
+		}
+	}
+}
+
+func TestFlapSchedule(t *testing.T) {
+	p := Flap(2, 1)
+	want := []Fault{None, None, Drop, None, None, Drop}
+	for i, w := range want {
+		if got := p.Decide(uint64(i + 1)); got != w {
+			t.Errorf("Flap(2,1).Decide(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestSeqThenClean(t *testing.T) {
+	p := Seq(Drop, Err5xx)
+	if p.Decide(1) != Drop || p.Decide(2) != Err5xx || p.Decide(3) != None {
+		t.Errorf("Seq schedule wrong: %v %v %v", p.Decide(1), p.Decide(2), p.Decide(3))
+	}
+}
+
+func TestMiddlewareFaults(t *testing.T) {
+	ctx := context.Background()
+
+	// 5xx then clean.
+	inj := New(Seq(Err5xx))
+	srv := httptest.NewServer(inj.Middleware(okHandler()))
+	defer srv.Close()
+	c := readerapi.NewClient(srv.URL, srv.Client())
+	_, err := c.Poll(ctx)
+	var re *readerapi.RequestError
+	if !errors.As(err, &re) || re.Kind != readerapi.KindServer {
+		t.Fatalf("injected 5xx surfaced as %v", err)
+	}
+	if _, err := c.Poll(ctx); err != nil {
+		t.Fatalf("second poll after the 5xx episode: %v", err)
+	}
+
+	// Drop: transport-level failure, no HTTP response.
+	injDrop := New(Seq(Drop))
+	srvDrop := httptest.NewServer(injDrop.Middleware(okHandler()))
+	defer srvDrop.Close()
+	cDrop := readerapi.NewClient(srvDrop.URL, srvDrop.Client())
+	_, err = cDrop.Poll(ctx)
+	if !errors.As(err, &re) || re.Kind != readerapi.KindNetwork {
+		t.Fatalf("injected drop surfaced as %v", err)
+	}
+	if _, err := cDrop.Poll(ctx); err != nil {
+		t.Fatalf("poll after drop: %v", err)
+	}
+
+	// Corrupt: valid HTTP, broken XML.
+	injCorrupt := New(Seq(Corrupt))
+	srvCorrupt := httptest.NewServer(injCorrupt.Middleware(okHandler()))
+	defer srvCorrupt.Close()
+	cCorrupt := readerapi.NewClient(srvCorrupt.URL, srvCorrupt.Client())
+	_, err = cCorrupt.Poll(ctx)
+	if !errors.As(err, &re) || re.Kind != readerapi.KindDecode {
+		t.Fatalf("injected corruption surfaced as %v", err)
+	}
+
+	// Delay: long enough to trip a short request deadline.
+	injDelay := New(Seq(Delay), WithLatency(5*time.Second))
+	srvDelay := httptest.NewServer(injDelay.Middleware(okHandler()))
+	defer srvDelay.Close()
+	cDelay := readerapi.NewClient(srvDelay.URL, srvDelay.Client())
+	tctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cDelay.Poll(tctx)
+	if !errors.As(err, &re) || re.Kind != readerapi.KindTimeout {
+		t.Fatalf("injected delay surfaced as %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("delayed poll was not cut at the deadline (%v elapsed)", time.Since(start))
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	ctx := context.Background()
+	srv := httptest.NewServer(okHandler())
+	defer srv.Close()
+
+	inj := New(Seq(Drop, Err5xx, Corrupt))
+	hc := &http.Client{Transport: inj.Transport(nil), Timeout: 2 * time.Second}
+	c := readerapi.NewClient(srv.URL, hc)
+
+	var re *readerapi.RequestError
+	_, err := c.Poll(ctx)
+	if !errors.As(err, &re) || re.Kind != readerapi.KindNetwork {
+		t.Fatalf("transport drop surfaced as %v", err)
+	}
+	_, err = c.Poll(ctx)
+	if !errors.As(err, &re) || re.Kind != readerapi.KindServer {
+		t.Fatalf("transport 5xx surfaced as %v", err)
+	}
+	_, err = c.Poll(ctx)
+	if !errors.As(err, &re) || re.Kind != readerapi.KindDecode {
+		t.Fatalf("transport corruption surfaced as %v", err)
+	}
+	if _, err := c.Poll(ctx); err != nil {
+		t.Fatalf("clean poll after the episode: %v", err)
+	}
+}
+
+func TestKillRevive(t *testing.T) {
+	ctx := context.Background()
+	inj := New(NonePlan())
+	srv := httptest.NewServer(inj.Middleware(okHandler()))
+	defer srv.Close()
+	c := readerapi.NewClient(srv.URL, srv.Client())
+
+	if _, err := c.Poll(ctx); err != nil {
+		t.Fatalf("healthy poll: %v", err)
+	}
+	inj.Kill()
+	if !inj.Down() {
+		t.Fatal("Kill did not mark the injector down")
+	}
+	if _, err := c.Poll(ctx); err == nil {
+		t.Fatal("poll against a killed reader succeeded")
+	}
+	inj.Revive()
+	if _, err := c.Poll(ctx); err != nil {
+		t.Fatalf("poll after revive: %v", err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	good := []string{
+		"none", "", "delay:every=3,latency=200ms", "drop:every=4", "5xx",
+		"corrupt:every=2", "flap:up=8,down=4", "random:seed=2,drop=0.5",
+	}
+	for _, spec := range good {
+		if _, err := Parse(spec); err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+		}
+	}
+	bad := []string{"explode", "flap:up=x", "delay:latency=fast", "random:seed=1,drop=?", "drop:every"}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+
+	// A parsed flap injector follows the flap schedule.
+	inj, err := Parse("flap:up=1,down=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(inj.Middleware(okHandler()))
+	defer srv.Close()
+	c := readerapi.NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+	if _, err := c.Poll(ctx); err != nil {
+		t.Fatalf("up request failed: %v", err)
+	}
+	if _, err := c.Poll(ctx); err == nil {
+		t.Fatal("down request succeeded")
+	}
+	if _, err := c.Poll(ctx); err != nil {
+		t.Fatalf("next up request failed: %v", err)
+	}
+}
+
+func TestMangleBreaksXML(t *testing.T) {
+	doc := `<taglist reader="r1" count="1"><tag epc="35000000400000C00000000A"/></taglist>`
+	m := mangle([]byte(doc))
+	if string(m) == doc {
+		t.Fatal("mangle returned the document unchanged")
+	}
+	if strings.Contains(string(m), "</taglist>") {
+		t.Fatal("mangle kept the closing tag; truncation expected")
+	}
+}

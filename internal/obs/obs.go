@@ -32,7 +32,10 @@ type Counter int
 // The engine's scalar counters. Round counters accumulate over every
 // inventory round of every pass; link.resolutions counts calls into
 // world.ResolveLink (one per (tag, active antenna, round), foreign-carrier
-// resolutions excluded).
+// resolutions excluded). The poll.* and breaker.* counters are the
+// service-side resilience counters written by tracksvc reader supervisors
+// (DESIGN.md §10); unlike the engine counters they tally live HTTP
+// traffic, so their values depend on real scheduling, not only the seed.
 const (
 	CtrPasses          Counter = iota // pass.count
 	CtrRounds                         // round.count
@@ -45,6 +48,12 @@ const (
 	CtrQAdjusts                       // round.q_adjusts
 	CtrReads                          // round.reads
 	CtrLinkResolutions                // link.resolutions
+	CtrPollAttempts                   // poll.attempts
+	CtrPollFailures                   // poll.failures
+	CtrPollRetries                    // poll.retries
+	CtrBreakerOpens                   // breaker.opens
+	CtrBreakerProbes                  // breaker.half_opens
+	CtrBreakerCloses                  // breaker.closes
 
 	numCounters
 )
@@ -62,6 +71,12 @@ var counterNames = [numCounters]string{
 	CtrQAdjusts:        "round.q_adjusts",
 	CtrReads:           "round.reads",
 	CtrLinkResolutions: "link.resolutions",
+	CtrPollAttempts:    "poll.attempts",
+	CtrPollFailures:    "poll.failures",
+	CtrPollRetries:     "poll.retries",
+	CtrBreakerOpens:    "breaker.opens",
+	CtrBreakerProbes:   "breaker.half_opens",
+	CtrBreakerCloses:   "breaker.closes",
 }
 
 // Histogram identifies one deterministic fixed-bucket histogram.

@@ -6,10 +6,14 @@
 package readerapi
 
 import (
+	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"rfidtrack/internal/epc"
 	"rfidtrack/internal/reader"
@@ -128,6 +132,113 @@ func writeXML(w http.ResponseWriter, doc any) {
 	_ = enc.Close()
 }
 
+// DefaultTimeout bounds a whole client request (dial, write, read) when
+// NewClient is handed a nil *http.Client. A reader that stops answering
+// must surface as a timeout error, never as a hung poll loop.
+const DefaultTimeout = 5 * time.Second
+
+// ErrorKind classifies a client request failure for retry policy.
+type ErrorKind int
+
+const (
+	// KindNetwork: the transport failed (refused, reset, EOF). Retryable —
+	// the reader may be restarting.
+	KindNetwork ErrorKind = iota
+	// KindTimeout: the request deadline or context expired. Retryable.
+	KindTimeout
+	// KindCanceled: the caller's context was canceled. Not retryable — the
+	// caller is shutting down, not the reader failing.
+	KindCanceled
+	// KindServer: the reader answered 5xx or 429. Retryable.
+	KindServer
+	// KindClient: the reader answered another 4xx — a misdirected or
+	// malformed request. Fatal: retrying the identical request cannot help.
+	KindClient
+	// KindDecode: the response body was not the expected XML (truncated or
+	// corrupted in flight). Retryable — the next poll re-reads the buffer.
+	KindDecode
+)
+
+// String names the kind for logs and health reports.
+func (k ErrorKind) String() string {
+	switch k {
+	case KindNetwork:
+		return "network"
+	case KindTimeout:
+		return "timeout"
+	case KindCanceled:
+		return "canceled"
+	case KindServer:
+		return "server"
+	case KindClient:
+		return "client"
+	case KindDecode:
+		return "decode"
+	}
+	return "unknown"
+}
+
+// RequestError is the typed failure of one client request.
+type RequestError struct {
+	Kind   ErrorKind
+	Op     string // "poll", "get /api/status", ...
+	Status int    // HTTP status for KindServer/KindClient, else 0
+	Err    error  // underlying cause, nil for pure status errors
+}
+
+func (e *RequestError) Error() string {
+	msg := fmt.Sprintf("readerapi: %s: %s", e.Op, e.Kind)
+	if e.Status != 0 {
+		msg += fmt.Sprintf(" (HTTP %d)", e.Status)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// Retryable reports whether the same request may succeed if repeated:
+// everything except a definitive 4xx rejection or the caller's own
+// cancellation.
+func (e *RequestError) Retryable() bool {
+	return e.Kind != KindClient && e.Kind != KindCanceled
+}
+
+// IsRetryable reports whether err is a retryable request failure. Nil and
+// errors that did not come from this client are not retryable.
+func IsRetryable(err error) bool {
+	var re *RequestError
+	return errors.As(err, &re) && re.Retryable()
+}
+
+// classify wraps a transport-level error.
+func classify(op string, err error) *RequestError {
+	kind := KindNetwork
+	switch {
+	case errors.Is(err, context.Canceled):
+		kind = KindCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		kind = KindTimeout
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			kind = KindTimeout
+		}
+	}
+	return &RequestError{Kind: kind, Op: op, Err: err}
+}
+
+// classifyStatus wraps a non-200 HTTP response.
+func classifyStatus(op string, status int) *RequestError {
+	kind := KindClient
+	if status >= 500 || status == http.StatusTooManyRequests {
+		kind = KindServer
+	}
+	return &RequestError{Kind: kind, Op: op, Status: status}
+}
+
 // Client polls a readerapi server.
 type Client struct {
 	base string
@@ -135,57 +246,69 @@ type Client struct {
 }
 
 // NewClient returns a client for the server at base (e.g.
-// "http://127.0.0.1:8080"). httpClient may be nil for the default.
+// "http://127.0.0.1:8080"). A nil httpClient installs a private client
+// with DefaultTimeout — never http.DefaultClient, whose missing timeout
+// turns one stalled reader into a stalled poll loop.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = &http.Client{Timeout: DefaultTimeout}
 	}
 	return &Client{base: base, http: httpClient}
 }
 
+// Base returns the server base URL the client polls.
+func (c *Client) Base() string { return c.base }
+
 // Status fetches the reader status.
-func (c *Client) Status() (StatusXML, error) {
+func (c *Client) Status(ctx context.Context) (StatusXML, error) {
 	var out StatusXML
-	err := c.get("/api/status", &out)
+	err := c.do(ctx, http.MethodGet, "/api/status", &out)
 	return out, err
 }
 
 // TagList fetches the buffered tag list without draining it.
-func (c *Client) TagList() (TagListXML, error) {
+func (c *Client) TagList(ctx context.Context) (TagListXML, error) {
 	var out TagListXML
-	err := c.get("/api/taglist", &out)
+	err := c.do(ctx, http.MethodGet, "/api/taglist", &out)
 	return out, err
 }
 
-// Poll drains the reader buffer — the paper's software polling loop.
-func (c *Client) Poll() (TagListXML, error) {
-	resp, err := c.http.Post(c.base+"/api/taglist/purge", "text/xml", nil)
-	if err != nil {
-		return TagListXML{}, fmt.Errorf("readerapi: poll: %w", err)
-	}
-	defer resp.Body.Close()
+// Poll drains the reader buffer — the paper's software polling loop. The
+// context bounds the whole request; canceling it interrupts an in-flight
+// poll.
+func (c *Client) Poll(ctx context.Context) (TagListXML, error) {
 	var out TagListXML
-	if err := decodeXML(resp, &out); err != nil {
-		return TagListXML{}, err
-	}
-	return out, nil
+	err := c.do(ctx, http.MethodPost, "/api/taglist/purge", &out)
+	return out, err
 }
 
-func (c *Client) get(path string, out any) error {
-	resp, err := c.http.Get(c.base + path)
+func (c *Client) do(ctx context.Context, method, path string, out any) error {
+	op := fmt.Sprintf("%s %s", method, path)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, nil)
 	if err != nil {
-		return fmt.Errorf("readerapi: get %s: %w", path, err)
+		return &RequestError{Kind: KindClient, Op: op, Err: err}
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "text/xml")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return classify(op, err)
 	}
 	defer resp.Body.Close()
-	return decodeXML(resp, out)
+	return decodeXML(op, resp, out)
 }
 
-func decodeXML(resp *http.Response, out any) error {
+func decodeXML(op string, resp *http.Response, out any) error {
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("readerapi: server returned %s", resp.Status)
+		return classifyStatus(op, resp.StatusCode)
 	}
 	if err := xml.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("readerapi: decoding response: %w", err)
+		// A deadline can also fire mid-body; report it as the timeout it is.
+		if re := classify(op, err); re.Kind != KindNetwork {
+			return re
+		}
+		return &RequestError{Kind: KindDecode, Op: op, Err: err}
 	}
 	return nil
 }

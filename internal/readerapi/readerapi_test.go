@@ -1,10 +1,13 @@
 package readerapi
 
 import (
+	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"rfidtrack/internal/epc"
 	"rfidtrack/internal/geom"
@@ -44,8 +47,9 @@ func TestServerEndToEnd(t *testing.T) {
 	srv := httptest.NewServer(NewServer(r).Handler())
 	defer srv.Close()
 	c := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
 
-	status, err := c.Status()
+	status, err := c.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +57,7 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Errorf("status = %+v", status)
 	}
 
-	list, err := c.TagList()
+	list, err := c.TagList(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,19 +80,19 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// TagList does not drain.
-	if again, _ := c.TagList(); again.Count != 3 {
+	if again, _ := c.TagList(ctx); again.Count != 3 {
 		t.Error("TagList drained the buffer")
 	}
 
 	// Poll drains: the paper's software poll loop.
-	drained, err := c.Poll()
+	drained, err := c.Poll(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if drained.Count != 3 {
 		t.Errorf("poll drained %d", drained.Count)
 	}
-	empty, err := c.Poll()
+	empty, err := c.Poll(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +115,7 @@ func TestServerContentTypeAndXMLWellFormed(t *testing.T) {
 		t.Errorf("content type = %q", ct)
 	}
 	var list TagListXML
-	if err := decodeXML(resp, &list); err != nil {
+	if err := decodeXML("GET /api/taglist", resp, &list); err != nil {
 		t.Fatalf("response not well-formed XML: %v", err)
 	}
 }
@@ -142,21 +146,148 @@ func TestServerMethodRouting(t *testing.T) {
 }
 
 func TestClientErrors(t *testing.T) {
+	ctx := context.Background()
 	// A server that always 500s.
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "boom", http.StatusInternalServerError)
 	}))
 	defer srv.Close()
 	c := NewClient(srv.URL, srv.Client())
-	if _, err := c.Status(); err == nil {
+	if _, err := c.Status(ctx); err == nil {
 		t.Error("Status on a failing server should error")
 	}
-	if _, err := c.Poll(); err == nil {
+	if _, err := c.Poll(ctx); err == nil {
 		t.Error("Poll on a failing server should error")
 	}
 	// Unreachable server.
 	dead := NewClient("http://127.0.0.1:1", nil)
-	if _, err := dead.TagList(); err == nil {
+	if _, err := dead.TagList(ctx); err == nil {
 		t.Error("TagList on a dead server should error")
+	}
+}
+
+// kindOf extracts the RequestError kind, failing the test otherwise.
+func kindOf(t *testing.T, err error) ErrorKind {
+	t.Helper()
+	var re *RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v (%T) is not a *RequestError", err, err)
+	}
+	return re.Kind
+}
+
+func TestClientDefaultTimeoutInstalled(t *testing.T) {
+	c := NewClient("http://example.invalid", nil)
+	if c.http == http.DefaultClient {
+		t.Fatal("nil httpClient fell back to http.DefaultClient")
+	}
+	if c.http.Timeout != DefaultTimeout {
+		t.Fatalf("default client timeout = %v, want %v", c.http.Timeout, DefaultTimeout)
+	}
+}
+
+func TestClientErrorTaxonomy(t *testing.T) {
+	ctx := context.Background()
+
+	status := func(code int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, "nope", code)
+		}))
+	}
+
+	// 5xx: retryable server error.
+	s5 := status(http.StatusServiceUnavailable)
+	defer s5.Close()
+	_, err := NewClient(s5.URL, s5.Client()).Poll(ctx)
+	if k := kindOf(t, err); k != KindServer {
+		t.Errorf("503 kind = %v, want server", k)
+	}
+	if !IsRetryable(err) {
+		t.Error("503 should be retryable")
+	}
+
+	// 4xx: fatal client error.
+	s4 := status(http.StatusNotFound)
+	defer s4.Close()
+	_, err = NewClient(s4.URL, s4.Client()).Poll(ctx)
+	if k := kindOf(t, err); k != KindClient {
+		t.Errorf("404 kind = %v, want client", k)
+	}
+	if IsRetryable(err) {
+		t.Error("404 should be fatal")
+	}
+
+	// Malformed XML: retryable decode error.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("<taglist><tag epc=")) // truncated mid-attribute
+	}))
+	defer bad.Close()
+	_, err = NewClient(bad.URL, bad.Client()).Poll(ctx)
+	if k := kindOf(t, err); k != KindDecode {
+		t.Errorf("corrupt body kind = %v, want decode", k)
+	}
+	if !IsRetryable(err) {
+		t.Error("decode errors should be retryable")
+	}
+
+	// Unreachable server: retryable network error.
+	_, err = NewClient("http://127.0.0.1:1", nil).Poll(ctx)
+	if k := kindOf(t, err); k != KindNetwork {
+		t.Errorf("refused kind = %v, want network", k)
+	}
+
+	// Deadline exceeded: retryable timeout.
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer slow.Close()
+	tctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	_, err = NewClient(slow.URL, slow.Client()).Poll(tctx)
+	if k := kindOf(t, err); k != KindTimeout {
+		t.Errorf("deadline kind = %v, want timeout", k)
+	}
+	if !IsRetryable(err) {
+		t.Error("timeouts should be retryable")
+	}
+
+	// Caller cancellation: not a reader failure, not retryable.
+	cctx, cancelNow := context.WithCancel(ctx)
+	cancelNow()
+	_, err = NewClient(slow.URL, slow.Client()).Poll(cctx)
+	if k := kindOf(t, err); k != KindCanceled {
+		t.Errorf("canceled kind = %v, want canceled", k)
+	}
+	if IsRetryable(err) {
+		t.Error("cancellation should not be retryable")
+	}
+}
+
+// TestPollCancellationInterruptsInFlight pins the PollLoop bugfix: a
+// canceled context must abort an in-flight request promptly instead of
+// waiting out the server.
+func TestPollCancellationInterruptsInFlight(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := NewClient(srv.URL, srv.Client()).Poll(ctx)
+	if err == nil {
+		t.Fatal("poll against a hung server returned nil after cancel")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v to interrupt the poll", elapsed)
 	}
 }

@@ -1,0 +1,477 @@
+package tracksvc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/core"
+	"rfidtrack/internal/faultinject"
+	"rfidtrack/internal/obs"
+	"rfidtrack/internal/readerapi"
+	"rfidtrack/internal/scenario"
+)
+
+// okTagListHandler answers every request with one valid tag read.
+func okTagListHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/xml")
+		io.WriteString(w, `<taglist reader="r1" count="1">`+
+			`<tag epc="35000000400000C00000000A" uri="urn:epc:id:sgtin:1.1.10" antenna="a1" reader="r1" rssi="-60" time="1" pass="0"/>`+
+			`</taglist>`)
+	})
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// transitionLog records breaker transitions concurrently.
+type transitionLog struct {
+	mu  sync.Mutex
+	seq []string
+}
+
+func (l *transitionLog) hook(reader string, from, to BreakerState) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq = append(l.seq, fmt.Sprintf("%s:%s->%s", reader, from, to))
+}
+
+func (l *transitionLog) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.seq...)
+}
+
+// fastConfig is an aggressive supervisor tuning for tests: millisecond
+// cadence, tiny backoff, quick breaker.
+func fastConfig() SupervisorConfig {
+	return SupervisorConfig{
+		Interval:         time.Millisecond,
+		RequestTimeout:   500 * time.Millisecond,
+		MaxAttempts:      2,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       4 * time.Millisecond,
+		FailureThreshold: 2,
+		OpenTimeout:      5 * time.Millisecond,
+	}
+}
+
+// TestBreakerTransitionsDeterministic pins the breaker state machine
+// against a scripted fault plan: exactly four dropped requests with
+// MaxAttempts=2 and FailureThreshold=2 are exactly two failed cycles —
+// the breaker opens once, and the first half-open probe (request 5, clean
+// again) closes it. The transition sequence is fully determined by the
+// fault script.
+func TestBreakerTransitionsDeterministic(t *testing.T) {
+	inj := faultinject.New(faultinject.Seq(
+		faultinject.Drop, faultinject.Drop, faultinject.Drop, faultinject.Drop))
+	srv := httptest.NewServer(inj.Middleware(okTagListHandler()))
+	defer srv.Close()
+	// Fresh connection per request: connection reuse after a drop would
+	// add client-side failures the fault script did not decide.
+	hc := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}, Timeout: 2 * time.Second}
+
+	var log transitionLog
+	metrics := obs.NewMetrics()
+	cfg := fastConfig()
+	cfg.OnStateChange = log.hook
+	cfg.Collector = metrics.Shard()
+
+	svc := New(nil, WithLogger(func(string, ...any) {}))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		svc.Supervise(ctx, "r1", readerapi.NewClient(srv.URL, hc), cfg)
+		close(done)
+	}()
+
+	waitFor(t, 5*time.Second, "breaker to open and close again", func() bool {
+		seq := log.snapshot()
+		return len(seq) >= 3
+	})
+	cancel()
+	<-done
+
+	want := []string{"r1:closed->open", "r1:open->half-open", "r1:half-open->closed"}
+	got := log.snapshot()[:3]
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("transition %d = %q, want %q (full: %v)", i, got[i], w, got)
+		}
+	}
+
+	snap := metrics.Snapshot()
+	if n := snap.Counters["breaker.opens"]; n != 1 {
+		t.Errorf("breaker.opens = %d, want exactly 1", n)
+	}
+	if n := snap.Counters["breaker.closes"]; n != 1 {
+		t.Errorf("breaker.closes = %d, want exactly 1", n)
+	}
+	if n := snap.Counters["poll.failures"]; n != 4 {
+		t.Errorf("poll.failures = %d, want exactly 4 (the scripted drops)", n)
+	}
+	if n := snap.Counters["poll.retries"]; n != 2 {
+		t.Errorf("poll.retries = %d, want exactly 2 (one per failed cycle)", n)
+	}
+	if health := svc.Health(); health.Status != "ok" {
+		t.Errorf("health after recovery = %q, want ok", health.Status)
+	}
+}
+
+// TestBreakerOpensImmediatelyOnFatalError: a definitive 4xx (wrong URL,
+// not a sick reader) must not burn FailureThreshold cycles of retries.
+func TestBreakerOpensImmediatelyOnFatalError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "no such endpoint", http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	var log transitionLog
+	cfg := fastConfig()
+	cfg.FailureThreshold = 50 // must not matter
+	cfg.OpenTimeout = time.Hour
+	cfg.OnStateChange = log.hook
+
+	svc := New(nil, WithLogger(func(string, ...any) {}))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		svc.Supervise(ctx, "r1", readerapi.NewClient(srv.URL, srv.Client()), cfg)
+		close(done)
+	}()
+	waitFor(t, 5*time.Second, "breaker to open on fatal error", func() bool {
+		return len(log.snapshot()) >= 1
+	})
+	cancel()
+	<-done
+
+	if seq := log.snapshot(); seq[0] != "r1:closed->open" {
+		t.Fatalf("first transition = %q", seq[0])
+	}
+	sup := svc.Health().Readers[0]
+	if sup.Retries != 0 {
+		t.Errorf("fatal error was retried %d times", sup.Retries)
+	}
+	if sup.Breaker != "open" {
+		t.Errorf("breaker = %q, want open", sup.Breaker)
+	}
+}
+
+// TestSupervisorNeverBlocksPastDeadline: a reader stalled far beyond the
+// request deadline costs each poll attempt at most RequestTimeout, and
+// cancellation stops the supervisor promptly even mid-request.
+func TestSupervisorNeverBlocksPastDeadline(t *testing.T) {
+	inj := faultinject.New(faultinject.EveryN(faultinject.Delay, 1),
+		faultinject.WithLatency(time.Hour))
+	srv := httptest.NewServer(inj.Middleware(okTagListHandler()))
+	defer srv.Close()
+
+	cfg := fastConfig()
+	cfg.RequestTimeout = 20 * time.Millisecond
+
+	svc := New(nil, WithLogger(func(string, ...any) {}))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		svc.Supervise(ctx, "r1", readerapi.NewClient(srv.URL, srv.Client()), cfg)
+		close(done)
+	}()
+
+	// The loop must keep making (failing) attempts: every one is cut at
+	// the 20ms deadline instead of hanging on the 1h stall.
+	waitFor(t, 5*time.Second, "multiple deadline-bounded attempts", func() bool {
+		h := svc.Health()
+		return len(h.Readers) == 1 && h.Readers[0].Failures >= 3
+	})
+
+	start := time.Now()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("supervisor did not stop after cancel")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancel-to-stop took %v; an in-flight request was not interrupted", elapsed)
+	}
+}
+
+// TestPollLoopUnderFaultInjection drives the plain PollLoop through every
+// fault class and checks it logs, keeps running, and stops on cancel —
+// never wedging on a single bad response.
+func TestPollLoopUnderFaultInjection(t *testing.T) {
+	cases := []struct {
+		name string
+		inj  *faultinject.Injector
+	}{
+		{"timeout", faultinject.New(faultinject.EveryN(faultinject.Delay, 1), faultinject.WithLatency(time.Hour))},
+		{"5xx", faultinject.New(faultinject.EveryN(faultinject.Err5xx, 1))},
+		{"malformed-xml", faultinject.New(faultinject.EveryN(faultinject.Corrupt, 1))},
+		{"flapping", faultinject.New(faultinject.Flap(1, 1))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(tc.inj.Middleware(okTagListHandler()))
+			defer srv.Close()
+
+			var mu sync.Mutex
+			logged := 0
+			svc := New(nil, WithLogger(func(string, ...any) {
+				mu.Lock()
+				logged++
+				mu.Unlock()
+			}))
+			// A short client timeout is the request deadline here; the
+			// loop must never block past it on the stalled cases.
+			client := readerapi.NewClient(srv.URL,
+				&http.Client{Timeout: 20 * time.Millisecond})
+
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() {
+				svc.PollLoop(ctx, client, time.Millisecond)
+				close(done)
+			}()
+
+			if tc.name == "flapping" {
+				// Up requests ingest; down requests log. Both must happen.
+				waitFor(t, 5*time.Second, "successful polls through the flap", func() bool {
+					return svc.Sightings() >= 0 && tc.inj.Requests() >= 4
+				})
+			}
+			waitFor(t, 5*time.Second, "failed polls to be logged", func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return logged >= 2
+			})
+
+			start := time.Now()
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("poll loop did not stop")
+			}
+			if elapsed := time.Since(start); elapsed > time.Second {
+				t.Errorf("cancel-to-stop took %v", elapsed)
+			}
+		})
+	}
+}
+
+// TestFailoverRedundantReaders is the acceptance integration test: one
+// portal covered by two redundant readers (the paper's reader-redundancy
+// configuration), each behind its own fault injector. Killing one reader
+// mid-run must keep GET /api/tags serving and the tag store advancing via
+// the survivor; after the dead reader returns, its breaker closes and
+// polling resumes.
+func TestFailoverRedundantReaders(t *testing.T) {
+	portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
+		TagLocations: []scenario.BoxLocation{scenario.LocFront, scenario.LocSideIn},
+		Antennas:     2,
+		Readers:      2,
+		DenseMode:    true, // redundant readers jam each other otherwise
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(portal.Readers) != 2 {
+		t.Fatalf("portal has %d readers, want 2", len(portal.Readers))
+	}
+
+	// Each reader behind its own injector — independent failure domains.
+	injectors := make([]*faultinject.Injector, 2)
+	servers := make([]*httptest.Server, 2)
+	for i, r := range portal.Readers {
+		injectors[i] = faultinject.New(faultinject.NonePlan())
+		servers[i] = httptest.NewServer(injectors[i].Middleware(readerapi.NewServer(r).Handler()))
+		defer servers[i].Close()
+	}
+
+	svc := New(backend.NewPipeline(backend.NewWindowSmoother(2)),
+		WithLogger(func(string, ...any) {}))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Drive portal passes continuously so the reader buffers keep filling.
+	go DrivePasses(ctx, portal, time.Millisecond, func(int, core.PassResult) {})
+
+	var log transitionLog
+	for i, srvr := range servers {
+		cfg := fastConfig()
+		cfg.JitterSeed = uint64(i)
+		cfg.OnStateChange = log.hook
+		go svc.Supervise(ctx, portal.Readers[i].Name(), readerapi.NewClient(srvr.URL, srvr.Client()), cfg)
+	}
+
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+
+	getJSON := func(path string, out any) int {
+		t.Helper()
+		resp, err := api.Client().Get(api.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("GET %s: decoding: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	readerHealth := func(name string) ReaderHealth {
+		for _, r := range svc.Health().Readers {
+			if r.Name == name {
+				return r
+			}
+		}
+		return ReaderHealth{}
+	}
+
+	// Phase 1: both readers healthy, sightings accumulate.
+	waitFor(t, 10*time.Second, "initial sightings via both readers", func() bool {
+		h := svc.Health()
+		return len(h.Readers) == 2 && h.Status == "ok" && svc.Sightings() > 0
+	})
+
+	// Phase 2: kill reader 1 mid-run.
+	dead := portal.Readers[0].Name()
+	survivor := portal.Readers[1].Name()
+	injectors[0].Kill()
+	waitFor(t, 10*time.Second, "breaker to open on the killed reader", func() bool {
+		return readerHealth(dead).Breaker == "open"
+	})
+	var health HealthResponse
+	if code := getJSON("/api/health", &health); code != http.StatusOK {
+		t.Fatalf("/api/health while degraded = %d", code)
+	}
+	if health.Status != "degraded" {
+		t.Errorf("health status with one dead reader = %q, want degraded", health.Status)
+	}
+
+	// The store must keep advancing on the survivor alone, and /api/tags
+	// must keep serving.
+	base := svc.Sightings()
+	survivorPolls := readerHealth(survivor).Polls
+	waitFor(t, 10*time.Second, "tag store advancing via the survivor", func() bool {
+		return svc.Sightings() > base && readerHealth(survivor).Polls > survivorPolls
+	})
+	var state StateResponse
+	if code := getJSON("/api/tags", &state); code != http.StatusOK {
+		t.Fatalf("/api/tags during failover = %d", code)
+	}
+	if len(state.Tags) == 0 {
+		t.Error("no tags served during failover")
+	}
+	if got := readerHealth(survivor).Breaker; got != "closed" {
+		t.Errorf("survivor breaker = %q, want closed", got)
+	}
+
+	// Phase 3: the dead reader returns; its breaker must close and its
+	// polling resume.
+	injectors[0].Revive()
+	waitFor(t, 10*time.Second, "breaker to close after revival", func() bool {
+		return readerHealth(dead).Breaker == "closed"
+	})
+	revivedPolls := readerHealth(dead).Polls
+	waitFor(t, 10*time.Second, "revived reader polling again", func() bool {
+		return readerHealth(dead).Polls > revivedPolls
+	})
+	waitFor(t, 10*time.Second, "health back to ok", func() bool {
+		return svc.Health().Status == "ok"
+	})
+
+	// The killed reader went through open and back to closed.
+	wantSub := []string{
+		fmt.Sprintf("%s:closed->open", dead),
+		fmt.Sprintf("%s:open->half-open", dead),
+		fmt.Sprintf("%s:half-open->closed", dead),
+	}
+	seq := log.snapshot()
+	i := 0
+	for _, tr := range seq {
+		if i < len(wantSub) && tr == wantSub[i] {
+			i++
+		}
+	}
+	if i != len(wantSub) {
+		t.Errorf("transitions %v do not contain the recovery sequence %v", seq, wantSub)
+	}
+}
+
+// TestHealthEndpointEmptyService: no supervised readers is still "ok" —
+// trackd may run with plain PollLoops.
+func TestHealthEndpointEmptyService(t *testing.T) {
+	svc := New(nil, WithLogger(func(string, ...any) {}))
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+	resp, err := api.Client().Get(api.URL + "/api/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/health = %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Readers == nil || len(h.Readers) != 0 {
+		t.Errorf("empty-service health = %+v", h)
+	}
+}
+
+// TestAPIEmptyAndUnknown pins the JSON-shape bugfixes: /api/tags encodes
+// [] (not null) on an empty store, /api/history 404s for an unknown EPC.
+func TestAPIEmptyAndUnknown(t *testing.T) {
+	svc := New(nil, WithLogger(func(string, ...any) {}))
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+
+	resp, err := api.Client().Get(api.URL + "/api/tags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var state struct {
+		Tags json.RawMessage `json:"tags"`
+	}
+	if err := json.Unmarshal(body, &state); err != nil {
+		t.Fatal(err)
+	}
+	if string(state.Tags) == "null" {
+		t.Errorf("/api/tags encoded tags as null on an empty store: %s", body)
+	}
+
+	resp, err = api.Client().Get(api.URL + "/api/history?epc=35000000400000C00000000A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown-EPC history = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,334 @@
+// Per-reader supervision: retry with exponential backoff and jitter, a
+// circuit breaker, and multi-reader fan-in. This is the paper's
+// reader-redundancy result carried into the live service: a portal covered
+// by N readers keeps tracking as long as any one supervisor's poll loop is
+// healthy, and a dead reader costs bounded time per cycle instead of
+// hanging the back-end.
+
+package tracksvc
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"rfidtrack/internal/obs"
+	"rfidtrack/internal/readerapi"
+	"rfidtrack/internal/xrand"
+)
+
+// BreakerState is one circuit-breaker state.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the reader is healthy; every tick polls it.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the reader exhausted its failure budget; polls are
+	// skipped until OpenTimeout elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe poll is in flight; success closes the
+	// breaker, failure reopens it.
+	BreakerHalfOpen
+)
+
+// String names the state for the health endpoint and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// SupervisorConfig tunes one reader's supervision. The zero value selects
+// the defaults noted per field (DESIGN.md §10).
+type SupervisorConfig struct {
+	// Interval is the poll cadence (default 1s).
+	Interval time.Duration
+	// RequestTimeout bounds each HTTP request (default
+	// readerapi.DefaultTimeout). A cycle can therefore never block past
+	// MaxAttempts×(RequestTimeout+backoff).
+	RequestTimeout time.Duration
+	// MaxAttempts is the number of tries per poll cycle, including the
+	// first (default 3). Fatal (non-retryable) errors stop a cycle early.
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry; attempt k waits
+	// BackoffBase×2^(k−1), capped at BackoffMax and scaled by jitter in
+	// [0.5, 1) (defaults 50ms, 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed keys the deterministic jitter stream (xrand); equal seeds
+	// replay equal backoff sequences.
+	JitterSeed uint64
+	// FailureThreshold is how many consecutive failed cycles open the
+	// breaker (default 3).
+	FailureThreshold int
+	// OpenTimeout is how long an open breaker waits before a half-open
+	// probe (default 2s).
+	OpenTimeout time.Duration
+	// Collector, when non-nil, receives the poll/breaker counters. Each
+	// supervisor must get its own shard (obs.Metrics.Shard): collectors
+	// are single-goroutine by contract.
+	Collector *obs.Collector
+	// OnStateChange, when non-nil, observes every breaker transition from
+	// the supervisor goroutine — tests use it to pin transition sequences.
+	OnStateChange func(reader string, from, to BreakerState)
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = readerapi.DefaultTimeout
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// supervisor is the per-reader state. Counters are atomics because the
+// health endpoint reads them while the supervisor goroutine writes.
+type supervisor struct {
+	name   string
+	client *readerapi.Client
+	cfg    SupervisorConfig
+	jitter *xrand.Rand // owned by the supervisor goroutine
+
+	state       atomic.Int32
+	consecutive atomic.Int64
+	polls       atomic.Uint64 // poll attempts (including retries)
+	failures    atomic.Uint64
+	retries     atomic.Uint64
+	opens       atomic.Uint64
+	lastErr     atomic.Value // string; "" after a success
+}
+
+func (sup *supervisor) setState(to BreakerState) {
+	from := BreakerState(sup.state.Swap(int32(to)))
+	if from != to && sup.cfg.OnStateChange != nil {
+		sup.cfg.OnStateChange(sup.name, from, to)
+	}
+}
+
+// State returns the breaker state (concurrent-safe).
+func (sup *supervisor) State() BreakerState { return BreakerState(sup.state.Load()) }
+
+// register adds a supervisor to the service's health roster.
+func (s *Service) register(sup *supervisor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sups = append(s.sups, sup)
+}
+
+// Supervise polls one reader until ctx is done, with per-request
+// deadlines, retry with exponential backoff and jitter, and a circuit
+// breaker. It blocks; run one goroutine per reader. All supervisors feed
+// the same pipeline, so redundant readers fan in to one tag store and the
+// portal keeps tracking while any reader survives.
+func (s *Service) Supervise(ctx context.Context, name string, client *readerapi.Client, cfg SupervisorConfig) {
+	cfg = cfg.withDefaults()
+	sup := &supervisor{name: name, client: client, cfg: cfg, jitter: xrand.New(cfg.JitterSeed)}
+	sup.lastErr.Store("")
+	s.register(sup)
+
+	ticker := time.NewTicker(cfg.Interval)
+	defer ticker.Stop()
+	var openedAt time.Time
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		switch sup.State() {
+		case BreakerOpen:
+			if time.Since(openedAt) < cfg.OpenTimeout {
+				continue // still cooling off
+			}
+			sup.setState(BreakerHalfOpen)
+			if c := cfg.Collector; c != nil {
+				c.Inc(obs.CtrBreakerProbes)
+			}
+			// One probe, no retries: the breaker exists to shed load.
+			if err := s.pollOnce(ctx, sup); err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				s.logf("tracksvc: %s: half-open probe failed: %v", name, err)
+				sup.setState(BreakerOpen)
+				openedAt = time.Now()
+				continue
+			}
+			s.logf("tracksvc: %s: breaker closed, polling resumed", name)
+			sup.consecutive.Store(0)
+			sup.setState(BreakerClosed)
+			if c := cfg.Collector; c != nil {
+				c.Inc(obs.CtrBreakerCloses)
+			}
+		case BreakerClosed:
+			if err := s.cycle(ctx, sup); err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				n := sup.consecutive.Add(1)
+				s.logf("tracksvc: %s: poll cycle failed (%d consecutive): %v", name, n, err)
+				if int(n) >= cfg.FailureThreshold || !readerapi.IsRetryable(err) {
+					sup.setState(BreakerOpen)
+					openedAt = time.Now()
+					sup.opens.Add(1)
+					if c := cfg.Collector; c != nil {
+						c.Inc(obs.CtrBreakerOpens)
+					}
+				}
+			} else {
+				sup.consecutive.Store(0)
+			}
+		}
+	}
+}
+
+// cycle runs one poll cycle: up to MaxAttempts attempts separated by
+// backoff. Fatal errors (a definitive 4xx — the URL is wrong, not the
+// reader sick) stop the cycle immediately.
+func (s *Service) cycle(ctx context.Context, sup *supervisor) error {
+	cfg := sup.cfg
+	var err error
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			sup.retries.Add(1)
+			if c := cfg.Collector; c != nil {
+				c.Inc(obs.CtrPollRetries)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(sup.backoff(attempt)):
+			}
+		}
+		if err = s.pollOnce(ctx, sup); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || !readerapi.IsRetryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// backoff returns the pre-retry delay for attempt k (k ≥ 1):
+// BackoffBase×2^(k−1) capped at BackoffMax, scaled by a jitter factor in
+// [0.5, 1) drawn from the supervisor's deterministic stream.
+func (sup *supervisor) backoff(attempt int) time.Duration {
+	d := sup.cfg.BackoffBase << (attempt - 1)
+	if d > sup.cfg.BackoffMax || d <= 0 { // <= 0: shift overflow
+		d = sup.cfg.BackoffMax
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*sup.jitter.Float64()))
+}
+
+// pollOnce issues one deadline-bounded poll and ingests the result.
+// Malformed EPCs inside an otherwise healthy response are logged, not
+// counted against the reader — the transport worked.
+func (s *Service) pollOnce(ctx context.Context, sup *supervisor) error {
+	sup.polls.Add(1)
+	if c := sup.cfg.Collector; c != nil {
+		c.Inc(obs.CtrPollAttempts)
+	}
+	rctx, cancel := context.WithTimeout(ctx, sup.cfg.RequestTimeout)
+	defer cancel()
+	list, err := sup.client.Poll(rctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The service is shutting down; the interrupted request is not
+			// a reader failure.
+			return err
+		}
+		sup.failures.Add(1)
+		if c := sup.cfg.Collector; c != nil {
+			c.Inc(obs.CtrPollFailures)
+		}
+		sup.lastErr.Store(err.Error())
+		return err
+	}
+	sup.lastErr.Store("")
+	if err := s.IngestTagList(list); err != nil {
+		s.logf("tracksvc: %s: %v", sup.name, err)
+	}
+	return nil
+}
+
+// ReaderHealth is one reader's entry in the health report.
+type ReaderHealth struct {
+	Name                string `json:"name"`
+	Breaker             string `json:"breaker"`
+	ConsecutiveFailures int64  `json:"consecutive_failures"`
+	Polls               uint64 `json:"polls"`
+	Failures            uint64 `json:"failures"`
+	Retries             uint64 `json:"retries"`
+	BreakerOpens        uint64 `json:"breaker_opens"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// HealthResponse is the GET /api/health document. Status is "ok" when
+// every supervised reader's breaker is closed (or none are supervised),
+// "degraded" when some are not closed, and "down" when none are closed —
+// the service-level mirror of the paper's R_C: the portal is alive while
+// any redundant reader is.
+type HealthResponse struct {
+	Status    string         `json:"status"`
+	Readers   []ReaderHealth `json:"readers"`
+	Sightings int64          `json:"sightings"`
+}
+
+// Health reports per-reader supervision state.
+func (s *Service) Health() HealthResponse {
+	s.mu.Lock()
+	sups := append([]*supervisor(nil), s.sups...)
+	s.mu.Unlock()
+
+	resp := HealthResponse{Readers: []ReaderHealth{}, Sightings: s.Sightings()}
+	closed := 0
+	for _, sup := range sups {
+		st := sup.State()
+		if st == BreakerClosed {
+			closed++
+		}
+		resp.Readers = append(resp.Readers, ReaderHealth{
+			Name:                sup.name,
+			Breaker:             st.String(),
+			ConsecutiveFailures: sup.consecutive.Load(),
+			Polls:               sup.polls.Load(),
+			Failures:            sup.failures.Load(),
+			Retries:             sup.retries.Load(),
+			BreakerOpens:        sup.opens.Load(),
+			LastError:           sup.lastErr.Load().(string),
+		})
+	}
+	switch {
+	case len(sups) == 0 || closed == len(sups):
+		resp.Status = "ok"
+	case closed > 0:
+		resp.Status = "degraded"
+	default:
+		resp.Status = "down"
+	}
+	return resp
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,6 +25,9 @@ type Service struct {
 	pipeline  *backend.Pipeline
 	sightings atomic.Int64
 	logf      func(format string, args ...any)
+
+	mu   sync.Mutex
+	sups []*supervisor // readers under supervision (supervisor.go)
 }
 
 // Option configures a Service.
@@ -79,16 +83,20 @@ func (s *Service) IngestTagList(list readerapi.TagListXML) error {
 	return firstErr
 }
 
-// Poll drains one reader and ingests the result.
-func (s *Service) Poll(client *readerapi.Client) error {
-	list, err := client.Poll()
+// Poll drains one reader and ingests the result. The context bounds the
+// request: canceling it interrupts an in-flight poll.
+func (s *Service) Poll(ctx context.Context, client *readerapi.Client) error {
+	list, err := client.Poll(ctx)
 	if err != nil {
 		return err
 	}
 	return s.IngestTagList(list)
 }
 
-// PollLoop drains a reader on the given interval until ctx is done.
+// PollLoop drains a reader on the given interval until ctx is done — the
+// plain loop with no retry or breaker; production deployments use
+// Supervise (supervisor.go). The loop's context reaches each request, so
+// cancellation interrupts an in-flight poll instead of waiting it out.
 func (s *Service) PollLoop(ctx context.Context, client *readerapi.Client, interval time.Duration) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -98,7 +106,10 @@ func (s *Service) PollLoop(ctx context.Context, client *readerapi.Client, interv
 			return
 		case <-ticker.C:
 		}
-		if err := s.Poll(client); err != nil {
+		if err := s.Poll(ctx, client); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
 			s.logf("tracksvc: poll: %v", err)
 		}
 	}
@@ -121,12 +132,14 @@ type StateResponse struct {
 // Handler returns the JSON API:
 //
 //	GET /api/tags               every tracked tag with its last location
-//	GET /api/history?epc=HEX    a tag's sighting history
+//	GET /api/history?epc=HEX    a tag's sighting history (404 unknown EPC)
+//	GET /api/health             per-reader supervision state
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/tags", func(w http.ResponseWriter, _ *http.Request) {
 		store := s.pipeline.Store()
-		resp := StateResponse{Sightings: s.Sightings()}
+		// Tags must encode as [], never null, when the store is empty.
+		resp := StateResponse{Tags: []TagState{}, Sightings: s.Sightings()}
 		for _, code := range store.Tags() {
 			loc, _ := store.LocationOf(code)
 			resp.Tags = append(resp.Tags, TagState{
@@ -134,7 +147,7 @@ func (s *Service) Handler() http.Handler {
 				Location: loc.Name, Since: loc.Since,
 			})
 		}
-		writeJSON(w, resp)
+		s.writeJSON(w, resp)
 	})
 	mux.HandleFunc("GET /api/history", func(w http.ResponseWriter, r *http.Request) {
 		code, err := epc.ParseHex(r.URL.Query().Get("epc"))
@@ -142,18 +155,37 @@ func (s *Service) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		writeJSON(w, s.pipeline.Store().History(code))
+		store := s.pipeline.Store()
+		if !store.Seen(code) {
+			http.Error(w, "unknown EPC", http.StatusNotFound)
+			return
+		}
+		history := store.History(code)
+		if history == nil {
+			history = []backend.Sighting{}
+		}
+		s.writeJSON(w, history)
+	})
+	mux.HandleFunc("GET /api/health", func(w http.ResponseWriter, _ *http.Request) {
+		health := s.Health()
+		if health.Status == "down" {
+			// The document still renders; the status code lets load
+			// balancers and probes act without parsing it.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		s.writeJSON(w, health)
 	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *Service) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		// Headers are already out; nothing more to do than note it.
-		log.Printf("tracksvc: encoding response: %v", err)
+		s.logf("tracksvc: encoding response: %v", err)
 	}
 }
 

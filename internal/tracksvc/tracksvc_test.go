@@ -39,7 +39,7 @@ func TestFullChain(t *testing.T) {
 	svc := New(backend.NewPipeline(backend.NewWindowSmoother(2)),
 		WithLogger(func(string, ...any) {}))
 	client := readerapi.NewClient(readerSrv.URL, readerSrv.Client())
-	if err := svc.Poll(client); err != nil {
+	if err := svc.Poll(context.Background(), client); err != nil {
 		t.Fatal(err)
 	}
 	// Events are in the pipeline; close everything out.
