@@ -38,8 +38,9 @@ test-short:
 # current baseline file (see cmd/benchsnap) for machine-diffable tracking.
 # Baselines are numbered per PR: BENCH_1.json is the parallel-engine
 # snapshot, BENCH_2.json adds the link cache, BENCH_3.json the service
-# resilience PR.
-BENCH_BASELINE ?= BENCH_3.json
+# resilience PR, BENCH_4.json the sharded ingestion pipeline (capacity
+# benches: BenchmarkIngestBatch, BenchmarkStoreSharded, BenchmarkStoreQuery).
+BENCH_BASELINE ?= BENCH_4.json
 bench:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -o $(BENCH_BASELINE)
 
@@ -47,9 +48,15 @@ bench:
 # against the committed baseline; fails when any benchmark slows down past
 # the threshold or a 0-alloc benchmark starts allocating. A missing
 # baseline skips the comparison with a pointer to `make bench`.
+# BENCH_THRESHOLD is the allowed ns/op regression ratio: the default
+# absorbs this class of virtualized box's run-to-run CPU variance
+# (12-26% between idle runs); the allocation gate stays exact, which is
+# what pins the ingest path's 0 allocs/op contract. Tighten on bare
+# metal: `make bench-diff BENCH_THRESHOLD=0.10`.
+BENCH_THRESHOLD ?= 0.35
 bench-diff:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -q -o BENCH_new.json
-	$(GO) run ./cmd/benchsnap -old $(BENCH_BASELINE) -new BENCH_new.json
+	$(GO) run ./cmd/benchsnap -old $(BENCH_BASELINE) -new BENCH_new.json -threshold $(BENCH_THRESHOLD)
 
 experiments:
 	$(GO) run ./cmd/experiments -o EXPERIMENTS.md

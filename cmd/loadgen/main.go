@@ -1,0 +1,346 @@
+// Command loadgen is the fleet-scale capacity probe: it replays synthetic
+// portal traffic — event streams templated from a real simulated cart
+// pass (internal/scenario's object-tracking experiment) and cloned across
+// N portals with distinct EPC populations — straight into the sharded
+// ingestion pipeline at a configurable rate, and reports what the box
+// actually sustained: achieved events/sec, exact p50/p95/p99 per-batch
+// ingest latency, and allocation rates on the steady-state path.
+//
+// Usage:
+//
+//	loadgen [-portals 64] [-rate 0] [-duration 5s] [-batch 256]
+//	        [-shards 8] [-store-shards 32] [-workers 1] [-window 2.0]
+//	        [-seed 1] [-json]
+//
+// -rate 0 runs unthrottled (capacity mode). Each worker owns a disjoint
+// set of portals, so per-EPC event order is preserved no matter how many
+// workers replay concurrently (DESIGN.md §11).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/scenario"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	Portals     int
+	Rate        float64 // target events/sec across all portals; 0 = unthrottled
+	Duration    time.Duration
+	BatchSize   int
+	Shards      int
+	StoreShards int
+	Workers     int
+	Window      float64
+	Seed        uint64
+}
+
+// Report is the run summary (the -json document).
+type Report struct {
+	Portals       int     `json:"portals"`
+	Shards        int     `json:"shards"`
+	StoreShards   int     `json:"store_shards"`
+	Workers       int     `json:"workers"`
+	BatchSize     int     `json:"batch_size"`
+	TemplateReads int     `json:"template_reads"` // events in one portal's template pass
+	Events        uint64  `json:"events"`
+	Batches       uint64  `json:"batches"`
+	Closed        uint64  `json:"closed_sightings"`
+	Tags          int     `json:"tags"`
+	Seconds       float64 `json:"seconds"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	P50Micros     float64 `json:"p50_micros"`
+	P95Micros     float64 `json:"p95_micros"`
+	P99Micros     float64 `json:"p99_micros"`
+	BytesPerEvent float64 `json:"bytes_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// template simulates one cart pass and returns it as a time-ordered
+// backend event stream — the per-portal traffic unit loadgen replays.
+func template(window float64, seed uint64) ([]backend.Event, float64, error) {
+	portal, err := scenario.ObjectTracking(scenario.ObjectConfig{
+		TagLocations: []scenario.BoxLocation{scenario.LocFront, scenario.LocTop},
+		Antennas:     2,
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	res := portal.RunPass(0)
+	evs := make([]backend.Event, 0, len(res.Events))
+	last := 0.0
+	for _, ev := range res.Events {
+		evs = append(evs, backend.Event{
+			EPC:      ev.EPC,
+			Location: ev.Reader,
+			Antenna:  ev.Antenna,
+			Time:     ev.Time,
+		})
+		if ev.Time > last {
+			last = ev.Time
+		}
+	}
+	if len(evs) == 0 {
+		return nil, 0, fmt.Errorf("loadgen: template pass produced no reads")
+	}
+	// Epoch span: replaying the template shifted by this keeps every
+	// stream time-ordered and lets each epoch's sightings close.
+	span := last + 2*window + 1
+	return evs, span, nil
+}
+
+// portalStream is one portal's replay state: the template with the portal
+// identity folded into every EPC, plus the replay cursor.
+type portalStream struct {
+	events []backend.Event
+	pos    int
+	epoch  uint64
+	span   float64
+}
+
+func newPortalStream(tpl []backend.Event, span float64, portal int) *portalStream {
+	evs := make([]backend.Event, len(tpl))
+	copy(evs, tpl)
+	loc := fmt.Sprintf("portal%04d", portal)
+	for i := range evs {
+		// Distinct EPC population per portal: fold the portal id into the
+		// serial bytes. Keeps streams disjoint without re-encoding SGTINs.
+		evs[i].EPC[8] ^= byte(portal >> 8)
+		evs[i].EPC[9] ^= byte(portal)
+		evs[i].Location = loc
+	}
+	return &portalStream{events: evs, span: span}
+}
+
+// fill appends up to n events to dst, wrapping to the next epoch (times
+// shifted forward) when the template is exhausted. Allocation-free.
+func (p *portalStream) fill(dst []backend.Event, n int) []backend.Event {
+	shift := float64(p.epoch) * p.span
+	for n > 0 {
+		if p.pos == len(p.events) {
+			p.pos = 0
+			p.epoch++
+			shift = float64(p.epoch) * p.span
+		}
+		ev := p.events[p.pos]
+		ev.Time += shift
+		dst = append(dst, ev)
+		p.pos++
+		n--
+	}
+	return dst
+}
+
+// worker replays a disjoint set of portals into the pipeline until stop,
+// throttled to its share of the target rate.
+type worker struct {
+	pipe    *backend.Pipeline
+	streams []*portalStream
+	batch   []backend.Event
+	rate    float64 // events/sec for this worker; 0 = unthrottled
+
+	events  uint64
+	batches uint64
+	closed  uint64
+	latency []float64 // per-batch ingest micros
+}
+
+func (w *worker) run(deadline time.Time) {
+	start := time.Now()
+	next := 0
+	for {
+		now := time.Now()
+		if !now.Before(deadline) {
+			return
+		}
+		if w.rate > 0 {
+			// Pace by absolute schedule: the batch may start once the
+			// target rate would have produced its events.
+			due := start.Add(time.Duration(float64(w.events) / w.rate * float64(time.Second)))
+			if wait := due.Sub(now); wait > 0 {
+				if due.After(deadline) {
+					return
+				}
+				time.Sleep(wait)
+			}
+		}
+		w.batch = w.batch[:0]
+		// Round-robin portals, one batch per portal per turn: preserves
+		// each portal's (hence each EPC's) event order.
+		st := w.streams[next]
+		next = (next + 1) % len(w.streams)
+		w.batch = st.fill(w.batch, cap(w.batch))
+
+		t0 := time.Now()
+		closed := w.pipe.IngestBatch(w.batch)
+		el := time.Since(t0)
+
+		w.events += uint64(len(w.batch))
+		w.batches++
+		w.closed += uint64(closed)
+		if len(w.latency) < cap(w.latency) {
+			w.latency = append(w.latency, float64(el.Nanoseconds())/1e3)
+		}
+	}
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// run executes one load run and returns the report.
+func run(cfg Config) (Report, error) {
+	if cfg.Portals <= 0 {
+		cfg.Portals = 64
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers > cfg.Portals {
+		cfg.Workers = cfg.Portals
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 2.0
+	}
+
+	tpl, span, err := template(cfg.Window, cfg.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	pipe := backend.NewShardedPipeline(backend.Config{
+		Shards:      cfg.Shards,
+		NewSmoother: func() backend.Smoother { return backend.NewWindowSmoother(cfg.Window) },
+		StoreShards: cfg.StoreShards,
+	})
+
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		workers[i] = &worker{
+			pipe:    pipe,
+			batch:   make([]backend.Event, 0, cfg.BatchSize),
+			rate:    cfg.Rate / float64(cfg.Workers),
+			latency: make([]float64, 0, 1<<19),
+		}
+	}
+	for p := 0; p < cfg.Portals; p++ {
+		w := workers[p%cfg.Workers] // disjoint portal ownership
+		w.streams = append(w.streams, newPortalStream(tpl, span, p))
+	}
+
+	// Warm the pools and shard maps before measuring.
+	for _, w := range workers {
+		w.run(time.Now().Add(50 * time.Millisecond))
+		w.events, w.batches, w.closed = 0, 0, 0
+		w.latency = w.latency[:0]
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run(deadline)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	rep := Report{
+		Portals:       cfg.Portals,
+		Shards:        pipe.Shards(),
+		StoreShards:   pipe.Store().NumShards(),
+		Workers:       cfg.Workers,
+		BatchSize:     cfg.BatchSize,
+		TemplateReads: len(tpl),
+		Seconds:       elapsed,
+	}
+	var lat []float64
+	for _, w := range workers {
+		rep.Events += w.events
+		rep.Batches += w.batches
+		rep.Closed += w.closed
+		lat = append(lat, w.latency...)
+	}
+	sort.Float64s(lat)
+	rep.EventsPerSec = float64(rep.Events) / elapsed
+	rep.P50Micros = percentile(lat, 0.50)
+	rep.P95Micros = percentile(lat, 0.95)
+	rep.P99Micros = percentile(lat, 0.99)
+	if rep.Events > 0 {
+		rep.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(rep.Events)
+		rep.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(rep.Events)
+	}
+	pipe.Flush(float64(rep.Events)) // beyond any event time: close everything
+	rep.Tags = len(pipe.Store().Tags())
+	return rep, nil
+}
+
+func main() {
+	portals := flag.Int("portals", 64, "portals to clone the template pass across")
+	rate := flag.Float64("rate", 0, "target events/sec across all portals (0 = unthrottled)")
+	duration := flag.Duration("duration", 5*time.Second, "measured replay duration")
+	batch := flag.Int("batch", 256, "events per ingested batch")
+	shards := flag.Int("shards", 8, "pipeline smoother shards")
+	storeShards := flag.Int("store-shards", backend.DefaultStoreShards, "tracking-store shards")
+	workers := flag.Int("workers", 1, "replay goroutines (each owns disjoint portals)")
+	window := flag.Float64("window", 2.0, "smoothing window, seconds")
+	seed := flag.Uint64("seed", 1, "template pass seed")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	rep, err := run(Config{
+		Portals:     *portals,
+		Rate:        *rate,
+		Duration:    *duration,
+		BatchSize:   *batch,
+		Shards:      *shards,
+		StoreShards: *storeShards,
+		Workers:     *workers,
+		Window:      *window,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		return
+	}
+	fmt.Printf("loadgen: %d portals x %d-event template, %d shard(s), %d worker(s), batch %d\n",
+		rep.Portals, rep.TemplateReads, rep.Shards, rep.Workers, rep.BatchSize)
+	fmt.Printf("  events     %12d in %.2fs  (%.0f events/sec)\n", rep.Events, rep.Seconds, rep.EventsPerSec)
+	fmt.Printf("  batches    %12d  closed sightings %d, tags %d\n", rep.Batches, rep.Closed, rep.Tags)
+	fmt.Printf("  ingest lat p50 %.1fus  p95 %.1fus  p99 %.1fus\n", rep.P50Micros, rep.P95Micros, rep.P99Micros)
+	fmt.Printf("  allocs     %.2f B/event, %.4f allocs/event\n", rep.BytesPerEvent, rep.AllocsPerEvent)
+}

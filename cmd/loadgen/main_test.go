@@ -1,0 +1,86 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunSmoke(t *testing.T) {
+	rep, err := run(Config{
+		Portals:   4,
+		Duration:  200 * time.Millisecond,
+		BatchSize: 64,
+		Shards:    2,
+		Workers:   2,
+		Window:    2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Events == 0 || rep.Batches == 0 {
+		t.Fatalf("no traffic replayed: %+v", rep)
+	}
+	if rep.EventsPerSec <= 0 {
+		t.Fatalf("events_per_sec = %v", rep.EventsPerSec)
+	}
+	if rep.P99Micros < rep.P50Micros {
+		t.Fatalf("p99 %.1f < p50 %.1f", rep.P99Micros, rep.P50Micros)
+	}
+	// Each portal clones the template with a distinct EPC population, so
+	// the store must hold portals x template-tags distinct tags.
+	if rep.Tags%rep.Portals != 0 {
+		t.Errorf("tags %d not a multiple of portals %d", rep.Tags, rep.Portals)
+	}
+	if rep.Tags == 0 {
+		t.Errorf("no tags tracked")
+	}
+}
+
+func TestRunThrottled(t *testing.T) {
+	rep, err := run(Config{
+		Portals:   2,
+		Rate:      50000,
+		Duration:  300 * time.Millisecond,
+		BatchSize: 100,
+		Shards:    1,
+		Window:    2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The pacer may not hit the target exactly in 300ms, but it must not
+	// blow far past it: unthrottled this box does >1M events/sec.
+	if rep.EventsPerSec > 100000 {
+		t.Fatalf("rate limiter ineffective: %.0f events/sec at a 50k target", rep.EventsPerSec)
+	}
+	if rep.Events == 0 {
+		t.Fatalf("throttled run replayed nothing")
+	}
+}
+
+func TestPortalStreamsDisjoint(t *testing.T) {
+	tpl, span, err := template(2, 1)
+	if err != nil {
+		t.Fatalf("template: %v", err)
+	}
+	a := newPortalStream(tpl, span, 1)
+	b := newPortalStream(tpl, span, 2)
+	seen := map[[12]byte]bool{}
+	for _, ev := range a.events {
+		seen[ev.EPC] = true
+	}
+	for _, ev := range b.events {
+		if seen[ev.EPC] {
+			t.Fatalf("EPC %s appears in both portals", ev.EPC.Hex())
+		}
+	}
+	// Epoch wrap must keep times strictly advancing.
+	batch := a.fill(nil, len(a.events)+3)
+	for i := 1; i < len(batch); i++ {
+		if batch[i].Time < batch[i-1].Time && batch[i].EPC == batch[i-1].EPC && batch[i].Location == batch[i-1].Location {
+			t.Fatalf("time went backwards for a key at %d", i)
+		}
+	}
+}

@@ -8,17 +8,26 @@
 // remaining readers keep the portal tracking — the paper's
 // reader-redundancy result applied to the service chain.
 //
+// Ingestion is sharded and asynchronous (DESIGN.md §11): poll results
+// parse into event batches, cross a bounded queue, and route by EPC hash
+// to per-shard smoothers. -shards and -store-shards size the pipeline for
+// the deployment's tag population; -ingest-queue and -ingest-drop pick the
+// backpressure policy when readers outrun the cleaners.
+//
 // Usage:
 //
 //	trackd [-addr :7090] [-readers http://host:7080,http://host2:7080] [-poll 1s]
 //	       [-window 2.0] [-request-timeout 5s] [-retries 3] [-backoff 50ms]
 //	       [-breaker-failures 3] [-breaker-open 2s] [-jitter-seed 1]
+//	       [-shards 1] [-store-shards 32] [-ingest-queue 256]
+//	       [-ingest-workers 1] [-ingest-drop]
 //
 // Endpoints:
 //
 //	GET /api/tags               every tracked tag with its last location
 //	GET /api/history?epc=HEX    a tag's sighting history (404 unknown EPC)
 //	GET /api/health             per-reader breaker state and poll counters
+//	GET /api/stats              live ingest counters and shard occupancy
 package main
 
 import (
@@ -50,18 +59,33 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 3, "consecutive failed cycles before the breaker opens")
 	breakerOpen := flag.Duration("breaker-open", 2*time.Second, "open-breaker cool-off before a half-open probe")
 	jitterSeed := flag.Uint64("jitter-seed", 1, "seed of the deterministic backoff jitter stream")
+	shards := flag.Int("shards", 1, "pipeline smoother shards (rounded up to a power of two)")
+	storeShards := flag.Int("store-shards", backend.DefaultStoreShards, "tracking-store shards (rounded up to a power of two)")
+	ingestQueue := flag.Int("ingest-queue", 256, "async ingest queue depth, in batches")
+	ingestWorkers := flag.Int("ingest-workers", 1, "async ingest workers (1 preserves cross-batch order)")
+	ingestDrop := flag.Bool("ingest-drop", false, "shed batches when the ingest queue is full instead of blocking polls")
 	flag.Parse()
 
-	var smoother backend.Smoother
-	if *window > 0 {
-		smoother = backend.NewWindowSmoother(*window)
-	} else {
-		smoother = backend.NewAdaptiveSmoother()
+	newSmoother := func() backend.Smoother {
+		if *window > 0 {
+			return backend.NewWindowSmoother(*window)
+		}
+		return backend.NewAdaptiveSmoother()
 	}
-	svc := tracksvc.New(backend.NewPipeline(smoother))
+	svc := tracksvc.New(backend.NewShardedPipeline(backend.Config{
+		Shards:      *shards,
+		NewSmoother: newSmoother,
+		StoreShards: *storeShards,
+	}))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	svc.StartIngest(ctx, tracksvc.IngestConfig{
+		QueueDepth:   *ingestQueue,
+		Workers:      *ingestWorkers,
+		DropWhenFull: *ingestDrop,
+	})
 
 	var bases []string
 	for i, base := range strings.Split(*readers, ",") {

@@ -8,11 +8,19 @@
 // an adaptive (SMURF-style) smoothing window [Jeffery et al., VLDB'06] and
 // the route/accompany constraint correction of Inoue et al. [ARES'06] —
 // the data-level alternatives to the paper's physical redundancy.
+//
+// The package is built for fleet-scale ingestion (DESIGN.md §11): both the
+// tracking Store and the cleaning Pipeline are EPC-hash-sharded with one
+// lock per shard, events are ingested in batches routed shard-wise
+// (IngestBatch), and the steady-state ingest path performs no allocations
+// — smoothers reuse closed-sighting scratch and a Sighting freelist, the
+// batch router reuses per-shard buffers, and lapse detection is amortized
+// O(1) per event via an expiry-ordered sweep instead of a scan over every
+// open sighting.
 package backend
 
 import (
 	"sort"
-	"sync"
 
 	"rfidtrack/internal/epc"
 )
@@ -43,300 +51,33 @@ type sightingKey struct {
 	loc  string
 }
 
-// Smoother turns raw read events into sightings.
-type Smoother interface {
-	// Observe feeds one event and returns any sightings it closed.
-	Observe(ev Event) []Sighting
-	// Flush closes every open sighting as of time now.
-	Flush(now float64) []Sighting
-}
-
-// WindowSmoother merges reads of a tag at a location that fall within a
-// fixed window, closing the sighting when the tag stays silent longer.
-// This is the classic fixed-window RFID cleaning stage.
-type WindowSmoother struct {
-	// Window is the maximum silent gap inside one sighting, seconds.
-	Window float64
-
-	open map[sightingKey]*Sighting
-}
-
-var _ Smoother = (*WindowSmoother)(nil)
-
-// NewWindowSmoother returns a smoother with the given window (seconds).
-func NewWindowSmoother(window float64) *WindowSmoother {
-	return &WindowSmoother{Window: window, open: make(map[sightingKey]*Sighting)}
-}
-
-// Observe implements Smoother.
-func (s *WindowSmoother) Observe(ev Event) []Sighting {
-	var closed []Sighting
-	// Close any sightings whose window has lapsed by this event's time.
-	for k, open := range s.open {
-		if ev.Time-open.Last > s.Window {
-			closed = append(closed, *open)
-			delete(s.open, k)
-		}
+// sightingLess is the canonical sighting order: first-seen time, then EPC
+// (bytewise — identical to hex order), then location.
+func sightingLess(a, b *Sighting) bool {
+	if a.First != b.First {
+		return a.First < b.First
 	}
-	k := sightingKey{ev.EPC, ev.Location}
-	if open, ok := s.open[k]; ok {
-		open.Last = ev.Time
-		open.Reads++
-	} else {
-		s.open[k] = &Sighting{
-			EPC: ev.EPC, Location: ev.Location,
-			First: ev.Time, Last: ev.Time, Reads: 1,
-		}
+	if c := a.EPC.Compare(b.EPC); c != 0 {
+		return c < 0
 	}
-	sortSightings(closed)
-	return closed
+	return a.Location < b.Location
 }
 
-// Flush implements Smoother.
-func (s *WindowSmoother) Flush(now float64) []Sighting {
-	var closed []Sighting
-	for k, open := range s.open {
-		_ = now
-		closed = append(closed, *open)
-		delete(s.open, k)
+func sortSightings(ss []Sighting) { sortSightingsTail(ss, 0) }
+
+// sortSightingsTail sorts ss[from:] in place. Small tails — the closed
+// set of one observation, almost always zero or one sightings — use an
+// insertion sort so the ingest hot path never pays sort.Slice's closure
+// allocation; large tails (flushes) fall back to sort.Slice.
+func sortSightingsTail(ss []Sighting, from int) {
+	if len(ss)-from > 16 {
+		tail := ss[from:]
+		sort.Slice(tail, func(i, j int) bool { return sightingLess(&tail[i], &tail[j]) })
+		return
 	}
-	sortSightings(closed)
-	return closed
-}
-
-// AdaptiveSmoother is a SMURF-style cleaner: the per-tag window adapts to
-// the observed read rate, growing for weakly-read tags (so sporadic reads
-// still merge into one sighting) and shrinking for strongly-read tags (so
-// transitions are detected quickly).
-type AdaptiveSmoother struct {
-	// MinWindow and MaxWindow bound the adaptive window, seconds.
-	MinWindow, MaxWindow float64
-	// Slack multiplies the smoothed inter-read interval to get the window.
-	Slack float64
-
-	open     map[sightingKey]*Sighting
-	interval map[sightingKey]float64 // EWMA of inter-read gaps
-}
-
-var _ Smoother = (*AdaptiveSmoother)(nil)
-
-// NewAdaptiveSmoother returns an adaptive smoother with sane defaults for
-// portal traffic.
-func NewAdaptiveSmoother() *AdaptiveSmoother {
-	return &AdaptiveSmoother{
-		MinWindow: 0.5,
-		MaxWindow: 10,
-		Slack:     3,
-		open:      make(map[sightingKey]*Sighting),
-		interval:  make(map[sightingKey]float64),
-	}
-}
-
-// windowFor returns the current window for a tag.
-func (s *AdaptiveSmoother) windowFor(k sightingKey) float64 {
-	iv, ok := s.interval[k]
-	if !ok || iv <= 0 {
-		return s.MaxWindow // no estimate yet: be generous
-	}
-	w := iv * s.Slack
-	if w < s.MinWindow {
-		w = s.MinWindow
-	}
-	if w > s.MaxWindow {
-		w = s.MaxWindow
-	}
-	return w
-}
-
-// Observe implements Smoother.
-func (s *AdaptiveSmoother) Observe(ev Event) []Sighting {
-	var closed []Sighting
-	for k, open := range s.open {
-		if ev.Time-open.Last > s.windowFor(k) {
-			closed = append(closed, *open)
-			delete(s.open, k)
-		}
-	}
-	k := sightingKey{ev.EPC, ev.Location}
-	if open, ok := s.open[k]; ok {
-		gap := ev.Time - open.Last
-		const alpha = 0.3
-		if prev, ok := s.interval[k]; ok {
-			s.interval[k] = (1-alpha)*prev + alpha*gap
-		} else {
-			s.interval[k] = gap
-		}
-		open.Last = ev.Time
-		open.Reads++
-	} else {
-		s.open[k] = &Sighting{
-			EPC: ev.EPC, Location: ev.Location,
-			First: ev.Time, Last: ev.Time, Reads: 1,
-		}
-	}
-	sortSightings(closed)
-	return closed
-}
-
-// Flush implements Smoother.
-func (s *AdaptiveSmoother) Flush(float64) []Sighting {
-	var closed []Sighting
-	for k, open := range s.open {
-		closed = append(closed, *open)
-		delete(s.open, k)
-	}
-	sortSightings(closed)
-	return closed
-}
-
-func sortSightings(ss []Sighting) {
-	sort.Slice(ss, func(i, j int) bool {
-		if ss[i].First != ss[j].First {
-			return ss[i].First < ss[j].First
-		}
-		if ss[i].EPC != ss[j].EPC {
-			return ss[i].EPC.Hex() < ss[j].EPC.Hex()
-		}
-		return ss[i].Location < ss[j].Location
-	})
-}
-
-// Location is a tag's tracked position.
-type Location struct {
-	Name  string
-	Since float64
-}
-
-// Store is the in-memory tracking database: last known location plus full
-// sighting history per tag. Safe for concurrent use.
-type Store struct {
-	mu      sync.RWMutex
-	last    map[epc.Code]Location
-	history map[epc.Code][]Sighting
-}
-
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
-		last:    make(map[epc.Code]Location),
-		history: make(map[epc.Code][]Sighting),
-	}
-}
-
-// Apply records a closed sighting.
-func (s *Store) Apply(sight Sighting) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, ok := s.last[sight.EPC]
-	if !ok || sight.Last >= cur.Since {
-		s.last[sight.EPC] = Location{Name: sight.Location, Since: sight.Last}
-	}
-	s.history[sight.EPC] = append(s.history[sight.EPC], sight)
-}
-
-// Seen reports whether the store has ever recorded a sighting of the tag
-// — the membership test behind the tracking API's 404 for unknown EPCs.
-func (s *Store) Seen(code epc.Code) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.last[code]
-	return ok
-}
-
-// LocationOf returns the last known location of a tag.
-func (s *Store) LocationOf(code epc.Code) (Location, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	loc, ok := s.last[code]
-	return loc, ok
-}
-
-// History returns a copy of a tag's sighting history, oldest first.
-func (s *Store) History(code epc.Code) []Sighting {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	h := append([]Sighting(nil), s.history[code]...)
-	sortSightings(h)
-	return h
-}
-
-// Tags returns every tag the store has seen, sorted by EPC.
-func (s *Store) Tags() []epc.Code {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]epc.Code, 0, len(s.last))
-	for c := range s.last {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Hex() < out[j].Hex() })
-	return out
-}
-
-// Rule is a predicate/action pair evaluated on every closed sighting —
-// the paper's "opening a door, setting off an alarm".
-type Rule struct {
-	Name   string
-	Match  func(Sighting) bool
-	Action func(Sighting)
-}
-
-// Pipeline wires smoothing, storage and rules together.
-type Pipeline struct {
-	mu       sync.Mutex
-	smoother Smoother
-	store    *Store
-	rules    []Rule
-}
-
-// NewPipeline builds a pipeline. A nil smoother defaults to a 2 s fixed
-// window.
-func NewPipeline(s Smoother) *Pipeline {
-	if s == nil {
-		s = NewWindowSmoother(2)
-	}
-	return &Pipeline{smoother: s, store: NewStore()}
-}
-
-// Store exposes the tracking database.
-func (p *Pipeline) Store() *Store { return p.store }
-
-// AddRule registers a rule; rules run in registration order.
-func (p *Pipeline) AddRule(r Rule) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.rules = append(p.rules, r)
-}
-
-// Ingest processes one raw event and returns any sightings it closed
-// (after applying them to the store and running rules).
-func (p *Pipeline) Ingest(ev Event) []Sighting {
-	p.mu.Lock()
-	closed := p.smoother.Observe(ev)
-	rules := append([]Rule(nil), p.rules...)
-	p.mu.Unlock()
-	p.commit(closed, rules)
-	return closed
-}
-
-// Flush closes all open sightings as of now.
-func (p *Pipeline) Flush(now float64) []Sighting {
-	p.mu.Lock()
-	closed := p.smoother.Flush(now)
-	rules := append([]Rule(nil), p.rules...)
-	p.mu.Unlock()
-	p.commit(closed, rules)
-	return closed
-}
-
-func (p *Pipeline) commit(closed []Sighting, rules []Rule) {
-	for _, s := range closed {
-		p.store.Apply(s)
-		for _, r := range rules {
-			if r.Match == nil || r.Match(s) {
-				if r.Action != nil {
-					r.Action(s)
-				}
-			}
+	for i := from + 1; i < len(ss); i++ {
+		for j := i; j > from && sightingLess(&ss[j], &ss[j-1]); j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
 		}
 	}
 }

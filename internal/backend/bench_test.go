@@ -1,0 +1,162 @@
+package backend
+
+import (
+	"fmt"
+	"testing"
+
+	"rfidtrack/internal/epc"
+)
+
+// benchBatch builds one reusable batch of n events over a fixed tag
+// population at the given time, spread across locations.
+func benchBatch(n, tags int, at float64) []Event {
+	locs := []string{"dock", "gate", "belt", "yard"}
+	batch := make([]Event, n)
+	for i := range batch {
+		t := i % tags
+		batch[i] = Event{
+			EPC:      epc.Code{0x30, 1, 2, 3, byte(t >> 16), byte(t >> 8), byte(t), 7, 8, 9, 10, 11},
+			Location: locs[t%len(locs)],
+			Antenna:  "a1",
+			Time:     at + float64(i)*1e-6,
+		}
+	}
+	return batch
+}
+
+// BenchmarkIngestBatch is the capacity bench behind the fleet-scale
+// acceptance bar: one 256-event batch per op over a 512-tag population
+// with a window wide enough that sightings merge rather than close — the
+// pure smoothing steady state, which must not allocate (0 allocs/op;
+// gated by make bench-diff).
+func BenchmarkIngestBatch(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p := NewShardedPipeline(Config{
+				Shards:      shards,
+				NewSmoother: func() Smoother { return NewWindowSmoother(1e18) },
+			})
+			const batchSize, tags = 256, 512
+			batch := benchBatch(batchSize, tags, 0)
+			p.IngestBatch(batch) // warm maps, heap, pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.IngestBatch(batch)
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N)*batchSize/s, "events/s")
+			}
+		})
+	}
+}
+
+// BenchmarkIngestBatchChurn exercises the full close/reopen path: each
+// op's batch is one window beyond the previous, so every key closes and
+// reopens every op, applying closed sightings to the store.
+func BenchmarkIngestBatchChurn(b *testing.B) {
+	p := NewShardedPipeline(Config{
+		Shards:      4,
+		NewSmoother: func() Smoother { return NewWindowSmoother(2) },
+	})
+	const batchSize, tags = 256, 256
+	batch := benchBatch(batchSize, tags, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shift := float64(i) * 10
+		for j := range batch {
+			batch[j].Time = shift + float64(j)*1e-6
+		}
+		p.IngestBatch(batch)
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)*batchSize/s, "events/s")
+	}
+}
+
+// BenchmarkStoreSharded measures Apply across shard counts over a large
+// tag population with per-tag increasing First times (the in-order case
+// the pipeline produces: binary insertion lands at the end).
+func BenchmarkStoreSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 8, 32} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := NewStoreShards(shards)
+			const tags = 1 << 16
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := i % tags
+				s.Apply(Sighting{
+					EPC:      epc.Code{0x30, 1, 2, 3, byte(t >> 16), byte(t >> 8), byte(t), 7, 8, 9, 10, 11},
+					Location: "dock",
+					First:    float64(i),
+					Last:     float64(i) + 1,
+					Reads:    3,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkStoreQuery pins the satellite-2 contract: Tags and History
+// read from maintained indexes — no re-sort, no per-comparison string
+// conversions — so query cost is copy/merge only.
+func BenchmarkStoreQuery(b *testing.B) {
+	s := NewStore()
+	const tags, perTag = 10000, 10
+	var probe epc.Code
+	for t := 0; t < tags; t++ {
+		code := epc.Code{0x30, 1, 2, 3, byte(t >> 16), byte(t >> 8), byte(t), 7, 8, 9, 10, 11}
+		if t == tags/2 {
+			probe = code
+		}
+		for k := 0; k < perTag; k++ {
+			s.Apply(Sighting{EPC: code, Location: "dock", First: float64(k) * 10, Last: float64(k)*10 + 1, Reads: 2})
+		}
+	}
+	b.Run("tags", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := len(s.Tags()); got != tags {
+				b.Fatalf("Tags() = %d", got)
+			}
+		}
+	})
+	b.Run("history", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := len(s.History(probe)); got != perTag {
+				b.Fatalf("History() = %d", got)
+			}
+		}
+	})
+}
+
+// BenchmarkWindowSmootherManyOpen is the satellite-1 proof: Observe cost
+// must not scale with the number of concurrently open sightings. The old
+// implementation scanned every open sighting per event (O(open)); the
+// expiry-queue sweep is amortized O(1), so the 16384-open case must run
+// at the same per-op cost as the 16-open case.
+func BenchmarkWindowSmootherManyOpen(b *testing.B) {
+	for _, open := range []int{16, 16384} {
+		b.Run(fmt.Sprintf("open=%d", open), func(b *testing.B) {
+			s := NewWindowSmoother(1e18)
+			for t := 0; t < open; t++ {
+				s.Observe(Event{
+					EPC:      epc.Code{0x30, 1, 2, 3, byte(t >> 16), byte(t >> 8), byte(t), 7, 8, 9, 10, 11},
+					Location: "dock", Time: float64(t) * 1e-3,
+				})
+			}
+			hot := Event{EPC: epc.Code{0x30, 1, 2, 3, 0, 0, 0, 7, 8, 9, 10, 11}, Location: "dock", Time: 100}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hot.Time += 1e-6
+				s.ObserveAppend(hot, nil)
+			}
+		})
+	}
+}

@@ -1,0 +1,226 @@
+package backend
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Rule is a predicate/action pair evaluated on every closed sighting —
+// the paper's "opening a door, setting off an alarm". Rules run with the
+// closing shard's lock held and may fire concurrently from different
+// shards, so they must be concurrency-safe and must not call back into
+// the pipeline's ingest or flush paths.
+type Rule struct {
+	Name   string
+	Match  func(Sighting) bool
+	Action func(Sighting)
+}
+
+// Config sizes a sharded pipeline.
+type Config struct {
+	// Shards is the pipeline (smoother) shard count, rounded up to a power
+	// of two. 0 means one shard.
+	Shards int
+	// NewSmoother builds one shard's smoother (nil = 2 s fixed window).
+	// Each shard owns its own instance; because events route by EPC hash,
+	// every (EPC, location) key always lands on the same shard, so
+	// per-shard smoothing closes exactly the sightings a single global
+	// smoother would (see DESIGN.md §11 for the determinism contract).
+	NewSmoother func() Smoother
+	// StoreShards overrides the store's shard count (0 = DefaultStoreShards).
+	StoreShards int
+}
+
+// pipeShard is one lock's worth of the cleaning pipeline: a smoother plus
+// the reusable closed-sighting scratch the batched path appends into.
+// Padded to a cache line so neighboring shard locks do not false-share.
+type pipeShard struct {
+	mu       sync.Mutex
+	smoother Smoother
+	closed   []Sighting
+	_        [64]byte
+}
+
+// batchScratch is one IngestBatch call's per-shard routing buffers,
+// pooled so concurrent callers reuse grown buffers instead of allocating.
+type batchScratch struct {
+	perShard [][]Event
+}
+
+// Pipeline wires smoothing, storage and rules together, EPC-hash-sharded:
+// one smoother and one lock per shard, events routed shard-wise, and the
+// steady-state batched ingest path allocation-free.
+type Pipeline struct {
+	store   *Store
+	shards  []pipeShard
+	mask    uint32
+	scratch sync.Pool
+
+	rulesMu sync.Mutex
+	rules   atomic.Pointer[[]Rule]
+}
+
+// NewPipeline builds a single-shard pipeline around one smoother — the
+// small-deployment (and test) configuration. A nil smoother defaults to a
+// 2 s fixed window. The store underneath is sharded regardless.
+func NewPipeline(s Smoother) *Pipeline {
+	if s == nil {
+		s = NewWindowSmoother(2)
+	}
+	return NewShardedPipeline(Config{Shards: 1, NewSmoother: func() Smoother { return s }})
+}
+
+// NewShardedPipeline builds a pipeline from cfg.
+func NewShardedPipeline(cfg Config) *Pipeline {
+	n := ceilPow2(cfg.Shards)
+	mk := cfg.NewSmoother
+	if mk == nil {
+		mk = func() Smoother { return NewWindowSmoother(2) }
+	}
+	storeShards := cfg.StoreShards
+	if storeShards <= 0 {
+		storeShards = DefaultStoreShards
+	}
+	p := &Pipeline{
+		store:  NewStoreShards(storeShards),
+		shards: make([]pipeShard, n),
+		mask:   uint32(n - 1),
+	}
+	for i := range p.shards {
+		p.shards[i].smoother = mk()
+	}
+	p.scratch.New = func() any {
+		return &batchScratch{perShard: make([][]Event, n)}
+	}
+	return p
+}
+
+// Store exposes the tracking database.
+func (p *Pipeline) Store() *Store { return p.store }
+
+// Shards reports the pipeline's smoother shard count.
+func (p *Pipeline) Shards() int { return len(p.shards) }
+
+// AddRule registers a rule; rules run in registration order.
+func (p *Pipeline) AddRule(r Rule) {
+	p.rulesMu.Lock()
+	defer p.rulesMu.Unlock()
+	old := p.ruleset()
+	next := make([]Rule, len(old)+1)
+	copy(next, old)
+	next[len(old)] = r
+	p.rules.Store(&next)
+}
+
+// ruleset returns the current rule snapshot without locking or copying.
+func (p *Pipeline) ruleset() []Rule {
+	if rp := p.rules.Load(); rp != nil {
+		return *rp
+	}
+	return nil
+}
+
+func (p *Pipeline) commit(closed []Sighting, rules []Rule) {
+	for i := range closed {
+		p.store.Apply(closed[i])
+		for _, r := range rules {
+			if r.Match == nil || r.Match(closed[i]) {
+				if r.Action != nil {
+					r.Action(closed[i])
+				}
+			}
+		}
+	}
+}
+
+// ingestShard feeds one shard's slice of a batch through its smoother and
+// commits the closed sightings, reusing the shard's scratch buffer. The
+// commit happens under the shard lock: the scratch must not escape, and
+// per-shard ordering of store applies and rule firings is preserved.
+func (p *Pipeline) ingestShard(sh *pipeShard, events []Event) int {
+	rules := p.ruleset()
+	sh.mu.Lock()
+	closed := sh.closed[:0]
+	if bs, ok := sh.smoother.(batchSmoother); ok {
+		for i := range events {
+			closed = bs.ObserveAppend(events[i], closed)
+		}
+	} else {
+		for i := range events {
+			closed = append(closed, sh.smoother.Observe(events[i])...)
+		}
+	}
+	sh.closed = closed[:0]
+	p.commit(closed, rules)
+	sh.mu.Unlock()
+	return len(closed)
+}
+
+// IngestBatch processes a batch of raw events, routing each to its EPC
+// shard, and returns how many sightings closed. This is the fleet-scale
+// ingest path: per-shard event buffers, closed-sighting scratch and
+// smoother state are all reused, so the steady state allocates nothing
+// (pinned by BenchmarkIngestBatch). Batches from concurrent callers
+// proceed in parallel on disjoint shards.
+func (p *Pipeline) IngestBatch(events []Event) int {
+	if len(events) == 0 {
+		return 0
+	}
+	if len(p.shards) == 1 {
+		return p.ingestShard(&p.shards[0], events)
+	}
+	sc := p.scratch.Get().(*batchScratch)
+	for i := range events {
+		s := hashEPC(events[i].EPC) & p.mask
+		sc.perShard[s] = append(sc.perShard[s], events[i])
+	}
+	closed := 0
+	for i := range sc.perShard {
+		if len(sc.perShard[i]) == 0 {
+			continue
+		}
+		closed += p.ingestShard(&p.shards[i], sc.perShard[i])
+		sc.perShard[i] = sc.perShard[i][:0]
+	}
+	p.scratch.Put(sc)
+	return closed
+}
+
+// Ingest processes one raw event and returns any sightings it closed
+// (after applying them to the store and running rules). Single-event
+// convenience over IngestBatch; the returned slice is freshly allocated.
+func (p *Pipeline) Ingest(ev Event) []Sighting {
+	sh := &p.shards[hashEPC(ev.EPC)&p.mask]
+	rules := p.ruleset()
+	sh.mu.Lock()
+	var closed []Sighting
+	if bs, ok := sh.smoother.(batchSmoother); ok {
+		closed = bs.ObserveAppend(ev, nil)
+	} else {
+		closed = sh.smoother.Observe(ev)
+	}
+	p.commit(closed, rules)
+	sh.mu.Unlock()
+	return closed
+}
+
+// Flush closes all open sightings as of now, across every shard.
+func (p *Pipeline) Flush(now float64) []Sighting {
+	rules := p.ruleset()
+	var all []Sighting
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		var closed []Sighting
+		if bs, ok := sh.smoother.(batchSmoother); ok {
+			closed = bs.FlushAppend(now, nil)
+		} else {
+			closed = sh.smoother.Flush(now)
+		}
+		p.commit(closed, rules)
+		sh.mu.Unlock()
+		all = append(all, closed...)
+	}
+	sortSightings(all)
+	return all
+}

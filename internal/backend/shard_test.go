@@ -1,0 +1,177 @@
+package backend
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rfidtrack/internal/epc"
+)
+
+// genEvents builds a deterministic fleet of tag streams: tags pass
+// through rotating portals, several time-ordered reads per pass, with
+// inter-pass gaps wide enough to close each sighting. Per-tag (hence
+// per-key) streams are time-ordered; Last times are distinct per tag so
+// last-location resolution has no ties.
+func genEvents(tags, passes int) [][]Event {
+	locs := []string{"dock", "gate", "belt", "yard"}
+	perTag := make([][]Event, tags)
+	for t := 0; t < tags; t++ {
+		code := epc.Code{0x30, 1, 2, 3, byte(t >> 16), byte(t >> 8), byte(t), 7, 8, 9, 10, 11}
+		for p := 0; p < passes; p++ {
+			base := float64(p)*10 + float64(t%7)*0.01
+			loc := locs[(t+p)%len(locs)]
+			for r := 0; r < 3; r++ {
+				perTag[t] = append(perTag[t], Event{
+					EPC: code, Location: loc, Antenna: "a1",
+					Time: base + float64(r)*0.5,
+				})
+			}
+		}
+	}
+	return perTag
+}
+
+type storeState struct {
+	tags      []epc.Code
+	locations map[epc.Code]Location
+	histories map[epc.Code][]Sighting
+}
+
+func snapshotStore(s *Store) storeState {
+	st := storeState{
+		tags:      s.Tags(),
+		locations: make(map[epc.Code]Location),
+		histories: make(map[epc.Code][]Sighting),
+	}
+	for _, code := range st.tags {
+		loc, _ := s.LocationOf(code)
+		st.locations[code] = loc
+		st.histories[code] = s.History(code)
+	}
+	return st
+}
+
+// TestShardedIngestMatchesSequential is the determinism regression test
+// (DESIGN.md §11): N goroutines ingesting interleaved batches into a
+// sharded pipeline must leave the store byte-identical to a single
+// goroutine ingesting the same events one at a time. Runs under -race in
+// make check.
+func TestShardedIngestMatchesSequential(t *testing.T) {
+	const tags, passes, workers = 64, 5, 8
+	perTag := genEvents(tags, passes)
+
+	// Reference: single shard, single-event ingest, tag-major order.
+	ref := NewPipeline(NewWindowSmoother(2))
+	for _, stream := range perTag {
+		for _, ev := range stream {
+			ref.Ingest(ev)
+		}
+	}
+	ref.Flush(1e9)
+	want := snapshotStore(ref.Store())
+
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			p := NewShardedPipeline(Config{
+				Shards:      shards,
+				NewSmoother: func() Smoother { return NewWindowSmoother(2) },
+				StoreShards: 8,
+			})
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					// Each worker owns a disjoint set of tags (preserving
+					// per-EPC order) and feeds them in small interleaved
+					// batches.
+					const batchSize = 7
+					var batch []Event
+					for t := w; t < tags; t += workers {
+						for _, ev := range perTag[t] {
+							batch = append(batch, ev)
+							if len(batch) == batchSize {
+								p.IngestBatch(batch)
+								batch = batch[:0]
+							}
+						}
+					}
+					p.IngestBatch(batch)
+				}(w)
+			}
+			wg.Wait()
+			p.Flush(1e9)
+			got := snapshotStore(p.Store())
+
+			if !reflect.DeepEqual(got.tags, want.tags) {
+				t.Fatalf("tag sets differ: got %d tags, want %d", len(got.tags), len(want.tags))
+			}
+			for _, code := range want.tags {
+				if got.locations[code] != want.locations[code] {
+					t.Errorf("tag %s location = %+v, want %+v", code.Hex(), got.locations[code], want.locations[code])
+				}
+				if !reflect.DeepEqual(got.histories[code], want.histories[code]) {
+					t.Errorf("tag %s history differs:\n got %+v\nwant %+v", code.Hex(), got.histories[code], want.histories[code])
+				}
+			}
+		})
+	}
+}
+
+func TestShardConfigRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+	}
+	for _, c := range cases {
+		p := NewShardedPipeline(Config{Shards: c.in})
+		if got := p.Shards(); got != c.want {
+			t.Errorf("Shards(%d) rounds to %d, want %d", c.in, got, c.want)
+		}
+		s := NewStoreShards(c.in)
+		if got := s.NumShards(); got != c.want {
+			t.Errorf("NewStoreShards(%d) = %d shards, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestShardStats(t *testing.T) {
+	s := NewStoreShards(4)
+	for t2 := 0; t2 < 20; t2++ {
+		code := epc.Code{byte(t2), 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+		s.Apply(Sighting{EPC: code, Location: "dock", First: 1, Last: 2, Reads: 3})
+		s.Apply(Sighting{EPC: code, Location: "gate", First: 3, Last: 4, Reads: 1})
+	}
+	stats := s.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats has %d entries, want 4", len(stats))
+	}
+	tags, sightings := 0, 0
+	for _, st := range stats {
+		tags += st.Tags
+		sightings += st.Sightings
+	}
+	if tags != 20 || sightings != 40 {
+		t.Fatalf("totals tags=%d sightings=%d, want 20/40", tags, sightings)
+	}
+}
+
+// TestHashRoutingStable pins that shard routing is a pure function of the
+// EPC: the same code always lands on the same shard, and the router uses
+// every shard for a spread population.
+func TestHashRoutingStable(t *testing.T) {
+	used := map[uint32]bool{}
+	for i := 0; i < 4096; i++ {
+		code := epc.Code{byte(i >> 8), byte(i), 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+		s := hashEPC(code) & 15
+		if s2 := hashEPC(code) & 15; s2 != s {
+			t.Fatalf("routing not stable for %s", code.Hex())
+		}
+		used[s] = true
+	}
+	if len(used) != 16 {
+		t.Errorf("only %d of 16 shards used by 4096 spread EPCs", len(used))
+	}
+}

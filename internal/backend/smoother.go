@@ -1,0 +1,309 @@
+package backend
+
+// Smoothers turn raw read events into presence sightings. Both smoothers
+// here keep their per-event cost amortized O(1) in the number of open
+// sightings: instead of scanning every open sighting for lapses on each
+// event (O(open) per read — ruinous with fleet-scale tag populations),
+// they keep an expiry-ordered min-heap of (key, deadline) entries and
+// sweep only the entries whose deadline has actually passed. Heap entries
+// go stale when a sighting's Last advances; a popped stale entry is simply
+// re-pushed at its live deadline, so each pop either closes a sighting or
+// strictly advances one deadline — classic lazy timer-queue amortization.
+
+// Smoother turns raw read events into sightings.
+type Smoother interface {
+	// Observe feeds one event and returns any sightings it closed.
+	Observe(ev Event) []Sighting
+	// Flush closes every open sighting as of time now.
+	Flush(now float64) []Sighting
+}
+
+// batchSmoother is the allocation-free flavor the batched ingest path
+// prefers: closed sightings are appended to a caller-owned scratch buffer
+// instead of a freshly allocated slice.
+type batchSmoother interface {
+	ObserveAppend(ev Event, dst []Sighting) []Sighting
+	FlushAppend(now float64, dst []Sighting) []Sighting
+}
+
+// expiryEntry schedules one open sighting's earliest possible close.
+type expiryEntry struct {
+	key sightingKey
+	at  float64
+}
+
+// expiryQueue is a binary min-heap on at, implemented directly (not via
+// container/heap) so pushes and pops never box through interface{}.
+type expiryQueue []expiryEntry
+
+func (q *expiryQueue) push(e expiryEntry) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].at <= h[i].at {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func (q *expiryQueue) pop() expiryEntry {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	*q = h[:n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h[l].at < h[min].at {
+			min = l
+		}
+		if r < n && h[r].at < h[min].at {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+	}
+	return top
+}
+
+// sightingPool is a freelist of open-sighting records shared by both
+// smoothers, so steady-state close/reopen churn recycles structs instead
+// of allocating.
+type sightingPool []*Sighting
+
+func (p *sightingPool) get() *Sighting {
+	if n := len(*p); n > 0 {
+		sg := (*p)[n-1]
+		*p = (*p)[:n-1]
+		return sg
+	}
+	return new(Sighting)
+}
+
+func (p *sightingPool) put(sg *Sighting) { *p = append(*p, sg) }
+
+// WindowSmoother merges reads of a tag at a location that fall within a
+// fixed window, closing the sighting when the tag stays silent longer.
+// This is the classic fixed-window RFID cleaning stage.
+type WindowSmoother struct {
+	// Window is the maximum silent gap inside one sighting, seconds.
+	Window float64
+
+	open map[sightingKey]*Sighting
+	exp  expiryQueue
+	free sightingPool
+}
+
+var (
+	_ Smoother      = (*WindowSmoother)(nil)
+	_ batchSmoother = (*WindowSmoother)(nil)
+)
+
+// NewWindowSmoother returns a smoother with the given window (seconds).
+func NewWindowSmoother(window float64) *WindowSmoother {
+	return &WindowSmoother{Window: window, open: make(map[sightingKey]*Sighting)}
+}
+
+// sweep closes every open sighting whose window has lapsed by time now,
+// appending them to dst.
+func (s *WindowSmoother) sweep(now float64, dst []Sighting) []Sighting {
+	for len(s.exp) > 0 && s.exp[0].at < now {
+		e := s.exp.pop()
+		open, ok := s.open[e.key]
+		if !ok {
+			continue // stale: closed (and possibly reopened) since scheduling
+		}
+		deadline := open.Last + s.Window
+		if deadline < now {
+			dst = append(dst, *open)
+			delete(s.open, e.key)
+			s.free.put(open)
+		} else {
+			s.exp.push(expiryEntry{e.key, deadline})
+		}
+	}
+	return dst
+}
+
+// ObserveAppend implements batchSmoother: closed sightings are appended
+// to dst, which the caller owns and reuses across calls.
+func (s *WindowSmoother) ObserveAppend(ev Event, dst []Sighting) []Sighting {
+	base := len(dst)
+	dst = s.sweep(ev.Time, dst)
+	k := sightingKey{ev.EPC, ev.Location}
+	if open, ok := s.open[k]; ok {
+		if ev.Time-open.Last > s.Window {
+			// The key's own sighting lapsed (only reachable when the event
+			// stream is not time-ordered); close it and reopen in place.
+			dst = append(dst, *open)
+			*open = Sighting{EPC: ev.EPC, Location: ev.Location, First: ev.Time, Last: ev.Time, Reads: 1}
+			s.exp.push(expiryEntry{k, ev.Time + s.Window})
+		} else {
+			open.Last = ev.Time
+			open.Reads++
+		}
+	} else {
+		sg := s.free.get()
+		*sg = Sighting{EPC: ev.EPC, Location: ev.Location, First: ev.Time, Last: ev.Time, Reads: 1}
+		s.open[k] = sg
+		s.exp.push(expiryEntry{k, ev.Time + s.Window})
+	}
+	sortSightingsTail(dst, base)
+	return dst
+}
+
+// Observe implements Smoother.
+func (s *WindowSmoother) Observe(ev Event) []Sighting { return s.ObserveAppend(ev, nil) }
+
+// FlushAppend implements batchSmoother. Flushing closes every open
+// sighting unconditionally, whatever its deadline.
+func (s *WindowSmoother) FlushAppend(_ float64, dst []Sighting) []Sighting {
+	base := len(dst)
+	for k, open := range s.open {
+		dst = append(dst, *open)
+		delete(s.open, k)
+		s.free.put(open)
+	}
+	s.exp = s.exp[:0]
+	sortSightingsTail(dst, base)
+	return dst
+}
+
+// Flush implements Smoother.
+func (s *WindowSmoother) Flush(now float64) []Sighting { return s.FlushAppend(now, nil) }
+
+// AdaptiveSmoother is a SMURF-style cleaner: the per-tag window adapts to
+// the observed read rate, growing for weakly-read tags (so sporadic reads
+// still merge into one sighting) and shrinking for strongly-read tags (so
+// transitions are detected quickly).
+type AdaptiveSmoother struct {
+	// MinWindow and MaxWindow bound the adaptive window, seconds.
+	MinWindow, MaxWindow float64
+	// Slack multiplies the smoothed inter-read interval to get the window.
+	Slack float64
+
+	open     map[sightingKey]*Sighting
+	interval map[sightingKey]float64 // EWMA of inter-read gaps
+	exp      expiryQueue
+	free     sightingPool
+}
+
+var (
+	_ Smoother      = (*AdaptiveSmoother)(nil)
+	_ batchSmoother = (*AdaptiveSmoother)(nil)
+)
+
+// NewAdaptiveSmoother returns an adaptive smoother with sane defaults for
+// portal traffic.
+func NewAdaptiveSmoother() *AdaptiveSmoother {
+	return &AdaptiveSmoother{
+		MinWindow: 0.5,
+		MaxWindow: 10,
+		Slack:     3,
+		open:      make(map[sightingKey]*Sighting),
+		interval:  make(map[sightingKey]float64),
+	}
+}
+
+// windowFor returns the current window for a tag.
+func (s *AdaptiveSmoother) windowFor(k sightingKey) float64 {
+	iv, ok := s.interval[k]
+	if !ok || iv <= 0 {
+		return s.MaxWindow // no estimate yet: be generous
+	}
+	w := iv * s.Slack
+	if w < s.MinWindow {
+		w = s.MinWindow
+	}
+	if w > s.MaxWindow {
+		w = s.MaxWindow
+	}
+	return w
+}
+
+// sweep closes every open sighting whose adaptive window has lapsed by
+// time now. Scheduled deadlines can be stale in either direction (the
+// window shrinks as the read-rate estimate improves); each pop re-checks
+// against the live window, re-pushing entries that are not yet due.
+func (s *AdaptiveSmoother) sweep(now float64, dst []Sighting) []Sighting {
+	for len(s.exp) > 0 && s.exp[0].at < now {
+		e := s.exp.pop()
+		open, ok := s.open[e.key]
+		if !ok {
+			continue
+		}
+		deadline := open.Last + s.windowFor(e.key)
+		if deadline < now {
+			dst = append(dst, *open)
+			delete(s.open, e.key)
+			s.free.put(open)
+		} else {
+			s.exp.push(expiryEntry{e.key, deadline})
+		}
+	}
+	return dst
+}
+
+// ObserveAppend implements batchSmoother.
+func (s *AdaptiveSmoother) ObserveAppend(ev Event, dst []Sighting) []Sighting {
+	base := len(dst)
+	dst = s.sweep(ev.Time, dst)
+	k := sightingKey{ev.EPC, ev.Location}
+	if open, ok := s.open[k]; ok {
+		if ev.Time-open.Last > s.windowFor(k) {
+			// The adaptive window can shrink below a scheduled deadline, so
+			// the key's own lapse must be checked here, not only in the
+			// sweep — otherwise a shrunk window would merge across a gap the
+			// live window rejects.
+			dst = append(dst, *open)
+			*open = Sighting{EPC: ev.EPC, Location: ev.Location, First: ev.Time, Last: ev.Time, Reads: 1}
+			s.exp.push(expiryEntry{k, ev.Time + s.windowFor(k)})
+		} else {
+			gap := ev.Time - open.Last
+			const alpha = 0.3
+			if prev, ok := s.interval[k]; ok {
+				s.interval[k] = (1-alpha)*prev + alpha*gap
+			} else {
+				s.interval[k] = gap
+			}
+			open.Last = ev.Time
+			open.Reads++
+		}
+	} else {
+		sg := s.free.get()
+		*sg = Sighting{EPC: ev.EPC, Location: ev.Location, First: ev.Time, Last: ev.Time, Reads: 1}
+		s.open[k] = sg
+		s.exp.push(expiryEntry{k, ev.Time + s.windowFor(k)})
+	}
+	sortSightingsTail(dst, base)
+	return dst
+}
+
+// Observe implements Smoother.
+func (s *AdaptiveSmoother) Observe(ev Event) []Sighting { return s.ObserveAppend(ev, nil) }
+
+// FlushAppend implements batchSmoother. Flushing closes every open
+// sighting unconditionally, whatever its deadline.
+func (s *AdaptiveSmoother) FlushAppend(_ float64, dst []Sighting) []Sighting {
+	base := len(dst)
+	for k, open := range s.open {
+		dst = append(dst, *open)
+		delete(s.open, k)
+		s.free.put(open)
+	}
+	s.exp = s.exp[:0]
+	sortSightingsTail(dst, base)
+	return dst
+}
+
+// Flush implements Smoother.
+func (s *AdaptiveSmoother) Flush(now float64) []Sighting { return s.FlushAppend(now, nil) }

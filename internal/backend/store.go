@@ -1,0 +1,199 @@
+package backend
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+
+	"rfidtrack/internal/epc"
+)
+
+// Location is a tag's tracked position.
+type Location struct {
+	Name  string
+	Since float64
+}
+
+// DefaultStoreShards is the shard count NewStore uses. Power of two;
+// sized so a single box absorbing thousands of portals spreads lock
+// traffic far below contention while keeping per-shard bookkeeping cheap.
+const DefaultStoreShards = 32
+
+// hashEPC is FNV-1a over the 12 code bytes — the shard router for both
+// the store and the pipeline, allocation-free.
+func hashEPC(c epc.Code) uint32 {
+	h := uint32(2166136261)
+	for _, b := range c {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// storeShard is one lock's worth of the tracking database. Query results
+// come from maintained indexes: the shard's tag index is kept sorted as
+// tags appear, and each tag's history is kept sorted as sightings apply,
+// so Tags and History never re-sort on read.
+type storeShard struct {
+	mu        sync.RWMutex
+	last      map[epc.Code]Location
+	history   map[epc.Code][]Sighting
+	index     []epc.Code // every tag in the shard, sorted bytewise
+	sightings int
+}
+
+// Store is the in-memory tracking database: last known location plus full
+// sighting history per tag, EPC-hash-sharded with one lock per shard.
+// Safe for concurrent use; writers to distinct shards never contend.
+type Store struct {
+	shards []storeShard
+	mask   uint32
+}
+
+// NewStore returns an empty store with DefaultStoreShards shards.
+func NewStore() *Store { return NewStoreShards(DefaultStoreShards) }
+
+// NewStoreShards returns an empty store with n shards, rounded up to a
+// power of two (minimum 1).
+func NewStoreShards(n int) *Store {
+	n = ceilPow2(n)
+	s := &Store{shards: make([]storeShard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i].last = make(map[epc.Code]Location)
+		s.shards[i].history = make(map[epc.Code][]Sighting)
+	}
+	return s
+}
+
+// NumShards reports the store's shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+func (s *Store) shardFor(code epc.Code) *storeShard {
+	return &s.shards[hashEPC(code)&s.mask]
+}
+
+// insertIndex adds a newly seen tag to the shard's sorted index.
+func (sh *storeShard) insertIndex(code epc.Code) {
+	i := sort.Search(len(sh.index), func(i int) bool { return sh.index[i].Compare(code) >= 0 })
+	sh.index = append(sh.index, epc.Code{})
+	copy(sh.index[i+1:], sh.index[i:])
+	sh.index[i] = code
+}
+
+// Apply records a closed sighting. The tag's history is kept sorted by
+// (First, Location) via binary insertion, so History never re-sorts.
+func (s *Store) Apply(sight Sighting) {
+	sh := s.shardFor(sight.EPC)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.last[sight.EPC]
+	if !ok {
+		sh.insertIndex(sight.EPC)
+	}
+	if !ok || sight.Last >= cur.Since {
+		sh.last[sight.EPC] = Location{Name: sight.Location, Since: sight.Last}
+	}
+	h := sh.history[sight.EPC]
+	i := sort.Search(len(h), func(i int) bool {
+		if h[i].First != sight.First {
+			return h[i].First > sight.First
+		}
+		return h[i].Location > sight.Location
+	})
+	h = append(h, Sighting{})
+	copy(h[i+1:], h[i:])
+	h[i] = sight
+	sh.history[sight.EPC] = h
+	sh.sightings++
+}
+
+// Seen reports whether the store has ever recorded a sighting of the tag
+// — the membership test behind the tracking API's 404 for unknown EPCs.
+func (s *Store) Seen(code epc.Code) bool {
+	sh := s.shardFor(code)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.last[code]
+	return ok
+}
+
+// LocationOf returns the last known location of a tag.
+func (s *Store) LocationOf(code epc.Code) (Location, bool) {
+	sh := s.shardFor(code)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	loc, ok := sh.last[code]
+	return loc, ok
+}
+
+// History returns a copy of a tag's sighting history, oldest first. The
+// history is maintained in order at Apply time, so this is one copy — no
+// per-query sort.
+func (s *Store) History(code epc.Code) []Sighting {
+	sh := s.shardFor(code)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	h := sh.history[code]
+	if h == nil {
+		return nil
+	}
+	return append([]Sighting(nil), h...)
+}
+
+// Tags returns every tag the store has seen, sorted by EPC. Shard indexes
+// are already sorted, so this is a k-way merge — no per-query sort and no
+// per-comparison string conversions.
+func (s *Store) Tags() []epc.Code {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	total := 0
+	for i := range s.shards {
+		total += len(s.shards[i].index)
+	}
+	out := make([]epc.Code, 0, total)
+	pos := make([]int, len(s.shards))
+	for len(out) < total {
+		min := -1
+		for i := range s.shards {
+			if pos[i] >= len(s.shards[i].index) {
+				continue
+			}
+			if min < 0 || s.shards[i].index[pos[i]].Compare(s.shards[min].index[pos[min]]) < 0 {
+				min = i
+			}
+		}
+		out = append(out, s.shards[min].index[pos[min]])
+		pos[min]++
+	}
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
+	}
+	return out
+}
+
+// ShardStat is one shard's occupancy in the stats API.
+type ShardStat struct {
+	Tags      int `json:"tags"`
+	Sightings int `json:"sightings"`
+}
+
+// ShardStats reports per-shard occupancy — the skew diagnostic behind
+// GET /api/stats.
+func (s *Store) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		out[i] = ShardStat{Tags: len(sh.last), Sightings: sh.sightings}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -30,18 +30,52 @@ func (c Code) Hex() string { return strings.ToUpper(hex.EncodeToString(c[:])) }
 // String implements fmt.Stringer.
 func (c Code) String() string { return c.Hex() }
 
-// ParseHex parses a 24-digit hex EPC.
+// ParseHex parses a 24-digit hex EPC. It decodes into the Code directly
+// (no intermediate buffer), so the ingest path can parse reader tag lists
+// without allocating.
 func ParseHex(s string) (Code, error) {
 	var c Code
-	b, err := hex.DecodeString(strings.TrimSpace(s))
-	if err != nil {
-		return c, fmt.Errorf("%w: %v", ErrBadEPC, err)
+	s = strings.TrimSpace(s)
+	if len(s) != 24 {
+		return c, fmt.Errorf("%w: want 96 bits, got %d hex digits", ErrBadEPC, len(s))
 	}
-	if len(b) != 12 {
-		return c, fmt.Errorf("%w: want 96 bits, got %d", ErrBadEPC, len(b)*8)
+	for i := 0; i < 12; i++ {
+		hi, ok1 := fromHexDigit(s[2*i])
+		lo, ok2 := fromHexDigit(s[2*i+1])
+		if !ok1 || !ok2 {
+			return Code{}, fmt.Errorf("%w: invalid hex digit in %q", ErrBadEPC, s)
+		}
+		c[i] = hi<<4 | lo
 	}
-	copy(c[:], b)
 	return c, nil
+}
+
+func fromHexDigit(b byte) (byte, bool) {
+	switch {
+	case '0' <= b && b <= '9':
+		return b - '0', true
+	case 'a' <= b && b <= 'f':
+		return b - 'a' + 10, true
+	case 'A' <= b && b <= 'F':
+		return b - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// Compare orders codes bytewise: negative when c < o, zero when equal,
+// positive when c > o. Because upper-case hex encoding is monotone in the
+// underlying bytes, this is exactly the Hex()-string order without the
+// two string allocations per comparison.
+func (c Code) Compare(o Code) int {
+	for i := range c {
+		if c[i] != o[i] {
+			if c[i] < o[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 // Bits returns the code as a 96-bit string.

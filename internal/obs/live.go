@@ -1,0 +1,78 @@
+package obs
+
+import "sync/atomic"
+
+// Live is the always-on sibling of Collector: the same counter and
+// histogram vocabulary, but atomic, so many goroutines may write while
+// another snapshots — the shape the tracking service's ingest pipeline
+// needs for GET /api/stats, where the counters are read mid-flight.
+// Collector deliberately stays single-writer/snapshot-after-quiesce; Live
+// pays the atomics only on paths that are already doing channel hops and
+// lock acquisitions, where the cost disappears.
+//
+// A nil *Live is the disabled state: every method is a nil-safe no-op,
+// mirroring the nil-*Collector contract.
+type Live struct {
+	counters [numCounters]atomic.Uint64
+	hists    [numHistograms][histBuckets]atomic.Uint64
+}
+
+// NewLive returns an empty live metric set.
+func NewLive() *Live { return &Live{} }
+
+// Inc adds one to a counter.
+func (l *Live) Inc(ctr Counter) {
+	if l != nil {
+		l.counters[ctr].Add(1)
+	}
+}
+
+// Add adds n to a counter.
+func (l *Live) Add(ctr Counter, n uint64) {
+	if l != nil {
+		l.counters[ctr].Add(n)
+	}
+}
+
+// Get reads a counter's current value.
+func (l *Live) Get(ctr Counter) uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.counters[ctr].Load()
+}
+
+// Observe records one value into a histogram, using the same
+// power-of-two bucketing as Collector.
+func (l *Live) Observe(h Histogram, v uint64) {
+	if l == nil {
+		return
+	}
+	i := bucketFor(v)
+	l.hists[h][i].Add(1)
+}
+
+// Snapshot renders the current values in the same shape as
+// Metrics.Snapshot. Safe to call while writers are active; each cell is
+// read atomically (the snapshot as a whole is a near-instant in time, not
+// a perfect cut — fine for operational stats).
+func (l *Live) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64, int(numCounters)),
+		Histograms: make(map[string]HistSnapshot, int(numHistograms)),
+	}
+	if l == nil {
+		return s
+	}
+	for i := Counter(0); i < numCounters; i++ {
+		s.Counters[counterNames[i]] = l.counters[i].Load()
+	}
+	for i := Histogram(0); i < numHistograms; i++ {
+		var h hist
+		for b := 0; b < histBuckets; b++ {
+			h.buckets[b] = l.hists[i][b].Load()
+		}
+		s.Histograms[histogramNames[i]] = snapHist(&h)
+	}
+	return s
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLiveNilSafe(t *testing.T) {
+	var l *Live
+	l.Inc(CtrIngestBatches)
+	l.Add(CtrIngestEvents, 10)
+	l.Observe(HistIngestBatch, 5)
+	if got := l.Get(CtrIngestEvents); got != 0 {
+		t.Fatalf("nil Live Get = %d, want 0", got)
+	}
+	s := l.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil Live snapshot not empty: %+v", s)
+	}
+}
+
+func TestLiveCountersAndSnapshot(t *testing.T) {
+	l := NewLive()
+	l.Inc(CtrIngestBatches)
+	l.Add(CtrIngestEvents, 64)
+	l.Observe(HistIngestBatch, 64)
+	l.Observe(HistIngestMicros, 3)
+
+	if got := l.Get(CtrIngestEvents); got != 64 {
+		t.Fatalf("Get(ingest.events) = %d, want 64", got)
+	}
+	s := l.Snapshot()
+	if s.Counters["ingest.batches"] != 1 {
+		t.Fatalf("ingest.batches = %d, want 1", s.Counters["ingest.batches"])
+	}
+	if s.Counters["ingest.events"] != 64 {
+		t.Fatalf("ingest.events = %d, want 64", s.Counters["ingest.events"])
+	}
+	h, ok := s.Histograms["ingest.batch_size"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("ingest.batch_size histogram = %+v, ok=%v", h, ok)
+	}
+	// Every counter name must appear, even zero ones: the stats endpoint
+	// promises a stable vocabulary.
+	for _, name := range counterNames {
+		if _, ok := s.Counters[name]; !ok {
+			t.Fatalf("snapshot missing counter %q", name)
+		}
+	}
+}
+
+func TestLiveConcurrent(t *testing.T) {
+	l := NewLive()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Inc(CtrIngestBatches)
+				l.Add(CtrIngestEvents, 2)
+				l.Observe(HistIngestBatch, 2)
+			}
+		}()
+	}
+	// Snapshot while writers are active: must not race (run under -race).
+	for i := 0; i < 10; i++ {
+		_ = l.Snapshot()
+	}
+	wg.Wait()
+	if got := l.Get(CtrIngestBatches); got != workers*per {
+		t.Fatalf("ingest.batches = %d, want %d", got, workers*per)
+	}
+	if got := l.Get(CtrIngestEvents); got != 2*workers*per {
+		t.Fatalf("ingest.events = %d, want %d", got, 2*workers*per)
+	}
+}

@@ -54,6 +54,11 @@ const (
 	CtrBreakerOpens                   // breaker.opens
 	CtrBreakerProbes                  // breaker.half_opens
 	CtrBreakerCloses                  // breaker.closes
+	CtrIngestBatches                  // ingest.batches
+	CtrIngestEvents                   // ingest.events
+	CtrIngestClosed                   // ingest.closed
+	CtrIngestDropped                  // ingest.dropped_events
+	CtrIngestStalls                   // ingest.stalls
 
 	numCounters
 )
@@ -77,6 +82,11 @@ var counterNames = [numCounters]string{
 	CtrBreakerOpens:    "breaker.opens",
 	CtrBreakerProbes:   "breaker.half_opens",
 	CtrBreakerCloses:   "breaker.closes",
+	CtrIngestBatches:   "ingest.batches",
+	CtrIngestEvents:    "ingest.events",
+	CtrIngestClosed:    "ingest.closed",
+	CtrIngestDropped:   "ingest.dropped_events",
+	CtrIngestStalls:    "ingest.stalls",
 }
 
 // Histogram identifies one deterministic fixed-bucket histogram.
@@ -89,6 +99,8 @@ const (
 	HistSlotsPerRound                  // round.slots
 	HistReadsPerRound                  // round.reads
 	HistPassSimMillis                  // pass.sim_ms (simulated pass duration, ms)
+	HistIngestBatch                    // ingest.batch_size (events per ingested batch)
+	HistIngestMicros                   // ingest.batch_micros (wall µs per ingested batch)
 
 	numHistograms
 )
@@ -98,6 +110,8 @@ var histogramNames = [numHistograms]string{
 	HistSlotsPerRound: "round.slots",
 	HistReadsPerRound: "round.reads",
 	HistPassSimMillis: "pass.sim_ms",
+	HistIngestBatch:   "ingest.batch_size",
+	HistIngestMicros:  "ingest.batch_micros",
 }
 
 // Outcome classifies one (tag, antenna) read opportunity — one inventory
@@ -146,13 +160,16 @@ type hist struct {
 	buckets [histBuckets]uint64
 }
 
-func (h *hist) observe(v uint64) {
+// bucketFor maps a value to its power-of-two bucket index.
+func bucketFor(v uint64) int {
 	i := bits.Len64(v)
 	if i >= histBuckets {
 		i = histBuckets - 1
 	}
-	h.buckets[i]++
+	return i
 }
+
+func (h *hist) observe(v uint64) { h.buckets[bucketFor(v)]++ }
 
 // opKey identifies one (tag, antenna) opportunity series.
 type opKey struct {

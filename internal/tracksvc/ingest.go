@@ -1,0 +1,141 @@
+package tracksvc
+
+import (
+	"context"
+	"sync"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/obs"
+)
+
+// IngestConfig sizes the async ingest pipeline (DESIGN.md §11): reader
+// polls parse into event batches, batches cross a bounded queue, and
+// worker goroutines route them shard-wise into the cleaning pipeline.
+type IngestConfig struct {
+	// QueueDepth bounds how many parsed batches may wait (0 = 256).
+	QueueDepth int
+	// Workers is how many goroutines drain the queue (0 = 1). One worker
+	// preserves cross-batch arrival order end to end; more workers trade
+	// that for parallel smoothing — per-EPC streams stay deterministic
+	// only if no two in-flight batches share an EPC.
+	Workers int
+	// DropWhenFull selects the backpressure policy when the queue is full:
+	// false (default) blocks the submitting poll loop — lossless, readers
+	// slow down; true sheds the batch and counts its events as dropped —
+	// lossy, readers never stall.
+	DropWhenFull bool
+}
+
+// ingestor is the running async pipeline.
+type ingestor struct {
+	svc     *Service
+	queue   chan *[]backend.Event
+	workers int
+	drop    bool
+	done    chan struct{}  // closed when ctx fires; unblocks lossless submits
+	drained chan struct{}  // closed once workers exited and the residue is ingested
+	wg      sync.WaitGroup // worker goroutines
+}
+
+// StartIngest launches the async ingest pipeline. Until this is called,
+// IngestTagList ingests synchronously; afterwards it enqueues and
+// returns. When ctx is done the workers drain whatever is already queued,
+// then exit; Wait blocks until that drain completes. Calling StartIngest
+// twice replaces the queue for future submissions but does not stop the
+// old workers — stop the first pipeline (cancel its ctx) before starting
+// another.
+func (s *Service) StartIngest(ctx context.Context, cfg IngestConfig) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	ing := &ingestor{
+		svc:     s,
+		queue:   make(chan *[]backend.Event, cfg.QueueDepth),
+		workers: cfg.Workers,
+		drop:    cfg.DropWhenFull,
+		done:    make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		ing.wg.Add(1)
+		go ing.run()
+	}
+	go func() {
+		<-ctx.Done()
+		s.ing.CompareAndSwap(ing, nil) // new submissions go synchronous again
+		close(ing.done)
+		ing.wg.Wait()
+		// A submit that loaded the ingestor before the swap may have
+		// enqueued after the workers' final drain; sweep the residue so
+		// the lossless policy stays lossless through shutdown.
+		for {
+			select {
+			case bp := <-ing.queue:
+				s.ingestNow(bp)
+			default:
+				close(ing.drained)
+				return
+			}
+		}
+	}()
+	s.ingLast.Store(ing)
+	s.ing.Store(ing)
+}
+
+// IngestWait blocks until the most recent async pipeline (if any) has
+// processed everything submitted before its context was canceled. Only
+// meaningful after that context is done.
+func (s *Service) IngestWait() {
+	if ing := s.ingLast.Load(); ing != nil {
+		<-ing.drained
+	}
+}
+
+// submit hands one parsed batch to the workers. The fast path is a
+// non-blocking send; a full queue is backpressure, counted, and then
+// either sheds the batch (drop policy) or blocks until the workers catch
+// up (lossless policy).
+func (i *ingestor) submit(bp *[]backend.Event) {
+	select {
+	case i.queue <- bp:
+		return
+	default:
+	}
+	i.svc.live.Inc(obs.CtrIngestStalls)
+	if i.drop {
+		i.svc.live.Add(obs.CtrIngestDropped, uint64(len(*bp)))
+		*bp = (*bp)[:0]
+		i.svc.batches.Put(bp)
+		return
+	}
+	select {
+	case i.queue <- bp:
+	case <-i.done:
+		// Shutting down: ingest inline rather than lose the batch.
+		i.svc.ingestNow(bp)
+	}
+}
+
+// run is one worker: drain batches until shutdown, then drain the
+// residue so nothing queued is lost.
+func (i *ingestor) run() {
+	defer i.wg.Done()
+	for {
+		select {
+		case bp := <-i.queue:
+			i.svc.ingestNow(bp)
+		case <-i.done:
+			for {
+				select {
+				case bp := <-i.queue:
+					i.svc.ingestNow(bp)
+				default:
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package tracksvc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/obs"
+	"rfidtrack/internal/readerapi"
+)
+
+func tagList(reader string, pass int, epcs ...string) readerapi.TagListXML {
+	list := readerapi.TagListXML{Reader: reader, Count: len(epcs)}
+	for i, e := range epcs {
+		list.Tags = append(list.Tags, readerapi.TagXML{
+			EPC: e, Reader: reader, Antenna: "a1",
+			Pass: pass, Time: float64(i) * 0.1,
+		})
+	}
+	return list
+}
+
+// TestStatsEndpoint is the satellite-4 handler test: /api/stats must
+// report the ingest counters, batch histogram, and shard occupancy.
+func TestStatsEndpoint(t *testing.T) {
+	svc := New(backend.NewShardedPipeline(backend.Config{Shards: 4}))
+	if err := svc.IngestTagList(tagList("dock", 0,
+		"300833B2DDD9014000000001",
+		"300833B2DDD9014000000002",
+		"300833B2DDD9014000000003",
+	)); err != nil {
+		t.Fatalf("IngestTagList: %v", err)
+	}
+	svc.Pipeline().Flush(1e9)
+
+	req := httptest.NewRequest("GET", "/api/stats", nil)
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("GET /api/stats = %d, body %s", rec.Code, rec.Body)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	if stats.Counters["ingest.batches"] != 1 {
+		t.Errorf("ingest.batches = %d, want 1", stats.Counters["ingest.batches"])
+	}
+	if stats.Counters["ingest.events"] != 3 {
+		t.Errorf("ingest.events = %d, want 3", stats.Counters["ingest.events"])
+	}
+	if stats.BatchSize.Count != 1 {
+		t.Errorf("batch_size count = %d, want 1", stats.BatchSize.Count)
+	}
+	if stats.PipelineShards != 4 {
+		t.Errorf("pipeline_shards = %d, want 4", stats.PipelineShards)
+	}
+	if len(stats.StoreShards) != svc.Pipeline().Store().NumShards() {
+		t.Errorf("store_shards has %d entries, want %d", len(stats.StoreShards), svc.Pipeline().Store().NumShards())
+	}
+	tags, sightings := 0, 0
+	for _, sh := range stats.StoreShards {
+		tags += sh.Tags
+		sightings += sh.Sightings
+	}
+	if tags != 3 || sightings != 3 {
+		t.Errorf("shard occupancy tags=%d sightings=%d, want 3/3", tags, sightings)
+	}
+	if stats.EventsPerSec <= 0 {
+		t.Errorf("events_per_sec = %v, want > 0", stats.EventsPerSec)
+	}
+	if stats.Queue != nil {
+		t.Errorf("queue stats present without StartIngest: %+v", stats.Queue)
+	}
+}
+
+// TestAsyncIngest exercises the queued path end to end: batches submitted
+// through the ingestor must land in the store after drain, and the stats
+// document must expose the queue.
+func TestAsyncIngest(t *testing.T) {
+	svc := New(backend.NewShardedPipeline(backend.Config{Shards: 4}))
+	ctx, cancel := context.WithCancel(context.Background())
+	svc.StartIngest(ctx, IngestConfig{QueueDepth: 8, Workers: 1})
+
+	if q := svc.Stats().Queue; q == nil || q.Depth != 8 || q.Workers != 1 {
+		t.Fatalf("queue stats = %+v, want depth 8 workers 1", q)
+	}
+	for pass := 0; pass < 10; pass++ {
+		epcs := make([]string, 5)
+		for i := range epcs {
+			epcs[i] = fmt.Sprintf("300833B2DDD90140%08X", pass*5+i)
+		}
+		if err := svc.IngestTagList(tagList("gate", pass, epcs...)); err != nil {
+			t.Fatalf("IngestTagList pass %d: %v", pass, err)
+		}
+	}
+	cancel()
+	svc.IngestWait()
+	svc.Pipeline().Flush(1e9)
+
+	if got := len(svc.Pipeline().Store().Tags()); got != 50 {
+		t.Fatalf("store has %d tags after drain, want 50", got)
+	}
+	stats := svc.Stats()
+	if stats.Counters["ingest.events"] != 50 {
+		t.Errorf("ingest.events = %d, want 50", stats.Counters["ingest.events"])
+	}
+	if stats.Counters["ingest.dropped_events"] != 0 {
+		t.Errorf("dropped %d events on lossless path", stats.Counters["ingest.dropped_events"])
+	}
+}
+
+// TestIngestDropWhenFull pins the shedding backpressure policy: with the
+// queue saturated, submissions are counted as stalls and their events as
+// dropped, and the submitter never blocks.
+func TestIngestDropWhenFull(t *testing.T) {
+	block := make(chan struct{})
+	release := sync.OnceFunc(func() { close(block) })
+	defer release()
+	svc := New(backend.NewShardedPipeline(backend.Config{
+		Shards:      1,
+		NewSmoother: func() backend.Smoother { return blockingSmoother{block} },
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.StartIngest(ctx, IngestConfig{QueueDepth: 1, Workers: 1, DropWhenFull: true})
+
+	// First batch occupies the worker (blocked in the smoother); second
+	// fills the queue; everything after must be shed without blocking.
+	for pass := 0; pass < 6; pass++ {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = svc.IngestTagList(tagList("dock", pass, "300833B2DDD9014000000001"))
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("submit blocked under DropWhenFull")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.live.Get(obs.CtrIngestDropped) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no drops recorded; stats %+v", svc.Stats().Counters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	cancel()
+	svc.IngestWait()
+	stats := svc.Stats()
+	if stats.Counters["ingest.stalls"] == 0 {
+		t.Errorf("no stalls recorded under saturation")
+	}
+}
+
+// blockingSmoother parks the ingest worker until the test releases it.
+type blockingSmoother struct{ block chan struct{} }
+
+func (b blockingSmoother) Observe(backend.Event) []backend.Sighting {
+	<-b.block
+	return nil
+}
+func (b blockingSmoother) Flush(float64) []backend.Sighting { return nil }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"rfidtrack/internal/backend"
 	"rfidtrack/internal/core"
 	"rfidtrack/internal/epc"
+	"rfidtrack/internal/obs"
 	"rfidtrack/internal/readerapi"
 )
 
@@ -25,6 +27,12 @@ type Service struct {
 	pipeline  *backend.Pipeline
 	sightings atomic.Int64
 	logf      func(format string, args ...any)
+
+	live    *obs.Live                // ingest counters behind GET /api/stats
+	ing     atomic.Pointer[ingestor] // nil until StartIngest; then the async path
+	ingLast atomic.Pointer[ingestor] // most recent ingestor, kept for IngestWait
+	started time.Time
+	batches sync.Pool // *[]backend.Event parse/ingest buffers
 
 	mu   sync.Mutex
 	sups []*supervisor // readers under supervision (supervisor.go)
@@ -43,7 +51,8 @@ func New(p *backend.Pipeline, opts ...Option) *Service {
 	if p == nil {
 		p = backend.NewPipeline(nil)
 	}
-	s := &Service{pipeline: p, logf: log.Printf}
+	s := &Service{pipeline: p, logf: log.Printf, live: obs.NewLive(), started: time.Now()}
+	s.batches.New = func() any { b := make([]backend.Event, 0, 64); return &b }
 	for _, o := range opts {
 		o(s)
 	}
@@ -60,11 +69,20 @@ func (s *Service) Pipeline() *backend.Pipeline { return s.pipeline }
 // Sightings returns how many sightings have closed so far.
 func (s *Service) Sightings() int64 { return s.sightings.Load() }
 
-// IngestTagList feeds one reader poll result into the pipeline. Event
-// times from distinct passes are spread apart so sightings from different
-// passes never merge.
+// IngestTagList feeds one reader poll result into the pipeline as one
+// batch. Event times from distinct passes are spread apart so sightings
+// from different passes never merge. With an ingestor running
+// (StartIngest), the parsed batch is handed to the async pipeline and
+// this returns as soon as it is queued; otherwise the batch is ingested
+// synchronously. Parse buffers are pooled, so steady-state polls do not
+// allocate beyond what encoding/xml already did.
 func (s *Service) IngestTagList(list readerapi.TagListXML) error {
+	if len(list.Tags) == 0 {
+		return nil
+	}
 	var firstErr error
+	bp := s.batches.Get().(*[]backend.Event)
+	batch := (*bp)[:0]
 	for _, tag := range list.Tags {
 		code, err := epc.ParseHex(tag.EPC)
 		if err != nil {
@@ -73,14 +91,40 @@ func (s *Service) IngestTagList(list readerapi.TagListXML) error {
 			}
 			continue
 		}
-		s.pipeline.Ingest(backend.Event{
+		batch = append(batch, backend.Event{
 			EPC:      code,
 			Location: tag.Reader,
 			Antenna:  tag.Antenna,
 			Time:     float64(tag.Pass)*100 + tag.Time,
 		})
 	}
+	*bp = batch
+	if len(batch) == 0 {
+		s.batches.Put(bp)
+		return firstErr
+	}
+	if ing := s.ing.Load(); ing != nil {
+		ing.submit(bp)
+		return firstErr
+	}
+	s.ingestNow(bp)
 	return firstErr
+}
+
+// ingestNow runs one parsed batch through the pipeline synchronously,
+// records its counters, and recycles the buffer.
+func (s *Service) ingestNow(bp *[]backend.Event) {
+	batch := *bp
+	start := time.Now()
+	closed := s.pipeline.IngestBatch(batch)
+	micros := time.Since(start).Microseconds()
+	s.live.Inc(obs.CtrIngestBatches)
+	s.live.Add(obs.CtrIngestEvents, uint64(len(batch)))
+	s.live.Add(obs.CtrIngestClosed, uint64(closed))
+	s.live.Observe(obs.HistIngestBatch, uint64(len(batch)))
+	s.live.Observe(obs.HistIngestMicros, uint64(micros))
+	*bp = batch[:0]
+	s.batches.Put(bp)
 }
 
 // Poll drains one reader and ingests the result. The context bounds the
@@ -129,11 +173,59 @@ type StateResponse struct {
 	Sightings int64      `json:"sightings"`
 }
 
+// StatsResponse is the GET /api/stats document: the live ingest counters
+// (DESIGN.md §11), batch-size and batch-latency histograms, and per-shard
+// store occupancy.
+type StatsResponse struct {
+	UptimeSeconds  float64             `json:"uptime_seconds"`
+	EventsPerSec   float64             `json:"events_per_sec"`
+	Counters       map[string]uint64   `json:"counters"`
+	BatchSize      obs.HistSnapshot    `json:"batch_size"`
+	BatchMicros    obs.HistSnapshot    `json:"batch_micros"`
+	PipelineShards int                 `json:"pipeline_shards"`
+	StoreShards    []backend.ShardStat `json:"store_shards"`
+	Queue          *QueueStats         `json:"queue,omitempty"`
+}
+
+// QueueStats describes the async ingest queue, when one is running.
+type QueueStats struct {
+	Depth   int `json:"depth"`   // configured capacity
+	Length  int `json:"length"`  // batches waiting right now
+	Workers int `json:"workers"`
+}
+
+// Stats assembles the current ingest statistics. Safe to call while
+// ingestion is in flight.
+func (s *Service) Stats() StatsResponse {
+	snap := s.live.Snapshot()
+	resp := StatsResponse{
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Counters:       make(map[string]uint64),
+		BatchSize:      snap.Histograms["ingest.batch_size"],
+		BatchMicros:    snap.Histograms["ingest.batch_micros"],
+		PipelineShards: s.pipeline.Shards(),
+		StoreShards:    s.pipeline.Store().ShardStats(),
+	}
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "ingest.") {
+			resp.Counters[name] = v
+		}
+	}
+	if resp.UptimeSeconds > 0 {
+		resp.EventsPerSec = float64(resp.Counters["ingest.events"]) / resp.UptimeSeconds
+	}
+	if ing := s.ing.Load(); ing != nil {
+		resp.Queue = &QueueStats{Depth: cap(ing.queue), Length: len(ing.queue), Workers: ing.workers}
+	}
+	return resp
+}
+
 // Handler returns the JSON API:
 //
 //	GET /api/tags               every tracked tag with its last location
 //	GET /api/history?epc=HEX    a tag's sighting history (404 unknown EPC)
 //	GET /api/health             per-reader supervision state
+//	GET /api/stats              live ingest counters and shard occupancy
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/tags", func(w http.ResponseWriter, _ *http.Request) {
@@ -165,6 +257,9 @@ func (s *Service) Handler() http.Handler {
 			history = []backend.Sighting{}
 		}
 		s.writeJSON(w, history)
+	})
+	mux.HandleFunc("GET /api/stats", func(w http.ResponseWriter, _ *http.Request) {
+		s.writeJSON(w, s.Stats())
 	})
 	mux.HandleFunc("GET /api/health", func(w http.ResponseWriter, _ *http.Request) {
 		health := s.Health()

@@ -253,11 +253,17 @@ type (
 	// GroupConstraint infers sightings for group members that travel
 	// together.
 	GroupConstraint = backend.Group
+	// PipelineConfig sizes a sharded fleet-scale pipeline.
+	PipelineConfig = backend.Config
 )
 
 // NewPipeline builds a back-end pipeline; a nil smoother defaults to a 2 s
 // fixed window.
 func NewPipeline(s backend.Smoother) *Pipeline { return backend.NewPipeline(s) }
+
+// NewShardedPipeline builds an EPC-hash-sharded pipeline for fleet-scale
+// batched ingestion (DESIGN.md §11).
+func NewShardedPipeline(cfg PipelineConfig) *Pipeline { return backend.NewShardedPipeline(cfg) }
 
 // NewWindowSmoother returns the classic fixed-window cleaner.
 func NewWindowSmoother(window float64) *backend.WindowSmoother {
