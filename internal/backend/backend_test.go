@@ -3,6 +3,7 @@ package backend
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"rfidtrack/internal/epc"
 )
@@ -42,6 +43,50 @@ func TestWindowSmootherMergesAndCloses(t *testing.T) {
 	}
 	if len(s.Flush(11)) != 0 {
 		t.Error("second flush should be empty")
+	}
+}
+
+func TestExpiryQueuePopsAscending(t *testing.T) {
+	// Push deadlines in an adversarial order (a fixed LCG permutation so
+	// the run is deterministic) and require pops to come back sorted —
+	// this pins the sift-down walking the whole heap, not just one level.
+	var q expiryQueue
+	const n = 257
+	seed := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		q.push(expiryEntry{key: sightingKey{code: code(uint64(i)), loc: "dock"}, at: float64(seed % 1000)})
+	}
+	prev := -1.0
+	for i := 0; i < n; i++ {
+		e := q.pop()
+		if e.at < prev {
+			t.Fatalf("pop %d returned at=%v after %v; heap order broken", i, e.at, prev)
+		}
+		prev = e.at
+	}
+	if len(q) != 0 {
+		t.Fatalf("queue not empty after %d pops: %d left", n, len(q))
+	}
+}
+
+func TestWindowSmootherSweepClosesAllLapsed(t *testing.T) {
+	// Many tags go silent at staggered times; one late event must close
+	// every lapsed sighting at once, including ones buried deep in the
+	// expiry heap — not just whichever happens to sit at the root.
+	s := NewWindowSmoother(1.0)
+	const n = 64
+	for i := uint64(0); i < n; i++ {
+		s.Observe(Event{EPC: code(i), Location: "dock", Time: float64(i) * 0.01})
+	}
+	closed := s.Observe(Event{EPC: code(n), Location: "dock", Time: 100})
+	if len(closed) != n {
+		t.Fatalf("sweep closed %d sightings, want %d", len(closed), n)
+	}
+	for i := 1; i < len(closed); i++ {
+		if closed[i].First < closed[i-1].First {
+			t.Fatalf("closures out of order at %d: %+v", i, closed)
+		}
 	}
 }
 
@@ -157,6 +202,40 @@ func TestPipelineRules(t *testing.T) {
 	}
 	if loc, ok := p.Store().LocationOf(code(1)); !ok || loc.Name != "dock" {
 		t.Errorf("store location = %+v", loc)
+	}
+}
+
+func TestPipelineRulePanicDoesNotWedgeShard(t *testing.T) {
+	p := NewPipeline(NewWindowSmoother(0.5))
+	p.AddRule(Rule{Name: "boom", Action: func(Sighting) { panic("boom") }})
+	panicked := false
+	func() {
+		defer func() { panicked = recover() != nil }()
+		p.Ingest(Event{EPC: code(1), Location: "dock", Time: 0})
+		p.Ingest(Event{EPC: code(1), Location: "dock", Time: 5}) // closes → rule panics
+	}()
+	if !panicked {
+		t.Fatal("rule panic did not propagate")
+	}
+	// The shard lock must have been released on the way out: further
+	// ingest and flush on the same shard must not deadlock.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Both calls may fire the rule again; only wedging is a failure.
+		func() {
+			defer func() { recover() }()
+			p.IngestBatch([]Event{{EPC: code(1), Location: "gate", Time: 6}})
+		}()
+		func() {
+			defer func() { recover() }()
+			p.Flush(20)
+		}()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shard wedged after rule panic")
 	}
 }
 

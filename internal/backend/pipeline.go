@@ -140,6 +140,7 @@ func (p *Pipeline) commit(closed []Sighting, rules []Rule) {
 func (p *Pipeline) ingestShard(sh *pipeShard, events []Event) int {
 	rules := p.ruleset()
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	closed := sh.closed[:0]
 	if bs, ok := sh.smoother.(batchSmoother); ok {
 		for i := range events {
@@ -152,7 +153,6 @@ func (p *Pipeline) ingestShard(sh *pipeShard, events []Event) int {
 	}
 	sh.closed = closed[:0]
 	p.commit(closed, rules)
-	sh.mu.Unlock()
 	return len(closed)
 }
 
@@ -193,6 +193,7 @@ func (p *Pipeline) Ingest(ev Event) []Sighting {
 	sh := &p.shards[hashEPC(ev.EPC)&p.mask]
 	rules := p.ruleset()
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	var closed []Sighting
 	if bs, ok := sh.smoother.(batchSmoother); ok {
 		closed = bs.ObserveAppend(ev, nil)
@@ -200,7 +201,6 @@ func (p *Pipeline) Ingest(ev Event) []Sighting {
 		closed = sh.smoother.Observe(ev)
 	}
 	p.commit(closed, rules)
-	sh.mu.Unlock()
 	return closed
 }
 
@@ -209,18 +209,22 @@ func (p *Pipeline) Flush(now float64) []Sighting {
 	rules := p.ruleset()
 	var all []Sighting
 	for i := range p.shards {
-		sh := &p.shards[i]
-		sh.mu.Lock()
-		var closed []Sighting
-		if bs, ok := sh.smoother.(batchSmoother); ok {
-			closed = bs.FlushAppend(now, nil)
-		} else {
-			closed = sh.smoother.Flush(now)
-		}
-		p.commit(closed, rules)
-		sh.mu.Unlock()
-		all = append(all, closed...)
+		all = append(all, p.flushShard(&p.shards[i], now, rules)...)
 	}
 	sortSightings(all)
 	return all
+}
+
+// flushShard flushes one shard under its lock and commits the closures.
+func (p *Pipeline) flushShard(sh *pipeShard, now float64, rules []Rule) []Sighting {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var closed []Sighting
+	if bs, ok := sh.smoother.(batchSmoother); ok {
+		closed = bs.FlushAppend(now, nil)
+	} else {
+		closed = sh.smoother.Flush(now)
+	}
+	p.commit(closed, rules)
+	return closed
 }

@@ -71,6 +71,7 @@ func (q *expiryQueue) pop() expiryEntry {
 			break
 		}
 		h[i], h[min] = h[min], h[i]
+		i = min
 	}
 	return top
 }

@@ -101,6 +101,7 @@ func (s *Service) IngestWait() {
 func (i *ingestor) submit(bp *[]backend.Event) {
 	select {
 	case i.queue <- bp:
+		i.reapAfterShutdown()
 		return
 	default:
 	}
@@ -113,9 +114,35 @@ func (i *ingestor) submit(bp *[]backend.Event) {
 	}
 	select {
 	case i.queue <- bp:
+		i.reapAfterShutdown()
 	case <-i.done:
 		// Shutting down: ingest inline rather than lose the batch.
 		i.svc.ingestNow(bp)
+	}
+}
+
+// reapAfterShutdown closes the window between a successful enqueue and
+// shutdown: a submitter that loaded the ingestor before the shutdown
+// swap can land its batch in the buffered queue after the workers and
+// the residue sweep have already drained it, leaving the batch stranded.
+// done is closed strictly before the residue sweep starts, so if done is
+// still open here our enqueue happened before the sweep and will be seen
+// by it; if done is closed, the sweep may already be past, and the
+// submitter drains the queue itself (receives are exclusive, so racing
+// with workers or the sweep is harmless).
+func (i *ingestor) reapAfterShutdown() {
+	select {
+	case <-i.done:
+	default:
+		return
+	}
+	for {
+		select {
+		case bp := <-i.queue:
+			i.svc.ingestNow(bp)
+		default:
+			return
+		}
 	}
 }
 
