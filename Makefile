@@ -1,23 +1,33 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race test-short bench bench-diff alloc-guard experiments examples fuzz cover
+.PHONY: all check build vet test test-race test-short bench bench-diff alloc-guard metrics-lint experiments examples fuzz cover
 
 all: build vet test
 
 # check is the pre-merge gate: build, vet, the full test suite, the
-# disabled-instrumentation allocation guard, then the race detector over
-# the reduced-trial (-short) suite — golden experiment sweeps skip under
-# -short, so the race pass stays affordable while still exercising the
-# parallel measurement engine end to end.
-check: build vet test alloc-guard
+# disabled-instrumentation allocation guard, the OpenMetrics exposition
+# lint, then the race detector over the reduced-trial (-short) suite —
+# golden experiment sweeps skip under -short, so the race pass stays
+# affordable while still exercising the parallel measurement engine end
+# to end.
+check: build vet test alloc-guard metrics-lint
 	$(GO) test -race -short ./...
 
 # alloc-guard pins the hot-path allocation contracts: with no Collector
-# attached ResolveLink must not allocate (DESIGN.md §8), and the
-# budget-terms cache's hit path must stay allocation-free with the cache
-# enabled (DESIGN.md §9).
+# attached ResolveLink must not allocate (DESIGN.md §8), the budget-terms
+# cache's hit path must stay allocation-free with the cache enabled
+# (DESIGN.md §9), and the sharded ingest steady state must stay at
+# 0 allocs/op (DESIGN.md §11–12).
 alloc-guard:
 	$(GO) test -run 'TestResolveLinkZeroAllocWhenDisabled|TestResolveLinkCacheHitZeroAlloc' -count=1 ./internal/world
+	$(GO) test -run 'TestIngestBatchZeroAlloc' -count=1 ./internal/backend
+
+# metrics-lint validates the live OpenMetrics exposition end to end: the
+# strict well-formedness parser (internal/obs/omlint.go) is run against
+# the bytes GET /metrics actually serves, with every counter, histogram,
+# and gauge family populated (DESIGN.md §12).
+metrics-lint:
+	$(GO) test -run 'TestMetricsEndpointWellFormed|TestWriteOpenMetricsWellFormed|TestWriteOpenMetricsDeterministic' -count=1 ./internal/tracksvc ./internal/obs
 
 build:
 	$(GO) build ./...

@@ -47,22 +47,22 @@ type Config struct {
 
 // Report is the run summary (the -json document).
 type Report struct {
-	Portals       int     `json:"portals"`
-	Shards        int     `json:"shards"`
-	StoreShards   int     `json:"store_shards"`
-	Workers       int     `json:"workers"`
-	BatchSize     int     `json:"batch_size"`
-	TemplateReads int     `json:"template_reads"` // events in one portal's template pass
-	Events        uint64  `json:"events"`
-	Batches       uint64  `json:"batches"`
-	Closed        uint64  `json:"closed_sightings"`
-	Tags          int     `json:"tags"`
-	Seconds       float64 `json:"seconds"`
-	EventsPerSec  float64 `json:"events_per_sec"`
-	P50Micros     float64 `json:"p50_micros"`
-	P95Micros     float64 `json:"p95_micros"`
-	P99Micros     float64 `json:"p99_micros"`
-	BytesPerEvent float64 `json:"bytes_per_event"`
+	Portals        int     `json:"portals"`
+	Shards         int     `json:"shards"`
+	StoreShards    int     `json:"store_shards"`
+	Workers        int     `json:"workers"`
+	BatchSize      int     `json:"batch_size"`
+	TemplateReads  int     `json:"template_reads"` // events in one portal's template pass
+	Events         uint64  `json:"events"`
+	Batches        uint64  `json:"batches"`
+	Closed         uint64  `json:"closed_sightings"`
+	Tags           int     `json:"tags"`
+	Seconds        float64 `json:"seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	P50Micros      float64 `json:"p50_micros"`
+	P95Micros      float64 `json:"p95_micros"`
+	P99Micros      float64 `json:"p99_micros"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 }
 

@@ -7,6 +7,9 @@
 //	obsreport RUN.manifest.json            render one manifest
 //	obsreport -old A.json -new B.json      compare two manifests
 //	obsreport -top 30 RUN.manifest.json    widen the opportunity table
+//	obsreport -scrape URL|FILE             render a live /metrics exposition
+//	obsreport -scrape-old A -scrape-new B  diff two scrapes (URL or file each)
+//	obsreport -live URL                    render a service's /api/stats + /api/health
 //
 // Render mode prints the run header (seed, workers, revision, timings),
 // every counter, each histogram, and the per-(tag, antenna) read
@@ -14,16 +17,28 @@
 // links caused correlated misses when redundancy underperforms the
 // R_C = 1 − Π(1−Pᵢ) independence model. Compare mode diffs the counters
 // and per-opportunity read rates of two runs.
+//
+// Scrape mode (DESIGN.md §12) speaks to the running service instead of a
+// finished run: -scrape fetches (or reads) an OpenMetrics exposition —
+// trackd's or readerd's GET /metrics — validates it, and renders every
+// family; -scrape-old/-scrape-new diff two scrapes series by series, the
+// live analogue of manifest compare; -live renders the operator's
+// one-glance view from trackd's JSON endpoints, including the streaming
+// reliability verdict when the SLO monitor is enabled.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"rfidtrack/internal/obs"
 )
@@ -34,9 +49,37 @@ func main() {
 	oldPath := flag.String("old", "", "compare mode: baseline manifest")
 	newPath := flag.String("new", "", "compare mode: candidate manifest")
 	top := flag.Int("top", 20, "render mode: opportunity rows to show (0 = all)")
+	scrape := flag.String("scrape", "", "render a live OpenMetrics exposition (URL or file)")
+	scrapeOld := flag.String("scrape-old", "", "scrape-compare mode: baseline exposition (URL or file)")
+	scrapeNew := flag.String("scrape-new", "", "scrape-compare mode: candidate exposition (URL or file)")
+	liveURL := flag.String("live", "", "render a tracking service's /api/stats and /api/health (base URL)")
 	flag.Parse()
 
 	switch {
+	case *scrape != "":
+		fams, err := fetchExposition(*scrape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(renderScrape(fams))
+	case *scrapeOld != "" && *scrapeNew != "":
+		a, err := fetchExposition(*scrapeOld)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := fetchExposition(*scrapeNew)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(compareScrapes(*scrapeOld, *scrapeNew, a, b))
+	case *scrapeOld != "" || *scrapeNew != "":
+		log.Fatal("scrape-compare mode needs both -scrape-old and -scrape-new")
+	case *liveURL != "":
+		out, err := renderLive(*liveURL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
 	case *oldPath != "" && *newPath != "":
 		a, err := obs.ReadManifest(*oldPath)
 		if err != nil {
@@ -56,9 +99,179 @@ func main() {
 		}
 		fmt.Print(render(m, *top))
 	default:
-		fmt.Fprintln(os.Stderr, "usage: obsreport MANIFEST.json | obsreport -old A.json -new B.json")
+		fmt.Fprintln(os.Stderr, "usage: obsreport MANIFEST.json | obsreport -old A.json -new B.json |")
+		fmt.Fprintln(os.Stderr, "       obsreport -scrape URL|FILE | obsreport -scrape-old A -scrape-new B |")
+		fmt.Fprintln(os.Stderr, "       obsreport -live URL")
 		os.Exit(2)
 	}
+}
+
+// fetchExposition loads an OpenMetrics exposition from an http(s) URL or
+// a local file and parses (and thereby validates) it.
+func fetchExposition(target string) ([]obs.Family, error) {
+	var r io.ReadCloser
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		hc := &http.Client{Timeout: 10 * time.Second}
+		resp, err := hc.Get(target)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("scrape %s: status %s", target, resp.Status)
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(target)
+		if err != nil {
+			return nil, err
+		}
+		r = f
+	}
+	defer r.Close()
+	fams, err := obs.ParseExposition(r)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", target, err)
+	}
+	return fams, nil
+}
+
+// seriesKey is one sample's identity within a scrape.
+func seriesKey(s obs.ParsedSample) string {
+	if s.Labels == "" {
+		return s.Name
+	}
+	return s.Name + "{" + s.Labels + "}"
+}
+
+// renderScrape formats one live exposition for terminal reading:
+// counters and gauges as aligned name/value rows, histograms as their
+// cumulative buckets with proportional bars.
+func renderScrape(fams []obs.Family) string {
+	var sb strings.Builder
+	for _, f := range fams {
+		switch f.Type {
+		case "histogram":
+			var total uint64
+			for _, s := range f.Samples {
+				if strings.HasSuffix(s.Name, "_count") {
+					total = uint64(s.Value)
+				}
+			}
+			fmt.Fprintf(&sb, "%s (histogram) n=%d  # %s\n", f.Name, total, f.Help)
+			for _, s := range f.Samples {
+				if !strings.HasSuffix(s.Name, "_bucket") {
+					continue
+				}
+				fmt.Fprintf(&sb, "    le %-8s %10.0f %s\n", s.Label("le"), s.Value, bar(uint64(s.Value), total))
+			}
+		default:
+			fmt.Fprintf(&sb, "%s (%s)  # %s\n", f.Name, f.Type, f.Help)
+			for _, s := range f.Samples {
+				name := seriesKey(s)
+				fmt.Fprintf(&sb, "    %-48s %12g\n", strings.TrimPrefix(name, f.Name), s.Value)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// compareScrapes diffs two live expositions series by series, largest
+// absolute change first, skipping histogram buckets (the _sum and _count
+// series carry the comparison).
+func compareScrapes(oldName, newName string, a, b []obs.Family) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "old: %s\nnew: %s\n\n", oldName, newName)
+	va, vb := map[string]float64{}, map[string]float64{}
+	for _, f := range a {
+		for _, s := range f.Samples {
+			if !strings.HasSuffix(s.Name, "_bucket") {
+				va[seriesKey(s)] = s.Value
+			}
+		}
+	}
+	for _, f := range b {
+		for _, s := range f.Samples {
+			if !strings.HasSuffix(s.Name, "_bucket") {
+				vb[seriesKey(s)] = s.Value
+			}
+		}
+	}
+	keys := map[string]bool{}
+	for k := range va {
+		keys[k] = true
+	}
+	for k := range vb {
+		keys[k] = true
+	}
+	names := sortedKeys(keys)
+	sort.SliceStable(names, func(i, j int) bool {
+		return math.Abs(vb[names[i]]-va[names[i]]) > math.Abs(vb[names[j]]-va[names[j]])
+	})
+	for _, k := range names {
+		mark := ""
+		if va[k] != vb[k] {
+			mark = "  *"
+		}
+		fmt.Fprintf(&sb, "  %-52s %12g -> %-12g%s\n", k, va[k], vb[k], mark)
+	}
+	return sb.String()
+}
+
+// renderLive fetches and formats the service's operator view: health
+// (breakers, SLO verdict) and stats (ingest counters, queue, shards).
+func renderLive(base string) (string, error) {
+	base = strings.TrimRight(base, "/")
+	hc := &http.Client{Timeout: 10 * time.Second}
+	var health, stats map[string]any
+	for path, dst := range map[string]*map[string]any{
+		"/api/health": &health,
+		"/api/stats":  &stats,
+	} {
+		resp, err := hc.Get(base + path)
+		if err != nil {
+			return "", err
+		}
+		err = json.NewDecoder(resp.Body).Decode(dst)
+		resp.Body.Close()
+		if err != nil {
+			return "", fmt.Errorf("GET %s%s: %w", base, path, err)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "service: %s  status=%v  sightings=%v  uptime=%.0fs\n",
+		base, health["status"], health["sightings"], num(stats["uptime_seconds"]))
+	if readers, ok := health["readers"].([]any); ok && len(readers) > 0 {
+		sb.WriteString("readers:\n")
+		for _, r := range readers {
+			m, _ := r.(map[string]any)
+			fmt.Fprintf(&sb, "  %-32v breaker=%-9v polls=%v failures=%v retries=%v opens=%v\n",
+				m["name"], m["breaker"], m["polls"], m["failures"], m["retries"], m["breaker_opens"])
+		}
+	}
+	if slo, ok := health["slo"].(map[string]any); ok {
+		fmt.Fprintf(&sb, "slo: verdict=%v reliability=%.4f target=%v window=%vs population=%v\n",
+			slo["verdict"], num(slo["reliability"]), slo["target"], slo["window_seconds"], slo["population"])
+		if rs, ok := slo["readers"].([]any); ok {
+			for _, r := range rs {
+				m, _ := r.(map[string]any)
+				fmt.Fprintf(&sb, "  %-32v rate=%.4f tags=%v\n", m["name"], num(m["rate"]), m["tags"])
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "ingest: %.0f events/s  queue=%v\n", num(stats["events_per_sec"]), stats["queue"])
+	if counters, ok := stats["counters"].(map[string]any); ok {
+		for _, k := range sortedKeys(counters) {
+			fmt.Fprintf(&sb, "  %-22s %12.0f\n", k, num(counters[k]))
+		}
+	}
+	return sb.String(), nil
+}
+
+// num coerces a decoded JSON value to float64 (0 when absent).
+func num(v any) float64 {
+	f, _ := v.(float64)
+	return f
 }
 
 // render formats one manifest for terminal reading.

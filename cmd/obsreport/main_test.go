@@ -1,6 +1,10 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -131,5 +135,136 @@ func TestBar(t *testing.T) {
 	}
 	if got := bar(5, 10); got != strings.Repeat("#", 20) {
 		t.Errorf("half bar = %q", got)
+	}
+}
+
+// liveExposition builds a real exposition by populating an obs.Live and
+// rendering its registry — scrape tests exercise the same bytes the
+// service serves.
+func liveExposition(t *testing.T, polls uint64) []byte {
+	t.Helper()
+	live := obs.NewLive()
+	for i := uint64(0); i < polls; i++ {
+		live.Inc(obs.CtrPollAttempts)
+	}
+	live.Observe(obs.HistPollMicros, 500)
+	reg := obs.NewRegistry(live)
+	reg.Gauge("queue_depth", "Test gauge.", func() []obs.Sample {
+		return []obs.Sample{{Value: 3}}
+	})
+	var buf strings.Builder
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	return []byte(buf.String())
+}
+
+func TestScrapeRenderFromFile(t *testing.T) {
+	path := t.TempDir() + "/metrics.txt"
+	if err := os.WriteFile(path, liveExposition(t, 7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := fetchExposition(path)
+	if err != nil {
+		t.Fatalf("fetchExposition(file): %v", err)
+	}
+	got := renderScrape(fams)
+	for _, want := range []string{
+		"rfidtrack_poll_attempts (counter)",
+		"rfidtrack_poll_micros (histogram) n=1",
+		"rfidtrack_queue_depth (gauge)",
+		"_total",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scrape render missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestScrapeRenderFromURL(t *testing.T) {
+	body := liveExposition(t, 2)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		w.Write(body)
+	}))
+	defer srv.Close()
+	fams, err := fetchExposition(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("fetchExposition(url): %v", err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("no families parsed from scrape URL")
+	}
+}
+
+func TestScrapeRejectsMalformed(t *testing.T) {
+	path := t.TempDir() + "/bad.txt"
+	if err := os.WriteFile(path, []byte("rfidtrack_x_total 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fetchExposition(path); err == nil {
+		t.Fatal("malformed exposition accepted")
+	}
+}
+
+func TestCompareScrapes(t *testing.T) {
+	a, err := obs.ParseExposition(strings.NewReader(string(liveExposition(t, 2))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := obs.ParseExposition(strings.NewReader(string(liveExposition(t, 9))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := compareScrapes("A", "B", a, b)
+	for _, want := range []string{
+		"old: A",
+		"new: B",
+		"rfidtrack_poll_attempts_total",
+		"2 -> 9",
+		"*",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scrape compare missing %q:\n%s", want, got)
+		}
+	}
+	// Largest change sorts first: poll_attempts (Δ7) beats the unchanged
+	// queue gauge.
+	if strings.Index(got, "rfidtrack_poll_attempts_total") > strings.Index(got, "rfidtrack_queue_depth") {
+		t.Errorf("scrape compare not sorted by |delta|:\n%s", got)
+	}
+	// Histogram buckets stay out of the diff.
+	if strings.Contains(got, "_bucket") {
+		t.Errorf("scrape compare includes raw buckets:\n%s", got)
+	}
+}
+
+func TestRenderLive(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/health", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, `{"status":"degraded","sightings":12,"readers":[{"name":"r1","breaker":"closed","polls":40,"failures":2,"retries":3,"breaker_opens":1}],"slo":{"verdict":"violating","reliability":0.75,"target":0.99,"window_seconds":30,"population":4,"readers":[{"name":"r1","tags":2,"rate":0.5}]}}`)
+	})
+	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, `{"uptime_seconds":62,"events_per_sec":9.5,"counters":{"ingest.events":590},"queue":{"length":0,"capacity":256}}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	got, err := renderLive(srv.URL)
+	if err != nil {
+		t.Fatalf("renderLive: %v", err)
+	}
+	for _, want := range []string{
+		"status=degraded",
+		"uptime=62s",
+		"breaker=closed",
+		"verdict=violating",
+		"reliability=0.7500",
+		"rate=0.5000",
+		"ingest.events",
+		"590",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("live render missing %q:\n%s", want, got)
+		}
 	}
 }

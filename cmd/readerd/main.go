@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	readerd [-addr :7080] [-scenario warehouse|badges] [-readers N] [-seed N] [-interval 2s] [-fault SPEC]
+//	readerd [-addr :7080] [-scenario warehouse|badges] [-readers N] [-seed N] [-interval 2s]
+//	        [-fault SPEC] [-pprof ADDR]
 //
 // With -readers 2 (warehouse only) the portal runs two redundant readers
 // in Gen-2 dense-reader mode — the paper's reader-redundancy setup —
@@ -17,17 +18,28 @@
 // "random:seed=1,drop=0.2". Use it to watch trackd's retry, breaker, and
 // failover behavior live.
 //
-// Endpoints: GET /api/status, GET /api/taglist, POST /api/taglist/purge.
+// Every reader port also serves GET /metrics: an OpenMetrics exposition
+// of the simulation-side counters (passes, rounds, reads) plus a
+// buffered-events gauge per reader — the producer's half of the live
+// chain, scrapeable alongside trackd's consumer half (DESIGN.md §12).
+// The metrics route bypasses -fault injection: observability stays up
+// while the data plane misbehaves. -pprof serves net/http/pprof and
+// expvar for live profiling.
+//
+// Endpoints: GET /api/status, GET /api/taglist, POST /api/taglist/purge,
+// GET /metrics.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -37,6 +49,7 @@ import (
 
 	"rfidtrack"
 	"rfidtrack/internal/faultinject"
+	"rfidtrack/internal/obs"
 	"rfidtrack/internal/tracksvc"
 )
 
@@ -47,11 +60,45 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	interval := flag.Duration("interval", 2*time.Second, "real time between simulated passes")
 	fault := flag.String("fault", "", "fault-injection spec applied to every reader (see internal/faultinject)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6061)")
 	flag.Parse()
 
 	portal, err := buildPortal(*scenarioName, *readers, *seed)
 	if err != nil {
 		log.Fatalf("readerd: %v", err)
+	}
+
+	// The producer-side live metrics: pass/round/read counters written by
+	// the pass driver, buffered-events gauges sampled at scrape time.
+	live := obs.NewLive()
+	reg := obs.NewRegistry(live)
+	reg.Gauge("reader_buffered_events",
+		"Events waiting in each simulated reader's buffered-mode store.",
+		func() []obs.Sample {
+			out := make([]obs.Sample, len(portal.Readers))
+			for i, r := range portal.Readers {
+				out[i] = obs.Sample{
+					Labels: []obs.Label{{Key: "reader", Value: r.Name()}},
+					Value:  float64(len(r.Buffer())),
+				}
+			}
+			return out
+		})
+	metricsHandler := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		if err := reg.WriteOpenMetrics(w); err != nil {
+			log.Printf("readerd: metrics: %v", err)
+		}
+	})
+
+	if *pprofAddr != "" {
+		expvar.Publish("rfidtrack_live", expvar.Func(func() any { return live.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("readerd: pprof server: %v", err)
+			}
+		}()
+		log.Printf("readerd: pprof and expvar on http://%s/debug/pprof", *pprofAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -60,6 +107,10 @@ func main() {
 	// Drive passes in the background; each pass is instantaneous in
 	// simulation time and paced by -interval in real time.
 	go tracksvc.DrivePasses(ctx, portal, *interval, func(pass int, res rfidtrack.PassResult) {
+		live.Inc(obs.CtrPasses)
+		live.Add(obs.CtrRounds, uint64(res.Rounds))
+		live.Add(obs.CtrReads, uint64(len(res.Events)))
+		live.Observe(obs.HistRoundsPerPass, uint64(res.Rounds))
 		log.Printf("pass %d: %d reads, %d rounds", pass, len(res.Events), res.Rounds)
 	})
 
@@ -80,7 +131,12 @@ func main() {
 			handler = inj.Middleware(handler)
 			log.Printf("readerd: reader %q serving with injected fault %q", r.Name(), *fault)
 		}
-		srv := &http.Server{Addr: readerAddr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+		// /metrics routes around the injector: the scrape endpoint must
+		// stay reliable precisely when the data plane is being faulted.
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", metricsHandler)
+		mux.Handle("/", handler)
+		srv := &http.Server{Addr: readerAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			<-ctx.Done()
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)

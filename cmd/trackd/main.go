@@ -14,28 +14,41 @@
 // the deployment's tag population; -ingest-queue and -ingest-drop pick the
 // backpressure policy when readers outrun the cleaners.
 //
+// The live chain is observable end to end (DESIGN.md §12): GET /metrics
+// serves every poll/ingest/breaker counter, stage-latency histogram, and
+// queue/shard/SLO gauge in OpenMetrics text for any Prometheus-style
+// scraper; -trace streams per-cycle lifecycle events (poll → parse →
+// apply → close → visible, one cycle ID end to end) as JSONL; -slo-target
+// enables the streaming reliability monitor, whose live R_C estimate and
+// verdict ride GET /api/health and the exported gauges; -pprof serves
+// net/http/pprof and expvar for live profiling.
+//
 // Usage:
 //
 //	trackd [-addr :7090] [-readers http://host:7080,http://host2:7080] [-poll 1s]
 //	       [-window 2.0] [-request-timeout 5s] [-retries 3] [-backoff 50ms]
 //	       [-breaker-failures 3] [-breaker-open 2s] [-jitter-seed 1]
 //	       [-shards 1] [-store-shards 32] [-ingest-queue 256]
-//	       [-ingest-workers 1] [-ingest-drop]
+//	       [-ingest-workers 1] [-ingest-drop] [-pprof ADDR] [-trace FILE]
+//	       [-slo-target 0.99] [-slo-window 30s]
 //
 // Endpoints:
 //
 //	GET /api/tags               every tracked tag with its last location
 //	GET /api/history?epc=HEX    a tag's sighting history (404 unknown EPC)
-//	GET /api/health             per-reader breaker state and poll counters
+//	GET /api/health             per-reader breaker state, poll counters, SLO verdict
 //	GET /api/stats              live ingest counters and shard occupancy
+//	GET /metrics                OpenMetrics exposition of the live chain
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -43,6 +56,7 @@ import (
 	"time"
 
 	"rfidtrack/internal/backend"
+	"rfidtrack/internal/obs"
 	"rfidtrack/internal/readerapi"
 	"rfidtrack/internal/tracksvc"
 )
@@ -64,6 +78,10 @@ func main() {
 	ingestQueue := flag.Int("ingest-queue", 256, "async ingest queue depth, in batches")
 	ingestWorkers := flag.Int("ingest-workers", 1, "async ingest workers (1 preserves cross-batch order)")
 	ingestDrop := flag.Bool("ingest-drop", false, "shed batches when the ingest queue is full instead of blocking polls")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	tracePath := flag.String("trace", "", "write a JSONL event-lifecycle trace to this file")
+	sloTarget := flag.Float64("slo-target", 0, "detection-reliability SLO target in (0,1]; 0 disables the reliability monitor")
+	sloWindow := flag.Duration("slo-window", 30*time.Second, "reliability monitor sliding window")
 	flag.Parse()
 
 	newSmoother := func() backend.Smoother {
@@ -72,11 +90,48 @@ func main() {
 		}
 		return backend.NewAdaptiveSmoother()
 	}
+	opts := []tracksvc.Option{}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("trackd: %v", err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				log.Printf("trackd: trace: %v", err)
+			}
+		}()
+		opts = append(opts, tracksvc.WithTracer(tracer))
+	}
+	if *sloTarget > 0 {
+		opts = append(opts, tracksvc.WithSLO(tracksvc.SLOConfig{
+			Window: *sloWindow,
+			Target: *sloTarget,
+		}))
+	}
 	svc := tracksvc.New(backend.NewShardedPipeline(backend.Config{
 		Shards:      *shards,
 		NewSmoother: newSmoother,
 		StoreShards: *storeShards,
-	}))
+	}), opts...)
+
+	if *pprofAddr != "" {
+		// The expvar mirrors the /metrics content as raw JSON for tools
+		// that speak expvar rather than OpenMetrics.
+		expvar.Publish("rfidtrack_live", expvar.Func(func() any {
+			return svc.Metrics().Live().Snapshot()
+		}))
+		go func() {
+			// The default mux carries /debug/pprof and /debug/vars.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("trackd: pprof server: %v", err)
+			}
+		}()
+		log.Printf("trackd: pprof and expvar on http://%s/debug/pprof", *pprofAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,29 @@
+package backend
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// TestIngestBatchZeroAlloc pins the ingest hot path's allocation
+// contract (DESIGN.md §12) as a unit test so `make alloc-guard` catches
+// a regression without running the full benchmark suite: once the maps,
+// heap, and pools are warm, the smoothing steady state must not allocate
+// per batch. GC is paused for the measurement — a collection mid-run
+// empties the routing-buffer sync.Pools, whose refill is pool behavior,
+// not an ingest-path regression.
+func TestIngestBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates (and sync.Pool deliberately drops puts under -race)")
+	}
+	p := NewShardedPipeline(Config{
+		Shards:      4,
+		NewSmoother: func() Smoother { return NewWindowSmoother(1e18) },
+	})
+	batch := benchBatch(256, 512, 0)
+	p.IngestBatch(batch) // warm maps, heap, pools
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if avg := testing.AllocsPerRun(100, func() { p.IngestBatch(batch) }); avg != 0 {
+		t.Fatalf("IngestBatch allocates %.1f allocs/op in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package backend
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation (and sync.Pool bypassing) allocates on
+// paths that are allocation-free in production builds.
+const raceEnabled = true

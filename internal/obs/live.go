@@ -15,6 +15,11 @@ import "sync/atomic"
 type Live struct {
 	counters [numCounters]atomic.Uint64
 	hists    [numHistograms][histBuckets]atomic.Uint64
+	// sums accumulate the raw observed values per histogram — Collector
+	// does not track these (its deterministic histograms are compared
+	// across worker counts, where bucket counts suffice), but the
+	// OpenMetrics exposition needs a _sum series per histogram.
+	sums [numHistograms]atomic.Uint64
 }
 
 // NewLive returns an empty live metric set.
@@ -50,6 +55,7 @@ func (l *Live) Observe(h Histogram, v uint64) {
 	}
 	i := bucketFor(v)
 	l.hists[h][i].Add(1)
+	l.sums[h].Add(v)
 }
 
 // Snapshot renders the current values in the same shape as
@@ -72,7 +78,9 @@ func (l *Live) Snapshot() Snapshot {
 		for b := 0; b < histBuckets; b++ {
 			h.buckets[b] = l.hists[i][b].Load()
 		}
-		s.Histograms[histogramNames[i]] = snapHist(&h)
+		hs := snapHist(&h)
+		hs.Sum = l.sums[i].Load()
+		s.Histograms[histogramNames[i]] = hs
 	}
 	return s
 }

@@ -102,16 +102,30 @@ const (
 	HistIngestBatch                    // ingest.batch_size (events per ingested batch)
 	HistIngestMicros                   // ingest.batch_micros (wall µs per ingested batch)
 
+	// The event-lifecycle stage latencies (DESIGN.md §12): one poll cycle
+	// is poll (HTTP round trip) → parse (XML to events) → apply (pipeline
+	// ingest + store commit), and freshness is the end-to-end distance
+	// from the poll's start (the reader-observation proxy) to store
+	// visibility. All wall-clock microseconds, so nondeterministic.
+	HistPollMicros      // poll.micros
+	HistParseMicros     // parse.micros
+	HistApplyMicros     // apply.micros
+	HistFreshnessMicros // freshness.micros
+
 	numHistograms
 )
 
 var histogramNames = [numHistograms]string{
-	HistRoundsPerPass: "pass.rounds",
-	HistSlotsPerRound: "round.slots",
-	HistReadsPerRound: "round.reads",
-	HistPassSimMillis: "pass.sim_ms",
-	HistIngestBatch:   "ingest.batch_size",
-	HistIngestMicros:  "ingest.batch_micros",
+	HistRoundsPerPass:   "pass.rounds",
+	HistSlotsPerRound:   "round.slots",
+	HistReadsPerRound:   "round.reads",
+	HistPassSimMillis:   "pass.sim_ms",
+	HistIngestBatch:     "ingest.batch_size",
+	HistIngestMicros:    "ingest.batch_micros",
+	HistPollMicros:      "poll.micros",
+	HistParseMicros:     "parse.micros",
+	HistApplyMicros:     "apply.micros",
+	HistFreshnessMicros: "freshness.micros",
 }
 
 // Outcome classifies one (tag, antenna) read opportunity — one inventory

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A strict parser for the OpenMetrics text exposition, used two ways:
+// `make metrics-lint` runs it over the service's real `GET /metrics`
+// output to gate well-formedness in CI, and cmd/obsreport uses the
+// parsed families to render and diff live scrapes. Strictness is the
+// point — every violation it can detect (missing metadata, duplicate
+// series, non-monotone histogram buckets, missing terminator) is a
+// dashboard-breaking bug, so parse errors are lint failures.
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string // family name, without sample suffixes
+	Type    string // "counter", "gauge", "histogram", ...
+	Help    string
+	Samples []ParsedSample
+}
+
+// ParsedSample is one parsed series sample.
+type ParsedSample struct {
+	Name   string  // full sample name (with _total/_bucket/... suffix)
+	Labels string  // raw label block without braces ("" when unlabeled)
+	Value  float64 // NaN never appears in our expositions
+}
+
+// Label returns the value of the named label on the sample, or "".
+func (s ParsedSample) Label(key string) string {
+	for _, part := range strings.Split(s.Labels, ",") {
+		if k, v, ok := strings.Cut(part, "="); ok && k == key {
+			return strings.Trim(v, `"`)
+		}
+	}
+	return ""
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// sampleSuffixes lists the sample-name suffixes each family type may use
+// beyond the bare family name.
+var sampleSuffixes = map[string][]string{
+	"counter":   {"_total"},
+	"gauge":     {""},
+	"histogram": {"_bucket", "_sum", "_count"},
+}
+
+// ParseExposition parses and validates an OpenMetrics text exposition.
+// It enforces: HELP/TYPE metadata before samples, one family per name,
+// family-contiguous samples with type-legal suffixes, no duplicate
+// series, cumulative non-decreasing histogram buckets in ascending le
+// order with a final +Inf bucket equal to _count, and the `# EOF`
+// terminator. Any violation returns an error naming the offending line.
+func ParseExposition(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+
+	var fams []Family
+	byName := map[string]int{}
+	seen := map[string]bool{} // sample name + labels → duplicate detection
+	cur := -1                 // index into fams of the open family
+	sawEOF := false
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if sawEOF {
+			return nil, fmt.Errorf("line %d: content after # EOF", lineNo)
+		}
+		switch {
+		case line == "# EOF":
+			sawEOF = true
+		case strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE "):
+			kind := line[2:6]
+			rest := line[7:]
+			name, text, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("line %d: malformed %s line", lineNo, kind)
+			}
+			if !metricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			idx, exists := byName[name]
+			if !exists {
+				fams = append(fams, Family{Name: name})
+				idx = len(fams) - 1
+				byName[name] = idx
+			}
+			if idx != cur && exists {
+				return nil, fmt.Errorf("line %d: family %s declared twice", lineNo, name)
+			}
+			cur = idx
+			if kind == "HELP" {
+				if fams[idx].Help != "" {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				fams[idx].Help = text
+			} else {
+				if fams[idx].Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if _, ok := sampleSuffixes[text]; !ok {
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, text)
+				}
+				fams[idx].Type = text
+			}
+		case strings.HasPrefix(line, "#"):
+			return nil, fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		case strings.TrimSpace(line) == "":
+			return nil, fmt.Errorf("line %d: blank line", lineNo)
+		default:
+			s, err := parseSampleLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if cur < 0 {
+				return nil, fmt.Errorf("line %d: sample %s before any TYPE line", lineNo, s.Name)
+			}
+			fam := &fams[cur]
+			if fam.Type == "" {
+				return nil, fmt.Errorf("line %d: sample %s in family %s with no TYPE", lineNo, s.Name, fam.Name)
+			}
+			if !suffixLegal(fam, s.Name) {
+				return nil, fmt.Errorf("line %d: sample %s does not belong to %s family %s",
+					lineNo, s.Name, fam.Type, fam.Name)
+			}
+			key := s.Name + "{" + s.Labels + "}"
+			if seen[key] {
+				return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+			}
+			seen[key] = true
+			fam.Samples = append(fam.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("exposition does not end with # EOF")
+	}
+	for i := range fams {
+		if fams[i].Type == "histogram" {
+			if err := checkHistogram(&fams[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// parseSampleLine splits `name{labels} value` (timestamps not accepted —
+// our expositions never emit them).
+func parseSampleLine(line string) (ParsedSample, error) {
+	var s ParsedSample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("malformed label block in %q", line)
+		}
+		s.Name = rest[:i]
+		s.Labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return s, fmt.Errorf("sample line %q has no value", line)
+		}
+	}
+	if !metricNameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func suffixLegal(fam *Family, sampleName string) bool {
+	for _, suf := range sampleSuffixes[fam.Type] {
+		if sampleName == fam.Name+suf {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHistogram validates one histogram family: per label set (les
+// stripped), buckets must appear in strictly ascending le order with
+// non-decreasing cumulative counts, end at le="+Inf", and agree with the
+// _count series.
+func checkHistogram(fam *Family) error {
+	type series struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+	}
+	groups := map[string]*series{}
+	group := func(s ParsedSample) *series {
+		var rest []string
+		for _, part := range strings.Split(s.Labels, ",") {
+			if part != "" && !strings.HasPrefix(part, "le=") {
+				rest = append(rest, part)
+			}
+		}
+		sort.Strings(rest)
+		key := strings.Join(rest, ",")
+		g := groups[key]
+		if g == nil {
+			g = &series{}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case fam.Name + "_bucket":
+			g := group(s)
+			le := s.Label("le")
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				var err error
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("%s: bad le %q", fam.Name, le)
+				}
+			}
+			g.les = append(g.les, bound)
+			g.counts = append(g.counts, s.Value)
+		case fam.Name + "_count":
+			g := group(s)
+			g.count, g.hasCnt = s.Value, true
+		}
+	}
+	for key, g := range groups {
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("%s{%s}: le bounds not ascending", fam.Name, key)
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("%s{%s}: bucket counts not monotone", fam.Name, key)
+			}
+		}
+		if n := len(g.les); n == 0 || !math.IsInf(g.les[n-1], 1) {
+			return fmt.Errorf("%s{%s}: missing +Inf bucket", fam.Name, key)
+		}
+		if g.hasCnt && g.counts[len(g.counts)-1] != g.count {
+			return fmt.Errorf("%s{%s}: +Inf bucket %g disagrees with _count %g",
+				fam.Name, key, g.counts[len(g.counts)-1], g.count)
+		}
+	}
+	return nil
+}
+
+// Lint validates an exposition, discarding the parse.
+func Lint(r io.Reader) error {
+	_, err := ParseExposition(r)
+	return err
+}

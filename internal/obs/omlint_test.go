@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintRejects feeds the linter the malformations it exists to catch.
+func TestLintRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the expected error
+	}{
+		{
+			name: "missing EOF",
+			in:   "# HELP a_b X\n# TYPE a_b counter\na_b_total 1\n",
+			want: "# EOF",
+		},
+		{
+			name: "sample before TYPE",
+			in:   "a_b_total 1\n# EOF\n",
+			want: "before any TYPE",
+		},
+		{
+			name: "duplicate series",
+			in:   "# HELP a_b X\n# TYPE a_b gauge\na_b 1\na_b 2\n# EOF\n",
+			want: "duplicate series",
+		},
+		{
+			name: "family declared twice",
+			in: "# HELP a_b X\n# TYPE a_b gauge\na_b 1\n" +
+				"# HELP c_d X\n# TYPE c_d gauge\nc_d 1\n" +
+				"# TYPE a_b gauge\n# EOF\n",
+			want: "declared twice",
+		},
+		{
+			name: "foreign sample suffix",
+			in:   "# HELP a_b X\n# TYPE a_b counter\na_b 1\n# EOF\n",
+			want: "does not belong",
+		},
+		{
+			name: "non-monotone histogram",
+			in: "# HELP h X\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n" +
+				"h_sum 9\nh_count 5\n# EOF\n",
+			want: "not monotone",
+		},
+		{
+			name: "missing +Inf bucket",
+			in: "# HELP h X\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n# EOF\n",
+			want: "+Inf",
+		},
+		{
+			name: "count disagrees with +Inf",
+			in: "# HELP h X\n# TYPE h histogram\n" +
+				"h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 7\n# EOF\n",
+			want: "disagrees",
+		},
+		{
+			name: "bad value",
+			in:   "# HELP a_b X\n# TYPE a_b gauge\na_b banana\n# EOF\n",
+			want: "bad value",
+		},
+		{
+			name: "content after EOF",
+			in:   "# EOF\n# HELP a_b X\n",
+			want: "after # EOF",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Lint(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("lint accepted malformed input:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseExpositionRoundTrip parses a small valid document and checks
+// the family structure comes back intact.
+func TestParseExpositionRoundTrip(t *testing.T) {
+	in := "# HELP rfidtrack_reads Successful reads.\n" +
+		"# TYPE rfidtrack_reads counter\n" +
+		"rfidtrack_reads_total 12\n" +
+		"# HELP rfidtrack_rate Read rate per reader.\n" +
+		"# TYPE rfidtrack_rate gauge\n" +
+		"rfidtrack_rate{reader=\"a\"} 0.5\n" +
+		"rfidtrack_rate{reader=\"b\"} 0.75\n" +
+		"# EOF\n"
+	fams, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("got %d families, want 2", len(fams))
+	}
+	if fams[0].Name != "rfidtrack_reads" || fams[0].Samples[0].Value != 12 {
+		t.Errorf("counter family wrong: %+v", fams[0])
+	}
+	if got := fams[1].Samples[1].Label("reader"); got != "b" {
+		t.Errorf("label parse: got %q, want b", got)
+	}
+}

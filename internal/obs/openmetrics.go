@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// OpenMetrics exposition of the live metric set (DESIGN.md §12). The
+// registry owns one *Live (counters + histograms) plus any number of
+// gauge families sampled at scrape time, and renders them as the
+// OpenMetrics text format with fully deterministic series ordering:
+// families sort by exposition name, histogram buckets ascend, and gauge
+// samplers contract to return their samples in a stable order. That
+// determinism is what makes `GET /metrics` golden-testable and lets
+// cmd/obsreport diff two scrapes series-by-series.
+
+// ContentType is the HTTP Content-Type of the exposition.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// MetricNamespace prefixes every exposed series.
+const MetricNamespace = "rfidtrack"
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Key, Value string
+}
+
+// Sample is one gauge data point produced by a sampler.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// gaugeFamily is one registered gauge metric; sample runs at scrape time.
+type gaugeFamily struct {
+	name   string // full exposition name (namespace included)
+	help   string
+	sample func() []Sample
+}
+
+// Registry assembles the exposition: the live counter/histogram set plus
+// registered gauges. Safe for concurrent Gauge/WriteOpenMetrics calls.
+type Registry struct {
+	live *Live
+
+	mu     sync.Mutex
+	gauges []gaugeFamily
+}
+
+// NewRegistry builds a registry over live (nil live exposes gauges only).
+func NewRegistry(live *Live) *Registry { return &Registry{live: live} }
+
+// Live returns the registry's live metric set.
+func (r *Registry) Live() *Live {
+	if r == nil {
+		return nil
+	}
+	return r.live
+}
+
+// Gauge registers a gauge family under name (unprefixed; the namespace is
+// added here). The sampler runs on every scrape and must return its
+// samples in a deterministic order — that order is the exposition order.
+// Label cardinality is the sampler's responsibility: keep it bounded by
+// configuration (readers, shards), never by data (EPCs).
+func (r *Registry) Gauge(name, help string, sample func() []Sample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = append(r.gauges, gaugeFamily{
+		name:   MetricNamespace + "_" + name,
+		help:   help,
+		sample: sample,
+	})
+}
+
+// counterHelp documents each live counter for the exposition HELP line.
+var counterHelp = [numCounters]string{
+	CtrPasses:          "Simulated portal passes completed.",
+	CtrRounds:          "Gen-2 inventory rounds completed.",
+	CtrSlots:           "Inventory slots opened across all rounds.",
+	CtrEmpties:         "Empty inventory slots.",
+	CtrSingles:         "Singleton (successful) inventory slots.",
+	CtrCollisions:      "Collided inventory slots.",
+	CtrCaptures:        "Collisions resolved by capture effect.",
+	CtrCRCFailures:     "Tag replies discarded for CRC failure.",
+	CtrQAdjusts:        "Gen-2 Q parameter adjustments.",
+	CtrReads:           "Successful tag reads (EPC decoded).",
+	CtrLinkResolutions: "Calls into world.ResolveLink.",
+	CtrPollAttempts:    "Reader poll attempts, including retries.",
+	CtrPollFailures:    "Reader poll attempts that failed.",
+	CtrPollRetries:     "Reader poll retries after a failed attempt.",
+	CtrBreakerOpens:    "Circuit breaker transitions to open.",
+	CtrBreakerProbes:   "Circuit breaker half-open probe polls.",
+	CtrBreakerCloses:   "Circuit breaker transitions back to closed.",
+	CtrIngestBatches:   "Event batches ingested into the pipeline.",
+	CtrIngestEvents:    "Raw read events ingested into the pipeline.",
+	CtrIngestClosed:    "Sightings closed by the smoother.",
+	CtrIngestDropped:   "Events shed by the full-queue drop policy.",
+	CtrIngestStalls:    "Ingest submissions that found the queue full.",
+}
+
+// histHelp documents each live histogram for the exposition HELP line.
+var histHelp = [numHistograms]string{
+	HistRoundsPerPass:   "Inventory rounds per simulated pass.",
+	HistSlotsPerRound:   "Slots per inventory round.",
+	HistReadsPerRound:   "Reads per inventory round.",
+	HistPassSimMillis:   "Simulated pass duration in milliseconds.",
+	HistIngestBatch:     "Events per ingested batch.",
+	HistIngestMicros:    "Wall microseconds per ingested batch.",
+	HistPollMicros:      "Wall microseconds per reader poll HTTP round trip.",
+	HistParseMicros:     "Wall microseconds parsing one poll result into events.",
+	HistApplyMicros:     "Wall microseconds applying one batch to the store.",
+	HistFreshnessMicros: "Wall microseconds from poll start to store visibility.",
+}
+
+// expoName converts a snapshot key ("poll.attempts") into an exposition
+// family name ("rfidtrack_poll_attempts").
+func expoName(key string) string {
+	return MetricNamespace + "_" + strings.NewReplacer(".", "_", "-", "_").Replace(key)
+}
+
+// histExpoNames are the histogram families' exposition names. They
+// diverge from the snapshot keys where a mechanical mapping would
+// collide with a counter family (round.slots / round.reads are both a
+// running total and a per-round distribution).
+var histExpoNames = [numHistograms]string{
+	HistRoundsPerPass:   MetricNamespace + "_rounds_per_pass",
+	HistSlotsPerRound:   MetricNamespace + "_slots_per_round",
+	HistReadsPerRound:   MetricNamespace + "_reads_per_round",
+	HistPassSimMillis:   MetricNamespace + "_pass_sim_ms",
+	HistIngestBatch:     MetricNamespace + "_ingest_batch_size",
+	HistIngestMicros:    MetricNamespace + "_ingest_batch_micros",
+	HistPollMicros:      MetricNamespace + "_poll_micros",
+	HistParseMicros:     MetricNamespace + "_parse_micros",
+	HistApplyMicros:     MetricNamespace + "_apply_micros",
+	HistFreshnessMicros: MetricNamespace + "_freshness_micros",
+}
+
+// family is one renderable exposition block.
+type family struct {
+	name string
+	body func(w io.Writer) error
+}
+
+// WriteOpenMetrics renders the full exposition: every live counter as a
+// counter family, every live histogram as a histogram family (cumulative
+// buckets, _sum from Live's value sums, _count), every registered gauge,
+// then the `# EOF` terminator. Series ordering is deterministic: families
+// sort by name; buckets ascend; gauge samples keep sampler order.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	var fams []family
+	if r != nil && r.live != nil {
+		live := r.live
+		for i := Counter(0); i < numCounters; i++ {
+			fams = append(fams, counterFamily(live, i))
+		}
+		for i := Histogram(0); i < numHistograms; i++ {
+			fams = append(fams, histogramFamily(live, i))
+		}
+	}
+	if r != nil {
+		r.mu.Lock()
+		gauges := append([]gaugeFamily(nil), r.gauges...)
+		r.mu.Unlock()
+		for _, g := range gauges {
+			fams = append(fams, gaugeFamilyBlock(g))
+		}
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.body(w); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func counterFamily(live *Live, ctr Counter) family {
+	name := expoName(counterNames[ctr])
+	return family{name: name, body: func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s_total %d\n",
+			name, counterHelp[ctr], name, name, live.Get(ctr))
+		return err
+	}}
+}
+
+func histogramFamily(live *Live, h Histogram) family {
+	name := histExpoNames[h]
+	return family{name: name, body: func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+			name, histHelp[h], name); err != nil {
+			return err
+		}
+		var cum uint64
+		for b := 0; b < histBuckets; b++ {
+			cum += live.hists[h][b].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+				name, bucketLabel(b), cum); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n",
+			name, live.sums[h].Load(), name, cum)
+		return err
+	}}
+}
+
+func gaugeFamilyBlock(g gaugeFamily) family {
+	return family{name: g.name, body: func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n",
+			g.name, g.help, g.name); err != nil {
+			return err
+		}
+		for _, s := range g.sample() {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				g.name, renderLabels(s.Labels), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}
+}
+
+// renderLabels renders a label set as {k="v",...}, escaping per the
+// exposition format; an empty set renders as nothing.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+}
+
+// formatValue renders a float the shortest way that round-trips.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteOpenMetricsWellFormed renders a populated registry and runs
+// the exposition through the strict parser: counters, histograms with
+// sums, and labeled gauges must all come out lint-clean.
+func TestWriteOpenMetricsWellFormed(t *testing.T) {
+	live := NewLive()
+	live.Add(CtrPollAttempts, 7)
+	live.Inc(CtrBreakerOpens)
+	live.Observe(HistPollMicros, 1500)
+	live.Observe(HistPollMicros, 0)
+	live.Observe(HistFreshnessMicros, 123456)
+
+	reg := NewRegistry(live)
+	reg.Gauge("ingest_queue_length", "Batches waiting in the ingest queue.",
+		func() []Sample { return []Sample{{Value: 3}} })
+	reg.Gauge("breaker_state", "Breaker state per reader (0 closed, 1 open, 2 half-open).",
+		func() []Sample {
+			return []Sample{
+				{Labels: []Label{{"reader", "r-a"}}, Value: 0},
+				{Labels: []Label{{"reader", "r-b"}}, Value: 1},
+			}
+		})
+
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	out := sb.String()
+	fams, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition does not lint:\n%s\nerror: %v", out, err)
+	}
+
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	ctr, ok := byName["rfidtrack_poll_attempts"]
+	if !ok || ctr.Type != "counter" {
+		t.Fatalf("missing counter family rfidtrack_poll_attempts: %+v", ctr)
+	}
+	if ctr.Samples[0].Value != 7 {
+		t.Errorf("poll_attempts_total = %g, want 7", ctr.Samples[0].Value)
+	}
+	hist, ok := byName["rfidtrack_poll_micros"]
+	if !ok || hist.Type != "histogram" {
+		t.Fatalf("missing histogram family rfidtrack_poll_micros")
+	}
+	var sum, count float64
+	for _, s := range hist.Samples {
+		switch s.Name {
+		case "rfidtrack_poll_micros_sum":
+			sum = s.Value
+		case "rfidtrack_poll_micros_count":
+			count = s.Value
+		}
+	}
+	if sum != 1500 || count != 2 {
+		t.Errorf("poll_micros sum/count = %g/%g, want 1500/2", sum, count)
+	}
+	g := byName["rfidtrack_breaker_state"]
+	if len(g.Samples) != 2 || g.Samples[1].Label("reader") != "r-b" || g.Samples[1].Value != 1 {
+		t.Errorf("breaker_state samples wrong: %+v", g.Samples)
+	}
+}
+
+// TestWriteOpenMetricsDeterministic pins the golden-testability contract:
+// two renders of the same registry state are byte-identical, and family
+// order is sorted by name.
+func TestWriteOpenMetricsDeterministic(t *testing.T) {
+	live := NewLive()
+	live.Add(CtrIngestEvents, 42)
+	live.Observe(HistIngestBatch, 64)
+	reg := NewRegistry(live)
+	reg.Gauge("uptime_seconds", "Seconds since service start.",
+		func() []Sample { return []Sample{{Value: 5}} })
+
+	render := func() string {
+		var sb strings.Builder
+		if err := reg.WriteOpenMetrics(&sb); err != nil {
+			t.Fatalf("WriteOpenMetrics: %v", err)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("two renders differ:\n%s\n---\n%s", a, b)
+	}
+	var last string
+	for _, line := range strings.Split(a, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		name := strings.Fields(line)[2]
+		if name < last {
+			t.Fatalf("family %s out of order after %s", name, last)
+		}
+		last = name
+	}
+	if !strings.HasSuffix(a, "# EOF\n") {
+		t.Fatalf("exposition missing # EOF terminator")
+	}
+}
+
+// TestNilRegistryAndLive keeps the disabled states safe: a nil registry
+// ignores Gauge, and a registry over a nil Live renders gauges only.
+func TestNilRegistryAndLive(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Gauge("x", "y", nil) // must not panic
+	reg := NewRegistry(nil)
+	reg.Gauge("only", "The only series.", func() []Sample { return []Sample{{Value: 1}} })
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	if err := Lint(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("gauge-only exposition does not lint: %v", err)
+	}
+	if !strings.Contains(sb.String(), "rfidtrack_only 1") {
+		t.Fatalf("missing gauge sample:\n%s", sb.String())
+	}
+}

@@ -31,7 +31,11 @@ type Snapshot struct {
 // Only non-empty buckets are emitted, labeled by their inclusive upper
 // bound ("le") with "+Inf" for the overflow bucket.
 type HistSnapshot struct {
-	Count   uint64       `json:"count"`
+	Count uint64 `json:"count"`
+	// Sum is the total of the raw observed values. Only Live tracks it
+	// (the exposition's histogram _sum series); Collector snapshots leave
+	// it zero — their bucket counts are the deterministic signal.
+	Sum     uint64       `json:"sum,omitempty"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 

@@ -147,6 +147,23 @@ func (t *Tracer) Link(pass, round int, reader, antenna, tag string, rssiDBm floa
 	}{"link", pass, round, reader, antenna, tag, rssiDBm, forwardOK, reverseOK, read})
 }
 
+// Cycle records one stage of a live poll cycle's lifecycle (DESIGN.md
+// §12): the cycle ID is minted at the poll and carried through every
+// stage, so grepping one ID out of the JSONL stream yields the full
+// poll → parse → apply → close → visible chain with per-stage wall
+// latency. Events counts the stage's payload (tags polled, events
+// parsed/applied, sightings closed).
+func (t *Tracer) Cycle(cycle uint64, stage, reader string, micros int64, events int) {
+	t.emit(struct {
+		Ev     string `json:"ev"`
+		Cycle  uint64 `json:"cycle"`
+		Stage  string `json:"stage"`
+		Reader string `json:"reader"`
+		Micros int64  `json:"micros"`
+		Events int    `json:"events"`
+	}{"cycle", cycle, stage, reader, micros, events})
+}
+
 // Dropped returns how many events the cap discarded so far.
 func (t *Tracer) Dropped() int64 {
 	t.mu.Lock()

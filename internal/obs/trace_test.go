@@ -59,6 +59,29 @@ func TestTracerEmitsSchema(t *testing.T) {
 	}
 }
 
+func TestTracerCycleEvent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Cycle(9, "poll", "http://r1", 420, 3)
+	tr.Cycle(9, "apply", "http://r1", 17, 3)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for i, stage := range []string{"poll", "apply"} {
+		if lines[i]["ev"] != "cycle" || lines[i]["stage"] != stage ||
+			lines[i]["cycle"] != float64(9) || lines[i]["reader"] != "http://r1" {
+			t.Errorf("cycle line %d = %v", i, lines[i])
+		}
+	}
+	if lines[0]["micros"] != float64(420) || lines[0]["events"] != float64(3) {
+		t.Errorf("poll stage payload = %v", lines[0])
+	}
+}
+
 func TestTracerLinksGating(t *testing.T) {
 	var off *Tracer
 	if off.Links() {

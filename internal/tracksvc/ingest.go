@@ -4,7 +4,6 @@ import (
 	"context"
 	"sync"
 
-	"rfidtrack/internal/backend"
 	"rfidtrack/internal/obs"
 )
 
@@ -29,7 +28,7 @@ type IngestConfig struct {
 // ingestor is the running async pipeline.
 type ingestor struct {
 	svc     *Service
-	queue   chan *[]backend.Event
+	queue   chan *eventBatch
 	workers int
 	drop    bool
 	done    chan struct{}  // closed when ctx fires; unblocks lossless submits
@@ -53,7 +52,7 @@ func (s *Service) StartIngest(ctx context.Context, cfg IngestConfig) {
 	}
 	ing := &ingestor{
 		svc:     s,
-		queue:   make(chan *[]backend.Event, cfg.QueueDepth),
+		queue:   make(chan *eventBatch, cfg.QueueDepth),
 		workers: cfg.Workers,
 		drop:    cfg.DropWhenFull,
 		done:    make(chan struct{}),
@@ -98,26 +97,26 @@ func (s *Service) IngestWait() {
 // non-blocking send; a full queue is backpressure, counted, and then
 // either sheds the batch (drop policy) or blocks until the workers catch
 // up (lossless policy).
-func (i *ingestor) submit(bp *[]backend.Event) {
+func (i *ingestor) submit(b *eventBatch) {
 	select {
-	case i.queue <- bp:
+	case i.queue <- b:
 		i.reapAfterShutdown()
 		return
 	default:
 	}
 	i.svc.live.Inc(obs.CtrIngestStalls)
 	if i.drop {
-		i.svc.live.Add(obs.CtrIngestDropped, uint64(len(*bp)))
-		*bp = (*bp)[:0]
-		i.svc.batches.Put(bp)
+		i.svc.live.Add(obs.CtrIngestDropped, uint64(len(b.events)))
+		b.events = b.events[:0]
+		i.svc.batches.Put(b)
 		return
 	}
 	select {
-	case i.queue <- bp:
+	case i.queue <- b:
 		i.reapAfterShutdown()
 	case <-i.done:
 		// Shutting down: ingest inline rather than lose the batch.
-		i.svc.ingestNow(bp)
+		i.svc.ingestNow(b)
 	}
 }
 

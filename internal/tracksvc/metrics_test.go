@@ -1,0 +1,296 @@
+package tracksvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/faultinject"
+	"rfidtrack/internal/obs"
+	"rfidtrack/internal/readerapi"
+)
+
+// scrape hits the service's GET /metrics through the real handler and
+// returns every parsed series as "name{labels}" → value, failing the
+// test if the exposition does not lint.
+func scrape(t *testing.T, svc *Service) map[string]float64 {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != obs.ContentType {
+		t.Fatalf("GET /metrics Content-Type = %q, want %q", got, obs.ContentType)
+	}
+	fams, err := obs.ParseExposition(rec.Body)
+	if err != nil {
+		t.Fatalf("GET /metrics does not lint: %v", err)
+	}
+	out := map[string]float64{}
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			key := s.Name
+			if s.Labels != "" {
+				key += "{" + s.Labels + "}"
+			}
+			out[key] = s.Value
+		}
+	}
+	return out
+}
+
+// TestMetricsEndpointWellFormed is the metrics-lint gate (`make
+// metrics-lint`): a service with live traffic, an async ingest queue,
+// supervised readers, and the reliability monitor must serve a valid,
+// deterministically ordered OpenMetrics exposition covering the full
+// counter, histogram, and gauge vocabulary.
+func TestMetricsEndpointWellFormed(t *testing.T) {
+	srv := httptest.NewServer(okTagListHandler())
+	defer srv.Close()
+
+	svc := New(nil, WithLogger(func(string, ...any) {}), WithSLO(SLOConfig{}))
+	ctx, cancel := context.WithCancel(context.Background())
+	svc.StartIngest(ctx, IngestConfig{QueueDepth: 8})
+	done := make(chan struct{})
+	go func() {
+		svc.Supervise(ctx, "r1", readerapi.NewClient(srv.URL, nil), fastConfig())
+		close(done)
+	}()
+	waitFor(t, 5*time.Second, "a poll to ingest", func() bool {
+		return svc.live.Get(obs.CtrIngestEvents) > 0
+	})
+	cancel()
+	<-done
+	svc.IngestWait()
+
+	series := scrape(t, svc)
+	for _, want := range []string{
+		"rfidtrack_poll_attempts_total",
+		"rfidtrack_poll_retries_total",
+		"rfidtrack_breaker_opens_total",
+		"rfidtrack_ingest_batches_total",
+		"rfidtrack_ingest_events_total",
+		"rfidtrack_ingest_queue_capacity",
+		"rfidtrack_ingest_queue_length",
+		"rfidtrack_poll_micros_count",
+		"rfidtrack_parse_micros_count",
+		"rfidtrack_apply_micros_count",
+		"rfidtrack_freshness_micros_count",
+		"rfidtrack_reliability_estimate",
+		"rfidtrack_reliability_target",
+		"rfidtrack_reliability_verdict",
+		`rfidtrack_breaker_state{reader="r1"}`,
+		"rfidtrack_store_shard_tags{shard=\"0\"}",
+	} {
+		if _, ok := series[want]; !ok {
+			keys := make([]string, 0, len(series))
+			for k := range series {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			t.Fatalf("series %s missing from /metrics; have:\n%s", want, strings.Join(keys, "\n"))
+		}
+	}
+	if series["rfidtrack_ingest_events_total"] == 0 {
+		t.Error("ingest_events_total = 0 after live traffic")
+	}
+	if series["rfidtrack_poll_micros_count"] == 0 {
+		t.Error("poll_micros histogram empty after live polls")
+	}
+	if series["rfidtrack_freshness_micros_count"] == 0 {
+		t.Error("freshness_micros histogram empty after live polls")
+	}
+	if got := series["rfidtrack_reliability_estimate"]; got != 1 {
+		t.Errorf("reliability_estimate = %g, want 1 (single healthy reader)", got)
+	}
+}
+
+// TestBreakerTransitionsObservedInMetrics drives the breaker through
+// closed → open → half-open → closed with a deterministic fault plan and
+// asserts the whole sequence from the exported series: the state gauge
+// sampled at each transition plus the final transition counters.
+func TestBreakerTransitionsObservedInMetrics(t *testing.T) {
+	inj := faultinject.New(faultinject.Seq(
+		faultinject.Drop, faultinject.Drop, faultinject.Drop, faultinject.Drop))
+	srv := httptest.NewServer(inj.Middleware(okTagListHandler()))
+	defer srv.Close()
+	hc := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}, Timeout: 2 * time.Second}
+
+	svc := New(nil, WithLogger(func(string, ...any) {}))
+	type sample struct {
+		to    string
+		state float64
+	}
+	var (
+		samples []sample
+		seen    = make(chan struct{}, 8)
+	)
+	cfg := fastConfig()
+	cfg.OnStateChange = func(_ string, _, to BreakerState) {
+		// Scrape synchronously inside the transition hook: the gauge must
+		// already report the new state the moment observers can see it.
+		st := scrape(t, svc)[`rfidtrack_breaker_state{reader="r1"}`]
+		samples = append(samples, sample{to: to.String(), state: st})
+		seen <- struct{}{}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		svc.Supervise(ctx, "r1", readerapi.NewClient(srv.URL, hc), cfg)
+		close(done)
+	}()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-seen:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for transition %d", i)
+		}
+	}
+	cancel()
+	<-done
+
+	want := []sample{
+		{to: "open", state: float64(BreakerOpen)},
+		{to: "half-open", state: float64(BreakerHalfOpen)},
+		{to: "closed", state: float64(BreakerClosed)},
+	}
+	for i, w := range want {
+		if samples[i] != w {
+			t.Fatalf("transition %d: gauge sampled %+v, want %+v (all: %+v)", i, samples[i], w, samples)
+		}
+	}
+	final := scrape(t, svc)
+	for series, min := range map[string]float64{
+		"rfidtrack_breaker_opens_total":      1,
+		"rfidtrack_breaker_half_opens_total": 1,
+		"rfidtrack_breaker_closes_total":     1,
+		"rfidtrack_poll_retries_total":       1,
+		"rfidtrack_poll_failures_total":      4,
+	} {
+		if final[series] < min {
+			t.Errorf("%s = %g, want >= %g", series, final[series], min)
+		}
+	}
+}
+
+// TestStatsResponseSchema pins the GET /api/stats document shape: the
+// exact top-level key set and the ingest counter vocabulary, so
+// dashboards built on it cannot be broken silently.
+func TestStatsResponseSchema(t *testing.T) {
+	svc := New(nil, WithLogger(func(string, ...any) {}))
+	if err := svc.IngestTagList(tagList("dock", 0, "300833B2DDD9014000000001")); err != nil {
+		t.Fatalf("IngestTagList: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.StartIngest(ctx, IngestConfig{}) // exercise the queue section too
+
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/api/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/stats: status %d", rec.Code)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("stats response is not a JSON object: %v", err)
+	}
+	wantKeys := []string{
+		"uptime_seconds", "events_per_sec", "counters", "batch_size",
+		"batch_micros", "pipeline_shards", "store_shards", "queue",
+	}
+	for _, k := range wantKeys {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("stats response missing key %q", k)
+		}
+	}
+	if len(doc) != len(wantKeys) {
+		got := make([]string, 0, len(doc))
+		for k := range doc {
+			got = append(got, k)
+		}
+		sort.Strings(got)
+		t.Errorf("stats response has %d keys, want %d: %v", len(doc), len(wantKeys), got)
+	}
+	var counters map[string]uint64
+	if err := json.Unmarshal(doc["counters"], &counters); err != nil {
+		t.Fatalf("counters section: %v", err)
+	}
+	for _, k := range []string{
+		"ingest.batches", "ingest.events", "ingest.closed",
+		"ingest.dropped_events", "ingest.stalls",
+	} {
+		if _, ok := counters[k]; !ok {
+			t.Errorf("stats counters missing %q", k)
+		}
+	}
+	var uptime float64
+	if err := json.Unmarshal(doc["uptime_seconds"], &uptime); err != nil || uptime < 0 {
+		t.Errorf("uptime_seconds = %v (err %v), want >= 0", uptime, err)
+	}
+}
+
+// TestLifecycleTraceAllStages injects a single event through the full
+// live chain — HTTP poll → parse → async queue → store apply — and
+// asserts the JSONL trace carries one cycle ID through every stage.
+func TestLifecycleTraceAllStages(t *testing.T) {
+	srv := httptest.NewServer(okTagListHandler())
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(&buf)
+	svc := New(nil, WithLogger(func(string, ...any) {}), WithTracer(tracer))
+	ctx, cancel := context.WithCancel(context.Background())
+	svc.StartIngest(ctx, IngestConfig{})
+
+	if err := svc.Poll(context.Background(), readerapi.NewClient(srv.URL, nil)); err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	waitFor(t, 5*time.Second, "async apply", func() bool {
+		return svc.live.Get(obs.CtrIngestBatches) > 0
+	})
+	cancel()
+	svc.IngestWait()
+	if err := tracer.Close(); err != nil {
+		t.Fatalf("tracer: %v", err)
+	}
+
+	stages := map[string]map[string]any{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if m["ev"] == "cycle" {
+			stages[m["stage"].(string)] = m
+		}
+	}
+	var cycle any
+	for _, stage := range []string{"poll", "parse", "apply", "close", "visible"} {
+		m, ok := stages[stage]
+		if !ok {
+			t.Fatalf("trace missing lifecycle stage %q (have %v)", stage, stages)
+		}
+		if cycle == nil {
+			cycle = m["cycle"]
+		} else if m["cycle"] != cycle {
+			t.Errorf("stage %q cycle = %v, want %v (one ID end to end)", stage, m["cycle"], cycle)
+		}
+		if m["reader"] == "" {
+			t.Errorf("stage %q has no reader", stage)
+		}
+	}
+	if stages["poll"]["events"] != float64(1) || stages["apply"]["events"] != float64(1) {
+		t.Errorf("poll/apply payload counts wrong: %v / %v", stages["poll"], stages["apply"])
+	}
+	if v, ok := stages["visible"]["micros"].(float64); !ok || v < 0 {
+		t.Errorf("visible stage freshness micros = %v", stages["visible"]["micros"])
+	}
+}

@@ -1,0 +1,217 @@
+// The streaming reliability monitor: the paper's R_C confidence model
+// turned into a live SLO. Offline, redundancy analysis computes
+// R_C = 1 − Π(1−P_i) from per-reader read probabilities measured in the
+// simulator; here the same combination runs over a sliding window of
+// what the deployed readers actually delivered, so the service can say —
+// continuously — whether the redundancy configuration is meeting the
+// detection reliability the model promised (cf. the session-estimate
+// stopping rules of Jacobsen et al., arXiv:0904.2441: decisions from
+// live per-session detection estimates rather than static planning).
+//
+// Rates are population-relative: the tracked population is every EPC any
+// reader delivered inside the window, and reader i's read rate is the
+// fraction of that population reader i itself delivered. A reader whose
+// breaker is open stops delivering, its window empties, and its rate
+// decays to zero — no special-casing of failure modes is needed.
+
+package tracksvc
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/obs"
+)
+
+// SLO verdicts, ordered by severity (the gauge value on /metrics).
+const (
+	VerdictOK        = "ok"        // combined reliability ≥ target, every reader ≥ target
+	VerdictDegraded  = "degraded"  // combined ≥ target, but some reader < target
+	VerdictViolating = "violating" // combined reliability < target
+)
+
+// SLOConfig tunes the streaming reliability monitor. The zero value
+// selects the defaults noted per field.
+type SLOConfig struct {
+	// Window is the sliding estimation window (default 30s). Longer
+	// windows smooth poll jitter; shorter ones react faster to failures.
+	Window time.Duration
+	// Target is the detection-reliability SLO in (0, 1] (default 0.99):
+	// the combined estimate dropping below it is a violation, and any
+	// single reader below it degrades the verdict.
+	Target float64
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Window <= 0 {
+		c.Window = 30 * time.Second
+	}
+	if c.Target <= 0 || c.Target > 1 {
+		c.Target = 0.99
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Monitor is the streaming reliability estimator. A nil *Monitor is the
+// disabled state: ObserveEvents is a nil-safe no-op, keeping the ingest
+// path's cost at one nil check when no SLO is configured.
+type Monitor struct {
+	window time.Duration
+	target float64
+	now    func() time.Time
+
+	mu sync.Mutex
+	// lastSeen stamps, evicted lazily once older than the window. Memory
+	// is O(readers × live population) — bounded by the deployment, and
+	// entries for vanished tags age out with the window.
+	readers    map[string]map[epc.Code]time.Time
+	population map[epc.Code]time.Time
+}
+
+func newMonitor(cfg SLOConfig) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{
+		window:     cfg.Window,
+		target:     cfg.Target,
+		now:        cfg.now,
+		readers:    make(map[string]map[epc.Code]time.Time),
+		population: make(map[epc.Code]time.Time),
+	}
+}
+
+// ObserveEvents folds one ingested batch into the window: each event
+// stamps its (reader, EPC) pair and the population EPC at now. Called
+// from the ingest path after store apply, so "delivered" means
+// store-visible.
+func (m *Monitor) ObserveEvents(events []backend.Event) {
+	if m == nil || len(events) == 0 {
+		return
+	}
+	at := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range events {
+		ev := &events[i]
+		rm := m.readers[ev.Location]
+		if rm == nil {
+			rm = make(map[epc.Code]time.Time)
+			m.readers[ev.Location] = rm
+		}
+		rm[ev.EPC] = at
+		m.population[ev.EPC] = at
+	}
+}
+
+// ReaderRate is one reader's sliding-window detection estimate.
+type ReaderRate struct {
+	Name string  `json:"name"`
+	Tags int     `json:"tags"` // distinct EPCs this reader delivered in the window
+	Rate float64 `json:"rate"` // Tags / population (the live P_i estimate)
+}
+
+// SLOStatus is the reliability section of GET /api/health.
+type SLOStatus struct {
+	WindowSeconds float64      `json:"window_seconds"`
+	Target        float64      `json:"target"`
+	Population    int          `json:"population"`  // distinct EPCs seen in the window
+	Reliability   float64      `json:"reliability"` // 1 − Π(1−rate_i), the live R_C estimate
+	Verdict       string       `json:"verdict"`     // ok | degraded | violating
+	Readers       []ReaderRate `json:"readers"`     // sorted by name
+}
+
+// Status evicts stale entries and computes the current estimate. An
+// empty window (nothing tracked) reports reliability 1 and verdict ok:
+// no tracked population means no detection promise being broken.
+func (m *Monitor) Status() SLOStatus {
+	st := SLOStatus{
+		WindowSeconds: m.window.Seconds(),
+		Target:        m.target,
+		Reliability:   1,
+		Verdict:       VerdictOK,
+		Readers:       []ReaderRate{},
+	}
+	cutoff := m.now().Add(-m.window)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for code, at := range m.population {
+		if at.Before(cutoff) {
+			delete(m.population, code)
+		}
+	}
+	for name, rm := range m.readers {
+		for code, at := range rm {
+			if at.Before(cutoff) {
+				delete(rm, code)
+			}
+		}
+		if len(rm) == 0 {
+			delete(m.readers, name)
+		}
+	}
+	st.Population = len(m.population)
+	if st.Population == 0 {
+		return st
+	}
+	missAll := 1.0
+	degraded := false
+	for name, rm := range m.readers {
+		rate := float64(len(rm)) / float64(st.Population)
+		st.Readers = append(st.Readers, ReaderRate{Name: name, Tags: len(rm), Rate: rate})
+		missAll *= 1 - rate
+		if rate < m.target {
+			degraded = true
+		}
+	}
+	sort.Slice(st.Readers, func(i, j int) bool { return st.Readers[i].Name < st.Readers[j].Name })
+	st.Reliability = 1 - missAll
+	switch {
+	case st.Reliability < m.target:
+		st.Verdict = VerdictViolating
+	case degraded:
+		st.Verdict = VerdictDegraded
+	}
+	return st
+}
+
+// verdictValue maps the verdict onto the /metrics gauge scale.
+func verdictValue(v string) float64 {
+	switch v {
+	case VerdictDegraded:
+		return 1
+	case VerdictViolating:
+		return 2
+	}
+	return 0
+}
+
+// registerGauges exports the monitor on the registry: per-reader rates
+// (one series per data-plane reader name — cardinality bounded by the
+// fleet), the combined estimate, the target, and the verdict.
+func (m *Monitor) registerGauges(reg *obs.Registry) {
+	reg.Gauge("reader_read_rate", "Sliding-window fraction of the tracked population each reader delivered.",
+		func() []obs.Sample {
+			st := m.Status()
+			out := make([]obs.Sample, len(st.Readers))
+			for i, r := range st.Readers {
+				out[i] = obs.Sample{
+					Labels: []obs.Label{{Key: "reader", Value: r.Name}},
+					Value:  r.Rate,
+				}
+			}
+			return out
+		})
+	reg.Gauge("reliability_estimate", "Live combined detection reliability estimate, 1-prod(1-rate_i).",
+		func() []obs.Sample { return []obs.Sample{{Value: m.Status().Reliability}} })
+	reg.Gauge("reliability_target", "Configured detection-reliability SLO target.",
+		func() []obs.Sample { return []obs.Sample{{Value: m.target}} })
+	reg.Gauge("reliability_verdict", "SLO verdict: 0 ok, 1 degraded, 2 violating.",
+		func() []obs.Sample { return []obs.Sample{{Value: verdictValue(m.Status().Verdict)}} })
+}

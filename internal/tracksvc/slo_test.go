@@ -1,0 +1,201 @@
+package tracksvc
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/epc"
+)
+
+// fakeClock lets SLO tests step time deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func mustCode(t *testing.T, s string) epc.Code {
+	t.Helper()
+	c, err := epc.ParseHex(s)
+	if err != nil {
+		t.Fatalf("epc.Parse(%q): %v", s, err)
+	}
+	return c
+}
+
+func sloEvents(t *testing.T, reader string, epcs ...string) []backend.Event {
+	t.Helper()
+	out := make([]backend.Event, len(epcs))
+	for i, e := range epcs {
+		out[i] = backend.Event{EPC: mustCode(t, e), Location: reader}
+	}
+	return out
+}
+
+const (
+	epcA = "300833B2DDD9014000000001"
+	epcB = "300833B2DDD9014000000002"
+	epcC = "300833B2DDD9014000000003"
+	epcD = "300833B2DDD9014000000004"
+)
+
+func approx(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+
+// TestMonitorRatesAndVerdicts walks the estimator through the verdict
+// ladder: empty window → ok, full redundant coverage → ok, one weak
+// reader covered by redundancy → degraded, combined shortfall →
+// violating.
+func TestMonitorRatesAndVerdicts(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m := newMonitor(SLOConfig{Window: 10 * time.Second, Target: 0.9, now: clk.now})
+
+	st := m.Status()
+	if st.Verdict != VerdictOK || st.Reliability != 1 || st.Population != 0 {
+		t.Fatalf("empty window: %+v, want ok/1/0", st)
+	}
+
+	// Both readers deliver the whole population: rates 1, R_C = 1, ok.
+	m.ObserveEvents(sloEvents(t, "r1", epcA, epcB))
+	m.ObserveEvents(sloEvents(t, "r2", epcA, epcB))
+	st = m.Status()
+	if st.Verdict != VerdictOK || st.Population != 2 || !approx(st.Reliability, 1) {
+		t.Fatalf("full coverage: %+v, want ok, population 2, reliability 1", st)
+	}
+	if len(st.Readers) != 2 || st.Readers[0].Name != "r1" || st.Readers[1].Name != "r2" {
+		t.Fatalf("readers not sorted by name: %+v", st.Readers)
+	}
+
+	// r2 misses half the population (rate 0.5 < target) but r1 still sees
+	// everything, so combined R_C = 1 − (1−1)(1−0.5) = 1 ≥ target: the
+	// redundancy masks the weak reader — degraded, not violating.
+	m.ObserveEvents(sloEvents(t, "r1", epcC, epcD))
+	m.ObserveEvents(sloEvents(t, "r2", epcC))
+	st = m.Status()
+	if st.Verdict != VerdictDegraded {
+		t.Fatalf("weak reader under redundancy: verdict %q, want degraded (%+v)", st.Verdict, st)
+	}
+	if st.Population != 4 || !approx(st.Reliability, 1) {
+		t.Fatalf("weak reader under redundancy: %+v, want population 4, reliability 1", st)
+	}
+	for _, r := range st.Readers {
+		switch r.Name {
+		case "r1":
+			if !approx(r.Rate, 1) || r.Tags != 4 {
+				t.Errorf("r1 rate = %+v, want 4 tags, rate 1", r)
+			}
+		case "r2":
+			if !approx(r.Rate, 0.75) || r.Tags != 3 {
+				t.Errorf("r2 rate = %+v, want 3 tags, rate 0.75", r)
+			}
+		}
+	}
+
+	// Fresh window where both readers miss tags: rates 0.5 each, combined
+	// R_C = 1 − 0.5² = 0.75 < 0.9 → violating.
+	clk.advance(11 * time.Second)
+	m.ObserveEvents(sloEvents(t, "r1", epcA, epcB))
+	m.ObserveEvents(sloEvents(t, "r2", epcC, epcD))
+	st = m.Status()
+	if st.Verdict != VerdictViolating || !approx(st.Reliability, 0.75) {
+		t.Fatalf("split coverage: %+v, want violating, reliability 0.75", st)
+	}
+}
+
+// TestMonitorWindowEviction checks the sliding window: stale stamps age
+// out lazily at Status time, a silent reader's rate decays to zero and
+// then its series disappears entirely.
+func TestMonitorWindowEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m := newMonitor(SLOConfig{Window: 10 * time.Second, Target: 0.9, now: clk.now})
+
+	m.ObserveEvents(sloEvents(t, "r1", epcA, epcB))
+	m.ObserveEvents(sloEvents(t, "r2", epcA, epcB))
+
+	// r2 goes silent (breaker open, say); r1 keeps refreshing its stamps.
+	clk.advance(6 * time.Second)
+	m.ObserveEvents(sloEvents(t, "r1", epcA, epcB))
+
+	// Past r2's stamps but not r1's refresh: r2 evicted, its rate gone,
+	// and with only r1 at full coverage the verdict is ok again.
+	clk.advance(6 * time.Second)
+	st := m.Status()
+	if st.Population != 2 {
+		t.Fatalf("population = %d, want 2 (r1's refreshed stamps)", st.Population)
+	}
+	if len(st.Readers) != 1 || st.Readers[0].Name != "r1" {
+		t.Fatalf("readers = %+v, want only r1 after r2 aged out", st.Readers)
+	}
+	if st.Verdict != VerdictOK || !approx(st.Reliability, 1) {
+		t.Fatalf("after eviction: %+v, want ok/1", st)
+	}
+
+	// Everything ages out: back to the empty-window baseline.
+	clk.advance(11 * time.Second)
+	st = m.Status()
+	if st.Population != 0 || len(st.Readers) != 0 || st.Verdict != VerdictOK {
+		t.Fatalf("fully aged window: %+v, want empty/ok", st)
+	}
+}
+
+// TestNilMonitorIsNoop pins the disabled-state contract: a service
+// without WithSLO has a nil monitor, ObserveEvents on it is safe, and
+// health carries no SLO section.
+func TestNilMonitorIsNoop(t *testing.T) {
+	var m *Monitor
+	m.ObserveEvents(sloEvents(t, "r1", epcA)) // must not panic
+
+	svc := New(nil)
+	if svc.mon != nil {
+		t.Fatal("monitor non-nil without WithSLO")
+	}
+	if h := svc.Health(); h.SLO != nil {
+		t.Fatalf("health SLO section present without WithSLO: %+v", h.SLO)
+	}
+}
+
+// TestHealthMergesSLOVerdict checks the /api/health merge: the SLO
+// section rides along, and a non-ok verdict downgrades an otherwise
+// "ok" service status — pollable readers can still be missing tags.
+func TestHealthMergesSLOVerdict(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	svc := New(nil, WithSLO(SLOConfig{Window: 10 * time.Second, Target: 0.9, now: clk.now}))
+
+	h := svc.Health()
+	if h.Status != "ok" || h.SLO == nil || h.SLO.Verdict != VerdictOK {
+		t.Fatalf("idle health = %+v, want ok with ok SLO section", h)
+	}
+	if h.SLO.Target != 0.9 || h.SLO.WindowSeconds != 10 {
+		t.Fatalf("SLO config not reflected: %+v", h.SLO)
+	}
+
+	// Split coverage → violating verdict → status degraded even though no
+	// supervised reader is unhealthy (there are none at all).
+	svc.mon.ObserveEvents(sloEvents(t, "r1", epcA, epcB))
+	svc.mon.ObserveEvents(sloEvents(t, "r2", epcC, epcD))
+	h = svc.Health()
+	if h.SLO == nil || h.SLO.Verdict != VerdictViolating {
+		t.Fatalf("health SLO verdict = %+v, want violating", h.SLO)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("status = %q, want degraded after SLO violation", h.Status)
+	}
+}
+
+// TestIngestFeedsMonitor closes the loop with the real chain: events
+// ingested through IngestTagList land in the monitor via the store-apply
+// path, so the live estimate reflects store-visible deliveries.
+func TestIngestFeedsMonitor(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	svc := New(nil, WithSLO(SLOConfig{Window: time.Minute, now: clk.now}))
+	if err := svc.IngestTagList(tagList("dock", 0, epcA, epcB)); err != nil {
+		t.Fatalf("IngestTagList: %v", err)
+	}
+	st := svc.mon.Status()
+	if st.Population != 2 || len(st.Readers) != 1 || st.Readers[0].Name != "dock" {
+		t.Fatalf("monitor after ingest: %+v, want population 2 via reader dock", st)
+	}
+	if !approx(st.Readers[0].Rate, 1) {
+		t.Fatalf("dock rate = %g, want 1", st.Readers[0].Rate)
+	}
+}

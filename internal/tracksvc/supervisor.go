@@ -164,6 +164,7 @@ func (s *Service) Supervise(ctx context.Context, name string, client *readerapi.
 				continue // still cooling off
 			}
 			sup.setState(BreakerHalfOpen)
+			s.live.Inc(obs.CtrBreakerProbes)
 			if c := cfg.Collector; c != nil {
 				c.Inc(obs.CtrBreakerProbes)
 			}
@@ -180,6 +181,7 @@ func (s *Service) Supervise(ctx context.Context, name string, client *readerapi.
 			s.logf("tracksvc: %s: breaker closed, polling resumed", name)
 			sup.consecutive.Store(0)
 			sup.setState(BreakerClosed)
+			s.live.Inc(obs.CtrBreakerCloses)
 			if c := cfg.Collector; c != nil {
 				c.Inc(obs.CtrBreakerCloses)
 			}
@@ -194,6 +196,7 @@ func (s *Service) Supervise(ctx context.Context, name string, client *readerapi.
 					sup.setState(BreakerOpen)
 					openedAt = time.Now()
 					sup.opens.Add(1)
+					s.live.Inc(obs.CtrBreakerOpens)
 					if c := cfg.Collector; c != nil {
 						c.Inc(obs.CtrBreakerOpens)
 					}
@@ -214,6 +217,7 @@ func (s *Service) cycle(ctx context.Context, sup *supervisor) error {
 	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			sup.retries.Add(1)
+			s.live.Inc(obs.CtrPollRetries)
 			if c := cfg.Collector; c != nil {
 				c.Inc(obs.CtrPollRetries)
 			}
@@ -246,12 +250,17 @@ func (sup *supervisor) backoff(attempt int) time.Duration {
 
 // pollOnce issues one deadline-bounded poll and ingests the result.
 // Malformed EPCs inside an otherwise healthy response are logged, not
-// counted against the reader — the transport worked.
+// counted against the reader — the transport worked. The cycle ID minted
+// here before the request is the lifecycle identity every downstream
+// stage (parse, apply, close, visible) traces under.
 func (s *Service) pollOnce(ctx context.Context, sup *supervisor) error {
 	sup.polls.Add(1)
+	s.live.Inc(obs.CtrPollAttempts)
 	if c := sup.cfg.Collector; c != nil {
 		c.Inc(obs.CtrPollAttempts)
 	}
+	cycle := s.cycles.Add(1)
+	polled := time.Now()
 	rctx, cancel := context.WithTimeout(ctx, sup.cfg.RequestTimeout)
 	defer cancel()
 	list, err := sup.client.Poll(rctx)
@@ -262,14 +271,20 @@ func (s *Service) pollOnce(ctx context.Context, sup *supervisor) error {
 			return err
 		}
 		sup.failures.Add(1)
+		s.live.Inc(obs.CtrPollFailures)
 		if c := sup.cfg.Collector; c != nil {
 			c.Inc(obs.CtrPollFailures)
 		}
 		sup.lastErr.Store(err.Error())
 		return err
 	}
+	pollMicros := time.Since(polled).Microseconds()
+	s.live.Observe(obs.HistPollMicros, uint64(pollMicros))
+	if s.tracer != nil {
+		s.tracer.Cycle(cycle, "poll", sup.name, pollMicros, len(list.Tags))
+	}
 	sup.lastErr.Store("")
-	if err := s.IngestTagList(list); err != nil {
+	if err := s.ingestList(list, cycle, polled); err != nil {
 		s.logf("tracksvc: %s: %v", sup.name, err)
 	}
 	return nil
@@ -291,11 +306,15 @@ type ReaderHealth struct {
 // every supervised reader's breaker is closed (or none are supervised),
 // "degraded" when some are not closed, and "down" when none are closed —
 // the service-level mirror of the paper's R_C: the portal is alive while
-// any redundant reader is.
+// any redundant reader is. When the reliability monitor is enabled
+// (WithSLO), SLO carries the live R_C estimate and its verdict, and a
+// non-ok verdict downgrades an otherwise "ok" status to "degraded" — the
+// readers may all answer polls while still missing tags.
 type HealthResponse struct {
 	Status    string         `json:"status"`
 	Readers   []ReaderHealth `json:"readers"`
 	Sightings int64          `json:"sightings"`
+	SLO       *SLOStatus     `json:"slo,omitempty"`
 }
 
 // Health reports per-reader supervision state.
@@ -329,6 +348,13 @@ func (s *Service) Health() HealthResponse {
 		resp.Status = "degraded"
 	default:
 		resp.Status = "down"
+	}
+	if s.mon != nil {
+		st := s.mon.Status()
+		resp.SLO = &st
+		if st.Verdict != VerdictOK && resp.Status == "ok" {
+			resp.Status = "degraded"
+		}
 	}
 	return resp
 }

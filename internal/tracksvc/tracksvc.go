@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -29,13 +31,32 @@ type Service struct {
 	logf      func(format string, args ...any)
 
 	live    *obs.Live                // ingest counters behind GET /api/stats
+	reg     *obs.Registry            // OpenMetrics exposition behind GET /metrics
+	tracer  *obs.Tracer              // optional JSONL lifecycle tracer (nil = off)
+	mon     *Monitor                 // optional streaming reliability monitor (nil = off)
 	ing     atomic.Pointer[ingestor] // nil until StartIngest; then the async path
 	ingLast atomic.Pointer[ingestor] // most recent ingestor, kept for IngestWait
+	cycles  atomic.Uint64            // lifecycle cycle IDs, minted per poll
+	// started is the service's start instant. It is captured with
+	// time.Now(), whose monotonic reading makes every time.Since(started)
+	// below immune to wall-clock steps — uptime and events/sec in
+	// GET /api/stats derive exclusively from it.
 	started time.Time
-	batches sync.Pool // *[]backend.Event parse/ingest buffers
+	batches sync.Pool // *eventBatch parse/ingest buffers
 
 	mu   sync.Mutex
 	sups []*supervisor // readers under supervision (supervisor.go)
+}
+
+// eventBatch is one parsed poll result crossing the ingest pipeline,
+// carrying its lifecycle identity: the cycle ID minted at the poll and
+// the poll's start instant (the reader-observation proxy) from which
+// freshness.micros is measured at store visibility.
+type eventBatch struct {
+	events []backend.Event
+	cycle  uint64
+	reader string
+	polled time.Time
 }
 
 // Option configures a Service.
@@ -46,22 +67,43 @@ func WithLogger(logf func(string, ...any)) Option {
 	return func(s *Service) { s.logf = logf }
 }
 
+// WithTracer attaches a bounded JSONL tracer: every poll cycle's
+// lifecycle stages (poll → parse → apply → close → visible) are emitted
+// with the cycle ID minted at the poll, so one grep reconstructs an
+// event's full path through the service. Nil keeps tracing off.
+func WithTracer(t *obs.Tracer) Option {
+	return func(s *Service) { s.tracer = t }
+}
+
+// WithSLO enables the streaming reliability monitor (slo.go): sliding-
+// window per-reader read rates, the combined R_C-style detection
+// estimate, and the ok/degraded/violating verdict merged into
+// GET /api/health and exported as gauges on GET /metrics.
+func WithSLO(cfg SLOConfig) Option {
+	return func(s *Service) { s.mon = newMonitor(cfg) }
+}
+
 // New builds a service over the given pipeline (nil = default pipeline).
 func New(p *backend.Pipeline, opts ...Option) *Service {
 	if p == nil {
 		p = backend.NewPipeline(nil)
 	}
 	s := &Service{pipeline: p, logf: log.Printf, live: obs.NewLive(), started: time.Now()}
-	s.batches.New = func() any { b := make([]backend.Event, 0, 64); return &b }
+	s.reg = obs.NewRegistry(s.live)
+	s.batches.New = func() any { return &eventBatch{events: make([]backend.Event, 0, 64)} }
 	for _, o := range opts {
 		o(s)
 	}
+	s.registerGauges()
 	s.pipeline.AddRule(backend.Rule{
 		Name:   "count",
 		Action: func(backend.Sighting) { s.sightings.Add(1) },
 	})
 	return s
 }
+
+// Metrics exposes the service's OpenMetrics registry (GET /metrics).
+func (s *Service) Metrics() *obs.Registry { return s.reg }
 
 // Pipeline exposes the underlying pipeline (for registering rules).
 func (s *Service) Pipeline() *backend.Pipeline { return s.pipeline }
@@ -77,12 +119,20 @@ func (s *Service) Sightings() int64 { return s.sightings.Load() }
 // synchronously. Parse buffers are pooled, so steady-state polls do not
 // allocate beyond what encoding/xml already did.
 func (s *Service) IngestTagList(list readerapi.TagListXML) error {
+	return s.ingestList(list, s.cycles.Add(1), time.Now())
+}
+
+// ingestList is IngestTagList with an explicit lifecycle identity: the
+// poll paths mint the cycle before the HTTP request so the poll stage
+// shares the ID, and polled is the freshness epoch.
+func (s *Service) ingestList(list readerapi.TagListXML, cycle uint64, polled time.Time) error {
 	if len(list.Tags) == 0 {
 		return nil
 	}
 	var firstErr error
-	bp := s.batches.Get().(*[]backend.Event)
-	batch := (*bp)[:0]
+	parseStart := time.Now()
+	b := s.batches.Get().(*eventBatch)
+	batch := b.events[:0]
 	for _, tag := range list.Tags {
 		code, err := epc.ParseHex(tag.EPC)
 		if err != nil {
@@ -98,23 +148,28 @@ func (s *Service) IngestTagList(list readerapi.TagListXML) error {
 			Time:     float64(tag.Pass)*100 + tag.Time,
 		})
 	}
-	*bp = batch
+	b.events, b.cycle, b.reader, b.polled = batch, cycle, list.Reader, polled
 	if len(batch) == 0 {
-		s.batches.Put(bp)
+		s.batches.Put(b)
 		return firstErr
+	}
+	parseMicros := time.Since(parseStart).Microseconds()
+	s.live.Observe(obs.HistParseMicros, uint64(parseMicros))
+	if s.tracer != nil {
+		s.tracer.Cycle(cycle, "parse", list.Reader, parseMicros, len(batch))
 	}
 	if ing := s.ing.Load(); ing != nil {
-		ing.submit(bp)
+		ing.submit(b)
 		return firstErr
 	}
-	s.ingestNow(bp)
+	s.ingestNow(b)
 	return firstErr
 }
 
 // ingestNow runs one parsed batch through the pipeline synchronously,
-// records its counters, and recycles the buffer.
-func (s *Service) ingestNow(bp *[]backend.Event) {
-	batch := *bp
+// records its counters and lifecycle stages, and recycles the buffer.
+func (s *Service) ingestNow(b *eventBatch) {
+	batch := b.events
 	start := time.Now()
 	closed := s.pipeline.IngestBatch(batch)
 	micros := time.Since(start).Microseconds()
@@ -123,18 +178,43 @@ func (s *Service) ingestNow(bp *[]backend.Event) {
 	s.live.Add(obs.CtrIngestClosed, uint64(closed))
 	s.live.Observe(obs.HistIngestBatch, uint64(len(batch)))
 	s.live.Observe(obs.HistIngestMicros, uint64(micros))
-	*bp = batch[:0]
-	s.batches.Put(bp)
+	s.live.Observe(obs.HistApplyMicros, uint64(micros))
+	// Freshness: the batch's events are store-visible as of now; measure
+	// back to the poll's start instant (monotonic difference).
+	var freshMicros int64
+	if !b.polled.IsZero() {
+		freshMicros = time.Since(b.polled).Microseconds()
+		s.live.Observe(obs.HistFreshnessMicros, uint64(freshMicros))
+	}
+	s.mon.ObserveEvents(batch)
+	if s.tracer != nil {
+		s.tracer.Cycle(b.cycle, "apply", b.reader, micros, len(batch))
+		s.tracer.Cycle(b.cycle, "close", b.reader, micros, closed)
+		if !b.polled.IsZero() {
+			s.tracer.Cycle(b.cycle, "visible", b.reader, freshMicros, len(batch))
+		}
+	}
+	b.events = batch[:0]
+	s.batches.Put(b)
 }
 
 // Poll drains one reader and ingests the result. The context bounds the
 // request: canceling it interrupts an in-flight poll.
 func (s *Service) Poll(ctx context.Context, client *readerapi.Client) error {
+	cycle := s.cycles.Add(1)
+	polled := time.Now()
 	list, err := client.Poll(ctx)
+	pollMicros := time.Since(polled).Microseconds()
+	s.live.Inc(obs.CtrPollAttempts)
 	if err != nil {
+		s.live.Inc(obs.CtrPollFailures)
 		return err
 	}
-	return s.IngestTagList(list)
+	s.live.Observe(obs.HistPollMicros, uint64(pollMicros))
+	if s.tracer != nil {
+		s.tracer.Cycle(cycle, "poll", list.Reader, pollMicros, len(list.Tags))
+	}
+	return s.ingestList(list, cycle, polled)
 }
 
 // PollLoop drains a reader on the given interval until ctx is done — the
@@ -189,17 +269,21 @@ type StatsResponse struct {
 
 // QueueStats describes the async ingest queue, when one is running.
 type QueueStats struct {
-	Depth   int `json:"depth"`   // configured capacity
-	Length  int `json:"length"`  // batches waiting right now
+	Depth   int `json:"depth"`  // configured capacity
+	Length  int `json:"length"` // batches waiting right now
 	Workers int `json:"workers"`
 }
 
 // Stats assembles the current ingest statistics. Safe to call while
-// ingestion is in flight.
+// ingestion is in flight. Rates derive from one monotonic uptime reading
+// (time.Since on the start instant), never from wall-clock subtraction,
+// so an NTP step or suspend/resume cannot produce negative or inflated
+// events/sec; the response shape is pinned by TestStatsResponseSchema.
 func (s *Service) Stats() StatsResponse {
 	snap := s.live.Snapshot()
+	uptime := time.Since(s.started)
 	resp := StatsResponse{
-		UptimeSeconds:  time.Since(s.started).Seconds(),
+		UptimeSeconds:  uptime.Seconds(),
 		Counters:       make(map[string]uint64),
 		BatchSize:      snap.Histograms["ingest.batch_size"],
 		BatchMicros:    snap.Histograms["ingest.batch_micros"],
@@ -211,8 +295,8 @@ func (s *Service) Stats() StatsResponse {
 			resp.Counters[name] = v
 		}
 	}
-	if resp.UptimeSeconds > 0 {
-		resp.EventsPerSec = float64(resp.Counters["ingest.events"]) / resp.UptimeSeconds
+	if uptime > 0 {
+		resp.EventsPerSec = float64(resp.Counters["ingest.events"]) / uptime.Seconds()
 	}
 	if ing := s.ing.Load(); ing != nil {
 		resp.Queue = &QueueStats{Depth: cap(ing.queue), Length: len(ing.queue), Workers: ing.workers}
@@ -220,12 +304,99 @@ func (s *Service) Stats() StatsResponse {
 	return resp
 }
 
+// registerGauges wires the scrape-time gauge families into the registry.
+// Every sampler returns its points in a deterministic order (shards by
+// index, readers sorted by name) — the exposition-ordering contract.
+// Label cardinality is bounded by configuration: one series per store
+// shard and per supervised reader, never per tag (DESIGN.md §12).
+func (s *Service) registerGauges() {
+	s.reg.Gauge("uptime_seconds", "Seconds since service start (monotonic).",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: time.Since(s.started).Seconds()}}
+		})
+	s.reg.Gauge("pipeline_shards", "Configured pipeline smoother shards.",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.pipeline.Shards())}}
+		})
+	s.reg.Gauge("ingest_queue_capacity", "Async ingest queue capacity in batches (0 when synchronous).",
+		func() []obs.Sample {
+			if ing := s.ing.Load(); ing != nil {
+				return []obs.Sample{{Value: float64(cap(ing.queue))}}
+			}
+			return []obs.Sample{{Value: 0}}
+		})
+	s.reg.Gauge("ingest_queue_length", "Batches waiting in the async ingest queue right now.",
+		func() []obs.Sample {
+			if ing := s.ing.Load(); ing != nil {
+				return []obs.Sample{{Value: float64(len(ing.queue))}}
+			}
+			return []obs.Sample{{Value: 0}}
+		})
+	s.reg.Gauge("store_shard_tags", "Tracked tags per store shard.",
+		func() []obs.Sample {
+			stats := s.pipeline.Store().ShardStats()
+			out := make([]obs.Sample, len(stats))
+			for i, st := range stats {
+				out[i] = obs.Sample{
+					Labels: []obs.Label{{Key: "shard", Value: strconv.Itoa(i)}},
+					Value:  float64(st.Tags),
+				}
+			}
+			return out
+		})
+	s.reg.Gauge("store_shard_sightings", "Applied sightings per store shard.",
+		func() []obs.Sample {
+			stats := s.pipeline.Store().ShardStats()
+			out := make([]obs.Sample, len(stats))
+			for i, st := range stats {
+				out[i] = obs.Sample{
+					Labels: []obs.Label{{Key: "shard", Value: strconv.Itoa(i)}},
+					Value:  float64(st.Sightings),
+				}
+			}
+			return out
+		})
+	s.reg.Gauge("breaker_state", "Circuit breaker state per supervised reader (0 closed, 1 open, 2 half-open).",
+		func() []obs.Sample {
+			return s.readerSamples(func(sup *supervisor) float64 {
+				return float64(sup.State())
+			})
+		})
+	s.reg.Gauge("poll_consecutive_failures", "Consecutive failed poll cycles per supervised reader.",
+		func() []obs.Sample {
+			return s.readerSamples(func(sup *supervisor) float64 {
+				return float64(sup.consecutive.Load())
+			})
+		})
+	if s.mon != nil {
+		s.mon.registerGauges(s.reg)
+	}
+}
+
+// readerSamples renders one labeled sample per supervised reader, sorted
+// by reader name for deterministic exposition order.
+func (s *Service) readerSamples(value func(*supervisor) float64) []obs.Sample {
+	s.mu.Lock()
+	sups := append([]*supervisor(nil), s.sups...)
+	s.mu.Unlock()
+	sort.Slice(sups, func(i, j int) bool { return sups[i].name < sups[j].name })
+	out := make([]obs.Sample, len(sups))
+	for i, sup := range sups {
+		out[i] = obs.Sample{
+			Labels: []obs.Label{{Key: "reader", Value: sup.name}},
+			Value:  value(sup),
+		}
+	}
+	return out
+}
+
 // Handler returns the JSON API:
 //
 //	GET /api/tags               every tracked tag with its last location
 //	GET /api/history?epc=HEX    a tag's sighting history (404 unknown EPC)
-//	GET /api/health             per-reader supervision state
+//	GET /api/health             per-reader supervision state and SLO verdict
 //	GET /api/stats              live ingest counters and shard occupancy
+//	GET /metrics                OpenMetrics exposition of the live metric set
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/tags", func(w http.ResponseWriter, _ *http.Request) {
@@ -260,6 +431,12 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /api/stats", func(w http.ResponseWriter, _ *http.Request) {
 		s.writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		if err := s.reg.WriteOpenMetrics(w); err != nil {
+			s.logf("tracksvc: writing metrics: %v", err)
+		}
 	})
 	mux.HandleFunc("GET /api/health", func(w http.ResponseWriter, _ *http.Request) {
 		health := s.Health()
