@@ -16,10 +16,11 @@ check: build vet test alloc-guard metrics-lint
 # alloc-guard pins the hot-path allocation contracts: with no Collector
 # attached ResolveLink must not allocate (DESIGN.md §8), the budget-terms
 # cache's hit path must stay allocation-free with the cache enabled
-# (DESIGN.md §9), and the sharded ingest steady state must stay at
-# 0 allocs/op (DESIGN.md §11–12).
+# (DESIGN.md §9), the warmed batched grid resolver must resolve whole
+# rounds at 0 allocs/op (DESIGN.md §13), and the sharded ingest steady
+# state must stay at 0 allocs/op (DESIGN.md §11–12).
 alloc-guard:
-	$(GO) test -run 'TestResolveLinkZeroAllocWhenDisabled|TestResolveLinkCacheHitZeroAlloc' -count=1 ./internal/world
+	$(GO) test -run 'TestResolveLinkZeroAllocWhenDisabled|TestResolveLinkCacheHitZeroAlloc|TestResolveLinkGridZeroAlloc' -count=1 ./internal/world
 	$(GO) test -run 'TestIngestBatchZeroAlloc' -count=1 ./internal/backend
 
 # metrics-lint validates the live OpenMetrics exposition end to end: the
@@ -49,8 +50,9 @@ test-short:
 # Baselines are numbered per PR: BENCH_1.json is the parallel-engine
 # snapshot, BENCH_2.json adds the link cache, BENCH_3.json the service
 # resilience PR, BENCH_4.json the sharded ingestion pipeline (capacity
-# benches: BenchmarkIngestBatch, BenchmarkStoreSharded, BenchmarkStoreQuery).
-BENCH_BASELINE ?= BENCH_4.json
+# benches: BenchmarkIngestBatch, BenchmarkStoreSharded, BenchmarkStoreQuery),
+# BENCH_5.json the batched grid link resolution (BenchmarkResolveLinkGrid).
+BENCH_BASELINE ?= BENCH_5.json
 bench:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -o $(BENCH_BASELINE)
 

@@ -197,6 +197,73 @@ func BenchmarkResolveLinkObserved(b *testing.B) {
 	}
 }
 
+// benchGridScene builds the batched-resolution scene: a cart of twelve
+// metal-content boxes (one tag each) crossing a two-antenna portal — the
+// Table 1/Table 3 shape, where one ResolveLinkGrid call covers what the
+// per-link path does in tags × antennas separate resolutions.
+func benchGridScene(b *testing.B) (*world.World, []*world.Antenna) {
+	b.Helper()
+	w := world.New(rf.DefaultCalibration(), 1)
+	a1 := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	a2 := w.AddAntenna("a2", geom.NewPose(geom.V(0, 2, 1), geom.UnitY.Scale(-1), geom.UnitZ))
+	for i := 0; i < 12; i++ {
+		box := w.AddBox("box", geom.CrossingPass(1, 1, 2.5, 1),
+			geom.V(0.45, 0.4, 0.2), rf.Cardboard, rf.Metal, geom.V(0.38, 0.33, 0.15))
+		code, err := epc.GID96{Manager: 1, Class: 1, Serial: uint64(i + 1)}.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.AttachTag(box, "tag"+string(rune('a'+i)), code, world.Mount{
+			Offset: geom.V(0, -0.21, float64(i%3)*0.07),
+			Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+		})
+	}
+	return w, []*world.Antenna{a1, a2}
+}
+
+// BenchmarkResolveLinkGrid measures batched grid resolution of the
+// 12-tag × 2-antenna scene — 24 links per op (DESIGN.md §13). "hit"
+// repeats one fully-warm context (every cached layer replays); "miss"
+// invalidates the scene each iteration, refilling the deterministic
+// columns; "batchoff" is the per-link A/B baseline resolving the same 24
+// links through ResolveLink one at a time.
+func BenchmarkResolveLinkGrid(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		w, ants := benchGridScene(b)
+		var g world.LinkGrid
+		ctx := world.LinkContext{Time: 2.5, Pass: 1, Round: 1}
+		w.ResolveLinkGrid(ants, ctx, &g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.ResolveLinkGrid(ants, ctx, &g)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		w, ants := benchGridScene(b)
+		var g world.LinkGrid
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Invalidate()
+			w.ResolveLinkGrid(ants, world.LinkContext{Time: 2.5, Pass: i & 1023, Round: i & 7}, &g)
+		}
+	})
+	b.Run("batchoff", func(b *testing.B) {
+		w, ants := benchGridScene(b)
+		tags := w.Tags()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx := world.LinkContext{Time: 2.5, Pass: i & 1023, Round: i & 7}
+			for _, ant := range ants {
+				for _, tag := range tags {
+					_ = w.ResolveLink(tag, ant, ctx)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkInventoryRound measures a 20-tag Gen-2 inventory round with the
 // adaptive Q algorithm (protocol only, no radio).
 func BenchmarkInventoryRound(b *testing.B) {

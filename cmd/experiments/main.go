@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-seed N] [-trials N] [-workers N] [-parallel-experiments]
-//	            [-linkcache on|off] [-o EXPERIMENTS.md]
+//	            [-linkcache on|off] [-linkbatch on|off] [-o EXPERIMENTS.md]
 //	            [-metrics] [-trace FILE] [-trace-links] [-pprof ADDR]
 //
 // With -metrics, the engine's instrumentation layer (internal/obs) is
@@ -46,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "measurement worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	parallelExp := flag.Bool("parallel-experiments", false, "run the registered experiments concurrently (bounded by GOMAXPROCS); results print in the usual order")
 	linkcache := flag.String("linkcache", "on", "deterministic budget-terms cache: on or off (off recomputes every link budget, for A/B benchmarking; results are bit-identical)")
+	linkbatch := flag.String("linkbatch", "on", "batched grid link resolution: on or off (off resolves links one at a time, for A/B benchmarking; results are bit-identical)")
 	out := flag.String("o", "", "output file (default stdout)")
 	metricsOn := flag.Bool("metrics", false, "collect engine metrics and write a run manifest next to the output")
 	manifestPath := flag.String("manifest", "", "manifest path (default: derived from -o when -metrics is set)")
@@ -71,6 +72,13 @@ func main() {
 		opt.DisableLinkCache = true
 	default:
 		log.Fatalf("experiments: -linkcache wants on or off, got %q", *linkcache)
+	}
+	switch *linkbatch {
+	case "on":
+	case "off":
+		opt.DisableLinkBatch = true
+	default:
+		log.Fatalf("experiments: -linkbatch wants on or off, got %q", *linkbatch)
 	}
 	if *metricsOn {
 		opt.Metrics = obs.NewMetrics()

@@ -324,6 +324,17 @@ func render(m obs.Manifest, top int) string {
 		}
 	}
 
+	if s.Cache != nil {
+		c := s.Cache
+		sb.WriteString("\ncaches (replica-dependent, stripped from canonical diffs):\n")
+		fmt.Fprintf(&sb, "  %-22s hits=%-10d misses=%-10d hit rate %5.1f%%\n",
+			"budget-terms", c.LinkHits, c.LinkMisses, 100*c.HitRate())
+		if c.GridTermHits+c.GridTermFills > 0 {
+			fmt.Fprintf(&sb, "  %-22s hits=%-10d fills=%-10d hit rate %5.1f%%\n",
+				"grid columns", c.GridTermHits, c.GridTermFills, 100*c.GridHitRate())
+		}
+	}
+
 	if len(s.Opportunities) > 0 {
 		opps := append([]obs.OpportunitySnapshot(nil), s.Opportunities...)
 		sort.Slice(opps, func(i, j int) bool { return rate(opps[i]) < rate(opps[j]) })

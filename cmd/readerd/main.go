@@ -44,6 +44,7 @@ import (
 	"os/signal"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -72,6 +73,37 @@ func main() {
 	// the pass driver, buffered-events gauges sampled at scrape time.
 	live := obs.NewLive()
 	reg := obs.NewRegistry(live)
+
+	// The engine-side collector observes the portal's link resolution
+	// (including the batched grid path). A Collector is single-writer and
+	// not safe to snapshot mid-pass, so the per-pass callback below copies
+	// counter deltas into the atomic Live set and republishes the cache
+	// section for the gauges — scrapes never touch the Collector itself.
+	sim := obs.NewMetrics()
+	portal.Observe(sim.Shard(), nil)
+	var cacheStats atomic.Pointer[obs.CacheSnapshot]
+	cacheGauge := func(name, help string, field func(*obs.CacheSnapshot) uint64) {
+		reg.Gauge(name, help, func() []obs.Sample {
+			cs := cacheStats.Load()
+			if cs == nil {
+				return nil
+			}
+			return []obs.Sample{{Value: float64(field(cs))}}
+		})
+	}
+	cacheGauge("link_cache_hits",
+		"Budget-terms cache hits on the simulation's link resolutions.",
+		func(c *obs.CacheSnapshot) uint64 { return c.LinkHits })
+	cacheGauge("link_cache_misses",
+		"Budget-terms cache misses on the simulation's link resolutions.",
+		func(c *obs.CacheSnapshot) uint64 { return c.LinkMisses })
+	cacheGauge("grid_term_hits",
+		"Batched grid column reuses at an already-resolved instant.",
+		func(c *obs.CacheSnapshot) uint64 { return c.GridTermHits })
+	cacheGauge("grid_term_fills",
+		"Batched grid column fills at a new instant.",
+		func(c *obs.CacheSnapshot) uint64 { return c.GridTermFills })
+
 	reg.Gauge("reader_buffered_events",
 		"Events waiting in each simulated reader's buffered-mode store.",
 		func() []obs.Sample {
@@ -105,12 +137,26 @@ func main() {
 	defer stop()
 
 	// Drive passes in the background; each pass is instantaneous in
-	// simulation time and paced by -interval in real time.
+	// simulation time and paced by -interval in real time. The callback
+	// runs on the driver goroutine between passes — the only point where
+	// the Collector is quiescent — so that is where engine counters are
+	// mirrored into the atomic Live set.
+	mirrored := []obs.Counter{obs.CtrLinkResolutions, obs.CtrGridBatches, obs.CtrGridLinks}
+	prev := make(map[obs.Counter]uint64, len(mirrored))
 	go tracksvc.DrivePasses(ctx, portal, *interval, func(pass int, res rfidtrack.PassResult) {
 		live.Inc(obs.CtrPasses)
 		live.Add(obs.CtrRounds, uint64(res.Rounds))
 		live.Add(obs.CtrReads, uint64(len(res.Events)))
 		live.Observe(obs.HistRoundsPerPass, uint64(res.Rounds))
+		snap := sim.Snapshot()
+		for _, ctr := range mirrored {
+			v := snap.Counters[ctr.Name()]
+			live.Add(ctr, v-prev[ctr])
+			prev[ctr] = v
+		}
+		if snap.Cache != nil {
+			cacheStats.Store(snap.Cache)
+		}
 		log.Printf("pass %d: %d reads, %d rounds", pass, len(res.Events), res.Rounds)
 	})
 

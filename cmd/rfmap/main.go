@@ -33,6 +33,7 @@ func main() {
 	depth := flag.Float64("depth", 6, "y extent (meters, in front of antenna 1)")
 	blocker := flag.Bool("blocker", false, "park a metal-loaded box at (0, 1) to shadow the zone")
 	explain := flag.String("explain", "", "print the itemized link budget at \"x,y\" instead of the map")
+	linkbatch := flag.String("linkbatch", "on", "batched grid link resolution: on|off (bit-identical either way)")
 	flag.Parse()
 
 	cal := rf.DefaultCalibration()
@@ -61,17 +62,46 @@ func main() {
 		Gap:    0.1,
 	})
 
+	switch *linkbatch {
+	case "on":
+	case "off":
+		w.SetLinkBatch(false)
+	default:
+		log.Fatalf("rfmap: -linkbatch must be on or off, got %q", *linkbatch)
+	}
+
 	// margin computes the mean forward margin (dB over sensitivity) at a
 	// position, best over antennas, with randomness suppressed by
-	// averaging passes.
+	// averaging passes. The batched path resolves every antenna's link in
+	// one grid call per pass; the per-antenna sums accumulate in the same
+	// ascending-pass order as the per-link loop, so both paths render the
+	// identical map.
+	var grid world.LinkGrid
+	sums := make([]float64, len(w.Antennas()))
 	margin := func(x, y float64) float64 {
 		// Through the mutator: the probe drag must invalidate the world's
 		// budget-terms cache at every new position.
 		w.SetBoxPath(probeBox, geom.StaticPath{Pose: geom.NewPose(geom.V(x, y, *height), geom.UnitX, geom.UnitZ)})
+		const passes = 8
 		best := -1e9
+		if w.LinkBatchEnabled() {
+			clear(sums)
+			for p := 0; p < passes; p++ {
+				w.ResolveLinkGrid(w.Antennas(), world.LinkContext{Pass: p}, &grid)
+				for i, ant := range w.Antennas() {
+					l := grid.Link(ant, probe)
+					sums[i] += float64(l.TagPower - cal.ChipSensitivityDBm)
+				}
+			}
+			for _, sum := range sums {
+				if m := sum / 8; m > best {
+					best = m
+				}
+			}
+			return best
+		}
 		for _, ant := range w.Antennas() {
 			var sum float64
-			const passes = 8
 			for p := 0; p < passes; p++ {
 				l := w.ResolveLink(probe, ant, world.LinkContext{Pass: p})
 				sum += float64(l.TagPower - cal.ChipSensitivityDBm)

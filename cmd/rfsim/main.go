@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	rfsim [-seed N] [-trials N] [-workers N] [-linkcache on|off] [-list] <experiment>...
+//	rfsim [-seed N] [-trials N] [-workers N] [-linkcache on|off] [-linkbatch on|off] [-list] <experiment>...
 //	rfsim -metrics run.manifest.json -trace run.trace.jsonl fig2
 //	rfsim all
 //
@@ -37,6 +37,7 @@ func run(args []string, out, errOut io.Writer) int {
 	trials := fs.Int("trials", 0, "override per-experiment trial counts (0 = paper defaults)")
 	workers := fs.Int("workers", 0, "measurement worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	linkcache := fs.String("linkcache", "on", "deterministic budget-terms cache: on or off (off recomputes every link budget, for A/B benchmarking; results are bit-identical)")
+	linkbatch := fs.String("linkbatch", "on", "batched grid link resolution: on or off (off resolves links one at a time, for A/B benchmarking; results are bit-identical)")
 	list := fs.Bool("list", false, "list available experiments and exit")
 	csv := fs.Bool("csv", false, "emit result tables as CSV (for plotting)")
 	metricsPath := fs.String("metrics", "", "collect engine metrics and write a run manifest to this file")
@@ -72,6 +73,14 @@ func run(args []string, out, errOut io.Writer) int {
 		opt.DisableLinkCache = true
 	default:
 		fmt.Fprintf(errOut, "rfsim: -linkcache wants on or off, got %q\n", *linkcache)
+		return 2
+	}
+	switch *linkbatch {
+	case "on":
+	case "off":
+		opt.DisableLinkBatch = true
+	default:
+		fmt.Fprintf(errOut, "rfsim: -linkbatch wants on or off, got %q\n", *linkbatch)
 		return 2
 	}
 	if *metricsPath != "" {

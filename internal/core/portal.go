@@ -278,6 +278,11 @@ type MeasureOpts struct {
 	// cache (the -linkcache=off escape hatch). Results are bit-identical
 	// with the cache on or off; the switch exists for A/B benchmarking.
 	DisableLinkCache bool
+	// DisableLinkBatch steers every replica's readers back to per-link
+	// ResolveLink calls instead of batched world.ResolveLinkGrid
+	// resolution (the -linkbatch=off escape hatch). Results are
+	// bit-identical either way.
+	DisableLinkBatch bool
 }
 
 // MeasureParallel is Measure fanned across a worker pool. Each worker gets
@@ -313,6 +318,9 @@ func MeasureParallelOpts(build Builder, n, firstPass int, o MeasureOpts) (Reliab
 		if o.DisableLinkCache {
 			p.World.SetLinkCache(false)
 		}
+		if o.DisableLinkBatch {
+			p.World.SetLinkBatch(false)
+		}
 		if o.Metrics != nil || o.Tracer != nil {
 			p.Observe(o.Metrics.Shard(), o.Tracer)
 		}
@@ -326,6 +334,9 @@ func MeasureParallelOpts(build Builder, n, firstPass int, o MeasureOpts) (Reliab
 		}
 		if o.DisableLinkCache {
 			p.World.SetLinkCache(false)
+		}
+		if o.DisableLinkBatch {
+			p.World.SetLinkBatch(false)
 		}
 		if o.Metrics != nil || o.Tracer != nil {
 			p.Observe(o.Metrics.Shard(), o.Tracer)

@@ -40,6 +40,10 @@ type Options struct {
 	// every portal replica (the CLIs' -linkcache=off). Results are
 	// bit-identical either way; the switch exists for A/B benchmarking.
 	DisableLinkCache bool
+	// DisableLinkBatch steers every portal replica back to per-link
+	// ResolveLink calls instead of batched grid resolution (the CLIs'
+	// -linkbatch=off). Results are bit-identical either way.
+	DisableLinkBatch bool
 }
 
 // Validate rejects option values that would otherwise be silently
@@ -74,6 +78,7 @@ func (o Options) measure(build core.Builder, trials, firstPass int) (core.Reliab
 		Metrics:          o.Metrics,
 		Tracer:           o.Tracer,
 		DisableLinkCache: o.DisableLinkCache,
+		DisableLinkBatch: o.DisableLinkBatch,
 	})
 }
 

@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestLinkBatchEquivalence pins the batched grid resolver's guarantee
+// (DESIGN.md §13): rendering any experiment with -linkbatch=off — links
+// resolved one at a time — at any worker count reproduces the batched
+// workers=1 output byte for byte. Same scene coverage as the link-cache
+// twin: the static read-range grid (fig2), the moving object cart
+// (table1, table3), and the walking subjects (table2).
+func TestLinkBatchEquivalence(t *testing.T) {
+	for _, id := range []string{"fig2", "table1", "table2", "table3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			base := Options{Seed: 99, Trials: 4, Workers: 1}
+			want, err := Run(id, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				for _, off := range []bool{false, true} {
+					if workers == 1 && !off {
+						continue // the baseline itself
+					}
+					opt := base
+					opt.Workers = workers
+					opt.DisableLinkBatch = off
+					got, err := Run(id, opt)
+					if err != nil {
+						t.Fatalf("workers=%d batchOff=%v: %v", workers, off, err)
+					}
+					if got.String() != want.String() {
+						t.Errorf("workers=%d batchOff=%v output differs from batched workers=1:\n--- want ---\n%s\n--- got ---\n%s",
+							workers, off, want.String(), got.String())
+					}
+				}
+			}
+		})
+	}
+}

@@ -164,18 +164,66 @@ func Collect(w *world.World, tag *world.Tag, antennas []*world.Antenna, pass, sa
 	return m
 }
 
+// CollectAll measures the signatures of many tags in one sweep. With
+// batched resolution enabled it resolves the whole (tag × antenna) grid
+// once per fading sample via world.ResolveLinkGrid — the survey cost
+// drops from tags × antennas × samples separate resolutions to samples
+// grid passes — and otherwise it degenerates to per-tag Collect calls.
+// Either way each signature is bit-identical to Collect's: the per-link
+// powers are equal and the per-antenna means accumulate in the same
+// ascending-sample order.
+func CollectAll(w *world.World, tags []*world.Tag, antennas []*world.Antenna, pass, samples int) []Measurement {
+	if samples <= 0 {
+		samples = 8
+	}
+	out := make([]Measurement, len(tags))
+	if !w.LinkBatchEnabled() {
+		for i, tag := range tags {
+			out[i] = Collect(w, tag, antennas, pass, samples)
+		}
+		return out
+	}
+	sums := make([]float64, len(tags)*len(antennas))
+	heard := make([]int, len(tags)*len(antennas))
+	var g world.LinkGrid
+	for s := 0; s < samples; s++ {
+		t := float64(s) * math.Max(w.Cal.FadingCoherenceSeconds, 0.1)
+		w.ResolveLinkGrid(antennas, world.LinkContext{Time: t, Pass: pass, Round: s}, &g)
+		for ti, tag := range tags {
+			for ai, ant := range antennas {
+				if l := g.Link(ant, tag); l.Readable(w.Cal) {
+					sums[ti*len(antennas)+ai] += float64(l.ReaderPower)
+					heard[ti*len(antennas)+ai]++
+				}
+			}
+		}
+	}
+	for ti := range tags {
+		m := Measurement{ByAntenna: map[string]float64{}}
+		for ai, ant := range antennas {
+			if h := heard[ti*len(antennas)+ai]; h > 0 {
+				m.ByAntenna[ant.Name] = sums[ti*len(antennas)+ai] / float64(h)
+			}
+		}
+		out[ti] = m
+	}
+	return out
+}
+
 // Survey builds an estimator from a set of reference tags already placed
-// in the world.
+// in the world. The reference signatures are collected in one batched
+// sweep (see CollectAll).
 func Survey(w *world.World, refs []*world.Tag, antennas []*world.Antenna, k, pass, samples int) (*Estimator, error) {
 	if len(refs) == 0 {
 		return nil, ErrNoReferences
 	}
 	e := NewEstimator(k)
-	for _, tag := range refs {
+	sigs := CollectAll(w, refs, antennas, pass, samples)
+	for i, tag := range refs {
 		e.AddReference(Reference{
 			Name:   tag.Name,
 			Pos:    tag.Pos(0),
-			Signal: Collect(w, tag, antennas, pass, samples),
+			Signal: sigs[i],
 		})
 	}
 	return e, nil

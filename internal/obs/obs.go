@@ -48,6 +48,8 @@ const (
 	CtrQAdjusts                       // round.q_adjusts
 	CtrReads                          // round.reads
 	CtrLinkResolutions                // link.resolutions
+	CtrGridBatches                    // grid.batches
+	CtrGridLinks                      // grid.links
 	CtrPollAttempts                   // poll.attempts
 	CtrPollFailures                   // poll.failures
 	CtrPollRetries                    // poll.retries
@@ -63,6 +65,10 @@ const (
 	numCounters
 )
 
+// Name returns the counter's stable snapshot key (e.g. "grid.batches") —
+// the key Snapshot.Counters indexes by.
+func (c Counter) Name() string { return counterNames[c] }
+
 // counterNames are the stable snapshot keys, documented in DESIGN.md §8.
 var counterNames = [numCounters]string{
 	CtrPasses:          "pass.count",
@@ -76,6 +82,8 @@ var counterNames = [numCounters]string{
 	CtrQAdjusts:        "round.q_adjusts",
 	CtrReads:           "round.reads",
 	CtrLinkResolutions: "link.resolutions",
+	CtrGridBatches:     "grid.batches",
+	CtrGridLinks:       "grid.links",
 	CtrPollAttempts:    "poll.attempts",
 	CtrPollFailures:    "poll.failures",
 	CtrPollRetries:     "poll.retries",
@@ -205,8 +213,11 @@ type Collector struct {
 	// Link-cache effectiveness. Hit/miss splits depend on how many worker
 	// replicas ran (each replica warms its own cache), so they merge into
 	// the snapshot's Cache section, which Canonical strips alongside
-	// WallTime.
+	// WallTime. The grid term counters are the batched path's analogue:
+	// links served from a still-valid LinkGrid column vs links whose
+	// column had to be refilled.
 	linkCacheHits, linkCacheMisses uint64
+	gridTermHits, gridTermFills    uint64
 
 	opps map[opKey]*[numOutcomes]uint64
 }
@@ -230,6 +241,14 @@ func (c *Collector) LinkCacheHit() { c.linkCacheHits++ }
 // LinkCacheMiss counts one budget-terms cache miss (a full deterministic
 // term computation).
 func (c *Collector) LinkCacheMiss() { c.linkCacheMisses++ }
+
+// GridTermHits counts n links served from a still-valid LinkGrid
+// deterministic column (world.ResolveLinkGrid).
+func (c *Collector) GridTermHits(n uint64) { c.gridTermHits += n }
+
+// GridTermFills counts n links whose LinkGrid deterministic column had to
+// be (re)computed.
+func (c *Collector) GridTermFills(n uint64) { c.gridTermFills += n }
 
 // PassDone records the completion of one simulated pass: the round count,
 // the simulated duration, and the wall-clock time the pass took.
@@ -317,10 +336,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	var wallPass hist
 	var wallNS uint64
 	var cacheHits, cacheMisses uint64
+	var gridHits, gridFills uint64
 	opps := make(map[opKey]*[numOutcomes]uint64)
 	for _, c := range shards {
 		cacheHits += c.linkCacheHits
 		cacheMisses += c.linkCacheMisses
+		gridHits += c.gridTermHits
+		gridFills += c.gridTermFills
 		for i := range counters {
 			counters[i] += c.counters[i]
 		}
@@ -374,8 +396,13 @@ func (m *Metrics) Snapshot() Snapshot {
 			PassMicros:   snapHist(&wallPass),
 		}
 	}
-	if cacheHits+cacheMisses > 0 {
-		s.Cache = &CacheSnapshot{LinkHits: cacheHits, LinkMisses: cacheMisses}
+	if cacheHits+cacheMisses+gridHits+gridFills > 0 {
+		s.Cache = &CacheSnapshot{
+			LinkHits:      cacheHits,
+			LinkMisses:    cacheMisses,
+			GridTermHits:  gridHits,
+			GridTermFills: gridFills,
+		}
 	}
 	return s
 }

@@ -93,6 +93,8 @@ var counterHelp = [numCounters]string{
 	CtrQAdjusts:        "Gen-2 Q parameter adjustments.",
 	CtrReads:           "Successful tag reads (EPC decoded).",
 	CtrLinkResolutions: "Calls into world.ResolveLink.",
+	CtrGridBatches:     "Batched grid resolutions (world.ResolveLinkGrid calls).",
+	CtrGridLinks:       "Links resolved through the batched grid path.",
 	CtrPollAttempts:    "Reader poll attempts, including retries.",
 	CtrPollFailures:    "Reader poll attempts that failed.",
 	CtrPollRetries:     "Reader poll retries after a failed attempt.",

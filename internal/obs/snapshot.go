@@ -82,12 +82,17 @@ type WallSnapshot struct {
 	PassMicros HistSnapshot `json:"pass_micros"`
 }
 
-// CacheSnapshot tallies link-cache lookups in world.ResolveLink. Hits
-// replay precomputed deterministic budget terms; misses computed them
-// fresh (see DESIGN.md §9).
+// CacheSnapshot tallies link-cache lookups in world.ResolveLink and
+// deterministic-column reuse in world.ResolveLinkGrid. Hits replay
+// precomputed budget terms; misses/fills computed them fresh (see
+// DESIGN.md §9 and §13).
 type CacheSnapshot struct {
 	LinkHits   uint64 `json:"link_hits"`
 	LinkMisses uint64 `json:"link_misses"`
+	// GridTermHits/GridTermFills count links on the batched grid path
+	// whose deterministic column was reused vs (re)computed.
+	GridTermHits  uint64 `json:"grid_term_hits,omitempty"`
+	GridTermFills uint64 `json:"grid_term_fills,omitempty"`
 }
 
 // HitRate is the fraction of lookups served from the cache; NaN when no
@@ -98,6 +103,16 @@ func (c CacheSnapshot) HitRate() float64 {
 		return math.NaN()
 	}
 	return float64(c.LinkHits) / float64(n)
+}
+
+// GridHitRate is the fraction of grid-path links served from a
+// still-valid deterministic column; NaN when the grid path never ran.
+func (c CacheSnapshot) GridHitRate() float64 {
+	n := c.GridTermHits + c.GridTermFills
+	if n == 0 {
+		return math.NaN()
+	}
+	return float64(c.GridTermHits) / float64(n)
 }
 
 // Canonical returns the snapshot with the nondeterministic sections

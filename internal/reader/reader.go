@@ -95,6 +95,13 @@ type Reader struct {
 	events  []Event
 	scratch gen2.Scratch
 
+	// grid is the reader-owned scratch behind batched link resolution
+	// (world.ResolveLinkGrid); gridAnt is the one-element antenna list
+	// handed to it each round. Owned by the round goroutine, like the
+	// world itself.
+	grid    world.LinkGrid
+	gridAnt [1]*world.Antenna
+
 	// obs and tracer, when non-nil, receive round summaries and
 	// per-(tag, antenna) opportunity outcomes (see Observe). readMark is
 	// observation scratch, sized like parts.
@@ -196,15 +203,33 @@ func (r *Reader) RunRound(passID int, t float64, foreign []world.ForeignEmitter)
 	parts := r.parts[:len(tags)]
 	links := r.links[:len(tags)]
 	ctx := world.LinkContext{Time: t, Pass: passID, Round: round, Foreign: foreign}
-	for i, tag := range tags {
-		l := r.world.ResolveLink(tag, ant, ctx)
-		tag.Proto.SetPower(l.TagPowered(cal), t)
-		parts[i] = gen2.Participant{
-			Tag:       tag.Proto,
-			ForwardOK: l.ForwardDecodable(cal),
-			ReverseOK: l.ReverseDecodable(cal),
+	if r.world.LinkBatchEnabled() {
+		// Batched path: one grid resolution covers the whole tag column at
+		// this instant, walking the budget memo once per (antenna, instant)
+		// instead of once per link. Bit-identical to the loop below.
+		r.gridAnt[0] = ant
+		r.world.ResolveLinkGrid(r.gridAnt[:], ctx, &r.grid)
+		for i, tag := range tags {
+			l := r.grid.Link(ant, tag)
+			tag.Proto.SetPower(l.TagPowered(cal), t)
+			parts[i] = gen2.Participant{
+				Tag:       tag.Proto,
+				ForwardOK: l.ForwardDecodable(cal),
+				ReverseOK: l.ReverseDecodable(cal),
+			}
+			links[i] = l.ReaderPower
 		}
-		links[i] = l.ReaderPower
+	} else {
+		for i, tag := range tags {
+			l := r.world.ResolveLink(tag, ant, ctx)
+			tag.Proto.SetPower(l.TagPowered(cal), t)
+			parts[i] = gen2.Participant{
+				Tag:       tag.Proto,
+				ForwardOK: l.ForwardDecodable(cal),
+				ReverseOK: l.ReverseDecodable(cal),
+			}
+			links[i] = l.ReaderPower
+		}
 	}
 
 	cfg := r.cfg

@@ -1,0 +1,372 @@
+// Corpus: a blackbox net of application scenes over the whole stack.
+//
+// Where scenario.go rebuilds the paper's own experiments, the corpus
+// describes the deployments the paper's techniques target — dock doors,
+// conveyors, security portals, asset tracking — each measured under a few
+// redundancy configurations. The pinned envelopes (mean tag and carrier
+// reliability, tags-read-per-pass range) live in one golden file
+// (testdata/corpus_golden.json) that any engine change must reproduce
+// exactly: the corpus is the regression net that catches a behaviour
+// change no unit test looks for, because every number funnels through
+// carriers, mounts, the batched link grid, the Gen2 rounds, and the
+// measurement engine at once.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"rfidtrack/internal/core"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+// CorpusCase is one (application scenario, redundancy configuration) cell
+// of the regression net.
+type CorpusCase struct {
+	// Scenario names the deployment (warehouse-dock-door, conveyor, ...).
+	Scenario string
+	// Config names the redundancy configuration under test.
+	Config string
+	// Build constructs the portal; the measurement engine may call it once
+	// per worker replica.
+	Build core.Builder
+}
+
+// Envelope is the pinned reliability envelope of one corpus case: the
+// scene shape plus the aggregate numbers a regression would move. Floats
+// are rounded (see round9) so the golden file is stable text while still
+// pinning results to better than any physical effect.
+type Envelope struct {
+	Scenario string `json:"scenario"`
+	Config   string `json:"config"`
+	Tags     int    `json:"tags"`
+	Carriers int    `json:"carriers"`
+	// MeanTag / MeanCarrier are the mean per-tag read and per-carrier
+	// tracking reliabilities over the corpus trials.
+	MeanTag     float64 `json:"mean_tag_reliability"`
+	MeanCarrier float64 `json:"mean_carrier_reliability"`
+	// Reads* summarize distinct tags read per pass.
+	ReadsMean float64 `json:"mean_tags_read_per_pass"`
+	ReadsMin  float64 `json:"min_tags_read_per_pass"`
+	ReadsMax  float64 `json:"max_tags_read_per_pass"`
+}
+
+// CorpusTrials is the per-case trial count the golden envelopes pin.
+// Small on purpose: the corpus is a regression net, not a study — it
+// wants bit-stable numbers fast, not tight confidence intervals.
+const CorpusTrials = 6
+
+// Corpus returns every corpus case, in golden-file order, for the given
+// seed. The golden envelopes are pinned at seed 1.
+func Corpus(seed uint64) []CorpusCase {
+	var cases []CorpusCase
+	add := func(scenario, config string, build core.Builder) {
+		cases = append(cases, CorpusCase{Scenario: scenario, Config: config, Build: build})
+	}
+
+	// Warehouse dock door: a forklift pallet of metal-content cartons
+	// through a wide doorway. The classic Table 3 story retold at pallet
+	// scale: one antenna misses the far column, the second antenna and the
+	// second tag each claw back coverage.
+	add("warehouse-dock-door", "1ant-1tag", func() (*core.Portal, error) {
+		return warehouseDockDoor(1, []BoxLocation{LocFront}, seed)
+	})
+	add("warehouse-dock-door", "2ant-1tag", func() (*core.Portal, error) {
+		return warehouseDockDoor(2, []BoxLocation{LocFront}, seed)
+	})
+	add("warehouse-dock-door", "2ant-2tag", func() (*core.Portal, error) {
+		return warehouseDockDoor(2, []BoxLocation{LocFront, LocTop}, seed)
+	})
+
+	// Conveyor: single-file cartons past a side-mounted antenna. The
+	// single label sits on the lid (the strongly detuned mount), belt
+	// speed shrinks the read window, and the second (front) tag is the
+	// cheap fix.
+	add("conveyor", "fast-1tag", func() (*core.Portal, error) {
+		return conveyor(3.0, []BoxLocation{LocTop}, seed)
+	})
+	add("conveyor", "fast-2tag", func() (*core.Portal, error) {
+		return conveyor(3.0, []BoxLocation{LocTop, LocFront}, seed)
+	})
+	add("conveyor", "slow-1tag", func() (*core.Portal, error) {
+		return conveyor(1.0, []BoxLocation{LocTop}, seed)
+	})
+
+	// Retail portal: a shopper pushing a cart of mixed goods past the
+	// exit, a second shopper alongside. Dense mode with two readers is the
+	// store's actual deployment question.
+	add("retail-portal", "1ant", func() (*core.Portal, error) {
+		return retailPortal(1, false, seed)
+	})
+	add("retail-portal", "2ant", func() (*core.Portal, error) {
+		return retailPortal(2, false, seed)
+	})
+	add("retail-portal", "2ant-dense", func() (*core.Portal, error) {
+		return retailPortal(2, true, seed)
+	})
+
+	// Library gate: a patron carrying a stack of tagged books through a
+	// narrow gate. Benign materials (no metal), so the gate mostly fights
+	// orientation and body shadowing.
+	add("library-gate", "1ant", func() (*core.Portal, error) {
+		return libraryGate(1, seed)
+	})
+	add("library-gate", "2ant", func() (*core.Portal, error) {
+		return libraryGate(2, seed)
+	})
+
+	// Hospital asset tracking: a nurse pushing an equipment cart (metal,
+	// the hard case) with a badge. Dual-dipole asset labels and an active
+	// beacon are the two upgrades the corpus prices.
+	add("hospital-asset", "passive", func() (*core.Portal, error) {
+		return hospitalAsset(false, false, seed)
+	})
+	add("hospital-asset", "dual-dipole", func() (*core.Portal, error) {
+		return hospitalAsset(true, false, seed)
+	})
+	add("hospital-asset", "active-beacon", func() (*core.Portal, error) {
+		return hospitalAsset(false, true, seed)
+	})
+
+	return cases
+}
+
+// MeasureEnvelope runs a corpus case for CorpusTrials passes and folds
+// the result into its envelope. Results are bit-identical for any worker
+// count (see core.MeasureParallel), which is what lets the golden file
+// pin exact floats.
+func MeasureEnvelope(c CorpusCase, workers int) (Envelope, error) {
+	rel, err := core.MeasureParallelOpts(c.Build, CorpusTrials, 1, core.MeasureOpts{Workers: workers})
+	if err != nil {
+		return Envelope{}, fmt.Errorf("corpus %s/%s: %w", c.Scenario, c.Config, err)
+	}
+	sum := rel.ReadSummary()
+	return Envelope{
+		Scenario:    c.Scenario,
+		Config:      c.Config,
+		Tags:        len(rel.PerTag),
+		Carriers:    len(rel.PerCarrier),
+		MeanTag:     round9(rel.MeanTagReliability(nil)),
+		MeanCarrier: round9(rel.MeanCarrierReliability(nil)),
+		ReadsMean:   round9(sum.Mean),
+		ReadsMin:    sum.Min,
+		ReadsMax:    sum.Max,
+	}, nil
+}
+
+// round9 rounds to 9 decimals: far below anything physical, far above
+// JSON round-trip noise.
+func round9(x float64) float64 { return math.Round(x*1e9) / 1e9 }
+
+// warehouseDockDoor: a 2×2×2 pallet of router-class cartons through a
+// doorway wider than the paper's portal (antennas 3 m apart, far column
+// at 1.55 m from a1).
+func warehouseDockDoor(antennas int, locs []BoxLocation, seed uint64) (*core.Portal, error) {
+	w := world.New(rf.DefaultCalibration(), seed)
+	ants := []*world.Antenna{
+		w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, antennaHeight), geom.UnitY, geom.UnitZ)),
+	}
+	if antennas >= 2 {
+		ants = append(ants, w.AddAntenna("a2",
+			geom.NewPose(geom.V(0, 3.2, antennaHeight), geom.UnitY.Scale(-1), geom.UnitZ)))
+	}
+	serial := uint64(0)
+	for row := 0; row < 2; row++ {
+		for col := 0; col < 2; col++ {
+			for layer := 0; layer < 2; layer++ {
+				name := fmt.Sprintf("pallet%d%d%d", row, col, layer)
+				// Columns at 1.2 m and 2.0 m from a1: the far column is at the
+				// edge of a single antenna's reach, which is exactly what the
+				// second antenna (1.2 m from ITS near column) repairs.
+				path := geom.LinePath{
+					Start: geom.NewPose(geom.V(-passHalfSpan+float64(row)*0.5, 1.2+float64(col)*0.8, 0.55+float64(layer)*0.25), geom.UnitX, geom.UnitZ),
+					Vel:   geom.UnitX.Scale(passSpeed),
+					Dur:   2 * passHalfSpan / passSpeed,
+				}
+				box := w.AddBox(name, path, routerBoxSize, rf.Cardboard, rf.Metal, routerContentSize)
+				for _, loc := range locs {
+					m, err := boxMount(loc)
+					if err != nil {
+						return nil, err
+					}
+					serial++
+					w.AttachTag(box, name+"/"+string(loc), sgtin(400, serial), m)
+				}
+			}
+		}
+	}
+	r, err := reader.New("r1", w, ants)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}
+
+// conveyor: five single-file cartons past one side antenna at 0.8 m.
+func conveyor(speed float64, locs []BoxLocation, seed uint64) (*core.Portal, error) {
+	w := world.New(rf.DefaultCalibration(), seed)
+	ants := []*world.Antenna{
+		w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 0.9), geom.UnitY, geom.UnitZ)),
+	}
+	serial := uint64(0)
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("carton%d", i)
+		path := geom.LinePath{
+			Start: geom.NewPose(geom.V(-passHalfSpan+float64(i)*0.6, 0.8, 0.9), geom.UnitX, geom.UnitZ),
+			Vel:   geom.UnitX.Scale(speed),
+			Dur:   2 * passHalfSpan / speed,
+		}
+		box := w.AddBox(name, path, routerBoxSize, rf.Cardboard, rf.Metal, routerContentSize)
+		for _, loc := range locs {
+			m, err := boxMount(loc)
+			if err != nil {
+				return nil, err
+			}
+			serial++
+			w.AttachTag(box, name+"/"+string(loc), sgtin(500, serial), m)
+		}
+	}
+	r, err := reader.New("r1", w, ants)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}
+
+// retailPortal: a shopper pushing a cart of mixed goods (one metal-content
+// carton, one benign carton), a second shopper walking alongside, through
+// the paper's portal geometry. Dense mode splits the two antennas across
+// two readers.
+func retailPortal(antennas int, dense bool, seed uint64) (*core.Portal, error) {
+	w := world.New(rf.DefaultCalibration(), seed)
+	ants := addPortalAntennas(w, antennas)
+
+	cartPath := func(dy, dz float64) geom.LinePath {
+		return geom.LinePath{
+			Start: geom.NewPose(geom.V(-passHalfSpan, passStandoff+dy, dz), geom.UnitX, geom.UnitZ),
+			Vel:   geom.UnitX.Scale(passSpeed),
+			Dur:   2 * passHalfSpan / passSpeed,
+		}
+	}
+	goods := w.AddBox("goods", cartPath(0, 0.6), geom.V(0.5, 0.35, 0.3), rf.Cardboard, rf.Metal, geom.V(0.4, 0.28, 0.22))
+	w.AttachTag(goods, "goods/front", sgtin(600, 1), world.Mount{
+		Offset: geom.V(0, -0.177, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: frontMountGap,
+	})
+	soft := w.AddBox("softgoods", cartPath(0, 0.95), geom.V(0.5, 0.35, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	w.AttachTag(soft, "softgoods/front", sgtin(600, 2), world.Mount{
+		Offset: geom.V(0, -0.177, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.1,
+	})
+	shopperPath := geom.LinePath{
+		Start: geom.NewPose(geom.V(-passHalfSpan-0.6, passStandoff+0.35, 0), geom.UnitX, geom.UnitZ),
+		Vel:   geom.UnitX.Scale(passSpeed),
+		Dur:   (2*passHalfSpan + 0.6) / passSpeed,
+	}
+	shopper := w.AddPerson("shopper", shopperPath, subjectHeight, subjectRadius)
+	m, err := humanMount(HumanFront)
+	if err != nil {
+		return nil, err
+	}
+	w.AttachTag(shopper, "shopper/front", gid(7, 1), m)
+
+	if dense && antennas >= 2 {
+		r1, err := reader.New("r1", w, ants[:1], reader.WithDenseMode(true))
+		if err != nil {
+			return nil, err
+		}
+		r2, err := reader.New("r2", w, ants[1:], reader.WithDenseMode(true))
+		if err != nil {
+			return nil, err
+		}
+		return &core.Portal{World: w, Readers: []*reader.Reader{r1, r2}}, nil
+	}
+	r, err := reader.New("r1", w, ants)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}
+
+// libraryGate: a patron carrying three tagged books through a narrow
+// (1.2 m) gate. Books are benign cardboard; the patron's body is the only
+// obstruction.
+func libraryGate(antennas int, seed uint64) (*core.Portal, error) {
+	w := world.New(rf.DefaultCalibration(), seed)
+	ants := []*world.Antenna{
+		w.AddAntenna("g1", geom.NewPose(geom.V(0, 0, 1.1), geom.UnitY, geom.UnitZ)),
+	}
+	if antennas >= 2 {
+		ants = append(ants, w.AddAntenna("g2",
+			geom.NewPose(geom.V(0, 1.2, 1.1), geom.UnitY.Scale(-1), geom.UnitZ)))
+	}
+	path := geom.LinePath{
+		Start: geom.NewPose(geom.V(-passHalfSpan, 0.6, 0), geom.UnitX, geom.UnitZ),
+		Vel:   geom.UnitX.Scale(passSpeed),
+		Dur:   2 * passHalfSpan / passSpeed,
+	}
+	patron := w.AddPerson("patron", path, subjectHeight, subjectRadius)
+	// A stack of books carried on the patron's far-side hip (toward g2):
+	// the body shadows them from g1, which is the whole case for the
+	// second gate antenna.
+	for i := 0; i < 3; i++ {
+		w.AttachTag(patron, fmt.Sprintf("book%d", i), sgtin(700, uint64(i+1)), world.Mount{
+			Offset: geom.V(0.05, 0.24, 1.0+float64(i)*0.04),
+			Normal: geom.UnitY, Axis: geom.UnitX, Gap: 0.04,
+		})
+	}
+	r, err := reader.New("r1", w, ants)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}
+
+// hospitalAsset: a nurse pushing an equipment cart — a metal-content case
+// (infusion pump class) with an asset label — with a staff badge, through
+// a two-antenna corridor portal. dualDipole upgrades the asset label to
+// an orientation-insensitive dual-dipole design; activeBeacon adds a
+// battery-powered beacon to the cart.
+func hospitalAsset(dualDipole, activeBeacon bool, seed uint64) (*core.Portal, error) {
+	w := world.New(rf.DefaultCalibration(), seed)
+	ants := addPortalAntennas(w, 2)
+	path := geom.LinePath{
+		Start: geom.NewPose(geom.V(-passHalfSpan, passStandoff, 0.85), geom.UnitX, geom.UnitZ),
+		Vel:   geom.UnitX.Scale(passSpeed),
+		Dur:   2 * passHalfSpan / passSpeed,
+	}
+	cart := w.AddBox("cart", path, geom.V(0.5, 0.45, 0.35), rf.Cardboard, rf.Metal, geom.V(0.42, 0.38, 0.28))
+	// The asset label was slapped on the leading face with its dipole
+	// pointing down the corridor — at both antennas' bearings, the bad
+	// Orient1-style placement. The dual-dipole upgrade adds the vertical
+	// second dipole that rescues it.
+	mount := world.Mount{
+		Offset: geom.V(0.252, 0, 0), Normal: geom.UnitX, Axis: geom.UnitY, Gap: 0.03,
+	}
+	if dualDipole {
+		mount.Axis2 = geom.UnitZ
+	}
+	w.AttachTag(cart, "cart/asset", gid(8, 1), mount)
+	if activeBeacon {
+		w.AttachActiveTag(cart, "cart/beacon", gid(8, 2), world.Mount{
+			Offset: geom.V(0, -0.227, 0.19), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.03,
+		})
+	}
+	nursePath := geom.LinePath{
+		Start: geom.NewPose(geom.V(-passHalfSpan-0.7, passStandoff+0.3, 0), geom.UnitX, geom.UnitZ),
+		Vel:   geom.UnitX.Scale(passSpeed),
+		Dur:   (2*passHalfSpan + 0.7) / passSpeed,
+	}
+	nurse := w.AddPerson("nurse", nursePath, subjectHeight, subjectRadius)
+	m, err := humanMount(HumanFront)
+	if err != nil {
+		return nil, err
+	}
+	w.AttachTag(nurse, "nurse/badge", gid(9, 1), m)
+	r, err := reader.New("r1", w, ants)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}

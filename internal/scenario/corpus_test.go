@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update", false, "regenerate testdata/corpus_golden.json from the current engine")
+
+const corpusGoldenPath = "testdata/corpus_golden.json"
+
+// TestCorpusGolden is the blackbox regression net: every corpus case —
+// five application scenarios, each under its redundancy configurations —
+// must reproduce its pinned envelope exactly. Envelopes are deterministic
+// (seed-keyed random fields, worker-count-independent measurement), so
+// any mismatch is a real behaviour change: either a bug, or an
+// intentional engine change that must be re-pinned with
+//
+//	go test ./internal/scenario -run TestCorpusGolden -update
+//
+// and justified in the change that carries it.
+func TestCorpusGolden(t *testing.T) {
+	cases := Corpus(1)
+	got := make([]Envelope, len(cases))
+	for i, c := range cases {
+		env, err := MeasureEnvelope(c, 0)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.Scenario, c.Config, err)
+		}
+		got[i] = env
+	}
+
+	if *updateCorpus {
+		if err := os.MkdirAll(filepath.Dir(corpusGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(corpusGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d envelopes)", corpusGoldenPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(corpusGoldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	var want []Envelope
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", corpusGoldenPath, err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d envelopes, corpus has %d (regenerate with -update)", len(want), len(got))
+	}
+	for i, g := range got {
+		w := want[i]
+		t.Run(g.Scenario+"/"+g.Config, func(t *testing.T) {
+			if g != w {
+				t.Errorf("envelope diverged from golden:\n want %+v\n  got %+v", w, g)
+			}
+		})
+	}
+}
+
+// TestCorpusEnvelopeSanity checks structural invariants no golden pin
+// covers: every case builds, reads at least something somewhere, and the
+// redundancy orderings the scenarios exist to demonstrate hold (more
+// antennas or more tags never hurt the mean carrier reliability).
+func TestCorpusEnvelopeSanity(t *testing.T) {
+	byKey := map[string]Envelope{}
+	for _, c := range Corpus(1) {
+		env, err := MeasureEnvelope(c, 0)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.Scenario, c.Config, err)
+		}
+		if env.Tags == 0 || env.Carriers == 0 {
+			t.Errorf("%s/%s: empty scene (%d tags, %d carriers)", c.Scenario, c.Config, env.Tags, env.Carriers)
+		}
+		if env.MeanTag < 0 || env.MeanTag > 1 || env.MeanCarrier < 0 || env.MeanCarrier > 1 {
+			t.Errorf("%s/%s: reliability out of range: %+v", c.Scenario, c.Config, env)
+		}
+		byKey[c.Scenario+"/"+c.Config] = env
+	}
+	orderings := [][2]string{
+		{"warehouse-dock-door/1ant-1tag", "warehouse-dock-door/2ant-1tag"},
+		{"warehouse-dock-door/2ant-1tag", "warehouse-dock-door/2ant-2tag"},
+		{"conveyor/fast-1tag", "conveyor/fast-2tag"},
+		{"library-gate/1ant", "library-gate/2ant"},
+		{"hospital-asset/passive", "hospital-asset/active-beacon"},
+	}
+	for _, o := range orderings {
+		lo, hi := byKey[o[0]], byKey[o[1]]
+		if lo.MeanCarrier > hi.MeanCarrier {
+			t.Errorf("redundancy ordering violated: %s (%.3f) > %s (%.3f)",
+				o[0], lo.MeanCarrier, o[1], hi.MeanCarrier)
+		}
+	}
+}

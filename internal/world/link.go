@@ -126,10 +126,15 @@ func (w *World) syncCaches() {
 // is exactly the reuse that exists: static scenes pin one instant forever,
 // and moving scenes revisit an instant only within the concurrent rounds
 // of one cycle.
-func (w *World) linkTerms(tag *Tag, ant *Antenna, t float64) rf.BudgetTerms {
+// The caller gets a pointer into the memo slot (or a world-owned scratch
+// slot when the cache is off) — valid until the next linkTerms call, never
+// to be mutated. Returning a pointer keeps the 100+-byte BudgetTerms from
+// being copied once per (link, instant) on the hot path.
+func (w *World) linkTerms(tag *Tag, ant *Antenna, t float64) *rf.BudgetTerms {
 	tq := poseTime(t)
 	if w.linkCacheOff {
-		return w.budgetTerms(tag, ant, tq)
+		w.budgetTerms(tag, ant, tq, &w.termsScratch)
+		return &w.termsScratch
 	}
 	if need := len(w.tags) * len(w.antennas); len(w.termsMemo) != need {
 		w.termsMemo = make([]termsEntry, need)
@@ -139,34 +144,36 @@ func (w *World) linkTerms(tag *Tag, ant *Antenna, t float64) rf.BudgetTerms {
 		if w.obs != nil {
 			w.obs.LinkCacheHit()
 		}
-		return e.terms
+		return &e.terms
 	}
-	bt := w.budgetTerms(tag, ant, tq)
-	*e = termsEntry{tq: tq, epoch: w.poseEpoch, terms: bt}
+	w.budgetTerms(tag, ant, tq, &e.terms)
+	e.tq, e.epoch = tq, w.poseEpoch
 	if w.obs != nil {
 		w.obs.LinkCacheMiss()
 	}
-	return bt
+	return &e.terms
 }
 
-// budgetTerms computes the deterministic half of the forward budget: every
-// term that depends only on scene pose at the quantized instant tq. No
-// random field is read here — that is what makes the result cacheable
-// across passes (see DESIGN.md §9).
-func (w *World) budgetTerms(tag *Tag, ant *Antenna, tq float64) rf.BudgetTerms {
+// budgetTerms computes the deterministic half of the forward budget into
+// bt: every term that depends only on scene pose at the quantized instant
+// tq. No random field is read here — that is what makes the result
+// cacheable across passes (see DESIGN.md §9). Writing into the caller's
+// slot (the memo entry or the cache-off scratch) avoids copying the
+// 80-byte struct twice per miss.
+func (w *World) budgetTerms(tag *Tag, ant *Antenna, tq float64, bt *rf.BudgetTerms) {
 	cal := &w.Cal
 	tagPos := w.tagPositions(tq)[tag.idx]
 	antPos := ant.Pose.Pos
 	dist := tagPos.Dist(antPos)
 	dirToTag := tagPos.Sub(antPos).Unit()
 	dirToAnt := dirToTag.Scale(-1)
+	detune, prox := w.tagLocalTerms()
 
-	var bt rf.BudgetTerms
 	bt.FSPL = units.FSPL(dist, cal.FreqHz)
 	bt.Obstruction, bt.ScatterObstruction = w.obstructionDB(antPos, tagPos, tq)
 
 	// Tag-local terms shared by both paths.
-	bt.Detune = cal.ProximityDetuneDB(tag.carrier.ContentMaterial(), tag.Mount.Gap)
+	bt.Detune = detune[tag.idx]
 	bt.Coupling = w.couplingDB(tag, tq)
 	bt.Reflect = w.bodyReflectionDB(tag, antPos, tq)
 
@@ -176,9 +183,31 @@ func (w *World) budgetTerms(tag *Tag, ant *Antenna, tq float64) rf.BudgetTerms {
 	bt.Pol, bt.Dipole = bestDipole(cal, tag, ant, tagPos, antPos, dirToTag)
 	bt.Graze = rf.GrazingLossDB(
 		tag.Mount.Normal.Dot(dirToAnt),
-		cal.ProximityFraction(tag.carrier.ContentMaterial(), tag.Mount.Gap),
+		prox[tag.idx],
 		cal.GrazingMaxDB)
-	return bt
+}
+
+// tagLocalTerms returns every tag's proximity detune loss and grazing
+// proximity fraction — pure functions of the mount geometry and the
+// carrier's content material, so one evaluation per tag per scene epoch
+// serves every (antenna, instant) resolution. The same floats the inline
+// ProximityDetuneDB/ProximityFraction calls produced, just memoized.
+func (w *World) tagLocalTerms() ([]units.DB, []float64) {
+	if w.tlN != len(w.tags) || w.tlEpoch != w.poseEpoch {
+		if cap(w.tagDetune) < len(w.tags) {
+			w.tagDetune = make([]units.DB, len(w.tags))
+			w.tagProx = make([]float64, len(w.tags))
+		}
+		w.tagDetune = w.tagDetune[:len(w.tags)]
+		w.tagProx = w.tagProx[:len(w.tags)]
+		for i, t := range w.tags {
+			m := t.carrier.ContentMaterial()
+			w.tagDetune[i] = w.Cal.ProximityDetuneDB(m, t.Mount.Gap)
+			w.tagProx[i] = w.Cal.ProximityFraction(m, t.Mount.Gap)
+		}
+		w.tlN, w.tlEpoch = len(w.tags), w.poseEpoch
+	}
+	return w.tagDetune, w.tagProx
 }
 
 // tagPositions returns every tag's world position at the quantized
@@ -256,17 +285,7 @@ func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget 
 	fadeDirect := units.DB(w.fieldRician(
 		fadeKey.Int(ctx.Pass).Str("/b").Int(block).Str("/").Str(tag.Name).Str("/").Str(ant.Name), cal.RicianK))
 
-	direct := cal.TxPowerDBm.
-		Plus(-cal.CableLossDB).
-		Plus(bt.Patch).
-		Plus(-bt.FSPL).
-		Plus(-bt.Pol).
-		Plus(bt.Dipole).
-		Plus(-bt.Graze).
-		Plus(-bt.Obstruction).
-		Plus(-bt.Detune).
-		Plus(-bt.Coupling).
-		Plus(bt.Reflect).
+	direct := detDirectSum(cal, bt).
 		Plus(tagShadow).
 		Plus(pathShadow).
 		Plus(fadeDirect)
@@ -285,16 +304,7 @@ func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget 
 		w.keys.shadowScat.Int(ctx.Pass).Str("/").Str(tag.Name), cal.ScatterSigmaDB))
 	fadeScatter := units.DB(w.fieldRician(
 		fadeScatKey.Int(ctx.Pass).Str("/b").Int(block).Str("/").Str(tag.Name).Str("/").Str(ant.Name), 0))
-	scatter := cal.TxPowerDBm.
-		Plus(-cal.CableLossDB).
-		Plus(cal.ScatterAntennaGainDB).
-		Plus(-bt.FSPL).
-		Plus(-cal.ScatterLossDB).
-		Plus(-3).
-		Plus(-bt.ScatterObstruction).
-		Plus(-bt.Detune).
-		Plus(-bt.Coupling).
-		Plus(bt.Reflect).
+	scatter := detScatterSum(cal, bt).
 		Plus(tagShadow).
 		Plus(scatShadow).
 		Plus(fadeScatter)
@@ -317,6 +327,40 @@ func (w *World) forwardPowerDBm(tag *Tag, ant *Antenna, ctx LinkContext, budget 
 	}
 
 	return combinePower(direct, scatter)
+}
+
+// detDirectSum is the deterministic prefix of the direct-path forward
+// budget: calibration constants plus the pose-only terms, summed in the
+// canonical left-to-right order. forwardPowerDBm and ResolveLinkGrid both
+// start from this sum, which is what keeps the per-link and batched paths
+// bit-identical — any reordering here would move results by an ULP.
+func detDirectSum(cal *rf.Calibration, bt *rf.BudgetTerms) units.DBm {
+	return cal.TxPowerDBm.
+		Plus(-cal.CableLossDB).
+		Plus(bt.Patch).
+		Plus(-bt.FSPL).
+		Plus(-bt.Pol).
+		Plus(bt.Dipole).
+		Plus(-bt.Graze).
+		Plus(-bt.Obstruction).
+		Plus(-bt.Detune).
+		Plus(-bt.Coupling).
+		Plus(bt.Reflect)
+}
+
+// detScatterSum is the deterministic prefix of the scattered-path forward
+// budget, under the same identical-summation-order rule as detDirectSum.
+func detScatterSum(cal *rf.Calibration, bt *rf.BudgetTerms) units.DBm {
+	return cal.TxPowerDBm.
+		Plus(-cal.CableLossDB).
+		Plus(cal.ScatterAntennaGainDB).
+		Plus(-bt.FSPL).
+		Plus(-cal.ScatterLossDB).
+		Plus(-3).
+		Plus(-bt.ScatterObstruction).
+		Plus(-bt.Detune).
+		Plus(-bt.Coupling).
+		Plus(bt.Reflect)
 }
 
 // bestDipole returns the (polarization loss, dipole gain) of the tag

@@ -1,0 +1,323 @@
+package world
+
+import (
+	"rfidtrack/internal/obs"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/units"
+)
+
+// LinkGrid is the reusable scratch behind batched link resolution
+// (DESIGN.md §13): every per-link quantity of one scene is laid out
+// struct-of-arrays over the full (tag × antenna) grid, column-major by
+// antenna, so ResolveLinkGrid walks each antenna's stripe contiguously.
+//
+// The arrays double as a layered cache. Each layer is stamped by exactly
+// the part of the link key it depends on and survives as long as that
+// part does:
+//
+//   - deterministic budget sums (detDirect/detScatter): (pose epoch,
+//     quantized instant) per antenna column — static scenes pin them for
+//     the life of the pass;
+//   - slow fading (tagShadow/scatShadow per tag, pathShadow per column):
+//     the pass — redrawing them per round, as the per-link path does, is
+//     pure waste because their field labels carry no round or block;
+//   - fast fading (fadeDir/fadeScat, and the foreign-carrier variants
+//     intFadeDir/intFadeScat): (pass, fading block) per column — rounds
+//     inside one coherence block share the draw.
+//
+// Every cached value is a pure function of its field label or of the
+// scene pose, so replaying it is bit-identical to redrawing it; the
+// compose step adds the layers in the identical left-to-right order
+// ResolveLink sums its budget, which is what keeps the two paths
+// bit-for-bit equal (TestResolveLinkGridMatchesResolveLink and
+// experiments.TestLinkBatchEquivalence).
+//
+// A LinkGrid is owned by whatever single goroutine drives its world —
+// one grid per reader, one per landmarc survey, one per rfmap render.
+// Replicas of the parallel measurement engine each own their readers and
+// therefore their grids; grids are never shared across goroutines.
+type LinkGrid struct {
+	w            *World
+	nTags, nAnts int
+
+	// Pass layer: per-tag slow fading, valid for pass only.
+	pass       int
+	passOK     bool
+	tagShadow  []units.DB
+	scatShadow []units.DB
+
+	// Per-antenna-column state.
+	cols []gridCol
+
+	// Per-(antenna, tag) layers, column-major: index ant.idx*nTags+tag.idx.
+	detDirect   []units.DBm
+	detScatter  []units.DBm
+	pathShadow  []units.DB
+	fadeDir     []units.DB
+	fadeScat    []units.DB
+	intFadeDir  []units.DB
+	intFadeScat []units.DB
+
+	// Outputs of the last resolution that covered each column.
+	tagPower    []units.DBm
+	readerPower []units.DBm
+	tagIntf     []units.DBm
+	readerIntf  []units.DBm // one aggregate per column
+}
+
+// gridCol carries one antenna column's layer stamps.
+type gridCol struct {
+	detOK    bool
+	detTq    float64
+	detEpoch uint64
+	pathOK   bool
+	fadeOK   bool
+	fadeBlk  int
+	intOK    bool
+	intBlk   int
+}
+
+// grow returns s resized to n, reallocating only on capacity growth.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// ensure sizes the grid for w, invalidating every layer when the world,
+// its tag set, or its antenna set changed. Steady state is a few integer
+// compares and no allocation.
+func (g *LinkGrid) ensure(w *World) {
+	if g.w == w && g.nTags == len(w.tags) && g.nAnts == len(w.antennas) {
+		return
+	}
+	g.w = w
+	g.nTags = len(w.tags)
+	g.nAnts = len(w.antennas)
+	n := g.nTags * g.nAnts
+	g.tagShadow = grow(g.tagShadow, g.nTags)
+	g.scatShadow = grow(g.scatShadow, g.nTags)
+	g.cols = grow(g.cols, g.nAnts)
+	g.detDirect = grow(g.detDirect, n)
+	g.detScatter = grow(g.detScatter, n)
+	g.pathShadow = grow(g.pathShadow, n)
+	g.fadeDir = grow(g.fadeDir, n)
+	g.fadeScat = grow(g.fadeScat, n)
+	g.intFadeDir = grow(g.intFadeDir, n)
+	g.intFadeScat = grow(g.intFadeScat, n)
+	g.tagPower = grow(g.tagPower, n)
+	g.readerPower = grow(g.readerPower, n)
+	g.tagIntf = grow(g.tagIntf, n)
+	g.readerIntf = grow(g.readerIntf, g.nAnts)
+	g.passOK = false
+	for i := range g.cols {
+		g.cols[i] = gridCol{}
+	}
+}
+
+// Link returns the resolved state of (tag, ant) written by the last
+// ResolveLinkGrid call that covered ant's column. The result is the
+// identical rf.Link ResolveLink would return for the same context (minus
+// the Explain budget, which only the per-link path carries).
+func (g *LinkGrid) Link(ant *Antenna, tag *Tag) rf.Link {
+	i := ant.idx*g.nTags + tag.idx
+	return rf.Link{
+		TagPower:           g.tagPower[i],
+		ReaderPower:        g.readerPower[i],
+		TagInterference:    g.tagIntf[i],
+		ReaderInterference: g.readerIntf[ant.idx],
+		Active:             tag.Active,
+	}
+}
+
+// SetLinkBatch enables or disables batched grid resolution in the
+// consumers that ask (enabled by default): Reader.RunRound, landmarc
+// surveys and the rfmap renderer fall back to per-link ResolveLink calls
+// when disabled. Results are bit-identical either way — the switch is the
+// -linkbatch=off escape hatch, mirroring -linkcache.
+func (w *World) SetLinkBatch(on bool) { w.linkBatchOff = !on }
+
+// LinkBatchEnabled reports whether consumers should use ResolveLinkGrid.
+func (w *World) LinkBatchEnabled() bool { return !w.linkBatchOff }
+
+// ResolveLinkGrid resolves every (tag, antenna) link of the requested
+// antennas at one instant in a single pass over the grid, writing the
+// results into g (read them back with g.Link). The per-instant work the
+// per-link path repeats for every tag — pose quantization, the fading
+// block, pass/block key prefixes, foreign reader-to-reader leakage — is
+// hoisted and done once, and g's layered caches skip whole columns of
+// field draws and budget summation when their stamps still match (see
+// the LinkGrid comment). Antennas appearing in ctx.Foreign have their
+// columns resolved as interference sources exactly as ResolveLink
+// resolves them, in the same ctx.Foreign order.
+//
+// ctx.Explain is ignored — itemized budgets stay on the per-link path.
+func (w *World) ResolveLinkGrid(ants []*Antenna, ctx LinkContext, g *LinkGrid) {
+	g.ensure(w)
+	if g.nTags == 0 || len(ants) == 0 {
+		return
+	}
+	cal := &w.Cal
+	tq := poseTime(ctx.Time)
+	block := ctx.Round
+	if cal.FadingCoherenceSeconds > 0 {
+		block = int(ctx.Time / cal.FadingCoherenceSeconds)
+	}
+
+	// Pass layer: the per-tag slow-fading draws, shared by every antenna
+	// (their labels carry no antenna). A pass change also invalidates the
+	// per-column pass-scoped layers.
+	if !g.passOK || g.pass != ctx.Pass {
+		kt := w.keys.shadowTag.Int(ctx.Pass)
+		ks := w.keys.shadowScat.Int(ctx.Pass)
+		for i, tag := range w.tags {
+			g.tagShadow[i] = units.DB(w.fieldNormal(kt.Str("/").Str(tag.Name), cal.SigmaTagDB))
+			g.scatShadow[i] = units.DB(w.fieldNormal(ks.Str("/").Str(tag.Name), cal.ScatterSigmaDB))
+		}
+		g.pass, g.passOK = ctx.Pass, true
+		for i := range g.cols {
+			g.cols[i].pathOK = false
+			g.cols[i].fadeOK = false
+			g.cols[i].intOK = false
+		}
+	}
+
+	for _, ant := range ants {
+		w.gridDetColumn(g, ant, tq)
+		w.gridPathColumn(g, ant, ctx.Pass)
+		w.gridFadeColumn(g, ant, ctx.Pass, block, false)
+
+		// Foreign columns and the victim receiver's aggregate leakage,
+		// walked in ctx.Foreign order (the per-link combine order).
+		rIntf := rf.NoInterference
+		for _, f := range ctx.Foreign {
+			if f.Antenna == ant {
+				continue
+			}
+			w.gridDetColumn(g, f.Antenna, tq)
+			w.gridPathColumn(g, f.Antenna, ctx.Pass)
+			w.gridFadeColumn(g, f.Antenna, ctx.Pass, block, true)
+			rp := w.readerToReaderDBm(f.Antenna, ant)
+			if f.DenseModeBoth {
+				rp = rp.Plus(-cal.DenseModeReaderSuppressionDB)
+			}
+			rIntf = rf.CombineInterference(rIntf, rp)
+		}
+		g.readerIntf[ant.idx] = rIntf
+
+		// Compose: the same left-to-right budget order as ResolveLink —
+		// deterministic prefix, then tag shadow, path/scatter shadow, fast
+		// fade — so splitting the sum cannot move a result by one bit.
+		base := ant.idx * g.nTags
+		for i, tag := range w.tags {
+			direct := g.detDirect[base+i].
+				Plus(g.tagShadow[i]).Plus(g.pathShadow[base+i]).Plus(g.fadeDir[base+i])
+			scatter := g.detScatter[base+i].
+				Plus(g.tagShadow[i]).Plus(g.scatShadow[i]).Plus(g.fadeScat[base+i])
+			tp := combinePower(direct, scatter)
+			g.tagPower[base+i] = tp
+			if tag.Active {
+				g.readerPower[base+i] = cal.ActiveTxPowerDBm.
+					Plus(units.DB(tp - cal.TxPowerDBm))
+			} else {
+				g.readerPower[base+i] = units.DBm(2*float64(tp)) - cal.TxPowerDBm -
+					units.DBm(cal.BackscatterLossDB)
+			}
+			tIntf := rf.NoInterference
+			for _, f := range ctx.Foreign {
+				if f.Antenna == ant {
+					continue
+				}
+				fb := f.Antenna.idx * g.nTags
+				fd := g.detDirect[fb+i].
+					Plus(g.tagShadow[i]).Plus(g.pathShadow[fb+i]).Plus(g.intFadeDir[fb+i])
+				fs := g.detScatter[fb+i].
+					Plus(g.tagShadow[i]).Plus(g.scatShadow[i]).Plus(g.intFadeScat[fb+i])
+				p := combinePower(fd, fs)
+				if f.DenseModeBoth {
+					p = p.Plus(-cal.DenseModeTagSuppressionDB)
+				}
+				tIntf = rf.CombineInterference(tIntf, p)
+			}
+			g.tagIntf[base+i] = tIntf
+		}
+		if w.obs != nil {
+			// Count like the per-link path would: one resolution per (tag,
+			// requested antenna); foreign-carrier columns excluded.
+			w.obs.Add(obs.CtrLinkResolutions, uint64(g.nTags))
+			w.obs.Add(obs.CtrGridLinks, uint64(g.nTags))
+		}
+	}
+	if w.obs != nil {
+		w.obs.Inc(obs.CtrGridBatches)
+	}
+}
+
+// gridDetColumn fills (or reuses) one antenna column's deterministic
+// budget prefix sums: the memoized budget cache is walked once per
+// (antenna, instant) here, instead of once per link in the per-link path.
+func (w *World) gridDetColumn(g *LinkGrid, ant *Antenna, tq float64) {
+	c := &g.cols[ant.idx]
+	if c.detOK && c.detTq == tq && c.detEpoch == w.poseEpoch {
+		if w.obs != nil {
+			w.obs.GridTermHits(uint64(g.nTags))
+		}
+		return
+	}
+	cal := &w.Cal
+	base := ant.idx * g.nTags
+	for i, tag := range w.tags {
+		bt := w.linkTerms(tag, ant, tq)
+		g.detDirect[base+i] = detDirectSum(cal, bt)
+		g.detScatter[base+i] = detScatterSum(cal, bt)
+	}
+	c.detOK, c.detTq, c.detEpoch = true, tq, w.poseEpoch
+	if w.obs != nil {
+		w.obs.GridTermFills(uint64(g.nTags))
+	}
+}
+
+// gridPathColumn fills one column's per-(tag, antenna) slow fading for
+// the current pass.
+func (w *World) gridPathColumn(g *LinkGrid, ant *Antenna, pass int) {
+	c := &g.cols[ant.idx]
+	if c.pathOK {
+		return
+	}
+	kp := w.keys.shadowPath.Int(pass)
+	base := ant.idx * g.nTags
+	for i, tag := range w.tags {
+		g.pathShadow[base+i] = units.DB(w.fieldNormal(
+			kp.Str("/").Str(tag.Name).Str("/").Str(ant.Name), w.Cal.SigmaPathDB))
+	}
+	c.pathOK = true
+}
+
+// gridFadeColumn fills one column's fast-fading draws for (pass, block) —
+// the direct-link draws, or the foreign-carrier (interference) draws when
+// asInterference is set, exactly as forwardPowerDBm keys them.
+func (w *World) gridFadeColumn(g *LinkGrid, ant *Antenna, pass, block int, asInterference bool) {
+	c := &g.cols[ant.idx]
+	dir, scat := g.fadeDir, g.fadeScat
+	ok, blk := &c.fadeOK, &c.fadeBlk
+	kd, ks := w.keys.fadeDir, w.keys.fadeDirS
+	if asInterference {
+		dir, scat = g.intFadeDir, g.intFadeScat
+		ok, blk = &c.intOK, &c.intBlk
+		kd, ks = w.keys.fadeInt, w.keys.fadeIntS
+	}
+	if *ok && *blk == block {
+		return
+	}
+	kdp := kd.Int(pass).Str("/b").Int(block)
+	ksp := ks.Int(pass).Str("/b").Int(block)
+	base := ant.idx * g.nTags
+	for i, tag := range w.tags {
+		dir[base+i] = units.DB(w.fieldRician(
+			kdp.Str("/").Str(tag.Name).Str("/").Str(ant.Name), w.Cal.RicianK))
+		scat[base+i] = units.DB(w.fieldRician(
+			ksp.Str("/").Str(tag.Name).Str("/").Str(ant.Name), 0))
+	}
+	*ok, *blk = true, block
+}

@@ -1,0 +1,198 @@
+package world
+
+import (
+	"fmt"
+	"testing"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/obs"
+	"rfidtrack/internal/rf"
+)
+
+// gridScene builds a deliberately heterogeneous scene for the batched-path
+// equivalence tests: two facing portal antennas plus a third offset one,
+// a cart of metal-content boxes, a walking person with a badge tag, and
+// one active tag — every carrier kind, both link types.
+func gridScene() (*World, []*Antenna) {
+	w := New(rf.DefaultCalibration(), 7)
+	a1 := w.AddAntenna("a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	a2 := w.AddAntenna("a2", geom.NewPose(geom.V(0, 2, 1), geom.UnitY.Scale(-1), geom.UnitZ))
+	a3 := w.AddAntenna("a3", geom.NewPose(geom.V(1.5, 1, 1), geom.UnitX.Scale(-1), geom.UnitZ))
+	for b := 0; b < 3; b++ {
+		box := w.AddBox(fmt.Sprintf("box%d", b), geom.CrossingPass(1, 1, 2.5, 1),
+			geom.V(0.45, 0.4, 0.2), rf.Cardboard, rf.Metal, geom.V(0.38, 0.33, 0.15))
+		w.AttachTag(box, fmt.Sprintf("tag%d", b), testCode(uint64(b+1)), Mount{
+			Offset: geom.V(0, -0.21, float64(b)*0.1),
+			Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+		})
+	}
+	person := w.AddPerson("walker", geom.CrossingPass(1, 1.2, 2.5, 1), 1.8, 0.25)
+	w.AttachTag(person, "badge", testCode(10), Mount{
+		Offset: geom.V(0, -0.26, 1.0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.02,
+	})
+	w.AttachActiveTag(person, "beacon", testCode(11), Mount{
+		Offset: geom.V(0.1, -0.26, 1.0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.02,
+	})
+	return w, []*Antenna{a1, a2, a3}
+}
+
+// TestResolveLinkGridMatchesResolveLink is the batched path's core
+// contract: for every (tag, antenna) of the grid, every instant, any
+// interference environment, g.Link returns the bit-identical rf.Link the
+// per-link path computes — including repeated resolutions that exercise
+// every cached layer (same instant, same pass, new block, new pass).
+func TestResolveLinkGridMatchesResolveLink(t *testing.T) {
+	w, ants := gridScene()
+	ref, refAnts := gridScene() // separate world: per-link path, pristine caches
+	var g LinkGrid
+
+	contexts := []LinkContext{
+		{Time: 0, Pass: 0, Round: 0},
+		{Time: 0, Pass: 0, Round: 0},   // replay: every layer hits
+		{Time: 0.1, Pass: 0, Round: 1}, // same block, new pose instant
+		{Time: 1.2, Pass: 0, Round: 3}, // new fading block
+		{Time: 1.2, Pass: 1, Round: 3}, // new pass, same instant
+		{Time: 2.5, Pass: 2, Round: 7},
+	}
+	// Interference environments: none, one foreign, two foreign with dense
+	// mode — resolved against each context for the victim a1.
+	foreigns := [][]ForeignEmitter{
+		nil,
+		{{Antenna: ants[1]}},
+		{{Antenna: ants[1], DenseModeBoth: true}, {Antenna: ants[2]}},
+	}
+	refForeigns := [][]ForeignEmitter{
+		nil,
+		{{Antenna: refAnts[1]}},
+		{{Antenna: refAnts[1], DenseModeBoth: true}, {Antenna: refAnts[2]}},
+	}
+
+	for ci, ctx := range contexts {
+		for fi := range foreigns {
+			bctx := ctx
+			bctx.Foreign = foreigns[fi]
+			w.ResolveLinkGrid(ants[:1], bctx, &g)
+			rctx := ctx
+			rctx.Foreign = refForeigns[fi]
+			for ti, tag := range w.Tags() {
+				got := g.Link(ants[0], tag)
+				want := ref.ResolveLink(ref.Tags()[ti], refAnts[0], rctx)
+				want.Forward = nil
+				if got != want {
+					t.Fatalf("ctx %d foreign %d tag %s: grid %+v != per-link %+v",
+						ci, fi, tag.Name, got, want)
+				}
+			}
+		}
+	}
+
+	// All-antenna resolution (the landmarc/rfmap shape) against the same
+	// reference worlds.
+	ctx := LinkContext{Time: 1.7, Pass: 3, Round: 4}
+	w.ResolveLinkGrid(ants, ctx, &g)
+	for ai, ant := range ants {
+		for ti, tag := range w.Tags() {
+			got := g.Link(ant, tag)
+			want := ref.ResolveLink(ref.Tags()[ti], refAnts[ai], ctx)
+			want.Forward = nil
+			if got != want {
+				t.Fatalf("ant %s tag %s: grid %+v != per-link %+v", ant.Name, tag.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestResolveLinkGridSeesMutations: a scene mutation between grid calls
+// must invalidate the deterministic columns (the pose epoch stamp), and
+// tag/antenna growth must resize the scratch.
+func TestResolveLinkGridSeesMutations(t *testing.T) {
+	w, ants := gridScene()
+	var g LinkGrid
+	ctx := LinkContext{Time: 0.5, Pass: 0, Round: 0}
+	w.ResolveLinkGrid(ants[:1], ctx, &g)
+	before := g.Link(ants[0], w.Tags()[0])
+
+	w.SetAntennaPose(ants[0], geom.NewPose(geom.V(0, -0.5, 1.4), geom.UnitY, geom.UnitZ))
+	w.ResolveLinkGrid(ants[:1], ctx, &g)
+	after := g.Link(ants[0], w.Tags()[0])
+	if before == after {
+		t.Fatal("grid served stale deterministic terms after SetAntennaPose")
+	}
+	want := w.ResolveLink(w.Tags()[0], ants[0], ctx)
+	want.Forward = nil
+	if after != want {
+		t.Fatalf("post-mutation grid %+v != per-link %+v", after, want)
+	}
+
+	// Growth: a new tag re-sizes the grid and resolves alongside the rest.
+	box := w.AddBox("late-box", geom.CrossingPass(1, 0.8, 2.5, 1),
+		geom.V(0.3, 0.3, 0.3), rf.Cardboard, rf.Air, geom.Vec3{})
+	late := w.AttachTag(box, "late", testCode(99), Mount{
+		Offset: geom.V(0, -0.16, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+	})
+	w.ResolveLinkGrid(ants[:1], ctx, &g)
+	got := g.Link(ants[0], late)
+	want = w.ResolveLink(late, ants[0], ctx)
+	want.Forward = nil
+	if got != want {
+		t.Fatalf("late tag: grid %+v != per-link %+v", got, want)
+	}
+}
+
+// TestResolveLinkGridZeroAlloc pins the batched path's steady-state
+// allocation contract (`make alloc-guard`): once the grid scratch is
+// warm, resolving a full round — new rounds, new instants, new passes,
+// with and without foreign emitters — performs no allocation at all.
+func TestResolveLinkGridZeroAlloc(t *testing.T) {
+	w, ants := gridScene()
+	var g LinkGrid
+	foreign := []ForeignEmitter{{Antenna: ants[1]}}
+	w.ResolveLinkGrid(ants[:1], LinkContext{Time: 0, Pass: 0, Round: 0, Foreign: foreign}, &g)
+
+	round := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		round++
+		ctx := LinkContext{
+			Time:    float64(round) * 0.01,
+			Pass:    round % 4,
+			Round:   round,
+			Foreign: foreign,
+		}
+		w.ResolveLinkGrid(ants[:1], ctx, &g)
+	}); avg != 0 {
+		t.Errorf("warmed ResolveLinkGrid allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestResolveLinkGridCounters: the grid path counts one link resolution
+// per (tag, requested antenna) — matching the per-link path, so merged
+// snapshots stay identical whichever path ran — plus its own batch/link
+// and term-cache counters in the Cache section.
+func TestResolveLinkGridCounters(t *testing.T) {
+	w, ants := gridScene()
+	m := obs.NewMetrics()
+	w.Observe(m.Shard())
+	var g LinkGrid
+	w.ResolveLinkGrid(ants[:1], LinkContext{Time: 0, Pass: 0, Round: 0}, &g)
+	w.ResolveLinkGrid(ants[:1], LinkContext{Time: 0, Pass: 0, Round: 1}, &g)
+
+	snap := m.Snapshot()
+	nTags := uint64(len(w.Tags()))
+	if got := snap.Counters["link.resolutions"]; got != 2*nTags {
+		t.Errorf("link.resolutions = %d, want %d", got, 2*nTags)
+	}
+	if got := snap.Counters["grid.batches"]; got != 2 {
+		t.Errorf("grid.batches = %d, want 2", got)
+	}
+	if got := snap.Counters["grid.links"]; got != 2*nTags {
+		t.Errorf("grid.links = %d, want %d", got, 2*nTags)
+	}
+	if snap.Cache == nil {
+		t.Fatal("no Cache section")
+	}
+	// First call fills the column, second reuses it at the same instant.
+	if snap.Cache.GridTermFills != nTags || snap.Cache.GridTermHits != nTags {
+		t.Errorf("grid term hits/fills = %d/%d, want %d/%d",
+			snap.Cache.GridTermHits, snap.Cache.GridTermFills, nTags, nTags)
+	}
+}

@@ -125,7 +125,32 @@ func (b *Box) ObstructionDB(cal rf.Calibration, a, p geom.Vec3, t float64) (dire
 // TransmissionLossDB/ScatterTransmissionLossDB pair, with the identical
 // arithmetic.
 func (b *Box) obstructionAt(cal *rf.Calibration, a, p, c geom.Vec3) (direct, scatter units.DB) {
-	if b.ContentSize.X > 0 && b.ContentSize.Y > 0 && b.ContentSize.Z > 0 {
+	hasContent := b.ContentSize.X > 0 && b.ContentSize.Y > 0 && b.ContentSize.Z > 0
+	// Both blocks are centered on c, so when the content fits inside the
+	// shell a segment missing the shell AABB cannot hit the content AABB:
+	// test the (cheaper to reject) shell first and skip the content slab
+	// test entirely on a miss. The loss additions keep the original
+	// content-then-shell order, so hits sum bit-identically.
+	if b.Size.X > 0 && (!hasContent ||
+		(b.ContentSize.X <= b.Size.X && b.ContentSize.Y <= b.Size.Y && b.ContentSize.Z <= b.Size.Z)) {
+		half := b.Size.Scale(0.5)
+		if !segmentHitsAABB(a, p, c.Sub(half), c.Add(half)) {
+			return 0, 0
+		}
+		if hasContent {
+			chalf := b.ContentSize.Scale(0.5)
+			if segmentHitsAABB(a, p, c.Sub(chalf), c.Add(chalf)) {
+				mp := cal.Materials[b.Content]
+				direct += mp.TransmissionLossDB
+				scatter += units.DB(float64(mp.TransmissionLossDB) * mp.ScatterLeakFactor)
+			}
+		}
+		mp := cal.Materials[b.Surface]
+		direct += mp.TransmissionLossDB
+		scatter += units.DB(float64(mp.TransmissionLossDB) * mp.ScatterLeakFactor)
+		return direct, scatter
+	}
+	if hasContent {
 		half := b.ContentSize.Scale(0.5)
 		if segmentHitsAABB(a, p, c.Sub(half), c.Add(half)) {
 			mp := cal.Materials[b.Content]
@@ -248,10 +273,17 @@ type World struct {
 	termsMemo  []termsEntry
 	r2rCache   map[antPair]units.DBm
 	cacheEpoch uint64
+	// termsScratch backs linkTerms' pointer return when the cache is off:
+	// one world-owned slot instead of a per-call copy.
+	termsScratch rf.BudgetTerms
 	// linkCacheOff disables the budget-terms caches (the -linkcache=off
 	// escape hatch); terms are recomputed on every resolution, with
 	// bit-identical results.
 	linkCacheOff bool
+	// linkBatchOff steers grid-capable consumers back to per-link
+	// ResolveLink calls (the -linkbatch=off escape hatch); results are
+	// bit-identical either way (see linkgrid.go).
+	linkBatchOff bool
 
 	// posTags/posTime/posEpoch stamp the positions memo: world positions of
 	// every tag at one quantized instant, shared by the O(tags) neighbour
@@ -260,6 +292,15 @@ type World struct {
 	posTime   float64
 	posEpoch  uint64
 	posTags   int
+
+	// tagDetune/tagProx memoize the tag-local proximity terms (detune loss
+	// and grazing proximity fraction): pure functions of the mount and the
+	// carrier's content material, re-evaluated only when the scene mutates
+	// or the tag set grows — not per (antenna, instant).
+	tagDetune []units.DB
+	tagProx   []float64
+	tlEpoch   uint64
+	tlN       int
 
 	// centers/cenTime/cenEpoch/cenN is the same memo for carrier reference
 	// points: every obstruction scan needs every carrier's center at the
