@@ -1,26 +1,27 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race test-short bench bench-diff alloc-guard metrics-lint experiments examples fuzz cover
+.PHONY: all check build vet test test-race test-short bench bench-diff alloc-guard metrics-lint scale-smoke experiments examples fuzz cover
 
 all: build vet test
 
 # check is the pre-merge gate: build, vet, the full test suite, the
 # disabled-instrumentation allocation guard, the OpenMetrics exposition
-# lint, then the race detector over the reduced-trial (-short) suite —
-# golden experiment sweeps skip under -short, so the race pass stays
-# affordable while still exercising the parallel measurement engine end
-# to end.
-check: build vet test alloc-guard metrics-lint
+# lint, the mega-scene scaling smoke test, then the race detector over
+# the reduced-trial (-short) suite — golden experiment sweeps skip under
+# -short, so the race pass stays affordable while still exercising the
+# parallel measurement engine end to end.
+check: build vet test alloc-guard metrics-lint scale-smoke
 	$(GO) test -race -short ./...
 
 # alloc-guard pins the hot-path allocation contracts: with no Collector
 # attached ResolveLink must not allocate (DESIGN.md §8), the budget-terms
 # cache's hit path must stay allocation-free with the cache enabled
 # (DESIGN.md §9), the warmed batched grid resolver must resolve whole
-# rounds at 0 allocs/op (DESIGN.md §13), and the sharded ingest steady
-# state must stay at 0 allocs/op (DESIGN.md §11–12).
+# rounds at 0 allocs/op (DESIGN.md §13), the culled scale path must stay
+# allocation-free once warm (DESIGN.md §14), and the sharded ingest
+# steady state must stay at 0 allocs/op (DESIGN.md §11–12).
 alloc-guard:
-	$(GO) test -run 'TestResolveLinkZeroAllocWhenDisabled|TestResolveLinkCacheHitZeroAlloc|TestResolveLinkGridZeroAlloc' -count=1 ./internal/world
+	$(GO) test -run 'TestResolveLinkZeroAllocWhenDisabled|TestResolveLinkCacheHitZeroAlloc|TestResolveLinkGridZeroAlloc|TestResolveLinkGridScaleZeroAlloc' -count=1 ./internal/world
 	$(GO) test -run 'TestIngestBatchZeroAlloc' -count=1 ./internal/backend
 
 # metrics-lint validates the live OpenMetrics exposition end to end: the
@@ -29,6 +30,13 @@ alloc-guard:
 # and gauge family populated (DESIGN.md §12).
 metrics-lint:
 	$(GO) test -run 'TestMetricsEndpointWellFormed|TestWriteOpenMetricsWellFormed|TestWriteOpenMetricsDeterministic' -count=1 ./internal/tracksvc ./internal/obs
+
+# scale-smoke runs the mega-scene scaling gate: one inventory pass over a
+# 10⁴-tag warehouse aisle, culled vs dense, byte-identical read streams
+# (DESIGN.md §14). Race-free on purpose — the dense leg's obstruction
+# scans are minutes under the race detector.
+scale-smoke:
+	$(GO) test -run 'TestMegaSceneScaleSmoke' -short -count=1 ./internal/scenario
 
 build:
 	$(GO) build ./...
@@ -51,15 +59,20 @@ test-short:
 # snapshot, BENCH_2.json adds the link cache, BENCH_3.json the service
 # resilience PR, BENCH_4.json the sharded ingestion pipeline (capacity
 # benches: BenchmarkIngestBatch, BenchmarkStoreSharded, BenchmarkStoreQuery),
-# BENCH_5.json the batched grid link resolution (BenchmarkResolveLinkGrid).
-BENCH_BASELINE ?= BENCH_5.json
+# BENCH_5.json the batched grid link resolution (BenchmarkResolveLinkGrid),
+# BENCH_6.json the broad-phase link culling and mega-scene scaling PR
+# (BenchmarkResolveLinkGridScale, with culled% fractions gated by
+# bench-diff).
+BENCH_BASELINE ?= BENCH_6.json
 bench:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -o $(BENCH_BASELINE)
 
 # bench-diff re-runs the benchmarks into BENCH_new.json and compares them
 # against the committed baseline; fails when any benchmark slows down past
-# the threshold or a 0-alloc benchmark starts allocating. A missing
-# baseline skips the comparison with a pointer to `make bench`.
+# the threshold, a 0-alloc benchmark starts allocating, or a scaling
+# benchmark's culled% fraction shrinks past the threshold (a loosened
+# broad-phase bound letting dense work back in). A missing baseline skips
+# the comparison with a pointer to `make bench`.
 # BENCH_THRESHOLD is the allowed ns/op regression ratio: the default
 # absorbs this class of virtualized box's run-to-run CPU variance
 # (12-26% between idle runs); the allocation gate stays exact, which is

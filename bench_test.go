@@ -20,6 +20,7 @@ import (
 	"rfidtrack/internal/geom"
 	"rfidtrack/internal/obs"
 	"rfidtrack/internal/rf"
+	"rfidtrack/internal/scenario"
 	"rfidtrack/internal/tagsim"
 	"rfidtrack/internal/world"
 	"rfidtrack/internal/xrand"
@@ -262,6 +263,62 @@ func BenchmarkResolveLinkGrid(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchAisleWorld builds a warehouse-aisle world for the scaling
+// benchmarks, with a metrics collector attached so culled fractions are
+// measurable (both variants pay the same instrumentation cost).
+func benchAisleWorld(b *testing.B, tags int) (*world.World, []*world.Antenna, *obs.Metrics) {
+	b.Helper()
+	w, ants, err := scenario.WarehouseAisleWorld(scenario.WarehouseAisleConfig{Tags: tags, Antennas: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := obs.NewMetrics()
+	w.Observe(m.Shard())
+	return w, ants, m
+}
+
+// BenchmarkResolveLinkGridScale measures batched grid resolution over the
+// mega-scene family (DESIGN.md §14): a warehouse aisle at 10³–10⁵ tags,
+// two antennas, in the reader's steady state (warm deterministic and
+// cull columns, rounds advancing within one pass — the per-round cost of
+// a static inventory). The culled variants report the fraction of links the
+// broad-phase culler skipped ("culled%", gated by make bench-diff); the
+// culloff variants are the dense A/B baseline. No 100k dense variant: the
+// O(tags × carriers) obstruction scan makes one dense column fill at that
+// scale take minutes — which is exactly the wall the culler removes.
+func BenchmarkResolveLinkGridScale(b *testing.B) {
+	run := func(tags int, cull bool) func(*testing.B) {
+		return func(b *testing.B) {
+			w, ants, m := benchAisleWorld(b, tags)
+			w.SetLinkCull(cull)
+			var g world.LinkGrid
+			warm := world.LinkContext{Time: 0.1, Pass: 1, Round: 0, Cull: true}
+			w.ResolveLinkGrid(ants, warm, &g)
+			base := m.Snapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := world.LinkContext{Time: 0.1, Pass: 1, Round: i & 7, Cull: true}
+				w.ResolveLinkGrid(ants, ctx, &g)
+			}
+			b.StopTimer()
+			links := float64(tags * len(ants) * b.N)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/links, "ns/link")
+			snap := m.Snapshot()
+			total := snap.Counters["grid.links"] - base.Counters["grid.links"]
+			culled := snap.Counters["grid.culled"] - base.Counters["grid.culled"]
+			if total > 0 {
+				b.ReportMetric(100*float64(culled)/float64(total), "culled%")
+			}
+		}
+	}
+	b.Run("aisle-1k", run(1000, true))
+	b.Run("aisle-10k", run(10000, true))
+	b.Run("aisle-100k", run(100000, true))
+	b.Run("aisle-1k-culloff", run(1000, false))
+	b.Run("aisle-10k-culloff", run(10000, false))
 }
 
 // BenchmarkInventoryRound measures a 20-tag Gen-2 inventory round with the

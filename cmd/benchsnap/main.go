@@ -10,8 +10,10 @@
 //
 // Compare mode diffs two snapshots instead of reading stdin, printing the
 // ns/op and allocs/op movement of every benchmark present in both files
-// and exiting 1 when any ns/op regression exceeds -threshold or a
-// benchmark that allocated nothing starts allocating:
+// and exiting 1 when any ns/op regression exceeds -threshold, a
+// benchmark that allocated nothing starts allocating, or a benchmark
+// reporting a culled% metric (the grid scaling benches) loses more than
+// the threshold's share of its culled fraction:
 //
 //	benchsnap -old BENCH_1.json -new BENCH_new.json -threshold 0.10
 //
@@ -228,6 +230,18 @@ func compareSnapshots(a, b *Snapshot, threshold float64) (report string, regress
 		if oldAllocs == 0 && newAllocs > 0 {
 			bad = true
 			notes += "  NOW ALLOCATES"
+		}
+		// Cull-effectiveness guard: a benchmark reporting a culled% metric
+		// (the scale benches) must not lose more than the threshold's share
+		// of its culled fraction — a shrinking fraction means the broad-phase
+		// bound got looser and dense work is sneaking back in.
+		if oldCull, ok := ob.Metrics["culled%"]; ok && oldCull > 0 {
+			newCull := nb.Metrics["culled%"]
+			notes += fmt.Sprintf("  culled %.1f%% -> %.1f%%", oldCull, newCull)
+			if (oldCull-newCull)/oldCull > threshold {
+				bad = true
+				notes += "  LESS CULLING"
+			}
 		}
 		if bad {
 			regressed = true

@@ -106,6 +106,43 @@ func TestCompareSnapshotsNewAllocationsRegress(t *testing.T) {
 	}
 }
 
+// snapCulled builds a one-benchmark snapshot that also reports a culled%
+// custom metric, the shape the grid scaling benches emit.
+func snapCulled(ns, culled float64) *Snapshot {
+	return &Snapshot{Benchmarks: []Benchmark{{
+		Name:    "BenchmarkResolveLinkGridScale/aisle-10k",
+		Package: "rfidtrack",
+		Procs:   8,
+		Metrics: map[string]float64{"ns/op": ns, "allocs/op": 0, "culled%": culled},
+	}}}
+}
+
+func TestCompareSnapshotsCulledFractionRegresses(t *testing.T) {
+	// Speed and allocations fine, but the culler now skips 70% where it
+	// skipped 92% — the bound got looser, dense work is sneaking back.
+	a := snapCulled(1000, 92)
+	b := snapCulled(1000, 70)
+	report, regressed := compareSnapshots(a, b, 0.10)
+	if !regressed {
+		t.Errorf("92%% -> 70%% culled fraction not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "LESS CULLING") {
+		t.Errorf("LESS CULLING marker missing:\n%s", report)
+	}
+}
+
+func TestCompareSnapshotsCulledFractionWithinThreshold(t *testing.T) {
+	a := snapCulled(1000, 92)
+	b := snapCulled(1000, 90)
+	report, regressed := compareSnapshots(a, b, 0.10)
+	if regressed {
+		t.Errorf("92%% -> 90%% culled fraction flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "culled 92.0% -> 90.0%") {
+		t.Errorf("culled fractions not reported:\n%s", report)
+	}
+}
+
 func TestCompareSnapshotsUnmatchedBenchmarks(t *testing.T) {
 	a := snapWith(map[string][2]float64{"BenchmarkOld": {500, 0}})
 	b := snapWith(map[string][2]float64{"BenchmarkNew": {700, 1}})

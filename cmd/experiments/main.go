@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-seed N] [-trials N] [-workers N] [-parallel-experiments]
-//	            [-linkcache on|off] [-linkbatch on|off] [-o EXPERIMENTS.md]
+//	            [-linkcache on|off] [-linkbatch on|off] [-linkcull on|off] [-o EXPERIMENTS.md]
 //	            [-metrics] [-trace FILE] [-trace-links] [-pprof ADDR]
 //
 // With -metrics, the engine's instrumentation layer (internal/obs) is
@@ -47,6 +47,7 @@ func main() {
 	parallelExp := flag.Bool("parallel-experiments", false, "run the registered experiments concurrently (bounded by GOMAXPROCS); results print in the usual order")
 	linkcache := flag.String("linkcache", "on", "deterministic budget-terms cache: on or off (off recomputes every link budget, for A/B benchmarking; results are bit-identical)")
 	linkbatch := flag.String("linkbatch", "on", "batched grid link resolution: on or off (off resolves links one at a time, for A/B benchmarking; results are bit-identical)")
+	linkcull := flag.String("linkcull", "on", "broad-phase link culling: on or off (off resolves every pair densely, for A/B benchmarking; results are bit-identical)")
 	out := flag.String("o", "", "output file (default stdout)")
 	metricsOn := flag.Bool("metrics", false, "collect engine metrics and write a run manifest next to the output")
 	manifestPath := flag.String("manifest", "", "manifest path (default: derived from -o when -metrics is set)")
@@ -79,6 +80,13 @@ func main() {
 		opt.DisableLinkBatch = true
 	default:
 		log.Fatalf("experiments: -linkbatch wants on or off, got %q", *linkbatch)
+	}
+	switch *linkcull {
+	case "on":
+	case "off":
+		opt.DisableLinkCull = true
+	default:
+		log.Fatalf("experiments: -linkcull wants on or off, got %q", *linkcull)
 	}
 	if *metricsOn {
 		opt.Metrics = obs.NewMetrics()

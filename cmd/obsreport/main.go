@@ -308,6 +308,11 @@ func render(m obs.Manifest, top int) string {
 	for _, name := range sortedKeys(s.Counters) {
 		fmt.Fprintf(&sb, "  %-22s %12d\n", name, s.Counters[name])
 	}
+	if links := s.Counters["grid.links"]; links > 0 {
+		fmt.Fprintf(&sb, "  %-22s %11.1f%%  (%d of %d grid links skipped by the broad-phase culler)\n",
+			"grid culled fraction", 100*float64(s.Counters["grid.culled"])/float64(links),
+			s.Counters["grid.culled"], links)
+	}
 
 	sb.WriteString("\nhistograms (le = inclusive upper bound):\n")
 	for _, name := range sortedKeys(s.Histograms) {

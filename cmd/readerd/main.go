@@ -141,7 +141,10 @@ func main() {
 	// runs on the driver goroutine between passes — the only point where
 	// the Collector is quiescent — so that is where engine counters are
 	// mirrored into the atomic Live set.
-	mirrored := []obs.Counter{obs.CtrLinkResolutions, obs.CtrGridBatches, obs.CtrGridLinks}
+	mirrored := []obs.Counter{
+		obs.CtrLinkResolutions, obs.CtrGridBatches, obs.CtrGridLinks,
+		obs.CtrGridActiveLinks, obs.CtrGridCulled,
+	}
 	prev := make(map[obs.Counter]uint64, len(mirrored))
 	go tracksvc.DrivePasses(ctx, portal, *interval, func(pass int, res rfidtrack.PassResult) {
 		live.Inc(obs.CtrPasses)

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	rfsim [-seed N] [-trials N] [-workers N] [-linkcache on|off] [-linkbatch on|off] [-list] <experiment>...
+//	rfsim [-seed N] [-trials N] [-workers N] [-linkcache on|off] [-linkbatch on|off] [-linkcull on|off] [-list] <experiment>...
 //	rfsim -metrics run.manifest.json -trace run.trace.jsonl fig2
 //	rfsim all
 //
@@ -38,6 +38,7 @@ func run(args []string, out, errOut io.Writer) int {
 	workers := fs.Int("workers", 0, "measurement worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	linkcache := fs.String("linkcache", "on", "deterministic budget-terms cache: on or off (off recomputes every link budget, for A/B benchmarking; results are bit-identical)")
 	linkbatch := fs.String("linkbatch", "on", "batched grid link resolution: on or off (off resolves links one at a time, for A/B benchmarking; results are bit-identical)")
+	linkcull := fs.String("linkcull", "on", "broad-phase link culling: on or off (off resolves every pair densely, for A/B benchmarking; results are bit-identical)")
 	list := fs.Bool("list", false, "list available experiments and exit")
 	csv := fs.Bool("csv", false, "emit result tables as CSV (for plotting)")
 	metricsPath := fs.String("metrics", "", "collect engine metrics and write a run manifest to this file")
@@ -81,6 +82,14 @@ func run(args []string, out, errOut io.Writer) int {
 		opt.DisableLinkBatch = true
 	default:
 		fmt.Fprintf(errOut, "rfsim: -linkbatch wants on or off, got %q\n", *linkbatch)
+		return 2
+	}
+	switch *linkcull {
+	case "on":
+	case "off":
+		opt.DisableLinkCull = true
+	default:
+		fmt.Fprintf(errOut, "rfsim: -linkcull wants on or off, got %q\n", *linkcull)
 		return 2
 	}
 	if *metricsPath != "" {

@@ -283,6 +283,11 @@ type MeasureOpts struct {
 	// resolution (the -linkbatch=off escape hatch). Results are
 	// bit-identical either way.
 	DisableLinkBatch bool
+	// DisableLinkCull turns off every replica's broad-phase link culling
+	// (the -linkcull=off escape hatch, DESIGN.md §14): every (tag,
+	// antenna) pair is resolved densely. Reads are bit-identical either
+	// way.
+	DisableLinkCull bool
 }
 
 // MeasureParallel is Measure fanned across a worker pool. Each worker gets
@@ -321,6 +326,9 @@ func MeasureParallelOpts(build Builder, n, firstPass int, o MeasureOpts) (Reliab
 		if o.DisableLinkBatch {
 			p.World.SetLinkBatch(false)
 		}
+		if o.DisableLinkCull {
+			p.World.SetLinkCull(false)
+		}
 		if o.Metrics != nil || o.Tracer != nil {
 			p.Observe(o.Metrics.Shard(), o.Tracer)
 		}
@@ -337,6 +345,9 @@ func MeasureParallelOpts(build Builder, n, firstPass int, o MeasureOpts) (Reliab
 		}
 		if o.DisableLinkBatch {
 			p.World.SetLinkBatch(false)
+		}
+		if o.DisableLinkCull {
+			p.World.SetLinkCull(false)
 		}
 		if o.Metrics != nil || o.Tracer != nil {
 			p.Observe(o.Metrics.Shard(), o.Tracer)

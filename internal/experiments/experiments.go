@@ -44,6 +44,10 @@ type Options struct {
 	// ResolveLink calls instead of batched grid resolution (the CLIs'
 	// -linkbatch=off). Results are bit-identical either way.
 	DisableLinkBatch bool
+	// DisableLinkCull turns off broad-phase link culling in every portal
+	// replica (the CLIs' -linkcull=off). Reads are bit-identical either
+	// way.
+	DisableLinkCull bool
 }
 
 // Validate rejects option values that would otherwise be silently
@@ -79,6 +83,7 @@ func (o Options) measure(build core.Builder, trials, firstPass int) (core.Reliab
 		Tracer:           o.Tracer,
 		DisableLinkCache: o.DisableLinkCache,
 		DisableLinkBatch: o.DisableLinkBatch,
+		DisableLinkCull:  o.DisableLinkCull,
 	})
 }
 

@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestLinkCullEquivalence pins the broad-phase culler's guarantee
+// (DESIGN.md §14): rendering any experiment with -linkcull=off — every
+// (tag, antenna) pair resolved densely — at any worker count reproduces
+// the culled workers=1 output byte for byte. Culling may only skip pairs
+// whose conservative upper bound already proves them undetectable, and
+// the pass-pure keyed RNG means skipping a pair's draws never shifts any
+// other pair's, so the rendered tables cannot move. Same scene coverage
+// as the link-cache and link-batch twins: the static read-range grid
+// (fig2), the moving object cart (table1, table3), and the walking
+// subjects (table2).
+func TestLinkCullEquivalence(t *testing.T) {
+	for _, id := range []string{"fig2", "table1", "table2", "table3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			base := Options{Seed: 99, Trials: 4, Workers: 1}
+			want, err := Run(id, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				for _, off := range []bool{false, true} {
+					if workers == 1 && !off {
+						continue // the baseline itself
+					}
+					opt := base
+					opt.Workers = workers
+					opt.DisableLinkCull = off
+					got, err := Run(id, opt)
+					if err != nil {
+						t.Fatalf("workers=%d cullOff=%v: %v", workers, off, err)
+					}
+					if got.String() != want.String() {
+						t.Errorf("workers=%d cullOff=%v output differs from culled workers=1:\n--- want ---\n%s\n--- got ---\n%s",
+							workers, off, want.String(), got.String())
+					}
+				}
+			}
+		})
+	}
+}

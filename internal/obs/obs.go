@@ -50,6 +50,8 @@ const (
 	CtrLinkResolutions                // link.resolutions
 	CtrGridBatches                    // grid.batches
 	CtrGridLinks                      // grid.links
+	CtrGridActiveLinks                // grid.active_links
+	CtrGridCulled                     // grid.culled
 	CtrPollAttempts                   // poll.attempts
 	CtrPollFailures                   // poll.failures
 	CtrPollRetries                    // poll.retries
@@ -84,6 +86,8 @@ var counterNames = [numCounters]string{
 	CtrLinkResolutions: "link.resolutions",
 	CtrGridBatches:     "grid.batches",
 	CtrGridLinks:       "grid.links",
+	CtrGridActiveLinks: "grid.active_links",
+	CtrGridCulled:      "grid.culled",
 	CtrPollAttempts:    "poll.attempts",
 	CtrPollFailures:    "poll.failures",
 	CtrPollRetries:     "poll.retries",

@@ -95,6 +95,8 @@ var counterHelp = [numCounters]string{
 	CtrLinkResolutions: "Calls into world.ResolveLink.",
 	CtrGridBatches:     "Batched grid resolutions (world.ResolveLinkGrid calls).",
 	CtrGridLinks:       "Links resolved through the batched grid path.",
+	CtrGridActiveLinks: "Grid links composed after broad-phase culling.",
+	CtrGridCulled:      "Grid links skipped by the broad-phase culler.",
 	CtrPollAttempts:    "Reader poll attempts, including retries.",
 	CtrPollFailures:    "Reader poll attempts that failed.",
 	CtrPollRetries:     "Reader poll retries after a failed attempt.",

@@ -202,7 +202,15 @@ func (r *Reader) RunRound(passID int, t float64, foreign []world.ForeignEmitter)
 	}
 	parts := r.parts[:len(tags)]
 	links := r.links[:len(tags)]
-	ctx := world.LinkContext{Time: t, Pass: passID, Round: round, Foreign: foreign}
+	// Broad-phase culling is safe whenever nothing downstream reads the
+	// raw powers of undetectable links: the round consumes decodability
+	// predicates, and RSSI is only attached to tags actually read. Link
+	// tracing is the one consumer that records every pair's raw RSSI, so
+	// it forces dense resolution.
+	ctx := world.LinkContext{
+		Time: t, Pass: passID, Round: round, Foreign: foreign,
+		Cull: r.tracer == nil || !r.tracer.Links(),
+	}
 	if r.world.LinkBatchEnabled() {
 		// Batched path: one grid resolution covers the whole tag column at
 		// this instant, walking the budget memo once per (antenna, instant)

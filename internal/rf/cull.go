@@ -1,0 +1,97 @@
+package rf
+
+import (
+	"math"
+
+	"rfidtrack/internal/units"
+)
+
+// CullBound is the calibration-level half of the conservative per-(tag,
+// antenna) forward-power upper bound behind broad-phase link culling
+// (DESIGN.md §14). The caller adds the pose-dependent pieces — the actual
+// patch gain toward the tag, the actual free-space path loss, and the
+// actual per-tag/per-path shadowing draws — and compares against the
+// detection threshold minus CombineBonusDB. The bound drops every term
+// that is provably a loss (polarization, grazing, obstruction, detuning,
+// coupling) and replaces every remaining stochastic term by its maximum
+// under the field-draw clamp, so for a valid calibration
+//
+//	TagPower ≤ max(directBound, scatterBound) + CombineBonusDB
+//
+// holds for every possible draw: a pair whose bound is below the chip (or
+// active-receiver) sensitivity can never power up, decode, or be read.
+type CullBound struct {
+	// DirectFixedDB is the pose-independent prefix of the direct-path
+	// bound: conducted power minus cable loss, plus the dipole's peak gain
+	// (the actual dipole term never exceeds it while the polarization loss
+	// is nonnegative) and the body-reflection bonus ceiling.
+	DirectFixedDB float64
+	// ScatterFixedDB is the same prefix for the scattered path, whose
+	// deterministic sum uses the calibrated scatter gains verbatim.
+	ScatterFixedDB float64
+	// DirectOverlayDB bounds the direct path's per-(tag, antenna) fast
+	// fading at the field-draw clamp. (The slow-fading shadows are added
+	// from their actual draws by the caller.)
+	DirectOverlayDB float64
+	// ScatterOverlayDB bounds the scattered path's Rayleigh fading (K = 0)
+	// at the field-draw clamp.
+	ScatterOverlayDB float64
+	// CombineBonusDB bounds the linear power combine: a ⊕ b ≤
+	// max(a, b) + 10·log10(2) dB.
+	CombineBonusDB float64
+}
+
+// NewCullBound precomputes the cull bound for a calibration and the
+// world's field-draw clamp. ok is false when the calibration violates an
+// assumption the bound's soundness rests on — a dropped term that could
+// turn into a gain (negative material transmission loss, a positive
+// cross-polarization floor or dipole pattern floor, a negative grazing
+// depth) — in which case callers must not cull.
+func NewCullBound(c *Calibration, clamp float64) (CullBound, bool) {
+	if clamp <= 0 || c.CrossPolFloorDB > 0 || c.TagDipole.MinRelDB > 0 || c.GrazingMaxDB < 0 {
+		return CullBound{}, false
+	}
+	for _, mp := range c.Materials {
+		if mp.TransmissionLossDB < 0 || mp.ScatterLeakFactor < 0 {
+			return CullBound{}, false
+		}
+	}
+	reflect := math.Max(0, float64(c.BodyReflectionGainDB))
+	fixed := float64(c.TxPowerDBm) - float64(c.CableLossDB) + reflect
+	return CullBound{
+		DirectFixedDB: fixed + float64(c.TagDipole.PeakGainDBi),
+		ScatterFixedDB: fixed + float64(c.ScatterAntennaGainDB) -
+			float64(c.ScatterLossDB) - 3,
+		DirectOverlayDB:  RicianMaxDB(c.RicianK, clamp),
+		ScatterOverlayDB: RicianMaxDB(0, clamp),
+		CombineBonusDB:   10 * math.Log10(2),
+	}, true
+}
+
+// RicianMaxDB returns the maximum Rician power gain (dB, K-factor k) the
+// two-draw fading model can produce when each unit-normal draw is clamped
+// to ±clamp: the in-phase component peaks at ν + σ·clamp and the
+// quadrature at σ·clamp, so no realizable draw exceeds
+// 10·log10((ν + σ·clamp)² + (σ·clamp)²).
+func RicianMaxDB(k, clamp float64) float64 {
+	if k < 0 {
+		k = 0
+	}
+	sigma := math.Sqrt(1 / (2 * (k + 1)))
+	nu := math.Sqrt(k / (k + 1))
+	x := nu + sigma*clamp
+	y := sigma * clamp
+	return 10 * math.Log10(x*x+y*y)
+}
+
+// CullThresholdDBm returns the detection threshold the cull bound is
+// compared against for a tag: the rectification sensitivity for passive
+// tags, the receiver sensitivity for active (battery-powered) ones. Below
+// it, TagPowered — and therefore ForwardDecodable, ReverseDecodable, and
+// every read — is false regardless of the reverse link.
+func (c *Calibration) CullThresholdDBm(active bool) units.DBm {
+	if active {
+		return c.ActiveSensitivityDBm
+	}
+	return c.ChipSensitivityDBm
+}

@@ -131,6 +131,21 @@ func Corpus(seed uint64) []CorpusCase {
 		return hospitalAsset(false, true, seed)
 	})
 
+	// Warehouse aisle (the mega-scene family of megascene.go at corpus
+	// size): static pallet stacks down a rack run, overhead antennas each
+	// owning a stretch. The corpus-sized instance pins the generator's
+	// geometry and the monotone antenna-coverage story; the 10⁴–10⁵-tag
+	// instances live in the scaling benchmarks.
+	add("warehouse-aisle", "1ant", func() (*core.Portal, error) {
+		return WarehouseAisle(WarehouseAisleConfig{Tags: 96, Antennas: 1, Seed: seed})
+	})
+	add("warehouse-aisle", "2ant", func() (*core.Portal, error) {
+		return WarehouseAisle(WarehouseAisleConfig{Tags: 96, Antennas: 2, Seed: seed})
+	})
+	add("warehouse-aisle", "4ant", func() (*core.Portal, error) {
+		return WarehouseAisle(WarehouseAisleConfig{Tags: 96, Antennas: 4, Seed: seed})
+	})
+
 	return cases
 }
 

@@ -94,6 +94,8 @@ func TestCorpusEnvelopeSanity(t *testing.T) {
 		{"conveyor/fast-1tag", "conveyor/fast-2tag"},
 		{"library-gate/1ant", "library-gate/2ant"},
 		{"hospital-asset/passive", "hospital-asset/active-beacon"},
+		{"warehouse-aisle/1ant", "warehouse-aisle/2ant"},
+		{"warehouse-aisle/2ant", "warehouse-aisle/4ant"},
 	}
 	for _, o := range orderings {
 		lo, hi := byKey[o[0]], byKey[o[1]]

@@ -1,0 +1,168 @@
+// Mega-scenes: parameterized fleet-scale worlds for the 10⁴–10⁵-tag
+// scaling work (ROADMAP item 4, DESIGN.md §14). Where the corpus cases
+// model one portal event, the warehouse aisle models steady-state
+// inventory over a long rack run: thousands of static pallet cartons
+// along an aisle, a handful of overhead antennas each covering its own
+// stretch — exactly the sparse geometry broad-phase culling exists for
+// (almost every (tag, antenna) pair is tens of path-loss dB below any
+// detection threshold).
+package scenario
+
+import (
+	"fmt"
+
+	"rfidtrack/internal/core"
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/reader"
+	"rfidtrack/internal/rf"
+	"rfidtrack/internal/world"
+)
+
+// Aisle geometry. Pallet stacks alternate sides of the aisle; each stack
+// is a 2×2 footprint of router-class cartons piled in levels, every
+// carton labeled on its aisle-facing face.
+const (
+	// aisleStandoff is the lateral distance from the aisle centerline
+	// (where the antennas hang) to a pallet stack's center.
+	aisleStandoff = 1.6
+	// palletBase is the deck height boxes stack from (the pallet itself).
+	palletBase = 0.15
+)
+
+// aisleWindow is the simulated inventory window per pass: one full
+// multiplexer cycle, so every antenna owns exactly one DefaultAntennaDwell
+// slot. Keyed to the antenna count on purpose — antenna k's slot is
+// [k·dwell, (k+1)·dwell) no matter how many antennas follow it, so a
+// larger antenna set replays the smaller set's rounds verbatim and then
+// appends its own. Per-pass read sets are therefore supersets as antennas
+// are added, which makes the monotone-R_C sanity property hold per trial,
+// not just in expectation.
+func aisleWindow(antennas int) float64 {
+	return reader.DefaultAntennaDwell * float64(antennas)
+}
+
+// WarehouseAisleConfig parameterizes the warehouse-aisle generator.
+type WarehouseAisleConfig struct {
+	// Tags is the total tag count (one label per carton). The last pallet
+	// is partially filled so the count is hit exactly.
+	Tags int
+	// TagsPerPallet is the cartons per full pallet stack, filled 4 per
+	// level (2×2) before starting the next level. Default 12 (2×2×3).
+	TagsPerPallet int
+	// PalletPitch is the down-aisle distance between neighbouring pallet
+	// slots on one side. Default 1.5 m.
+	PalletPitch float64
+	// Antennas is the overhead antenna count (1–4, the reader's
+	// multiplexer width), spread evenly along the aisle, boresights
+	// alternating left/right. Default 2.
+	Antennas int
+	// Seed keys the world's random fields.
+	Seed uint64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c WarehouseAisleConfig) withDefaults() WarehouseAisleConfig {
+	if c.TagsPerPallet == 0 {
+		c.TagsPerPallet = 12
+	}
+	if c.PalletPitch == 0 {
+		c.PalletPitch = 1.5
+	}
+	if c.Antennas == 0 {
+		c.Antennas = 2
+	}
+	return c
+}
+
+// WarehouseAisle builds the aisle scene as a portal: one reader
+// multiplexing the overhead antennas over the static racks, one pass =
+// one full multiplexer cycle (see aisleWindow).
+func WarehouseAisle(cfg WarehouseAisleConfig) (*core.Portal, error) {
+	w, ants, err := WarehouseAisleWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r, err := reader.New("aisle-r1", w, ants)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Portal{World: w, Readers: []*reader.Reader{r}}, nil
+}
+
+// WarehouseAisleWorld builds the aisle's world and antennas without a
+// reader — the shape the grid-resolver benchmarks drive directly.
+func WarehouseAisleWorld(cfg WarehouseAisleConfig) (*world.World, []*world.Antenna, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Tags <= 0 {
+		return nil, nil, fmt.Errorf("scenario: warehouse aisle wants Tags >= 1, got %d", cfg.Tags)
+	}
+	if cfg.TagsPerPallet < 1 {
+		return nil, nil, fmt.Errorf("scenario: warehouse aisle wants TagsPerPallet >= 1, got %d", cfg.TagsPerPallet)
+	}
+	if cfg.PalletPitch <= 0 {
+		return nil, nil, fmt.Errorf("scenario: warehouse aisle wants PalletPitch > 0, got %g", cfg.PalletPitch)
+	}
+	if cfg.Antennas < 1 || cfg.Antennas > 4 {
+		return nil, nil, fmt.Errorf("scenario: warehouse aisle wants 1-4 antennas, got %d", cfg.Antennas)
+	}
+
+	w := world.New(rf.DefaultCalibration(), cfg.Seed)
+	pallets := (cfg.Tags + cfg.TagsPerPallet - 1) / cfg.TagsPerPallet
+	slots := (pallets + 1) / 2 // pallet slots per side
+	span := float64(slots-1) * cfg.PalletPitch
+
+	// Antennas hang over the centerline at the centers of a fixed
+	// four-stretch split of the span, boresights alternating toward the
+	// left (+y) and right (−y) racks. The positions are nested — antenna k
+	// sits at the same place whether 1 or 4 antennas are deployed — so a
+	// larger antenna set strictly adds coverage of a stretch no smaller
+	// set reaches (the monotone-R_C sanity property the corpus pins).
+	ants := make([]*world.Antenna, cfg.Antennas)
+	for k := range ants {
+		x := span * float64(2*k+1) / 8
+		face := geom.UnitY
+		if k%2 == 1 {
+			face = geom.UnitY.Scale(-1)
+		}
+		ants[k] = w.AddAntenna(fmt.Sprintf("aisle-a%d", k+1),
+			geom.NewPose(geom.V(x, 0, antennaHeight), face, geom.UnitZ))
+	}
+
+	window := aisleWindow(cfg.Antennas)
+	half := routerBoxSize.Scale(0.5)
+	serial := uint64(0)
+	for p := 0; p < pallets; p++ {
+		side := 1.0 // left rack, +y
+		if p%2 == 1 {
+			side = -1.0
+		}
+		slotX := float64(p/2) * cfg.PalletPitch
+		boxes := cfg.TagsPerPallet
+		if rem := cfg.Tags - p*cfg.TagsPerPallet; rem < boxes {
+			boxes = rem
+		}
+		for b := 0; b < boxes; b++ {
+			level, cell := b/4, b%4
+			// 2×2 footprint: fx along the aisle, fy toward/away from it.
+			fx, fy := float64(cell%2)-0.5, float64(cell/2)-0.5
+			center := geom.V(
+				slotX+fx*routerBoxSize.X,
+				side*(aisleStandoff+fy*routerBoxSize.Y),
+				palletBase+half.Z+float64(level)*routerBoxSize.Z)
+			name := fmt.Sprintf("aisle/p%d/b%d", p, b)
+			box := w.AddBox(name,
+				geom.StaticPath{Pose: geom.NewPose(center, geom.UnitX, geom.UnitZ), Dur: window},
+				routerBoxSize, rf.Cardboard, rf.Metal, routerContentSize)
+			// Label on the aisle-facing face, dipole vertical — the natural
+			// hand-applied placement, readable from the centerline.
+			serial++
+			w.AttachTag(box, name+"/front", sgtin(800, serial), world.Mount{
+				Offset: geom.V(0, -side*(half.Y+0.002), 0),
+				Normal: geom.V(0, -side, 0),
+				Axis:   geom.UnitZ,
+				Gap:    frontMountGap,
+			})
+		}
+	}
+	return w, ants, nil
+}

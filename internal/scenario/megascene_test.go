@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"rfidtrack/internal/core"
+)
+
+// TestWarehouseAisleConfig pins the generator's validation surface.
+func TestWarehouseAisleConfig(t *testing.T) {
+	bad := []WarehouseAisleConfig{
+		{Tags: 0},
+		{Tags: -5},
+		{Tags: 10, TagsPerPallet: -1},
+		{Tags: 10, PalletPitch: -0.5},
+		{Tags: 10, Antennas: 5},
+		{Tags: 10, Antennas: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := WarehouseAisle(cfg); err == nil {
+			t.Errorf("WarehouseAisle(%+v): want error, got nil", cfg)
+		}
+	}
+	if _, err := WarehouseAisle(WarehouseAisleConfig{Tags: 1}); err != nil {
+		t.Errorf("minimal config: %v", err)
+	}
+}
+
+// TestWarehouseAisleTagCount checks the generator hits the requested tag
+// count exactly — including a partially-filled last pallet — with unique
+// tag names and the requested antenna fan.
+func TestWarehouseAisleTagCount(t *testing.T) {
+	for _, tags := range []int{1, 11, 12, 13, 50, 96} {
+		w, ants, err := WarehouseAisleWorld(WarehouseAisleConfig{Tags: tags, Antennas: 3, Seed: 2})
+		if err != nil {
+			t.Fatalf("Tags=%d: %v", tags, err)
+		}
+		if got := len(w.Tags()); got != tags {
+			t.Errorf("Tags=%d: world has %d tags", tags, got)
+		}
+		if len(ants) != 3 {
+			t.Errorf("Tags=%d: want 3 antennas, got %d", tags, len(ants))
+		}
+		names := map[string]bool{}
+		for _, tag := range w.Tags() {
+			if names[tag.Name] {
+				t.Errorf("Tags=%d: duplicate tag name %q", tags, tag.Name)
+			}
+			names[tag.Name] = true
+		}
+	}
+}
+
+// TestWarehouseAisleAntennaMonotone is the golden-independent sanity
+// check behind the corpus pins: more antennas must never hurt the mean
+// carrier tracking reliability. The generator makes this hold per trial,
+// not just in expectation — antenna positions are nested (a larger set
+// contains the smaller set's positions) and the pass window is one full
+// multiplexer cycle, so antenna k's TDMA slot is identical no matter how
+// many antennas follow it and every added antenna only appends rounds.
+func TestWarehouseAisleAntennaMonotone(t *testing.T) {
+	prev := -1.0
+	prevAnts := 0
+	for _, antennas := range []int{1, 2, 4} {
+		antennas := antennas
+		build := func() (*core.Portal, error) {
+			return WarehouseAisle(WarehouseAisleConfig{Tags: 96, Antennas: antennas, Seed: 3})
+		}
+		rel, err := core.MeasureParallelOpts(build, 4, 1, core.MeasureOpts{Workers: 0})
+		if err != nil {
+			t.Fatalf("antennas=%d: %v", antennas, err)
+		}
+		mean := rel.MeanCarrierReliability(nil)
+		if mean < prev {
+			t.Errorf("R_C not monotone in antenna count: %d antennas %.6f < %d antennas %.6f",
+				antennas, mean, prevAnts, prev)
+		}
+		prev, prevAnts = mean, antennas
+	}
+}
+
+// TestCorpusCullOffBitIdentical re-measures every corpus case with the
+// broad-phase culler disabled and demands the exact reliability object
+// the default run produced: per-tag, per-carrier, and per-pass numbers
+// all bit-identical. Corpus worlds sit below the cullMinTags gate, so
+// both runs resolve densely today — the test pins that the -linkcull
+// escape hatch cannot move a corpus number no matter where that gate
+// moves (DESIGN.md §14); the culling-active half of the contract lives in
+// the world package's cull tests and make scale-smoke.
+func TestCorpusCullOffBitIdentical(t *testing.T) {
+	for _, c := range Corpus(1) {
+		culled, err := core.MeasureParallelOpts(c.Build, CorpusTrials, 1, core.MeasureOpts{Workers: 0})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.Scenario, c.Config, err)
+		}
+		dense, err := core.MeasureParallelOpts(c.Build, CorpusTrials, 1,
+			core.MeasureOpts{Workers: 0, DisableLinkCull: true})
+		if err != nil {
+			t.Fatalf("%s/%s (cull off): %v", c.Scenario, c.Config, err)
+		}
+		if !reflect.DeepEqual(culled, dense) {
+			t.Errorf("%s/%s: culled and dense runs diverged:\n culled %+v\n dense  %+v",
+				c.Scenario, c.Config, culled, dense)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package scenario
+
+// raceEnabled reports whether the race detector instruments this build;
+// the 10⁴-tag dense-resolution smoke leg is minutes under -race, so the
+// scale smoke test skips there (make check runs it race-free instead).
+const raceEnabled = false

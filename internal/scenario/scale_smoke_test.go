@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"rfidtrack/internal/core"
+)
+
+// TestMegaSceneScaleSmoke is the scaling smoke gate (make scale-smoke,
+// part of make check): one full inventory pass over a 10⁴-tag warehouse
+// aisle, run once with broad-phase culling and once densely, must produce
+// byte-identical read streams — every event field including RSSI, in the
+// same order. At this scale the culler skips the overwhelming majority of
+// (tag, antenna) pairs, so the comparison exercises the conservative
+// bound, the sentinel semantics, and the sparse compose path against the
+// dense reference in one shot. Skipped under -race only because the dense
+// leg's O(tags × carriers) obstruction scans take minutes there; the race
+// -short suite still covers the culled path via the world package's cull
+// contract tests (corpus worlds sit below the cullMinTags gate and
+// resolve densely).
+func TestMegaSceneScaleSmoke(t *testing.T) {
+	if raceEnabled {
+		t.Skip("dense 10k-tag leg is minutes under the race detector; run via make scale-smoke")
+	}
+	var got [2]core.PassResult
+	for i, cull := range []bool{true, false} {
+		p, err := WarehouseAisle(WarehouseAisleConfig{Tags: 10000, Antennas: 2, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.World.SetLinkCull(cull)
+		res := p.RunPass(1)
+		if res.Rounds == 0 || len(res.ReadEPCs) == 0 {
+			t.Fatalf("cull=%v: empty pass (%d rounds, %d EPCs)", cull, res.Rounds, len(res.ReadEPCs))
+		}
+		got[i] = res
+	}
+	if got[0].Rounds != got[1].Rounds {
+		t.Errorf("round counts diverged: culled %d, dense %d", got[0].Rounds, got[1].Rounds)
+	}
+	if !reflect.DeepEqual(got[0].ReadEPCs, got[1].ReadEPCs) {
+		t.Errorf("read EPC sets diverged: culled %d, dense %d", len(got[0].ReadEPCs), len(got[1].ReadEPCs))
+	}
+	if !reflect.DeepEqual(got[0].Events, got[1].Events) {
+		t.Errorf("event streams diverged between culled and dense passes")
+	}
+}

@@ -34,6 +34,14 @@ type LinkContext struct {
 	Foreign []ForeignEmitter
 	// Explain requests an itemized forward budget in the result.
 	Explain bool
+	// Cull permits broad-phase culling in ResolveLinkGrid: pairs whose
+	// conservative bound (rf.CullBound, DESIGN.md §14) proves the tag
+	// cannot power up are skipped, and their Link slots hold −Inf powers
+	// instead of real sub-threshold values. Decodability predicates and
+	// reads are bit-identical either way; callers that consume raw powers
+	// of undetectable links (link tracing, RSSI maps) must leave it false.
+	// ResolveLink ignores it.
+	Cull bool
 }
 
 // couplingSearchRadius bounds the neighbour scan for mutual coupling;
@@ -495,7 +503,29 @@ func (w *World) bodyReflectionDB(tag *Tag, antPos geom.Vec3, t float64) units.DB
 // draws it would save).
 func (w *World) fieldDraws(k xrand.Key) [2]float64 {
 	w.draw.Reseed(k.Seed())
-	return [2]float64{w.draw.Normal(0, 1), w.draw.Normal(0, 1)}
+	return [2]float64{
+		clampDraw(w.draw.Normal(0, 1)),
+		clampDraw(w.draw.Normal(0, 1)),
+	}
+}
+
+// fieldDrawClamp bounds every unit-normal field draw to ±9σ. The ziggurat
+// tail is unbounded, and the broad-phase cull bound (rf.CullBound) needs
+// the fading overlays to have a finite maximum; clamping at 9σ makes that
+// maximum exact while being unobservable in practice — P(|z| > 9) ≈
+// 2.26e-19 per draw, so no realizable simulation ever produces a clamped
+// value, and every committed golden is unchanged.
+const fieldDrawClamp = 9.0
+
+// clampDraw clips one unit-normal draw to ±fieldDrawClamp.
+func clampDraw(z float64) float64 {
+	if z > fieldDrawClamp {
+		return fieldDrawClamp
+	}
+	if z < -fieldDrawClamp {
+		return -fieldDrawClamp
+	}
+	return z
 }
 
 // fieldNormal draws N(0, sigma²) for the field the key labels —

@@ -1,0 +1,207 @@
+package world
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rfidtrack/internal/geom"
+	"rfidtrack/internal/obs"
+	"rfidtrack/internal/rf"
+)
+
+// cullScene builds the geometry broad-phase culling exists for: one
+// antenna at the origin and a long line of static tagged cartons marching
+// away down the x axis, most of them tens of path-loss dB out of range.
+// One active tag rides along to exercise the per-tag threshold (its −85
+// dBm sensitivity keeps it uncullable at any distance this scene spans).
+func cullScene(tags int) (*World, []*Antenna) {
+	w := New(rf.DefaultCalibration(), 11)
+	ant := w.AddAntenna("c-a1", geom.NewPose(geom.V(0, 0, 1), geom.UnitY, geom.UnitZ))
+	for i := 0; i < tags; i++ {
+		box := w.AddBox(fmt.Sprintf("cbox%d", i),
+			geom.StaticPath{Pose: geom.NewPose(geom.V(float64(i)*0.5, 1.5, 0.3), geom.UnitX, geom.UnitZ), Dur: 4},
+			geom.V(0.45, 0.4, 0.2), rf.Cardboard, rf.Plastic, geom.V(0.38, 0.33, 0.15))
+		w.AttachTag(box, fmt.Sprintf("ctag%d", i), testCode(uint64(i+1)), Mount{
+			Offset: geom.V(0, -0.21, 0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.05,
+		})
+	}
+	person := w.AddPerson("c-walker", geom.StaticPath{Pose: geom.NewPose(geom.V(2, 3, 0), geom.UnitY, geom.UnitZ), Dur: 4}, 1.8, 0.25)
+	w.AttachActiveTag(person, "c-beacon", testCode(uint64(tags+1)), Mount{
+		Offset: geom.V(0, -0.26, 1.0), Normal: geom.V(0, -1, 0), Axis: geom.UnitZ, Gap: 0.02,
+	})
+	return w, []*Antenna{ant}
+}
+
+// TestResolveLinkGridCullPredicates is the culler's core contract
+// (DESIGN.md §14): for every (tag, antenna) pair, every instant, the
+// culled grid serves the same decodability predicates — TagPowered,
+// ForwardDecodable, ReverseDecodable — as the dense per-link path.
+// Raw powers of culled pairs are sentinels by design, so the comparison
+// is at the predicate layer the round protocol actually consumes. The
+// scene is sized so the culler provably fires (checked via the
+// grid.culled counter), and the contexts sweep the cached layers: replay,
+// new instant, new fading block, new pass.
+func TestResolveLinkGridCullPredicates(t *testing.T) {
+	w, ants := cullScene(300)
+	ref, refAnts := cullScene(300) // pristine per-link reference world
+	cal := w.Cal
+	m := obs.NewMetrics()
+	w.Observe(m.Shard())
+	var g LinkGrid
+
+	contexts := []LinkContext{
+		{Time: 0, Pass: 0, Round: 0, Cull: true},
+		{Time: 0, Pass: 0, Round: 0, Cull: true},   // replay: every layer hits
+		{Time: 0.1, Pass: 0, Round: 1, Cull: true}, // same block, new instant
+		{Time: 1.2, Pass: 0, Round: 3, Cull: true}, // new fading block
+		{Time: 1.2, Pass: 1, Round: 3, Cull: true}, // new pass, same instant
+	}
+	for ci, ctx := range contexts {
+		w.ResolveLinkGrid(ants, ctx, &g)
+		rctx := ctx
+		rctx.Cull = false
+		for ti, tag := range w.Tags() {
+			got := g.Link(ants[0], tag)
+			want := ref.ResolveLink(ref.Tags()[ti], refAnts[0], rctx)
+			if got.TagPowered(cal) != want.TagPowered(cal) ||
+				got.ForwardDecodable(cal) != want.ForwardDecodable(cal) ||
+				got.ReverseDecodable(cal) != want.ReverseDecodable(cal) {
+				t.Fatalf("ctx %d tag %s: culled predicates diverge from dense (culled %+v, dense %+v)",
+					ci, tag.Name, got, want)
+			}
+		}
+	}
+
+	snap := m.Snapshot()
+	if snap.Counters["grid.culled"] == 0 {
+		t.Fatal("scene never culled a pair — the test exercises nothing")
+	}
+	if snap.Counters["grid.active_links"]+snap.Counters["grid.culled"] != snap.Counters["grid.links"] {
+		t.Errorf("active (%d) + culled (%d) != links (%d)",
+			snap.Counters["grid.active_links"], snap.Counters["grid.culled"], snap.Counters["grid.links"])
+	}
+	// Interference present: culling must stand down (foreign CW can raise
+	// tag interference on pairs the bound would skip), and the grid must
+	// match the dense reference exactly, not just on predicates.
+	a2 := w.AddAntenna("c-a2", geom.NewPose(geom.V(4, 0, 1), geom.UnitY, geom.UnitZ))
+	ra2 := ref.AddAntenna("c-a2", geom.NewPose(geom.V(4, 0, 1), geom.UnitY, geom.UnitZ))
+	fctx := LinkContext{Time: 2.0, Pass: 1, Round: 5, Cull: true, Foreign: []ForeignEmitter{{Antenna: a2}}}
+	w.ResolveLinkGrid(ants, fctx, &g)
+	rctx := fctx
+	rctx.Cull = false
+	rctx.Foreign = []ForeignEmitter{{Antenna: ra2}}
+	for ti, tag := range w.Tags() {
+		got := g.Link(ants[0], tag)
+		want := ref.ResolveLink(ref.Tags()[ti], refAnts[0], rctx)
+		want.Forward = nil
+		if got != want {
+			t.Fatalf("foreign ctx tag %s: grid %+v != per-link %+v", tag.Name, got, want)
+		}
+	}
+}
+
+// TestResolveLinkGridCullAfterDense pins the stale-value contract: a
+// dense resolution followed by a culled one at the same instant leaves
+// real (pre-cull) powers in rows the culler skips, and those must still
+// read as undetectable — the sentinel is an optimization, not the safety
+// argument (the bound proves any leftover power is below sensitivity).
+func TestResolveLinkGridCullAfterDense(t *testing.T) {
+	w, ants := cullScene(200)
+	cal := w.Cal
+	var g LinkGrid
+	ctx := LinkContext{Time: 0.5, Pass: 0, Round: 0}
+	w.ResolveLinkGrid(ants, ctx, &g) // dense: every row holds real powers
+
+	dense := make([]bool, len(w.Tags()))
+	for ti, tag := range w.Tags() {
+		dense[ti] = g.Link(ants[0], tag).TagPowered(cal)
+	}
+	ctx.Cull = true
+	w.ResolveLinkGrid(ants, ctx, &g)
+	for ti, tag := range w.Tags() {
+		if got := g.Link(ants[0], tag).TagPowered(cal); got != dense[ti] {
+			t.Fatalf("tag %s: TagPowered flipped %v -> %v across dense -> culled resolution",
+				tag.Name, dense[ti], got)
+		}
+	}
+}
+
+// TestResolveLinkGridGrowShrink reuses one LinkGrid across worlds three
+// orders of magnitude apart — 200 tags, then 10⁵, then 200 again — and
+// demands per-link-exact results after every resize. The shrink leg is
+// the interesting one: column scratch and active lists sized for 10⁵
+// rows must not leak stale data into the small world's links. Both world
+// sizes sit above cullMinTags so every culled leg really culls.
+func TestResolveLinkGridGrowShrink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁵-tag world build is seconds; covered by the full suite")
+	}
+	var g LinkGrid
+	small, smallAnts := cullScene(200)
+	big, bigAnts := cullScene(100000)
+	ref, refAnts := cullScene(200)
+	cal := small.Cal
+
+	check := func(stage string, w *World, ants []*Antenna, ctx LinkContext) {
+		t.Helper()
+		w.ResolveLinkGrid(ants, ctx, &g)
+		rctx := ctx
+		rctx.Cull = false
+		for ti, tag := range w.Tags() {
+			got := g.Link(ants[0], tag)
+			want := ref.ResolveLink(ref.Tags()[ti], refAnts[0], rctx)
+			if got.TagPowered(cal) != want.TagPowered(cal) ||
+				got.ForwardDecodable(cal) != want.ForwardDecodable(cal) ||
+				got.ReverseDecodable(cal) != want.ReverseDecodable(cal) {
+				t.Fatalf("%s tag %s: predicates diverge (grid %+v, per-link %+v)", stage, tag.Name, got, want)
+			}
+		}
+	}
+
+	ctx := LinkContext{Time: 0.25, Pass: 0, Round: 0, Cull: true}
+	check("pre-grow", small, smallAnts, ctx)
+
+	// Grow: 10⁵ rows, culled (dense resolution at this scale is O(n²) in
+	// the obstruction scan — exactly the wall the culler removes). Sanity:
+	// near tags stay detectable, far tags don't.
+	big.ResolveLinkGrid(bigAnts, ctx, &g)
+	near := g.Link(bigAnts[0], big.Tags()[2])
+	far := g.Link(bigAnts[0], big.Tags()[90000])
+	if !near.TagPowered(cal) {
+		t.Error("grow: near tag not powered in 10⁵-tag world")
+	}
+	if far.TagPowered(cal) || !math.IsInf(float64(far.TagPower), -1) {
+		t.Errorf("grow: tag 45 km out should be culled to -Inf, got %+v", far)
+	}
+
+	// Shrink back: every small-world link must be exact again, with and
+	// without culling, on fresh instants (forcing every layer to refill
+	// over the shrunken row set).
+	check("post-shrink culled", small, smallAnts, LinkContext{Time: 0.75, Pass: 1, Round: 2, Cull: true})
+	check("post-shrink dense", small, smallAnts, LinkContext{Time: 1.5, Pass: 2, Round: 4})
+}
+
+// TestResolveLinkGridScaleZeroAlloc pins the culled scale path's
+// steady-state allocation contract (`make alloc-guard`): once warm, a
+// full culled column resolution — cull rebuild, sparse compose, new
+// instants, new fading blocks, new passes — performs no allocation.
+func TestResolveLinkGridScaleZeroAlloc(t *testing.T) {
+	w, ants := cullScene(2000)
+	var g LinkGrid
+	w.ResolveLinkGrid(ants, LinkContext{Time: 0, Pass: 0, Round: 0, Cull: true}, &g)
+
+	round := 0
+	if avg := testing.AllocsPerRun(100, func() {
+		round++
+		ctx := LinkContext{
+			Time:  float64(round) * 0.01,
+			Pass:  round % 4,
+			Round: round,
+			Cull:  true,
+		}
+		w.ResolveLinkGrid(ants, ctx, &g)
+	}); avg != 0 {
+		t.Errorf("warmed culled ResolveLinkGrid allocates %.2f allocs/op, want 0", avg)
+	}
+}

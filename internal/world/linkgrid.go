@@ -1,9 +1,12 @@
 package world
 
 import (
+	"math"
+
 	"rfidtrack/internal/obs"
 	"rfidtrack/internal/rf"
 	"rfidtrack/internal/units"
+	"rfidtrack/internal/xrand"
 )
 
 // LinkGrid is the reusable scratch behind batched link resolution
@@ -24,6 +27,12 @@ import (
 //   - fast fading (fadeDir/fadeScat, and the foreign-carrier variants
 //     intFadeDir/intFadeScat): (pass, fading block) per column — rounds
 //     inside one coherence block share the draw.
+//
+// When broad-phase culling is active (DESIGN.md §14) a column's layers
+// may cover only its active rows; each layer stamp then also records the
+// cull generation it was filled under (gen 0 = dense fill covering every
+// row, a superset that satisfies any generation), so a sparse fill is
+// never mistaken for a dense one and vice versa.
 //
 // Every cached value is a pure function of its field label or of the
 // scene pose, so replaying it is bit-identical to redrawing it; the
@@ -49,6 +58,11 @@ type LinkGrid struct {
 	// Per-antenna-column state.
 	cols []gridCol
 
+	// allRows is the identity row list [0, 1, …, nTags−1]: the rows
+	// iterated when a column resolves densely, so the dense and culled
+	// paths share one tiled loop.
+	allRows []int32
+
 	// Per-(antenna, tag) layers, column-major: index ant.idx*nTags+tag.idx.
 	detDirect   []units.DBm
 	detScatter  []units.DBm
@@ -65,17 +79,63 @@ type LinkGrid struct {
 	readerIntf  []units.DBm // one aggregate per column
 }
 
-// gridCol carries one antenna column's layer stamps.
+// gridCol carries one antenna column's layer stamps and broad-phase cull
+// state. The det/path/fade gens record the cull generation each layer was
+// last filled under: 0 means a dense fill (valid for any generation), a
+// nonzero value matches only the identical active list.
 type gridCol struct {
 	detOK    bool
 	detTq    float64
 	detEpoch uint64
+	detGen   uint64
 	pathOK   bool
+	pathGen  uint64
 	fadeOK   bool
 	fadeBlk  int
+	fadeGen  uint64
 	intOK    bool
 	intBlk   int
+
+	// Broad-phase cull state: the active row list is valid for exactly
+	// (cullTq, cullEpoch, cullPass); cullGen counts content changes of the
+	// list and starts at 0 so the first build always bumps it past the
+	// dense sentinel.
+	cullOK    bool
+	cullTq    float64
+	cullEpoch uint64
+	cullPass  int
+	cullGen   uint64
+	active    []int32
 }
+
+// reset invalidates every stamp while keeping the active list's backing
+// array, so re-sizing a reused grid stays allocation-free at steady
+// state.
+func (c *gridCol) reset() {
+	active := c.active[:0]
+	*c = gridCol{active: active}
+}
+
+// gridTile is the tag-axis block size of the fused resolve loop: the
+// deterministic-sum, shadowing, fading, and compose passes each walk one
+// tile before moving on, so a tile's slice of every column array (~10
+// float64 arrays ≈ 80 KiB) stays L1/L2-resident instead of streaming a
+// 10⁵-row column through the cache once per layer.
+const gridTile = 1024
+
+// cullMinTags is the world size below which broad-phase culling stands
+// down. The bound rebuild is O(rows) per quantized instant, so in a
+// moving scene it reruns every round; portal-scale worlds (the paper's
+// 1–50 tags) sit entirely inside any antenna's bound radius, so that
+// rebuild would cull nothing and the rounds would only get slower. The
+// crossover where skipped compose work starts beating the rebuild is
+// around 10³ rows (BenchmarkResolveLinkGridScale: 43% culled at 10³,
+// 92% at 10⁴), so anything under a couple hundred rows resolves densely.
+const cullMinTags = 128
+
+// negInfDBm marks a culled pair's power slots: −Inf keeps every
+// decodability predicate false for both passive and active tags.
+var negInfDBm = units.DBm(math.Inf(-1))
 
 // grow returns s resized to n, reallocating only on capacity growth.
 func grow[T any](s []T, n int) []T {
@@ -99,6 +159,10 @@ func (g *LinkGrid) ensure(w *World) {
 	g.tagShadow = grow(g.tagShadow, g.nTags)
 	g.scatShadow = grow(g.scatShadow, g.nTags)
 	g.cols = grow(g.cols, g.nAnts)
+	g.allRows = grow(g.allRows, g.nTags)
+	for i := range g.allRows {
+		g.allRows[i] = int32(i)
+	}
 	g.detDirect = grow(g.detDirect, n)
 	g.detScatter = grow(g.detScatter, n)
 	g.pathShadow = grow(g.pathShadow, n)
@@ -112,14 +176,18 @@ func (g *LinkGrid) ensure(w *World) {
 	g.readerIntf = grow(g.readerIntf, g.nAnts)
 	g.passOK = false
 	for i := range g.cols {
-		g.cols[i] = gridCol{}
+		g.cols[i].reset()
 	}
 }
 
 // Link returns the resolved state of (tag, ant) written by the last
 // ResolveLinkGrid call that covered ant's column. The result is the
 // identical rf.Link ResolveLink would return for the same context (minus
-// the Explain budget, which only the per-link path carries).
+// the Explain budget, which only the per-link path carries) — except for
+// a pair the broad-phase culler skipped, whose power slots hold −Inf (or
+// a stale sub-threshold value from an earlier dense resolution): every
+// decodability predicate is still identical, but consumers of culled
+// resolutions must not interpret the raw powers of undetectable links.
 func (g *LinkGrid) Link(ant *Antenna, tag *Tag) rf.Link {
 	i := ant.idx*g.nTags + tag.idx
 	return rf.Link{
@@ -152,6 +220,16 @@ func (w *World) LinkBatchEnabled() bool { return !w.linkBatchOff }
 // columns resolved as interference sources exactly as ResolveLink
 // resolves them, in the same ctx.Foreign order.
 //
+// When ctx.Cull is set (and the world's -linkcull escape hatch is on, the
+// world has at least cullMinTags tags, no foreign emitters are present,
+// and the calibration satisfies the conservative bound's assumptions)
+// each column is first broad-phase culled: rows whose bound proves the tag cannot reach its detection
+// threshold are skipped and sentinel-marked, and every layer fill and the
+// compose walk only the compact active list (DESIGN.md §14). Reads and
+// decodability are bit-identical to the dense resolution because the
+// random fields are pass-pure — skipping a pair's draws cannot shift any
+// other pair's draws.
+//
 // ctx.Explain is ignored — itemized budgets stay on the per-link path.
 func (w *World) ResolveLinkGrid(ants []*Antenna, ctx LinkContext, g *LinkGrid) {
 	g.ensure(w)
@@ -167,7 +245,8 @@ func (w *World) ResolveLinkGrid(ants []*Antenna, ctx LinkContext, g *LinkGrid) {
 
 	// Pass layer: the per-tag slow-fading draws, shared by every antenna
 	// (their labels carry no antenna). A pass change also invalidates the
-	// per-column pass-scoped layers.
+	// per-column pass-scoped layers and the cull lists (the bound uses the
+	// pass's shadow draws).
 	if !g.passOK || g.pass != ctx.Pass {
 		kt := w.keys.shadowTag.Int(ctx.Pass)
 		ks := w.keys.shadowScat.Int(ctx.Pass)
@@ -180,16 +259,25 @@ func (w *World) ResolveLinkGrid(ants []*Antenna, ctx LinkContext, g *LinkGrid) {
 			g.cols[i].pathOK = false
 			g.cols[i].fadeOK = false
 			g.cols[i].intOK = false
+			g.cols[i].cullOK = false
 		}
 	}
 
-	for _, ant := range ants {
-		w.gridDetColumn(g, ant, tq)
-		w.gridPathColumn(g, ant, ctx.Pass)
-		w.gridFadeColumn(g, ant, ctx.Pass, block, false)
+	// Broad-phase gate: opt-in per context, world escape hatch, a world big
+	// enough for the bound rebuild to pay for itself, no foreign emitters
+	// (a sub-threshold foreign carrier can still move an active tag's
+	// SINR), and a calibration the bound is provably sound for.
+	var cb rf.CullBound
+	cull := ctx.Cull && !w.linkCullOff && len(ctx.Foreign) == 0 && g.nTags >= cullMinTags
+	if cull {
+		cb, cull = rf.NewCullBound(cal, fieldDrawClamp)
+	}
 
+	for _, ant := range ants {
 		// Foreign columns and the victim receiver's aggregate leakage,
-		// walked in ctx.Foreign order (the per-link combine order).
+		// walked in ctx.Foreign order (the per-link combine order). Foreign
+		// columns are always dense — culling is gated off above when any
+		// are present.
 		rIntf := rf.NoInterference
 		for _, f := range ctx.Foreign {
 			if f.Antenna == ant {
@@ -206,18 +294,145 @@ func (w *World) ResolveLinkGrid(ants []*Antenna, ctx LinkContext, g *LinkGrid) {
 		}
 		g.readerIntf[ant.idx] = rIntf
 
-		// Compose: the same left-to-right budget order as ResolveLink —
-		// deterministic prefix, then tag shadow, path/scatter shadow, fast
-		// fade — so splitting the sum cannot move a result by one bit.
-		base := ant.idx * g.nTags
-		for i, tag := range w.tags {
+		rows := g.allRows
+		want := uint64(0)
+		if cull {
+			w.gridCullColumn(g, ant, tq, ctx.Pass, &cb)
+			rows = g.cols[ant.idx].active
+			want = g.cols[ant.idx].cullGen
+		}
+		w.gridComposeColumn(g, ant, &ctx, tq, block, rows, want)
+
+		if w.obs != nil {
+			// Count like the per-link path would: one resolution per (tag,
+			// requested antenna); foreign-carrier columns excluded. Culling
+			// does not change grid.links — the culled/active split is
+			// reported separately so the culled fraction is culled/links.
+			w.obs.Add(obs.CtrLinkResolutions, uint64(g.nTags))
+			w.obs.Add(obs.CtrGridLinks, uint64(g.nTags))
+			w.obs.Add(obs.CtrGridActiveLinks, uint64(len(rows)))
+			w.obs.Add(obs.CtrGridCulled, uint64(g.nTags-len(rows)))
+		}
+	}
+	if w.obs != nil {
+		w.obs.Inc(obs.CtrGridBatches)
+	}
+}
+
+// gridCullColumn rebuilds one column's active row list when its stamps
+// (quantized instant, pose epoch, pass) moved: every row gets the pass's
+// actual path-shadow draw (stored densely — the path layer is filled as a
+// byproduct) and the conservative bound of rf.CullBound; rows that cannot
+// reach their detection threshold are sentinel-marked and excluded. The
+// generation counter bumps only when the list's content actually changed,
+// so layer fills keyed to it survive rebuilds that land on the same set.
+func (w *World) gridCullColumn(g *LinkGrid, ant *Antenna, tq float64, pass int, cb *rf.CullBound) {
+	c := &g.cols[ant.idx]
+	if c.cullOK && c.cullTq == tq && c.cullEpoch == w.poseEpoch && c.cullPass == pass {
+		return
+	}
+	cal := &w.Cal
+	positions := w.tagPositions(tq)
+	kp := w.keys.shadowPath.Int(pass)
+	base := ant.idx * g.nTags
+	antPos := ant.Pose.Pos
+	// The rebuild compares the old list against the new one in place:
+	// position k of the old backing is only overwritten by the append that
+	// fills position k, after it was compared.
+	same := c.cullOK
+	prev := c.active
+	act := c.active[:0]
+	for i, tag := range w.tags {
+		ps := units.DB(w.fieldNormal(
+			kp.Str("/").Str(tag.Name).Str("/").Str(ant.Name), cal.SigmaPathDB))
+		g.pathShadow[base+i] = ps
+		pos := positions[i]
+		patch := float64(cal.ReaderAntenna.GainToward(ant.Pose, pos))
+		fspl := float64(units.FSPL(pos.Dist(antPos), cal.FreqHz))
+		shadow := float64(g.tagShadow[i])
+		thr := float64(cal.CullThresholdDBm(tag.Active)) - cb.CombineBonusDB
+		if cb.DirectFixedDB+patch-fspl+shadow+float64(ps)+cb.DirectOverlayDB < thr &&
+			cb.ScatterFixedDB-fspl+shadow+float64(g.scatShadow[i])+cb.ScatterOverlayDB < thr {
+			g.tagPower[base+i] = negInfDBm
+			g.readerPower[base+i] = negInfDBm
+			g.tagIntf[base+i] = rf.NoInterference
+			continue
+		}
+		if k := len(act); same && (k >= len(prev) || prev[k] != int32(i)) {
+			same = false
+		}
+		act = append(act, int32(i))
+	}
+	if same && len(act) != len(prev) {
+		same = false
+	}
+	c.active = act
+	if !same {
+		c.cullGen++
+	}
+	c.pathOK, c.pathGen = true, 0
+	c.cullOK, c.cullTq, c.cullEpoch, c.cullPass = true, tq, w.poseEpoch, pass
+}
+
+// gridComposeColumn fills one requested column's stale layers and
+// composes its outputs, fused over cache-sized tiles of the row list
+// (g.allRows when dense, the column's active list when culled): each
+// tile's slice of every layer is written and immediately consumed while
+// still cache-resident. The compose adds the layers in the same
+// left-to-right budget order as ResolveLink — deterministic prefix, then
+// tag shadow, path/scatter shadow, fast fade — so splitting the sum
+// cannot move a result by one bit.
+func (w *World) gridComposeColumn(g *LinkGrid, ant *Antenna, ctx *LinkContext, tq float64, block int, rows []int32, want uint64) {
+	cal := &w.Cal
+	c := &g.cols[ant.idx]
+	needDet := !(c.detOK && c.detTq == tq && c.detEpoch == w.poseEpoch &&
+		(c.detGen == 0 || c.detGen == want))
+	needPath := !(c.pathOK && (c.pathGen == 0 || c.pathGen == want))
+	needFade := !(c.fadeOK && c.fadeBlk == block && (c.fadeGen == 0 || c.fadeGen == want))
+	var kp, kdp, ksp xrand.Key
+	if needPath {
+		kp = w.keys.shadowPath.Int(ctx.Pass)
+	}
+	if needFade {
+		kdp = w.keys.fadeDir.Int(ctx.Pass).Str("/b").Int(block)
+		ksp = w.keys.fadeDirS.Int(ctx.Pass).Str("/b").Int(block)
+	}
+	base := ant.idx * g.nTags
+	for s := 0; s < len(rows); s += gridTile {
+		tile := rows[s:min(s+gridTile, len(rows))]
+		if needDet {
+			for _, r := range tile {
+				i := int(r)
+				bt := w.linkTerms(w.tags[i], ant, tq)
+				g.detDirect[base+i] = detDirectSum(cal, bt)
+				g.detScatter[base+i] = detScatterSum(cal, bt)
+			}
+		}
+		if needPath {
+			for _, r := range tile {
+				i := int(r)
+				g.pathShadow[base+i] = units.DB(w.fieldNormal(
+					kp.Str("/").Str(w.tags[i].Name).Str("/").Str(ant.Name), cal.SigmaPathDB))
+			}
+		}
+		if needFade {
+			for _, r := range tile {
+				i := int(r)
+				g.fadeDir[base+i] = units.DB(w.fieldRician(
+					kdp.Str("/").Str(w.tags[i].Name).Str("/").Str(ant.Name), cal.RicianK))
+				g.fadeScat[base+i] = units.DB(w.fieldRician(
+					ksp.Str("/").Str(w.tags[i].Name).Str("/").Str(ant.Name), 0))
+			}
+		}
+		for _, r := range tile {
+			i := int(r)
 			direct := g.detDirect[base+i].
 				Plus(g.tagShadow[i]).Plus(g.pathShadow[base+i]).Plus(g.fadeDir[base+i])
 			scatter := g.detScatter[base+i].
 				Plus(g.tagShadow[i]).Plus(g.scatShadow[i]).Plus(g.fadeScat[base+i])
 			tp := combinePower(direct, scatter)
 			g.tagPower[base+i] = tp
-			if tag.Active {
+			if w.tags[i].Active {
 				g.readerPower[base+i] = cal.ActiveTxPowerDBm.
 					Plus(units.DB(tp - cal.TxPowerDBm))
 			} else {
@@ -242,24 +457,32 @@ func (w *World) ResolveLinkGrid(ants []*Antenna, ctx LinkContext, g *LinkGrid) {
 			}
 			g.tagIntf[base+i] = tIntf
 		}
-		if w.obs != nil {
-			// Count like the per-link path would: one resolution per (tag,
-			// requested antenna); foreign-carrier columns excluded.
-			w.obs.Add(obs.CtrLinkResolutions, uint64(g.nTags))
-			w.obs.Add(obs.CtrGridLinks, uint64(g.nTags))
-		}
 	}
 	if w.obs != nil {
-		w.obs.Inc(obs.CtrGridBatches)
+		if needDet {
+			w.obs.GridTermFills(uint64(len(rows)))
+		} else {
+			w.obs.GridTermHits(uint64(len(rows)))
+		}
+	}
+	if needDet {
+		c.detOK, c.detTq, c.detEpoch, c.detGen = true, tq, w.poseEpoch, want
+	}
+	if needPath {
+		c.pathOK, c.pathGen = true, want
+	}
+	if needFade {
+		c.fadeOK, c.fadeBlk, c.fadeGen = true, block, want
 	}
 }
 
 // gridDetColumn fills (or reuses) one antenna column's deterministic
-// budget prefix sums: the memoized budget cache is walked once per
+// budget prefix sums densely — the fill path for foreign-carrier columns,
+// which are never culled. The memoized budget cache is walked once per
 // (antenna, instant) here, instead of once per link in the per-link path.
 func (w *World) gridDetColumn(g *LinkGrid, ant *Antenna, tq float64) {
 	c := &g.cols[ant.idx]
-	if c.detOK && c.detTq == tq && c.detEpoch == w.poseEpoch {
+	if c.detOK && c.detTq == tq && c.detEpoch == w.poseEpoch && c.detGen == 0 {
 		if w.obs != nil {
 			w.obs.GridTermHits(uint64(g.nTags))
 		}
@@ -272,17 +495,17 @@ func (w *World) gridDetColumn(g *LinkGrid, ant *Antenna, tq float64) {
 		g.detDirect[base+i] = detDirectSum(cal, bt)
 		g.detScatter[base+i] = detScatterSum(cal, bt)
 	}
-	c.detOK, c.detTq, c.detEpoch = true, tq, w.poseEpoch
+	c.detOK, c.detTq, c.detEpoch, c.detGen = true, tq, w.poseEpoch, 0
 	if w.obs != nil {
 		w.obs.GridTermFills(uint64(g.nTags))
 	}
 }
 
 // gridPathColumn fills one column's per-(tag, antenna) slow fading for
-// the current pass.
+// the current pass, densely (the foreign-column fill path).
 func (w *World) gridPathColumn(g *LinkGrid, ant *Antenna, pass int) {
 	c := &g.cols[ant.idx]
-	if c.pathOK {
+	if c.pathOK && c.pathGen == 0 {
 		return
 	}
 	kp := w.keys.shadowPath.Int(pass)
@@ -291,23 +514,25 @@ func (w *World) gridPathColumn(g *LinkGrid, ant *Antenna, pass int) {
 		g.pathShadow[base+i] = units.DB(w.fieldNormal(
 			kp.Str("/").Str(tag.Name).Str("/").Str(ant.Name), w.Cal.SigmaPathDB))
 	}
-	c.pathOK = true
+	c.pathOK, c.pathGen = true, 0
 }
 
 // gridFadeColumn fills one column's fast-fading draws for (pass, block) —
 // the direct-link draws, or the foreign-carrier (interference) draws when
-// asInterference is set, exactly as forwardPowerDBm keys them.
+// asInterference is set, exactly as forwardPowerDBm keys them. Fills are
+// dense (the foreign-column fill path; requested columns fuse their fills
+// into gridComposeColumn).
 func (w *World) gridFadeColumn(g *LinkGrid, ant *Antenna, pass, block int, asInterference bool) {
 	c := &g.cols[ant.idx]
 	dir, scat := g.fadeDir, g.fadeScat
-	ok, blk := &c.fadeOK, &c.fadeBlk
 	kd, ks := w.keys.fadeDir, w.keys.fadeDirS
 	if asInterference {
+		if c.intOK && c.intBlk == block {
+			return
+		}
 		dir, scat = g.intFadeDir, g.intFadeScat
-		ok, blk = &c.intOK, &c.intBlk
 		kd, ks = w.keys.fadeInt, w.keys.fadeIntS
-	}
-	if *ok && *blk == block {
+	} else if c.fadeOK && c.fadeBlk == block && c.fadeGen == 0 {
 		return
 	}
 	kdp := kd.Int(pass).Str("/b").Int(block)
@@ -319,5 +544,9 @@ func (w *World) gridFadeColumn(g *LinkGrid, ant *Antenna, pass, block int, asInt
 		scat[base+i] = units.DB(w.fieldRician(
 			ksp.Str("/").Str(tag.Name).Str("/").Str(ant.Name), 0))
 	}
-	*ok, *blk = true, block
+	if asInterference {
+		c.intOK, c.intBlk = true, block
+	} else {
+		c.fadeOK, c.fadeBlk, c.fadeGen = true, block, 0
+	}
 }

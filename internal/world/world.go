@@ -284,6 +284,10 @@ type World struct {
 	// ResolveLink calls (the -linkbatch=off escape hatch); results are
 	// bit-identical either way (see linkgrid.go).
 	linkBatchOff bool
+	// linkCullOff disables broad-phase culling in ResolveLinkGrid even for
+	// contexts that permit it (the -linkcull=off escape hatch); every pair
+	// is then resolved densely, with bit-identical reads (DESIGN.md §14).
+	linkCullOff bool
 
 	// posTags/posTime/posEpoch stamp the positions memo: world positions of
 	// every tag at one quantized instant, shared by the O(tags) neighbour
@@ -414,6 +418,17 @@ func (w *World) Invalidate() { w.poseEpoch++ }
 // resolution; results are bit-identical either way — the switch exists for
 // A/B benchmarking (the CLIs' -linkcache=off).
 func (w *World) SetLinkCache(on bool) { w.linkCacheOff = !on }
+
+// SetLinkCull enables or disables broad-phase link culling (enabled by
+// default, effective only for LinkContexts that set Cull). Reads and
+// decodability are bit-identical either way; the switch is the
+// -linkcull=off escape hatch and A/B benchmark lever (DESIGN.md §14).
+func (w *World) SetLinkCull(on bool) { w.linkCullOff = !on }
+
+// LinkCullEnabled reports whether broad-phase culling is permitted (it
+// additionally requires a context with Cull set and a calibration the
+// conservative bound accepts).
+func (w *World) LinkCullEnabled() bool { return !w.linkCullOff }
 
 // AttachTag mounts a new passive tag on a carrier. The tag's protocol
 // state gets its own deterministic random sub-stream derived from the tag
