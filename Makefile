@@ -62,8 +62,8 @@ test-short:
 # BENCH_5.json the batched grid link resolution (BenchmarkResolveLinkGrid),
 # BENCH_6.json the broad-phase link culling and mega-scene scaling PR
 # (BenchmarkResolveLinkGridScale, with culled% fractions gated by
-# bench-diff).
-BENCH_BASELINE ?= BENCH_6.json
+# bench-diff), BENCH_7.json the session-merge PR (BenchmarkSessionMerge).
+BENCH_BASELINE ?= BENCH_7.json
 bench:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/benchsnap -o $(BENCH_BASELINE)
 

@@ -7,6 +7,7 @@
 //	experiments [-seed N] [-trials N] [-workers N] [-parallel-experiments]
 //	            [-linkcache on|off] [-linkbatch on|off] [-linkcull on|off] [-o EXPERIMENTS.md]
 //	            [-metrics] [-trace FILE] [-trace-links] [-pprof ADDR]
+//	            [-session-confidence 0.99]
 //
 // With -metrics, the engine's instrumentation layer (internal/obs) is
 // enabled and a run manifest — config, seed, workers, git revision,
@@ -54,6 +55,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL pass/round trace to this file")
 	traceLinks := flag.Bool("trace-links", false, "include per-(tag, antenna) link events in the trace (large)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	sessionConfidence := flag.Float64("session-confidence", 0, "session-merge stopping confidence in [0,1) (0 = the package default, 0.99)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -66,7 +68,7 @@ func main() {
 		}()
 	}
 
-	opt := experiments.Options{Seed: *seed, Trials: *trials, Workers: *workers}
+	opt := experiments.Options{Seed: *seed, Trials: *trials, Workers: *workers, SessionConfidence: *sessionConfidence}
 	switch *linkcache {
 	case "on":
 	case "off":

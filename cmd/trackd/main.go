@@ -12,7 +12,11 @@
 // parse into event batches, cross a bounded queue, and route by EPC hash
 // to per-shard smoothers. -shards and -store-shards size the pipeline for
 // the deployment's tag population; -ingest-queue and -ingest-drop pick the
-// backpressure policy when readers outrun the cleaners.
+// backpressure policy when readers outrun the cleaners. -confirm applies
+// the k-of-n confirmation merge (DESIGN.md §15) at ingest: a tag must be
+// identified in k distinct reader passes before any of its events reach
+// the pipeline, trading first-sighting latency for immunity to phantom
+// reads.
 //
 // The live chain is observable end to end (DESIGN.md §12): GET /metrics
 // serves every poll/ingest/breaker counter, stage-latency histogram, and
@@ -30,7 +34,7 @@
 //	       [-breaker-failures 3] [-breaker-open 2s] [-jitter-seed 1]
 //	       [-shards 1] [-store-shards 32] [-ingest-queue 256]
 //	       [-ingest-workers 1] [-ingest-drop] [-pprof ADDR] [-trace FILE]
-//	       [-slo-target 0.99] [-slo-window 30s]
+//	       [-slo-target 0.99] [-slo-window 30s] [-confirm union|K-of-N]
 //
 // Endpoints:
 //
@@ -58,6 +62,7 @@ import (
 	"rfidtrack/internal/backend"
 	"rfidtrack/internal/obs"
 	"rfidtrack/internal/readerapi"
+	"rfidtrack/internal/session"
 	"rfidtrack/internal/tracksvc"
 )
 
@@ -82,6 +87,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL event-lifecycle trace to this file")
 	sloTarget := flag.Float64("slo-target", 0, "detection-reliability SLO target in (0,1]; 0 disables the reliability monitor")
 	sloWindow := flag.Duration("slo-window", 30*time.Second, "reliability monitor sliding window")
+	confirm := flag.String("confirm", "union", `confirmation merge policy: "union" or "K-of-N" (e.g. 2-of-3; N=0 counts all passes)`)
 	flag.Parse()
 
 	newSmoother := func() backend.Smoother {
@@ -112,6 +118,11 @@ func main() {
 			Target: *sloTarget,
 		}))
 	}
+	confirmK, confirmN, err := session.ParseConfirm(*confirm)
+	if err != nil {
+		log.Fatalf("trackd: %v", err)
+	}
+	opts = append(opts, tracksvc.WithConfirm(confirmK, confirmN))
 	svc := tracksvc.New(backend.NewShardedPipeline(backend.Config{
 		Shards:      *shards,
 		NewSmoother: newSmoother,

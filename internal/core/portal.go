@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rfidtrack/internal/epc"
+	"rfidtrack/internal/gen2"
 	"rfidtrack/internal/obs"
 	"rfidtrack/internal/reader"
 	"rfidtrack/internal/stats"
@@ -24,6 +25,13 @@ import (
 type Portal struct {
 	World   *world.World
 	Readers []*reader.Reader
+
+	// RecordRounds, when set, makes every pass keep per-round slot
+	// statistics and identified EPCs in the PassResult (RoundResults /
+	// RoundEPCs) — the inputs session-merge stopping rules consume. Off by
+	// default: the hot measurement path should not pay for copies nobody
+	// reads.
+	RecordRounds bool
 
 	// obs and tracer, when non-nil, instrument every pass (see Observe).
 	obs    *obs.Collector
@@ -54,6 +62,14 @@ type PassResult struct {
 	ReadEPCs map[epc.Code]bool
 	Rounds   int
 	Duration float64
+
+	// RoundResults and RoundEPCs are the per-round slot statistics and
+	// identified EPCs, parallel slices, populated only when the portal's
+	// RecordRounds is set. The Reads inside each RoundResult are detached
+	// (nil): the statistics are what estimators consume, and the raw reads
+	// are reader-owned scratch.
+	RoundResults []gen2.Result
+	RoundEPCs    [][]epc.Code
 }
 
 // ReadTag reports whether the pass read the given EPC at least once.
@@ -90,6 +106,8 @@ func (p *Portal) runPassInto(passID int, res *PassResult) {
 	res.Events = res.Events[:0]
 	res.Rounds = 0
 	res.Duration = 0
+	res.RoundResults = res.RoundResults[:0]
+	res.RoundEPCs = res.RoundEPCs[:0]
 	for _, tag := range p.World.Tags() {
 		tag.Proto.ResetForPass(passID)
 	}
@@ -116,13 +134,26 @@ func (p *Portal) runPassInto(passID int, res *PassResult) {
 		cycle := 0.0
 		for i, r := range p.Readers {
 			foreign := p.foreignFor(i, t)
-			events, d := r.RunRound(passID, t, foreign)
+			events, rr := r.RunRound(passID, t, foreign)
 			for _, e := range events {
 				res.Events = append(res.Events, e)
 				res.ReadEPCs[e.EPC] = true
 			}
+			if p.RecordRounds {
+				stats := rr
+				stats.Reads = nil // reader-owned scratch; keep statistics only
+				res.RoundResults = append(res.RoundResults, stats)
+				var epcs []epc.Code
+				if n := len(res.RoundEPCs); n < cap(res.RoundEPCs) {
+					epcs = res.RoundEPCs[:n+1][n][:0]
+				}
+				for _, e := range events {
+					epcs = append(epcs, e.EPC)
+				}
+				res.RoundEPCs = append(res.RoundEPCs, epcs)
+			}
 			res.Rounds++
-			cycle = math.Max(cycle, d)
+			cycle = math.Max(cycle, rr.Duration)
 		}
 		if cycle <= 0 {
 			break

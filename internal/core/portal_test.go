@@ -53,6 +53,34 @@ func TestRunPassReadsMovingTag(t *testing.T) {
 	}
 }
 
+func TestRecordRoundsCapturesStatistics(t *testing.T) {
+	p, _ := movingPortal(t, 9)
+	// Off by default: the hot path records nothing.
+	res := p.RunPass(0)
+	if len(res.RoundResults) != 0 || len(res.RoundEPCs) != 0 {
+		t.Fatalf("round recording on by default: %d results", len(res.RoundResults))
+	}
+	p.RecordRounds = true
+	res = p.RunPass(0)
+	if len(res.RoundResults) != res.Rounds || len(res.RoundEPCs) != res.Rounds {
+		t.Fatalf("recorded %d results / %d epc lists for %d rounds",
+			len(res.RoundResults), len(res.RoundEPCs), res.Rounds)
+	}
+	totalEPCs := 0
+	for i, rr := range res.RoundResults {
+		if rr.Reads != nil {
+			t.Error("recorded round retains reader-owned Reads scratch")
+		}
+		if rr.Empties+rr.Singles+rr.Collisions+rr.CRCFailures != rr.Slots {
+			t.Errorf("round %d breaks the slot invariant: %+v", i, rr)
+		}
+		totalEPCs += len(res.RoundEPCs[i])
+	}
+	if totalEPCs != len(res.Events) {
+		t.Errorf("per-round EPCs total %d, events %d", totalEPCs, len(res.Events))
+	}
+}
+
 func TestPassesAreIndependent(t *testing.T) {
 	p, _ := movingPortal(t, 2)
 	a := p.RunPass(0)

@@ -140,15 +140,27 @@ type Estimate struct {
 
 // FromRound estimates the population that participated in an inventory
 // round from its slot statistics, preferring the zero estimator and
-// falling back to collisions when no slot stayed empty.
+// falling back to collisions only when the zero statistic is saturated
+// (no slot stayed empty); any other FromEmpties error means the round
+// itself is malformed and is propagated, not masked.
+//
+// A CRC-failed slot held at least one reply — gen2's slot invariant
+// counts it in Slots alongside empties/singles/collisions — so for the
+// collision estimator it is an occupied, unidentified slot and is folded
+// in as collision-equivalent. (The zero estimator already accounts for it
+// correctly: a CRC-failed slot is simply not empty.)
 func FromRound(res gen2.Result) (Estimate, error) {
 	if res.Slots <= 0 {
 		return Estimate{}, ErrNoSlots
 	}
-	if n, err := FromEmpties(res.Slots, res.Empties); err == nil {
+	n, err := FromEmpties(res.Slots, res.Empties)
+	if err == nil {
 		return Estimate{N: n, Basis: "empties"}, nil
 	}
-	n, err := FromCollisions(res.Slots, res.Collisions)
+	if !errors.Is(err, ErrSaturated) {
+		return Estimate{}, err
+	}
+	n, err = FromCollisions(res.Slots, res.Collisions+res.CRCFailures)
 	if err != nil {
 		return Estimate{}, err
 	}

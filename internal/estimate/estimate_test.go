@@ -172,6 +172,140 @@ func TestFromRoundBasisSelection(t *testing.T) {
 	}
 }
 
+func TestFromRoundCountsCRCFailuresAsOccupied(t *testing.T) {
+	// A CRC-failed slot held at least one reply: the slot invariant
+	// Empties+Singles+Collisions+CRCFailures == Slots counts it as
+	// occupied. When the collision-estimator fallback runs it must fold
+	// CRC failures in as collision-equivalent load, or the estimate is
+	// biased low whenever replies corrupt.
+	res := gen2.Result{Slots: 64, Empties: 0, Singles: 14, Collisions: 20, CRCFailures: 30}
+	est, err := FromRound(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Basis != "collisions" {
+		t.Fatalf("basis = %q, want collisions fallback", est.Basis)
+	}
+	want, err := FromCollisions(64, 50) // collisions + CRC-failed slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N != want {
+		t.Errorf("estimate = %.2f, want %.2f (CRC slots counted as occupied)", est.N, want)
+	}
+	low, err := FromCollisions(64, 20) // what ignoring CRCFailures would give
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N <= low {
+		t.Errorf("estimate %.2f not above the CRC-blind value %.2f", est.N, low)
+	}
+}
+
+func TestFromRoundPropagatesInvalidInput(t *testing.T) {
+	// A malformed round (empties > slots) is not saturation; the collision
+	// fallback must not mask it.
+	_, err := FromRound(gen2.Result{Slots: 64, Empties: 70, Collisions: 10})
+	if err == nil {
+		t.Fatal("malformed round accepted via collision fallback")
+	}
+	if errors.Is(err, ErrSaturated) || errors.Is(err, ErrNoSlots) {
+		t.Errorf("invalid input surfaced as %v, want a plain validation error", err)
+	}
+	// Genuine saturation still reaches the fallback, and a saturated
+	// fallback still reports ErrSaturated.
+	_, err = FromRound(gen2.Result{Slots: 64, Empties: 0, Collisions: 64})
+	if !errors.Is(err, ErrSaturated) {
+		t.Errorf("all-collided round = %v, want ErrSaturated", err)
+	}
+}
+
+func TestFromSingletonsBoundaries(t *testing.T) {
+	// Target at the f(1) peak (1/e ≈ 0.3679): both branches must converge
+	// on ρ ≈ 1, i.e. n̂ ≈ slots.
+	const slots = 1000
+	singles := int(math.Floor(float64(slots) / math.E)) // 367: just under the peak
+	low, err := FromSingletons(slots, singles, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := FromSingletons(slots, singles, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(low-slots) > 0.15*slots || math.Abs(high-slots) > 0.15*slots {
+		t.Errorf("peak-target estimates = %.1f (low), %.1f (high), want ~%d", low, high, slots)
+	}
+	if low > high {
+		t.Errorf("low branch %.1f above high branch %.1f at the peak", low, high)
+	}
+	// Above the theoretical maximum the sample is extreme; both branches
+	// report the peak load rather than failing.
+	for _, hl := range []bool{false, true} {
+		got, err := FromSingletons(slots, singles+2, hl)
+		if err != nil || got != slots {
+			t.Errorf("above-peak highLoad=%v = %v, %v; want %d, nil", hl, got, err, slots)
+		}
+	}
+	if _, err := FromSingletons(slots, -1, false); err == nil {
+		t.Error("negative singles accepted")
+	}
+	if _, err := FromSingletons(slots, slots+1, false); err == nil {
+		t.Error("singles > slots accepted")
+	}
+}
+
+func TestFromSingletonsRoundTripProperty(t *testing.T) {
+	// Round-trip property against the model the estimator inverts: n tags
+	// uniformly choosing among f slots (one framed-ALOHA frame) → count
+	// slot occupancies → singleton estimate within tolerance, across loads
+	// on both sides of the ρ=1 ambiguity. The branch is picked from
+	// whether collisions outnumber empties, as a consumer would. (The full
+	// Gen-2 engine lets colliding tags re-contend inside the frame, which
+	// deliberately departs from the static model; see
+	// TestEstimatorsAgainstRealRounds for the engine-level check.)
+	rng := xrand.New(11)
+	const f = 128
+	for _, rho := range []float64{0.25, 0.75, 1.5, 2, 3} {
+		n := int(math.Round(rho * f))
+		var estSum float64
+		used := 0
+		const rounds = 40
+		occ := make([]int, f)
+		for r := 0; r < rounds; r++ {
+			draw := rng.Split(fmt.Sprintf("bins/%d/%d", n, r))
+			clear(occ)
+			for i := 0; i < n; i++ {
+				occ[draw.IntN(f)]++
+			}
+			empties, singles, collisions := 0, 0, 0
+			for _, c := range occ {
+				switch {
+				case c == 0:
+					empties++
+				case c == 1:
+					singles++
+				default:
+					collisions++
+				}
+			}
+			est, err := FromSingletons(f, singles, collisions > empties)
+			if err != nil {
+				continue
+			}
+			estSum += est
+			used++
+		}
+		if used == 0 {
+			t.Fatalf("rho=%.2f: no usable rounds", rho)
+		}
+		mean := estSum / float64(used)
+		if rel := math.Abs(mean-float64(n)) / float64(n); rel > 0.35 {
+			t.Errorf("rho=%.2f n=%d: mean singleton estimate %.1f (%.0f%% off)", rho, n, mean, rel*100)
+		}
+	}
+}
+
 func TestZeroEstimatorMonotoneProperty(t *testing.T) {
 	// Fewer empty slots must never decrease the estimate.
 	f := func(a, b uint8) bool {

@@ -48,6 +48,12 @@ type Options struct {
 	// replica (the CLIs' -linkcull=off). Reads are bit-identical either
 	// way.
 	DisableLinkCull bool
+	// SessionConfidence is the stopping target for the session-merge
+	// experiment family (the CLIs' -session-confidence): the estimated
+	// probability that no tag remains unconfirmed when the merge stops.
+	// Zero selects session.DefaultConfidence. Values outside [0, 1) are
+	// rejected by Validate.
+	SessionConfidence float64
 }
 
 // Validate rejects option values that would otherwise be silently
@@ -58,6 +64,9 @@ func (o Options) Validate() error {
 	}
 	if o.Trials < 0 {
 		return fmt.Errorf("experiments: Trials must be >= 0 (0 selects each experiment's paper default), got %d", o.Trials)
+	}
+	if o.SessionConfidence < 0 || o.SessionConfidence >= 1 {
+		return fmt.Errorf("experiments: SessionConfidence must be in [0, 1) (0 selects the default), got %v", o.SessionConfidence)
 	}
 	return nil
 }
@@ -128,6 +137,7 @@ var registry = map[string]Runner{
 	"ablations":  Ablations,
 	"extensions": Extensions,
 	"throughput": Throughput,
+	"sessions":   SessionMerge,
 }
 
 // registryIDs is the sorted id list, computed once.

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSessionMergeDeterminism: the session-merge experiment — both merge
+// policies, every population × antenna condition, and the calibration
+// runs behind the fixed baseline — renders identically for any
+// worker-pool size. Trial outcomes are pure functions of
+// (seed, condition, trial), so the fan-out order cannot leak in.
+func TestSessionMergeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("session sweep is slow under -short")
+	}
+	base := Options{Seed: 424242, Trials: 3, Workers: 1}
+	want, err := Run("sessions", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		opt := base
+		opt.Workers = workers
+		got, err := Run("sessions", opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("workers=%d output differs from workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, want.String(), workers, got.String())
+		}
+	}
+}
+
+// TestSessionMergeTrend pins the experiment's headline claim at reduced
+// trial count: estimate-driven stopping must beat fixed worst-case
+// provisioning in every condition, and the run must say so.
+func TestSessionMergeTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("session sweep is slow under -short")
+	}
+	res, err := Run("sessions", Options{Seed: 1, Trials: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	if !strings.Contains(joined, "trend reproduced") {
+		t.Errorf("session merge did not reproduce the Jacobsen trend:\n%s\n%s", res.String(), joined)
+	}
+}
+
+// TestSessionConfidenceValidation: the CLI-facing knob rejects values the
+// stopping rule cannot honor.
+func TestSessionConfidenceValidation(t *testing.T) {
+	if err := (Options{SessionConfidence: 1}).Validate(); err == nil {
+		t.Error("confidence 1 accepted (the rule could never stop)")
+	}
+	if err := (Options{SessionConfidence: -0.1}).Validate(); err == nil {
+		t.Error("negative confidence accepted")
+	}
+	if err := (Options{SessionConfidence: 0.95}).Validate(); err != nil {
+		t.Errorf("valid confidence rejected: %v", err)
+	}
+}

@@ -16,6 +16,15 @@ type Participant struct {
 	ForwardOK bool
 	// ReverseOK: the reader can decode this tag's backscatter.
 	ReverseOK bool
+	// ReplyCorruption is this tag's own EPC-reply CRC-failure probability,
+	// on top of Config.ReplyCorruptionProb — a marginal reverse link that
+	// arbitrates audibly but decodes poorly (deep fade, detuned antenna).
+	// The tag's RN16 still wins slots and its corrupted replies still
+	// occupy them; only the EPC decode fails. Drawn from Config.Rng only
+	// when the global draw passes, so a population with zero
+	// ReplyCorruption consumes exactly the same random sequence as one
+	// without the field.
+	ReplyCorruption float64
 }
 
 // Read is one successful singulation.
@@ -74,6 +83,16 @@ type Config struct {
 	// independently fails its CRC-16 with this probability, the reader
 	// NAKs, and the tag rejoins the round. Requires Rng.
 	ReplyCorruptionProb float64
+	// AbandonOnCRC changes the reader's CRC-failure policy: instead of
+	// NAKing the tag back into arbitration, the reader moves to the next
+	// slot. The acknowledged tag then commits at the next QueryRep —
+	// toggling its inventoried flag and dropping out of the round unread
+	// (spec-permitted reader behavior). Under this policy every tag
+	// occupies at most one slot per frame, which keeps frame statistics on
+	// the framed-ALOHA model that cardinality estimators assume; the cost
+	// is that a garbled tag is lost for the whole session rather than
+	// retried.
+	AbandonOnCRC bool
 	// Rng drives the corruption draws (nil disables corruption).
 	Rng    *xrand.Rand
 	Timing LinkTiming
@@ -204,12 +223,21 @@ func RunRoundScratch(cfg Config, parts []Participant, now float64, sc *Scratch) 
 			rn := replies[i].RN16
 			advance(cfg.Timing.SuccessSlotSeconds())
 			if er, ok := parts[i].Tag.ACK(rn); ok && parts[i].ReverseOK {
-				if cfg.Rng != nil && cfg.Rng.Bool(cfg.ReplyCorruptionProb) {
-					// The EPC reply failed its CRC-16: NAK the tag back
-					// into the round and try again later.
+				corrupt := cfg.Rng != nil && cfg.Rng.Bool(cfg.ReplyCorruptionProb)
+				if !corrupt && parts[i].ReplyCorruption > 0 && cfg.Rng != nil {
+					corrupt = cfg.Rng.Bool(parts[i].ReplyCorruption)
+				}
+				if corrupt {
+					// The EPC reply failed its CRC-16. Policy decides what
+					// happens to the tag: NAK it back into the round to try
+					// again later, or abandon the slot — the tag stays
+					// acknowledged and commits (flag toggle, drops out
+					// unread) at the next QueryRep.
 					res.CRCFailures++
-					parts[i].Tag.NAK()
-					advance(cfg.Timing.ReaderCommandSeconds(NAK{}.Bits()))
+					if !cfg.AbandonOnCRC {
+						parts[i].Tag.NAK()
+						advance(cfg.Timing.ReaderCommandSeconds(NAK{}.Bits()))
+					}
 				} else {
 					res.Singles++
 					activitySinceQuery++

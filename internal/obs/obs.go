@@ -63,6 +63,10 @@ const (
 	CtrIngestClosed                   // ingest.closed
 	CtrIngestDropped                  // ingest.dropped_events
 	CtrIngestStalls                   // ingest.stalls
+	CtrConfirmHeld                    // confirm.held_events
+	CtrConfirmReleased                // confirm.released_events
+	CtrConfirmTags                    // confirm.confirmed_tags
+	CtrConfirmExpired                 // confirm.expired_events
 
 	numCounters
 )
@@ -99,6 +103,10 @@ var counterNames = [numCounters]string{
 	CtrIngestClosed:    "ingest.closed",
 	CtrIngestDropped:   "ingest.dropped_events",
 	CtrIngestStalls:    "ingest.stalls",
+	CtrConfirmHeld:     "confirm.held_events",
+	CtrConfirmReleased: "confirm.released_events",
+	CtrConfirmTags:     "confirm.confirmed_tags",
+	CtrConfirmExpired:  "confirm.expired_events",
 }
 
 // Histogram identifies one deterministic fixed-bucket histogram.

@@ -108,6 +108,10 @@ var counterHelp = [numCounters]string{
 	CtrIngestClosed:    "Sightings closed by the smoother.",
 	CtrIngestDropped:   "Events shed by the full-queue drop policy.",
 	CtrIngestStalls:    "Ingest submissions that found the queue full.",
+	CtrConfirmHeld:     "Events held back pending k-of-n pass confirmation.",
+	CtrConfirmReleased: "Held events released when their tag confirmed.",
+	CtrConfirmTags:     "Tags confirmed by the k-of-n merge policy.",
+	CtrConfirmExpired:  "Held events discarded by window expiry or buffer bounds.",
 }
 
 // histHelp documents each live histogram for the exposition HELP line.

@@ -5,6 +5,7 @@
 package reader
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -184,10 +185,13 @@ func (r *Reader) AntennaAt(t float64) *world.Antenna {
 // RunRound executes one inventory round at time t of pass passID over the
 // next antenna in the TDMA schedule. foreign lists other readers' active
 // antennas. Events are appended to the buffered-mode store and returned
-// together with the round's duration. The returned slice is reader-owned
-// scratch, valid until this reader's next round; callers that keep events
-// across rounds must copy them (the buffered store already holds copies).
-func (r *Reader) RunRound(passID int, t float64, foreign []world.ForeignEmitter) ([]Event, float64) {
+// together with the round's full slot statistics (duration, empties,
+// singles, collisions, CRC failures — the inputs cardinality estimation
+// and session-merge stopping rules consume). Both the returned event
+// slice and the Reads inside the result are reader-owned scratch, valid
+// until this reader's next round; callers that keep them across rounds
+// must copy (the buffered store already holds event copies).
+func (r *Reader) RunRound(passID int, t float64, foreign []world.ForeignEmitter) ([]Event, gen2.Result) {
 	ant := r.AntennaAt(t)
 	r.mu.Lock()
 	round := r.round
@@ -269,7 +273,7 @@ func (r *Reader) RunRound(passID int, t float64, foreign []world.ForeignEmitter)
 	r.mu.Lock()
 	r.buffer = append(r.buffer, events...)
 	r.mu.Unlock()
-	return events, res.Duration
+	return events, res
 }
 
 // observeRound reports one finished round to the attached collector and
@@ -342,16 +346,19 @@ func (r *Reader) frameQ() uint8 {
 }
 
 // updateEstimate folds one round's slot statistics into the population
-// estimate. A saturated frame (every slot collided) doubles the estimate;
-// otherwise the estimator's output is smoothed in, floored by the reads
-// actually made.
+// estimate. Only a saturated statistic (every slot collided — the frame
+// carried no upper-bound information) justifies doubling; a malformed or
+// empty round says nothing about the population, so it leaves the
+// estimate alone, floored by the reads the round actually made.
 func (r *Reader) updateEstimate(res gen2.Result) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	est, err := estimate.FromRound(res)
 	switch {
-	case err != nil:
+	case errors.Is(err, estimate.ErrSaturated):
 		r.lastEstimate *= 2
+	case err != nil:
+		r.lastEstimate = math.Max(r.lastEstimate, float64(len(res.Reads)))
 	default:
 		const alpha = 0.5
 		n := math.Max(est.N, float64(len(res.Reads)))

@@ -58,12 +58,15 @@ func TestRunRoundReadsTags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	events, dur := r.RunRound(0, 0, nil)
+	events, res := r.RunRound(0, 0, nil)
 	if len(events) != 6 {
 		t.Fatalf("read %d/6 tags at 1 m boresight", len(events))
 	}
-	if dur <= 0 {
+	if res.Duration <= 0 {
 		t.Error("round consumed no time")
+	}
+	if res.Empties+res.Singles+res.Collisions+res.CRCFailures != res.Slots {
+		t.Errorf("returned round statistics break the slot invariant: %+v", res)
 	}
 	for _, e := range events {
 		if e.Reader != "r1" || e.Antenna != "a1" {
@@ -171,13 +174,13 @@ func TestWithRoundConfig(t *testing.T) {
 	if !r.DenseMode() {
 		t.Error("option WithDenseMode ignored")
 	}
-	events, dur := r.RunRound(0, 0, nil)
+	events, res := r.RunRound(0, 0, nil)
 	if len(events) != 2 {
 		t.Errorf("fixed-Q round read %d/2", len(events))
 	}
 	// 32 fixed slots cost measurably more than an adaptive round for 2 tags.
-	if dur < 0.01 {
-		t.Errorf("fixed 32-slot round took only %v", dur)
+	if res.Duration < 0.01 {
+		t.Errorf("fixed 32-slot round took only %v", res.Duration)
 	}
 }
 
@@ -226,5 +229,54 @@ func TestFrameAdaptiveSaturationGrowth(t *testing.T) {
 	r.lastEstimate = 0.5
 	if q := r.frameQ(); q != 1 {
 		t.Errorf("frameQ at floor = %d", q)
+	}
+}
+
+func TestUpdateEstimateErrorHandling(t *testing.T) {
+	// Only a saturated statistic justifies doubling the estimate: an
+	// all-collided frame genuinely says "population above frame size". An
+	// empty or malformed round carries no population information at all
+	// and must leave the estimate alone (floored by reads actually made),
+	// not silently double it.
+	cases := []struct {
+		name string
+		res  gen2.Result
+		init float64
+		want float64
+	}{
+		{
+			name: "saturated doubles",
+			res:  gen2.Result{Slots: 8, Collisions: 8},
+			init: 16, want: 32,
+		},
+		{
+			name: "no slots leaves estimate",
+			res:  gen2.Result{},
+			init: 16, want: 16,
+		},
+		{
+			name: "invalid round leaves estimate",
+			res:  gen2.Result{Slots: 8, Empties: 12},
+			init: 16, want: 16,
+		},
+		{
+			name: "invalid round floored by reads",
+			res:  gen2.Result{Slots: 8, Empties: 12, Reads: make([]gen2.Read, 24)},
+			init: 16, want: 24,
+		},
+		{
+			name: "clean round smooths",
+			res:  gen2.Result{Slots: 8, Empties: 8},
+			init: 16, want: 8, // 0.5*16 + 0.5*max(0, 0 reads)
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := &Reader{cfg: gen2.DefaultConfig(), frameAdaptive: true, lastEstimate: tc.init}
+			r.updateEstimate(tc.res)
+			if r.lastEstimate != tc.want {
+				t.Errorf("estimate = %v, want %v", r.lastEstimate, tc.want)
+			}
+		})
 	}
 }

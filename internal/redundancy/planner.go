@@ -111,8 +111,12 @@ func PlanPlacement(candidates []Candidate, target float64, maxPicks int) (Plan, 
 		if i >= len(items) || len(chosen) >= maxPicks {
 			return
 		}
-		if cost >= best.Cost {
-			return // already worse than the incumbent
+		if cost > best.Cost {
+			// Strictly worse than the incumbent. Equal cost must keep
+			// searching: a completion through free candidates can tie the
+			// incumbent's cost with fewer picks, and the tie-break above
+			// prefers it.
+			return
 		}
 		if gain+suffixGain[i] < need-1e-12 {
 			return // even taking everything left cannot reach the target

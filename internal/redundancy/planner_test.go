@@ -139,6 +139,57 @@ func TestPlanString(t *testing.T) {
 	}
 }
 
+func TestPlanZeroCostTieBreakPrefersFewerPicks(t *testing.T) {
+	// All candidates are free, so every reaching plan ties on cost and the
+	// documented tie-break — fewer picks at equal cost — must decide. A
+	// prune at cost >= incumbent kills every sibling branch the moment the
+	// first zero-cost plan lands, so the single-tag plan below is only
+	// found if equal-cost nodes keep searching.
+	candidates := []Candidate{
+		{Name: "weak-1", P: 0.5, Cost: 0},
+		{Name: "weak-2", P: 0.5, Cost: 0},
+		{Name: "weak-3", P: 0.5, Cost: 0},
+		{Name: "strong", P: 0.9, Cost: 0},
+	}
+	// Three weaks combine to 0.875 >= 0.87; strong alone reaches 0.9.
+	plan, err := PlanPlacement(candidates, 0.87, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost != 0 {
+		t.Errorf("plan cost = %v, want 0", plan.Cost)
+	}
+	if len(plan.Chosen) != 1 || plan.Chosen[0].Name != "strong" {
+		t.Errorf("plan = %v, want the single strong candidate", plan)
+	}
+}
+
+func TestPlanEqualCostTieBreakThroughFreeCompletion(t *testing.T) {
+	// Mixed costs: the two-pick plan {paid, free} ties the incumbent
+	// three-pick plan's cost, but its path passes through a node at
+	// exactly the incumbent cost before taking the free candidate — the
+	// spot the old >= prune cut off.
+	candidates := []Candidate{
+		{Name: "cheap-1", P: 0.6, Cost: 1},
+		{Name: "cheap-2", P: 0.6, Cost: 1},
+		{Name: "cheap-3", P: 0.6, Cost: 1},
+		{Name: "paid", P: 0.9, Cost: 3},
+		{Name: "free", P: 0.3, Cost: 0},
+	}
+	// {cheap×3}: 0.936, cost 3. {paid, free}: 0.93, cost 3, fewer picks.
+	// {paid} alone: 0.9 < target. {free, cheap×2}: 0.888 < target.
+	plan, err := PlanPlacement(candidates, 0.92, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost != 3 {
+		t.Errorf("plan cost = %v, want 3", plan.Cost)
+	}
+	if len(plan.Chosen) != 2 {
+		t.Errorf("plan = %v, want the two-pick equal-cost plan", plan)
+	}
+}
+
 func TestPlanOptimalityAgainstBruteForce(t *testing.T) {
 	f := func(ps [6]uint8, costs [6]uint8, targetRaw uint8) bool {
 		candidates := make([]Candidate, 6)

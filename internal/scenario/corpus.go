@@ -20,6 +20,7 @@ import (
 	"rfidtrack/internal/geom"
 	"rfidtrack/internal/reader"
 	"rfidtrack/internal/rf"
+	"rfidtrack/internal/session"
 	"rfidtrack/internal/world"
 )
 
@@ -33,6 +34,35 @@ type CorpusCase struct {
 	// Build constructs the portal; the measurement engine may call it once
 	// per worker replica.
 	Build core.Builder
+	// Sessions, when non-nil, additionally measures the case under a
+	// temporal-redundancy merge: each pass is one independent session fed
+	// round-by-round (Portal.RecordRounds) into a session.Merger, and the
+	// envelope gains the merge columns.
+	Sessions *SessionSpec
+}
+
+// SessionSpec configures a corpus case's session merge.
+type SessionSpec struct {
+	// Confirm / Window choose the merge policy (see session.Config).
+	Confirm int
+	Window  int
+}
+
+// corpusSessionCap bounds a corpus merge. Scenes with low per-session
+// reliability (the conveyor's detuned lid mount) honestly never reach the
+// default 99% confidence, so the cap is a real operating limit there, not
+// just a runaway guard.
+const corpusSessionCap = 8
+
+// policyName renders the spec's merge policy for the envelope.
+func (s *SessionSpec) policyName() string {
+	if s.Confirm <= 1 {
+		return "union"
+	}
+	if s.Window <= 0 {
+		return fmt.Sprintf("%d-of-all", s.Confirm)
+	}
+	return fmt.Sprintf("%d-of-%d", s.Confirm, s.Window)
 }
 
 // Envelope is the pinned reliability envelope of one corpus case: the
@@ -52,6 +82,11 @@ type Envelope struct {
 	ReadsMean float64 `json:"mean_tags_read_per_pass"`
 	ReadsMin  float64 `json:"min_tags_read_per_pass"`
 	ReadsMax  float64 `json:"max_tags_read_per_pass"`
+	// Session-merge columns, present only for cases with a SessionSpec
+	// (omitempty keeps every pre-session envelope byte-identical).
+	Merge         string  `json:"merge_policy,omitempty"`
+	SessionsMean  float64 `json:"mean_sessions_to_stop,omitempty"`
+	ConfirmedMean float64 `json:"mean_confirmed_tags,omitempty"`
 }
 
 // CorpusTrials is the per-case trial count the golden envelopes pin.
@@ -146,6 +181,25 @@ func Corpus(seed uint64) []CorpusCase {
 		return WarehouseAisle(WarehouseAisleConfig{Tags: 96, Antennas: 4, Seed: seed})
 	})
 
+	// Temporal redundancy over the corpus scenes: the same deployments
+	// measured under a session merge (one pass = one session), pinning the
+	// whole session stack — Portal.RecordRounds, estimate.FromRound over
+	// live engine rounds, and the stopping rule — against real scene
+	// physics rather than synthetic frames. Appended after the original
+	// cases so the pre-session golden prefix is untouched.
+	addS := func(scenario, config string, spec SessionSpec, build core.Builder) {
+		cases = append(cases, CorpusCase{Scenario: scenario, Config: config, Build: build, Sessions: &spec})
+	}
+	addS("warehouse-dock-door", "2ant-2tag-merge-union", SessionSpec{Confirm: 1}, func() (*core.Portal, error) {
+		return warehouseDockDoor(2, []BoxLocation{LocFront, LocTop}, seed)
+	})
+	addS("conveyor", "slow-1tag-merge-union", SessionSpec{Confirm: 1}, func() (*core.Portal, error) {
+		return conveyor(1.0, []BoxLocation{LocTop}, seed)
+	})
+	addS("library-gate", "2ant-merge-2of3", SessionSpec{Confirm: 2, Window: 3}, func() (*core.Portal, error) {
+		return libraryGate(2, seed)
+	})
+
 	return cases
 }
 
@@ -159,7 +213,7 @@ func MeasureEnvelope(c CorpusCase, workers int) (Envelope, error) {
 		return Envelope{}, fmt.Errorf("corpus %s/%s: %w", c.Scenario, c.Config, err)
 	}
 	sum := rel.ReadSummary()
-	return Envelope{
+	env := Envelope{
 		Scenario:    c.Scenario,
 		Config:      c.Config,
 		Tags:        len(rel.PerTag),
@@ -169,7 +223,60 @@ func MeasureEnvelope(c CorpusCase, workers int) (Envelope, error) {
 		ReadsMean:   round9(sum.Mean),
 		ReadsMin:    sum.Min,
 		ReadsMax:    sum.Max,
-	}, nil
+	}
+	if c.Sessions != nil {
+		env.Merge = c.Sessions.policyName()
+		if env.SessionsMean, env.ConfirmedMean, err = measureSessions(c); err != nil {
+			return Envelope{}, err
+		}
+	}
+	return env, nil
+}
+
+// measureSessions runs the case's session merge: CorpusTrials independent
+// merges, each feeding whole passes (one pass = one session) round by
+// round into a session.Merger until its stopping rule fires or
+// corpusSessionCap passes are spent. The merges run sequentially on one
+// portal — each is a pure function of (build, pass ids), so the envelope
+// stays bit-stable for any worker count.
+func measureSessions(c CorpusCase) (sessionsMean, confirmedMean float64, err error) {
+	fail := func(err error) (float64, float64, error) {
+		return 0, 0, fmt.Errorf("corpus %s/%s: %w", c.Scenario, c.Config, err)
+	}
+	p, err := c.Build()
+	if err != nil {
+		return fail(err)
+	}
+	p.RecordRounds = true
+	var sessSum, confSum float64
+	for trial := 0; trial < CorpusTrials; trial++ {
+		m, err := session.NewMerger(session.Config{
+			Confirm:     c.Sessions.Confirm,
+			Window:      c.Sessions.Window,
+			MaxSessions: corpusSessionCap,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		var d session.Decision
+		for s := 0; s < corpusSessionCap; s++ {
+			res := p.RunPass(1 + trial*corpusSessionCap + s)
+			rounds := make([]session.Round, len(res.RoundResults))
+			for i := range res.RoundResults {
+				rounds[i] = session.Round{Stats: res.RoundResults[i], EPCs: res.RoundEPCs[i]}
+			}
+			if d, err = m.AddSession(rounds...); err != nil {
+				return fail(err)
+			}
+			if d.Stop {
+				break
+			}
+		}
+		sessSum += float64(d.Sessions)
+		confSum += float64(d.Confirmed)
+	}
+	n := float64(CorpusTrials)
+	return round9(sessSum / n), round9(confSum / n), nil
 }
 
 // round9 rounds to 9 decimals: far below anything physical, far above

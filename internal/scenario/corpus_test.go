@@ -86,6 +86,23 @@ func TestCorpusEnvelopeSanity(t *testing.T) {
 		if env.MeanTag < 0 || env.MeanTag > 1 || env.MeanCarrier < 0 || env.MeanCarrier > 1 {
 			t.Errorf("%s/%s: reliability out of range: %+v", c.Scenario, c.Config, env)
 		}
+		if c.Sessions != nil {
+			if env.Merge == "" {
+				t.Errorf("%s/%s: session case has no merge policy", c.Scenario, c.Config)
+			}
+			// MinSessions defaults to at least 2, and the cap bounds the
+			// other side even when the rule never fires.
+			if env.SessionsMean < 2 || env.SessionsMean > corpusSessionCap {
+				t.Errorf("%s/%s: mean sessions-to-stop %.3f outside [2, %d]",
+					c.Scenario, c.Config, env.SessionsMean, corpusSessionCap)
+			}
+			if env.ConfirmedMean <= 0 || env.ConfirmedMean > float64(env.Tags) {
+				t.Errorf("%s/%s: mean confirmed %.3f outside (0, %d]",
+					c.Scenario, c.Config, env.ConfirmedMean, env.Tags)
+			}
+		} else if env.Merge != "" || env.SessionsMean != 0 || env.ConfirmedMean != 0 {
+			t.Errorf("%s/%s: session columns on a non-session case: %+v", c.Scenario, c.Config, env)
+		}
 		byKey[c.Scenario+"/"+c.Config] = env
 	}
 	orderings := [][2]string{
@@ -102,6 +119,20 @@ func TestCorpusEnvelopeSanity(t *testing.T) {
 		if lo.MeanCarrier > hi.MeanCarrier {
 			t.Errorf("redundancy ordering violated: %s (%.3f) > %s (%.3f)",
 				o[0], lo.MeanCarrier, o[1], hi.MeanCarrier)
+		}
+	}
+	// A session case shares its build with a base case; the merge must ride
+	// along without perturbing the standard measurement columns.
+	for _, pair := range [][2]string{
+		{"warehouse-dock-door/2ant-2tag", "warehouse-dock-door/2ant-2tag-merge-union"},
+		{"conveyor/slow-1tag", "conveyor/slow-1tag-merge-union"},
+		{"library-gate/2ant", "library-gate/2ant-merge-2of3"},
+	} {
+		base, merged := byKey[pair[0]], byKey[pair[1]]
+		if base.MeanTag != merged.MeanTag || base.MeanCarrier != merged.MeanCarrier ||
+			base.ReadsMean != merged.ReadsMean || base.ReadsMin != merged.ReadsMin ||
+			base.ReadsMax != merged.ReadsMax {
+			t.Errorf("session merge perturbed the standard measurement:\n base   %+v\n merged %+v", base, merged)
 		}
 	}
 }

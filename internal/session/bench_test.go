@@ -1,0 +1,75 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/gen2"
+)
+
+// benchRounds builds S sessions of synthetic rounds over an n-tag
+// population: each session identifies a sliding 3/4 of the population
+// (so k-of-n policies do real window work) with plausible frame
+// statistics for the estimator.
+func benchRounds(s, n int) [][]Round {
+	codes := make([]epc.Code, n)
+	for i := range codes {
+		c, err := epc.GID96{Manager: 1, Class: 1, Serial: uint64(i)}.Encode()
+		if err != nil {
+			panic(err)
+		}
+		codes[i] = c
+	}
+	sessions := make([][]Round, s)
+	for si := range sessions {
+		ids := make([]epc.Code, 0, n)
+		for i := 0; i < 3*n/4; i++ {
+			ids = append(ids, codes[(si+i)%n])
+		}
+		singles := len(ids)
+		slots := 4 * n
+		collisions := n / 8
+		sessions[si] = []Round{{
+			Stats: gen2.Result{
+				Slots:      slots,
+				Singles:    singles,
+				Collisions: collisions,
+				Empties:    slots - singles - collisions,
+			},
+			EPCs: ids,
+		}}
+	}
+	return sessions
+}
+
+// BenchmarkSessionMerge measures the merge pipeline end to end — per-round
+// estimator, confirmation bookkeeping, and the stopping rule evaluated
+// after every session — at a few population sizes and both policies.
+func BenchmarkSessionMerge(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		for _, cfg := range []struct {
+			name string
+			conf Config
+		}{
+			{"union", Config{Confirm: 1, MaxSessions: 1 << 20}},
+			{"2of3", Config{Confirm: 2, Window: 3, MaxSessions: 1 << 20}},
+		} {
+			sessions := benchRounds(8, n)
+			b.Run(fmt.Sprintf("tags=%d/%s", n, cfg.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m, err := NewMerger(cfg.conf)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, rounds := range sessions {
+						if _, err := m.AddSession(rounds...); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,380 @@
+// Package session implements temporal redundancy: merging several
+// independent inventory sessions of the same population, in the spirit of
+// Jacobsen et al., "Reliable Identification of RFID Tags Using Multiple
+// Independent Reader Sessions" (arXiv:0904.2441). Where the paper's R_C
+// model buys reliability spatially (more tags, more antennas), a session
+// merge buys it in time: each extra session gives every tag another
+// independent identification opportunity, and a stopping rule driven by
+// the remaining-population estimate ends the merge as soon as the target
+// confidence is reached — typically after far fewer sessions than a
+// fixed worst-case session count.
+//
+// Two merge policies are supported:
+//
+//   - union (Confirm <= 1): a tag is confirmed once any session
+//     identifies it — maximum recall, no protection against phantom
+//     reads.
+//   - k-of-n confirmation (Confirm = k, Window = n): a tag is confirmed
+//     only when at least k of the last n sessions identified it —
+//     trading latency for robustness against spurious identifications.
+//
+// The stopping rule follows the estimate-based criterion: after session
+// S, the cardinality estimator (estimate.FromRound over each round's
+// slot statistics, corrected for tags already identified and therefore
+// quiet) yields a population estimate N̂. The pooled per-session
+// identification probability is p̂ = (total identifications)/(S·N̂), so a
+// tag's chance of still being unconfirmed is P(Bin(S, p̂) < k), the
+// expected number of unconfirmed tags is λ = N̂·P(Bin(S, p̂) < k), and —
+// treating misses as approximately Poisson — the probability that no tag
+// is missing is e^(−λ). The merge stops when that clears the configured
+// confidence.
+package session
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/estimate"
+	"rfidtrack/internal/gen2"
+)
+
+// Config parameterizes a session merge.
+type Config struct {
+	// Confirm is k: the number of sessions that must identify a tag
+	// before it counts as confirmed. <= 1 is the union policy.
+	Confirm int
+	// Window is n of k-of-n: only the last n sessions count toward
+	// confirmation. 0 means every session so far (cumulative k-of-S).
+	Window int
+	// Confidence is the stopping target: the estimated probability that
+	// no tag remains unconfirmed. 0 selects DefaultConfidence.
+	Confidence float64
+	// MinSessions is the floor before the stopping rule may fire.
+	// 0 selects max(2, Confirm): after a single session the pooled
+	// identification probability p̂ degenerates to 1 whenever the estimate
+	// is at its Seen floor, so a one-session merge can never justify
+	// stopping on its own evidence.
+	MinSessions int
+	// MaxSessions is the hard cap; the merge reports Exhausted (and
+	// Stop) when it is reached regardless of confidence. 0 selects
+	// DefaultMaxSessions.
+	MaxSessions int
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultConfidence  = 0.99
+	DefaultMaxSessions = 64
+)
+
+func (c Config) withDefaults() Config {
+	if c.Confirm < 1 {
+		c.Confirm = 1
+	}
+	if c.Confidence == 0 {
+		c.Confidence = DefaultConfidence
+	}
+	if c.MinSessions <= 0 {
+		c.MinSessions = max(2, c.Confirm)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Confirm < 0 {
+		return fmt.Errorf("session: negative confirm count %d", c.Confirm)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("session: negative window %d", c.Window)
+	}
+	if c.Window > 0 && c.Window < c.Confirm {
+		return fmt.Errorf("session: window %d smaller than confirm count %d", c.Window, c.Confirm)
+	}
+	if c.Confidence < 0 || c.Confidence >= 1 {
+		return fmt.Errorf("session: confidence %v outside [0, 1)", c.Confidence)
+	}
+	d := c.withDefaults()
+	if d.MaxSessions < d.MinSessions {
+		return fmt.Errorf("session: max sessions %d below min sessions %d", d.MaxSessions, d.MinSessions)
+	}
+	return nil
+}
+
+// ParseConfirm parses a CLI confirmation policy: "union" (or "1") for
+// the union merge, or "K-of-N" (e.g. "2-of-3") for k-of-n confirmation.
+// N may be 0 ("2-of-0") for cumulative confirmation over all sessions.
+func ParseConfirm(s string) (k, n int, err error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "union", "1", "":
+		return 1, 0, nil
+	}
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%d-of-%d", &k, &n); err != nil {
+		return 0, 0, fmt.Errorf("session: confirm policy %q is not \"union\" or \"K-of-N\"", s)
+	}
+	if k < 1 || n < 0 || (n > 0 && n < k) {
+		return 0, 0, fmt.Errorf("session: confirm policy %q has k=%d, n=%d", s, k, n)
+	}
+	return k, n, nil
+}
+
+// Round is one inventory round's contribution to a session: the slot
+// statistics the estimator consumes plus the EPCs the round identified.
+type Round struct {
+	Stats gen2.Result
+	EPCs  []epc.Code
+}
+
+// Decision is the stopping-rule verdict after a completed session.
+type Decision struct {
+	// Sessions completed so far.
+	Sessions int
+	// Seen is the number of distinct tags any session identified.
+	Seen int
+	// Confirmed is the number of tags the merge policy confirms.
+	Confirmed int
+	// Estimate is the population estimate N̂ (floored by Seen — identified
+	// tags are a hard lower bound). Meaningless when EstimateOK is false.
+	Estimate float64
+	// EstimateOK reports whether any round produced a usable estimate.
+	// Without one the rule never stops before MaxSessions.
+	EstimateOK bool
+	// PerSession is the pooled per-session identification probability p̂.
+	PerSession float64
+	// ExpectedMissed is λ = N̂·P(Bin(S, p̂) < k).
+	ExpectedMissed float64
+	// Confidence is e^(−λ), the estimated probability no tag is missed.
+	Confidence float64
+	// Stop reports whether the merge should end now: either the
+	// confidence target is met (at or past MinSessions) or MaxSessions
+	// is exhausted.
+	Stop bool
+	// Exhausted reports that MaxSessions forced the stop.
+	Exhausted bool
+}
+
+// Merger accumulates independent inventory sessions under one merge
+// policy. It is not safe for concurrent use.
+type Merger struct {
+	cfg Config
+
+	sessions    int
+	seen        map[epc.Code][]int // 1-based session indices that identified the tag
+	totalIdents int                // Σ over sessions of distinct tags identified
+	estSum      float64            // Σ of per-session population estimates
+	estCount    int
+
+	// open-session state
+	open      bool
+	curSeen   map[epc.Code]bool
+	curBest   float64
+	curHasEst bool
+}
+
+// NewMerger builds a merger for the given configuration.
+func NewMerger(cfg Config) (*Merger, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Merger{
+		cfg:     cfg.withDefaults(),
+		seen:    make(map[epc.Code][]int),
+		curSeen: make(map[epc.Code]bool),
+	}, nil
+}
+
+// Config returns the merger's effective (defaulted) configuration.
+func (m *Merger) Config() Config { return m.cfg }
+
+// Sessions returns the number of completed sessions.
+func (m *Merger) Sessions() int { return m.sessions }
+
+// BeginSession opens a new independent inventory session.
+func (m *Merger) BeginSession() {
+	clear(m.curSeen)
+	m.curBest = 0
+	m.curHasEst = false
+	m.open = true
+}
+
+// ObserveRound folds one inventory round into the open session. The
+// population estimate for the session is the maximum over its rounds of
+// (round estimate + tags already identified earlier in the session):
+// tags identified — or abandoned after a CRC failure, see
+// gen2.Config.AbandonOnCRC — hold the inventoried flag and sit later
+// rounds out, so a round's own statistics only cover the shrinking part
+// of the population still arbitrating, and the first full-population
+// round is typically the session's best view. A saturated or empty round
+// contributes no estimate; a malformed round is an error.
+func (m *Merger) ObserveRound(stats gen2.Result, epcs []epc.Code) error {
+	if !m.open {
+		return errors.New("session: ObserveRound outside BeginSession/EndSession")
+	}
+	// quiet = tags identified in earlier rounds of this session that sat
+	// this round out (a re-read tag participated, so it is not quiet).
+	prev := len(m.curSeen)
+	reread := 0
+	for _, c := range epcs {
+		if m.curSeen[c] {
+			reread++
+		} else {
+			m.curSeen[c] = true
+		}
+	}
+	quiet := prev - reread
+	if quiet < 0 {
+		quiet = 0
+	}
+
+	est, err := estimate.FromRound(stats)
+	switch {
+	case err == nil:
+		if total := est.N + float64(quiet); total > m.curBest {
+			m.curBest = total
+		}
+		m.curHasEst = true
+	case errors.Is(err, estimate.ErrSaturated), errors.Is(err, estimate.ErrNoSlots):
+		// No information: a saturated frame bounds the population only
+		// from below, and an empty round says nothing.
+	default:
+		return err
+	}
+	return nil
+}
+
+// EndSession closes the open session and returns the stopping decision.
+func (m *Merger) EndSession() Decision {
+	if !m.open {
+		return m.Decision()
+	}
+	m.open = false
+	m.sessions++
+	for c := range m.curSeen {
+		m.seen[c] = append(m.seen[c], m.sessions)
+	}
+	m.totalIdents += len(m.curSeen)
+	if m.curHasEst {
+		m.estSum += m.curBest
+		m.estCount++
+	}
+	return m.Decision()
+}
+
+// AddSession merges one complete session given as its rounds: a
+// BeginSession / ObserveRound… / EndSession convenience.
+func (m *Merger) AddSession(rounds ...Round) (Decision, error) {
+	m.BeginSession()
+	for _, r := range rounds {
+		if err := m.ObserveRound(r.Stats, r.EPCs); err != nil {
+			m.open = false
+			return Decision{}, err
+		}
+	}
+	return m.EndSession(), nil
+}
+
+// confirmedCount counts tags the merge policy confirms: identified in at
+// least Confirm of the last Window sessions (all sessions when Window
+// is 0).
+func (m *Merger) confirmedCount() int {
+	n := 0
+	for _, idxs := range m.seen {
+		if m.tagConfirmed(idxs) {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Merger) tagConfirmed(idxs []int) bool {
+	if m.cfg.Window <= 0 {
+		return len(idxs) >= m.cfg.Confirm
+	}
+	cut := m.sessions - m.cfg.Window // sessions > cut are inside the window
+	hits := 0
+	for _, s := range idxs {
+		if s > cut {
+			hits++
+		}
+	}
+	return hits >= m.cfg.Confirm
+}
+
+// Confirmed returns the confirmed tag set, sorted by EPC bytes.
+func (m *Merger) Confirmed() []epc.Code {
+	out := make([]epc.Code, 0, len(m.seen))
+	for c, idxs := range m.seen {
+		if m.tagConfirmed(idxs) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i][:], out[j][:]) < 0 })
+	return out
+}
+
+// Seen returns how many sessions identified the given tag.
+func (m *Merger) Seen(c epc.Code) int { return len(m.seen[c]) }
+
+// Decision evaluates the stopping rule against the completed sessions.
+func (m *Merger) Decision() Decision {
+	d := Decision{
+		Sessions:  m.sessions,
+		Seen:      len(m.seen),
+		Confirmed: m.confirmedCount(),
+	}
+	if m.sessions == 0 {
+		return d
+	}
+	d.EstimateOK = m.estCount > 0
+	if d.EstimateOK {
+		d.Estimate = math.Max(m.estSum/float64(m.estCount), float64(d.Seen))
+	} else {
+		d.Estimate = float64(d.Seen)
+	}
+	if d.Estimate > 0 {
+		p := float64(m.totalIdents) / (float64(m.sessions) * d.Estimate)
+		d.PerSession = math.Min(math.Max(p, 0), 1)
+		d.ExpectedMissed = d.Estimate * binomBelow(m.sessions, d.PerSession, m.cfg.Confirm)
+		d.Confidence = math.Exp(-d.ExpectedMissed)
+	} else {
+		// Nothing present and nothing estimated: vacuously complete.
+		d.Confidence = 1
+	}
+	met := d.EstimateOK && m.sessions >= m.cfg.MinSessions && d.Confidence >= m.cfg.Confidence
+	d.Exhausted = m.sessions >= m.cfg.MaxSessions
+	d.Stop = met || d.Exhausted
+	return d
+}
+
+// binomBelow is P(X < k) for X ~ Bin(s, p): the probability one tag is
+// identified in fewer than k of s independent sessions.
+func binomBelow(s int, p float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return 1
+	}
+	q := 1 - p
+	term := math.Pow(q, float64(s)) // j = 0
+	sum := term
+	for j := 0; j < k-1 && j < s; j++ {
+		term *= float64(s-j) / float64(j+1) * p / q
+		sum += term
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}

@@ -1,0 +1,347 @@
+package session
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/gen2"
+	"rfidtrack/internal/tagsim"
+	"rfidtrack/internal/xrand"
+)
+
+func code(serial uint64) epc.Code {
+	c, err := epc.GID96{Manager: 5, Class: 5, Serial: serial}.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// frame builds a Result that satisfies the slot invariant.
+func frame(slots, empties, singles, collisions int) gen2.Result {
+	return gen2.Result{
+		Slots: slots, Empties: empties, Singles: singles,
+		Collisions: collisions, CRCFailures: slots - empties - singles - collisions,
+	}
+}
+
+func TestParseConfirm(t *testing.T) {
+	cases := []struct {
+		in   string
+		k, n int
+		err  bool
+	}{
+		{"union", 1, 0, false},
+		{"1", 1, 0, false},
+		{"", 1, 0, false},
+		{"2-of-3", 2, 3, false},
+		{"2-OF-0", 2, 0, false},
+		{"3-of-2", 0, 0, true},
+		{"0-of-3", 0, 0, true},
+		{"garbage", 0, 0, true},
+	}
+	for _, tc := range cases {
+		k, n, err := ParseConfirm(tc.in)
+		if (err != nil) != tc.err || k != tc.k || n != tc.n {
+			t.Errorf("ParseConfirm(%q) = %d, %d, %v; want %d, %d, err=%v", tc.in, k, n, err, tc.k, tc.n, tc.err)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{Confirm: -1},
+		{Window: -1},
+		{Confirm: 3, Window: 2},
+		{Confidence: 1},
+		{Confidence: -0.1},
+		{Confirm: 2, MaxSessions: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if _, err := NewMerger(Config{Confirm: -1}); err == nil {
+		t.Error("NewMerger accepted invalid config")
+	}
+}
+
+func TestUnionMergeConfirmsOnFirstSight(t *testing.T) {
+	m, err := NewMerger(Config{Confidence: 0.9, MaxSessions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Session 1 sees tags 1 and 2 in a lightly loaded frame.
+	d, err := m.AddSession(Round{
+		Stats: frame(16, 14, 2, 0),
+		EPCs:  []epc.Code{code(1), code(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seen != 2 || d.Confirmed != 2 {
+		t.Errorf("union after one session: %+v", d)
+	}
+	if !d.EstimateOK || d.Estimate < 2 {
+		t.Errorf("estimate missing: %+v", d)
+	}
+	if m.Seen(code(1)) != 1 || m.Seen(code(3)) != 0 {
+		t.Error("per-tag session counts wrong")
+	}
+}
+
+func TestKOfNConfirmationAndWindow(t *testing.T) {
+	m, err := NewMerger(Config{Confirm: 2, Window: 3, MaxSessions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(codes ...epc.Code) Decision {
+		d, err := m.AddSession(Round{Stats: frame(16, 15, 1, 0), EPCs: codes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d := add(code(1)) // session 1
+	if d.Confirmed != 0 {
+		t.Errorf("confirmed after one sighting: %+v", d)
+	}
+	d = add(code(1)) // session 2: second sighting inside window
+	if d.Confirmed != 1 {
+		t.Errorf("2-of-3 not confirmed after two sightings: %+v", d)
+	}
+	got := m.Confirmed()
+	if len(got) != 1 || got[0] != code(1) {
+		t.Errorf("Confirmed() = %v", got)
+	}
+	// Sessions 3-5 never see the tag: the window slides past both
+	// sightings and confirmation lapses.
+	add()
+	add()
+	d = add()
+	if d.Confirmed != 0 {
+		t.Errorf("confirmation survived window slide: %+v", d)
+	}
+	if d.Seen != 1 {
+		t.Errorf("seen set should persist: %+v", d)
+	}
+}
+
+func TestStoppingRuleStopsWhenConfident(t *testing.T) {
+	m, err := NewMerger(Config{Confidence: 0.95, MaxSessions: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two tags, both identified every session, estimator agreeing with
+	// the identified set: confidence must rise with sessions and stop.
+	tags := []epc.Code{code(1), code(2)}
+	stopped := 0
+	var last Decision
+	for s := 1; s <= 32; s++ {
+		last, err = m.AddSession(Round{Stats: frame(16, 14, 2, 0), EPCs: tags})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last.Stop {
+			stopped = s
+			break
+		}
+	}
+	if stopped == 0 || stopped == 32 {
+		t.Fatalf("never stopped before exhaustion: %+v", last)
+	}
+	if last.Exhausted {
+		t.Errorf("stop flagged as exhaustion: %+v", last)
+	}
+	if last.Confidence < 0.95 {
+		t.Errorf("stopped below target: %+v", last)
+	}
+	if last.PerSession <= 0.5 {
+		t.Errorf("pooled per-session probability %v, want near 1", last.PerSession)
+	}
+}
+
+func TestStoppingRuleHoldsWhenEstimateSaysMore(t *testing.T) {
+	m, err := NewMerger(Config{Confidence: 0.95, MaxSessions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimator keeps seeing a heavily loaded frame (~32 tags) while
+	// only 2 are ever identified: confidence must stay low until
+	// MaxSessions forces the stop.
+	var d Decision
+	for s := 1; s <= 4; s++ {
+		d, err = m.AddSession(Round{Stats: frame(16, 2, 2, 12), EPCs: []epc.Code{code(1), code(2)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Stop && !d.Exhausted {
+			t.Fatalf("stopped at session %d despite missing tags: %+v", s, d)
+		}
+	}
+	if !d.Stop || !d.Exhausted {
+		t.Errorf("MaxSessions did not force the stop: %+v", d)
+	}
+	if d.Confidence >= 0.95 {
+		t.Errorf("confidence %v with estimate %v >> seen %d", d.Confidence, d.Estimate, d.Seen)
+	}
+}
+
+func TestNoEstimateNeverStopsEarly(t *testing.T) {
+	m, err := NewMerger(Config{Confidence: 0.5, MaxSessions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every frame is saturated: no round yields an estimate, so the rule
+	// must not stop before exhaustion no matter the union coverage.
+	var d Decision
+	for s := 1; s <= 6; s++ {
+		d, err = m.AddSession(Round{Stats: frame(8, 0, 0, 8), EPCs: []epc.Code{code(1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.EstimateOK {
+			t.Fatalf("saturated frames produced an estimate: %+v", d)
+		}
+		if d.Stop != (s == 6) {
+			t.Fatalf("session %d: stop = %v: %+v", s, d.Stop, d)
+		}
+	}
+	if !d.Exhausted {
+		t.Errorf("final stop not marked exhausted: %+v", d)
+	}
+}
+
+func TestObserveRoundPropagatesMalformedRounds(t *testing.T) {
+	m, err := NewMerger(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.AddSession(Round{Stats: gen2.Result{Slots: 8, Empties: 12}})
+	if err == nil {
+		t.Error("malformed round accepted")
+	}
+	if m.Sessions() != 0 {
+		t.Error("failed session counted")
+	}
+	if err := m.ObserveRound(frame(8, 8, 0, 0), nil); err == nil {
+		t.Error("ObserveRound accepted outside an open session")
+	}
+}
+
+func TestQuietCorrectionRaisesSessionEstimate(t *testing.T) {
+	// Round 1 identifies 6 tags; round 2's frame only sees the remainder
+	// (~6 estimated) but the session estimate must include the 6 quiet
+	// ones.
+	m, err := NewMerger(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epcs []epc.Code
+	for i := 0; i < 6; i++ {
+		epcs = append(epcs, code(uint64(i)))
+	}
+	m.BeginSession()
+	if err := m.ObserveRound(frame(16, 6, 6, 4), epcs); err != nil {
+		t.Fatal(err)
+	}
+	// 16-slot frame, 6 empties: ZE says ~15.7 participated.
+	if err := m.ObserveRound(frame(16, 11, 2, 3), []epc.Code{code(10), code(11)}); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2: ZE over 11/16 empties ≈ 6.0 participants + 6 quiet ≈ 12.
+	d := m.EndSession()
+	if !d.EstimateOK {
+		t.Fatal("no estimate")
+	}
+	// The max over rounds is round 1's ~15.7; the quiet-corrected round 2
+	// (~12) must not have replaced it, and the floor is Seen = 8.
+	if d.Estimate < 15 || d.Estimate > 17 {
+		t.Errorf("session estimate = %v, want ~15.7", d.Estimate)
+	}
+}
+
+func TestBinomBelow(t *testing.T) {
+	// P(X < 1) with X ~ Bin(3, 0.5) = 0.125; P(X < 2) = 0.5.
+	if got := binomBelow(3, 0.5, 1); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("P(X<1) = %v", got)
+	}
+	if got := binomBelow(3, 0.5, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(X<2) = %v", got)
+	}
+	if got := binomBelow(5, 0, 2); got != 1 {
+		t.Errorf("p=0 tail = %v", got)
+	}
+	if got := binomBelow(5, 1, 2); got != 0 {
+		t.Errorf("p=1 tail = %v", got)
+	}
+	if got := binomBelow(5, 0.5, 0); got != 0 {
+		t.Errorf("k=0 tail = %v", got)
+	}
+}
+
+// TestMergerAgainstRealRounds drives the merger with the actual Gen-2
+// engine end to end: a fixed population inventoried with fixed frames and
+// reply corruption must be fully identified (union) by the time the
+// stopping rule fires, and the population estimate must land near truth.
+func TestMergerAgainstRealRounds(t *testing.T) {
+	parent := xrand.New(21)
+	const n = 40
+	m, err := NewMerger(Config{Confidence: 0.99, MaxSessions: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := make([]*tagsim.Tag, n)
+	codes := make([]epc.Code, n)
+	for i := range tags {
+		codes[i] = code(uint64(100 + i))
+		tags[i] = tagsim.New(codes[i], parent.Split(fmt.Sprintf("tag/%d", i)))
+	}
+	parts := make([]gen2.Participant, n)
+	var d Decision
+	for s := 1; s <= 24; s++ {
+		for i, tag := range tags {
+			tag.ResetForPass(s)
+			tag.SetPower(true, 0)
+			parts[i] = gen2.Participant{Tag: tag, ForwardOK: true, ReverseOK: true}
+		}
+		cfg := gen2.DefaultConfig()
+		cfg.Adaptive = false
+		cfg.InitialQ = 6 // 64-slot frames
+		cfg.ReplyCorruptionProb = 0.05
+		cfg.Rng = parent.Split(fmt.Sprintf("noise/%d", s))
+		res := gen2.RunRound(cfg, parts, 0)
+		epcs := make([]epc.Code, 0, len(res.Reads))
+		for _, r := range res.Reads {
+			epcs = append(epcs, r.EPC)
+		}
+		d, err = m.AddSession(Round{Stats: res, EPCs: epcs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Stop {
+			break
+		}
+	}
+	if !d.Stop {
+		t.Fatalf("never stopped: %+v", d)
+	}
+	if d.Exhausted {
+		t.Fatalf("exhausted before confident: %+v", d)
+	}
+	if d.Seen != n {
+		t.Errorf("stopped with %d/%d tags identified", d.Seen, n)
+	}
+	// The engine lets colliding tags re-contend inside the frame, which
+	// depresses empties below the static framed-ALOHA model and biases
+	// the estimate high — conservative for stopping (the rule holds
+	// longer, never quits early). Accept the engine-side bias here.
+	if d.Estimate < n || d.Estimate > 2*n {
+		t.Errorf("population estimate %v for %d tags outside [n, 2n]", d.Estimate, n)
+	}
+}

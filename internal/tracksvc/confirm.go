@@ -1,0 +1,160 @@
+// Confirmation merge for the live service: the k-of-n policy of
+// internal/session applied at ingest time. Where the session.Merger works
+// offline over whole inventory sessions, the confirmer is the streaming
+// equivalent: a pass is a session, and an event only reaches the pipeline
+// once its tag has been identified in at least k distinct passes of the
+// last n. Until then events are held per tag in a bounded buffer and
+// released in arrival order the moment the tag confirms — so a confirmed
+// tag's history is complete, while a tag only ever sighted in one pass (a
+// phantom read, a stray reflection) never pollutes the store.
+package tracksvc
+
+import (
+	"sync"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/obs"
+)
+
+// confirmMaxHeld bounds the held-event buffer per pending tag. A real tag
+// confirms within a pass or two, holding at most a handful of events; a
+// buffer at the bound means a tag is being sighted over and over without
+// ever clearing the policy, and the oldest evidence is the least likely
+// to still be inside the window anyway.
+const confirmMaxHeld = 32
+
+// confirmer applies k-of-n pass confirmation to the ingest stream. Safe
+// for concurrent use: polls from several supervised readers may ingest at
+// once.
+type confirmer struct {
+	k      int // passes that must identify a tag (>= 2; 1 would be a no-op)
+	window int // only the last window passes count; 0 = all passes
+
+	live *obs.Live
+
+	mu        sync.Mutex
+	pending   map[epc.Code]*pendingTag
+	confirmed map[epc.Code]bool
+}
+
+// pendingTag is one unconfirmed tag's evidence: the distinct passes that
+// identified it and the events held back until confirmation. heldPass is
+// parallel to held, recording each event's pass for window expiry.
+type pendingTag struct {
+	passes   []int // distinct pass IDs, ascending
+	held     []backend.Event
+	heldPass []int
+}
+
+func newConfirmer(k, window int, live *obs.Live) *confirmer {
+	return &confirmer{
+		k: k, window: window, live: live,
+		pending:   make(map[epc.Code]*pendingTag),
+		confirmed: make(map[epc.Code]bool),
+	}
+}
+
+// offer routes one parsed event through the policy and appends whatever
+// may be ingested now to out: the event itself for an already-confirmed
+// tag, the whole held history when this event completes the confirmation,
+// or nothing while the tag is still pending.
+func (c *confirmer) offer(code epc.Code, pass int, ev backend.Event, out []backend.Event) []backend.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.confirmed[code] {
+		return append(out, ev)
+	}
+	p := c.pending[code]
+	if p == nil {
+		p = &pendingTag{}
+		c.pending[code] = p
+	}
+
+	// Window expiry, anchored to the newest pass seen for this tag: passes
+	// at or below cut no longer count, and their held events are dropped —
+	// the bound that keeps a perpetually-flickering tag from accumulating
+	// state forever.
+	if c.window > 0 {
+		newest := pass
+		if n := len(p.passes); n > 0 && p.passes[n-1] > newest {
+			newest = p.passes[n-1]
+		}
+		cut := newest - c.window
+		expired := 0
+		for expired < len(p.passes) && p.passes[expired] <= cut {
+			expired++
+		}
+		p.passes = p.passes[expired:]
+		kept := 0
+		for i, hp := range p.heldPass {
+			if hp > cut {
+				p.held[kept] = p.held[i]
+				p.heldPass[kept] = hp
+				kept++
+			}
+		}
+		if dropped := len(p.held) - kept; dropped > 0 {
+			c.live.Add(obs.CtrConfirmExpired, uint64(dropped))
+		}
+		p.held = p.held[:kept]
+		p.heldPass = p.heldPass[:kept]
+	}
+
+	if !containsPass(p.passes, pass) {
+		p.passes = insertPass(p.passes, pass)
+	}
+	if len(p.held) >= confirmMaxHeld {
+		// Shed the oldest held event; the distinct-pass evidence stays.
+		copy(p.held, p.held[1:])
+		copy(p.heldPass, p.heldPass[1:])
+		p.held = p.held[:len(p.held)-1]
+		p.heldPass = p.heldPass[:len(p.heldPass)-1]
+		c.live.Inc(obs.CtrConfirmExpired)
+	}
+	p.held = append(p.held, ev)
+	p.heldPass = append(p.heldPass, pass)
+	c.live.Inc(obs.CtrConfirmHeld)
+
+	if len(p.passes) >= c.k {
+		out = append(out, p.held...)
+		c.live.Add(obs.CtrConfirmReleased, uint64(len(p.held)))
+		c.live.Inc(obs.CtrConfirmTags)
+		c.confirmed[code] = true
+		delete(c.pending, code)
+	}
+	return out
+}
+
+// pendingStats reports the gauge view: tags awaiting confirmation and
+// events currently held for them.
+func (c *confirmer) pendingStats() (tags, held int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.pending {
+		held += len(p.held)
+	}
+	return len(c.pending), held
+}
+
+func containsPass(passes []int, p int) bool {
+	for _, x := range passes {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+// insertPass keeps the distinct pass list ascending; polls arrive nearly
+// in order, so the scan is effectively O(1).
+func insertPass(passes []int, p int) []int {
+	i := len(passes)
+	for i > 0 && passes[i-1] > p {
+		i--
+	}
+	passes = append(passes, 0)
+	copy(passes[i+1:], passes[i:])
+	passes[i] = p
+	return passes
+}

@@ -1,0 +1,171 @@
+package tracksvc
+
+import (
+	"testing"
+
+	"rfidtrack/internal/backend"
+	"rfidtrack/internal/epc"
+	"rfidtrack/internal/obs"
+)
+
+const confirmEPC = "300833B2DDD9014000000001"
+
+func mustHex(t *testing.T, s string) epc.Code {
+	t.Helper()
+	code, err := epc.ParseHex(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+// TestConfirmHoldsUntilSecondPass: under 2-of-all confirmation a tag seen
+// in one pass stays out of the pipeline entirely; its second pass
+// releases the whole held history at once.
+func TestConfirmHoldsUntilSecondPass(t *testing.T) {
+	svc := New(nil, WithConfirm(2, 0))
+	code := mustHex(t, confirmEPC)
+
+	if err := svc.IngestTagList(tagList("dock", 0, confirmEPC)); err != nil {
+		t.Fatalf("IngestTagList: %v", err)
+	}
+	stats := svc.Stats()
+	if got := stats.Counters["ingest.events"]; got != 0 {
+		t.Errorf("unconfirmed event reached the pipeline: ingest.events = %d", got)
+	}
+	if got := stats.Counters["confirm.held_events"]; got != 1 {
+		t.Errorf("confirm.held_events = %d, want 1", got)
+	}
+	if svc.Pipeline().Store().Seen(code) {
+		t.Error("store saw the tag before confirmation")
+	}
+
+	if err := svc.IngestTagList(tagList("dock", 1, confirmEPC)); err != nil {
+		t.Fatalf("IngestTagList: %v", err)
+	}
+	stats = svc.Stats()
+	if got := stats.Counters["ingest.events"]; got != 2 {
+		t.Errorf("ingest.events = %d, want 2 (held history released with the confirming event)", got)
+	}
+	if got := stats.Counters["confirm.confirmed_tags"]; got != 1 {
+		t.Errorf("confirm.confirmed_tags = %d, want 1", got)
+	}
+	if got := stats.Counters["confirm.released_events"]; got != 2 {
+		t.Errorf("confirm.released_events = %d, want 2", got)
+	}
+	if !svc.Pipeline().Store().Seen(code) {
+		t.Error("store did not see the tag after confirmation")
+	}
+
+	// A confirmed tag's later events flow straight through.
+	if err := svc.IngestTagList(tagList("dock", 2, confirmEPC)); err != nil {
+		t.Fatalf("IngestTagList: %v", err)
+	}
+	if got := svc.Stats().Counters["ingest.events"]; got != 3 {
+		t.Errorf("ingest.events = %d, want 3 after a post-confirmation pass", got)
+	}
+}
+
+// TestConfirmRepeatsWithinOnePassDoNotConfirm: k counts distinct passes,
+// not raw sightings — five reads in one pass are one opportunity.
+func TestConfirmRepeatsWithinOnePassDoNotConfirm(t *testing.T) {
+	svc := New(nil, WithConfirm(2, 0))
+	for i := 0; i < 5; i++ {
+		if err := svc.IngestTagList(tagList("dock", 3, confirmEPC)); err != nil {
+			t.Fatalf("IngestTagList: %v", err)
+		}
+	}
+	stats := svc.Stats()
+	if got := stats.Counters["ingest.events"]; got != 0 {
+		t.Errorf("same-pass repeats confirmed the tag: ingest.events = %d", got)
+	}
+	if got := stats.Counters["confirm.held_events"]; got != 5 {
+		t.Errorf("confirm.held_events = %d, want 5", got)
+	}
+}
+
+// TestConfirmWindowExpiry: with 2-of-2, a pass that has slid out of the
+// window no longer counts and its held events are discarded.
+func TestConfirmWindowExpiry(t *testing.T) {
+	svc := New(nil, WithConfirm(2, 2))
+	for _, pass := range []int{0, 5} {
+		if err := svc.IngestTagList(tagList("dock", pass, confirmEPC)); err != nil {
+			t.Fatalf("IngestTagList: %v", err)
+		}
+	}
+	stats := svc.Stats()
+	if got := stats.Counters["ingest.events"]; got != 0 {
+		t.Errorf("expired pass still counted toward confirmation: ingest.events = %d", got)
+	}
+	if got := stats.Counters["confirm.expired_events"]; got != 1 {
+		t.Errorf("confirm.expired_events = %d, want 1 (pass 0's held event)", got)
+	}
+	// Pass 6 joins pass 5 inside the window: confirmed, and only the two
+	// in-window events release.
+	if err := svc.IngestTagList(tagList("dock", 6, confirmEPC)); err != nil {
+		t.Fatalf("IngestTagList: %v", err)
+	}
+	stats = svc.Stats()
+	if got := stats.Counters["confirm.confirmed_tags"]; got != 1 {
+		t.Errorf("confirm.confirmed_tags = %d, want 1", got)
+	}
+	if got := stats.Counters["ingest.events"]; got != 2 {
+		t.Errorf("ingest.events = %d, want 2 (expired event must not release)", got)
+	}
+}
+
+// TestConfirmUnionIsPassthrough: k = 1 is the union policy; WithConfirm
+// installs nothing and events flow exactly as without the option.
+func TestConfirmUnionIsPassthrough(t *testing.T) {
+	svc := New(nil, WithConfirm(1, 0))
+	if svc.confirm != nil {
+		t.Fatal("union policy installed a confirmer")
+	}
+	if err := svc.IngestTagList(tagList("dock", 0, confirmEPC)); err != nil {
+		t.Fatalf("IngestTagList: %v", err)
+	}
+	if got := svc.Stats().Counters["ingest.events"]; got != 1 {
+		t.Errorf("ingest.events = %d, want 1", got)
+	}
+}
+
+// TestConfirmHeldBufferBounded: a tag that never confirms cannot
+// accumulate events without bound.
+func TestConfirmHeldBufferBounded(t *testing.T) {
+	c := newConfirmer(2, 0, obs.NewLive())
+	code := mustHex(t, confirmEPC)
+	for i := 0; i < 3*confirmMaxHeld; i++ {
+		if out := c.offer(code, 7, backend.Event{EPC: code, Time: float64(i)}, nil); len(out) != 0 {
+			t.Fatalf("event %d released without confirmation", i)
+		}
+	}
+	tags, held := c.pendingStats()
+	if tags != 1 || held != confirmMaxHeld {
+		t.Errorf("pendingStats = (%d tags, %d held), want (1, %d)", tags, held, confirmMaxHeld)
+	}
+	// Confirmation releases exactly the bound: the oldest held event is
+	// shed to make room for the confirming one.
+	out := c.offer(code, 8, backend.Event{EPC: code}, nil)
+	if len(out) != confirmMaxHeld {
+		t.Errorf("released %d events, want %d", len(out), confirmMaxHeld)
+	}
+}
+
+// TestConfirmGaugesExposed: the pending-tags and held-events gauges ride
+// the OpenMetrics exposition when confirmation is on.
+func TestConfirmGaugesExposed(t *testing.T) {
+	svc := New(nil, WithConfirm(2, 0))
+	if err := svc.IngestTagList(tagList("dock", 0, confirmEPC)); err != nil {
+		t.Fatalf("IngestTagList: %v", err)
+	}
+	series := scrape(t, svc)
+	if got := series["rfidtrack_confirm_pending_tags"]; got != 1 {
+		t.Errorf("rfidtrack_confirm_pending_tags = %g, want 1", got)
+	}
+	if got := series["rfidtrack_confirm_pending_events"]; got != 1 {
+		t.Errorf("rfidtrack_confirm_pending_events = %g, want 1", got)
+	}
+	if got := series["rfidtrack_confirm_held_events_total"]; got != 1 {
+		t.Errorf("rfidtrack_confirm_held_events_total = %g, want 1", got)
+	}
+}

@@ -34,6 +34,7 @@ type Service struct {
 	reg     *obs.Registry            // OpenMetrics exposition behind GET /metrics
 	tracer  *obs.Tracer              // optional JSONL lifecycle tracer (nil = off)
 	mon     *Monitor                 // optional streaming reliability monitor (nil = off)
+	confirm *confirmer               // optional k-of-n pass confirmation (nil = union)
 	ing     atomic.Pointer[ingestor] // nil until StartIngest; then the async path
 	ingLast atomic.Pointer[ingestor] // most recent ingestor, kept for IngestWait
 	cycles  atomic.Uint64            // lifecycle cycle IDs, minted per poll
@@ -81,6 +82,20 @@ func WithTracer(t *obs.Tracer) Option {
 // GET /api/health and exported as gauges on GET /metrics.
 func WithSLO(cfg SLOConfig) Option {
 	return func(s *Service) { s.mon = newMonitor(cfg) }
+}
+
+// WithConfirm enables the k-of-n confirmation merge (confirm.go): an
+// event only reaches the pipeline once its tag has been identified in at
+// least k distinct reader passes of the last window (0 = all passes).
+// k <= 1 is the union policy — every event flows straight through — and
+// installs nothing. Parse policies from CLI syntax with
+// session.ParseConfirm.
+func WithConfirm(k, window int) Option {
+	return func(s *Service) {
+		if k > 1 {
+			s.confirm = newConfirmer(k, window, s.live)
+		}
+	}
 }
 
 // New builds a service over the given pipeline (nil = default pipeline).
@@ -141,12 +156,20 @@ func (s *Service) ingestList(list readerapi.TagListXML, cycle uint64, polled tim
 			}
 			continue
 		}
-		batch = append(batch, backend.Event{
+		ev := backend.Event{
 			EPC:      code,
 			Location: tag.Reader,
 			Antenna:  tag.Antenna,
 			Time:     float64(tag.Pass)*100 + tag.Time,
-		})
+		}
+		if s.confirm != nil {
+			// The confirmation merge may hold the event back (tag still
+			// unconfirmed) or release a whole held history (this event
+			// confirmed it); either way it decides what ingests now.
+			batch = s.confirm.offer(code, tag.Pass, ev, batch)
+		} else {
+			batch = append(batch, ev)
+		}
 	}
 	b.events, b.cycle, b.reader, b.polled = batch, cycle, list.Reader, polled
 	if len(batch) == 0 {
@@ -291,7 +314,7 @@ func (s *Service) Stats() StatsResponse {
 		StoreShards:    s.pipeline.Store().ShardStats(),
 	}
 	for name, v := range snap.Counters {
-		if strings.HasPrefix(name, "ingest.") {
+		if strings.HasPrefix(name, "ingest.") || strings.HasPrefix(name, "confirm.") {
 			resp.Counters[name] = v
 		}
 	}
@@ -368,6 +391,18 @@ func (s *Service) registerGauges() {
 				return float64(sup.consecutive.Load())
 			})
 		})
+	if s.confirm != nil {
+		s.reg.Gauge("confirm_pending_tags", "Tags sighted but not yet k-of-n confirmed.",
+			func() []obs.Sample {
+				tags, _ := s.confirm.pendingStats()
+				return []obs.Sample{{Value: float64(tags)}}
+			})
+		s.reg.Gauge("confirm_pending_events", "Events currently held for tags awaiting confirmation.",
+			func() []obs.Sample {
+				_, held := s.confirm.pendingStats()
+				return []obs.Sample{{Value: float64(held)}}
+			})
+	}
 	if s.mon != nil {
 		s.mon.registerGauges(s.reg)
 	}

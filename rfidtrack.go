@@ -41,6 +41,7 @@ import (
 	"rfidtrack/internal/redundancy"
 	"rfidtrack/internal/rf"
 	"rfidtrack/internal/scenario"
+	"rfidtrack/internal/session"
 	"rfidtrack/internal/world"
 )
 
@@ -211,6 +212,32 @@ func PlanPlacement(candidates []PlacementCandidate, target float64, maxPicks int
 // round from its slot statistics.
 func EstimatePopulation(res gen2.Result) (estimate.Estimate, error) {
 	return estimate.FromRound(res)
+}
+
+// Temporal redundancy: merging independent reader sessions under an
+// estimate-driven stopping rule (internal/session, DESIGN.md §15).
+type (
+	// SessionConfig parameterizes a session merge: the confirmation policy
+	// (union or k-of-n) and the stopping rule's confidence target.
+	SessionConfig = session.Config
+	// SessionMerger accumulates independent inventory sessions.
+	SessionMerger = session.Merger
+	// SessionRound is one inventory round's slot statistics plus the EPCs
+	// it identified.
+	SessionRound = session.Round
+	// SessionDecision is the stopping-rule verdict after a session.
+	SessionDecision = session.Decision
+)
+
+// NewSessionMerger builds a merger for the given configuration.
+func NewSessionMerger(cfg SessionConfig) (*SessionMerger, error) {
+	return session.NewMerger(cfg)
+}
+
+// ParseConfirmPolicy parses a CLI confirmation policy: "union" or
+// "K-of-N" (e.g. "2-of-3").
+func ParseConfirmPolicy(s string) (k, n int, err error) {
+	return session.ParseConfirm(s)
 }
 
 // Indoor localization (LANDMARC, active reference tags).
